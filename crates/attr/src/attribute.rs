@@ -1,0 +1,276 @@
+//! Typed user attributes (§3.3.1).
+//!
+//! "Each attribute has a type and a value. The 'type' indicates the format
+//! and the meaning of the value field. The choice of the attributes must
+//! be those in which most mail service users are commonly interested. The
+//! values of the attributes should not be ambiguous." The paper's example
+//! attribute kinds — names, nicknames, aliases, commonly misspelled names,
+//! job title, organization, location, expertise, interests — are covered
+//! by [`AttrKey`]; free extension is available through
+//! [`AttrKey::Custom`].
+//!
+//! Privacy (§3.3.1): "users must have the option to limit the access to
+//! their personal information to specific groups or organizations" —
+//! every attribute carries a [`Visibility`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The attribute vocabulary.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum AttrKey {
+    /// Given name.
+    FirstName,
+    /// Family name.
+    LastName,
+    /// Nickname or alias.
+    Nickname,
+    /// A commonly seen misspelling of the name, registered so misspelled
+    /// queries still match (§3.3's directory-lookup application).
+    Misspelling,
+    /// Job title.
+    JobTitle,
+    /// Employer or institution.
+    Organization,
+    /// Kind of organization (university, vendor, …).
+    OrganizationType,
+    /// City.
+    City,
+    /// State or province.
+    State,
+    /// Country.
+    Country,
+    /// Field of expertise/specialty.
+    Expertise,
+    /// Personal interest or hobby.
+    Interest,
+    /// Anything else.
+    Custom(String),
+}
+
+impl fmt::Display for AttrKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrKey::FirstName => f.write_str("first-name"),
+            AttrKey::LastName => f.write_str("last-name"),
+            AttrKey::Nickname => f.write_str("nickname"),
+            AttrKey::Misspelling => f.write_str("misspelling"),
+            AttrKey::JobTitle => f.write_str("job-title"),
+            AttrKey::Organization => f.write_str("organization"),
+            AttrKey::OrganizationType => f.write_str("organization-type"),
+            AttrKey::City => f.write_str("city"),
+            AttrKey::State => f.write_str("state"),
+            AttrKey::Country => f.write_str("country"),
+            AttrKey::Expertise => f.write_str("expertise"),
+            AttrKey::Interest => f.write_str("interest"),
+            AttrKey::Custom(s) => write!(f, "x-{s}"),
+        }
+    }
+}
+
+/// An attribute value.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum AttrValue {
+    /// Free text (matched case-insensitively).
+    Text(String),
+    /// An integer (e.g. years of experience).
+    Number(i64),
+}
+
+impl AttrValue {
+    /// Text content, lowercased, if this is a text value.
+    pub fn as_text_lower(&self) -> Option<String> {
+        match self {
+            AttrValue::Text(s) => Some(s.to_lowercase()),
+            AttrValue::Number(_) => None,
+        }
+    }
+
+    /// Numeric content, if any.
+    pub fn as_number(&self) -> Option<i64> {
+        match self {
+            AttrValue::Number(n) => Some(*n),
+            AttrValue::Text(_) => None,
+        }
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(s: &str) -> Self {
+        AttrValue::Text(s.to_owned())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(s: String) -> Self {
+        AttrValue::Text(s)
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(n: i64) -> Self {
+        AttrValue::Number(n)
+    }
+}
+
+/// Who may see an attribute.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Visibility {
+    /// Anyone.
+    Public,
+    /// Only requesters from the named organization.
+    Organization(String),
+    /// Nobody but the owner (excluded from all searches).
+    Private,
+}
+
+/// Who is asking.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct RequesterContext {
+    /// The requester's organization, if asserted.
+    pub organization: Option<String>,
+}
+
+impl Visibility {
+    /// True if a requester in `ctx` may see an attribute with this
+    /// visibility.
+    pub fn allows(&self, ctx: &RequesterContext) -> bool {
+        match self {
+            Visibility::Public => true,
+            Visibility::Organization(org) => {
+                ctx.organization.as_deref().map(str::to_lowercase)
+                    == Some(org.to_lowercase())
+            }
+            Visibility::Private => false,
+        }
+    }
+}
+
+/// One stored attribute: value plus visibility.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Attribute {
+    /// The value.
+    pub value: AttrValue,
+    /// Who may see it.
+    pub visibility: Visibility,
+}
+
+/// A user's attribute set (multi-valued per key: a user may register
+/// several nicknames, interests, misspellings, …).
+///
+/// # Examples
+///
+/// ```
+/// use lems_attr::attribute::{AttrKey, AttributeSet, Visibility};
+///
+/// let mut a = AttributeSet::new();
+/// a.add(AttrKey::FirstName, "Wael", Visibility::Public);
+/// a.add(AttrKey::Expertise, "distributed systems", Visibility::Public);
+/// a.add(AttrKey::Interest, "sailing", Visibility::Private);
+/// assert_eq!(a.len(), 3);
+/// assert_eq!(a.values(&AttrKey::FirstName).count(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct AttributeSet {
+    attrs: BTreeMap<AttrKey, Vec<Attribute>>,
+}
+
+impl AttributeSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        AttributeSet::default()
+    }
+
+    /// Adds an attribute value under `key`.
+    pub fn add(&mut self, key: AttrKey, value: impl Into<AttrValue>, visibility: Visibility) {
+        self.attrs.entry(key).or_default().push(Attribute {
+            value: value.into(),
+            visibility,
+        });
+    }
+
+    /// All attributes under `key` (any visibility).
+    pub fn values(&self, key: &AttrKey) -> impl Iterator<Item = &Attribute> {
+        self.attrs.get(key).into_iter().flatten()
+    }
+
+    /// Attributes under `key` visible to `ctx`.
+    pub fn visible_values<'a>(
+        &'a self,
+        key: &AttrKey,
+        ctx: &'a RequesterContext,
+    ) -> impl Iterator<Item = &'a AttrValue> {
+        self.values(key)
+            .filter(move |a| a.visibility.allows(ctx))
+            .map(|a| &a.value)
+    }
+
+    /// Total stored attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.values().map(Vec::len).sum()
+    }
+
+    /// True if no attributes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Removes every value under `key`; returns how many were removed.
+    pub fn remove(&mut self, key: &AttrKey) -> usize {
+        self.attrs.remove(key).map_or(0, |v| v.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multivalued_keys() {
+        let mut a = AttributeSet::new();
+        a.add(AttrKey::Nickname, "Bill", Visibility::Public);
+        a.add(AttrKey::Nickname, "Will", Visibility::Public);
+        assert_eq!(a.values(&AttrKey::Nickname).count(), 2);
+        assert_eq!(a.remove(&AttrKey::Nickname), 2);
+        assert_eq!(a.values(&AttrKey::Nickname).count(), 0);
+    }
+
+    #[test]
+    fn visibility_filters() {
+        let mut a = AttributeSet::new();
+        a.add(AttrKey::JobTitle, "Engineer", Visibility::Public);
+        a.add(
+            AttrKey::Organization,
+            "AT&T",
+            Visibility::Organization("AT&T".into()),
+        );
+        a.add(AttrKey::Interest, "chess", Visibility::Private);
+
+        let anon = RequesterContext::default();
+        let insider = RequesterContext {
+            organization: Some("at&t".into()),
+        };
+        assert_eq!(a.visible_values(&AttrKey::JobTitle, &anon).count(), 1);
+        assert_eq!(a.visible_values(&AttrKey::Organization, &anon).count(), 0);
+        assert_eq!(
+            a.visible_values(&AttrKey::Organization, &insider).count(),
+            1
+        );
+        assert_eq!(a.visible_values(&AttrKey::Interest, &insider).count(), 0);
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(AttrValue::from("Hi").as_text_lower(), Some("hi".into()));
+        assert_eq!(AttrValue::from(7i64).as_number(), Some(7));
+        assert_eq!(AttrValue::from("Hi").as_number(), None);
+    }
+
+    #[test]
+    fn key_display_is_stable() {
+        assert_eq!(AttrKey::FirstName.to_string(), "first-name");
+        assert_eq!(AttrKey::Custom("ham-radio".into()).to_string(), "x-ham-radio");
+    }
+}

@@ -1,0 +1,196 @@
+//! Approximate name matching for directory lookup (§3.3, application i).
+//!
+//! "People do not always remember the exact spelling of the full
+//! electronic mail addresses … Misspelling occurs so often that the system
+//! fails to recognize them and services cannot be provided. In
+//! attribute-based mail system, users are allowed to provide aliases,
+//! nicknames or some possible misspellings of the names."
+//!
+//! Two matchers: bounded Levenshtein edit distance, and the classic
+//! Soundex phonetic code (mail-era technology, fitting the paper's
+//! vintage).
+
+/// Levenshtein edit distance between two strings (case-insensitive),
+/// O(|a|·|b|) time, O(min) space.
+///
+/// # Examples
+///
+/// ```
+/// use lems_attr::fuzzy::edit_distance;
+///
+/// assert_eq!(edit_distance("smith", "Smyth"), 1);
+/// assert_eq!(edit_distance("jonson", "johnson"), 1);
+/// assert_eq!(edit_distance("alice", "alice"), 0);
+/// ```
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.to_lowercase().chars().collect();
+    let b: Vec<char> = b.to_lowercase().chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The Soundex phonetic code of a word (classic 4-character form, e.g.
+/// `"Robert"` → `"R163"`). Non-ASCII-alphabetic characters are skipped;
+/// an empty input yields `"0000"`.
+///
+/// # Examples
+///
+/// ```
+/// use lems_attr::fuzzy::soundex;
+///
+/// assert_eq!(soundex("Robert"), soundex("Rupert"));
+/// assert_eq!(soundex("Smith"), soundex("Smyth"));
+/// assert_ne!(soundex("Smith"), soundex("Jones"));
+/// ```
+pub fn soundex(word: &str) -> String {
+    fn code(c: char) -> u8 {
+        match c.to_ascii_lowercase() {
+            'b' | 'f' | 'p' | 'v' => b'1',
+            'c' | 'g' | 'j' | 'k' | 'q' | 's' | 'x' | 'z' => b'2',
+            'd' | 't' => b'3',
+            'l' => b'4',
+            'm' | 'n' => b'5',
+            'r' => b'6',
+            _ => b'0', // vowels, h, w, y: not coded
+        }
+    }
+    let letters: Vec<char> = word.chars().filter(|c| c.is_ascii_alphabetic()).collect();
+    let Some(&first) = letters.first() else {
+        return "0000".to_owned();
+    };
+    let mut out = String::new();
+    out.push(first.to_ascii_uppercase());
+    let mut last = code(first);
+    for &c in &letters[1..] {
+        let k = code(c);
+        // h/w do not reset the previous code; vowels do.
+        if matches!(c.to_ascii_lowercase(), 'h' | 'w') {
+            continue;
+        }
+        if k != b'0' && k != last {
+            out.push(k as char);
+            if out.len() == 4 {
+                break;
+            }
+        }
+        last = k;
+    }
+    while out.len() < 4 {
+        out.push('0');
+    }
+    out
+}
+
+/// How close a candidate string is to a query string.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MatchQuality {
+    /// Exact (case-insensitive) match.
+    Exact,
+    /// Within the allowed edit distance.
+    CloseSpelling(usize),
+    /// Same Soundex code.
+    SoundsAlike,
+    /// No match.
+    None,
+}
+
+impl MatchQuality {
+    /// True for anything better than [`MatchQuality::None`].
+    pub fn is_match(&self) -> bool {
+        !matches!(self, MatchQuality::None)
+    }
+}
+
+/// Classifies how well `candidate` matches `query`, allowing up to
+/// `max_edits` spelling errors before falling back to phonetic matching.
+pub fn classify(query: &str, candidate: &str, max_edits: usize) -> MatchQuality {
+    if query.eq_ignore_ascii_case(candidate) {
+        return MatchQuality::Exact;
+    }
+    let d = edit_distance(query, candidate);
+    if d <= max_edits {
+        return MatchQuality::CloseSpelling(d);
+    }
+    if soundex(query) == soundex(candidate) {
+        return MatchQuality::SoundsAlike;
+    }
+    MatchQuality::None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("", "xy"), 2);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("CASE", "case"), 0);
+    }
+
+    #[test]
+    fn soundex_classics() {
+        assert_eq!(soundex("Robert"), "R163");
+        assert_eq!(soundex("Rupert"), "R163");
+        assert_eq!(soundex("Ashcraft"), "A261");
+        assert_eq!(soundex("Tymczak"), "T522");
+        assert_eq!(soundex("Pfister"), "P236");
+        assert_eq!(soundex(""), "0000");
+        assert_eq!(soundex("123"), "0000");
+    }
+
+    #[test]
+    fn classify_tiers() {
+        assert_eq!(classify("smith", "Smith", 1), MatchQuality::Exact);
+        assert_eq!(classify("smith", "smyth", 1), MatchQuality::CloseSpelling(1));
+        // Far in spelling (distance 2 > 1) but phonetically equal.
+        assert_eq!(classify("robert", "rupert", 1), MatchQuality::SoundsAlike);
+        assert_eq!(classify("smith", "jones", 1), MatchQuality::None);
+        assert!(classify("a", "b", 1).is_match()); // distance 1
+    }
+
+    proptest! {
+        /// Metric properties: identity, symmetry, triangle inequality.
+        #[test]
+        fn edit_distance_is_a_metric(
+            a in "[a-z]{0,8}",
+            b in "[a-z]{0,8}",
+            c in "[a-z]{0,8}",
+        ) {
+            prop_assert_eq!(edit_distance(&a, &a), 0);
+            prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+            prop_assert!(
+                edit_distance(&a, &c) <= edit_distance(&a, &b) + edit_distance(&b, &c)
+            );
+        }
+
+        /// Soundex always yields a 4-character code starting with a letter
+        /// or the null code.
+        #[test]
+        fn soundex_shape(w in "[A-Za-z]{0,12}") {
+            let s = soundex(&w);
+            prop_assert_eq!(s.len(), 4);
+            if !w.is_empty() {
+                prop_assert!(s.chars().next().unwrap().is_ascii_uppercase());
+            }
+        }
+    }
+}

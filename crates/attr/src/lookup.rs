@@ -1,0 +1,252 @@
+//! Interactive directory lookup with refinement (§3.3, application i).
+//!
+//! "There may be more than one user being found possessing the same set of
+//! attributes. In this case the user can provide more information to
+//! separate them or resolve them by himself using his intuition,
+//! experience or a trial and error method."
+//!
+//! A [`LookupSession`] runs a query against a registry, and when the match
+//! set is ambiguous, suggests the attribute key that *best discriminates*
+//! the candidates (maximum split entropy) — the "more information" the
+//! paper asks the user for, chosen so one answer narrows the set fastest.
+
+use std::collections::BTreeMap;
+
+use lems_core::name::MailName;
+
+use crate::attribute::{AttrKey, AttrValue, RequesterContext};
+use crate::query::{Predicate, Query};
+use crate::registry::AttributeRegistry;
+
+/// Where a lookup stands.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LookupState {
+    /// Exactly one user matches.
+    Resolved(MailName),
+    /// Nothing matches (over-constrained or misspelled beyond tolerance).
+    Empty,
+    /// Several users match; refinement is advised.
+    Ambiguous {
+        /// The current candidates (sorted).
+        candidates: Vec<MailName>,
+        /// The key whose value would best split the candidates, with the
+        /// distinct visible values observed (so the UI can present
+        /// choices), if any informative key exists.
+        suggestion: Option<(AttrKey, Vec<AttrValue>)>,
+    },
+}
+
+/// An interactive lookup against one registry.
+#[derive(Clone, Debug)]
+pub struct LookupSession<'a> {
+    registry: &'a AttributeRegistry,
+    ctx: RequesterContext,
+    constraints: Vec<Query>,
+}
+
+impl<'a> LookupSession<'a> {
+    /// Starts a session with an initial query (typically
+    /// [`Query::name_like`]).
+    pub fn new(registry: &'a AttributeRegistry, ctx: RequesterContext, initial: Query) -> Self {
+        LookupSession {
+            registry,
+            ctx,
+            constraints: vec![initial],
+        }
+    }
+
+    /// Adds a refining constraint ("more information").
+    pub fn refine(&mut self, constraint: Query) -> &mut Self {
+        self.constraints.push(constraint);
+        self
+    }
+
+    /// Convenience refinement: `key == text`.
+    pub fn refine_eq(&mut self, key: AttrKey, text: &str) -> &mut Self {
+        self.refine(Query::Attr(key, Predicate::Equals(text.into())))
+    }
+
+    /// Number of constraints so far.
+    pub fn constraint_count(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Evaluates the current constraint conjunction.
+    pub fn state(&self) -> LookupState {
+        let q = Query::All(self.constraints.clone());
+        let mut candidates: Vec<MailName> = self
+            .registry
+            .search(&q, &self.ctx)
+            .into_iter()
+            .cloned()
+            .collect();
+        candidates.sort_unstable();
+        match candidates.len() {
+            0 => LookupState::Empty,
+            1 => LookupState::Resolved(candidates.remove(0)),
+            _ => {
+                let suggestion = self.best_discriminator(&candidates);
+                LookupState::Ambiguous {
+                    candidates,
+                    suggestion,
+                }
+            }
+        }
+    }
+
+    /// Picks the attribute key whose (visible) values split the candidate
+    /// set into the most, most-even groups — measured by the number of
+    /// distinct values weighted by how evenly they partition candidates
+    /// (Gini-style impurity). Keys where all candidates share one value
+    /// (or none have any) are uninformative and skipped.
+    fn best_discriminator(&self, candidates: &[MailName]) -> Option<(AttrKey, Vec<AttrValue>)> {
+        let mut by_key: BTreeMap<AttrKey, BTreeMap<AttrValue, usize>> = BTreeMap::new();
+        for name in candidates {
+            let Some(profile) = self.registry.profile(name) else {
+                continue;
+            };
+            // Walk all keys the candidates expose.
+            for key in [
+                AttrKey::FirstName,
+                AttrKey::LastName,
+                AttrKey::Nickname,
+                AttrKey::JobTitle,
+                AttrKey::Organization,
+                AttrKey::OrganizationType,
+                AttrKey::City,
+                AttrKey::State,
+                AttrKey::Country,
+                AttrKey::Expertise,
+                AttrKey::Interest,
+            ] {
+                for v in profile.visible_values(&key, &self.ctx) {
+                    *by_key.entry(key.clone()).or_default().entry(v.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+
+        let n = candidates.len() as f64;
+        let mut best: Option<(f64, AttrKey, Vec<AttrValue>)> = None;
+        for (key, values) in by_key {
+            if values.len() < 2 {
+                continue; // uninformative: everyone agrees (or only one has it)
+            }
+            // Gini impurity of the value distribution: higher = better
+            // split.
+            let gini = 1.0
+                - values
+                    .values()
+                    .map(|&c| {
+                        let p = c as f64 / n;
+                        p * p
+                    })
+                    .sum::<f64>();
+            let is_better = match &best {
+                Some((b, _, _)) => gini > *b + 1e-12,
+                None => true,
+            };
+            if is_better {
+                best = Some((gini, key, values.into_keys().collect()));
+            }
+        }
+        best.map(|(_, k, vs)| (k, vs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::{AttributeSet, Visibility};
+
+    fn registry() -> AttributeRegistry {
+        let mut r = AttributeRegistry::new();
+        let people = [
+            ("east.h1.jsmith", "john", "smith", "DEC", "boston"),
+            ("east.h2.j2smith", "john", "smith", "ATT", "chicago"),
+            ("west.h3.jsmithe", "john", "smithe", "ATT", "denver"),
+            ("east.h4.mjones", "mary", "jones", "DEC", "boston"),
+        ];
+        for (name, first, last, org, city) in people {
+            let mut a = AttributeSet::new();
+            a.add(AttrKey::FirstName, first, Visibility::Public);
+            a.add(AttrKey::LastName, last, Visibility::Public);
+            a.add(AttrKey::Organization, org, Visibility::Public);
+            a.add(AttrKey::City, city, Visibility::Public);
+            r.upsert(name.parse().unwrap(), a);
+        }
+        r
+    }
+
+    #[test]
+    fn ambiguous_lookup_suggests_a_discriminator() {
+        let r = registry();
+        let session = LookupSession::new(
+            &r,
+            RequesterContext::default(),
+            Query::name_like("smith", 1),
+        );
+        match session.state() {
+            LookupState::Ambiguous {
+                candidates,
+                suggestion,
+            } => {
+                assert_eq!(candidates.len(), 3);
+                let (key, values) = suggestion.expect("a discriminator exists");
+                // City splits 3 candidates into 3 singleton groups — the
+                // best possible split; Organization only makes 2 groups.
+                assert_eq!(key, AttrKey::City);
+                assert_eq!(values.len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refinement_resolves() {
+        let r = registry();
+        let mut session = LookupSession::new(
+            &r,
+            RequesterContext::default(),
+            Query::name_like("smith", 1),
+        );
+        session.refine_eq(AttrKey::Organization, "ATT");
+        match session.state() {
+            LookupState::Ambiguous { candidates, .. } => {
+                assert_eq!(candidates.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        session.refine_eq(AttrKey::City, "denver");
+        assert_eq!(
+            session.state(),
+            LookupState::Resolved("west.h3.jsmithe".parse().unwrap())
+        );
+        assert_eq!(session.constraint_count(), 3);
+    }
+
+    #[test]
+    fn over_constraining_yields_empty() {
+        let r = registry();
+        let mut session = LookupSession::new(
+            &r,
+            RequesterContext::default(),
+            Query::name_like("smith", 1),
+        );
+        session.refine_eq(AttrKey::City, "paris");
+        assert_eq!(session.state(), LookupState::Empty);
+    }
+
+    #[test]
+    fn unique_match_resolves_immediately() {
+        let r = registry();
+        let session = LookupSession::new(
+            &r,
+            RequesterContext::default(),
+            Query::name_like("jones", 0),
+        );
+        assert_eq!(
+            session.state(),
+            LookupState::Resolved("east.h4.mjones".parse().unwrap())
+        );
+    }
+}

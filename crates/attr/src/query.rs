@@ -1,0 +1,211 @@
+//! The attribute query language.
+//!
+//! Queries identify "one or more mail recipients by attributes instead of
+//! only by precise names" (abstract). A query is a small boolean AST over
+//! attribute predicates; evaluation respects per-attribute visibility and
+//! supports fuzzy name predicates for the directory-lookup application.
+
+use serde::{Deserialize, Serialize};
+
+use crate::attribute::{AttrKey, AttributeSet, RequesterContext};
+use crate::fuzzy::{classify, MatchQuality};
+
+/// A predicate over one attribute key.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Text equals (case-insensitive) or number equals.
+    Equals(crate::attribute::AttrValue),
+    /// Text contains the given (case-insensitive) substring.
+    Contains(String),
+    /// Text matches with spelling/phonetic tolerance.
+    Fuzzy {
+        /// The (possibly misspelled) query string.
+        query: String,
+        /// Spelling errors tolerated before phonetic fallback.
+        max_edits: usize,
+    },
+    /// Number lies in `[lo, hi]` (inclusive).
+    InRange {
+        /// Lower bound.
+        lo: i64,
+        /// Upper bound.
+        hi: i64,
+    },
+    /// The key merely exists (with any visible value).
+    Exists,
+}
+
+impl Predicate {
+    fn matches(&self, value: &crate::attribute::AttrValue) -> bool {
+        match self {
+            Predicate::Equals(want) => match (want, value) {
+                (crate::attribute::AttrValue::Text(a), crate::attribute::AttrValue::Text(b)) => {
+                    a.eq_ignore_ascii_case(b)
+                }
+                (crate::attribute::AttrValue::Number(a), crate::attribute::AttrValue::Number(b)) => {
+                    a == b
+                }
+                _ => false,
+            },
+            Predicate::Contains(sub) => value
+                .as_text_lower()
+                .is_some_and(|t| t.contains(&sub.to_lowercase())),
+            Predicate::Fuzzy { query, max_edits } => value.as_text_lower().is_some_and(|t| {
+                classify(query, &t, *max_edits) != MatchQuality::None
+            }),
+            Predicate::InRange { lo, hi } => {
+                value.as_number().is_some_and(|n| n >= *lo && n <= *hi)
+            }
+            Predicate::Exists => true,
+        }
+    }
+}
+
+/// A boolean query over attributes.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Query {
+    /// A predicate on one key: satisfied if *any* visible value matches.
+    Attr(AttrKey, Predicate),
+    /// All sub-queries must hold.
+    All(Vec<Query>),
+    /// At least one sub-query must hold.
+    Any(Vec<Query>),
+    /// The sub-query must not hold.
+    Not(Box<Query>),
+}
+
+impl Query {
+    /// Convenience: `key == text`.
+    pub fn text_eq(key: AttrKey, text: &str) -> Query {
+        Query::Attr(key, Predicate::Equals(text.into()))
+    }
+
+    /// Convenience: fuzzy name lookup across first/last/nick/misspelling.
+    pub fn name_like(query: &str, max_edits: usize) -> Query {
+        let p = |k: AttrKey| {
+            Query::Attr(
+                k,
+                Predicate::Fuzzy {
+                    query: query.to_owned(),
+                    max_edits,
+                },
+            )
+        };
+        Query::Any(vec![
+            p(AttrKey::FirstName),
+            p(AttrKey::LastName),
+            p(AttrKey::Nickname),
+            p(AttrKey::Misspelling),
+        ])
+    }
+
+    /// Evaluates the query against one user's attributes, as seen by
+    /// `ctx` (invisible attributes are as if absent).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lems_attr::attribute::{AttrKey, AttributeSet, RequesterContext, Visibility};
+    /// use lems_attr::query::{Predicate, Query};
+    ///
+    /// let mut a = AttributeSet::new();
+    /// a.add(AttrKey::Expertise, "electronic mail", Visibility::Public);
+    /// let q = Query::Attr(AttrKey::Expertise, Predicate::Contains("mail".into()));
+    /// assert!(q.eval(&a, &RequesterContext::default()));
+    /// ```
+    pub fn eval(&self, attrs: &AttributeSet, ctx: &RequesterContext) -> bool {
+        match self {
+            Query::Attr(key, pred) => attrs.visible_values(key, ctx).any(|v| pred.matches(v)),
+            Query::All(qs) => qs.iter().all(|q| q.eval(attrs, ctx)),
+            Query::Any(qs) => qs.iter().any(|q| q.eval(attrs, ctx)),
+            Query::Not(q) => !q.eval(attrs, ctx),
+        }
+    }
+
+    /// Number of predicate leaves (a crude cost measure for the
+    /// flow-control estimate).
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            Query::Attr(..) => 1,
+            Query::All(qs) | Query::Any(qs) => qs.iter().map(Query::leaf_count).sum(),
+            Query::Not(q) => q.leaf_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::Visibility;
+
+    fn profile() -> AttributeSet {
+        let mut a = AttributeSet::new();
+        a.add(AttrKey::FirstName, "Wael", Visibility::Public);
+        a.add(AttrKey::LastName, "Hidal", Visibility::Public);
+        a.add(AttrKey::Misspelling, "Waiel", Visibility::Public);
+        a.add(AttrKey::Organization, "DEC", Visibility::Public);
+        a.add(AttrKey::Expertise, "electronic mail systems", Visibility::Public);
+        a.add(AttrKey::Custom("experience-years".into()), 12i64, Visibility::Public);
+        a.add(AttrKey::Interest, "opera", Visibility::Private);
+        a
+    }
+
+    fn anon() -> RequesterContext {
+        RequesterContext::default()
+    }
+
+    #[test]
+    fn equals_and_contains() {
+        let p = profile();
+        assert!(Query::text_eq(AttrKey::Organization, "dec").eval(&p, &anon()));
+        assert!(!Query::text_eq(AttrKey::Organization, "ibm").eval(&p, &anon()));
+        assert!(Query::Attr(
+            AttrKey::Expertise,
+            Predicate::Contains("MAIL".into())
+        )
+        .eval(&p, &anon()));
+    }
+
+    #[test]
+    fn fuzzy_name_lookup_matches_misspellings() {
+        let p = profile();
+        // One edit away from the registered first name.
+        assert!(Query::name_like("Wail", 1).eval(&p, &anon()));
+        // Matches the registered misspelling exactly.
+        assert!(Query::name_like("Waiel", 0).eval(&p, &anon()));
+        assert!(!Query::name_like("Zorro", 1).eval(&p, &anon()));
+    }
+
+    #[test]
+    fn numeric_ranges() {
+        let p = profile();
+        let key = AttrKey::Custom("experience-years".into());
+        assert!(Query::Attr(key.clone(), Predicate::InRange { lo: 10, hi: 20 }).eval(&p, &anon()));
+        assert!(!Query::Attr(key, Predicate::InRange { lo: 0, hi: 5 }).eval(&p, &anon()));
+    }
+
+    #[test]
+    fn boolean_composition() {
+        let p = profile();
+        let q = Query::All(vec![
+            Query::text_eq(AttrKey::Organization, "DEC"),
+            Query::Not(Box::new(Query::text_eq(AttrKey::LastName, "Yuen"))),
+        ]);
+        assert!(q.eval(&p, &anon()));
+        assert_eq!(q.leaf_count(), 2);
+    }
+
+    #[test]
+    fn private_attributes_invisible_to_queries() {
+        let p = profile();
+        let q = Query::Attr(AttrKey::Interest, Predicate::Exists);
+        assert!(!q.eval(&p, &anon()), "private interest must not match");
+    }
+
+    #[test]
+    fn exists_predicate() {
+        let p = profile();
+        assert!(Query::Attr(AttrKey::Expertise, Predicate::Exists).eval(&p, &anon()));
+        assert!(!Query::Attr(AttrKey::City, Predicate::Exists).eval(&p, &anon()));
+    }
+}

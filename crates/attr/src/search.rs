@@ -1,0 +1,239 @@
+//! Distributed attribute search over the two-level MST (§3.3.1A).
+//!
+//! "One interesting feature of attribute-based mail system is how to
+//! efficiently search for a class of customers in a large network." The
+//! query is broadcast down the backbone+local MST; each server evaluates
+//! it against its local registry; responses convergecast back up as
+//! summary messages, with parent timeouts masking dead servers.
+
+use std::collections::BTreeMap;
+
+use lems_core::name::MailName;
+use lems_net::graph::NodeId;
+use lems_net::topology::Topology;
+use lems_sim::failure::FailurePlan;
+use lems_sim::time::{SimDuration, SimTime};
+
+use lems_mst::backbone::{build_two_level, TwoLevelMst};
+use lems_mst::broadcast::{simulate_broadcast, BroadcastConfig, RegionCostTable};
+
+use crate::attribute::RequesterContext;
+use crate::query::Query;
+use crate::registry::AttributeRegistry;
+
+/// A multi-region network of attribute servers glued to its spanning
+/// structure.
+#[derive(Clone, Debug)]
+pub struct AttributeNetwork {
+    topology: Topology,
+    two_level: TwoLevelMst,
+    registries: BTreeMap<NodeId, AttributeRegistry>,
+}
+
+/// Result of one distributed search.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// Total matches reported to the root.
+    pub matches: u64,
+    /// Nodes that answered.
+    pub responded: u64,
+    /// Subtrees lost to timeouts.
+    pub unavailable: u64,
+    /// Virtual time until the root had the full summary.
+    pub completed_at: SimTime,
+    /// Ground truth (all registries evaluated centrally) — lets
+    /// experiments verify what failures cost.
+    pub ground_truth_matches: u64,
+}
+
+impl AttributeNetwork {
+    /// Builds the network: the two-level MST is derived from `topology`,
+    /// and each server node gets its registry from `registries` (servers
+    /// without an entry hold an empty registry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is disconnected or a region is internally
+    /// disconnected (as [`build_two_level`]).
+    pub fn new(topology: Topology, registries: BTreeMap<NodeId, AttributeRegistry>) -> Self {
+        let two_level = build_two_level(&topology);
+        AttributeNetwork {
+            topology,
+            two_level,
+            registries,
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The spanning structure used for broadcasts.
+    pub fn two_level(&self) -> &TwoLevelMst {
+        &self.two_level
+    }
+
+    /// The registry at `server` (empty default if none installed).
+    pub fn registry(&self, server: NodeId) -> Option<&AttributeRegistry> {
+        self.registries.get(&server)
+    }
+
+    /// Users matching `query` across all registries (centralized ground
+    /// truth — what a failure-free search would find).
+    pub fn central_matches(&self, query: &Query, ctx: &RequesterContext) -> Vec<MailName> {
+        let mut out: Vec<MailName> = self
+            .registries
+            .values()
+            .flat_map(|r| r.search(query, ctx).into_iter().cloned())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Runs the distributed search from `root` under `plan`'s failures.
+    /// Returns `None` if the root was down.
+    pub fn search(
+        &self,
+        root: NodeId,
+        query: &Query,
+        ctx: &RequesterContext,
+        plan: &FailurePlan,
+        seed: u64,
+    ) -> Option<SearchOutcome> {
+        let g = self.topology.graph();
+        let adjacency = self.two_level.adjacency(&self.topology);
+        let local_matches: Vec<u64> = (0..g.node_count())
+            .map(|i| {
+                self.registries
+                    .get(&NodeId(i))
+                    .map_or(0, |r| r.count_matches(query, ctx))
+            })
+            .collect();
+        let cfg = BroadcastConfig {
+            root,
+            local_matches,
+            grace: SimDuration::from_units(2.0),
+            seed,
+        };
+        let out = simulate_broadcast(g, &adjacency, &cfg, plan)?;
+        Some(SearchOutcome {
+            matches: out.aggregate.matches,
+            responded: out.aggregate.responded,
+            unavailable: out.aggregate.unavailable,
+            completed_at: out.completed_at,
+            ground_truth_matches: self.central_matches(query, ctx).len() as u64,
+        })
+    }
+
+    /// The §3.3.1B cost table: per-region delivery cost as seen from the
+    /// root's region.
+    pub fn cost_table(&self, root: NodeId) -> RegionCostTable {
+        lems_mst::broadcast::region_cost_table(
+            &self.topology,
+            &self.two_level,
+            self.topology.region(root),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::{AttrKey, AttributeSet, Visibility};
+    use lems_net::generators::{multi_region, MultiRegionConfig};
+    use lems_sim::actor::ActorId;
+    use lems_sim::rng::SimRng;
+
+    fn network(seed: u64) -> AttributeNetwork {
+        let mut rng = SimRng::seed(seed);
+        let cfg = MultiRegionConfig {
+            regions: 3,
+            hosts_per_region: 2,
+            servers_per_region: 2,
+            ..MultiRegionConfig::default()
+        };
+        let raw = multi_region(&mut rng, &cfg);
+        // Distinct weights for deterministic trees.
+        let g = raw.graph().with_distinct_weights();
+        let mut t = Topology::new();
+        for n in raw.nodes() {
+            match raw.kind(n) {
+                lems_net::topology::NodeKind::Host => t.add_host(raw.region(n), raw.name(n)),
+                lems_net::topology::NodeKind::Server => t.add_server(raw.region(n), raw.name(n)),
+            };
+        }
+        for e in g.edges() {
+            t.link(e.a, e.b, e.weight);
+        }
+
+        let mut registries = BTreeMap::new();
+        for (i, &s) in t.servers().iter().enumerate() {
+            let mut reg = AttributeRegistry::new();
+            let mut a = AttributeSet::new();
+            a.add(AttrKey::Expertise, "mail", Visibility::Public);
+            reg.upsert(
+                format!("r{}.h.user{i}", t.region(s).0).parse().unwrap(),
+                a,
+            );
+            if i % 2 == 0 {
+                let mut b = AttributeSet::new();
+                b.add(AttrKey::Expertise, "networks", Visibility::Public);
+                reg.upsert(
+                    format!("r{}.h.extra{i}", t.region(s).0).parse().unwrap(),
+                    b,
+                );
+            }
+            registries.insert(s, reg);
+        }
+        AttributeNetwork::new(t, registries)
+    }
+
+    #[test]
+    fn failure_free_search_matches_ground_truth() {
+        let net = network(1);
+        let root = net.topology().servers()[0];
+        let q = Query::text_eq(AttrKey::Expertise, "mail");
+        let out = net
+            .search(root, &q, &RequesterContext::default(), &FailurePlan::new(), 1)
+            .unwrap();
+        assert_eq!(out.matches, out.ground_truth_matches);
+        assert_eq!(out.matches, 6); // one per server
+        assert_eq!(out.responded as usize, net.topology().node_count());
+        assert_eq!(out.unavailable, 0);
+    }
+
+    #[test]
+    fn failures_cost_matches_and_are_reported() {
+        let net = network(2);
+        let root = net.topology().servers()[0];
+        let q = Query::text_eq(AttrKey::Expertise, "mail");
+        // Kill a non-root server for the whole run.
+        let victim = net.topology().servers()[3];
+        let mut plan = FailurePlan::new();
+        plan.add_outage(
+            ActorId(victim.0),
+            SimTime::ZERO,
+            SimTime::from_units(1e9),
+        );
+        let out = net
+            .search(root, &q, &RequesterContext::default(), &plan, 2)
+            .unwrap();
+        assert!(out.matches < out.ground_truth_matches);
+        assert!(out.unavailable >= 1);
+    }
+
+    #[test]
+    fn cost_table_covers_every_region() {
+        let net = network(3);
+        let root = net.topology().servers()[0];
+        let table = net.cost_table(root);
+        assert_eq!(table.rows.len(), 3);
+        assert!(table.total() > 0.0);
+        // The root's own region has no backbone component; it must be the
+        // row with the smallest backbone contribution (not necessarily the
+        // cheapest overall, but finite).
+        assert!(table.rows.iter().all(|&(_, c)| c.is_finite()));
+    }
+}

@@ -1,0 +1,102 @@
+//! Criterion bench for T1/T2/T3/C6: the §3.1.1 assignment algorithm —
+//! initialisation, balancing at batch 1 and batch 8, on the paper's
+//! worked example and on larger synthetic regions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lems_net::generators::{fig1, multi_region, MultiRegionConfig};
+use lems_sim::rng::SimRng;
+use lems_syntax::assign::{balance, initialize, AssignmentProblem, BalanceOptions};
+use lems_syntax::cost::{CostModel, ServerSpec};
+
+fn fig1_problem() -> AssignmentProblem {
+    let f = fig1();
+    AssignmentProblem::from_topology(
+        &f.topology,
+        &f.users_per_host,
+        ServerSpec::paper_example(),
+        CostModel::paper_example(),
+    )
+}
+
+fn synthetic_problem(hosts_per_region: usize, regions: usize) -> AssignmentProblem {
+    let mut rng = SimRng::seed(7);
+    let t = multi_region(
+        &mut rng,
+        &MultiRegionConfig {
+            regions,
+            hosts_per_region,
+            servers_per_region: 3,
+            ..MultiRegionConfig::default()
+        },
+    );
+    let users: Vec<u32> = (0..t.hosts().len()).map(|i| 20 + (i as u32 % 40)).collect();
+    AssignmentProblem::from_topology(
+        &t,
+        &users,
+        ServerSpec::new(400, 0.5),
+        CostModel::paper_example(),
+    )
+}
+
+fn bench_assign(c: &mut Criterion) {
+    let p_fig1 = fig1_problem();
+    c.bench_function("assign/initialize/fig1", |b| {
+        b.iter(|| initialize(std::hint::black_box(&p_fig1)))
+    });
+    c.bench_function("assign/balance/fig1/batch1", |b| {
+        b.iter(|| {
+            let mut a = initialize(&p_fig1);
+            balance(&p_fig1, &mut a, BalanceOptions::default())
+        })
+    });
+    c.bench_function("assign/balance/fig1/batch8", |b| {
+        b.iter(|| {
+            let mut a = initialize(&p_fig1);
+            balance(
+                &p_fig1,
+                &mut a,
+                BalanceOptions {
+                    batch: 8,
+                    ..BalanceOptions::default()
+                },
+            )
+        })
+    });
+
+    let mut group = c.benchmark_group("assign/balance/scaling");
+    for &(hosts, regions) in &[(6usize, 2usize), (12, 4), (24, 8)] {
+        let p = synthetic_problem(hosts, regions);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}hosts", hosts * regions)),
+            &p,
+            |b, p| {
+                b.iter(|| {
+                    let mut a = initialize(p);
+                    balance(
+                        p,
+                        &mut a,
+                        BalanceOptions {
+                            batch: 8,
+                            ..BalanceOptions::default()
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_assign
+}
+criterion_main!(benches);

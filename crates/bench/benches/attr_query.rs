@@ -1,0 +1,78 @@
+//! Criterion bench for System 3's registry: exact, boolean, and fuzzy
+//! attribute queries over a populated server registry.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lems_attr::attribute::{AttrKey, AttributeSet, RequesterContext, Visibility};
+use lems_attr::query::{Predicate, Query};
+use lems_attr::registry::AttributeRegistry;
+
+const PROFILES: usize = 2_000;
+
+fn registry() -> AttributeRegistry {
+    let fields = ["databases", "networks", "mail", "graphics", "compilers"];
+    let orgs = ["DEC", "ATT", "IBM", "MIT"];
+    let first = ["robert", "wael", "alice", "hsi", "maria", "chen"];
+    let last = ["smith", "hidal", "yuen", "jones", "garcia"];
+    let mut reg = AttributeRegistry::new();
+    for i in 0..PROFILES {
+        let mut a = AttributeSet::new();
+        a.add(AttrKey::FirstName, first[i % first.len()], Visibility::Public);
+        a.add(AttrKey::LastName, last[i % last.len()], Visibility::Public);
+        a.add(AttrKey::Expertise, fields[i % fields.len()], Visibility::Public);
+        a.add(AttrKey::Organization, orgs[i % orgs.len()], Visibility::Public);
+        a.add(
+            AttrKey::Custom("experience-years".into()),
+            (i % 30) as i64,
+            Visibility::Public,
+        );
+        reg.upsert(
+            format!("east.h{}.u{i}", i % 11).parse().expect("valid"),
+            a,
+        );
+    }
+    reg
+}
+
+fn bench_attr_query(c: &mut Criterion) {
+    let reg = registry();
+    let ctx = RequesterContext::default();
+
+    let exact = Query::text_eq(AttrKey::Expertise, "mail");
+    c.bench_function("attr/query/exact", |b| {
+        b.iter(|| reg.count_matches(std::hint::black_box(&exact), &ctx))
+    });
+
+    let boolean = Query::All(vec![
+        Query::text_eq(AttrKey::Organization, "DEC"),
+        Query::Any(vec![
+            Query::text_eq(AttrKey::Expertise, "mail"),
+            Query::text_eq(AttrKey::Expertise, "networks"),
+        ]),
+        Query::Attr(
+            AttrKey::Custom("experience-years".into()),
+            Predicate::InRange { lo: 5, hi: 20 },
+        ),
+    ]);
+    c.bench_function("attr/query/boolean", |b| {
+        b.iter(|| reg.count_matches(std::hint::black_box(&boolean), &ctx))
+    });
+
+    let fuzzy = Query::name_like("smyth", 1);
+    c.bench_function("attr/query/fuzzy-name", |b| {
+        b.iter(|| reg.count_matches(std::hint::black_box(&fuzzy), &ctx))
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_attr_query
+}
+criterion_main!(benches);

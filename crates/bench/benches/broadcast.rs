@@ -1,0 +1,61 @@
+//! Criterion bench for C3/C4: simulated broadcast/convergecast over the
+//! two-level tree and the per-region cost-table computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lems_bench::mst_exp::distinct_world;
+use lems_mst::backbone::build_two_level;
+use lems_mst::broadcast::{region_cost_table, simulate_broadcast, BroadcastConfig};
+use lems_sim::failure::FailurePlan;
+use lems_sim::time::SimDuration;
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast/convergecast");
+    for &regions in &[2usize, 4, 8] {
+        let t = distinct_world(regions as u64, regions, 3, 4);
+        let two = build_two_level(&t);
+        let adjacency = two.adjacency(&t);
+        let root = t.servers()[0];
+        let n = t.node_count();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}nodes")),
+            &(t, adjacency, root),
+            |b, (t, adjacency, root)| {
+                b.iter(|| {
+                    simulate_broadcast(
+                        t.graph(),
+                        adjacency,
+                        &BroadcastConfig {
+                            root: *root,
+                            local_matches: vec![1; t.node_count()],
+                            grace: SimDuration::from_units(2.0),
+                            seed: 1,
+                        },
+                        &FailurePlan::new(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let t = distinct_world(5, 8, 3, 3);
+    let two = build_two_level(&t);
+    let root = t.servers()[0];
+    c.bench_function("broadcast/region-cost-table", |b| {
+        b.iter(|| region_cost_table(&t, &two, t.region(root)))
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_broadcast
+}
+criterion_main!(benches);

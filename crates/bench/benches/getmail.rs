@@ -1,0 +1,87 @@
+//! Criterion bench for C1/C2: one GetMail check vs one poll-all sweep,
+//! with and without failures in the window.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lems_core::message::MessageId;
+use lems_net::graph::NodeId;
+use lems_sim::actor::ActorId;
+use lems_sim::failure::FailurePlan;
+use lems_sim::time::SimTime;
+use lems_syntax::getmail::{poll_all, GetMailState, PlanStore};
+
+fn servers(n: usize) -> Vec<NodeId> {
+    (0..n).map(NodeId).collect()
+}
+
+fn settled_state(store: &mut PlanStore, auth: &[NodeId]) -> GetMailState {
+    let mut st = GetMailState::new();
+    let _ = st.get_mail(auth, store, SimTime::from_units(0.5));
+    st
+}
+
+fn bench_getmail(c: &mut Criterion) {
+    let auth = servers(3);
+
+    c.bench_function("getmail/check/steady", |b| {
+        let mut store = PlanStore::new(FailurePlan::new());
+        let mut st = settled_state(&mut store, &auth);
+        let mut t = 1.0;
+        let mut id = 0u64;
+        b.iter(|| {
+            t += 1.0;
+            store.deposit(&auth, MessageId(id), SimTime::from_units(t - 0.5));
+            id += 1;
+            st.get_mail(&auth, &mut store, SimTime::from_units(t))
+        })
+    });
+
+    c.bench_function("getmail/check/primary-flapping", |b| {
+        let mut plan = FailurePlan::new();
+        // Primary flaps every 10 units for a long horizon.
+        let mut x = 5.0;
+        while x < 1e5 {
+            plan.add_outage(
+                ActorId(0),
+                SimTime::from_units(x),
+                SimTime::from_units(x + 5.0),
+            );
+            x += 10.0;
+        }
+        let mut store = PlanStore::new(plan);
+        let mut st = settled_state(&mut store, &auth);
+        let mut t = 1.0;
+        let mut id = 0u64;
+        b.iter(|| {
+            t += 1.0;
+            store.deposit(&auth, MessageId(id), SimTime::from_units(t - 0.5));
+            id += 1;
+            st.get_mail(&auth, &mut store, SimTime::from_units(t))
+        })
+    });
+
+    c.bench_function("getmail/poll-all/steady", |b| {
+        let mut store = PlanStore::new(FailurePlan::new());
+        let mut t = 1.0;
+        let mut id = 0u64;
+        b.iter(|| {
+            t += 1.0;
+            store.deposit(&auth, MessageId(id), SimTime::from_units(t - 0.5));
+            id += 1;
+            poll_all(&auth, &mut store, SimTime::from_units(t))
+        })
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_getmail
+}
+criterion_main!(benches);

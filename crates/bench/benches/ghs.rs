@@ -1,0 +1,75 @@
+//! Criterion bench for FIG2/C3: distributed GHS tree construction vs the
+//! centralized Kruskal baseline, and the two-level construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lems_bench::mst_exp::distinct_world;
+use lems_mst::backbone::{build_two_level, build_two_level_distributed};
+use lems_mst::ghs::run_ghs;
+use lems_net::graph::{Graph, NodeId, Weight};
+use lems_net::mst::kruskal;
+use lems_sim::rng::SimRng;
+
+fn random_connected(seed: u64, n: usize, extra: usize) -> Graph {
+    let mut rng = SimRng::seed(seed);
+    let mut g = Graph::with_nodes(n);
+    for i in 1..n {
+        let j = rng.index(i);
+        g.add_edge(
+            NodeId(i),
+            NodeId(j),
+            Weight::from_units(rng.range(1..=100) as f64),
+        );
+    }
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < extra && attempts < extra * 30 {
+        attempts += 1;
+        let a = rng.index(n);
+        let b = rng.index(n);
+        if a != b && g.edge_between(NodeId(a), NodeId(b)).is_none() {
+            g.add_edge(
+                NodeId(a),
+                NodeId(b),
+                Weight::from_units(rng.range(1..=100) as f64),
+            );
+            added += 1;
+        }
+    }
+    g.with_distinct_weights()
+}
+
+fn bench_ghs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mst/ghs-vs-kruskal");
+    for &n in &[8usize, 16, 32] {
+        let g = random_connected(n as u64, n, n);
+        group.bench_with_input(BenchmarkId::new("ghs", n), &g, |b, g| {
+            b.iter(|| run_ghs(std::hint::black_box(g), 1))
+        });
+        group.bench_with_input(BenchmarkId::new("kruskal", n), &g, |b, g| {
+            b.iter(|| kruskal(std::hint::black_box(g)))
+        });
+    }
+    group.finish();
+
+    let world = distinct_world(9, 4, 3, 3);
+    c.bench_function("mst/two-level/centralized", |b| {
+        b.iter(|| build_two_level(std::hint::black_box(&world)))
+    });
+    c.bench_function("mst/two-level/distributed", |b| {
+        b.iter(|| build_two_level_distributed(std::hint::black_box(&world), 1))
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_ghs
+}
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Criterion bench comparing name resolution under System 1
+//! (syntax-directed, table lookups) and System 2 (hash-based sub-groups).
+
+use std::collections::{BTreeMap, HashMap};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lems_core::directory::Directory;
+use lems_core::name::MailName;
+use lems_core::user::AuthorityList;
+use lems_locindep::resolve::LocIndepResolver;
+use lems_locindep::subgroup::SubgroupMap;
+use lems_net::graph::NodeId;
+use lems_net::topology::RegionId;
+use lems_syntax::resolve::SyntaxResolver;
+
+const USERS: usize = 2_000;
+
+fn names() -> Vec<MailName> {
+    (0..USERS)
+        .map(|i| {
+            format!("east.h{}.user{i}", i % 17)
+                .parse()
+                .expect("valid")
+        })
+        .collect()
+}
+
+fn syntax_resolver(names: &[MailName]) -> SyntaxResolver {
+    let mut dir = Directory::new();
+    dir.map_region("east", RegionId(0));
+    dir.map_region("west", RegionId(1));
+    for (i, n) in names.iter().enumerate() {
+        dir.register(
+            n.clone(),
+            NodeId(100 + i % 17),
+            AuthorityList::new(vec![NodeId(i % 3), NodeId((i + 1) % 3)]),
+        )
+        .expect("unique");
+    }
+    let views = dir.partition(&[NodeId(0), NodeId(1), NodeId(2)]);
+    let mut region_index = BTreeMap::new();
+    for rec in dir.iter() {
+        region_index.insert(rec.name.clone(), rec.authorities.clone());
+    }
+    let mut region_servers = BTreeMap::new();
+    region_servers.insert(RegionId(0), vec![NodeId(0), NodeId(1), NodeId(2)]);
+    region_servers.insert(RegionId(1), vec![NodeId(9)]);
+    SyntaxResolver::new(
+        NodeId(0),
+        RegionId(0),
+        views[&NodeId(0)].clone(),
+        region_index,
+        region_servers,
+    )
+}
+
+fn locindep_resolver() -> LocIndepResolver {
+    let subgroups = SubgroupMap::new(64, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    let mut region_names = HashMap::new();
+    region_names.insert("east".to_owned(), RegionId(0));
+    region_names.insert("west".to_owned(), RegionId(1));
+    let mut region_servers = BTreeMap::new();
+    region_servers.insert(RegionId(0), vec![NodeId(0), NodeId(1), NodeId(2)]);
+    region_servers.insert(RegionId(1), vec![NodeId(9)]);
+    LocIndepResolver::new(NodeId(0), RegionId(0), subgroups, region_names, region_servers)
+}
+
+fn bench_resolve(c: &mut Criterion) {
+    // Cached vs uncached resolution under Zipf traffic (§4.1 caching).
+    {
+        use lems_sim::rng::SimRng;
+        use lems_sim::time::{SimDuration, SimTime};
+        use lems_syntax::cache::ResolutionCache;
+
+        let names = names();
+        let syntax = syntax_resolver(&names);
+        let mut rng = SimRng::seed(3);
+        let mut weights = vec![0.0f64; names.len()];
+        for (rank, w) in weights.iter_mut().enumerate() {
+            *w = 1.0 / ((rank + 1) as f64).powf(1.1);
+        }
+        let stream: Vec<usize> = (0..4096).map(|_| rng.weighted_index(&weights)).collect();
+
+        c.bench_function("resolve/uncached-zipf", |b| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % stream.len();
+                syntax.resolve(std::hint::black_box(&names[stream[i]]))
+            })
+        });
+        c.bench_function("resolve/cached-zipf", |b| {
+            let mut cache = ResolutionCache::new(200, SimDuration::from_units(1e9));
+            let mut i = 0;
+            let mut k = 0u64;
+            b.iter(|| {
+                i = (i + 1) % stream.len();
+                k += 1;
+                let now = SimTime::from_ticks(k);
+                let name = &names[stream[i]];
+                if cache.get(name, now).is_none() {
+                    let _ = syntax.resolve(std::hint::black_box(name));
+                    cache.put(
+                        name.clone(),
+                        AuthorityList::new(vec![NodeId(stream[i] % 3)]),
+                        now,
+                    );
+                }
+            })
+        });
+    }
+
+    let names = names();
+    let syntax = syntax_resolver(&names);
+    let locindep = locindep_resolver();
+
+    c.bench_function("resolve/syntax-directed", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % names.len();
+            syntax.resolve(std::hint::black_box(&names[i]))
+        })
+    });
+    c.bench_function("resolve/location-independent", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % names.len();
+            locindep.resolve(std::hint::black_box(&names[i]))
+        })
+    });
+    c.bench_function("resolve/foreign-region", |b| {
+        let foreign: MailName = "west.h1.zed".parse().expect("valid");
+        b.iter(|| syntax.resolve(std::hint::black_box(&foreign)))
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_resolve
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Convenience: run every repro experiment in sequence (the same code the
+//! individual `repro-*` binaries call), printing section markers. Useful
+//! for regenerating `artifacts/` wholesale.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "repro-fig1",
+        "repro-table1-2",
+        "repro-table3",
+        "repro-fig2",
+        "repro-getmail",
+        "repro-mst-cost",
+        "repro-attr-cost",
+        "repro-locindep",
+        "repro-assign-ablate",
+        "repro-cache",
+        "repro-scorecard",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failed = Vec::new();
+    for bin in bins {
+        println!("\n================================================================");
+        println!("== {bin}");
+        println!("================================================================\n");
+        let status = Command::new(dir.join(bin)).status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("!! {bin} failed: {other:?}");
+                failed.push(bin);
+            }
+        }
+    }
+    if !failed.is_empty() {
+        eprintln!("\nfailed experiments: {failed:?}");
+        std::process::exit(1);
+    }
+    println!("\nall experiments completed.");
+}

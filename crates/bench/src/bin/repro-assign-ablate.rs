@@ -1,0 +1,63 @@
+//! C6: ablations of the §3.1.1 assignment algorithm — batch-size speedup
+//! ("the algorithm can be made much faster if in each iteration more than
+//! one user is moved"), W1:W2 weight sensitivity, and add-server
+//! reconvergence.
+
+use lems_bench::assign_exp::{add_server_reconvergence, batch_ablation, weight_ablation};
+use lems_bench::render::{f1, f3, Table};
+
+fn main() {
+    println!("C6 — assignment-algorithm ablations (Fig. 1 scenario)\n");
+
+    println!("C6a: batch size vs convergence effort");
+    let rows = batch_ablation(&[1, 2, 4, 8, 16, 32]);
+    let mut t = Table::new(vec!["batch", "moves", "passes", "final cost"]);
+    for r in &rows {
+        t.row(vec![
+            r.batch.to_string(),
+            r.moves.to_string(),
+            r.passes.to_string(),
+            f1(r.final_cost),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("shape check: moves drop sharply with batch size at (near-)equal final cost.\n");
+
+    println!("C6b: weight sensitivity (W1 = communication, W2 = processing)");
+    let rows = weight_ablation(&[
+        (8.0, 1.0),
+        (4.0, 1.0),
+        (1.0, 1.0),
+        (1.0, 4.0),
+        (1.0, 8.0),
+    ]);
+    let mut t = Table::new(vec![
+        "W1",
+        "W2",
+        "final cost",
+        "utilisation spread",
+        "split hosts",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            f1(r.w_comm),
+            f1(r.w_proc),
+            f1(r.final_cost),
+            f3(r.utilisation_spread),
+            r.split_hosts.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("shape check: processing-heavy weights tighten load balance;\ncommunication-heavy weights pin users to nearby servers.\n");
+
+    println!("C6c: add-server reconvergence (4th server adjacent to the hot spot)");
+    let r = add_server_reconvergence();
+    println!(
+        "  moved users: {}, new server load: {}, cost {} -> {}",
+        r.moved_users,
+        r.new_server_load,
+        f1(r.cost_before),
+        f1(r.cost_after)
+    );
+    println!("  (paper §3.1.3c: 'the server assignment procedure is performed to\n   redistribute the load so that some users are assigned to the new server')");
+}

@@ -1,0 +1,52 @@
+//! FIG1: the worked-example topology and user distribution of Fig. 1,
+//! with the zero-load host-to-server cost matrix that seeds the §3.1.1
+//! assignment algorithm.
+
+use lems_bench::assign_exp::fig1_problem;
+use lems_bench::render::{f1, Table};
+
+fn main() {
+    let (scenario, problem) = fig1_problem();
+    let t = &scenario.topology;
+
+    println!("FIG1 — topology and user distribution (reconstruction)\n");
+    println!("nodes: {} ({} hosts, {} servers), links: {} (all 1.0 unit)\n",
+        t.node_count(),
+        scenario.hosts.len(),
+        scenario.servers.len(),
+        t.graph().edge_count(),
+    );
+
+    let mut links = Table::new(vec!["link", "weight (units)"]);
+    for e in t.graph().edges() {
+        links.row(vec![
+            format!("{} - {}", t.name(e.a), t.name(e.b)),
+            format!("{}", e.weight),
+        ]);
+    }
+    println!("{}", links.render());
+
+    let mut users = Table::new(vec!["host", "users"]);
+    for (h, &n) in scenario.hosts.iter().zip(&scenario.users_per_host) {
+        users.row(vec![t.name(*h).to_owned(), n.to_string()]);
+    }
+    println!("{}", users.render());
+    println!(
+        "total users: {}\n",
+        scenario.users_per_host.iter().sum::<u32>()
+    );
+
+    println!("zero-load shortest-path cost matrix C_ij (units):\n");
+    let mut c = Table::new(vec!["host", "S1", "S2", "S3"]);
+    for (i, &h) in scenario.hosts.iter().enumerate() {
+        c.row(vec![
+            t.name(h).to_owned(),
+            f1(problem.comm[i][0]),
+            f1(problem.comm[i][1]),
+            f1(problem.comm[i][2]),
+        ]);
+    }
+    println!("{}", c.render());
+    println!("paper check: C(H2,S1) = {} units (the §3.1.1 example says 2).",
+        f1(problem.comm[1][0]));
+}

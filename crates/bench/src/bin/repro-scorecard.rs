@@ -1,0 +1,45 @@
+//! C7: the §4 criteria scorecard — efficiency, reliability, flexibility,
+//! cost — for all three designs on a common scenario.
+
+use lems_bench::scorecard_exp::scorecards;
+use lems_eval::criteria::{rank, CriteriaWeights};
+use lems_eval::report::{comparison_table, to_json};
+
+fn main() {
+    println!("C7 — §4 criteria scorecard\n");
+    let cards = scorecards(5);
+    println!("{}", comparison_table(&cards));
+    println!("reading guide (the paper's trade-off in §4):");
+    println!("  - syntax-directed: most efficient, least flexible (rename on every move);");
+    println!("  - location-independent: small delivery overhead buys rename-free mobility");
+    println!("    and cheap rehash reconfiguration;");
+    println!("  - attribute-based: group naming and broadcast delivery; pays tree-building");
+    println!("    and per-search costs.\n");
+    println!("weighted rankings (min-max normalised within this comparison):");
+    for (label, weights) in [
+        ("equal weights", CriteriaWeights::default()),
+        (
+            "efficiency-first",
+            CriteriaWeights {
+                efficiency: 4.0,
+                ..CriteriaWeights::default()
+            },
+        ),
+        (
+            "flexibility-first",
+            CriteriaWeights {
+                flexibility: 4.0,
+                ..CriteriaWeights::default()
+            },
+        ),
+    ] {
+        let ranking = rank(&cards, &weights);
+        let order: Vec<String> = ranking
+            .iter()
+            .map(|&(i, s)| format!("{} ({:.2})", cards[i].system, s))
+            .collect();
+        println!("  {label:<18} {}", order.join("  >  "));
+    }
+    println!();
+    println!("JSON artifact:\n{}", to_json(&cards));
+}

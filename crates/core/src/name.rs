@@ -1,0 +1,267 @@
+//! Hierarchical mail names: `region.host.user`.
+//!
+//! §3.1.1: "we use a three level hierarchical name in the form of
+//! `region.host.user` to identify users of the computer mail systems. The
+//! name components are location dependent. The region name is globally
+//! unique, the host name is unique within a region, and the user name is
+//! locally unique within a host."
+//!
+//! Names are "structured as a set of alphanumeric strings chosen from a
+//! finite alphabet and separated by delimiters" (§2); we allow ASCII
+//! alphanumerics plus `-` and `_` inside tokens and use `.` as the
+//! delimiter.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Error produced when parsing or validating a [`MailName`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseNameError {
+    /// The name did not have exactly three `.`-separated components.
+    WrongComponentCount {
+        /// Number of components found.
+        found: usize,
+    },
+    /// A component was empty.
+    EmptyToken {
+        /// Which level was empty.
+        level: NameLevel,
+    },
+    /// A component contained a character outside the allowed alphabet.
+    InvalidCharacter {
+        /// Which level the character appeared in.
+        level: NameLevel,
+        /// The offending character.
+        ch: char,
+    },
+}
+
+impl fmt::Display for ParseNameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNameError::WrongComponentCount { found } => write!(
+                f,
+                "expected three components `region.host.user`, found {found}"
+            ),
+            ParseNameError::EmptyToken { level } => {
+                write!(f, "empty {level} component")
+            }
+            ParseNameError::InvalidCharacter { level, ch } => {
+                write!(f, "invalid character {ch:?} in {level} component")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseNameError {}
+
+/// The three levels of the naming hierarchy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NameLevel {
+    /// The globally unique region token.
+    Region,
+    /// The host token, unique within its region.
+    Host,
+    /// The user token, unique within its host.
+    User,
+}
+
+impl fmt::Display for NameLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameLevel::Region => f.write_str("region"),
+            NameLevel::Host => f.write_str("host"),
+            NameLevel::User => f.write_str("user"),
+        }
+    }
+}
+
+fn validate_token(token: &str, level: NameLevel) -> Result<(), ParseNameError> {
+    if token.is_empty() {
+        return Err(ParseNameError::EmptyToken { level });
+    }
+    for ch in token.chars() {
+        if !(ch.is_ascii_alphanumeric() || ch == '-' || ch == '_') {
+            return Err(ParseNameError::InvalidCharacter { level, ch });
+        }
+    }
+    Ok(())
+}
+
+/// A fully qualified, location-dependent mail name.
+///
+/// Under System 1 (syntax-directed naming) the `host` token is the user's
+/// fixed location; under System 2 it is only the user's *primary* location
+/// — the user may connect from any host of the region (§3.2.1).
+///
+/// # Examples
+///
+/// ```
+/// use lems_core::name::MailName;
+///
+/// let n: MailName = "east.vax1.alice".parse()?;
+/// assert_eq!(n.region(), "east");
+/// assert_eq!(n.host(), "vax1");
+/// assert_eq!(n.user(), "alice");
+/// assert_eq!(n.to_string(), "east.vax1.alice");
+/// # Ok::<(), lems_core::name::ParseNameError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct MailName {
+    region: String,
+    host: String,
+    user: String,
+}
+
+impl MailName {
+    /// Builds a name from validated tokens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseNameError`] if any token is empty or contains a
+    /// character outside `[A-Za-z0-9_-]`.
+    pub fn new(region: &str, host: &str, user: &str) -> Result<Self, ParseNameError> {
+        validate_token(region, NameLevel::Region)?;
+        validate_token(host, NameLevel::Host)?;
+        validate_token(user, NameLevel::User)?;
+        Ok(MailName {
+            region: region.to_owned(),
+            host: host.to_owned(),
+            user: user.to_owned(),
+        })
+    }
+
+    /// The region token.
+    pub fn region(&self) -> &str {
+        &self.region
+    }
+
+    /// The host token (primary location under System 2).
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The user token.
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    /// A copy of this name relocated to a new region and host — the rename
+    /// a migrating user performs under syntax-directed naming (§3.1.4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseNameError`] if the new tokens are invalid.
+    pub fn relocated(&self, region: &str, host: &str) -> Result<MailName, ParseNameError> {
+        MailName::new(region, host, &self.user)
+    }
+
+    /// True if both names are in the same region.
+    pub fn same_region(&self, other: &MailName) -> bool {
+        self.region == other.region
+    }
+
+    /// True if both names share region and host.
+    pub fn same_host(&self, other: &MailName) -> bool {
+        self.region == other.region && self.host == other.host
+    }
+}
+
+impl fmt::Display for MailName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}", self.region, self.host, self.user)
+    }
+}
+
+impl FromStr for MailName {
+    type Err = ParseNameError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split('.').collect();
+        if parts.len() != 3 {
+            return Err(ParseNameError::WrongComponentCount { found: parts.len() });
+        }
+        MailName::new(parts[0], parts[1], parts[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parse_round_trip() {
+        let n: MailName = "west.pc-7.bob_2".parse().unwrap();
+        assert_eq!(n.to_string(), "west.pc-7.bob_2");
+        assert_eq!(n.region(), "west");
+        assert_eq!(n.host(), "pc-7");
+        assert_eq!(n.user(), "bob_2");
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        assert_eq!(
+            "a.b".parse::<MailName>(),
+            Err(ParseNameError::WrongComponentCount { found: 2 })
+        );
+        assert_eq!(
+            "a.b.c.d".parse::<MailName>(),
+            Err(ParseNameError::WrongComponentCount { found: 4 })
+        );
+    }
+
+    #[test]
+    fn rejects_empty_and_invalid_tokens() {
+        assert_eq!(
+            "a..c".parse::<MailName>(),
+            Err(ParseNameError::EmptyToken {
+                level: NameLevel::Host
+            })
+        );
+        assert_eq!(
+            "a.b.c d".parse::<MailName>(),
+            Err(ParseNameError::InvalidCharacter {
+                level: NameLevel::User,
+                ch: ' '
+            })
+        );
+        assert!("é.b.c".parse::<MailName>().is_err());
+    }
+
+    #[test]
+    fn relocation_keeps_user_token() {
+        let n: MailName = "east.vax1.alice".parse().unwrap();
+        let m = n.relocated("west", "sun3").unwrap();
+        assert_eq!(m.to_string(), "west.sun3.alice");
+        assert!(!n.same_region(&m));
+        let p = n.relocated("east", "sun3").unwrap();
+        assert!(n.same_region(&p));
+        assert!(!n.same_host(&p));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = "a.b".parse::<MailName>().unwrap_err();
+        assert!(e.to_string().contains("three components"));
+        let e = "a..c".parse::<MailName>().unwrap_err();
+        assert!(e.to_string().contains("host"));
+    }
+
+    proptest! {
+        /// Every syntactically valid triple survives a display/parse round
+        /// trip.
+        #[test]
+        fn round_trip_any_valid_tokens(
+            r in "[A-Za-z0-9_-]{1,12}",
+            h in "[A-Za-z0-9_-]{1,12}",
+            u in "[A-Za-z0-9_-]{1,12}",
+        ) {
+            let n = MailName::new(&r, &h, &u).unwrap();
+            let back: MailName = n.to_string().parse().unwrap();
+            prop_assert_eq!(n, back);
+        }
+    }
+}

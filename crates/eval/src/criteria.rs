@@ -1,0 +1,317 @@
+//! The §4 performance criteria: efficiency, reliability, flexibility,
+//! cost.
+//!
+//! "The main performance measures are efficiency, reliability,
+//! flexibility, and cost. Actually some of these performance measures may
+//! have conflicting requirements with each other… it is necessary for
+//! designers and administrators to weigh different alternatives and
+//! strike a balance."
+//!
+//! Each criterion is a bag of concrete measurements taken from simulation
+//! runs; [`Scorecard`] bundles all four for one system under one scenario
+//! so the C7 experiment can put the three designs side by side.
+
+use serde::{Deserialize, Serialize};
+
+/// §4.1: "connection set-up time, message transportation, message
+/// delivery, name resolution, message storage, caching capability, and
+/// receiving server notification for existence of mail."
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Efficiency {
+    /// Mean attempts needed to reach a live server at submission.
+    pub connection_attempts_mean: f64,
+    /// Mean submission-to-deposit latency (time units).
+    pub delivery_latency_mean: f64,
+    /// Mean submission-to-retrieval latency (time units).
+    pub end_to_end_latency_mean: f64,
+    /// Mean server polls per mailbox check.
+    pub retrieval_polls_mean: f64,
+    /// Notifications delivered per deposited message.
+    pub notification_rate: f64,
+}
+
+/// §4.2: "users can have confidence that their messages, once accepted
+/// for delivery, will be made available to the intended recipient or
+/// returned with proper error messages."
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Reliability {
+    /// Fraction of submitted messages eventually retrieved.
+    pub delivered_fraction: f64,
+    /// Fraction bounced back with an error (still "reliable" by the
+    /// paper's definition — the sender learns).
+    pub bounced_fraction: f64,
+    /// Fraction silently lost: neither retrieved nor bounced once the
+    /// scenario has drained. The paper's claim is zero.
+    pub lost_fraction: f64,
+    /// Mean server availability during the scenario.
+    pub availability_mean: f64,
+}
+
+/// §4.3: "the ability to provide wide range of functions, to minimize
+/// restrictions and constraints on users, and to adjust to changes in the
+/// system: user migration, group naming, system reconfiguration."
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Flexibility {
+    /// Whether a within-region move forces a name change.
+    pub move_requires_rename: bool,
+    /// Whether recipients can be addressed by predicate (group naming).
+    pub supports_group_naming: bool,
+    /// Users whose assignment changed during the scenario's
+    /// reconfiguration step (lower = less disruptive).
+    pub reconfig_moved_users: u64,
+    /// Servers whose tables had to change during reconfiguration.
+    pub reconfig_tables_touched: usize,
+}
+
+/// §4.4: "response time, storage space used, implementation overhead."
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Cost {
+    /// Protocol messages sent per successfully delivered message.
+    pub messages_per_delivery: f64,
+    /// Total communication spent, in weight/time units.
+    pub total_comm_units: f64,
+    /// Peak number of messages buffered in server storage.
+    pub peak_storage: u64,
+}
+
+/// All four criteria for one system on one scenario.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Scorecard {
+    /// System label (e.g. "syntax-directed").
+    pub system: String,
+    /// Scenario label (workload / failure description).
+    pub scenario: String,
+    /// §4.1 numbers.
+    pub efficiency: Efficiency,
+    /// §4.2 numbers.
+    pub reliability: Reliability,
+    /// §4.3 numbers.
+    pub flexibility: Flexibility,
+    /// §4.4 numbers.
+    pub cost: Cost,
+}
+
+impl Scorecard {
+    /// Creates a named scorecard with zeroed metrics.
+    pub fn new(system: impl Into<String>, scenario: impl Into<String>) -> Self {
+        Scorecard {
+            system: system.into(),
+            scenario: scenario.into(),
+            ..Scorecard::default()
+        }
+    }
+
+    /// Sanity check: fractions in range, non-negative means. Returns the
+    /// first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let fracs = [
+            ("delivered_fraction", self.reliability.delivered_fraction),
+            ("bounced_fraction", self.reliability.bounced_fraction),
+            ("lost_fraction", self.reliability.lost_fraction),
+            ("availability_mean", self.reliability.availability_mean),
+        ];
+        for (name, v) in fracs {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} out of [0,1]: {v}"));
+            }
+        }
+        let sums =
+            self.reliability.delivered_fraction + self.reliability.bounced_fraction
+                + self.reliability.lost_fraction;
+        if !(0.0..=1.0 + 1e-9).contains(&sums) {
+            return Err(format!("delivery fractions sum to {sums}"));
+        }
+        let non_neg = [
+            self.efficiency.connection_attempts_mean,
+            self.efficiency.delivery_latency_mean,
+            self.efficiency.end_to_end_latency_mean,
+            self.efficiency.retrieval_polls_mean,
+            self.cost.messages_per_delivery,
+            self.cost.total_comm_units,
+        ];
+        if non_neg.iter().any(|&v| v < 0.0 || !v.is_finite()) {
+            return Err("negative or non-finite efficiency/cost metric".to_owned());
+        }
+        Ok(())
+    }
+}
+
+/// Designer-chosen weights for ranking scorecards (§4: "it is necessary
+/// for designers and administrators to weigh different alternatives and
+/// strike a balance between the benefits and the costs").
+///
+/// Each criterion is first normalised across the compared scorecards to
+/// `[0, 1]` (1 = best), then combined by these weights.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CriteriaWeights {
+    /// Weight on efficiency (lower latency/polls is better).
+    pub efficiency: f64,
+    /// Weight on reliability (delivered high, lost low).
+    pub reliability: f64,
+    /// Weight on flexibility (rename-free moves, group naming, cheap
+    /// reconfiguration).
+    pub flexibility: f64,
+    /// Weight on cost (fewer messages and comm units is better).
+    pub cost: f64,
+}
+
+impl Default for CriteriaWeights {
+    fn default() -> Self {
+        CriteriaWeights {
+            efficiency: 1.0,
+            reliability: 1.0,
+            flexibility: 1.0,
+            cost: 1.0,
+        }
+    }
+}
+
+/// Scores to `[0, 1]`-ish per criterion and ranks the scorecards best
+/// first under `weights`. Returns `(index into cards, weighted score)`.
+///
+/// Normalisation is min-max within the compared set per metric, so the
+/// result is a *relative* ranking — exactly the designer's trade-off
+/// exercise the paper describes, not an absolute grade.
+pub fn rank(cards: &[Scorecard], weights: &CriteriaWeights) -> Vec<(usize, f64)> {
+    if cards.is_empty() {
+        return Vec::new();
+    }
+    // Lower-is-better metrics per criterion.
+    let eff = |c: &Scorecard| {
+        c.efficiency.end_to_end_latency_mean
+            + c.efficiency.retrieval_polls_mean
+            + c.efficiency.connection_attempts_mean
+    };
+    let rel = |c: &Scorecard| {
+        // Higher delivered, lower lost: make lower-better.
+        1.0 - c.reliability.delivered_fraction + 2.0 * c.reliability.lost_fraction
+    };
+    let flex = |c: &Scorecard| {
+        let mut penalty = c.flexibility.reconfig_moved_users as f64;
+        if c.flexibility.move_requires_rename {
+            penalty += 100.0;
+        }
+        if !c.flexibility.supports_group_naming {
+            penalty += 50.0;
+        }
+        penalty
+    };
+    let cost = |c: &Scorecard| c.cost.messages_per_delivery + c.cost.total_comm_units / 100.0;
+
+    let normalise = |vals: Vec<f64>| -> Vec<f64> {
+        let lo = vals.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = vals.iter().cloned().fold(f64::MIN, f64::max);
+        vals.into_iter()
+            .map(|v| {
+                if (hi - lo).abs() < 1e-12 {
+                    1.0
+                } else {
+                    1.0 - (v - lo) / (hi - lo) // lower metric -> higher score
+                }
+            })
+            .collect()
+    };
+
+    let e = normalise(cards.iter().map(eff).collect());
+    let r = normalise(cards.iter().map(rel).collect());
+    let f = normalise(cards.iter().map(flex).collect());
+    let k = normalise(cards.iter().map(cost).collect());
+
+    let total_w = weights.efficiency + weights.reliability + weights.flexibility + weights.cost;
+    let mut scored: Vec<(usize, f64)> = (0..cards.len())
+        .map(|i| {
+            let s = (e[i] * weights.efficiency
+                + r[i] * weights.reliability
+                + f[i] * weights.flexibility
+                + k[i] * weights.cost)
+                / total_w.max(1e-12);
+            (i, s)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scorecard_is_valid() {
+        let s = Scorecard::new("syntax-directed", "fig1-steady");
+        assert_eq!(s.system, "syntax-directed");
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_fractions() {
+        let mut s = Scorecard::new("x", "y");
+        s.reliability.delivered_fraction = 1.5;
+        assert!(s.validate().unwrap_err().contains("delivered_fraction"));
+
+        let mut s = Scorecard::new("x", "y");
+        s.reliability.delivered_fraction = 0.8;
+        s.reliability.bounced_fraction = 0.5;
+        assert!(s.validate().unwrap_err().contains("sum"));
+
+        let mut s = Scorecard::new("x", "y");
+        s.cost.messages_per_delivery = f64::NAN;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn ranking_responds_to_weights() {
+        let mut fast = Scorecard::new("fast-but-rigid", "s");
+        fast.efficiency.end_to_end_latency_mean = 10.0;
+        fast.flexibility.move_requires_rename = true;
+        fast.cost.total_comm_units = 100.0;
+
+        let mut flexible = Scorecard::new("flexible-but-slow", "s");
+        flexible.efficiency.end_to_end_latency_mean = 50.0;
+        flexible.flexibility.move_requires_rename = false;
+        flexible.flexibility.supports_group_naming = true;
+        flexible.cost.total_comm_units = 300.0;
+
+        let cards = vec![fast, flexible];
+        // Efficiency-weighted: the fast system wins.
+        let eff_first = rank(
+            &cards,
+            &CriteriaWeights {
+                efficiency: 10.0,
+                flexibility: 0.1,
+                ..CriteriaWeights::default()
+            },
+        );
+        assert_eq!(eff_first[0].0, 0);
+        // Flexibility-weighted: the flexible system wins.
+        let flex_first = rank(
+            &cards,
+            &CriteriaWeights {
+                efficiency: 0.1,
+                flexibility: 10.0,
+                ..CriteriaWeights::default()
+            },
+        );
+        assert_eq!(flex_first[0].0, 1);
+        // Scores are in [0, 1] and sorted descending.
+        for w in [eff_first, flex_first] {
+            assert!(w.windows(2).all(|p| p[0].1 >= p[1].1));
+            assert!(w.iter().all(|&(_, s)| (0.0..=1.0).contains(&s)));
+        }
+    }
+
+    #[test]
+    fn empty_ranking_is_empty() {
+        assert!(rank(&[], &CriteriaWeights::default()).is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut s = Scorecard::new("attribute-based", "broadcast");
+        s.flexibility.supports_group_naming = true;
+        s.efficiency.retrieval_polls_mean = 1.1;
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scorecard = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

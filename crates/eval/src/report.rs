@@ -1,0 +1,168 @@
+//! Rendering scorecards side by side (the C7 experiment's output).
+
+use crate::criteria::Scorecard;
+
+/// Renders a fixed-width comparison table of several scorecards, one
+/// column per system, one row per metric — the shape of §4's discussion.
+///
+/// # Examples
+///
+/// ```
+/// use lems_eval::criteria::Scorecard;
+/// use lems_eval::report::comparison_table;
+///
+/// let a = Scorecard::new("syntax", "s");
+/// let b = Scorecard::new("locindep", "s");
+/// let table = comparison_table(&[a, b]);
+/// assert!(table.contains("syntax"));
+/// assert!(table.contains("retrieval polls"));
+/// ```
+pub fn comparison_table(cards: &[Scorecard]) -> String {
+    let mut out = String::new();
+    let label_width = 28;
+    let col_width = cards
+        .iter()
+        .map(|c| c.system.len())
+        .max()
+        .unwrap_or(0)
+        .max(14)
+        + 2;
+
+    let header: String = cards
+        .iter()
+        .map(|c| format!("{:>col_width$}", c.system))
+        .collect();
+    out.push_str(&format!("{:<label_width$}{header}\n", "criterion"));
+    out.push_str(&"-".repeat(label_width + col_width * cards.len()));
+    out.push('\n');
+
+    let mut row = |label: &str, values: Vec<String>| {
+        let cols: String = values
+            .into_iter()
+            .map(|v| format!("{v:>col_width$}"))
+            .collect();
+        out.push_str(&format!("{label:<label_width$}{cols}\n"));
+    };
+
+    row(
+        "connection attempts",
+        cards
+            .iter()
+            .map(|c| format!("{:.3}", c.efficiency.connection_attempts_mean))
+            .collect(),
+    );
+    row(
+        "delivery latency (u)",
+        cards
+            .iter()
+            .map(|c| format!("{:.3}", c.efficiency.delivery_latency_mean))
+            .collect(),
+    );
+    row(
+        "end-to-end latency (u)",
+        cards
+            .iter()
+            .map(|c| format!("{:.3}", c.efficiency.end_to_end_latency_mean))
+            .collect(),
+    );
+    row(
+        "retrieval polls",
+        cards
+            .iter()
+            .map(|c| format!("{:.3}", c.efficiency.retrieval_polls_mean))
+            .collect(),
+    );
+    row(
+        "delivered fraction",
+        cards
+            .iter()
+            .map(|c| format!("{:.4}", c.reliability.delivered_fraction))
+            .collect(),
+    );
+    row(
+        "bounced fraction",
+        cards
+            .iter()
+            .map(|c| format!("{:.4}", c.reliability.bounced_fraction))
+            .collect(),
+    );
+    row(
+        "lost fraction",
+        cards
+            .iter()
+            .map(|c| format!("{:.4}", c.reliability.lost_fraction))
+            .collect(),
+    );
+    row(
+        "move requires rename",
+        cards
+            .iter()
+            .map(|c| c.flexibility.move_requires_rename.to_string())
+            .collect(),
+    );
+    row(
+        "group naming",
+        cards
+            .iter()
+            .map(|c| c.flexibility.supports_group_naming.to_string())
+            .collect(),
+    );
+    row(
+        "reconfig moved users",
+        cards
+            .iter()
+            .map(|c| c.flexibility.reconfig_moved_users.to_string())
+            .collect(),
+    );
+    row(
+        "msgs per delivery",
+        cards
+            .iter()
+            .map(|c| format!("{:.3}", c.cost.messages_per_delivery))
+            .collect(),
+    );
+    row(
+        "total comm (u)",
+        cards
+            .iter()
+            .map(|c| format!("{:.1}", c.cost.total_comm_units))
+            .collect(),
+    );
+
+    out
+}
+
+/// Serialises scorecards to pretty JSON (for EXPERIMENTS.md artifacts).
+///
+/// # Panics
+///
+/// Panics if serialisation fails (it cannot for these types).
+pub fn to_json(cards: &[Scorecard]) -> String {
+    serde_json::to_string_pretty(cards).expect("scorecards serialise")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_contains_all_systems_and_rows() {
+        let mut a = Scorecard::new("syntax", "s");
+        a.efficiency.retrieval_polls_mean = 1.23;
+        let mut b = Scorecard::new("attr", "s");
+        b.flexibility.supports_group_naming = true;
+        let t = comparison_table(&[a, b]);
+        assert!(t.contains("syntax") && t.contains("attr"));
+        assert!(t.contains("1.230"));
+        assert!(t.contains("group naming"));
+        assert!(t.lines().count() >= 12);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let cards = vec![Scorecard::new("a", "s"), Scorecard::new("b", "s")];
+        let json = to_json(&cards);
+        let back: Vec<Scorecard> = serde_json::from_str(&json).unwrap();
+        assert_eq!(cards, back);
+    }
+}

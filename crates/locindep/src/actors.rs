@@ -1,0 +1,719 @@
+//! The simulated System-2 mail system (§3.2.2): location-independent
+//! access within a region, as running actors.
+//!
+//! Differences from the System-1 pipeline in `lems_syntax::actors`:
+//!
+//! * **Connection setup** — "a user always contacts the nearest active
+//!   server" of the region, not a per-user authority list;
+//! * **Resolution** — the accepting server hashes the recipient's name to
+//!   its sub-group server (no per-user routing tables);
+//! * **Login tracking** — "whenever a user logs on to a host, the host
+//!   will inform the nearest active server"; the region's servers
+//!   cooperate to answer "where is this user now?";
+//! * **Delivery** — the sub-group server stores the mail and notifies the
+//!   user at their *current* host, consulting peer servers when the user
+//!   is away from their primary location (the §3.2.2c overhead that
+//!   "is only incurred if a user moves").
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use lems_core::mailbox::Mailbox;
+use lems_core::message::{Message, MessageId, MessageIdGen};
+use lems_core::name::MailName;
+use lems_net::graph::NodeId;
+use lems_net::topology::Topology;
+use lems_net::transport::Transport;
+use lems_sim::actor::{Actor, ActorId, ActorSim, Ctx};
+use lems_sim::stats::Summary;
+use lems_sim::time::{SimDuration, SimTime};
+
+use crate::subgroup::SubgroupMap;
+
+/// The System-2 protocol.
+#[derive(Clone, Debug)]
+pub enum RoamMsg {
+    /// Injection: `user` logs on at the receiving host.
+    DoLogin {
+        /// The user logging in.
+        user: MailName,
+    },
+    /// Injection: a user on this host sends mail.
+    DoSend {
+        /// Sender (must be logged in here).
+        from: MailName,
+        /// Recipient.
+        to: MailName,
+    },
+    /// Host -> nearest server: `user` is now at `host`.
+    LoginReport {
+        /// The user.
+        user: MailName,
+        /// Their current host.
+        host: NodeId,
+        /// When the login happened (hosts and servers share coarsely
+        /// synchronised clocks, the same assumption GetMail makes).
+        at: SimTime,
+    },
+    /// Server -> server: new location broadcast ("all servers in a region
+    /// will cooperate to keep track of the movement of users").
+    /// Timestamped so racing broadcasts over different-length paths
+    /// resolve last-writer-wins instead of last-arrival-wins.
+    LocationUpdate {
+        /// The user.
+        user: MailName,
+        /// Their current host.
+        host: NodeId,
+        /// When the login happened.
+        at: SimTime,
+    },
+    /// UI -> server / server -> server: deliver this message.
+    Deliver {
+        /// The message.
+        msg: Message,
+    },
+    /// Sub-group server -> peer: where is `user`? (asked when the user is
+    /// not at their primary location and this server has no record).
+    WhereIs {
+        /// The user sought.
+        user: MailName,
+        /// Message awaiting the answer.
+        pending: MessageId,
+        /// Who is asking.
+        reply_to: NodeId,
+    },
+    /// Peer's answer to [`RoamMsg::WhereIs`].
+    LocationReply {
+        /// The pending message this answers.
+        pending: MessageId,
+        /// The host, if this peer knows.
+        host: Option<NodeId>,
+    },
+    /// Server -> host: mail for `user` arrived (alert signal).
+    Notify {
+        /// The recipient.
+        user: MailName,
+        /// The message.
+        id: MessageId,
+    },
+}
+
+/// Shared statistics for a System-2 run.
+#[derive(Debug, Default)]
+pub struct RoamStats {
+    /// Messages submitted.
+    pub submitted: u64,
+    /// Messages stored at their sub-group server.
+    pub stored: u64,
+    /// Notifications that reached the user's current host.
+    pub notified: u64,
+    /// Notifications delivered at the user's *primary* host without any
+    /// lookup (the free path).
+    pub notified_at_primary: u64,
+    /// Cross-server `WhereIs` consultations.
+    pub consults: u64,
+    /// Lookups that failed everywhere (user never logged in anywhere).
+    pub unknown_location: u64,
+    /// Submission-to-notification latency (units).
+    pub notify_latency: Summary,
+}
+
+type SharedStats = Rc<RefCell<RoamStats>>;
+
+/// A host: forwards logins and sends to the nearest server.
+pub struct RoamHost {
+    node: NodeId,
+    nearest_server: NodeId,
+    transport: Rc<Transport>,
+    id_gen: Rc<RefCell<MessageIdGen>>,
+    stats: SharedStats,
+    /// Alerts received per user.
+    pub alerts: BTreeMap<MailName, u64>,
+}
+
+impl Actor for RoamHost {
+    type Msg = RoamMsg;
+
+    fn on_message(&mut self, _from: ActorId, msg: RoamMsg, ctx: &mut Ctx<'_, RoamMsg>) {
+        match msg {
+            RoamMsg::DoLogin { user } => {
+                // "the host will inform the nearest active server".
+                self.transport.send(
+                    ctx,
+                    self.node,
+                    self.nearest_server,
+                    RoamMsg::LoginReport {
+                        user,
+                        host: self.node,
+                        at: ctx.now(),
+                    },
+                    SimDuration::ZERO,
+                );
+            }
+            RoamMsg::DoSend { from, to } => {
+                let id = self.id_gen.borrow_mut().next_id();
+                self.stats.borrow_mut().submitted += 1;
+                let m = Message::new(id, from, to, "msg", "body", ctx.now());
+                self.transport.send(
+                    ctx,
+                    self.node,
+                    self.nearest_server,
+                    RoamMsg::Deliver { msg: m },
+                    SimDuration::ZERO,
+                );
+            }
+            RoamMsg::Notify { user, .. } => {
+                *self.alerts.entry(user).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A message parked while its recipient's location is being resolved.
+#[derive(Clone, Debug)]
+struct PendingLookup {
+    msg: Message,
+    peers_left: Vec<NodeId>,
+}
+
+/// A System-2 region server.
+pub struct RoamServer {
+    node: NodeId,
+    transport: Rc<Transport>,
+    subgroups: SubgroupMap,
+    peers: Vec<NodeId>,
+    /// Primary host per user (from the name's host token).
+    primary_hosts: BTreeMap<MailName, NodeId>,
+    /// Current locations known to *this* server, with the login
+    /// timestamp that produced them (last-writer-wins).
+    locations: HashMap<MailName, (NodeId, SimTime)>,
+    mailboxes: BTreeMap<MailName, Mailbox>,
+    pending: HashMap<MessageId, PendingLookup>,
+    proc_time: f64,
+    stats: SharedStats,
+}
+
+impl RoamServer {
+    fn proc(&self) -> SimDuration {
+        SimDuration::from_units(self.proc_time)
+    }
+
+    /// Applies a location fact if it is newer than what we hold
+    /// (ties break toward the higher host id, deterministically).
+    fn record_location(&mut self, user: MailName, host: NodeId, at: SimTime) {
+        match self.locations.get(&user) {
+            Some(&(cur_host, cur_at))
+                if (cur_at, cur_host) >= (at, host) => {}
+            _ => {
+                self.locations.insert(user, (host, at));
+            }
+        }
+    }
+
+    /// Stores the message, then notifies the user at their current
+    /// location (consulting peers if needed).
+    fn store_and_notify(&mut self, msg: Message, ctx: &mut Ctx<'_, RoamMsg>) {
+        let user = msg.to.clone();
+        let id = msg.id;
+        self.stats.borrow_mut().stored += 1;
+        self.mailboxes
+            .entry(user.clone())
+            .or_insert_with(|| Mailbox::new(user.clone()))
+            .deposit(msg.clone(), ctx.now());
+
+        // Primary location is derivable from the name alone (§3.2.2c:
+        // "from the user name, the primary location of the user can be
+        // obtained").
+        let primary = self.primary_hosts.get(&user).copied();
+        let known = self.locations.get(&user).map(|&(h, _)| h);
+
+        match (known, primary) {
+            (Some(host), p) => {
+                if Some(host) == p {
+                    self.stats.borrow_mut().notified_at_primary += 1;
+                }
+                self.notify(&user, id, host, msg.submitted_at, ctx);
+            }
+            (None, Some(p)) => {
+                // Assume the primary until proven otherwise — but also ask
+                // the peers, since the user may have roamed. To keep the
+                // protocol single-round we ask peers first only when the
+                // user is *not* known locally and notification at the
+                // primary is our fallback after the peers answer.
+                self.ask_peers(msg, p, ctx);
+            }
+            (None, None) => {
+                self.stats.borrow_mut().unknown_location += 1;
+            }
+        }
+    }
+
+    fn ask_peers(&mut self, msg: Message, _fallback_primary: NodeId, ctx: &mut Ctx<'_, RoamMsg>) {
+        let mut peers: Vec<NodeId> = self
+            .peers
+            .iter()
+            .copied()
+            .filter(|&p| p != self.node)
+            .collect();
+        if peers.is_empty() {
+            // No one else to ask: notify at the primary.
+            let user = msg.to.clone();
+            let primary = self.primary_hosts[&user];
+            self.stats.borrow_mut().notified_at_primary += 1;
+            self.notify(&user, msg.id, primary, msg.submitted_at, ctx);
+            return;
+        }
+        let first = peers.remove(0);
+        self.stats.borrow_mut().consults += 1;
+        let pending = msg.id;
+        self.pending.insert(
+            pending,
+            PendingLookup {
+                msg,
+                peers_left: peers,
+            },
+        );
+        self.transport.send(
+            ctx,
+            self.node,
+            first,
+            RoamMsg::WhereIs {
+                user: self.pending[&pending].msg.to.clone(),
+                pending,
+                reply_to: self.node,
+            },
+            self.proc(),
+        );
+    }
+
+    fn notify(
+        &mut self,
+        user: &MailName,
+        id: MessageId,
+        host: NodeId,
+        submitted_at: SimTime,
+        ctx: &mut Ctx<'_, RoamMsg>,
+    ) {
+        {
+            let mut st = self.stats.borrow_mut();
+            st.notified += 1;
+            st.notify_latency
+                .observe(ctx.now().duration_since(submitted_at).as_units());
+        }
+        self.transport.send(
+            ctx,
+            self.node,
+            host,
+            RoamMsg::Notify {
+                user: user.clone(),
+                id,
+            },
+            self.proc(),
+        );
+    }
+}
+
+impl Actor for RoamServer {
+    type Msg = RoamMsg;
+
+    fn on_message(&mut self, _from: ActorId, msg: RoamMsg, ctx: &mut Ctx<'_, RoamMsg>) {
+        match msg {
+            RoamMsg::LoginReport { user, host, at } => {
+                self.record_location(user.clone(), host, at);
+                // Cooperative tracking: tell the peers.
+                for &p in &self.peers.clone() {
+                    if p != self.node {
+                        self.transport.send(
+                            ctx,
+                            self.node,
+                            p,
+                            RoamMsg::LocationUpdate {
+                                user: user.clone(),
+                                host,
+                                at,
+                            },
+                            self.proc(),
+                        );
+                    }
+                }
+            }
+            RoamMsg::LocationUpdate { user, host, at } => {
+                self.record_location(user, host, at);
+            }
+            RoamMsg::Deliver { msg } => {
+                let responsible = self.subgroups.server_of(&msg.to);
+                if responsible == self.node {
+                    self.store_and_notify(msg, ctx);
+                } else {
+                    // Hash says a peer owns this sub-group: hand it over.
+                    self.transport.send(
+                        ctx,
+                        self.node,
+                        responsible,
+                        RoamMsg::Deliver { msg },
+                        self.proc(),
+                    );
+                }
+            }
+            RoamMsg::WhereIs {
+                user,
+                pending,
+                reply_to,
+            } => {
+                let host = self.locations.get(&user).map(|&(h, _)| h);
+                self.transport.send(
+                    ctx,
+                    self.node,
+                    reply_to,
+                    RoamMsg::LocationReply { pending, host },
+                    self.proc(),
+                );
+            }
+            RoamMsg::LocationReply { pending, host } => {
+                let Some(mut lookup) = self.pending.remove(&pending) else {
+                    return;
+                };
+                match host {
+                    Some(h) => {
+                        let user = lookup.msg.to.clone();
+                        self.record_location(user.clone(), h, ctx.now());
+                        let primary = self.primary_hosts.get(&user).copied();
+                        if Some(h) == primary {
+                            self.stats.borrow_mut().notified_at_primary += 1;
+                        }
+                        self.notify(&user, pending, h, lookup.msg.submitted_at, ctx);
+                    }
+                    None if !lookup.peers_left.is_empty() => {
+                        let next = lookup.peers_left.remove(0);
+                        self.stats.borrow_mut().consults += 1;
+                        let user = lookup.msg.to.clone();
+                        self.pending.insert(pending, lookup);
+                        self.transport.send(
+                            ctx,
+                            self.node,
+                            next,
+                            RoamMsg::WhereIs {
+                                user,
+                                pending,
+                                reply_to: self.node,
+                            },
+                            self.proc(),
+                        );
+                    }
+                    None => {
+                        // Nobody knows: fall back to the primary host.
+                        let user = lookup.msg.to.clone();
+                        match self.primary_hosts.get(&user).copied() {
+                            Some(primary) => {
+                                self.stats.borrow_mut().notified_at_primary += 1;
+                                self.notify(&user, pending, primary, lookup.msg.submitted_at, ctx);
+                            }
+                            None => {
+                                self.stats.borrow_mut().unknown_location += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A wired System-2 region: engine, hosts, servers, statistics.
+pub struct RoamDeployment {
+    /// The engine.
+    pub sim: ActorSim<RoamMsg>,
+    /// Shared statistics.
+    pub stats: SharedStats,
+    /// Topology-derived delays and node/actor bindings.
+    pub transport: Rc<Transport>,
+    host_actors: BTreeMap<NodeId, ActorId>,
+    server_actors: BTreeMap<NodeId, ActorId>,
+    /// Registered users and their primary hosts.
+    pub users: BTreeMap<MailName, NodeId>,
+}
+
+impl RoamDeployment {
+    /// Builds a single-region System-2 deployment over `topology`'s region
+    /// 0, with `users_per_host` users named `r0.<host>.u<k>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has no servers or hosts in region 0, or the
+    /// population slice is misaligned.
+    pub fn build(topology: &Topology, users_per_host: &[u32], groups: usize, seed: u64) -> Self {
+        let region = lems_net::topology::RegionId(0);
+        let servers = topology.servers_in(region);
+        let hosts = topology.hosts_in(region);
+        assert!(!servers.is_empty() && !hosts.is_empty(), "region 0 must be populated");
+        assert_eq!(hosts.len(), users_per_host.len(), "population misaligned");
+
+        let subgroups = SubgroupMap::new(groups, servers.clone());
+        let mut transport = Transport::new(topology.graph());
+        let mut sim: ActorSim<RoamMsg> = ActorSim::new(seed);
+        let stats: SharedStats = Rc::new(RefCell::new(RoamStats::default()));
+        let id_gen = Rc::new(RefCell::new(MessageIdGen::new()));
+        let dist = topology.distances();
+
+        // Users and their primary hosts (encoded in the name).
+        let mut users: BTreeMap<MailName, NodeId> = BTreeMap::new();
+        for (&h, &n) in hosts.iter().zip(users_per_host) {
+            for k in 0..n {
+                let name: MailName = format!("r0.{}.u{k}", topology.name(h))
+                    .parse()
+                    .expect("generated names are valid");
+                users.insert(name, h);
+            }
+        }
+        let primary_hosts: BTreeMap<MailName, NodeId> = users.clone();
+
+        let placeholder_transport = Rc::new(Transport::new(topology.graph()));
+        let mut server_actors = BTreeMap::new();
+        for &s in &servers {
+            let actor = RoamServer {
+                node: s,
+                transport: Rc::clone(&placeholder_transport),
+                subgroups: subgroups.clone(),
+                peers: servers.clone(),
+                primary_hosts: primary_hosts.clone(),
+                locations: HashMap::new(),
+                mailboxes: BTreeMap::new(),
+                pending: HashMap::new(),
+                proc_time: 0.5,
+                stats: Rc::clone(&stats),
+            };
+            let id = sim.add_actor(actor);
+            transport.bind(s, id);
+            server_actors.insert(s, id);
+        }
+
+        let mut host_actors = BTreeMap::new();
+        for &h in &hosts {
+            let nearest = *servers
+                .iter()
+                .min_by_key(|&&s| dist.distance(h, s))
+                .expect("servers exist");
+            let actor = RoamHost {
+                node: h,
+                nearest_server: nearest,
+                transport: Rc::clone(&placeholder_transport),
+                id_gen: Rc::clone(&id_gen),
+                stats: Rc::clone(&stats),
+                alerts: BTreeMap::new(),
+            };
+            let id = sim.add_actor(actor);
+            transport.bind(h, id);
+            host_actors.insert(h, id);
+        }
+
+        let transport = Rc::new(transport);
+        for &aid in server_actors.values() {
+            if let Some(a) = sim.actor_mut::<RoamServer>(aid) {
+                a.transport = Rc::clone(&transport);
+            }
+        }
+        for &aid in host_actors.values() {
+            if let Some(a) = sim.actor_mut::<RoamHost>(aid) {
+                a.transport = Rc::clone(&transport);
+            }
+        }
+
+        RoamDeployment {
+            sim,
+            stats,
+            transport,
+            host_actors,
+            server_actors,
+            users,
+        }
+    }
+
+    /// Injects a login of `user` at `host` at time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host is not part of the deployment.
+    pub fn login_at(&mut self, at: SimTime, user: &MailName, host: NodeId) {
+        let actor = self.host_actors[&host];
+        let delay = at.duration_since(self.sim.now());
+        self.sim
+            .inject(actor, RoamMsg::DoLogin { user: user.clone() }, delay);
+    }
+
+    /// Injects a send at `at` from `from` (at their primary host) to `to`.
+    pub fn send_at(&mut self, at: SimTime, from: &MailName, to: &MailName) {
+        let host = *self.users.get(from).expect("unknown sender");
+        let actor = self.host_actors[&host];
+        let delay = at.duration_since(self.sim.now());
+        self.sim.inject(
+            actor,
+            RoamMsg::DoSend {
+                from: from.clone(),
+                to: to.clone(),
+            },
+            delay,
+        );
+    }
+
+    /// Alerts delivered to `user` at `host`.
+    pub fn alerts_at(&self, host: NodeId, user: &MailName) -> u64 {
+        self.host_actors
+            .get(&host)
+            .and_then(|&aid| self.sim.actor::<RoamHost>(aid))
+            .and_then(|h| h.alerts.get(user).copied())
+            .unwrap_or(0)
+    }
+
+    /// The server responsible for `user`'s sub-group.
+    pub fn responsible_server(&self, user: &MailName, groups: usize) -> NodeId {
+        let servers: Vec<NodeId> = self.server_actors.keys().copied().collect();
+        SubgroupMap::new(groups, servers).server_of(user)
+    }
+
+    /// Total mail currently stored across servers.
+    pub fn mail_in_storage(&self) -> usize {
+        self.server_actors
+            .values()
+            .filter_map(|&aid| self.sim.actor::<RoamServer>(aid))
+            .map(|s| s.mailboxes.values().map(Mailbox::len).sum::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lems_net::generators::multi_region;
+    use lems_net::generators::MultiRegionConfig;
+    use lems_sim::rng::SimRng;
+
+    fn world() -> Topology {
+        let mut rng = SimRng::seed(8);
+        multi_region(
+            &mut rng,
+            &MultiRegionConfig {
+                regions: 1,
+                hosts_per_region: 4,
+                servers_per_region: 3,
+                ..MultiRegionConfig::default()
+            },
+        )
+    }
+
+    fn t(u: f64) -> SimTime {
+        SimTime::from_units(u)
+    }
+
+    #[test]
+    fn mail_to_stationary_user_notifies_primary_without_consults() {
+        let topo = world();
+        let mut d = RoamDeployment::build(&topo, &[1, 1, 1, 1], 16, 1);
+        let users: Vec<MailName> = d.users.keys().cloned().collect();
+        let (alice, bob) = (users[0].clone(), users[1].clone());
+        let bob_home = d.users[&bob];
+
+        // Both log in at their primary hosts.
+        d.login_at(t(1.0), &alice, d.users[&alice]);
+        d.login_at(t(1.0), &bob, bob_home);
+        d.send_at(t(20.0), &alice, &bob);
+        d.sim.run_to_quiescence();
+
+        let st = d.stats.borrow();
+        assert_eq!(st.submitted, 1);
+        assert_eq!(st.stored, 1);
+        assert_eq!(st.notified, 1);
+        assert_eq!(st.notified_at_primary, 1);
+        assert_eq!(st.consults, 0, "no lookup overhead when nobody moves");
+        drop(st);
+        assert_eq!(d.alerts_at(bob_home, &bob), 1);
+    }
+
+    #[test]
+    fn roaming_user_is_notified_at_current_host() {
+        let topo = world();
+        let mut d = RoamDeployment::build(&topo, &[1, 1, 1, 1], 16, 2);
+        let users: Vec<MailName> = d.users.keys().cloned().collect();
+        let (alice, bob) = (users[0].clone(), users[2].clone());
+        let bob_home = d.users[&bob];
+        let hosts = topo.hosts_in(lems_net::topology::RegionId(0));
+        let away = *hosts.iter().find(|&&h| h != bob_home).unwrap();
+
+        // Bob roams to a different host before the mail arrives.
+        d.login_at(t(1.0), &bob, away);
+        d.send_at(t(30.0), &alice, &bob);
+        d.sim.run_to_quiescence();
+
+        assert_eq!(d.alerts_at(away, &bob), 1, "alert must follow bob");
+        assert_eq!(d.alerts_at(bob_home, &bob), 0);
+        let st = d.stats.borrow();
+        assert_eq!(st.notified, 1);
+        assert_eq!(st.unknown_location, 0);
+    }
+
+    #[test]
+    fn never_logged_in_user_defaults_to_primary() {
+        let topo = world();
+        let mut d = RoamDeployment::build(&topo, &[1, 1, 1, 1], 16, 3);
+        let users: Vec<MailName> = d.users.keys().cloned().collect();
+        let (alice, bob) = (users[0].clone(), users[3].clone());
+        let bob_home = d.users[&bob];
+
+        d.send_at(t(5.0), &alice, &bob);
+        d.sim.run_to_quiescence();
+
+        // Bob never logged in: after the peers come up empty, the alert
+        // goes to the primary host derived from his name.
+        assert_eq!(d.alerts_at(bob_home, &bob), 1);
+        let st = d.stats.borrow();
+        assert_eq!(st.notified_at_primary, 1);
+        assert_eq!(st.unknown_location, 0);
+        assert_eq!(d.mail_in_storage(), 1, "mail is stored at the sub-group server");
+    }
+
+    #[test]
+    fn relogin_moves_the_alert_target() {
+        let topo = world();
+        let mut d = RoamDeployment::build(&topo, &[1, 1, 1, 1], 16, 4);
+        let users: Vec<MailName> = d.users.keys().cloned().collect();
+        let (alice, bob) = (users[0].clone(), users[1].clone());
+        let bob_home = d.users[&bob];
+        let hosts = topo.hosts_in(lems_net::topology::RegionId(0));
+        let away = *hosts.iter().find(|&&h| h != bob_home).unwrap();
+
+        d.login_at(t(1.0), &bob, away);
+        d.send_at(t(30.0), &alice, &bob);
+        // Bob goes home; a second message follows him there.
+        d.login_at(t(60.0), &bob, bob_home);
+        d.send_at(t(90.0), &alice, &bob);
+        d.sim.run_to_quiescence();
+
+        assert_eq!(d.alerts_at(away, &bob), 1);
+        assert_eq!(d.alerts_at(bob_home, &bob), 1);
+    }
+
+    #[test]
+    fn cooperative_tracking_broadcasts_locations() {
+        let topo = world();
+        let mut d = RoamDeployment::build(&topo, &[2, 2, 2, 2], 16, 5);
+        let users: Vec<MailName> = d.users.keys().cloned().collect();
+        // Everyone logs in somewhere; all servers must end up agreeing.
+        for (i, u) in users.iter().enumerate() {
+            let hosts = topo.hosts_in(lems_net::topology::RegionId(0));
+            d.login_at(t(1.0 + i as f64), u, hosts[i % hosts.len()]);
+        }
+        d.sim.run_to_quiescence();
+        // Mail to every user notifies without any WhereIs consults,
+        // because LocationUpdates already spread the knowledge.
+        let sender = users[0].clone();
+        for (i, u) in users.iter().enumerate().skip(1) {
+            d.send_at(t(100.0 + i as f64), &sender, u);
+        }
+        d.sim.run_to_quiescence();
+        let st = d.stats.borrow();
+        assert_eq!(st.consults, 0, "cooperative updates make lookups free");
+        assert_eq!(st.notified, users.len() as u64 - 1);
+    }
+}

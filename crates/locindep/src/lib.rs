@@ -1,0 +1,36 @@
+//! # lems-locindep — System 2: limited location-independent access
+//!
+//! The second design of *"Designing Large Electronic Mail Systems"*
+//! (Bahaa-El-Din & Yuen, ICDCS 1988), §3.2: names keep the
+//! `region.host.user` shape but `host` is only the user's *primary*
+//! location — inside a region, users "can move freely and can send or
+//! receive messages from any host … without having to change names".
+//!
+//! * [`subgroup`] — hash-based sub-group name resolution and the
+//!   rehash-to-reconfigure mechanism (§3.2.2b, §3.2.3c);
+//! * [`resolve`] — the per-server resolution procedure built on it;
+//! * [`tracking`] — cooperative user-location tracking among the region's
+//!   servers (§3.2.2c);
+//! * [`actors`] — the running System-2 protocol: login reporting,
+//!   cooperative location tracking, hash-routed delivery, and
+//!   current-location notification over the simulation engine;
+//! * [`delivery`] — delivery-cost accounting, including the
+//!   remote-access / redirect / rename trade-off for cross-region moves
+//!   (§3.2.4) measured by the C5 experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actors;
+pub mod delivery;
+pub mod resolve;
+pub mod subgroup;
+pub mod tracking;
+
+pub use actors::{RoamDeployment, RoamHost, RoamMsg, RoamServer, RoamStats};
+pub use delivery::{
+    delivery_cost, rename_breakeven, CostParams, CrossRegionPolicy, DeliveryCost, UserLocation,
+};
+pub use resolve::{LocIndepResolver, Resolution};
+pub use subgroup::{RehashReport, SubgroupMap};
+pub use tracking::{LocateOutcome, RegionTracker};

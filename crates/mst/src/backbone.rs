@@ -1,0 +1,348 @@
+//! The paper's modification of GHS (§3.3.1A(ii), Fig. 2): a two-level
+//! spanning structure.
+//!
+//! "Since our mail system is partitioned into regions, we modify the
+//! algorithm to find a back-bone MST to connect all regions. Then the MST
+//! algorithm can be performed in each region to span all local nodes. The
+//! back-bone MST is formed by nodes which are directly connected to nodes
+//! in other regions."
+//!
+//! Construction: contract each region to a super-node whose mutual edge
+//! weight is the lightest physical inter-region link; the MST of that
+//! contracted graph is the backbone, realised by those physical links
+//! (whose endpoints are gateways). Each region independently builds a
+//! local MST over its intra-region edges. Local trees plus backbone form
+//! a spanning tree of the whole network:
+//! `Σ_r (n_r − 1) + (R − 1) = N − 1` edges.
+//!
+//! Both a centralized planner ([`build_two_level`], Kruskal-based) and the
+//! distributed construction ([`build_two_level_distributed`], running the
+//! actual GHS protocol per region and on the contracted graph) are
+//! provided; they agree on distinct-weight inputs.
+
+use std::collections::BTreeMap;
+
+use lems_net::graph::{EdgeId, Graph, NodeId, Weight};
+use lems_net::mst::kruskal;
+use lems_net::topology::{RegionId, Topology};
+
+use crate::ghs::{run_ghs, GhsStats};
+
+/// A two-level spanning structure over a multi-region topology.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TwoLevelMst {
+    /// Per-region local MST edges (physical edge ids).
+    pub local_edges: BTreeMap<RegionId, Vec<EdgeId>>,
+    /// Backbone edges (physical inter-region edge ids).
+    pub backbone_edges: Vec<EdgeId>,
+}
+
+impl TwoLevelMst {
+    /// All edges, local then backbone.
+    pub fn all_edges(&self) -> Vec<EdgeId> {
+        let mut v: Vec<EdgeId> = self.local_edges.values().flatten().copied().collect();
+        v.extend(&self.backbone_edges);
+        v.sort_unstable();
+        v
+    }
+
+    /// Total weight of the structure.
+    pub fn total_weight(&self, g: &Graph) -> Weight {
+        self.all_edges().iter().map(|&e| g.edge(e).weight).sum()
+    }
+
+    /// True if the structure is a spanning tree of the whole topology.
+    pub fn spans(&self, t: &Topology) -> bool {
+        let edges = self.all_edges();
+        if edges.len() + 1 != t.node_count() {
+            return false;
+        }
+        let mut uf = lems_net::mst::UnionFind::new(t.node_count());
+        for &eid in &edges {
+            let e = t.graph().edge(eid);
+            if !uf.union(e.a.0, e.b.0) {
+                return false; // cycle
+            }
+        }
+        uf.component_count() == 1
+    }
+
+    /// Tree adjacency over the whole topology.
+    pub fn adjacency(&self, t: &Topology) -> Vec<Vec<NodeId>> {
+        let mut adj = vec![Vec::new(); t.node_count()];
+        for &eid in &self.all_edges() {
+            let e = t.graph().edge(eid);
+            adj[e.a.0].push(e.b);
+            adj[e.b.0].push(e.a);
+        }
+        adj
+    }
+}
+
+/// The contracted "region graph": one node per region, one edge per region
+/// pair with an inter-region link, weighted by the lightest such link.
+/// Returns the graph, the region order (graph node `i` = `regions[i]`),
+/// and for each contracted edge the physical edge realising it.
+fn contract(t: &Topology) -> (Graph, Vec<RegionId>, Vec<EdgeId>) {
+    let regions = t.region_ids();
+    let index: BTreeMap<RegionId, usize> = regions
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| (r, i))
+        .collect();
+    let mut best: BTreeMap<(usize, usize), EdgeId> = BTreeMap::new();
+    for eid in t.inter_region_edges() {
+        let e = t.graph().edge(eid);
+        let (ra, rb) = (index[&t.region(e.a)], index[&t.region(e.b)]);
+        let key = if ra < rb { (ra, rb) } else { (rb, ra) };
+        match best.get(&key) {
+            Some(&cur) if t.graph().edge(cur).weight <= e.weight => {}
+            _ => {
+                best.insert(key, eid);
+            }
+        }
+    }
+    let mut g = Graph::with_nodes(regions.len());
+    let mut realisation = Vec::new();
+    for (&(a, b), &eid) in &best {
+        g.add_edge(NodeId(a), NodeId(b), t.graph().edge(eid).weight);
+        realisation.push(eid);
+    }
+    (g, regions, realisation)
+}
+
+/// Extracts a region's intra-region subgraph. Returns the subgraph and the
+/// mapping from subgraph node index to topology node.
+fn region_subgraph(t: &Topology, region: RegionId) -> (Graph, Vec<NodeId>) {
+    let nodes: Vec<NodeId> = t
+        .nodes()
+        .filter(|&n| t.region(n) == region)
+        .collect();
+    let index: BTreeMap<NodeId, usize> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, i))
+        .collect();
+    let mut g = Graph::with_nodes(nodes.len());
+    for eid in 0..t.graph().edge_count() {
+        let e = t.graph().edge(EdgeId(eid));
+        if let (Some(&a), Some(&b)) = (index.get(&e.a), index.get(&e.b)) {
+            g.add_edge(NodeId(a), NodeId(b), e.weight);
+        }
+    }
+    (g, nodes)
+}
+
+/// Centralized two-level construction (Kruskal per region + Kruskal on the
+/// contracted graph). The planning-time counterpart of the distributed
+/// build; used for cost tables and as a verification oracle.
+///
+/// # Panics
+///
+/// Panics if the topology is disconnected or some region's intra-region
+/// subgraph is disconnected (the paper's model assumes both).
+pub fn build_two_level(t: &Topology) -> TwoLevelMst {
+    assert!(t.is_connected(), "topology must be connected");
+    let mut local_edges = BTreeMap::new();
+    for region in t.region_ids() {
+        let (sub, nodes) = region_subgraph(t, region);
+        assert!(
+            sub.is_connected(),
+            "region {region} must be internally connected"
+        );
+        let tree = kruskal(&sub);
+        let mut phys = Vec::new();
+        for &sub_eid in tree.edges() {
+            let e = sub.edge(sub_eid);
+            let (a, b) = (nodes[e.a.0], nodes[e.b.0]);
+            phys.push(t.graph().edge_between(a, b).expect("edge exists"));
+        }
+        phys.sort_unstable();
+        local_edges.insert(region, phys);
+    }
+
+    let (contracted, _regions, realisation) = contract(t);
+    let backbone_tree = kruskal(&contracted);
+    let mut backbone_edges: Vec<EdgeId> = backbone_tree
+        .edges()
+        .iter()
+        .map(|&ce| realisation[ce.0])
+        .collect();
+    backbone_edges.sort_unstable();
+
+    TwoLevelMst {
+        local_edges,
+        backbone_edges,
+    }
+}
+
+/// Distributed two-level construction: runs the real GHS protocol inside
+/// each region (gateway nodes and all) and once more among the regions'
+/// representatives over the contracted graph, as §3.3.1A(ii) describes.
+/// Returns the structure plus the aggregate protocol statistics.
+///
+/// # Panics
+///
+/// As [`build_two_level`], plus GHS's distinct-weight requirement on each
+/// region subgraph and the contracted graph.
+pub fn build_two_level_distributed(t: &Topology, seed: u64) -> (TwoLevelMst, GhsStats) {
+    assert!(t.is_connected(), "topology must be connected");
+    let mut agg = GhsStats::default();
+    let mut merge = |s: &GhsStats| {
+        for (&k, &v) in &s.sent {
+            *agg.sent.entry(k).or_insert(0) += v;
+        }
+        agg.requeues += s.requeues;
+        agg.halted_nodes += s.halted_nodes;
+    };
+
+    let mut local_edges = BTreeMap::new();
+    for region in t.region_ids() {
+        let (sub, nodes) = region_subgraph(t, region);
+        assert!(
+            sub.is_connected(),
+            "region {region} must be internally connected"
+        );
+        let mut phys = Vec::new();
+        if sub.node_count() >= 2 {
+            let run = run_ghs(&sub, seed ^ region.0 as u64);
+            merge(&run.stats);
+            for &(a, b) in &run.edges {
+                let (pa, pb) = (nodes[a.0], nodes[b.0]);
+                phys.push(t.graph().edge_between(pa, pb).expect("edge exists"));
+            }
+        }
+        phys.sort_unstable();
+        local_edges.insert(region, phys);
+    }
+
+    let (contracted, _regions, realisation) = contract(t);
+    let mut backbone_edges = Vec::new();
+    if contracted.node_count() >= 2 {
+        let run = run_ghs(&contracted, seed ^ 0xbacc_b04e);
+        merge(&run.stats);
+        for &(a, b) in &run.edges {
+            let ce = contracted.edge_between(a, b).expect("edge exists");
+            backbone_edges.push(realisation[ce.0]);
+        }
+    }
+    backbone_edges.sort_unstable();
+
+    (
+        TwoLevelMst {
+            local_edges,
+            backbone_edges,
+        },
+        agg,
+    )
+}
+
+/// The flat (single-level) MST of the whole topology, for comparing the
+/// cost of regional autonomy: the two-level structure's weight is ≥ the
+/// flat MST's, because the backbone is constrained to one link per region
+/// pair.
+pub fn flat_mst_weight(t: &Topology) -> Weight {
+    kruskal(t.graph()).total_weight()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lems_net::generators::{multi_region, MultiRegionConfig};
+    use lems_sim::rng::SimRng;
+
+    fn world(seed: u64, regions: usize) -> Topology {
+        let mut rng = SimRng::seed(seed);
+        let cfg = MultiRegionConfig {
+            regions,
+            hosts_per_region: 3,
+            servers_per_region: 3,
+            ..MultiRegionConfig::default()
+        };
+        multi_region(&mut rng, &cfg)
+    }
+
+    /// Rebuilds the topology with globally distinct weights (required by
+    /// GHS); regenerates from the graph.
+    fn distinct(t: &Topology) -> Topology {
+        // Weights in `multi_region` are quantized and can collide; nudge
+        // them by edge index like Graph::with_distinct_weights but through
+        // a fresh Topology.
+        let g = t.graph().with_distinct_weights();
+        let mut t2 = Topology::new();
+        for n in t.nodes() {
+            match t.kind(n) {
+                lems_net::topology::NodeKind::Host => t2.add_host(t.region(n), t.name(n)),
+                lems_net::topology::NodeKind::Server => t2.add_server(t.region(n), t.name(n)),
+            };
+        }
+        for e in g.edges() {
+            t2.link(e.a, e.b, e.weight);
+        }
+        t2
+    }
+
+    #[test]
+    fn two_level_spans_the_network() {
+        for seed in 0..5 {
+            let t = distinct(&world(seed, 4));
+            let two = build_two_level(&t);
+            assert!(two.spans(&t), "seed {seed}");
+            assert_eq!(two.backbone_edges.len(), 3);
+        }
+    }
+
+    #[test]
+    fn backbone_edges_connect_gateways() {
+        let t = distinct(&world(7, 4));
+        let two = build_two_level(&t);
+        let gateways = t.gateways();
+        for &eid in &two.backbone_edges {
+            let e = t.graph().edge(eid);
+            assert!(gateways.contains(&e.a) && gateways.contains(&e.b));
+            assert_ne!(t.region(e.a), t.region(e.b));
+        }
+    }
+
+    #[test]
+    fn distributed_matches_centralized() {
+        for seed in 0..4 {
+            let t = distinct(&world(seed + 10, 3));
+            let central = build_two_level(&t);
+            let (dist, stats) = build_two_level_distributed(&t, seed);
+            assert_eq!(central, dist, "seed {seed}");
+            assert!(stats.total_sent() > 0);
+        }
+    }
+
+    #[test]
+    fn two_level_weight_at_least_flat() {
+        for seed in 0..5 {
+            let t = distinct(&world(seed + 20, 5));
+            let two = build_two_level(&t);
+            let flat = flat_mst_weight(&t);
+            assert!(
+                two.total_weight(t.graph()) >= flat,
+                "two-level cannot beat the unconstrained MST"
+            );
+        }
+    }
+
+    #[test]
+    fn single_region_degenerates_to_local_mst() {
+        let t = distinct(&world(30, 1));
+        let two = build_two_level(&t);
+        assert!(two.backbone_edges.is_empty());
+        assert!(two.spans(&t));
+        assert_eq!(two.total_weight(t.graph()), flat_mst_weight(&t));
+    }
+
+    #[test]
+    fn adjacency_has_tree_degree_sum() {
+        let t = distinct(&world(31, 4));
+        let two = build_two_level(&t);
+        let adj = two.adjacency(&t);
+        let degree_sum: usize = adj.iter().map(Vec::len).sum();
+        assert_eq!(degree_sum, 2 * (t.node_count() - 1));
+    }
+}

@@ -1,0 +1,545 @@
+//! Broadcasting and response collection over a spanning tree (§3.3.1A/B).
+//!
+//! "Upon receiving a request from the parent node in the MST, each node
+//! sends the message to its children nodes, and waits for the messages to
+//! come back from all the children nodes. It then combines them into a
+//! single summary message and returns it to its parent node. … a parent
+//! node should time out if it waits for a certain period of time and the
+//! unavailable estimates can be marked so."
+//!
+//! The actor-based simulation exercises exactly that protocol, including
+//! node failures masked by parent timeouts; pure cost functions compare
+//! MST broadcast against flooding and per-recipient unicast (the paper's
+//! efficiency argument for using the MST).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use lems_net::graph::{Graph, NodeId};
+#[cfg(test)]
+use lems_net::graph::Weight;
+use lems_net::shortest_path::DistanceTable;
+use lems_net::transport::Transport;
+use lems_sim::actor::{Actor, ActorId, ActorSim, Ctx, TimerId};
+use lems_sim::failure::FailurePlan;
+use lems_sim::time::{SimDuration, SimTime};
+
+/// Aggregated result flowing up the tree.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Aggregate {
+    /// Nodes that answered (including the subtree root).
+    pub responded: u64,
+    /// Matches found (e.g. users whose attributes satisfy the query).
+    pub matches: u64,
+    /// Subtrees marked unavailable by a parent timeout.
+    pub unavailable: u64,
+}
+
+impl Aggregate {
+    fn merge(&mut self, other: Aggregate) {
+        self.responded += other.responded;
+        self.matches += other.matches;
+        self.unavailable += other.unavailable;
+    }
+}
+
+/// Tree protocol messages.
+#[derive(Clone, Copy, Debug)]
+pub enum BcastMsg {
+    /// Query flowing down from the parent.
+    Query,
+    /// Aggregated response flowing up to the parent.
+    Response(Aggregate),
+}
+
+/// One tree node in the broadcast/convergecast protocol.
+struct BcastNode {
+    node: NodeId,
+    transport: Rc<Transport>,
+    neighbors: Vec<NodeId>,
+    /// Matches this node contributes (its local search result).
+    local_matches: u64,
+    /// Per-child aggregation state for the in-flight query.
+    parent: Option<NodeId>,
+    waiting_children: Vec<NodeId>,
+    acc: Aggregate,
+    timer: Option<TimerId>,
+    /// How long to wait for children before marking them unavailable
+    /// (precomputed per node from its subtree depth).
+    timeout: SimDuration,
+    /// Filled in at the root when the convergecast completes.
+    result: Rc<RefCell<Option<(Aggregate, SimTime)>>>,
+    is_root: bool,
+}
+
+impl BcastNode {
+    fn finish(&mut self, ctx: &mut Ctx<'_, BcastMsg>) {
+        if let Some(t) = self.timer.take() {
+            ctx.cancel_timer(t);
+        }
+        let mut out = self.acc;
+        out.responded += 1;
+        out.matches += self.local_matches;
+        if self.is_root {
+            *self.result.borrow_mut() = Some((out, ctx.now()));
+        } else if let Some(p) = self.parent {
+            self.transport
+                .send_edge(ctx, self.node, p, BcastMsg::Response(out));
+        }
+    }
+
+    fn maybe_finish(&mut self, ctx: &mut Ctx<'_, BcastMsg>) {
+        if self.waiting_children.is_empty() {
+            self.finish(ctx);
+        }
+    }
+}
+
+impl Actor for BcastNode {
+    type Msg = BcastMsg;
+
+    fn on_message(&mut self, from: ActorId, msg: BcastMsg, ctx: &mut Ctx<'_, BcastMsg>) {
+        match msg {
+            BcastMsg::Query => {
+                let parent = self.transport.node_of(from);
+                self.parent = parent;
+                self.acc = Aggregate::default();
+                self.waiting_children = self
+                    .neighbors
+                    .iter()
+                    .copied()
+                    .filter(|&n| Some(n) != parent)
+                    .collect();
+                for &c in &self.waiting_children.clone() {
+                    self.transport.send_edge(ctx, self.node, c, BcastMsg::Query);
+                }
+                if !self.waiting_children.is_empty() {
+                    self.timer = Some(ctx.set_timer(self.timeout, 0));
+                }
+                self.maybe_finish(ctx);
+            }
+            BcastMsg::Response(agg) => {
+                let Some(child) = self.transport.node_of(from) else {
+                    return;
+                };
+                if let Some(pos) = self.waiting_children.iter().position(|&c| c == child) {
+                    self.waiting_children.remove(pos);
+                    self.acc.merge(agg);
+                    self.maybe_finish(ctx);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _id: TimerId, _tag: u64, ctx: &mut Ctx<'_, BcastMsg>) {
+        // Children that have not answered are marked unavailable, as the
+        // paper prescribes.
+        self.timer = None;
+        self.acc.unavailable += self.waiting_children.len() as u64;
+        self.waiting_children.clear();
+        self.finish(ctx);
+    }
+}
+
+/// Outcome of one simulated broadcast/convergecast.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BroadcastOutcome {
+    /// The root's final aggregate.
+    pub aggregate: Aggregate,
+    /// Virtual time from query injection to root completion.
+    pub completed_at: SimTime,
+}
+
+/// Configuration for [`simulate_broadcast`].
+#[derive(Clone, Debug)]
+pub struct BroadcastConfig {
+    /// The node initiating the query.
+    pub root: NodeId,
+    /// Matches contributed by each node (aligned with graph nodes;
+    /// missing entries count 0).
+    pub local_matches: Vec<u64>,
+    /// Extra waiting slack granted per tree level. Each node's timeout is
+    /// `2 × (its subtree's longest path delay) + grace × (levels below + 1)`,
+    /// so a parent always outlasts its children's own timeouts.
+    pub grace: SimDuration,
+    /// Engine seed.
+    pub seed: u64,
+}
+
+/// Computes each node's timeout from the tree oriented at `root`.
+fn subtree_timeouts(
+    g: &Graph,
+    adj: &[Vec<NodeId>],
+    root: NodeId,
+    grace: SimDuration,
+) -> Vec<SimDuration> {
+    let n = adj.len();
+    // Orient the tree: compute order by DFS from root.
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut order = Vec::with_capacity(n);
+    let mut stack = vec![root];
+    let mut seen = vec![false; n];
+    seen[root.0] = true;
+    while let Some(u) = stack.pop() {
+        order.push(u);
+        for &v in &adj[u.0] {
+            if !seen[v.0] {
+                seen[v.0] = true;
+                parent[v.0] = Some(u);
+                stack.push(v);
+            }
+        }
+    }
+    // Bottom-up: longest path delay and height below each node.
+    let mut path_delay = vec![SimDuration::ZERO; n];
+    let mut height = vec![0u32; n];
+    for &u in order.iter().rev() {
+        for &v in &adj[u.0] {
+            if parent[v.0] == Some(u) {
+                let eid = g.edge_between(u, v).expect("tree edge");
+                let d = g.edge(eid).weight.as_duration() + path_delay[v.0];
+                if d > path_delay[u.0] {
+                    path_delay[u.0] = d;
+                }
+                height[u.0] = height[u.0].max(height[v.0] + 1);
+            }
+        }
+    }
+    (0..n)
+        .map(|i| path_delay[i] * 2 + grace * u64::from(height[i] + 1))
+        .collect()
+}
+
+/// Runs the broadcast/convergecast protocol over `tree_adjacency` (a
+/// spanning tree of `g`), with failures from `plan` (indexed by node id).
+///
+/// Returns `None` if the root itself is down for the whole run.
+///
+/// # Panics
+///
+/// Panics if the adjacency is not shaped for `g`.
+pub fn simulate_broadcast(
+    g: &Graph,
+    tree_adjacency: &[Vec<NodeId>],
+    cfg: &BroadcastConfig,
+    plan: &FailurePlan,
+) -> Option<BroadcastOutcome> {
+    assert_eq!(
+        tree_adjacency.len(),
+        g.node_count(),
+        "adjacency must cover every node"
+    );
+    let mut sim: ActorSim<BcastMsg> = ActorSim::new(cfg.seed);
+    let mut transport = Transport::new(g);
+    let result: Rc<RefCell<Option<(Aggregate, SimTime)>>> = Rc::new(RefCell::new(None));
+
+    let timeouts = subtree_timeouts(g, tree_adjacency, cfg.root, cfg.grace);
+    // One shared placeholder until the bound transport is installed.
+    let placeholder = Rc::new(Transport::new(g));
+    let mut actor_ids = Vec::with_capacity(g.node_count());
+    for n in g.nodes() {
+        let node = BcastNode {
+            node: n,
+            transport: Rc::clone(&placeholder),
+            neighbors: tree_adjacency[n.0].clone(),
+            local_matches: cfg.local_matches.get(n.0).copied().unwrap_or(0),
+            parent: None,
+            waiting_children: Vec::new(),
+            acc: Aggregate::default(),
+            timer: None,
+            timeout: timeouts[n.0],
+            result: Rc::clone(&result),
+            is_root: n == cfg.root,
+        };
+        let aid = sim.add_actor(node);
+        transport.bind(n, aid);
+        actor_ids.push(aid);
+    }
+    let transport = Rc::new(transport);
+    for &aid in &actor_ids {
+        if let Some(node) = sim.actor_mut::<BcastNode>(aid) {
+            node.transport = Rc::clone(&transport);
+        }
+    }
+
+    // Apply failures: node i <-> actor_ids[i].
+    for actor in plan.affected_actors() {
+        for o in plan.outages(actor) {
+            if actor.0 < actor_ids.len() {
+                sim.schedule_crash(actor_ids[actor.0], o.down_at);
+                sim.schedule_recover(actor_ids[actor.0], o.up_at);
+            }
+        }
+    }
+
+    sim.inject(
+        actor_ids[cfg.root.0],
+        BcastMsg::Query,
+        SimDuration::from_units(0.001),
+    );
+    sim.run_to_quiescence();
+
+    let out = result.borrow();
+    out.map(|(aggregate, completed_at)| BroadcastOutcome {
+        aggregate,
+        completed_at,
+    })
+}
+
+/// Pure cost comparison (§3.3.1B): "the total cost of traversing the MST
+/// is the sum of the weights of the MST".
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CostComparison {
+    /// Broadcast once over the tree edges.
+    pub mst_units: f64,
+    /// Naive flooding: one transmission on every edge of the graph.
+    pub flooding_units: f64,
+    /// Separate unicast from the root to every other node along shortest
+    /// paths.
+    pub unicast_units: f64,
+}
+
+/// Computes all three costs for broadcasting from `root` over the tree
+/// whose edge ids are `tree_edges`.
+pub fn cost_comparison(
+    g: &Graph,
+    dist: &DistanceTable,
+    root: NodeId,
+    tree_edges: &[lems_net::graph::EdgeId],
+) -> CostComparison {
+    let mst_units: f64 = tree_edges
+        .iter()
+        .map(|&e| g.edge(e).weight.as_units())
+        .sum();
+    let flooding_units: f64 = g.edges().iter().map(|e| e.weight.as_units()).sum();
+    let unicast_units: f64 = g
+        .nodes()
+        .filter(|&n| n != root)
+        .map(|n| dist.distance(root, n).as_units())
+        .sum();
+    CostComparison {
+        mst_units,
+        flooding_units,
+        unicast_units,
+    }
+}
+
+/// Per-region cost table of §3.3.1B: "a table listing the costs for
+/// delivery to the targeted recipients in each region can be generated.
+/// The user who is interested in broadcasting mail then can choose the
+/// regions he wants to send his mail to."
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RegionCostTable {
+    /// `(region, delivery cost in units)`, ascending by region id.
+    pub rows: Vec<(lems_net::topology::RegionId, f64)>,
+}
+
+impl RegionCostTable {
+    /// Total cost of broadcasting to every region.
+    pub fn total(&self) -> f64 {
+        self.rows.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Cheapest subset of regions whose combined cost fits `budget`
+    /// (greedy, cheapest-first — the flow-control use of the table).
+    pub fn regions_within_budget(&self, budget: f64) -> Vec<lems_net::topology::RegionId> {
+        let mut rows = self.rows.clone();
+        rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+        let mut chosen = Vec::new();
+        let mut spent = 0.0;
+        for (r, c) in rows {
+            if spent + c <= budget {
+                spent += c;
+                chosen.push(r);
+            }
+        }
+        chosen.sort_unstable();
+        chosen
+    }
+}
+
+/// Builds the per-region cost table for a two-level structure: a region's
+/// cost is its local MST weight plus the backbone edges on the (backbone)
+/// path from the root's region.
+pub fn region_cost_table(
+    t: &lems_net::topology::Topology,
+    two_level: &crate::backbone::TwoLevelMst,
+    root_region: lems_net::topology::RegionId,
+) -> RegionCostTable {
+    use lems_net::topology::RegionId;
+    let regions = t.region_ids();
+    // Build the backbone graph over regions to compute path costs.
+    let index: BTreeMap<RegionId, usize> = regions
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| (r, i))
+        .collect();
+    let mut bg = Graph::with_nodes(regions.len());
+    for &eid in &two_level.backbone_edges {
+        let e = t.graph().edge(eid);
+        bg.add_edge(
+            NodeId(index[&t.region(e.a)]),
+            NodeId(index[&t.region(e.b)]),
+            e.weight,
+        );
+    }
+    let dist = DistanceTable::build(&bg);
+    let root_idx = NodeId(index[&root_region]);
+
+    let rows = regions
+        .iter()
+        .map(|&r| {
+            let local: f64 = two_level.local_edges[&r]
+                .iter()
+                .map(|&e| t.graph().edge(e).weight.as_units())
+                .sum();
+            let backbone = if r == root_region {
+                0.0
+            } else {
+                let w = dist.distance(root_idx, NodeId(index[&r]));
+                if w.is_infinite() {
+                    f64::INFINITY
+                } else {
+                    w.as_units()
+                }
+            };
+            (r, local + backbone)
+        })
+        .collect();
+    RegionCostTable { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lems_net::mst::kruskal;
+    use lems_sim::actor::ActorId;
+
+    fn chain(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 1..n {
+            g.add_edge(
+                NodeId(i - 1),
+                NodeId(i),
+                Weight::from_units(1.0 + i as f64 * 0.125),
+            );
+        }
+        g
+    }
+
+    fn tree_adj(g: &Graph) -> Vec<Vec<NodeId>> {
+        kruskal(g).adjacency(g)
+    }
+
+    #[test]
+    fn full_tree_aggregation() {
+        let g = chain(6);
+        let adj = tree_adj(&g);
+        let cfg = BroadcastConfig {
+            root: NodeId(0),
+            local_matches: vec![1, 0, 2, 0, 3, 1],
+            grace: SimDuration::from_units(2.0),
+            seed: 1,
+        };
+        let out = simulate_broadcast(&g, &adj, &cfg, &FailurePlan::new()).unwrap();
+        assert_eq!(out.aggregate.responded, 6);
+        assert_eq!(out.aggregate.matches, 7);
+        assert_eq!(out.aggregate.unavailable, 0);
+    }
+
+    #[test]
+    fn dead_subtree_is_marked_unavailable() {
+        let g = chain(6);
+        let adj = tree_adj(&g);
+        let mut plan = FailurePlan::new();
+        // Node 3 dead for the whole run: nodes 3,4,5 unreachable.
+        plan.add_outage(ActorId(3), SimTime::ZERO, SimTime::from_units(1e9));
+        let cfg = BroadcastConfig {
+            root: NodeId(0),
+            local_matches: vec![1; 6],
+            grace: SimDuration::from_units(2.0),
+            seed: 2,
+        };
+        let out = simulate_broadcast(&g, &adj, &cfg, &plan).unwrap();
+        assert_eq!(out.aggregate.responded, 3); // 0,1,2
+        assert_eq!(out.aggregate.matches, 3);
+        assert_eq!(out.aggregate.unavailable, 1); // node 2 marked its child
+    }
+
+    #[test]
+    fn root_down_returns_none() {
+        let g = chain(3);
+        let adj = tree_adj(&g);
+        let mut plan = FailurePlan::new();
+        plan.add_outage(ActorId(0), SimTime::ZERO, SimTime::from_units(1e9));
+        let cfg = BroadcastConfig {
+            root: NodeId(0),
+            local_matches: vec![1; 3],
+            grace: SimDuration::from_units(2.0),
+            seed: 3,
+        };
+        assert_eq!(simulate_broadcast(&g, &adj, &cfg, &plan), None);
+    }
+
+    #[test]
+    fn star_aggregates_in_one_round() {
+        let mut g = Graph::with_nodes(5);
+        for i in 1..5 {
+            g.add_edge(NodeId(0), NodeId(i), Weight::from_units(i as f64));
+        }
+        let adj = tree_adj(&g);
+        let cfg = BroadcastConfig {
+            root: NodeId(0),
+            local_matches: vec![0, 1, 1, 1, 1],
+            grace: SimDuration::from_units(2.0),
+            seed: 4,
+        };
+        let out = simulate_broadcast(&g, &adj, &cfg, &FailurePlan::new()).unwrap();
+        assert_eq!(out.aggregate.matches, 4);
+        // Completion = 2 × the slowest spoke (4 units), plus injection;
+        // well inside the root's timeout of 8 + grace.
+        assert!(out.completed_at <= SimTime::from_units(8.01));
+    }
+
+    #[test]
+    fn mst_broadcast_is_cheapest() {
+        // A graph with redundancy: flooding must cost more than the tree.
+        let mut g = Graph::with_nodes(6);
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                g.add_edge(
+                    NodeId(i),
+                    NodeId(j),
+                    Weight::from_units(1.0 + (i * 7 + j) as f64 * 0.25),
+                );
+            }
+        }
+        let tree = kruskal(&g);
+        let dist = DistanceTable::build(&g);
+        let c = cost_comparison(&g, &dist, NodeId(0), tree.edges());
+        assert!(c.mst_units < c.flooding_units);
+        assert!(c.mst_units <= c.unicast_units);
+    }
+
+    #[test]
+    fn region_cost_table_budget_selection() {
+        let table = RegionCostTable {
+            rows: vec![
+                (lems_net::topology::RegionId(0), 5.0),
+                (lems_net::topology::RegionId(1), 20.0),
+                (lems_net::topology::RegionId(2), 10.0),
+            ],
+        };
+        assert_eq!(table.total(), 35.0);
+        let chosen = table.regions_within_budget(16.0);
+        assert_eq!(
+            chosen,
+            vec![
+                lems_net::topology::RegionId(0),
+                lems_net::topology::RegionId(2)
+            ]
+        );
+        assert!(table.regions_within_budget(1.0).is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! # lems-mst — distributed minimum-weight spanning trees
+//!
+//! The machinery behind attribute-based mail distribution (§3.3.1A of
+//! *"Designing Large Electronic Mail Systems"*, Bahaa-El-Din & Yuen,
+//! ICDCS 1988):
+//!
+//! * [`messages`] — the Gallager–Humblet–Spira message alphabet;
+//! * [`ghs`] — a faithful implementation of the distributed GHS MST
+//!   algorithm \[GAL83\] over the `lems-sim` actor engine, verified
+//!   edge-for-edge against centralized Kruskal;
+//! * [`backbone`] — the paper's modification: a backbone MST connecting
+//!   the regions through gateway nodes plus a local MST per region
+//!   (Fig. 2), built both centrally and with the real distributed
+//!   protocol;
+//! * [`broadcast`] — broadcast and convergecast over the tree with parent
+//!   timeouts masking dead subtrees, and the §3.3.1B cost analysis
+//!   (MST vs flooding vs unicast, per-region cost tables for flow
+//!   control).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backbone;
+pub mod broadcast;
+pub mod ghs;
+pub mod messages;
+
+pub use backbone::{build_two_level, build_two_level_distributed, flat_mst_weight, TwoLevelMst};
+pub use broadcast::{
+    cost_comparison, region_cost_table, simulate_broadcast, Aggregate, BroadcastConfig,
+    BroadcastOutcome, CostComparison, RegionCostTable,
+};
+pub use ghs::{run_ghs, GhsNode, GhsRun, GhsSim, GhsStats};
+pub use messages::{FragmentId, GhsMsg, NodePhase};

@@ -1,0 +1,125 @@
+//! Hop-by-hop routing tables derived from shortest paths.
+//!
+//! Messages between mail servers are relayed "through other hosts and
+//! servers using the communication service" (§2); the transport layer uses
+//! these next-hop tables when an experiment models store-and-forward
+//! relaying rather than end-to-end delays.
+
+use crate::graph::{Graph, NodeId, Weight};
+use crate::shortest_path::dijkstra;
+
+/// Precomputed next-hop table for every (source, destination) pair.
+#[derive(Clone, Debug)]
+pub struct RoutingTable {
+    n: usize,
+    /// next_hop[src * n + dst] — `None` when src == dst or unreachable.
+    next_hop: Vec<Option<NodeId>>,
+    dist: Vec<Weight>,
+}
+
+impl RoutingTable {
+    /// Builds the table from shortest paths on `g`.
+    pub fn build(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut next_hop = vec![None; n * n];
+        let mut dist = vec![Weight::INFINITY; n * n];
+        for s in g.nodes() {
+            let sp = dijkstra(g, s);
+            for t in g.nodes() {
+                next_hop[s.0 * n + t.0] = sp.next_hop(t);
+                dist[s.0 * n + t.0] = sp.distance(t);
+            }
+        }
+        RoutingTable { n, next_hop, dist }
+    }
+
+    /// The neighbor `src` should forward through to reach `dst`; `None`
+    /// when `src == dst` or `dst` is unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
+        assert!(src.0 < self.n && dst.0 < self.n, "node out of range");
+        self.next_hop[src.0 * self.n + dst.0]
+    }
+
+    /// End-to-end cost from `src` to `dst`.
+    pub fn distance(&self, src: NodeId, dst: NodeId) -> Weight {
+        assert!(src.0 < self.n && dst.0 < self.n, "node out of range");
+        self.dist[src.0 * self.n + dst.0]
+    }
+
+    /// The full route `src..=dst` by following next hops, or `None` if
+    /// unreachable.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        if self.dist[src.0 * self.n + dst.0].is_infinite() {
+            return None;
+        }
+        let mut route = vec![src];
+        let mut cur = src;
+        while cur != dst {
+            cur = self.next_hop(cur, dst)?;
+            route.push(cur);
+            debug_assert!(route.len() <= self.n, "routing loop");
+        }
+        Some(route)
+    }
+
+    /// Number of hops (edges) on the route, or `None` if unreachable.
+    pub fn hop_count(&self, src: NodeId, dst: NodeId) -> Option<usize> {
+        self.route(src, dst).map(|r| r.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 1..n {
+            g.add_edge(NodeId(i - 1), NodeId(i), Weight::UNIT);
+        }
+        g
+    }
+
+    #[test]
+    fn routes_follow_the_chain() {
+        let g = chain(4);
+        let rt = RoutingTable::build(&g);
+        assert_eq!(
+            rt.route(NodeId(0), NodeId(3)).unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+        assert_eq!(rt.hop_count(NodeId(0), NodeId(3)), Some(3));
+        assert_eq!(rt.next_hop(NodeId(0), NodeId(0)), None);
+        assert_eq!(rt.route(NodeId(2), NodeId(2)).unwrap(), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn unreachable_routes_are_none() {
+        let mut g = chain(2);
+        let lonely = g.add_node();
+        let rt = RoutingTable::build(&g);
+        assert_eq!(rt.route(NodeId(0), lonely), None);
+        assert_eq!(rt.hop_count(NodeId(0), lonely), None);
+        assert!(rt.distance(NodeId(0), lonely).is_infinite());
+    }
+
+    #[test]
+    fn route_cost_matches_distance() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), Weight::from_units(1.0));
+        g.add_edge(NodeId(1), NodeId(3), Weight::from_units(1.0));
+        g.add_edge(NodeId(0), NodeId(2), Weight::from_units(1.0));
+        g.add_edge(NodeId(2), NodeId(3), Weight::from_units(5.0));
+        let rt = RoutingTable::build(&g);
+        let route = rt.route(NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(route, vec![NodeId(0), NodeId(1), NodeId(3)]);
+        assert_eq!(rt.distance(NodeId(0), NodeId(3)), Weight::from_units(2.0));
+    }
+}

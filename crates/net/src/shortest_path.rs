@@ -1,0 +1,281 @@
+//! Shortest paths: Dijkstra single-source and all-pairs tables.
+//!
+//! The server-assignment algorithm of §3.1.1 initialises connection costs
+//! "using the shortest-path zero-load (i.e., no traffic) algorithm between
+//! hosts and servers"; message forwarding and the transport layer reuse the
+//! same tables.
+
+use std::collections::BinaryHeap;
+
+use crate::graph::{Graph, NodeId, Weight};
+
+/// The result of a single-source shortest-path run.
+#[derive(Clone, Debug)]
+pub struct ShortestPaths {
+    source: NodeId,
+    dist: Vec<Weight>,
+    prev: Vec<Option<NodeId>>,
+}
+
+impl ShortestPaths {
+    /// The source node of this run.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Distance from the source to `n` ([`Weight::INFINITY`] when
+    /// unreachable).
+    pub fn distance(&self, n: NodeId) -> Weight {
+        self.dist[n.0]
+    }
+
+    /// True if `n` is reachable from the source.
+    pub fn is_reachable(&self, n: NodeId) -> bool {
+        !self.dist[n.0].is_infinite()
+    }
+
+    /// The shortest path from the source to `dest`, inclusive of both
+    /// endpoints, or `None` if unreachable.
+    pub fn path_to(&self, dest: NodeId) -> Option<Vec<NodeId>> {
+        if self.dist[dest.0].is_infinite() {
+            return None;
+        }
+        let mut path = vec![dest];
+        let mut cur = dest;
+        while let Some(p) = self.prev[cur.0] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        debug_assert_eq!(path.first(), Some(&self.source));
+        Some(path)
+    }
+
+    /// The first hop on the shortest path toward `dest` (i.e. the neighbor
+    /// of the source to forward through), or `None` if `dest` is the source
+    /// or unreachable.
+    pub fn next_hop(&self, dest: NodeId) -> Option<NodeId> {
+        let path = self.path_to(dest)?;
+        path.get(1).copied()
+    }
+}
+
+/// Dijkstra's algorithm from `source`.
+///
+/// Deterministic: ties between equal-distance frontier nodes break toward
+/// the lower node id.
+///
+/// # Examples
+///
+/// ```
+/// use lems_net::graph::{Graph, NodeId, Weight};
+/// use lems_net::shortest_path::dijkstra;
+///
+/// let mut g = Graph::with_nodes(3);
+/// g.add_edge(NodeId(0), NodeId(1), Weight::UNIT);
+/// g.add_edge(NodeId(1), NodeId(2), Weight::UNIT);
+/// let sp = dijkstra(&g, NodeId(0));
+/// assert_eq!(sp.distance(NodeId(2)), Weight::from_units(2.0));
+/// assert_eq!(sp.path_to(NodeId(2)).unwrap(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `source` is not a node of `g`.
+pub fn dijkstra(g: &Graph, source: NodeId) -> ShortestPaths {
+    assert!(source.0 < g.node_count(), "unknown source {source}");
+    let n = g.node_count();
+    let mut dist = vec![Weight::INFINITY; n];
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
+    let mut done = vec![false; n];
+    dist[source.0] = Weight::ZERO;
+
+    // Max-heap over Reverse ordering: (distance, node id).
+    let mut heap: BinaryHeap<std::cmp::Reverse<(Weight, usize)>> = BinaryHeap::new();
+    heap.push(std::cmp::Reverse((Weight::ZERO, source.0)));
+
+    while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+        if done[u] {
+            continue;
+        }
+        done[u] = true;
+        for (v, eid) in g.neighbors(NodeId(u)) {
+            let nd = d.saturating_add(g.edge(eid).weight);
+            if nd < dist[v.0] {
+                dist[v.0] = nd;
+                prev[v.0] = Some(NodeId(u));
+                heap.push(std::cmp::Reverse((nd, v.0)));
+            }
+        }
+    }
+
+    ShortestPaths { source, dist, prev }
+}
+
+/// All-pairs shortest-path distances (repeated Dijkstra; suitable for the
+/// sparse topologies mail networks have).
+#[derive(Clone, Debug)]
+pub struct DistanceTable {
+    n: usize,
+    dist: Vec<Weight>,
+}
+
+impl DistanceTable {
+    /// Builds the table for `g`.
+    pub fn build(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut dist = vec![Weight::INFINITY; n * n];
+        for s in g.nodes() {
+            let sp = dijkstra(g, s);
+            for t in g.nodes() {
+                dist[s.0 * n + t.0] = sp.distance(t);
+            }
+        }
+        DistanceTable { n, dist }
+    }
+
+    /// Distance between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> Weight {
+        assert!(a.0 < self.n && b.0 < self.n, "node out of range");
+        self.dist[a.0 * self.n + b.0]
+    }
+
+    /// Number of nodes covered.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// The largest finite distance in the table (the graph's weighted
+    /// diameter), or `None` for an empty/disconnected table.
+    pub fn diameter(&self) -> Option<Weight> {
+        self.dist
+            .iter()
+            .copied()
+            .filter(|w| !w.is_infinite())
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lems_sim::rng::SimRng;
+    use proptest::prelude::*;
+
+    fn line_graph(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 1..n {
+            g.add_edge(NodeId(i - 1), NodeId(i), Weight::UNIT);
+        }
+        g
+    }
+
+    #[test]
+    fn line_distances() {
+        let g = line_graph(5);
+        let sp = dijkstra(&g, NodeId(0));
+        for i in 0..5 {
+            assert_eq!(sp.distance(NodeId(i)), Weight::from_units(i as f64));
+        }
+        assert_eq!(sp.next_hop(NodeId(4)), Some(NodeId(1)));
+        assert_eq!(sp.next_hop(NodeId(0)), None);
+    }
+
+    #[test]
+    fn unreachable_nodes() {
+        let mut g = line_graph(3);
+        let lonely = g.add_node();
+        let sp = dijkstra(&g, NodeId(0));
+        assert!(!sp.is_reachable(lonely));
+        assert_eq!(sp.path_to(lonely), None);
+        assert!(sp.distance(lonely).is_infinite());
+    }
+
+    #[test]
+    fn prefers_lighter_detour() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(2), Weight::from_units(10.0));
+        g.add_edge(NodeId(0), NodeId(1), Weight::from_units(1.0));
+        g.add_edge(NodeId(1), NodeId(2), Weight::from_units(2.0));
+        let sp = dijkstra(&g, NodeId(0));
+        assert_eq!(sp.distance(NodeId(2)), Weight::from_units(3.0));
+        assert_eq!(
+            sp.path_to(NodeId(2)).unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn distance_table_symmetry_and_diameter() {
+        let g = line_graph(4);
+        let t = DistanceTable::build(&g);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                assert_eq!(t.distance(a, b), t.distance(b, a));
+            }
+        }
+        assert_eq!(t.diameter(), Some(Weight::from_units(3.0)));
+    }
+
+    fn random_connected(rng: &mut SimRng, n: usize, extra: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        // Random spanning tree first, then extra edges.
+        for i in 1..n {
+            let j = rng.index(i);
+            g.add_edge(NodeId(i), NodeId(j), Weight::from_units(rng.range(1..=10) as f64));
+        }
+        let mut added = 0;
+        while added < extra {
+            let a = rng.index(n);
+            let b = rng.index(n);
+            if a != b && g.edge_between(NodeId(a), NodeId(b)).is_none() {
+                g.add_edge(NodeId(a), NodeId(b), Weight::from_units(rng.range(1..=10) as f64));
+                added += 1;
+            }
+        }
+        g
+    }
+
+    proptest! {
+        /// Triangle inequality holds for every pair via every intermediate.
+        #[test]
+        fn triangle_inequality(seed in 0u64..50) {
+            let mut rng = SimRng::seed(seed);
+            let g = random_connected(&mut rng, 12, 8);
+            let t = DistanceTable::build(&g);
+            for a in g.nodes() {
+                for b in g.nodes() {
+                    for c in g.nodes() {
+                        let ab = t.distance(a, b);
+                        let ac = t.distance(a, c);
+                        let cb = t.distance(c, b);
+                        prop_assert!(ab <= ac.saturating_add(cb));
+                    }
+                }
+            }
+        }
+
+        /// Path endpoints and cost agree with reported distances.
+        #[test]
+        fn paths_are_consistent(seed in 0u64..50) {
+            let mut rng = SimRng::seed(seed);
+            let g = random_connected(&mut rng, 10, 5);
+            let sp = dijkstra(&g, NodeId(0));
+            for dest in g.nodes() {
+                let path = sp.path_to(dest).unwrap();
+                prop_assert_eq!(path[0], NodeId(0));
+                prop_assert_eq!(*path.last().unwrap(), dest);
+                let mut cost = Weight::ZERO;
+                for w in path.windows(2) {
+                    let eid = g.edge_between(w[0], w[1]).unwrap();
+                    cost = cost.saturating_add(g.edge(eid).weight);
+                }
+                prop_assert_eq!(cost, sp.distance(dest));
+            }
+        }
+    }
+}

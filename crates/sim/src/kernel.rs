@@ -1,0 +1,200 @@
+//! A minimal closure-driven discrete-event kernel.
+//!
+//! Where the [actor layer](crate::actor) models networks of message-passing
+//! nodes, `Kernel` is the lower-level primitive: events are closures over a
+//! caller-supplied world `W`. It is used by experiments whose logic is a
+//! single algorithm plus a timeline (e.g. the GetMail retrieval sweeps)
+//! rather than a full protocol.
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+type BoxedEvent<W> = Box<dyn FnOnce(&mut W, &mut Scheduler<W>)>;
+
+/// Schedule handle passed to running events so they can enqueue more work.
+pub struct Scheduler<W> {
+    now: SimTime,
+    pending: Vec<(SimTime, BoxedEvent<W>)>,
+}
+
+impl<W> Scheduler<W> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `f` to run at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn at(&mut self, at: SimTime, f: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.pending.push((at, Box::new(f)));
+    }
+
+    /// Schedules `f` to run after `delay`.
+    pub fn after(
+        &mut self,
+        delay: SimDuration,
+        f: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    ) {
+        let at = self.now + delay;
+        self.pending.push((at, Box::new(f)));
+    }
+}
+
+/// A discrete-event kernel over a world `W`.
+///
+/// # Examples
+///
+/// ```
+/// use lems_sim::kernel::Kernel;
+/// use lems_sim::time::{SimDuration, SimTime};
+///
+/// let mut k: Kernel<Vec<u32>> = Kernel::new(Vec::new());
+/// k.schedule(SimTime::from_units(2.0), |w, _| w.push(2));
+/// k.schedule(SimTime::from_units(1.0), |w, s| {
+///     w.push(1);
+///     s.after(SimDuration::from_units(5.0), |w, _| w.push(6));
+/// });
+/// let world = k.run_to_quiescence();
+/// assert_eq!(world, vec![1, 2, 6]);
+/// ```
+pub struct Kernel<W> {
+    world: W,
+    queue: EventQueue<BoxedEvent<W>>,
+    now: SimTime,
+}
+
+impl<W> Kernel<W> {
+    /// Creates a kernel owning `world`, with the clock at zero.
+    pub fn new(world: W) -> Self {
+        Kernel {
+            world,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Shared access to the world between runs.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world between runs.
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Schedules `f` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the current clock.
+    pub fn schedule(&mut self, at: SimTime, f: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.push(at, Box::new(f));
+    }
+
+    /// Runs one event; returns `false` when none remain.
+    pub fn step(&mut self) -> bool {
+        let Some((at, ev)) = self.queue.pop() else {
+            return false;
+        };
+        self.now = at;
+        let mut sched = Scheduler {
+            now: at,
+            pending: Vec::new(),
+        };
+        ev(&mut self.world, &mut sched);
+        for (t, f) in sched.pending {
+            self.queue.push(t, f);
+        }
+        true
+    }
+
+    /// Runs until no events remain, consuming the kernel and returning the
+    /// world.
+    pub fn run_to_quiescence(mut self) -> W {
+        while self.step() {}
+        self.world
+    }
+
+    /// Runs all events up to and including `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+}
+
+impl<W: std::fmt::Debug> std::fmt::Debug for Kernel<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("world", &self.world)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut k: Kernel<Vec<u64>> = Kernel::new(Vec::new());
+        for ticks in [50u64, 10, 30] {
+            k.schedule(SimTime::from_ticks(ticks), move |w, s| {
+                w.push(s.now().as_ticks())
+            });
+        }
+        assert_eq!(k.run_to_quiescence(), vec![10, 30, 50]);
+    }
+
+    #[test]
+    fn nested_scheduling_works() {
+        let mut k: Kernel<u32> = Kernel::new(0);
+        k.schedule(SimTime::ZERO, |w, s| {
+            *w += 1;
+            s.after(SimDuration::from_units(1.0), |w, s| {
+                *w += 10;
+                s.after(SimDuration::from_units(1.0), |w, _| *w += 100);
+            });
+        });
+        assert_eq!(k.run_to_quiescence(), 111);
+    }
+
+    #[test]
+    fn run_until_advances_clock() {
+        let mut k: Kernel<u32> = Kernel::new(0);
+        k.schedule(SimTime::from_units(5.0), |w, _| *w += 1);
+        k.run_until(SimTime::from_units(2.0));
+        assert_eq!(*k.world(), 0);
+        assert_eq!(k.now(), SimTime::from_units(2.0));
+        k.run_until(SimTime::from_units(5.0));
+        assert_eq!(*k.world(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        let mut k: Kernel<u32> = Kernel::new(0);
+        k.schedule(SimTime::from_units(5.0), |_, _| {});
+        k.run_until(SimTime::from_units(6.0));
+        k.schedule(SimTime::from_units(1.0), |_, _| {});
+    }
+}

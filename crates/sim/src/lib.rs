@@ -1,0 +1,62 @@
+//! # lems-sim — deterministic discrete-event simulation kernel
+//!
+//! Simulation substrate for the `lems` workspace, a reproduction of
+//! *"Designing Large Electronic Mail Systems"* (Bahaa-El-Din & Yuen,
+//! ICDCS 1988). The paper evaluated its algorithms "using simulation"; this
+//! crate provides that simulator as a reusable library:
+//!
+//! * [`time`] — integer simulated time in paper "time units";
+//! * [`queue`] — the future-event list with deterministic FIFO tie-breaks;
+//! * [`kernel`] — a minimal closure-driven event kernel;
+//! * [`actor`] — message-passing actors with timers, matching the delivery
+//!   model assumed by the paper (finite, in-sequence, error-free links);
+//! * [`failure`] — planned and random crash/repair injection;
+//! * [`rng`] — seeded, forkable randomness so runs reproduce exactly;
+//! * [`stats`] — counters, time-weighted gauges, summaries, histograms;
+//! * [`trace`] — bounded in-memory event tracing.
+//!
+//! Everything is single-threaded and deterministic by construction: a run is
+//! a pure function of its seed and configuration.
+//!
+//! # Examples
+//!
+//! ```
+//! use lems_sim::prelude::*;
+//!
+//! struct Echo;
+//! impl Actor for Echo {
+//!     type Msg = &'static str;
+//!     fn on_message(&mut self, from: ActorId, msg: &'static str, ctx: &mut Ctx<'_, &'static str>) {
+//!         if msg == "ping" && from != ActorId::EXTERNAL {
+//!             ctx.send(from, "pong", SimDuration::from_units(1.0));
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = ActorSim::new(7);
+//! let echo = sim.add_actor(Echo);
+//! sim.inject(echo, "ping", SimDuration::from_units(0.5));
+//! sim.run_to_quiescence();
+//! assert_eq!(sim.counters().delivered.get(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actor;
+pub mod failure;
+pub mod kernel;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+/// Convenient glob-import of the most used simulation types.
+pub mod prelude {
+    pub use crate::actor::{Actor, ActorId, ActorSim, Ctx, TimerId};
+    pub use crate::failure::FailurePlan;
+    pub use crate::rng::SimRng;
+    pub use crate::stats::{Counter, Histogram, Summary, TimeWeighted};
+    pub use crate::time::{SimDuration, SimTime};
+}

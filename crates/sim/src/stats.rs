@@ -1,0 +1,479 @@
+//! Measurement primitives: counters, time-weighted gauges, and histograms.
+//!
+//! The experiments in `lems-bench` report polls per retrieval, delivery
+//! latencies, server utilizations, and broadcast costs; these types collect
+//! those observations inside simulations without imposing any I/O.
+
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use lems_sim::stats::Counter;
+///
+/// let mut polls = Counter::default();
+/// polls.inc();
+/// polls.add(2);
+/// assert_eq!(polls.get(), 3);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Running mean/min/max/variance over a stream of `f64` observations
+/// (Welford's algorithm; numerically stable, O(1) memory).
+///
+/// # Examples
+///
+/// ```
+/// use lems_sim::stats::Summary;
+///
+/// let mut s = Summary::default();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.observe(x);
+/// }
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.min(), Some(1.0));
+/// assert_eq!(s.max(), Some(4.0));
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not finite.
+    pub fn observe(&mut self, x: f64) {
+        assert!(x.is_finite(), "Summary::observe requires finite values");
+        if self.count == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Records a duration observation in paper time units.
+    pub fn observe_duration(&mut self, d: SimDuration) {
+        self.observe(d.as_units());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0.0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another summary into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4}",
+            self.count,
+            self.mean(),
+            self.stddev(),
+            self.min().unwrap_or(0.0),
+            self.max().unwrap_or(0.0)
+        )
+    }
+}
+
+/// A time-weighted gauge: tracks a piecewise-constant value (queue length,
+/// number of users assigned to a server, up/down state) and reports its
+/// time-average.
+///
+/// # Examples
+///
+/// ```
+/// use lems_sim::stats::TimeWeighted;
+/// use lems_sim::time::SimTime;
+///
+/// let mut g = TimeWeighted::new(SimTime::ZERO, 0.0);
+/// g.set(SimTime::from_units(2.0), 10.0); // 0.0 for 2 units
+/// g.set(SimTime::from_units(4.0), 0.0);  // 10.0 for 2 units
+/// assert_eq!(g.average(SimTime::from_units(4.0)), 5.0);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct TimeWeighted {
+    last_change: SimTime,
+    current: f64,
+    weighted_sum: f64,
+    origin: SimTime,
+}
+
+impl TimeWeighted {
+    /// Starts tracking at `start` with initial value `value`.
+    pub fn new(start: SimTime, value: f64) -> Self {
+        TimeWeighted {
+            last_change: start,
+            current: value,
+            weighted_sum: 0.0,
+            origin: start,
+        }
+    }
+
+    /// Updates the value at instant `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous update.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        assert!(now >= self.last_change, "TimeWeighted updates must be in time order");
+        self.weighted_sum += self.current * now.duration_since(self.last_change).as_units();
+        self.last_change = now;
+        self.current = value;
+    }
+
+    /// Adds `delta` to the current value at instant `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let next = self.current + delta;
+        self.set(now, next);
+    }
+
+    /// The current value.
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// Time-average of the value from the start of tracking until `now`.
+    /// Returns the current value if no time has elapsed.
+    pub fn average(&self, now: SimTime) -> f64 {
+        let span = now.duration_since(self.origin).as_units();
+        if span <= 0.0 {
+            return self.current;
+        }
+        let tail = self.current * now.duration_since(self.last_change).as_units();
+        (self.weighted_sum + tail) / span
+    }
+}
+
+/// A fixed-bin histogram over non-negative `f64` observations with overflow
+/// tracking and quantile estimation.
+///
+/// # Examples
+///
+/// ```
+/// use lems_sim::stats::Histogram;
+///
+/// let mut h = Histogram::uniform(10, 1.0); // 10 bins of width 1.0
+/// for x in [0.5, 1.5, 2.5, 2.6, 9.9, 42.0] {
+///     h.observe(x);
+/// }
+/// assert_eq!(h.count(), 6);
+/// assert_eq!(h.overflow(), 1);
+/// let median = h.quantile(0.5).unwrap();
+/// assert!(median >= 1.0 && median <= 3.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    width: f64,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram of `bins` equal-width bins covering
+    /// `[0, bins * width)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `width` is not positive and finite.
+    pub fn uniform(bins: usize, width: f64) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(
+            width > 0.0 && width.is_finite(),
+            "bin width must be positive and finite"
+        );
+        Histogram {
+            bins: vec![0; bins],
+            width,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one observation. Negative values clamp into the first bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not finite.
+    pub fn observe(&mut self, x: f64) {
+        assert!(x.is_finite(), "Histogram::observe requires finite values");
+        self.count += 1;
+        self.sum += x;
+        let idx = (x.max(0.0) / self.width) as usize;
+        if idx < self.bins.len() {
+            self.bins[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Total observations (including overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations beyond the last bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Mean of all observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Upper edge of bin `i`.
+    pub fn bin_edge(&self, i: usize) -> f64 {
+        (i + 1) as f64 * self.width
+    }
+
+    /// Estimates quantile `q` in `[0, 1]` by linear scan; returns `None`
+    /// when empty. Observations in the overflow bucket report as the top
+    /// edge of the histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.bin_edge(i));
+            }
+        }
+        Some(self.bin_edge(self.bins.len() - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(format!("{c}"), "5");
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.observe(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn summary_merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Summary::new();
+        for &x in &data {
+            whole.observe(x);
+        }
+        let mut left = Summary::new();
+        let mut right = Summary::new();
+        for &x in &data[..37] {
+            left.observe(x);
+        }
+        for &x in &data[37..] {
+            right.observe(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut g = TimeWeighted::new(SimTime::ZERO, 1.0);
+        g.set(SimTime::from_units(1.0), 3.0);
+        g.add(SimTime::from_units(3.0), -2.0); // value 1.0 from t=3
+        // [0,1): 1.0, [1,3): 3.0, [3,5): 1.0 => (1 + 6 + 2)/5 = 1.8
+        assert!((g.average(SimTime::from_units(5.0)) - 1.8).abs() < 1e-9);
+        assert_eq!(g.current(), 1.0);
+    }
+
+    #[test]
+    fn time_weighted_empty_span() {
+        let g = TimeWeighted::new(SimTime::from_units(2.0), 7.0);
+        assert_eq!(g.average(SimTime::from_units(2.0)), 7.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_data() {
+        let mut h = Histogram::uniform(100, 0.1);
+        for i in 0..1000 {
+            h.observe(i as f64 / 100.0); // 0.00 .. 9.99
+        }
+        let q50 = h.quantile(0.5).unwrap();
+        assert!((q50 - 5.0).abs() < 0.2, "median {q50}");
+        assert_eq!(h.quantile(0.0).unwrap(), 0.1);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    proptest! {
+        /// Summary mean is always within [min, max].
+        #[test]
+        fn summary_mean_bounded(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let mut s = Summary::new();
+            for &x in &xs {
+                s.observe(x);
+            }
+            prop_assert!(s.mean() >= s.min().unwrap() - 1e-9);
+            prop_assert!(s.mean() <= s.max().unwrap() + 1e-9);
+            prop_assert!(s.variance() >= -1e-9);
+        }
+
+        /// Histogram count equals observations; quantiles are monotone in q.
+        #[test]
+        fn histogram_quantile_monotone(xs in proptest::collection::vec(0f64..20.0, 1..200)) {
+            let mut h = Histogram::uniform(10, 1.0);
+            for &x in &xs {
+                h.observe(x);
+            }
+            prop_assert_eq!(h.count(), xs.len() as u64);
+            let q1 = h.quantile(0.25).unwrap();
+            let q2 = h.quantile(0.5).unwrap();
+            let q3 = h.quantile(0.95).unwrap();
+            prop_assert!(q1 <= q2 && q2 <= q3);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Bounded in-memory event tracing.
+//!
+//! Tracing is off by default (zero cost beyond a branch); tests and the
+//! debugging binaries enable it to inspect message flow.
+
+use std::collections::VecDeque;
+
+use crate::actor::ActorId;
+use crate::time::SimTime;
+
+/// What happened.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceKind {
+    /// A message was scheduled for delivery.
+    Send,
+    /// A message reached a live actor.
+    Deliver,
+    /// A message was dropped because its destination was down.
+    Drop,
+    /// An actor crashed.
+    Crash,
+    /// An actor recovered.
+    Recover,
+}
+
+impl std::fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TraceKind::Send => "send",
+            TraceKind::Deliver => "deliver",
+            TraceKind::Drop => "drop",
+            TraceKind::Crash => "crash",
+            TraceKind::Recover => "recover",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One traced event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// When the event took effect.
+    pub at: SimTime,
+    /// The kind of event.
+    pub kind: TraceKind,
+    /// Source actor (equal to `to` for crash/recover).
+    pub from: ActorId,
+    /// Destination actor.
+    pub to: ActorId,
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {} {} -> {}", self.at, self.kind, self.from, self.to)
+    }
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s.
+///
+/// # Examples
+///
+/// ```
+/// use lems_sim::trace::{Trace, TraceKind};
+/// use lems_sim::actor::ActorId;
+/// use lems_sim::time::SimTime;
+///
+/// let mut t = Trace::bounded(2);
+/// t.record(SimTime::ZERO, TraceKind::Send, ActorId(0), ActorId(1));
+/// t.record(SimTime::ZERO, TraceKind::Deliver, ActorId(0), ActorId(1));
+/// t.record(SimTime::ZERO, TraceKind::Send, ActorId(1), ActorId(0));
+/// assert_eq!(t.events().count(), 2); // oldest evicted
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    recorded: u64,
+}
+
+impl Trace {
+    /// A trace that records nothing.
+    pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// A trace keeping the most recent `capacity` events.
+    pub fn bounded(capacity: usize) -> Self {
+        Trace {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            recorded: 0,
+        }
+    }
+
+    /// True if this trace keeps events.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn record(&mut self, at: SimTime, kind: TraceKind, from: ActorId, to: ActorId) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.recorded += 1;
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(TraceEvent { at, kind, from, to });
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn recorded_total(&self) -> u64 {
+        self.recorded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(SimTime::ZERO, TraceKind::Send, ActorId(0), ActorId(1));
+        assert_eq!(t.events().count(), 0);
+        assert_eq!(t.recorded_total(), 0);
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn bounded_trace_evicts_oldest() {
+        let mut t = Trace::bounded(3);
+        for i in 0..5 {
+            t.record(
+                SimTime::from_ticks(i),
+                TraceKind::Deliver,
+                ActorId(0),
+                ActorId(1),
+            );
+        }
+        let times: Vec<u64> = t.events().map(|e| e.at.as_ticks()).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+        assert_eq!(t.recorded_total(), 5);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = TraceEvent {
+            at: SimTime::from_units(1.0),
+            kind: TraceKind::Drop,
+            from: ActorId(3),
+            to: ActorId(7),
+        };
+        let s = format!("{e}");
+        assert!(s.contains("drop") && s.contains("a3") && s.contains("a7"));
+    }
+}

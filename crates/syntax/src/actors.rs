@@ -1,0 +1,1506 @@
+//! The simulated System-1 mail system: host (user-interface) and server
+//! actors over the `lems-sim` engine.
+//!
+//! This module wires the pure algorithms — server assignment
+//! ([`crate::assign`]), syntax-directed resolution ([`crate::resolve`]),
+//! and GetMail ([`crate::getmail`]) — into a running message-passing
+//! system with the three delivery phases of §3.1.2:
+//!
+//! * **connection setup** — the user interface walks the user's authority
+//!   list with per-probe timeouts until a live server accepts the message;
+//! * **name resolution and forwarding** — servers resolve syntactically,
+//!   forward into the recipient's region, and cascade across the
+//!   recipient's authority list when servers are down;
+//! * **delivery** — the authority server deposits into the mailbox,
+//!   notifies the recipient's host, and answers retrieval probes with its
+//!   `LastStartTime` so the UI-side GetMail walk can stop early.
+//!
+//! Failures come from a [`FailurePlan`]; down servers silently drop
+//! traffic, and every recovery bumps the server's `LastStartTime`, exactly
+//! the signal GetMail keys on.
+//!
+//! [`FailurePlan`]: lems_sim::failure::FailurePlan
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::rc::Rc;
+
+use lems_core::directory::Directory;
+use lems_core::mailbox::Mailbox;
+use lems_core::message::{BounceReason, Message, MessageId, MessageIdGen};
+use lems_core::name::MailName;
+use lems_core::user::AuthorityList;
+use lems_net::graph::NodeId;
+use lems_net::topology::{RegionId, Topology};
+use lems_net::transport::Transport;
+use lems_sim::actor::{Actor, ActorId, ActorSim, Ctx, TimerId};
+use lems_sim::stats::Summary;
+use lems_sim::time::{SimDuration, SimTime};
+
+use crate::assign::{solve, Assignment, AssignmentProblem, BalanceOptions};
+use crate::cost::{CostModel, ServerSpec};
+use crate::resolve::{Resolution, SyntaxResolver};
+
+/// Maximum server-to-server forwarding hops before a message bounces
+/// (loop protection).
+pub const MAX_HOPS: u32 = 16;
+
+/// Extra slack added to every round-trip timeout, in time units.
+pub const TIMEOUT_SLACK: f64 = 2.0;
+
+/// The protocol spoken between hosts and servers.
+#[derive(Clone, Debug)]
+pub enum MailMsg {
+    /// Workload injection: a user on this host wants to send mail.
+    DoSend {
+        /// Sender (must live on the receiving host).
+        from: MailName,
+        /// Recipient.
+        to: MailName,
+    },
+    /// Workload injection: a user on this host checks their mail.
+    DoCheck {
+        /// The checking user.
+        user: MailName,
+    },
+    /// UI -> server: accept this message for delivery.
+    Submit {
+        /// The message.
+        msg: Message,
+        /// Host node to acknowledge.
+        reply_to: NodeId,
+    },
+    /// Server -> UI: message accepted (store-and-forward responsibility
+    /// transferred).
+    SubmitAck {
+        /// Accepted message.
+        id: MessageId,
+    },
+    /// Server -> server: continue resolution/delivery.
+    Forward {
+        /// The message.
+        msg: Message,
+        /// Server node to acknowledge.
+        reply_to: NodeId,
+        /// Remaining hop budget.
+        hops_left: u32,
+    },
+    /// Server -> server: forwarded message accepted.
+    ForwardAck {
+        /// Accepted message.
+        id: MessageId,
+    },
+    /// Server -> host: mail for `user` was deposited (the "alert signal").
+    Notify {
+        /// Recipient.
+        user: MailName,
+        /// Deposited message.
+        id: MessageId,
+    },
+    /// UI -> server: return stored mail for `user`.
+    Retrieve {
+        /// The retrieving user.
+        user: MailName,
+        /// Host node to reply to.
+        reply_to: NodeId,
+    },
+    /// Server -> UI: stored mail plus the server's `LastStartTime`.
+    RetrieveReply {
+        /// The user polled for.
+        user: MailName,
+        /// Drained messages.
+        messages: Vec<Message>,
+        /// The server's `LastStartTime`.
+        last_start_time: SimTime,
+    },
+}
+
+/// Shared run statistics (single-threaded simulation: `Rc<RefCell<_>>`).
+#[derive(Debug, Default)]
+pub struct DeliveryStats {
+    /// Messages submitted by user interfaces.
+    pub submitted: u64,
+    /// Messages deposited into mailboxes.
+    pub deposited: u64,
+    /// Messages retrieved by their recipients.
+    pub retrieved: u64,
+    /// Messages bounced (resolution failure or every server down).
+    pub bounced: u64,
+    /// Individual submit probes (connection-setup attempts).
+    pub submit_attempts: u64,
+    /// Individual forward probes between servers.
+    pub forward_attempts: u64,
+    /// Notifications sent to recipient hosts.
+    pub notifications: u64,
+    /// Messages currently sitting in server storage (live gauge).
+    pub in_storage_now: u64,
+    /// Largest value `in_storage_now` ever reached (§4.4 "storage space
+    /// used").
+    pub peak_storage: u64,
+    /// Submission-to-deposit latency, in time units.
+    pub delivery_latency: Summary,
+    /// Submission-to-retrieval latency, in time units.
+    pub end_to_end: Summary,
+    /// Probes per completed GetMail retrieval.
+    pub retrieval_polls: Summary,
+    /// Ledger: ids submitted.
+    pub ledger_submitted: BTreeSet<MessageId>,
+    /// Ledger: ids retrieved.
+    pub ledger_retrieved: BTreeSet<MessageId>,
+    /// Ledger: ids bounced (with reasons).
+    pub ledger_bounced: BTreeMap<MessageId, BounceReason>,
+}
+
+impl DeliveryStats {
+    /// Messages neither retrieved nor bounced — still stored or in flight.
+    pub fn outstanding(&self) -> usize {
+        self.ledger_submitted.len() - self.ledger_retrieved.len() - self.ledger_bounced.len()
+    }
+}
+
+type SharedStats = Rc<RefCell<DeliveryStats>>;
+
+/// Per-user state kept by the host actor.
+#[derive(Clone, Debug)]
+struct UiUser {
+    authorities: AuthorityList,
+    last_checking_time: SimTime,
+    previously_unavailable: BTreeSet<NodeId>,
+    retrieval: Option<RetrievalSession>,
+    pending_check: bool,
+}
+
+/// An in-flight asynchronous GetMail walk.
+#[derive(Clone, Debug)]
+struct RetrievalSession {
+    /// Servers of the authority list still to probe in the walk phase.
+    walk_remaining: Vec<NodeId>,
+    /// Servers to sweep afterwards (previously unavailable, not probed in
+    /// this walk).
+    sweep_remaining: Vec<NodeId>,
+    /// Servers probed during this check.
+    probed: BTreeSet<NodeId>,
+    polls: u32,
+    current: Option<(NodeId, TimerId)>,
+    check_started: SimTime,
+    finished_walk_early: bool,
+}
+
+/// An in-flight submission (connection-setup walk over the sender's
+/// authority list).
+#[derive(Clone, Debug)]
+struct SubmitTask {
+    msg: Message,
+    remaining: Vec<NodeId>,
+    timer: TimerId,
+}
+
+/// The user-interface actor for one host (serves every user homed there).
+pub struct HostActor {
+    node: NodeId,
+    transport: Rc<Transport>,
+    users: BTreeMap<MailName, UiUser>,
+    submits: HashMap<MessageId, SubmitTask>,
+    id_gen: Rc<RefCell<MessageIdGen>>,
+    stats: SharedStats,
+    timer_purpose: HashMap<TimerId, TimerPurpose>,
+    /// Notifications received (user -> count) — the alert signal of
+    /// §3.1.2c.
+    pub alerts: BTreeMap<MailName, u64>,
+    server_proc: f64,
+}
+
+#[derive(Clone, Debug)]
+enum TimerPurpose {
+    SubmitTimeout(MessageId),
+    RetrieveTimeout(MailName),
+}
+
+impl HostActor {
+    fn timeout_for(&self, server: NodeId) -> SimDuration {
+        let rtt = self.transport.delay(self.node, server) * 2;
+        rtt + SimDuration::from_units(self.server_proc + TIMEOUT_SLACK)
+    }
+
+    fn start_submit(&mut self, msg: Message, ctx: &mut Ctx<'_, MailMsg>) {
+        let Some(user) = self.users.get(&msg.from) else {
+            // Sender not homed here; count as bounce at source.
+            let mut st = self.stats.borrow_mut();
+            st.bounced += 1;
+            st.ledger_bounced
+                .insert(msg.id, BounceReason::UnknownRecipient);
+            return;
+        };
+        let remaining: Vec<NodeId> = user.authorities.servers().to_vec();
+        {
+            let mut st = self.stats.borrow_mut();
+            st.submitted += 1;
+            st.ledger_submitted.insert(msg.id);
+        }
+        self.submit_next(msg, remaining, ctx);
+    }
+
+    fn submit_next(&mut self, msg: Message, mut remaining: Vec<NodeId>, ctx: &mut Ctx<'_, MailMsg>) {
+        if remaining.is_empty() {
+            let mut st = self.stats.borrow_mut();
+            st.bounced += 1;
+            st.ledger_bounced.insert(msg.id, BounceReason::AllServersDown);
+            return;
+        }
+        let server = remaining.remove(0);
+        self.stats.borrow_mut().submit_attempts += 1;
+        let timeout = self.timeout_for(server);
+        self.transport.send(
+            ctx,
+            self.node,
+            server,
+            MailMsg::Submit {
+                msg: msg.clone(),
+                reply_to: self.node,
+            },
+            SimDuration::ZERO,
+        );
+        let timer = ctx.set_timer(timeout, msg.id.0);
+        self.timer_purpose
+            .insert(timer, TimerPurpose::SubmitTimeout(msg.id));
+        self.submits.insert(msg.id, SubmitTask { msg, remaining, timer });
+    }
+
+    fn start_check(&mut self, user_name: &MailName, ctx: &mut Ctx<'_, MailMsg>) {
+        let Some(user) = self.users.get_mut(&user_name.clone()) else {
+            return;
+        };
+        if user.retrieval.is_some() {
+            // A check is already running; coalesce (re-run when done).
+            user.pending_check = true;
+            return;
+        }
+        let session = RetrievalSession {
+            walk_remaining: user.authorities.servers().to_vec(),
+            sweep_remaining: Vec::new(),
+            probed: BTreeSet::new(),
+            polls: 0,
+            current: None,
+            check_started: ctx.now(),
+            finished_walk_early: false,
+        };
+        user.retrieval = Some(session);
+        self.advance_retrieval(user_name.clone(), ctx);
+    }
+
+    /// Drives the session state machine: probe next server or finish.
+    fn advance_retrieval(&mut self, user_name: MailName, ctx: &mut Ctx<'_, MailMsg>) {
+        let node = self.node;
+        let Some(user) = self.users.get_mut(&user_name) else {
+            return;
+        };
+        let Some(session) = user.retrieval.as_mut() else {
+            return;
+        };
+
+        // Move to the sweep phase when the walk is done: sweep previously
+        // unavailable servers not already probed this check.
+        if (session.walk_remaining.is_empty() || session.finished_walk_early)
+            && session.sweep_remaining.is_empty() {
+                session.sweep_remaining = user
+                    .previously_unavailable
+                    .iter()
+                    .copied()
+                    .filter(|s| !session.probed.contains(s))
+                    .collect();
+            }
+
+        let next = if !session.finished_walk_early && !session.walk_remaining.is_empty() {
+            Some(session.walk_remaining.remove(0))
+        } else {
+            // Sweep phase.
+            loop {
+                match session.sweep_remaining.pop() {
+                    Some(s) if session.probed.contains(&s) => continue,
+                    other => break other,
+                }
+            }
+        };
+
+        match next {
+            Some(server) => {
+                session.polls += 1;
+                session.probed.insert(server);
+                let timeout = {
+                    let rtt = self.transport.delay(node, server) * 2;
+                    rtt + SimDuration::from_units(self.server_proc + TIMEOUT_SLACK)
+                };
+                self.transport.send(
+                    ctx,
+                    node,
+                    server,
+                    MailMsg::Retrieve {
+                        user: user_name.clone(),
+                        reply_to: node,
+                    },
+                    SimDuration::ZERO,
+                );
+                let timer = ctx.set_timer(timeout, 0);
+                session.current = Some((server, timer));
+                self.timer_purpose
+                    .insert(timer, TimerPurpose::RetrieveTimeout(user_name));
+            }
+            None => {
+                // Session complete.
+                let polls = session.polls;
+                let started = session.check_started;
+                user.last_checking_time = started;
+                user.retrieval = None;
+                self.stats
+                    .borrow_mut()
+                    .retrieval_polls
+                    .observe(f64::from(polls));
+                if std::mem::take(&mut user.pending_check) {
+                    self.start_check(&user_name, ctx);
+                }
+            }
+        }
+    }
+}
+
+impl Actor for HostActor {
+    type Msg = MailMsg;
+
+    fn on_message(&mut self, _from: ActorId, msg: MailMsg, ctx: &mut Ctx<'_, MailMsg>) {
+        match msg {
+            MailMsg::DoSend { from, to } => {
+                let id = self.id_gen.borrow_mut().next_id();
+                let m = Message::new(id, from, to, "msg", "body", ctx.now());
+                self.start_submit(m, ctx);
+            }
+            MailMsg::DoCheck { user } => {
+                self.start_check(&user, ctx);
+            }
+            MailMsg::SubmitAck { id } => {
+                if let Some(task) = self.submits.remove(&id) {
+                    ctx.cancel_timer(task.timer);
+                    self.timer_purpose.remove(&task.timer);
+                }
+            }
+            MailMsg::Notify { user, id: _ } => {
+                *self.alerts.entry(user).or_insert(0) += 1;
+            }
+            MailMsg::RetrieveReply {
+                user: user_name,
+                messages,
+                last_start_time,
+            } => {
+                let now = ctx.now();
+                let Some(user) = self.users.get_mut(&user_name) else {
+                    return;
+                };
+                let Some(session) = user.retrieval.as_mut() else {
+                    return; // stale reply after timeout: drop (mail already drained is re-counted below)
+                };
+                let Some((server, timer)) = session.current.take() else {
+                    return;
+                };
+                ctx.cancel_timer(timer);
+                self.timer_purpose.remove(&timer);
+                user.previously_unavailable.remove(&server);
+                if user.last_checking_time > last_start_time {
+                    session.finished_walk_early = true;
+                }
+                {
+                    let mut st = self.stats.borrow_mut();
+                    for m in &messages {
+                        st.retrieved += 1;
+                        st.ledger_retrieved.insert(m.id);
+                        st.end_to_end
+                            .observe(now.duration_since(m.submitted_at).as_units());
+                    }
+                }
+                self.advance_retrieval(user_name, ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, id: TimerId, _tag: u64, ctx: &mut Ctx<'_, MailMsg>) {
+        match self.timer_purpose.remove(&id) {
+            Some(TimerPurpose::SubmitTimeout(mid)) => {
+                if let Some(task) = self.submits.remove(&mid) {
+                    self.submit_next(task.msg, task.remaining, ctx);
+                }
+            }
+            Some(TimerPurpose::RetrieveTimeout(user_name)) => {
+                let Some(user) = self.users.get_mut(&user_name) else {
+                    return;
+                };
+                let Some(session) = user.retrieval.as_mut() else {
+                    return;
+                };
+                if let Some((server, _)) = session.current.take() {
+                    user.previously_unavailable.insert(server);
+                }
+                self.advance_retrieval(user_name, ctx);
+            }
+            None => {}
+        }
+    }
+}
+
+/// An in-flight server-side forward (cascading over candidate servers).
+#[derive(Clone, Debug)]
+struct ForwardTask {
+    msg: Message,
+    remaining: Vec<NodeId>,
+    timer: TimerId,
+    hops_left: u32,
+}
+
+/// A System-1 mail server.
+pub struct ServerActor {
+    node: NodeId,
+    transport: Rc<Transport>,
+    resolver: SyntaxResolver,
+    mailboxes: BTreeMap<MailName, Mailbox>,
+    last_start_time: SimTime,
+    proc_time: f64,
+    stats: SharedStats,
+    forwards: HashMap<MessageId, ForwardTask>,
+    /// Home host of each user in this region (for notifications).
+    home_hosts: BTreeMap<MailName, NodeId>,
+    /// Message ids ever deposited here — suppresses duplicate deposits
+    /// when a retransmitted Forward arrives after its original was already
+    /// delivered (at-least-once forwarding + dedup = exactly-once
+    /// delivery).
+    deposited_ids: std::collections::HashSet<MessageId>,
+    /// The §3.1.4 redirect table, shared across servers (migrated users'
+    /// old names forward to their new names while the entry lives).
+    redirects: Rc<RefCell<crate::migrate::RedirectTable>>,
+}
+
+impl ServerActor {
+    fn proc(&self) -> SimDuration {
+        SimDuration::from_units(self.proc_time)
+    }
+
+    /// Deposit into the local mailbox + notify the recipient's home host.
+    /// Duplicate ids (forward retransmissions) are dropped silently.
+    fn deposit(&mut self, msg: Message, ctx: &mut Ctx<'_, MailMsg>) {
+        if !self.deposited_ids.insert(msg.id) {
+            return;
+        }
+        let now = ctx.now();
+        {
+            let mut st = self.stats.borrow_mut();
+            st.deposited += 1;
+            st.delivery_latency
+                .observe(now.duration_since(msg.submitted_at).as_units());
+            st.in_storage_now += 1;
+            st.peak_storage = st.peak_storage.max(st.in_storage_now);
+        }
+        let user = msg.to.clone();
+        let id = msg.id;
+        self.mailboxes
+            .entry(user.clone())
+            .or_insert_with(|| Mailbox::new(user.clone()))
+            .deposit(msg, now);
+        if let Some(&host) = self.home_hosts.get(&user) {
+            self.stats.borrow_mut().notifications += 1;
+            self.transport
+                .send(ctx, self.node, host, MailMsg::Notify { user, id }, self.proc());
+        }
+    }
+
+    fn bounce(&self, id: MessageId, reason: BounceReason) {
+        let mut st = self.stats.borrow_mut();
+        st.bounced += 1;
+        st.ledger_bounced.insert(id, reason);
+    }
+
+    /// Route a message we have accepted responsibility for.
+    ///
+    /// §3.1.2c: "mail will be deposited in the first active server from
+    /// the list" — the recipient's authority list is always walked in
+    /// order, even when this server appears in it, so the GetMail
+    /// early-exit invariant (mail lives at the first server that was up
+    /// at deposit time) holds.
+    fn route(&mut self, msg: Message, hops_left: u32, ctx: &mut Ctx<'_, MailMsg>) {
+        if hops_left == 0 {
+            self.bounce(msg.id, BounceReason::RegionUnreachable);
+            return;
+        }
+        match self.resolver.resolve(&msg.to) {
+            Resolution::LocalAuthority => {
+                let candidates: Vec<NodeId> = self
+                    .resolver
+                    .view()
+                    .lookup(&msg.to)
+                    .map(|rec| rec.authorities.servers().to_vec())
+                    .unwrap_or_else(|| vec![self.node]);
+                self.forward_next(msg, candidates, hops_left - 1, ctx);
+            }
+            Resolution::RegionalAuthority(list) => {
+                let candidates: Vec<NodeId> = list.servers().to_vec();
+                self.forward_next(msg, candidates, hops_left - 1, ctx);
+            }
+            Resolution::ForwardToRegion { servers, .. } => {
+                // "the message is transmitted to one of the servers in the
+                // recipient region": try them nearest-first.
+                let mut candidates = servers;
+                candidates.sort_by_key(|&s| self.transport.delay(self.node, s));
+                self.forward_next(msg, candidates, hops_left - 1, ctx);
+            }
+            Resolution::UnknownRegion => {
+                self.bounce(msg.id, BounceReason::RegionUnreachable)
+            }
+            Resolution::UnknownUser => {
+                // §3.1.4: "mail addressed to a migrated user can be
+                // redirected to the new user address, and the senders are
+                // notified about the name changes."
+                let redirect_to = self
+                    .redirects
+                    .borrow_mut()
+                    .lookup(&msg.to, ctx.now())
+                    .map(|r| r.new_name.clone());
+                match redirect_to {
+                    Some(new_name) => {
+                        let mut rewritten = msg;
+                        rewritten.to = new_name;
+                        self.route(rewritten, hops_left - 1, ctx);
+                    }
+                    None => self.bounce(msg.id, BounceReason::UnknownRecipient),
+                }
+            }
+        }
+    }
+
+    fn forward_next(
+        &mut self,
+        msg: Message,
+        mut remaining: Vec<NodeId>,
+        hops_left: u32,
+        ctx: &mut Ctx<'_, MailMsg>,
+    ) {
+        if remaining.is_empty() {
+            self.bounce(msg.id, BounceReason::AllServersDown);
+            return;
+        }
+        let target = remaining.remove(0);
+        if target == self.node {
+            // This server is the first (still-reachable) authority in the
+            // walk: deposit here.
+            self.deposit(msg, ctx);
+            return;
+        }
+        self.stats.borrow_mut().forward_attempts += 1;
+        let rtt = self.transport.delay(self.node, target) * 2;
+        let timeout = rtt + SimDuration::from_units(self.proc_time + TIMEOUT_SLACK);
+        self.transport.send(
+            ctx,
+            self.node,
+            target,
+            MailMsg::Forward {
+                msg: msg.clone(),
+                reply_to: self.node,
+                hops_left,
+            },
+            self.proc(),
+        );
+        let timer = ctx.set_timer(timeout, msg.id.0);
+        self.forwards.insert(
+            msg.id,
+            ForwardTask {
+                msg,
+                remaining,
+                timer,
+                hops_left,
+            },
+        );
+    }
+}
+
+impl Actor for ServerActor {
+    type Msg = MailMsg;
+
+    fn on_message(&mut self, _from: ActorId, msg: MailMsg, ctx: &mut Ctx<'_, MailMsg>) {
+        match msg {
+            MailMsg::Submit { msg, reply_to } => {
+                // Accept responsibility immediately (store-and-forward).
+                self.transport.send(
+                    ctx,
+                    self.node,
+                    reply_to,
+                    MailMsg::SubmitAck { id: msg.id },
+                    self.proc(),
+                );
+                self.route(msg, MAX_HOPS, ctx);
+            }
+            MailMsg::Forward {
+                msg,
+                reply_to,
+                hops_left,
+            } => {
+                self.transport.send(
+                    ctx,
+                    self.node,
+                    reply_to,
+                    MailMsg::ForwardAck { id: msg.id },
+                    self.proc(),
+                );
+                self.route(msg, hops_left, ctx);
+            }
+            MailMsg::ForwardAck { id } => {
+                if let Some(task) = self.forwards.remove(&id) {
+                    ctx.cancel_timer(task.timer);
+                }
+            }
+            MailMsg::Retrieve { user, reply_to } => {
+                let messages: Vec<Message> = self
+                    .mailboxes
+                    .get_mut(&user)
+                    .map(|mb| mb.drain().into_iter().map(|s| s.message).collect())
+                    .unwrap_or_default();
+                {
+                    let mut st = self.stats.borrow_mut();
+                    st.in_storage_now = st.in_storage_now.saturating_sub(messages.len() as u64);
+                }
+                self.transport.send(
+                    ctx,
+                    self.node,
+                    reply_to,
+                    MailMsg::RetrieveReply {
+                        user,
+                        messages,
+                        last_start_time: self.last_start_time,
+                    },
+                    self.proc(),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, _id: TimerId, tag: u64, ctx: &mut Ctx<'_, MailMsg>) {
+        // Forward timeout: try the next candidate server.
+        if let Some(task) = self.forwards.remove(&MessageId(tag)) {
+            self.forward_next(task.msg, task.remaining, task.hops_left, ctx);
+        }
+    }
+
+    fn on_crash(&mut self, _now: SimTime) {
+        // Mailboxes are stable storage; in-flight forward tasks are
+        // volatile and die with the process. The messages they carried were
+        // ack'd to us, so they are truly lost only if we crashed between
+        // accepting and depositing — the window the paper's replication of
+        // services addresses, surfaced by the ledger in experiments.
+        self.forwards.clear();
+    }
+
+    fn on_recover(&mut self, ctx: &mut Ctx<'_, MailMsg>) {
+        // "LastStartTime[server]: the time the server had last recovered
+        // from failure or been initialised."
+        self.last_start_time = ctx.now();
+    }
+}
+
+/// Configuration for [`Deployment::build`].
+#[derive(Clone, Debug)]
+pub struct DeploymentConfig {
+    /// Authority servers per user.
+    pub authority_list_len: usize,
+    /// Per-server capacity/processing spec.
+    pub server_spec: ServerSpec,
+    /// Cost constants for assignment.
+    pub cost_model: CostModel,
+    /// Balancing options.
+    pub balance: BalanceOptions,
+    /// Engine seed.
+    pub seed: u64,
+}
+
+impl Default for DeploymentConfig {
+    fn default() -> Self {
+        DeploymentConfig {
+            authority_list_len: 3,
+            server_spec: ServerSpec::paper_example(),
+            cost_model: CostModel::paper_example(),
+            balance: BalanceOptions::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// A fully wired System-1 deployment: engine, actors, transport, directory,
+/// and statistics.
+pub struct Deployment {
+    /// The simulation engine.
+    pub sim: ActorSim<MailMsg>,
+    /// Topology-derived delays and node/actor mapping.
+    pub transport: Rc<Transport>,
+    /// Global user registry.
+    pub directory: Directory,
+    /// Shared run statistics.
+    pub stats: SharedStats,
+    /// Users by name with their home host.
+    users: BTreeMap<MailName, NodeId>,
+    /// Host node -> actor id.
+    host_actors: BTreeMap<NodeId, ActorId>,
+    /// Host node -> region (for live migration naming).
+    host_region: BTreeMap<NodeId, RegionId>,
+    /// Host node -> display token.
+    host_names: BTreeMap<NodeId, String>,
+    /// Server node -> actor id.
+    server_actors: BTreeMap<NodeId, ActorId>,
+    /// The assignment used to build authority lists.
+    pub assignment: Assignment,
+    /// The assignment problem (for inspecting costs).
+    pub problem: AssignmentProblem,
+    /// The §3.1.4 redirect table shared with every server actor.
+    pub redirects: Rc<RefCell<crate::migrate::RedirectTable>>,
+}
+
+impl Deployment {
+    /// Builds a deployment over `topology` with `users_per_host[i]` users on
+    /// the i-th host (topology node order). User names are
+    /// `<region>.<host>.u<k>` from the topology's display names.
+    ///
+    /// Authority lists come from the §3.1.1 assignment: each user's primary
+    /// is their assigned server; secondaries are the next-cheapest servers
+    /// *for their host* at the balanced loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has no hosts/servers or the population
+    /// slice is misaligned — the same conditions as
+    /// [`AssignmentProblem::from_topology`].
+    pub fn build(topology: &Topology, users_per_host: &[u32], cfg: &DeploymentConfig) -> Self {
+        let problem = AssignmentProblem::from_topology(
+            topology,
+            users_per_host,
+            cfg.server_spec,
+            cfg.cost_model,
+        );
+        let (assignment, _report) = solve(&problem, cfg.balance);
+
+        let mut transport = Transport::new(topology.graph());
+        let mut sim: ActorSim<MailMsg> = ActorSim::new(cfg.seed);
+        let stats: SharedStats = Rc::new(RefCell::new(DeliveryStats::default()));
+        let id_gen = Rc::new(RefCell::new(MessageIdGen::new()));
+        let redirects = Rc::new(RefCell::new(crate::migrate::RedirectTable::new()));
+        // One shared stand-in transport until the fully-bound one exists.
+        let placeholder_transport = Rc::new(Transport::new(topology.graph()));
+
+        // Directory + region naming: region token is "r<id>".
+        let mut directory = Directory::new();
+        for r in topology.region_ids() {
+            directory.map_region(&format!("r{}", r.0), r);
+        }
+
+        let server_nodes: Vec<NodeId> = problem.servers.iter().map(|(n, _)| *n).collect();
+        let host_nodes: Vec<NodeId> = problem.hosts.iter().map(|h| h.node).collect();
+
+        // Register users and build authority lists.
+        let mut users: BTreeMap<MailName, NodeId> = BTreeMap::new();
+        for (i, &host) in host_nodes.iter().enumerate() {
+            let per_user_server = assignment.server_of_users(i);
+            let ranking = crate::assign::server_ranking(&problem, &assignment, i);
+            for (k, &primary_idx) in per_user_server.iter().enumerate() {
+                let name = MailName::new(
+                    &format!("r{}", topology.region(host).0),
+                    topology.name(host),
+                    &format!("u{k}"),
+                )
+                .expect("generated names are valid");
+                let mut list = vec![server_nodes[primary_idx]];
+                for &j in &ranking {
+                    if list.len() >= cfg.authority_list_len.max(1) {
+                        break;
+                    }
+                    if j != primary_idx {
+                        list.push(server_nodes[j]);
+                    }
+                }
+                directory
+                    .register(name.clone(), host, AuthorityList::new(list))
+                    .expect("unique generated names");
+                users.insert(name, host);
+            }
+        }
+
+        // Per-server views and region tables.
+        let views = directory.partition(&server_nodes);
+        let mut region_servers: BTreeMap<RegionId, Vec<NodeId>> = BTreeMap::new();
+        for &s in &server_nodes {
+            region_servers
+                .entry(topology.region(s))
+                .or_default()
+                .push(s);
+        }
+        let mut region_index_by_region: BTreeMap<RegionId, BTreeMap<MailName, AuthorityList>> =
+            BTreeMap::new();
+        let mut home_hosts_by_region: BTreeMap<RegionId, BTreeMap<MailName, NodeId>> =
+            BTreeMap::new();
+        for rec in directory.iter() {
+            let region = topology.region(rec.home_host);
+            region_index_by_region
+                .entry(region)
+                .or_default()
+                .insert(rec.name.clone(), rec.authorities.clone());
+            home_hosts_by_region
+                .entry(region)
+                .or_default()
+                .insert(rec.name.clone(), rec.home_host);
+        }
+
+        // Spawn server actors.
+        let mut server_actors = BTreeMap::new();
+        for &s in &server_nodes {
+            let region = topology.region(s);
+            let resolver = SyntaxResolver::new(
+                s,
+                region,
+                views[&s].clone(),
+                region_index_by_region.get(&region).cloned().unwrap_or_default(),
+                region_servers.clone(),
+            );
+            let actor = ServerActor {
+                node: s,
+                transport: Rc::clone(&placeholder_transport), // replaced below
+                resolver,
+                mailboxes: BTreeMap::new(),
+                last_start_time: SimTime::ZERO,
+                proc_time: cfg.server_spec.proc_time,
+                stats: Rc::clone(&stats),
+                forwards: HashMap::new(),
+                home_hosts: home_hosts_by_region
+                    .get(&region)
+                    .cloned()
+                    .unwrap_or_default(),
+                deposited_ids: std::collections::HashSet::new(),
+                redirects: Rc::clone(&redirects),
+            };
+            let id = sim.add_actor(actor);
+            transport.bind(s, id);
+            server_actors.insert(s, id);
+        }
+
+        // Spawn host actors.
+        let mut host_actors = BTreeMap::new();
+        for &h in &host_nodes {
+            let mut ui_users = BTreeMap::new();
+            for (name, &home) in &users {
+                if home == h {
+                    let rec = directory.by_name(name).expect("registered");
+                    ui_users.insert(
+                        name.clone(),
+                        UiUser {
+                            authorities: rec.authorities.clone(),
+                            last_checking_time: SimTime::ZERO,
+                            previously_unavailable: BTreeSet::new(),
+                            retrieval: None,
+                            pending_check: false,
+                        },
+                    );
+                }
+            }
+            let actor = HostActor {
+                node: h,
+                transport: Rc::clone(&placeholder_transport), // replaced below
+                users: ui_users,
+                submits: HashMap::new(),
+                id_gen: Rc::clone(&id_gen),
+                stats: Rc::clone(&stats),
+                timer_purpose: HashMap::new(),
+                alerts: BTreeMap::new(),
+                server_proc: cfg.server_spec.proc_time,
+            };
+            let id = sim.add_actor(actor);
+            transport.bind(h, id);
+            host_actors.insert(h, id);
+        }
+
+        // Now that all bindings exist, share the final transport.
+        let transport = Rc::new(transport);
+        for (&_node, &aid) in &server_actors {
+            if let Some(a) = sim.actor_mut::<ServerActor>(aid) {
+                a.transport = Rc::clone(&transport);
+            }
+        }
+        for (&_node, &aid) in &host_actors {
+            if let Some(a) = sim.actor_mut::<HostActor>(aid) {
+                a.transport = Rc::clone(&transport);
+            }
+        }
+
+        let host_region = host_nodes
+            .iter()
+            .map(|&h| (h, topology.region(h)))
+            .collect();
+        let host_names = host_nodes
+            .iter()
+            .map(|&h| (h, topology.name(h).to_owned()))
+            .collect();
+        Deployment {
+            sim,
+            transport,
+            directory,
+            stats,
+            users,
+            host_actors,
+            host_region,
+            host_names,
+            assignment,
+            problem,
+            server_actors,
+            redirects,
+        }
+    }
+
+    /// Performs the §3.1.4 migration *live*: renames the user in the
+    /// directory, installs a redirect for `redirect_ttl`, moves the user's
+    /// mailbox-access state to the new host's user interface, and updates
+    /// every server's resolution tables. Mail subsequently sent to the old
+    /// name is redirected and delivered under the new name until the
+    /// redirect expires.
+    ///
+    /// The user keeps their authority servers (the paper allows
+    /// reassignment as a separate step).
+    ///
+    /// # Errors
+    ///
+    /// Returns the directory error (unknown old name, taken new name)
+    /// without touching any actor state.
+    /// `new_user_token` overrides the user component at the new location
+    /// (needed when the old token is already taken on the destination
+    /// host); `None` keeps it.
+    pub fn migrate_user_live(
+        &mut self,
+        old_name: &MailName,
+        new_host: NodeId,
+        new_user_token: Option<&str>,
+        redirect_ttl: SimDuration,
+    ) -> Result<MailName, lems_core::directory::DirectoryError> {
+        let rec = self
+            .directory
+            .by_name(old_name)
+            .ok_or_else(|| {
+                lems_core::directory::DirectoryError::UnknownName(old_name.clone())
+            })?
+            .clone();
+        let region_token = format!("r{}", {
+            // Region of the destination host, via any server's resolver
+            // view being unnecessary: the topology region is encoded in
+            // host actor placement; reuse the transport's node mapping by
+            // asking the directory's region map in reverse is overkill —
+            // the caller-visible name keeps the convention
+            // r<region>.<host>.<user> via the node's display name.
+            self.host_region
+                .get(&new_host)
+                .copied()
+                .ok_or_else(|| {
+                    lems_core::directory::DirectoryError::UnknownName(old_name.clone())
+                })?
+                .0
+        });
+        let host_token = self
+            .host_names
+            .get(&new_host)
+            .cloned()
+            .ok_or_else(|| {
+                lems_core::directory::DirectoryError::UnknownName(old_name.clone())
+            })?;
+
+        let now = self.sim.now();
+        let outcome = if let Some(tok) = new_user_token {
+            // Inline variant of migrate_user with a token change.
+            let new_name = MailName::new(&region_token, &host_token, tok).map_err(|_| {
+                lems_core::directory::DirectoryError::UnknownName(old_name.clone())
+            })?;
+            self.directory
+                .register(new_name.clone(), new_host, rec.authorities.clone())?;
+            self.directory
+                .unregister(old_name)
+                .expect("old name present");
+            self.redirects.borrow_mut().insert(
+                old_name.clone(),
+                new_name.clone(),
+                now + redirect_ttl,
+            );
+            crate::migrate::MigrationOutcome {
+                old_name: old_name.clone(),
+                new_name,
+                redirect_expires_at: now + redirect_ttl,
+            }
+        } else {
+            crate::migrate::migrate_user(
+                &mut self.directory,
+                &mut self.redirects.borrow_mut(),
+                old_name,
+                &region_token,
+                &host_token,
+                new_host,
+                rec.authorities.clone(),
+                now,
+                redirect_ttl,
+            )?
+        };
+        let new_name = outcome.new_name.clone();
+
+        // Server-side tables: retire the old name, install the new one.
+        let server_ids: Vec<ActorId> = self.server_actors.values().copied().collect();
+        let new_rec = self
+            .directory
+            .by_name(&new_name)
+            .expect("just registered")
+            .clone();
+        for aid in server_ids {
+            if let Some(server) = self.sim.actor_mut::<ServerActor>(aid) {
+                server.resolver.remove_regional(old_name);
+                server.resolver.view_mut().remove(old_name);
+                server
+                    .resolver
+                    .upsert_regional(new_name.clone(), new_rec.authorities.clone());
+                if new_rec.authorities.contains(server.node) {
+                    server.resolver.view_mut().upsert(new_rec.clone());
+                }
+                server.home_hosts.remove(old_name);
+                server.home_hosts.insert(new_name.clone(), new_host);
+            }
+        }
+
+        // UI side: move the user's interface state to the new host actor.
+        let old_host = self.users.remove(old_name).expect("known user");
+        let old_aid = self.host_actors[&old_host];
+        let moved = self
+            .sim
+            .actor_mut::<HostActor>(old_aid)
+            .and_then(|h| h.users.remove(old_name));
+        if let Some(mut ui) = moved {
+            // The move is also a fresh start for retrieval bookkeeping.
+            ui.retrieval = None;
+            ui.pending_check = false;
+            let new_aid = self.host_actors[&new_host];
+            if let Some(h) = self.sim.actor_mut::<HostActor>(new_aid) {
+                h.users.insert(new_name.clone(), ui);
+            }
+        }
+        self.users.insert(new_name.clone(), new_host);
+
+        Ok(new_name)
+    }
+
+    /// All user names, ordered.
+    pub fn user_names(&self) -> Vec<MailName> {
+        self.users.keys().cloned().collect()
+    }
+
+    /// The actor simulating `server`.
+    pub fn server_actor(&self, server: NodeId) -> Option<ActorId> {
+        self.server_actors.get(&server).copied()
+    }
+
+    /// The actor simulating `host`.
+    pub fn host_actor(&self, host: NodeId) -> Option<ActorId> {
+        self.host_actors.get(&host).copied()
+    }
+
+    /// Injects a send at `at` (absolute simulated time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sender is unknown.
+    pub fn send_at(&mut self, at: SimTime, from: &MailName, to: &MailName) {
+        let host = *self.users.get(from).expect("unknown sender");
+        let actor = self.host_actors[&host];
+        let delay = at.duration_since(self.sim.now());
+        self.sim.inject(
+            actor,
+            MailMsg::DoSend {
+                from: from.clone(),
+                to: to.clone(),
+            },
+            delay,
+        );
+    }
+
+    /// Injects a mail check at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the user is unknown.
+    pub fn check_at(&mut self, at: SimTime, user: &MailName) {
+        let host = *self.users.get(user).expect("unknown user");
+        let actor = self.host_actors[&host];
+        let delay = at.duration_since(self.sim.now());
+        self.sim.inject(actor, MailMsg::DoCheck { user: user.clone() }, delay);
+    }
+
+    /// Applies a failure plan expressed over *server nodes* (host actors
+    /// never fail in System-1 experiments).
+    pub fn apply_server_failures(&mut self, plan: &ServerFailurePlan) {
+        for (server, outages) in &plan.outages {
+            let actor = self.server_actors[server];
+            for &(down, up) in outages {
+                self.sim.schedule_crash(actor, down);
+                self.sim.schedule_recover(actor, up);
+            }
+        }
+    }
+
+    /// Debug dump: every message still stored, as
+    /// `(server node, owner, message id, owner's authority list)`.
+    pub fn stranded_mail(&self) -> Vec<(NodeId, MailName, MessageId, Vec<NodeId>)> {
+        let mut out = Vec::new();
+        for (&node, &aid) in &self.server_actors {
+            if let Some(s) = self.sim.actor::<ServerActor>(aid) {
+                for (owner, mb) in &s.mailboxes {
+                    for stored in mb.peek() {
+                        let auth = self
+                            .directory
+                            .by_name(owner)
+                            .map(|r| r.authorities.servers().to_vec())
+                            .unwrap_or_default();
+                        out.push((node, owner.clone(), stored.message.id, auth));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Messages still sitting in server mailboxes.
+    pub fn mail_in_storage(&self) -> usize {
+        self.server_actors
+            .values()
+            .filter_map(|&aid| self.sim.actor::<ServerActor>(aid))
+            .map(|s| s.mailboxes.values().map(Mailbox::len).sum::<usize>())
+            .sum()
+    }
+}
+
+/// Outages keyed by server node (a thin, node-addressed wrapper around the
+/// engine's actor-addressed failure scheduling).
+#[derive(Clone, Debug, Default)]
+pub struct ServerFailurePlan {
+    /// Server node -> list of (down_at, up_at).
+    pub outages: BTreeMap<NodeId, Vec<(SimTime, SimTime)>>,
+}
+
+impl ServerFailurePlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an outage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `up <= down`.
+    pub fn add(&mut self, server: NodeId, down: SimTime, up: SimTime) {
+        assert!(up > down, "outage must end after it starts");
+        self.outages.entry(server).or_default().push((down, up));
+    }
+
+    /// Random outages for the given servers (exponential MTBF/MTTR),
+    /// mirroring [`lems_sim::failure::FailurePlan::random`].
+    pub fn random(
+        rng: &mut lems_sim::rng::SimRng,
+        servers: &[NodeId],
+        mtbf: SimDuration,
+        mttr: SimDuration,
+        horizon: SimTime,
+    ) -> Self {
+        let mut plan = Self::new();
+        for &s in servers {
+            let mut t = SimTime::ZERO + rng.exp_duration(mtbf);
+            while t < horizon {
+                let up = t + rng.exp_duration(mttr);
+                plan.add(s, t, up);
+                t = up + rng.exp_duration(mtbf);
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lems_net::generators::fig1;
+
+    fn t(u: f64) -> SimTime {
+        SimTime::from_units(u)
+    }
+
+    fn small_deployment(seed: u64) -> Deployment {
+        let f = fig1();
+        // Small population to keep tests brisk: 2 users/host.
+        Deployment::build(&f.topology, &[2, 2, 2, 2, 2, 2], &DeploymentConfig {
+            seed,
+            ..DeploymentConfig::default()
+        })
+    }
+
+    #[test]
+    fn build_registers_users_with_authority_lists() {
+        let d = small_deployment(1);
+        let names = d.user_names();
+        assert_eq!(names.len(), 12);
+        for n in &names {
+            let rec = d.directory.by_name(n).unwrap();
+            assert_eq!(rec.authorities.len(), 3);
+        }
+    }
+
+    #[test]
+    fn simple_send_deposit_retrieve_cycle() {
+        let mut d = small_deployment(2);
+        let names = d.user_names();
+        let (alice, bob) = (names[0].clone(), names[5].clone());
+        d.send_at(t(1.0), &alice, &bob);
+        d.check_at(t(50.0), &bob);
+        d.sim.run_to_quiescence();
+
+        let st = d.stats.borrow();
+        assert_eq!(st.submitted, 1);
+        assert_eq!(st.deposited, 1);
+        assert_eq!(st.retrieved, 1);
+        assert_eq!(st.bounced, 0);
+        assert_eq!(st.outstanding(), 0);
+        assert!(st.end_to_end.mean() > 0.0);
+        assert_eq!(d.mail_in_storage(), 0);
+    }
+
+    #[test]
+    fn notification_reaches_recipient_host() {
+        let mut d = small_deployment(3);
+        let names = d.user_names();
+        let (alice, bob) = (names[0].clone(), names[7].clone());
+        d.send_at(t(1.0), &alice, &bob);
+        d.sim.run_to_quiescence();
+        let host = *d.users.get(&bob).unwrap();
+        let actor = d.host_actor(host).unwrap();
+        let h: &HostActor = d.sim.actor(actor).unwrap();
+        assert_eq!(h.alerts.get(&bob).copied(), Some(1));
+    }
+
+    #[test]
+    fn steady_state_check_costs_one_poll() {
+        let mut d = small_deployment(4);
+        let names = d.user_names();
+        let user = names[0].clone();
+        // First check exhausts the list; later checks poll once.
+        for i in 1..=5 {
+            d.check_at(t(i as f64 * 20.0), &user);
+        }
+        d.sim.run_to_quiescence();
+        let st = d.stats.borrow();
+        assert_eq!(st.retrieval_polls.count(), 5);
+        // First = 3 polls, remaining 4 = 1 poll -> mean = (3+4)/5 = 1.4
+        assert!((st.retrieval_polls.mean() - 1.4).abs() < 1e-9);
+        assert_eq!(st.retrieval_polls.min(), Some(1.0));
+    }
+
+    #[test]
+    fn submission_fails_over_to_secondary_when_primary_down() {
+        let mut d = small_deployment(5);
+        let names = d.user_names();
+        let (alice, bob) = (names[0].clone(), names[1].clone());
+        let primary = d.directory.by_name(&alice).unwrap().authorities.primary();
+
+        let mut plan = ServerFailurePlan::new();
+        plan.add(primary, t(0.5), t(100.0));
+        d.apply_server_failures(&plan);
+
+        d.send_at(t(1.0), &alice, &bob);
+        d.sim.run_until(t(90.0));
+        {
+            let st = d.stats.borrow();
+            assert_eq!(st.submitted, 1);
+            assert!(
+                st.submit_attempts >= 2,
+                "expected retry after primary timeout, got {}",
+                st.submit_attempts
+            );
+            assert_eq!(st.bounced, 0);
+        }
+        // Bob checks after the dust settles; mail must be retrievable.
+        d.check_at(t(120.0), &bob);
+        d.sim.run_to_quiescence();
+        let st = d.stats.borrow();
+        assert_eq!(st.retrieved, 1);
+        assert_eq!(st.outstanding(), 0);
+    }
+
+    #[test]
+    fn unknown_recipient_bounces() {
+        let mut d = small_deployment(6);
+        let names = d.user_names();
+        let alice = names[0].clone();
+        let ghost: MailName = "r0.H1.ghost".parse().unwrap();
+        d.send_at(t(1.0), &alice, &ghost);
+        d.sim.run_to_quiescence();
+        let st = d.stats.borrow();
+        assert_eq!(st.bounced, 1);
+        assert_eq!(
+            st.ledger_bounced.values().next(),
+            Some(&BounceReason::UnknownRecipient)
+        );
+    }
+
+    #[test]
+    fn unknown_region_bounces() {
+        let mut d = small_deployment(7);
+        let names = d.user_names();
+        let alice = names[0].clone();
+        let ghost: MailName = "r999.H1.ghost".parse().unwrap();
+        d.send_at(t(1.0), &alice, &ghost);
+        d.sim.run_to_quiescence();
+        assert_eq!(d.stats.borrow().bounced, 1);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        fn run(seed: u64) -> (u64, u64, SimTime) {
+            let mut d = small_deployment(seed);
+            let names = d.user_names();
+            for i in 0..names.len() {
+                d.send_at(
+                    t(1.0 + i as f64),
+                    &names[i],
+                    &names[(i + 3) % names.len()],
+                );
+                d.check_at(t(100.0 + i as f64), &names[(i + 3) % names.len()]);
+            }
+            d.sim.run_to_quiescence();
+            let st = d.stats.borrow();
+            (st.retrieved, st.deposited, d.sim.now())
+        }
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn duplicate_forwards_deposit_once() {
+        let mut d = small_deployment(11);
+        let names = d.user_names();
+        let (alice, bob) = (names[0].clone(), names[1].clone());
+        let primary = d.directory.by_name(&bob).unwrap().authorities.primary();
+        let server_actor = d.server_actor(primary).unwrap();
+
+        d.send_at(t(1.0), &alice, &bob);
+        d.sim.run_to_quiescence();
+        assert_eq!(d.stats.borrow().deposited, 1);
+
+        // Replay the delivered message as a stray duplicate Forward.
+        let stored = d.stranded_mail();
+        assert_eq!(stored.len(), 1);
+        let dup = {
+            let s: &ServerActor = d.sim.actor(server_actor).unwrap();
+            s.mailboxes[&bob].peek()[0].message.clone()
+        };
+        d.sim.inject(
+            server_actor,
+            MailMsg::Forward {
+                msg: dup,
+                reply_to: primary,
+                hops_left: 4,
+            },
+            SimDuration::from_units(1.0),
+        );
+        d.sim.run_to_quiescence();
+        assert_eq!(d.stats.borrow().deposited, 1, "duplicate suppressed");
+        assert_eq!(d.mail_in_storage(), 1);
+    }
+
+    #[test]
+    fn live_migration_redirects_old_name_mail() {
+        let mut d = small_deployment(12);
+        let names = d.user_names();
+        let (alice, bob_old) = (names[0].clone(), names[4].clone());
+        let old_host = *d.users.get(&bob_old).unwrap();
+
+        // Migrate bob to a different host at t=0.
+        let f = lems_net::generators::fig1();
+        let new_host = *f
+            .topology
+            .hosts()
+            .iter()
+            .find(|&&h| h != old_host)
+            .unwrap();
+        let bob_new = d
+            .migrate_user_live(
+                &bob_old,
+                new_host,
+                Some("bob-moved"),
+                SimDuration::from_units(500.0),
+            )
+            .unwrap();
+        assert_ne!(bob_new, bob_old);
+        assert!(!d.directory.is_registered(&bob_old));
+
+        // Alice still writes to the old address; the mail must arrive
+        // under the new name.
+        d.send_at(t(1.0), &alice, &bob_old);
+        d.check_at(t(60.0), &bob_new);
+        d.sim.run_to_quiescence();
+
+        let st = d.stats.borrow();
+        assert_eq!(st.bounced, 0, "old-name mail must redirect, not bounce");
+        assert_eq!(st.retrieved, 1);
+        assert_eq!(st.outstanding(), 0);
+        drop(st);
+        // The sender-notification side effect fired.
+        assert_eq!(d.redirects.borrow().notification_count(&bob_old), 1);
+    }
+
+    #[test]
+    fn expired_redirect_bounces_old_name_mail() {
+        let mut d = small_deployment(13);
+        let names = d.user_names();
+        let (alice, bob_old) = (names[0].clone(), names[4].clone());
+        let old_host = *d.users.get(&bob_old).unwrap();
+        let f = lems_net::generators::fig1();
+        let new_host = *f
+            .topology
+            .hosts()
+            .iter()
+            .find(|&&h| h != old_host)
+            .unwrap();
+        let _ = d
+            .migrate_user_live(
+                &bob_old,
+                new_host,
+                Some("bob-moved"),
+                SimDuration::from_units(10.0),
+            )
+            .unwrap();
+        // Mail sent long after the redirect expired.
+        d.send_at(t(100.0), &alice, &bob_old);
+        d.sim.run_to_quiescence();
+        let st = d.stats.borrow();
+        assert_eq!(st.bounced, 1);
+        assert_eq!(
+            st.ledger_bounced.values().next(),
+            Some(&BounceReason::UnknownRecipient)
+        );
+    }
+
+    #[test]
+    fn mail_survives_primary_crash_after_deposit() {
+        let mut d = small_deployment(10);
+        let names = d.user_names();
+        let (alice, bob) = (names[2].clone(), names[3].clone());
+        let primary = d.directory.by_name(&bob).unwrap().authorities.primary();
+
+        d.send_at(t(1.0), &alice, &bob);
+        // Crash the primary long after deposit, recover later; the mailbox
+        // is stable storage, so the mail is still there.
+        let mut plan = ServerFailurePlan::new();
+        plan.add(primary, t(20.0), t(40.0));
+        d.apply_server_failures(&plan);
+        d.check_at(t(50.0), &bob);
+        d.sim.run_to_quiescence();
+        let st = d.stats.borrow();
+        assert_eq!(st.retrieved, 1);
+        assert_eq!(st.outstanding(), 0);
+    }
+}

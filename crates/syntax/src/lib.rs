@@ -1,0 +1,57 @@
+//! # lems-syntax — System 1: mail with syntax-directed naming
+//!
+//! The first of the three designs in *"Designing Large Electronic Mail
+//! Systems"* (Bahaa-El-Din & Yuen, ICDCS 1988): users carry
+//! location-dependent `region.host.user` names, and every mail-system
+//! function keys off the syntax of those names.
+//!
+//! * [`cost`] — the `TC_ij = C_ij·W1 + (Q(ρ)+z)·W2` connection-cost model
+//!   with its M/M/1 waiting-time estimate (§3.1.1);
+//! * [`assign`] — the load-balancing server-assignment algorithm:
+//!   nearest-server initialisation (Tables 1, 3) plus the iterative
+//!   balancing loop (Table 2);
+//! * [`resolve`] — syntax-directed name resolution with region forwarding
+//!   (§3.1.2b);
+//! * [`getmail`] — the GetMail retrieval algorithm and the poll-everything
+//!   baseline (§3.1.2c), with the paper's "≈ one poll, no mail lost"
+//!   guarantees;
+//! * [`actors`] — the full simulated system: host/user-interface and
+//!   server actors, connection setup with failover, store-and-forward
+//!   delivery, notifications, and asynchronous GetMail over real timeouts;
+//! * [`groups`] — distribution lists with nested expansion (§4.3 group
+//!   naming — the conventional baseline System 3 replaces);
+//! * [`cache`] — the §4.1 "caching capability": LRU+TTL resolution
+//!   caching with reconfiguration-aware invalidation;
+//! * [`retention`] — the §3.1.2c archiving/clean-up policy protecting
+//!   server storage;
+//! * [`reconfig`] — add/delete users, hosts, servers with rebalancing
+//!   (§3.1.3);
+//! * [`migrate`] — rename + redirect + notify for migrating users
+//!   (§3.1.4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actors;
+pub mod assign;
+pub mod cache;
+pub mod cost;
+pub mod getmail;
+pub mod groups;
+pub mod migrate;
+pub mod reconfig;
+pub mod retention;
+pub mod resolve;
+
+pub use actors::{DeliveryStats, Deployment, DeploymentConfig, MailMsg, ServerFailurePlan};
+pub use cache::{CacheStats, ResolutionCache};
+pub use assign::{
+    balance, initialize, solve, Assignment, AssignmentProblem, BalanceOptions, BalanceReport,
+};
+pub use cost::{CostModel, ServerSpec};
+pub use getmail::{GetMailState, MailStore, PlanStore, ProbeReply, RetrievalOutcome};
+pub use groups::{GroupError, GroupTable, Member};
+pub use migrate::{migrate_user, MigrationOutcome, Redirect, RedirectTable};
+pub use reconfig::{ReconfigReport, Reconfigurator};
+pub use retention::{sweep as retention_sweep, CleanupReport, RetentionPolicy};
+pub use resolve::{Resolution, SyntaxResolver};

@@ -1,0 +1,192 @@
+//! Message archiving and clean-up (§3.1.2c).
+//!
+//! "Another option can be provided to allow a copy of the message to be
+//! retained on the server. In that case, some policy of message archiving
+//! and clean-up must be implemented to protect the servers' storage from
+//! being used up."
+//!
+//! A [`RetentionPolicy`] bounds each mailbox by age and by count;
+//! [`sweep`] applies it across a server's mailboxes and reports what was
+//! archived.
+
+use std::collections::BTreeMap;
+
+use lems_core::mailbox::Mailbox;
+use lems_core::name::MailName;
+use lems_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Serialize `SimDuration` as fractional time units.
+mod duration_units {
+    use lems_sim::time::SimDuration;
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(d: &SimDuration, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(d.as_units())
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<SimDuration, D::Error> {
+        let units = f64::deserialize(d)?;
+        if !(units.is_finite() && units >= 0.0) {
+            return Err(serde::de::Error::custom("duration must be finite and >= 0"));
+        }
+        Ok(SimDuration::from_units(units))
+    }
+}
+
+/// Storage bounds for retained mail.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RetentionPolicy {
+    /// Messages older than this are archived away from server storage.
+    #[serde(with = "duration_units")]
+    pub max_age: SimDuration,
+    /// At most this many messages stay per mailbox (oldest leave first).
+    pub max_per_mailbox: usize,
+}
+
+impl RetentionPolicy {
+    /// A permissive default: 1,000 time units, 1,000 messages.
+    pub fn generous() -> Self {
+        RetentionPolicy {
+            max_age: SimDuration::from_units(1_000.0),
+            max_per_mailbox: 1_000,
+        }
+    }
+
+    /// Applies the policy to one mailbox at time `now`; returns how many
+    /// messages were removed by each rule.
+    pub fn apply(&self, mailbox: &mut Mailbox, now: SimTime) -> (usize, usize) {
+        let cutoff = now - self.max_age;
+        let by_age = mailbox.expire_older_than(cutoff);
+        let mut by_count = 0;
+        while mailbox.len() > self.max_per_mailbox {
+            let oldest = mailbox.peek()[0].message.id;
+            mailbox.remove(oldest);
+            by_count += 1;
+        }
+        (by_age, by_count)
+    }
+}
+
+/// What one clean-up pass removed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CleanupReport {
+    /// Messages archived for exceeding the age bound.
+    pub archived_by_age: usize,
+    /// Messages archived for exceeding the per-mailbox count bound.
+    pub archived_by_count: usize,
+    /// Mailboxes touched.
+    pub mailboxes_swept: usize,
+}
+
+impl CleanupReport {
+    /// Total messages removed from server storage.
+    pub fn total_archived(&self) -> usize {
+        self.archived_by_age + self.archived_by_count
+    }
+}
+
+/// Sweeps every mailbox of a server under `policy` at time `now`.
+pub fn sweep(
+    mailboxes: &mut BTreeMap<MailName, Mailbox>,
+    policy: &RetentionPolicy,
+    now: SimTime,
+) -> CleanupReport {
+    let mut report = CleanupReport::default();
+    for mb in mailboxes.values_mut() {
+        let before = mb.len();
+        let (age, count) = policy.apply(mb, now);
+        report.archived_by_age += age;
+        report.archived_by_count += count;
+        if age + count > 0 || before != mb.len() {
+            report.mailboxes_swept += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lems_core::message::{Message, MessageIdGen};
+
+    fn mailbox_with(n: usize, spacing: f64) -> (Mailbox, MessageIdGen) {
+        let owner: MailName = "east.h1.u".parse().unwrap();
+        let mut mb = Mailbox::new(owner.clone());
+        let mut gen = MessageIdGen::new();
+        for i in 0..n {
+            let m = Message::new(
+                gen.next_id(),
+                "east.h1.s".parse().unwrap(),
+                owner.clone(),
+                "s",
+                "b",
+                SimTime::ZERO,
+            );
+            mb.deposit(m, SimTime::from_units(i as f64 * spacing));
+        }
+        (mb, gen)
+    }
+
+    #[test]
+    fn age_bound_archives_old_mail() {
+        let (mut mb, _) = mailbox_with(10, 10.0); // deposits at 0,10,..,90
+        let policy = RetentionPolicy {
+            max_age: SimDuration::from_units(35.0),
+            max_per_mailbox: 100,
+        };
+        let (by_age, by_count) = policy.apply(&mut mb, SimTime::from_units(100.0));
+        // cutoff = 65: deposits at 0..60 leave (7 messages).
+        assert_eq!(by_age, 7);
+        assert_eq!(by_count, 0);
+        assert_eq!(mb.len(), 3);
+    }
+
+    #[test]
+    fn count_bound_keeps_newest() {
+        let (mut mb, _) = mailbox_with(10, 1.0);
+        let policy = RetentionPolicy {
+            max_age: SimDuration::from_units(1e6),
+            max_per_mailbox: 4,
+        };
+        let (by_age, by_count) = policy.apply(&mut mb, SimTime::from_units(20.0));
+        assert_eq!(by_age, 0);
+        assert_eq!(by_count, 6);
+        assert_eq!(mb.len(), 4);
+        // The survivors are the newest deposits.
+        assert!(mb.peek().iter().all(|s| s.deposited_at >= SimTime::from_units(6.0)));
+    }
+
+    #[test]
+    fn sweep_reports_across_mailboxes() {
+        let mut boxes = BTreeMap::new();
+        for (i, spacing) in [(0usize, 10.0), (1, 1.0)] {
+            let owner: MailName = format!("east.h1.u{i}").parse().unwrap();
+            let (mb, _) = mailbox_with(10, spacing);
+            let mut renamed = Mailbox::new(owner.clone());
+            for s in mb.peek() {
+                renamed.deposit(s.message.clone(), s.deposited_at);
+            }
+            boxes.insert(owner, renamed);
+        }
+        let policy = RetentionPolicy {
+            max_age: SimDuration::from_units(50.0),
+            max_per_mailbox: 5,
+        };
+        let report = sweep(&mut boxes, &policy, SimTime::from_units(100.0));
+        assert!(report.total_archived() > 0);
+        assert_eq!(report.mailboxes_swept, 2);
+        for mb in boxes.values() {
+            assert!(mb.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn generous_policy_touches_nothing_fresh() {
+        let (mut mb, _) = mailbox_with(5, 1.0);
+        let policy = RetentionPolicy::generous();
+        let (a, c) = policy.apply(&mut mb, SimTime::from_units(10.0));
+        assert_eq!((a, c), (0, 0));
+        assert_eq!(mb.len(), 5);
+    }
+}

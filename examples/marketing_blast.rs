@@ -1,0 +1,120 @@
+//! Attribute-based mass distribution (System 3): find every database
+//! specialist on the continent without knowing a single address, estimate
+//! the cost, and stay within budget (§3.3).
+//!
+//! ```sh
+//! cargo run --example marketing_blast
+//! ```
+
+use lems::attr::{
+    distribute, estimate, AttrKey, AttributeNetwork, AttributeRegistry, AttributeSet,
+    Query, RequesterContext, Visibility,
+};
+use lems::net::generators::{multi_region, MultiRegionConfig};
+use lems::net::topology::Topology;
+use lems::sim::failure::FailurePlan;
+use lems::sim::rng::SimRng;
+use std::collections::BTreeMap;
+
+fn build_world() -> AttributeNetwork {
+    let mut rng = SimRng::seed(99);
+    let raw = multi_region(
+        &mut rng,
+        &MultiRegionConfig {
+            regions: 4,
+            hosts_per_region: 3,
+            servers_per_region: 3,
+            ..MultiRegionConfig::default()
+        },
+    );
+    // GHS needs distinct weights; rebuild the topology over them.
+    let g = raw.graph().with_distinct_weights();
+    let mut topo = Topology::new();
+    for n in raw.nodes() {
+        match raw.kind(n) {
+            lems::net::NodeKind::Host => topo.add_host(raw.region(n), raw.name(n)),
+            lems::net::NodeKind::Server => topo.add_server(raw.region(n), raw.name(n)),
+        };
+    }
+    for e in g.edges() {
+        topo.link(e.a, e.b, e.weight);
+    }
+
+    // Populate each server's registry with user profiles.
+    let fields = ["databases", "networks", "operating systems", "graphics"];
+    let mut registries = BTreeMap::new();
+    for (person, &s) in topo.servers().iter().enumerate() {
+        let region = topo.region(s).0;
+        let mut reg = AttributeRegistry::new();
+        for k in 0..6 {
+            let mut a = AttributeSet::new();
+            a.add(AttrKey::Expertise, fields[(person + k) % fields.len()], Visibility::Public);
+            a.add(AttrKey::Organization, "ACME", Visibility::Public);
+            if person == 2 && k == 1 {
+                // One registered misspelling-prone name for the fuzzy demo.
+                a.add(AttrKey::Nickname, "thompson", Visibility::Public);
+            }
+            // Some people keep their interests private.
+            if k % 3 == 0 {
+                a.add(AttrKey::Interest, "chess", Visibility::Private);
+            }
+            reg.upsert(
+                format!("r{region}.h.person{person}_{k}").parse().expect("valid"),
+                a,
+            );
+        }
+        registries.insert(s, reg);
+    }
+    AttributeNetwork::new(topo, registries)
+}
+
+fn main() {
+    let net = build_world();
+    let root = net.topology().servers()[0];
+    let ctx = RequesterContext::default();
+
+    // "Find potential clients": everyone whose expertise mentions
+    // databases — addressed by attribute, not by name.
+    let query = Query::Attr(
+        AttrKey::Expertise,
+        lems::attr::Predicate::Contains("database".into()),
+    );
+
+    // 1. Distributed search over the backbone+local MST.
+    let search = net
+        .search(root, &query, &ctx, &FailurePlan::new(), 1)
+        .expect("root is up");
+    println!(
+        "distributed search: {} matches across {} responding nodes in {:.1} virtual units",
+        search.matches, search.responded, search.completed_at.as_units()
+    );
+    assert_eq!(search.matches, search.ground_truth_matches);
+
+    // 2. Cost estimate before sending (§3.3.1B).
+    let est = estimate(&net, root, &query);
+    println!("\ncost table (delivery per region):");
+    for (region, cost) in &est.region_costs {
+        println!("  {region}: {cost:.1} units");
+    }
+    println!("full coverage: {:.1} units (+{:.1} search charge)", est.total_cost, est.search_charge);
+
+    // 3. Send within budget: flow control picks the cheapest regions.
+    let budget = est.total_cost * 0.5;
+    let out = distribute(&net, root, &query, &ctx, Some(budget));
+    println!(
+        "\nwith a budget of {budget:.1} units: {} region(s), {} recipient(s), {} skipped",
+        out.regions.len(),
+        out.recipients.len(),
+        out.skipped_recipients
+    );
+    for r in out.recipients.iter().take(5) {
+        println!("  -> {r}");
+    }
+
+    // 4. A misspelled directory lookup still finds its person.
+    let fuzzy = Query::name_like("tompson", 1);
+    let hits = net.central_matches(&fuzzy, &ctx);
+    println!("\nfuzzy lookup for 'tompson' (misspelled): {} hit(s): {:?}",
+        hits.len(),
+        hits.iter().map(ToString::to_string).collect::<Vec<_>>());
+}

@@ -1,0 +1,53 @@
+//! Telephone-style hierarchies: the paper notes "the current hierarchical
+//! numbering scheme for telephone services is a good example of
+//! syntax-directed naming … A three or four hierarchy system can be
+//! applied to electronic mail" (§3.1.1). This example runs a four-level
+//! name space with zone delegation and longest-prefix resolution.
+//!
+//! ```sh
+//! cargo run --example zoned_hierarchy
+//! ```
+
+use lems::core::{HierName, ZoneTable};
+use lems::net::NodeId;
+
+fn main() {
+    // The "telephone book": a root directory server plus delegated zones.
+    let mut zones = ZoneTable::new(NodeId(0));
+    zones.delegate("usa".parse().unwrap(), NodeId(1));
+    zones.delegate("usa.east".parse().unwrap(), NodeId(2));
+    zones.delegate("usa.east.boston".parse().unwrap(), NodeId(3));
+    zones.delegate("usa.west".parse().unwrap(), NodeId(4));
+    zones.delegate("europe".parse().unwrap(), NodeId(5));
+
+    println!("zone table ({} delegations + root):\n", zones.len());
+
+    let queries = [
+        "usa.east.boston.vax1.alice", // 5 levels: country.region.city.host.user
+        "usa.east.albany.pc2.bob",
+        "usa.west.la.sun3.carol",
+        "europe.fr.paris.mini.dave",
+        "asia.jp.tokyo.h.erin", // no delegation: root answers
+    ];
+    for q in queries {
+        let name: HierName = q.parse().expect("valid name");
+        let (server, depth) = zones.resolve(&name);
+        let chain = zones.referral_chain(&name);
+        println!(
+            "{q:<30} -> n{} (zone depth {depth}, referral chain {:?})",
+            server.0,
+            chain.iter().map(|n| n.0).collect::<Vec<_>>()
+        );
+    }
+
+    // Reconfiguration: spinning down the boston zone server falls back to
+    // the usa.east zone without touching a single user name.
+    println!("\nundelegating usa.east.boston ...");
+    zones.undelegate(&"usa.east.boston".parse().unwrap());
+    let name: HierName = "usa.east.boston.vax1.alice".parse().unwrap();
+    let (server, depth) = zones.resolve(&name);
+    println!(
+        "usa.east.boston.vax1.alice     -> n{} (zone depth {depth}) — names unchanged",
+        server.0
+    );
+}

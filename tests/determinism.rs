@@ -1,0 +1,82 @@
+//! Integration: every layer of the stack is a pure function of its seed —
+//! identical seeds give identical results, different seeds differ.
+
+use lems::net::generators::{multi_region, MultiRegionConfig};
+use lems::net::graph::Weight;
+use lems::sim::rng::SimRng;
+use lems::sim::time::SimTime;
+use lems::syntax::{Deployment, DeploymentConfig};
+
+fn topo_fingerprint(seed: u64) -> Vec<(usize, usize, Weight)> {
+    let mut rng = SimRng::seed(seed);
+    let t = multi_region(&mut rng, &MultiRegionConfig::default());
+    t.graph()
+        .edges()
+        .iter()
+        .map(|e| (e.a.0, e.b.0, e.weight))
+        .collect()
+}
+
+#[test]
+fn topology_generation_is_deterministic() {
+    assert_eq!(topo_fingerprint(5), topo_fingerprint(5));
+    assert_ne!(topo_fingerprint(5), topo_fingerprint(6));
+}
+
+fn ghs_fingerprint(seed: u64) -> (Vec<(usize, usize)>, u64) {
+    let mut rng = SimRng::seed(seed);
+    let raw = multi_region(&mut rng, &MultiRegionConfig::default());
+    let g = raw.graph().with_distinct_weights();
+    let run = lems::mst::ghs::run_ghs(&g, seed);
+    (
+        run.edges.iter().map(|&(a, b)| (a.0, b.0)).collect(),
+        run.stats.total_sent(),
+    )
+}
+
+#[test]
+fn ghs_runs_are_deterministic() {
+    assert_eq!(ghs_fingerprint(9), ghs_fingerprint(9));
+}
+
+fn deployment_fingerprint(seed: u64) -> (u64, u64, SimTime) {
+    let f = lems::net::generators::fig1();
+    let mut d = Deployment::build(
+        &f.topology,
+        &[2, 2, 2, 2, 2, 2],
+        &DeploymentConfig {
+            seed,
+            ..DeploymentConfig::default()
+        },
+    );
+    let names = d.user_names();
+    for i in 0..names.len() {
+        d.send_at(
+            SimTime::from_units(1.0 + i as f64),
+            &names[i],
+            &names[(i + 5) % names.len()],
+        );
+    }
+    for (i, n) in names.iter().enumerate() {
+        d.check_at(SimTime::from_units(100.0 + i as f64), n);
+    }
+    d.sim.run_to_quiescence();
+    let st = d.stats.borrow();
+    (st.retrieved, st.deposited, d.sim.now())
+}
+
+#[test]
+fn full_deployments_replay_exactly() {
+    assert_eq!(deployment_fingerprint(3), deployment_fingerprint(3));
+}
+
+#[test]
+fn workload_generation_is_deterministic() {
+    use lems::core::workload::{generate, WorkloadConfig};
+    use lems::core::UserId;
+    use lems::net::RegionId;
+    let pop: Vec<(UserId, RegionId)> = (0..12).map(|i| (UserId(i), RegionId(i % 3))).collect();
+    let a = generate(&mut SimRng::seed(4), &pop, &WorkloadConfig::default());
+    let b = generate(&mut SimRng::seed(4), &pop, &WorkloadConfig::default());
+    assert_eq!(a.events(), b.events());
+}

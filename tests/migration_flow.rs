@@ -1,0 +1,122 @@
+//! Integration: user migration across the directory, redirect table, and
+//! System-2 tracking — §3.1.4 (rename + redirect) and §3.2.4 (free
+//! within-region movement) side by side.
+
+use lems::core::{AuthorityList, Directory, MailName};
+use lems::locindep::{RegionTracker, SubgroupMap};
+use lems::net::NodeId;
+use lems::net::RegionId;
+use lems::sim::time::{SimDuration, SimTime};
+use lems::syntax::{migrate_user, RedirectTable};
+
+fn setup_directory() -> Directory {
+    let mut d = Directory::new();
+    d.map_region("east", RegionId(0));
+    d.map_region("west", RegionId(1));
+    for (name, host, servers) in [
+        ("east.h1.alice", 10, vec![0, 1]),
+        ("east.h2.bob", 11, vec![1, 2]),
+        ("west.h9.carol", 20, vec![5, 6]),
+    ] {
+        d.register(
+            name.parse().unwrap(),
+            NodeId(host),
+            AuthorityList::new(servers.into_iter().map(NodeId).collect()),
+        )
+        .unwrap();
+    }
+    d
+}
+
+#[test]
+fn system1_migration_renames_and_mail_follows_redirect() {
+    let mut dir = setup_directory();
+    let mut redirects = RedirectTable::new();
+    let old: MailName = "east.h1.alice".parse().unwrap();
+
+    let out = migrate_user(
+        &mut dir,
+        &mut redirects,
+        &old,
+        "west",
+        "h8",
+        NodeId(21),
+        AuthorityList::new(vec![NodeId(5)]),
+        SimTime::from_units(100.0),
+        SimDuration::from_units(200.0),
+    )
+    .unwrap();
+
+    // The old name is retired; the new one resolves in the new region.
+    assert!(!dir.is_registered(&old));
+    let rec = dir.by_name(&out.new_name).unwrap();
+    assert_eq!(rec.home_host, NodeId(21));
+    assert_eq!(dir.region_of_name(out.new_name.region()), Some(RegionId(1)));
+
+    // Mail sent to the old name is redirected while the entry is live,
+    // and the sender is notified each time.
+    for i in 0..3 {
+        let hit = redirects
+            .lookup(&old, SimTime::from_units(150.0 + i as f64))
+            .expect("redirect live");
+        assert_eq!(hit.new_name, out.new_name);
+    }
+    assert_eq!(redirects.notification_count(&old), 3);
+
+    // After expiry, the old name is gone for good.
+    assert!(redirects.lookup(&old, SimTime::from_units(301.0)).is_none());
+    assert_eq!(redirects.expire(SimTime::from_units(301.0)), 1);
+}
+
+#[test]
+fn system2_within_region_move_needs_no_rename() {
+    let servers = vec![NodeId(0), NodeId(1), NodeId(2)];
+    let map = SubgroupMap::new(32, servers.clone());
+    let mut tracker = RegionTracker::new(servers);
+    let bob: MailName = "east.h2.bob".parse().unwrap();
+
+    // Bob's resolving server is a pure function of his name...
+    let before = map.server_of(&bob);
+    // ... he roams to another host ...
+    tracker.login(&bob, NodeId(15), NodeId(2));
+    // ... and his name, sub-group, and resolving server are unchanged.
+    assert_eq!(map.server_of(&bob), before);
+    let found = tracker.locate(&bob, before);
+    assert_eq!(found.host, Some(NodeId(15)));
+}
+
+#[test]
+fn failed_migration_is_atomic() {
+    let mut dir = setup_directory();
+    let mut redirects = RedirectTable::new();
+    // Target name already taken.
+    dir.register(
+        "west.h8.alice".parse().unwrap(),
+        NodeId(30),
+        AuthorityList::new(vec![NodeId(5)]),
+    )
+    .unwrap();
+    let old: MailName = "east.h1.alice".parse().unwrap();
+    let before_len = dir.len();
+
+    let err = migrate_user(
+        &mut dir,
+        &mut redirects,
+        &old,
+        "west",
+        "h8",
+        NodeId(21),
+        AuthorityList::new(vec![NodeId(5)]),
+        SimTime::from_units(1.0),
+        SimDuration::from_units(10.0),
+    )
+    .unwrap_err();
+
+    assert!(matches!(
+        err,
+        lems::core::DirectoryError::DuplicateName(_)
+    ));
+    assert!(dir.is_registered(&old), "old registration must survive");
+    assert_eq!(dir.len(), before_len);
+    assert!(redirects.is_empty(), "no stray redirect on failure");
+}

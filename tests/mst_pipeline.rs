@@ -1,0 +1,129 @@
+//! Integration: topology generation -> distributed GHS -> two-level
+//! structure -> broadcast/convergecast -> attribute search, checked
+//! against centralized oracles at every stage.
+
+use std::collections::BTreeMap;
+
+use lems::attr::{
+    AttrKey, AttributeNetwork, AttributeRegistry, AttributeSet, Query, RequesterContext,
+    Visibility,
+};
+use lems::mst::backbone::{build_two_level, build_two_level_distributed};
+use lems::mst::broadcast::{simulate_broadcast, BroadcastConfig};
+use lems::mst::ghs::run_ghs;
+use lems::net::generators::{multi_region, MultiRegionConfig};
+use lems::net::mst::kruskal;
+use lems::net::topology::Topology;
+use lems::sim::failure::FailurePlan;
+use lems::sim::rng::SimRng;
+use lems::sim::time::SimDuration;
+
+fn distinct_topology(seed: u64, regions: usize) -> Topology {
+    let mut rng = SimRng::seed(seed);
+    let raw = multi_region(
+        &mut rng,
+        &MultiRegionConfig {
+            regions,
+            hosts_per_region: 3,
+            servers_per_region: 3,
+            ..MultiRegionConfig::default()
+        },
+    );
+    let g = raw.graph().with_distinct_weights();
+    let mut t = Topology::new();
+    for n in raw.nodes() {
+        match raw.kind(n) {
+            lems::net::NodeKind::Host => t.add_host(raw.region(n), raw.name(n)),
+            lems::net::NodeKind::Server => t.add_server(raw.region(n), raw.name(n)),
+        };
+    }
+    for e in g.edges() {
+        t.link(e.a, e.b, e.weight);
+    }
+    t
+}
+
+#[test]
+fn ghs_equals_kruskal_on_generated_topologies() {
+    for seed in 0..5 {
+        let t = distinct_topology(seed, 3);
+        let run = run_ghs(t.graph(), seed);
+        let k = kruskal(t.graph());
+        assert_eq!(run.total_weight, k.total_weight(), "seed {seed}");
+        assert_eq!(run.edges.len(), t.node_count() - 1);
+    }
+}
+
+#[test]
+fn two_level_constructions_agree_and_span() {
+    for seed in 0..5 {
+        let t = distinct_topology(seed + 10, 4);
+        let central = build_two_level(&t);
+        let (distributed, stats) = build_two_level_distributed(&t, seed);
+        assert_eq!(central, distributed, "seed {seed}");
+        assert!(distributed.spans(&t));
+        assert!(stats.total_sent() > 0);
+    }
+}
+
+#[test]
+fn convergecast_counts_every_node_and_masks_failures() {
+    let t = distinct_topology(42, 4);
+    let two = build_two_level(&t);
+    let adjacency = two.adjacency(&t);
+    let root = t.servers()[0];
+    let cfg = BroadcastConfig {
+        root,
+        local_matches: (0..t.node_count() as u64).collect(),
+        grace: SimDuration::from_units(2.0),
+        seed: 42,
+    };
+    let out = simulate_broadcast(t.graph(), &adjacency, &cfg, &FailurePlan::new()).unwrap();
+    let expected: u64 = (0..t.node_count() as u64).sum();
+    assert_eq!(out.aggregate.matches, expected, "sum aggregated exactly");
+    assert_eq!(out.aggregate.responded as usize, t.node_count());
+
+    // Kill a leaf: only its contribution disappears.
+    let leaf = t
+        .nodes()
+        .find(|&n| adjacency[n.0].len() == 1 && n != root)
+        .expect("a leaf exists");
+    let mut plan = FailurePlan::new();
+    plan.add_outage(
+        lems::sim::actor::ActorId(leaf.0),
+        lems::sim::time::SimTime::ZERO,
+        lems::sim::time::SimTime::from_units(1e9),
+    );
+    let degraded = simulate_broadcast(t.graph(), &adjacency, &cfg, &plan).unwrap();
+    assert_eq!(degraded.aggregate.matches, expected - leaf.0 as u64);
+    assert_eq!(degraded.aggregate.unavailable, 1);
+}
+
+#[test]
+fn attribute_search_over_generated_world_matches_oracle() {
+    let t = distinct_topology(77, 3);
+    let mut registries = BTreeMap::new();
+    let mut expected = 0u64;
+    for (i, &s) in t.servers().iter().enumerate() {
+        let mut reg = AttributeRegistry::new();
+        let mut a = AttributeSet::new();
+        let field = if i % 3 == 0 { "mail" } else { "other" };
+        if field == "mail" {
+            expected += 1;
+        }
+        a.add(AttrKey::Expertise, field, Visibility::Public);
+        reg.upsert(
+            format!("r{}.h.u{i}", t.region(s).0).parse().unwrap(),
+            a,
+        );
+        registries.insert(s, reg);
+    }
+    let net = AttributeNetwork::new(t, registries);
+    let root = net.topology().servers()[0];
+    let q = Query::text_eq(AttrKey::Expertise, "mail");
+    let out = net
+        .search(root, &q, &RequesterContext::default(), &FailurePlan::new(), 1)
+        .unwrap();
+    assert_eq!(out.matches, expected);
+    assert_eq!(out.matches, out.ground_truth_matches);
+}

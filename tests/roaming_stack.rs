@@ -1,0 +1,118 @@
+//! Integration: the running System-2 protocol driven by the core mobility
+//! generator — alerts always follow the user's latest login, and the
+//! cooperative tracking keeps consult overhead sub-linear.
+
+use lems::core::workload::{generate_mobility, MobilityConfig};
+use lems::core::{MailName, UserId};
+use lems::locindep::RoamDeployment;
+use lems::net::generators::{multi_region, MultiRegionConfig};
+use lems::sim::rng::SimRng;
+use lems::sim::time::{SimDuration, SimTime};
+
+#[test]
+fn generated_mobility_delivers_alerts_to_latest_location() {
+    let mut rng = SimRng::seed(21);
+    let topo = multi_region(
+        &mut rng,
+        &MultiRegionConfig {
+            regions: 1,
+            hosts_per_region: 5,
+            servers_per_region: 3,
+            ..MultiRegionConfig::default()
+        },
+    );
+    let mut d = RoamDeployment::build(&topo, &[2; 5], 32, 21);
+    let users: Vec<MailName> = d.users.keys().cloned().collect();
+    let hosts = topo.hosts_in(lems::net::RegionId(0));
+
+    // Mobility: every user starts home and roams a few times.
+    let ids: Vec<UserId> = (0..users.len()).map(UserId).collect();
+    let schedule = generate_mobility(
+        &mut rng,
+        &ids,
+        hosts.len(),
+        &MobilityConfig {
+            mean_move_interval: SimDuration::from_units(150.0),
+            homing_bias: 0.3,
+            horizon: SimTime::from_units(500.0),
+        },
+    );
+    let mut last_host = vec![0usize; users.len()];
+    for &(at, user, host_idx) in &schedule.logins {
+        // Host index 0 = the user's own primary host; others map to the
+        // region's host list.
+        let target = if host_idx == 0 {
+            d.users[&users[user.0]]
+        } else {
+            hosts[host_idx]
+        };
+        d.login_at(at + SimDuration::from_units(0.001), &users[user.0], target);
+        last_host[user.0] = host_idx;
+    }
+
+    // After all movement settles, mail everyone.
+    let sender = users[0].clone();
+    for (i, u) in users.iter().enumerate().skip(1) {
+        d.send_at(SimTime::from_units(600.0 + i as f64), &sender, u);
+    }
+    d.sim.run_to_quiescence();
+
+    // Every recipient got exactly one alert, at their last login host.
+    for (i, u) in users.iter().enumerate().skip(1) {
+        let expected_host = if last_host[i] == 0 {
+            d.users[u]
+        } else {
+            hosts[last_host[i]]
+        };
+        assert_eq!(
+            d.alerts_at(expected_host, u),
+            1,
+            "alert for {u} must land at their latest login host"
+        );
+    }
+
+    let st = d.stats.borrow();
+    assert_eq!(st.notified as usize, users.len() - 1);
+    assert_eq!(st.unknown_location, 0);
+    // Cooperative updates mean location lookups almost never fan out.
+    assert!(st.consults as usize <= users.len());
+}
+
+#[test]
+fn scale_smoke_eight_regions() {
+    // A moderately large world exercised end to end through System 1:
+    // 8 regions, 48 hosts, 96 users, cross-region traffic.
+    use lems::syntax::{Deployment, DeploymentConfig};
+    let mut rng = SimRng::seed(22);
+    let topo = multi_region(
+        &mut rng,
+        &MultiRegionConfig {
+            regions: 8,
+            hosts_per_region: 6,
+            servers_per_region: 3,
+            ..MultiRegionConfig::default()
+        },
+    );
+    let users = vec![2u32; topo.hosts().len()];
+    let mut d = Deployment::build(&topo, &users, &DeploymentConfig::default());
+    let names = d.user_names();
+    assert_eq!(names.len(), 96);
+
+    for i in 0..names.len() {
+        let to = (i + 29) % names.len(); // mostly cross-region hops
+        d.send_at(
+            SimTime::from_units(1.0 + i as f64),
+            &names[i],
+            &names[to],
+        );
+    }
+    for (i, n) in names.iter().enumerate() {
+        d.check_at(SimTime::from_units(500.0 + i as f64), n);
+    }
+    d.sim.run_to_quiescence();
+
+    let st = d.stats.borrow();
+    assert_eq!(st.submitted, 96);
+    assert_eq!(st.outstanding(), 0, "all 96 messages accounted for");
+    assert_eq!(st.retrieved, 96);
+}
