@@ -140,8 +140,7 @@ impl Visibility {
         match self {
             Visibility::Public => true,
             Visibility::Organization(org) => {
-                ctx.organization.as_deref().map(str::to_lowercase)
-                    == Some(org.to_lowercase())
+                ctx.organization.as_deref().map(str::to_lowercase) == Some(org.to_lowercase())
             }
             Visibility::Private => false,
         }
@@ -271,6 +270,9 @@ mod tests {
     #[test]
     fn key_display_is_stable() {
         assert_eq!(AttrKey::FirstName.to_string(), "first-name");
-        assert_eq!(AttrKey::Custom("ham-radio".into()).to_string(), "x-ham-radio");
+        assert_eq!(
+            AttrKey::Custom("ham-radio".into()).to_string(),
+            "x-ham-radio"
+        );
     }
 }

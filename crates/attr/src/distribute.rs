@@ -148,10 +148,7 @@ mod tests {
             let mut reg = AttributeRegistry::new();
             let mut a = AttributeSet::new();
             a.add(AttrKey::Interest, "opera", Visibility::Public);
-            reg.upsert(
-                format!("r{}.h.fan{i}", t.region(s).0).parse().unwrap(),
-                a,
-            );
+            reg.upsert(format!("r{}.h.fan{i}", t.region(s).0).parse().unwrap(), a);
             registries.insert(s, reg);
         }
         AttributeNetwork::new(t, registries)

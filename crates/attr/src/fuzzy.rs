@@ -160,7 +160,10 @@ mod tests {
     #[test]
     fn classify_tiers() {
         assert_eq!(classify("smith", "Smith", 1), MatchQuality::Exact);
-        assert_eq!(classify("smith", "smyth", 1), MatchQuality::CloseSpelling(1));
+        assert_eq!(
+            classify("smith", "smyth", 1),
+            MatchQuality::CloseSpelling(1)
+        );
         // Far in spelling (distance 2 > 1) but phonetically equal.
         assert_eq!(classify("robert", "rupert", 1), MatchQuality::SoundsAlike);
         assert_eq!(classify("smith", "jones", 1), MatchQuality::None);

@@ -120,7 +120,11 @@ impl<'a> LookupSession<'a> {
                 AttrKey::Interest,
             ] {
                 for v in profile.visible_values(&key, &self.ctx) {
-                    *by_key.entry(key.clone()).or_default().entry(v.clone()).or_insert(0) += 1;
+                    *by_key
+                        .entry(key.clone())
+                        .or_default()
+                        .entry(v.clone())
+                        .or_insert(0) += 1;
                 }
             }
         }

@@ -42,17 +42,18 @@ impl Predicate {
                 (crate::attribute::AttrValue::Text(a), crate::attribute::AttrValue::Text(b)) => {
                     a.eq_ignore_ascii_case(b)
                 }
-                (crate::attribute::AttrValue::Number(a), crate::attribute::AttrValue::Number(b)) => {
-                    a == b
-                }
+                (
+                    crate::attribute::AttrValue::Number(a),
+                    crate::attribute::AttrValue::Number(b),
+                ) => a == b,
                 _ => false,
             },
             Predicate::Contains(sub) => value
                 .as_text_lower()
                 .is_some_and(|t| t.contains(&sub.to_lowercase())),
-            Predicate::Fuzzy { query, max_edits } => value.as_text_lower().is_some_and(|t| {
-                classify(query, &t, *max_edits) != MatchQuality::None
-            }),
+            Predicate::Fuzzy { query, max_edits } => value
+                .as_text_lower()
+                .is_some_and(|t| classify(query, &t, *max_edits) != MatchQuality::None),
             Predicate::InRange { lo, hi } => {
                 value.as_number().is_some_and(|n| n >= *lo && n <= *hi)
             }
@@ -144,8 +145,16 @@ mod tests {
         a.add(AttrKey::LastName, "Hidal", Visibility::Public);
         a.add(AttrKey::Misspelling, "Waiel", Visibility::Public);
         a.add(AttrKey::Organization, "DEC", Visibility::Public);
-        a.add(AttrKey::Expertise, "electronic mail systems", Visibility::Public);
-        a.add(AttrKey::Custom("experience-years".into()), 12i64, Visibility::Public);
+        a.add(
+            AttrKey::Expertise,
+            "electronic mail systems",
+            Visibility::Public,
+        );
+        a.add(
+            AttrKey::Custom("experience-years".into()),
+            12i64,
+            Visibility::Public,
+        );
         a.add(AttrKey::Interest, "opera", Visibility::Private);
         a
     }
@@ -159,11 +168,9 @@ mod tests {
         let p = profile();
         assert!(Query::text_eq(AttrKey::Organization, "dec").eval(&p, &anon()));
         assert!(!Query::text_eq(AttrKey::Organization, "ibm").eval(&p, &anon()));
-        assert!(Query::Attr(
-            AttrKey::Expertise,
-            Predicate::Contains("MAIL".into())
-        )
-        .eval(&p, &anon()));
+        assert!(
+            Query::Attr(AttrKey::Expertise, Predicate::Contains("MAIL".into())).eval(&p, &anon())
+        );
     }
 
     #[test]

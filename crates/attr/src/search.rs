@@ -173,17 +173,11 @@ mod tests {
             let mut reg = AttributeRegistry::new();
             let mut a = AttributeSet::new();
             a.add(AttrKey::Expertise, "mail", Visibility::Public);
-            reg.upsert(
-                format!("r{}.h.user{i}", t.region(s).0).parse().unwrap(),
-                a,
-            );
+            reg.upsert(format!("r{}.h.user{i}", t.region(s).0).parse().unwrap(), a);
             if i % 2 == 0 {
                 let mut b = AttributeSet::new();
                 b.add(AttrKey::Expertise, "networks", Visibility::Public);
-                reg.upsert(
-                    format!("r{}.h.extra{i}", t.region(s).0).parse().unwrap(),
-                    b,
-                );
+                reg.upsert(format!("r{}.h.extra{i}", t.region(s).0).parse().unwrap(), b);
             }
             registries.insert(s, reg);
         }
@@ -196,7 +190,13 @@ mod tests {
         let root = net.topology().servers()[0];
         let q = Query::text_eq(AttrKey::Expertise, "mail");
         let out = net
-            .search(root, &q, &RequesterContext::default(), &FailurePlan::new(), 1)
+            .search(
+                root,
+                &q,
+                &RequesterContext::default(),
+                &FailurePlan::new(),
+                1,
+            )
             .unwrap();
         assert_eq!(out.matches, out.ground_truth_matches);
         assert_eq!(out.matches, 6); // one per server
@@ -212,11 +212,7 @@ mod tests {
         // Kill a non-root server for the whole run.
         let victim = net.topology().servers()[3];
         let mut plan = FailurePlan::new();
-        plan.add_outage(
-            ActorId(victim.0),
-            SimTime::ZERO,
-            SimTime::from_units(1e9),
-        );
+        plan.add_outage(ActorId(victim.0), SimTime::ZERO, SimTime::from_units(1e9));
         let out = net
             .search(root, &q, &RequesterContext::default(), &plan, 2)
             .unwrap();

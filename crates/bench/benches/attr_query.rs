@@ -16,19 +16,28 @@ fn registry() -> AttributeRegistry {
     let mut reg = AttributeRegistry::new();
     for i in 0..PROFILES {
         let mut a = AttributeSet::new();
-        a.add(AttrKey::FirstName, first[i % first.len()], Visibility::Public);
+        a.add(
+            AttrKey::FirstName,
+            first[i % first.len()],
+            Visibility::Public,
+        );
         a.add(AttrKey::LastName, last[i % last.len()], Visibility::Public);
-        a.add(AttrKey::Expertise, fields[i % fields.len()], Visibility::Public);
-        a.add(AttrKey::Organization, orgs[i % orgs.len()], Visibility::Public);
+        a.add(
+            AttrKey::Expertise,
+            fields[i % fields.len()],
+            Visibility::Public,
+        );
+        a.add(
+            AttrKey::Organization,
+            orgs[i % orgs.len()],
+            Visibility::Public,
+        );
         a.add(
             AttrKey::Custom("experience-years".into()),
             (i % 30) as i64,
             Visibility::Public,
         );
-        reg.upsert(
-            format!("east.h{}.u{i}", i % 11).parse().expect("valid"),
-            a,
-        );
+        reg.upsert(format!("east.h{}.u{i}", i % 11).parse().expect("valid"), a);
     }
     reg
 }

@@ -17,11 +17,7 @@ const USERS: usize = 2_000;
 
 fn names() -> Vec<MailName> {
     (0..USERS)
-        .map(|i| {
-            format!("east.h{}.user{i}", i % 17)
-                .parse()
-                .expect("valid")
-        })
+        .map(|i| format!("east.h{}.user{i}", i % 17).parse().expect("valid"))
         .collect()
 }
 
@@ -62,7 +58,13 @@ fn locindep_resolver() -> LocIndepResolver {
     let mut region_servers = BTreeMap::new();
     region_servers.insert(RegionId(0), vec![NodeId(0), NodeId(1), NodeId(2)]);
     region_servers.insert(RegionId(1), vec![NodeId(9)]);
-    LocIndepResolver::new(NodeId(0), RegionId(0), subgroups, region_names, region_servers)
+    LocIndepResolver::new(
+        NodeId(0),
+        RegionId(0),
+        subgroups,
+        region_names,
+        region_servers,
+    )
 }
 
 fn bench_resolve(c: &mut Criterion) {

@@ -39,11 +39,7 @@ pub fn table3_problem() -> (Fig1Scenario, AssignmentProblem) {
 
 /// Renders an assignment in the paper's table layout (host, server,
 /// users), plus a per-server load/utilisation footer.
-pub fn render_assignment(
-    scenario: &Fig1Scenario,
-    p: &AssignmentProblem,
-    a: &Assignment,
-) -> String {
+pub fn render_assignment(scenario: &Fig1Scenario, p: &AssignmentProblem, a: &Assignment) -> String {
     let mut t = Table::new(vec!["host", "server", "users"]);
     for (i, j, k) in a.table_rows() {
         t.row(vec![
@@ -64,7 +60,10 @@ pub fn render_assignment(
         ]);
     }
     out.push_str(&loads.render());
-    out.push_str(&format!("\ntotal connection cost: {}\n", f1(a.total_cost(p))));
+    out.push_str(&format!(
+        "\ntotal connection cost: {}\n",
+        f1(a.total_cost(p))
+    ));
     out
 }
 
@@ -152,13 +151,13 @@ pub fn weight_ablation(weights: &[(f64, f64)]) -> Vec<WeightRow> {
             );
             let mut a = initialize(&p);
             let r = balance(&p, &mut a, BalanceOptions::default());
-            let utils: Vec<f64> = (0..p.server_count()).map(|j| a.utilization(&p, j)).collect();
+            let utils: Vec<f64> = (0..p.server_count())
+                .map(|j| a.utilization(&p, j))
+                .collect();
             let spread = utils.iter().cloned().fold(f64::MIN, f64::max)
                 - utils.iter().cloned().fold(f64::MAX, f64::min);
             let split_hosts = (0..p.host_count())
-                .filter(|&i| {
-                    (0..p.server_count()).filter(|&j| a.count(i, j) > 0).count() > 1
-                })
+                .filter(|&i| (0..p.server_count()).filter(|&j| a.count(i, j) > 0).count() > 1)
                 .count();
             WeightRow {
                 w_comm,

@@ -24,13 +24,7 @@ fn main() {
     println!("shape check: moves drop sharply with batch size at (near-)equal final cost.\n");
 
     println!("C6b: weight sensitivity (W1 = communication, W2 = processing)");
-    let rows = weight_ablation(&[
-        (8.0, 1.0),
-        (4.0, 1.0),
-        (1.0, 1.0),
-        (1.0, 4.0),
-        (1.0, 8.0),
-    ]);
+    let rows = weight_ablation(&[(8.0, 1.0), (4.0, 1.0), (1.0, 1.0), (1.0, 4.0), (1.0, 8.0)]);
     let mut t = Table::new(vec![
         "W1",
         "W2",

@@ -33,7 +33,10 @@ fn main() {
     let root = net.topology().servers()[0];
     let query = Query::text_eq(AttrKey::Interest, "opera");
 
-    println!("C4 — §3.3.1B cost table from region {}\n", net.topology().region(root));
+    println!(
+        "C4 — §3.3.1B cost table from region {}\n",
+        net.topology().region(root)
+    );
     let est = estimate(&net, root, &query);
     let mut table = Table::new(vec!["region", "delivery cost (u)"]);
     for &(r, c) in &est.region_costs {

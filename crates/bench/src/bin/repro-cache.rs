@@ -7,7 +7,13 @@ use lems_bench::render::{f3, Table};
 
 fn main() {
     println!("C8 — resolution caching (500 names, 20k lookups per point)\n");
-    let rows = sweep(500, 20_000, &[0.02, 0.05, 0.1, 0.25, 0.5], &[0.0, 0.8, 1.2], 1);
+    let rows = sweep(
+        500,
+        20_000,
+        &[0.02, 0.05, 0.1, 0.25, 0.5],
+        &[0.0, 0.8, 1.2],
+        1,
+    );
     let mut t = Table::new(vec!["capacity frac", "zipf", "hit rate", "evictions/1k"]);
     for r in &rows {
         t.row(vec![

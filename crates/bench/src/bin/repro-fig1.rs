@@ -10,7 +10,8 @@ fn main() {
     let t = &scenario.topology;
 
     println!("FIG1 — topology and user distribution (reconstruction)\n");
-    println!("nodes: {} ({} hosts, {} servers), links: {} (all 1.0 unit)\n",
+    println!(
+        "nodes: {} ({} hosts, {} servers), links: {} (all 1.0 unit)\n",
         t.node_count(),
         scenario.hosts.len(),
         scenario.servers.len(),
@@ -47,6 +48,8 @@ fn main() {
         ]);
     }
     println!("{}", c.render());
-    println!("paper check: C(H2,S1) = {} units (the §3.1.1 example says 2).",
-        f1(problem.comm[1][0]));
+    println!(
+        "paper check: C(H2,S1) = {} units (the §3.1.1 example says 2).",
+        f1(problem.comm[1][0])
+    );
 }

@@ -13,7 +13,11 @@ fn main() {
 
     println!("mobility sweep (two-region world, 400 sampled deliveries per point):");
     let rows = mobility_sweep(&[0.0, 0.1, 0.25, 0.5, 0.75, 1.0], 1);
-    let mut t = Table::new(vec!["moved fraction", "mean cost (u)", "mean consult cost (u)"]);
+    let mut t = Table::new(vec![
+        "moved fraction",
+        "mean cost (u)",
+        "mean consult cost (u)",
+    ]);
     for r in &rows {
         t.row(vec![
             f3(r.moved_fraction),
@@ -26,7 +30,10 @@ fn main() {
 
     println!("cross-region policies for one migrant (per-message cost):");
     let p = policy_comparison(2);
-    println!("  remote access: {} units  (interactive packets over the long haul)", f1(p.remote_access));
+    println!(
+        "  remote access: {} units  (interactive packets over the long haul)",
+        f1(p.remote_access)
+    );
     println!("  redirect:      {} units", f1(p.redirect));
     println!("  rename:        {} units", f1(p.rename));
     match p.breakeven_messages {

@@ -24,11 +24,21 @@ fn main() {
         f1(report.final_cost),
     );
     println!("paper shape checks:");
-    println!("  - every server within capacity: {}", balanced.overloaded(&problem).is_empty());
+    println!(
+        "  - every server within capacity: {}",
+        balanced.overloaded(&problem).is_empty()
+    );
     let split = (0..problem.host_count())
-        .filter(|&i| (0..problem.server_count()).filter(|&j| balanced.count(i, j) > 0).count() > 1)
+        .filter(|&i| {
+            (0..problem.server_count())
+                .filter(|&j| balanced.count(i, j) > 0)
+                .count()
+                > 1
+        })
         .count();
-    println!("  - 'users on one host may be assigned to different servers': {split} host(s) split\n");
+    println!(
+        "  - 'users on one host may be assigned to different servers': {split} host(s) split\n"
+    );
 
     println!("authority-server rankings per host at final loads (primary first):");
     for (host, servers) in fig1_rankings() {

@@ -32,11 +32,7 @@ pub fn sweep(
     seed: u64,
 ) -> Vec<CacheRow> {
     let population: Vec<MailName> = (0..names)
-        .map(|i| {
-            format!("east.h{}.user{i}", i % 13)
-                .parse()
-                .expect("valid")
-        })
+        .map(|i| format!("east.h{}.user{i}", i % 13).parse().expect("valid"))
         .collect();
 
     let mut rows = Vec::new();

@@ -152,8 +152,16 @@ fn one_point(availability: f64, cfg: &GetMailSweepConfig) -> GetMailRow {
             }
         }
         // Drain after the horizon (all outages have ended by then).
-        let drain1 = state.get_mail(&servers, &mut store_g, horizon + SimDuration::from_units(1.0));
-        let drain2 = state.get_mail(&servers, &mut store_g, horizon + SimDuration::from_units(2.0));
+        let drain1 = state.get_mail(
+            &servers,
+            &mut store_g,
+            horizon + SimDuration::from_units(1.0),
+        );
+        let drain2 = state.get_mail(
+            &servers,
+            &mut store_g,
+            horizon + SimDuration::from_units(2.0),
+        );
         retrieved += (drain1.retrieved.len() + drain2.retrieved.len()) as u64;
         left_in_storage += store_g.in_storage() as u64;
     }
@@ -230,7 +238,11 @@ pub fn full_stack(availability: f64, seed: u64) -> FullStackRow {
         if to == from {
             to = (to + 1) % names.len();
         }
-        d.send_at(SimTime::from_units(t), &names[from].clone(), &names[to].clone());
+        d.send_at(
+            SimTime::from_units(t),
+            &names[from].clone(),
+            &names[to].clone(),
+        );
         t += rng.unit() * 8.0 + 1.0;
     }
     let mut t = 5.0;

@@ -47,8 +47,9 @@ pub fn mobility_sweep(fractions: &[f64], seed: u64) -> Vec<MobilityRow> {
                 let sender_server = *rng.pick(&servers);
                 let authority = *rng.pick(&servers);
                 let primary = *rng.pick(&hosts);
-                let user: lems_core::name::MailName =
-                    format!("r0.{}.user{i}", t.name(primary)).parse().expect("valid");
+                let user: lems_core::name::MailName = format!("r0.{}.user{i}", t.name(primary))
+                    .parse()
+                    .expect("valid");
 
                 let location = if rng.chance(frac) {
                     // Roamer: logs in from a random other host through the
@@ -232,7 +233,11 @@ pub fn actor_mobility_sweep(fractions: &[f64], seed: u64) -> Vec<ActorMobilityRo
             for u in &users {
                 if rng.chance(frac) {
                     let home = d.users[u];
-                    let away = *hosts.iter().filter(|&&h| h != home).nth(rng.index(hosts.len() - 1)).expect("other host");
+                    let away = *hosts
+                        .iter()
+                        .filter(|&&h| h != home)
+                        .nth(rng.index(hosts.len() - 1))
+                        .expect("other host");
                     d.login_at(SimTime::from_units(50.0 + rng.unit()), u, away);
                 }
             }

@@ -9,13 +9,20 @@ use lems_sim::failure::FailurePlan;
 use lems_sim::rng::SimRng;
 use lems_sim::time::SimDuration;
 
-use lems_mst::backbone::{build_two_level, build_two_level_distributed, flat_mst_weight, TwoLevelMst};
+use lems_mst::backbone::{
+    build_two_level, build_two_level_distributed, flat_mst_weight, TwoLevelMst,
+};
 use lems_mst::broadcast::{cost_comparison, simulate_broadcast, BroadcastConfig, CostComparison};
 use lems_mst::ghs::GhsStats;
 
 /// Builds a multi-region topology with globally distinct weights (GHS
 /// requirement), deterministically from `seed`.
-pub fn distinct_world(seed: u64, regions: usize, servers_per_region: usize, hosts_per_region: usize) -> Topology {
+pub fn distinct_world(
+    seed: u64,
+    regions: usize,
+    servers_per_region: usize,
+    hosts_per_region: usize,
+) -> Topology {
     let mut rng = SimRng::seed(seed);
     let cfg = MultiRegionConfig {
         regions,

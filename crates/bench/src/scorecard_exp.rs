@@ -87,10 +87,9 @@ pub fn scorecards(seed: u64) -> Vec<Scorecard> {
     let reconfig = crate::assign_exp::add_server_reconvergence();
     syntax.flexibility.reconfig_moved_users = reconfig.moved_users;
     syntax.flexibility.reconfig_tables_touched = 3;
-    syntax.cost.messages_per_delivery = (st.submit_attempts
-        + st.forward_attempts
-        + st.notifications) as f64
-        / st.deposited.max(1) as f64;
+    syntax.cost.messages_per_delivery =
+        (st.submit_attempts + st.forward_attempts + st.notifications) as f64
+            / st.deposited.max(1) as f64;
     syntax.cost.total_comm_units = st.delivery_latency.mean() * st.deposited as f64;
     syntax.cost.peak_storage = st.peak_storage;
     drop(st);
@@ -104,8 +103,7 @@ pub fn scorecards(seed: u64) -> Vec<Scorecard> {
     locindep.efficiency.end_to_end_latency_mean *= overhead;
     locindep.flexibility.move_requires_rename = false; // the whole point
     let rcmp = reconfig_comparison(seed);
-    locindep.flexibility.reconfig_moved_users =
-        (rcmp.rehash_moved_fraction * 270.0).round() as u64;
+    locindep.flexibility.reconfig_moved_users = (rcmp.rehash_moved_fraction * 270.0).round() as u64;
     locindep.cost.total_comm_units *= overhead;
 
     // ---- System 3: attribute addressing over the MST fabric. ----
@@ -117,8 +115,7 @@ pub fn scorecards(seed: u64) -> Vec<Scorecard> {
     // Broadcast delivery to a group costs the tree weight instead of one
     // unicast per recipient.
     attr.cost.total_comm_units = c3[0].mst_units;
-    attr.cost.messages_per_delivery =
-        c3[0].ghs_messages as f64 / c3[0].nodes as f64; // amortised tree build
+    attr.cost.messages_per_delivery = c3[0].ghs_messages as f64 / c3[0].nodes as f64; // amortised tree build
     attr.efficiency.end_to_end_latency_mean = c3[0].completed_units;
 
     let cards = vec![syntax, locindep, attr];

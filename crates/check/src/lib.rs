@@ -1,0 +1,32 @@
+//! # lems-check — correctness tooling for the lems workspace
+//!
+//! Two analysis layers over the deterministic mail simulator:
+//!
+//! * [`lint`] — a dependency-light static pass over `crates/*/src` that
+//!   enforces the workspace's determinism and robustness rules: no
+//!   `unwrap`/`expect`/`panic!` in non-test library code (with a vetted
+//!   allowlist), no wall-clock or ambient randomness inside sim-driven
+//!   crates, and no hash-ordered collections in actor decision paths.
+//! * [`audit`] — a [`TraceAuditor`](audit::TraceAuditor) that consumes
+//!   [`lems_sim::trace`] event streams and asserts the engine's
+//!   conservation laws (every send terminates in exactly one deliver or
+//!   drop; crash/recover events alternate per actor), plus domain-level
+//!   ledger checks for System-1 deployments (mailbox deposits balance
+//!   retrievals, GetMail under injected failures never strands delivered
+//!   mail).
+//! * [`scenarios`] — reproducible deployment scenarios replayed by the
+//!   `lems-check -- audit` subcommand and by integration tests.
+//!
+//! Run from the workspace root:
+//!
+//! ```sh
+//! cargo run -p lems-check -- lint
+//! cargo run -p lems-check -- audit
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod lint;
+pub mod scenarios;

@@ -1,0 +1,177 @@
+//! `lems-check` — workspace lint pass and trace-based invariant auditor.
+//!
+//! ```sh
+//! cargo run -p lems-check -- lint [--root <workspace-root>]
+//! cargo run -p lems-check -- audit [--seed <n>] [scenario ...]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lems_check::lint::{lint_workspace, Allowlist};
+use lems_check::scenarios;
+
+const USAGE: &str = "\
+usage: lems-check <command> [options]
+
+commands:
+  lint  [--root <dir>]            static rules over crates/*/src
+                                  (no-panic, no-wall-clock, no-hash-collections;
+                                   vetted exceptions in <root>/lint-allow.txt)
+  audit [--seed <n>] [name ...]   replay audit scenarios and check the
+                                  engine's conservation laws + mail ledgers
+                                  (scenarios: steady, failover, random-failures;
+                                   default: all, seed 3)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        Some("audit") => run_audit(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            ExitCode::from(if args.is_empty() { 2 } else { 0 })
+        }
+        Some(other) => {
+            eprintln!("lems-check: unknown command `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root: `--root` if given, else the nearest ancestor of the
+/// current directory containing `crates/` (so the binary works from any
+/// crate subdirectory), else the manifest's grandparent (the checkout this
+/// binary was built from).
+fn workspace_root(explicit: Option<PathBuf>) -> Option<PathBuf> {
+    if let Some(root) = explicit {
+        return Some(root);
+    }
+    let mut dir = env::current_dir().ok()?;
+    loop {
+        if dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    let fallback = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    fallback.join("crates").is_dir().then_some(fallback)
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let mut explicit = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(p) => explicit = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("lems-check lint: --root needs a value");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("lems-check lint: unknown option `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let Some(root) = workspace_root(explicit) else {
+        eprintln!("lems-check lint: cannot locate a workspace root (no crates/ found)");
+        return ExitCode::from(2);
+    };
+    let allow = match Allowlist::load(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("lems-check lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match lint_workspace(&root, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lems-check lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for v in &report.violations {
+        println!("{v}");
+    }
+    for stale in &report.stale_allows {
+        eprintln!("warning: stale allowlist entry (matched nothing): {stale}");
+    }
+    if report.is_clean() {
+        println!(
+            "lint: {} files clean ({} vetted exception{})",
+            report.files_scanned,
+            allow.len(),
+            if allow.len() == 1 { "" } else { "s" }
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "lint: {} violation(s) across {} files",
+            report.violations.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn run_audit(args: &[String]) -> ExitCode {
+    let mut seed = 3u64;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("lems-check audit: --seed needs an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            name => wanted.push(name.to_owned()),
+        }
+    }
+
+    let outcomes: Vec<_> = scenarios::run_all(seed)
+        .into_iter()
+        .filter(|o| wanted.is_empty() || wanted.iter().any(|w| w == o.name))
+        .collect();
+    if outcomes.is_empty() {
+        eprintln!(
+            "lems-check audit: no scenario matches {:?} (have: steady, failover, random-failures)",
+            wanted
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut dirty = false;
+    for o in &outcomes {
+        println!("scenario `{}` (seed {seed}): {}", o.name, o.description);
+        println!(
+            "  {} submitted, {} retrieved, {} bounced; trace: {}",
+            o.submitted, o.retrieved, o.bounced, o.trace
+        );
+        for line in o.violation_lines() {
+            println!("  violation: {line}");
+            dirty = true;
+        }
+    }
+    if dirty {
+        println!("audit: violations found");
+        ExitCode::FAILURE
+    } else {
+        println!("audit: {} scenario(s) clean", outcomes.len());
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,245 @@
+//! Reproducible audit scenarios.
+//!
+//! Each scenario builds a System-1 deployment with full tracing enabled
+//! (`Trace::unbounded` semantics via [`ActorSim::enable_trace`]), drives
+//! a deterministic workload, runs to quiescence, and then applies both
+//! audit layers: the stream-level conservation laws of
+//! [`audit_trace`](crate::audit::audit_trace) and the domain-level
+//! ledger checks of [`audit_deployment`](crate::audit::audit_deployment).
+//!
+//! The scenarios are seeds-in, verdict-out: replaying one with the same
+//! seed reproduces the identical event stream, which is what makes a
+//! reported violation actionable.
+
+use lems_net::generators::fig1;
+use lems_sim::time::{SimDuration, SimTime};
+use lems_syntax::actors::{Deployment, DeploymentConfig, ServerFailurePlan};
+
+use crate::audit::{audit_deployment, audit_trace, AuditReport, AuditViolation};
+
+/// The verdict for one scenario run.
+#[derive(Clone, Debug)]
+pub struct ScenarioOutcome {
+    /// Stable scenario name (CLI selector).
+    pub name: &'static str,
+    /// One-line human description.
+    pub description: &'static str,
+    /// Stream-level conservation report.
+    pub trace: AuditReport,
+    /// Domain-level ledger violations.
+    pub domain: Vec<AuditViolation>,
+    /// Messages submitted over the run.
+    pub submitted: u64,
+    /// Messages retrieved by their recipients.
+    pub retrieved: u64,
+    /// Messages bounced.
+    pub bounced: u64,
+}
+
+impl ScenarioOutcome {
+    /// True when both audit layers found nothing.
+    pub fn is_clean(&self) -> bool {
+        self.trace.is_clean() && self.domain.is_empty()
+    }
+
+    /// Every violation from both layers, rendered.
+    pub fn violation_lines(&self) -> Vec<String> {
+        self.trace
+            .violations
+            .iter()
+            .chain(&self.domain)
+            .map(|v| v.to_string())
+            .collect()
+    }
+}
+
+fn t(u: f64) -> SimTime {
+    SimTime::from_units(u)
+}
+
+fn fig1_deployment(seed: u64) -> Deployment {
+    let f = fig1();
+    let mut d = Deployment::build(
+        &f.topology,
+        &[2, 2, 2, 2, 2, 2],
+        &DeploymentConfig {
+            seed,
+            ..DeploymentConfig::default()
+        },
+    );
+    // Unbounded so the auditor sees the complete history; must happen
+    // before the first injection or the stream starts mid-story.
+    d.sim.enable_trace(usize::MAX);
+    d
+}
+
+fn finish(
+    name: &'static str,
+    description: &'static str,
+    mut d: Deployment,
+    expect_drained: bool,
+) -> ScenarioOutcome {
+    d.sim.run_to_quiescence();
+    let trace = audit_trace(d.sim.trace());
+    let domain = audit_deployment(&d, expect_drained);
+    let stats = d.stats.borrow();
+    ScenarioOutcome {
+        name,
+        description,
+        trace,
+        domain,
+        submitted: stats.submitted,
+        retrieved: stats.retrieved,
+        bounced: stats.bounced,
+    }
+}
+
+/// Steady-state exchange on the Fig. 1 topology: no failures, every user
+/// mails a distant peer, everyone checks mail afterwards. The baseline —
+/// if this reports a violation, the engine itself is miswired.
+pub fn steady_exchange(seed: u64) -> ScenarioOutcome {
+    let mut d = fig1_deployment(seed);
+    let names = d.user_names();
+    for i in 0..names.len() {
+        d.send_at(t(1.0 + i as f64), &names[i], &names[(i + 5) % names.len()]);
+    }
+    for (i, n) in names.iter().enumerate() {
+        d.check_at(t(100.0 + i as f64), n);
+    }
+    finish(
+        "steady",
+        "Fig. 1 topology, no failures: ring of sends, then everyone checks",
+        d,
+        true,
+    )
+}
+
+/// The actor-level analogue of `examples/failure_drill.rs`: the first
+/// Fig. 1 server is down in `[10, 30)`, mail submitted during the outage
+/// fails over to secondaries, users check both during the outage and
+/// after recovery, and drain sweeps run once everything is healed.
+/// Exercises crash/recover tracing, message drops on the downed server,
+/// the §3.1.2c `LastStartTime` walk, and the store-and-forward recovery
+/// path — nothing may be lost or stranded.
+pub fn primary_outage_failover(seed: u64) -> ScenarioOutcome {
+    let f = fig1();
+    let mut d = fig1_deployment(seed);
+    let names = d.user_names();
+
+    let mut plan = ServerFailurePlan::new();
+    plan.add(f.servers[0], t(10.0), t(30.0));
+    d.apply_server_failures(&plan);
+
+    // Sends straddle the outage: before (settled), during (failover),
+    // and just after recovery (catch-up traffic).
+    for i in 0..names.len() {
+        d.send_at(
+            t(5.0 + 2.0 * i as f64),
+            &names[i],
+            &names[(i + 3) % names.len()],
+        );
+    }
+    // Checks during the outage see timeouts and secondaries...
+    for (i, n) in names.iter().enumerate() {
+        d.check_at(t(15.0 + i as f64), n);
+    }
+    // ...and checks after recovery drain whatever failed over.
+    for (i, n) in names.iter().enumerate() {
+        d.check_at(t(60.0 + i as f64), n);
+        d.check_at(t(120.0 + i as f64), n);
+    }
+    finish(
+        "failover",
+        "Fig. 1 primary server down in [10, 30): failover, recovery, drain",
+        d,
+        true,
+    )
+}
+
+/// Random exponential outages across all three Fig. 1 servers (MTBF 120,
+/// MTTR 15 over a 600-unit horizon) under a spread-out send/check load,
+/// with drain sweeps scheduled after the last outage heals.
+pub fn random_failures(seed: u64) -> ScenarioOutcome {
+    let f = fig1();
+    let mut d = fig1_deployment(seed);
+    let names = d.user_names();
+
+    let mut rng = lems_sim::rng::SimRng::seed(seed).fork("check-failures");
+    let plan = ServerFailurePlan::random(
+        &mut rng,
+        &f.servers,
+        SimDuration::from_units(120.0),
+        SimDuration::from_units(15.0),
+        t(600.0),
+    );
+    let last_up = plan
+        .outages
+        .values()
+        .flatten()
+        .map(|&(_, up)| up)
+        .max()
+        .unwrap_or(t(600.0));
+    d.apply_server_failures(&plan);
+
+    for i in 0..names.len() {
+        for k in 0..8u64 {
+            d.send_at(
+                t(3.0 + 70.0 * k as f64 + 5.0 * i as f64),
+                &names[i],
+                &names[(i + 1 + k as usize) % names.len()],
+            );
+        }
+        d.check_at(t(200.0 + i as f64), &names[i]);
+        d.check_at(t(400.0 + i as f64), &names[i]);
+    }
+    // Drain sweeps strictly after every server is back up.
+    for (i, n) in names.iter().enumerate() {
+        d.check_at(last_up + SimDuration::from_units(50.0 + i as f64), n);
+        d.check_at(last_up + SimDuration::from_units(150.0 + i as f64), n);
+    }
+    finish(
+        "random-failures",
+        "Fig. 1 with random server outages (MTBF 120, MTTR 15): load + drain",
+        d,
+        true,
+    )
+}
+
+/// Runs every scenario with `seed`.
+pub fn run_all(seed: u64) -> Vec<ScenarioOutcome> {
+    vec![
+        steady_exchange(seed),
+        primary_outage_failover(seed),
+        random_failures(seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_scenario_is_clean_and_nontrivial() {
+        let o = steady_exchange(3);
+        assert!(o.is_clean(), "{:?}", o.violation_lines());
+        assert!(o.submitted >= 12 && o.retrieved == o.submitted - o.bounced);
+        assert!(o.trace.sends > 0 && o.trace.crashes == 0);
+    }
+
+    #[test]
+    fn failover_scenario_exercises_crash_paths_and_stays_clean() {
+        let o = primary_outage_failover(3);
+        assert!(o.is_clean(), "{:?}", o.violation_lines());
+        assert_eq!(o.trace.crashes, 1);
+        assert_eq!(o.trace.recoveries, 1);
+        assert!(o.trace.drops > 0, "outage should drop in-flight messages");
+    }
+
+    #[test]
+    fn random_failure_scenario_is_clean_across_seeds() {
+        for seed in [1, 2] {
+            let o = random_failures(seed);
+            assert!(o.is_clean(), "seed {seed}: {:?}", o.violation_lines());
+        }
+    }
+}

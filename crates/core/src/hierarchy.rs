@@ -66,10 +66,7 @@ impl HierName {
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        let tokens: Vec<String> = tokens
-            .into_iter()
-            .map(|t| t.as_ref().to_owned())
-            .collect();
+        let tokens: Vec<String> = tokens.into_iter().map(|t| t.as_ref().to_owned()).collect();
         if tokens.is_empty() {
             return Err(ParseNameError::WrongComponentCount { found: 0 });
         }
@@ -92,7 +89,8 @@ impl HierName {
     /// The least significant token (the user under the paper's
     /// convention).
     pub fn leaf(&self) -> &str {
-        self.tokens.last().expect("at least one token")
+        // Construction guarantees at least one token.
+        self.tokens.last().map_or("", String::as_str)
     }
 
     /// True if `prefix`'s tokens are a prefix of this name's tokens.

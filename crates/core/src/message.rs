@@ -8,9 +8,7 @@ use serde::{Deserialize, Serialize};
 use crate::name::MailName;
 
 /// Globally unique message identifier (unique per simulation run).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct MessageId(pub u64);
 
 impl fmt::Display for MessageId {
@@ -94,7 +92,11 @@ impl Message {
 
 impl fmt::Display for Message {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} -> {} ({:?})", self.id, self.from, self.to, self.subject)
+        write!(
+            f,
+            "{} {} -> {} ({:?})",
+            self.id, self.from, self.to, self.subject
+        )
     }
 }
 

@@ -8,9 +8,7 @@ use serde::{Deserialize, Serialize};
 use crate::name::MailName;
 
 /// Dense user identifier within one deployment.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct UserId(pub usize);
 
 impl fmt::Display for UserId {

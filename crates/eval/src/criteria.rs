@@ -115,9 +115,9 @@ impl Scorecard {
                 return Err(format!("{name} out of [0,1]: {v}"));
             }
         }
-        let sums =
-            self.reliability.delivered_fraction + self.reliability.bounced_fraction
-                + self.reliability.lost_fraction;
+        let sums = self.reliability.delivered_fraction
+            + self.reliability.bounced_fraction
+            + self.reliability.lost_fraction;
         if !(0.0..=1.0 + 1e-9).contains(&sums) {
             return Err(format!("delivery fractions sum to {sums}"));
         }
@@ -228,7 +228,7 @@ pub fn rank(cards: &[Scorecard], weights: &CriteriaWeights) -> Vec<(usize, f64)>
             (i, s)
         })
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
     scored
 }
 

@@ -133,12 +133,11 @@ pub fn comparison_table(cards: &[Scorecard]) -> String {
 }
 
 /// Serialises scorecards to pretty JSON (for EXPERIMENTS.md artifacts).
-///
-/// # Panics
-///
-/// Panics if serialisation fails (it cannot for these types).
+/// Serialisation cannot fail for these types; a failure would surface as
+/// an error object rather than a panic.
 pub fn to_json(cards: &[Scorecard]) -> String {
-    serde_json::to_string_pretty(cards).expect("scorecards serialise")
+    serde_json::to_string_pretty(cards)
+        .unwrap_or_else(|e| format!("{{\"error\":\"serialisation failed: {e}\"}}"))
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@
 //!   "is only incurred if a user moves").
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use lems_core::mailbox::Mailbox;
@@ -187,10 +187,11 @@ pub struct RoamServer {
     /// Primary host per user (from the name's host token).
     primary_hosts: BTreeMap<MailName, NodeId>,
     /// Current locations known to *this* server, with the login
-    /// timestamp that produced them (last-writer-wins).
-    locations: HashMap<MailName, (NodeId, SimTime)>,
+    /// timestamp that produced them (last-writer-wins). Ordered maps keep
+    /// actor state deterministic (see `lems-check -- lint`).
+    locations: BTreeMap<MailName, (NodeId, SimTime)>,
     mailboxes: BTreeMap<MailName, Mailbox>,
-    pending: HashMap<MessageId, PendingLookup>,
+    pending: BTreeMap<MessageId, PendingLookup>,
     proc_time: f64,
     stats: SharedStats,
 }
@@ -204,8 +205,7 @@ impl RoamServer {
     /// (ties break toward the higher host id, deterministically).
     fn record_location(&mut self, user: MailName, host: NodeId, at: SimTime) {
         match self.locations.get(&user) {
-            Some(&(cur_host, cur_at))
-                if (cur_at, cur_host) >= (at, host) => {}
+            Some(&(cur_host, cur_at)) if (cur_at, cur_host) >= (at, host) => {}
             _ => {
                 self.locations.insert(user, (host, at));
             }
@@ -448,7 +448,10 @@ impl RoamDeployment {
         let region = lems_net::topology::RegionId(0);
         let servers = topology.servers_in(region);
         let hosts = topology.hosts_in(region);
-        assert!(!servers.is_empty() && !hosts.is_empty(), "region 0 must be populated");
+        assert!(
+            !servers.is_empty() && !hosts.is_empty(),
+            "region 0 must be populated"
+        );
         assert_eq!(hosts.len(), users_per_host.len(), "population misaligned");
 
         let subgroups = SubgroupMap::new(groups, servers.clone());
@@ -479,9 +482,9 @@ impl RoamDeployment {
                 subgroups: subgroups.clone(),
                 peers: servers.clone(),
                 primary_hosts: primary_hosts.clone(),
-                locations: HashMap::new(),
+                locations: BTreeMap::new(),
                 mailboxes: BTreeMap::new(),
-                pending: HashMap::new(),
+                pending: BTreeMap::new(),
                 proc_time: 0.5,
                 stats: Rc::clone(&stats),
             };
@@ -492,10 +495,12 @@ impl RoamDeployment {
 
         let mut host_actors = BTreeMap::new();
         for &h in &hosts {
-            let nearest = *servers
+            // Non-empty `servers` is asserted at the top of `build`.
+            let nearest = servers
                 .iter()
-                .min_by_key(|&&s| dist.distance(h, s))
-                .expect("servers exist");
+                .copied()
+                .min_by_key(|&s| dist.distance(h, s))
+                .unwrap_or_else(|| servers[0]);
             let actor = RoamHost {
                 node: h,
                 nearest_server: nearest,
@@ -670,7 +675,11 @@ mod tests {
         let st = d.stats.borrow();
         assert_eq!(st.notified_at_primary, 1);
         assert_eq!(st.unknown_location, 0);
-        assert_eq!(d.mail_in_storage(), 1, "mail is stored at the sub-group server");
+        assert_eq!(
+            d.mail_in_storage(),
+            1,
+            "mail is stored at the sub-group server"
+        );
     }
 
     #[test]

@@ -173,8 +173,7 @@ pub fn delivery_cost(
                 consult_units: 0.0,
                 // The user's interactive session hauls every message over
                 // the long-haul path, packet by packet.
-                last_mile_units: params.remote_access_packets
-                    * d(current_host, authority_server),
+                last_mile_units: params.remote_access_packets * d(current_host, authority_server),
             },
             CrossRegionPolicy::Redirect => DeliveryCost {
                 forward_units,
@@ -222,9 +221,9 @@ mod tests {
         g.add_edge(NodeId(1), NodeId(2), Weight::from_units(1.0));
         g.add_edge(NodeId(1), NodeId(3), Weight::from_units(2.0)); // peer server
         g.add_edge(NodeId(1), NodeId(4), Weight::from_units(10.0)); // long haul
-        // Direct long-haul from the sender's server, slightly shorter than
-        // relaying through the old authority — renaming can exploit it,
-        // redirection cannot.
+                                                                    // Direct long-haul from the sender's server, slightly shorter than
+                                                                    // relaying through the old authority — renaming can exploit it,
+                                                                    // redirection cannot.
         g.add_edge(NodeId(0), NodeId(4), Weight::from_units(10.0));
         g.add_edge(NodeId(4), NodeId(5), Weight::from_units(1.0));
         g.add_edge(NodeId(3), NodeId(6), Weight::from_units(1.0)); // roamed-to host
@@ -279,16 +278,34 @@ mod tests {
         };
         let params = CostParams::default();
         let remote = delivery_cost(
-            &dist, NodeId(0), NodeId(1), NodeId(2), &servers, loc,
-            CrossRegionPolicy::RemoteAccess, &params,
+            &dist,
+            NodeId(0),
+            NodeId(1),
+            NodeId(2),
+            &servers,
+            loc,
+            CrossRegionPolicy::RemoteAccess,
+            &params,
         );
         let redirect = delivery_cost(
-            &dist, NodeId(0), NodeId(1), NodeId(2), &servers, loc,
-            CrossRegionPolicy::Redirect, &params,
+            &dist,
+            NodeId(0),
+            NodeId(1),
+            NodeId(2),
+            &servers,
+            loc,
+            CrossRegionPolicy::Redirect,
+            &params,
         );
         let rename = delivery_cost(
-            &dist, NodeId(0), NodeId(1), NodeId(2), &servers, loc,
-            CrossRegionPolicy::Rename, &params,
+            &dist,
+            NodeId(0),
+            NodeId(1),
+            NodeId(2),
+            &servers,
+            loc,
+            CrossRegionPolicy::Rename,
+            &params,
         );
         // "remote access is usually slow and imposes large overhead".
         assert!(remote.total() > redirect.total());

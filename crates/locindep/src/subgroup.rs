@@ -23,7 +23,12 @@ use lems_net::graph::NodeId;
 fn name_hash(name: &MailName) -> u64 {
     // FNV-1a, stable across platforms and runs.
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in name.region().bytes().chain([0x1f]).chain(name.user().bytes()) {
+    for b in name
+        .region()
+        .bytes()
+        .chain([0x1f])
+        .chain(name.user().bytes())
+    {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x1000_0000_01b3);
     }
@@ -82,10 +87,11 @@ impl SubgroupMap {
         assert!(!servers.is_empty(), "need at least one server");
         let group_server = (0..groups)
             .map(|g| {
-                *servers
+                servers
                     .iter()
-                    .max_by_key(|&&s| (rendezvous_score(g, s), s))
-                    .expect("non-empty servers")
+                    .copied()
+                    .max_by_key(|&s| (rendezvous_score(g, s), s))
+                    .unwrap_or_else(|| servers[0])
             })
             .collect();
         SubgroupMap {

@@ -87,11 +87,13 @@ impl RegionTracker {
     ///
     /// Panics if `via_server` is not one of the region's servers.
     pub fn login(&mut self, user: &MailName, host: NodeId, via_server: NodeId) {
-        let entry = self
-            .known
-            .get_mut(&via_server)
-            .unwrap_or_else(|| panic!("{via_server} is not a server of this region"));
-        entry.insert(user.clone(), host);
+        assert!(
+            self.known.contains_key(&via_server),
+            "{via_server} is not a server of this region"
+        );
+        if let Some(entry) = self.known.get_mut(&via_server) {
+            entry.insert(user.clone(), host);
+        }
         self.logins += 1;
         // Remove stale knowledge elsewhere: the paper's servers "cooperate
         // to keep track of the movement of users".
@@ -165,7 +167,13 @@ mod tests {
         let u = name("east.h1.alice");
         t.login(&u, NodeId(5), NodeId(2));
         let out = t.locate(&u, NodeId(2));
-        assert_eq!(out, LocateOutcome { host: Some(NodeId(5)), consults: 0 });
+        assert_eq!(
+            out,
+            LocateOutcome {
+                host: Some(NodeId(5)),
+                consults: 0
+            }
+        );
         assert_eq!(t.consult_count(), 0);
     }
 

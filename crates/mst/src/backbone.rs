@@ -85,11 +85,8 @@ impl TwoLevelMst {
 /// and for each contracted edge the physical edge realising it.
 fn contract(t: &Topology) -> (Graph, Vec<RegionId>, Vec<EdgeId>) {
     let regions = t.region_ids();
-    let index: BTreeMap<RegionId, usize> = regions
-        .iter()
-        .enumerate()
-        .map(|(i, &r)| (r, i))
-        .collect();
+    let index: BTreeMap<RegionId, usize> =
+        regions.iter().enumerate().map(|(i, &r)| (r, i)).collect();
     let mut best: BTreeMap<(usize, usize), EdgeId> = BTreeMap::new();
     for eid in t.inter_region_edges() {
         let e = t.graph().edge(eid);
@@ -114,15 +111,8 @@ fn contract(t: &Topology) -> (Graph, Vec<RegionId>, Vec<EdgeId>) {
 /// Extracts a region's intra-region subgraph. Returns the subgraph and the
 /// mapping from subgraph node index to topology node.
 fn region_subgraph(t: &Topology, region: RegionId) -> (Graph, Vec<NodeId>) {
-    let nodes: Vec<NodeId> = t
-        .nodes()
-        .filter(|&n| t.region(n) == region)
-        .collect();
-    let index: BTreeMap<NodeId, usize> = nodes
-        .iter()
-        .enumerate()
-        .map(|(i, &n)| (n, i))
-        .collect();
+    let nodes: Vec<NodeId> = t.nodes().filter(|&n| t.region(n) == region).collect();
+    let index: BTreeMap<NodeId, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
     let mut g = Graph::with_nodes(nodes.len());
     for eid in 0..t.graph().edge_count() {
         let e = t.graph().edge(EdgeId(eid));
@@ -155,7 +145,8 @@ pub fn build_two_level(t: &Topology) -> TwoLevelMst {
         for &sub_eid in tree.edges() {
             let e = sub.edge(sub_eid);
             let (a, b) = (nodes[e.a.0], nodes[e.b.0]);
-            phys.push(t.graph().edge_between(a, b).expect("edge exists"));
+            // Subgraph edges mirror physical edges by construction.
+            phys.extend(t.graph().edge_between(a, b));
         }
         phys.sort_unstable();
         local_edges.insert(region, phys);
@@ -209,7 +200,7 @@ pub fn build_two_level_distributed(t: &Topology, seed: u64) -> (TwoLevelMst, Ghs
             merge(&run.stats);
             for &(a, b) in &run.edges {
                 let (pa, pb) = (nodes[a.0], nodes[b.0]);
-                phys.push(t.graph().edge_between(pa, pb).expect("edge exists"));
+                phys.extend(t.graph().edge_between(pa, pb));
             }
         }
         phys.sort_unstable();
@@ -222,8 +213,7 @@ pub fn build_two_level_distributed(t: &Topology, seed: u64) -> (TwoLevelMst, Ghs
         let run = run_ghs(&contracted, seed ^ 0xbacc_b04e);
         merge(&run.stats);
         for &(a, b) in &run.edges {
-            let ce = contracted.edge_between(a, b).expect("edge exists");
-            backbone_edges.push(realisation[ce.0]);
+            backbone_edges.extend(contracted.edge_between(a, b).map(|ce| realisation[ce.0]));
         }
     }
     backbone_edges.sort_unstable();

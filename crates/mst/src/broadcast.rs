@@ -16,9 +16,9 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use lems_net::graph::{Graph, NodeId};
 #[cfg(test)]
 use lems_net::graph::Weight;
+use lems_net::graph::{Graph, NodeId};
 use lems_net::shortest_path::DistanceTable;
 use lems_net::transport::Transport;
 use lems_sim::actor::{Actor, ActorId, ActorSim, Ctx, TimerId};
@@ -197,7 +197,10 @@ fn subtree_timeouts(
     for &u in order.iter().rev() {
         for &v in &adj[u.0] {
             if parent[v.0] == Some(u) {
-                let eid = g.edge_between(u, v).expect("tree edge");
+                // Adjacency was built from this graph, so the edge exists.
+                let Some(eid) = g.edge_between(u, v) else {
+                    continue;
+                };
                 let d = g.edge(eid).weight.as_duration() + path_delay[v.0];
                 if d > path_delay[u.0] {
                     path_delay[u.0] = d;
@@ -345,7 +348,7 @@ impl RegionCostTable {
     /// (greedy, cheapest-first — the flow-control use of the table).
     pub fn regions_within_budget(&self, budget: f64) -> Vec<lems_net::topology::RegionId> {
         let mut rows = self.rows.clone();
-        rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+        rows.sort_by(|a, b| a.1.total_cmp(&b.1));
         let mut chosen = Vec::new();
         let mut spent = 0.0;
         for (r, c) in rows {
@@ -370,11 +373,8 @@ pub fn region_cost_table(
     use lems_net::topology::RegionId;
     let regions = t.region_ids();
     // Build the backbone graph over regions to compute path costs.
-    let index: BTreeMap<RegionId, usize> = regions
-        .iter()
-        .enumerate()
-        .map(|(i, &r)| (r, i))
-        .collect();
+    let index: BTreeMap<RegionId, usize> =
+        regions.iter().enumerate().map(|(i, &r)| (r, i)).collect();
     let mut bg = Graph::with_nodes(regions.len());
     for &eid in &two_level.backbone_edges {
         let e = t.graph().edge(eid);

@@ -211,9 +211,11 @@ impl GhsNode {
             return;
         }
         self.sleeping = false;
-        let m = self
-            .min_basic_edge()
-            .expect("GHS requires every node to have at least one edge");
+        // GHS requires every node to have at least one edge; an isolated
+        // node (a broken input) simply never joins a fragment.
+        let Some(m) = self.min_basic_edge() else {
+            return;
+        };
         self.edge_state.insert(m, EdgeState::Branch);
         self.level = 0;
         self.phase = NodePhase::Found;
@@ -246,16 +248,18 @@ impl GhsNode {
     fn report(&mut self, ctx: &mut Ctx<'_, Env>) {
         if self.find_count == 0 && self.test_edge.is_none() {
             self.phase = NodePhase::Found;
-            let in_branch = self
-                .in_branch
-                .expect("report requires an in_branch (Initiate was received)");
+            // Reporting requires an in_branch (an Initiate was received).
+            let Some(in_branch) = self.in_branch else {
+                return;
+            };
             self.send(ctx, in_branch, GhsMsg::Report { best: self.best_wt });
         }
     }
 
     /// Procedure *change-root*.
     fn change_root(&mut self, ctx: &mut Ctx<'_, Env>) {
-        let best = self.best_edge.expect("change_root requires a best edge");
+        // change_root is only reached after a best edge was elected.
+        let Some(best) = self.best_edge else { return };
         if self.edge_state[&best] == EdgeState::Branch {
             self.send(ctx, best, GhsMsg::ChangeRoot);
         } else {
@@ -632,7 +636,9 @@ impl GhsSim {
     pub fn into_run(self) -> GhsRun {
         let mut edge_set: std::collections::BTreeSet<(NodeId, NodeId)> = Default::default();
         for (i, &aid) in self.actor_ids.iter().enumerate() {
-            let node: &GhsNode = self.sim.actor(aid).expect("actor exists");
+            let Some(node) = self.sim.actor::<GhsNode>(aid) else {
+                continue;
+            };
             for m in node.branches() {
                 let pair = if NodeId(i) < m {
                     (NodeId(i), m)
@@ -702,11 +708,7 @@ mod tests {
     fn line_and_ring() {
         let mut line = Graph::with_nodes(8);
         for i in 1..8 {
-            line.add_edge(
-                NodeId(i - 1),
-                NodeId(i),
-                Weight::from_units(1.0 + i as f64),
-            );
+            line.add_edge(NodeId(i - 1), NodeId(i), Weight::from_units(1.0 + i as f64));
         }
         assert_matches_kruskal(&line, 3);
 
@@ -739,7 +741,11 @@ mod tests {
         let mut g = Graph::with_nodes(n);
         for i in 1..n {
             let j = rng.index(i);
-            g.add_edge(NodeId(i), NodeId(j), Weight::from_units(rng.range(1..=1000) as f64));
+            g.add_edge(
+                NodeId(i),
+                NodeId(j),
+                Weight::from_units(rng.range(1..=1000) as f64),
+            );
         }
         let mut added = 0;
         let mut attempts = 0;
@@ -748,7 +754,11 @@ mod tests {
             let a = rng.index(n);
             let b = rng.index(n);
             if a != b && g.edge_between(NodeId(a), NodeId(b)).is_none() {
-                g.add_edge(NodeId(a), NodeId(b), Weight::from_units(rng.range(1..=1000) as f64));
+                g.add_edge(
+                    NodeId(a),
+                    NodeId(b),
+                    Weight::from_units(rng.range(1..=1000) as f64),
+                );
                 added += 1;
             }
         }
@@ -810,7 +820,11 @@ mod initiator_tests {
         let mut g = Graph::with_nodes(n);
         for i in 1..n {
             let j = rng.index(i);
-            g.add_edge(NodeId(i), NodeId(j), Weight::from_units(rng.range(1..=500) as f64));
+            g.add_edge(
+                NodeId(i),
+                NodeId(j),
+                Weight::from_units(rng.range(1..=500) as f64),
+            );
         }
         let mut added = 0;
         let mut attempts = 0;
@@ -819,7 +833,11 @@ mod initiator_tests {
             let a = rng.index(n);
             let b = rng.index(n);
             if a != b && g.edge_between(NodeId(a), NodeId(b)).is_none() {
-                g.add_edge(NodeId(a), NodeId(b), Weight::from_units(rng.range(1..=500) as f64));
+                g.add_edge(
+                    NodeId(a),
+                    NodeId(b),
+                    Weight::from_units(rng.range(1..=500) as f64),
+                );
                 added += 1;
             }
         }

@@ -155,7 +155,10 @@ impl Default for MultiRegionConfig {
 /// Panics if any count is zero or a weight range is inverted/negative.
 pub fn multi_region(rng: &mut SimRng, cfg: &MultiRegionConfig) -> Topology {
     assert!(cfg.regions >= 1, "need at least one region");
-    assert!(cfg.hosts_per_region >= 1, "need at least one host per region");
+    assert!(
+        cfg.hosts_per_region >= 1,
+        "need at least one host per region"
+    );
     assert!(
         cfg.servers_per_region >= 1,
         "need at least one server per region"

@@ -15,7 +15,9 @@ use std::fmt;
 use lems_sim::time::{SimDuration, TICKS_PER_UNIT};
 
 /// Identifies a node within one [`Graph`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize,
+)]
 pub struct NodeId(pub usize);
 
 impl fmt::Display for NodeId {
@@ -25,7 +27,9 @@ impl fmt::Display for NodeId {
 }
 
 /// Identifies an edge within one [`Graph`] (index into edge list).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize,
+)]
 pub struct EdgeId(pub usize);
 
 impl fmt::Display for EdgeId {
@@ -45,7 +49,9 @@ impl fmt::Display for EdgeId {
 /// assert_eq!(w.as_units(), 1.5);
 /// assert_eq!((w + w).as_units(), 3.0);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct Weight(pub u64);
 
 impl Weight {
@@ -144,16 +150,21 @@ pub struct Edge {
 impl Edge {
     /// The endpoint opposite to `n`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `n` is not an endpoint of this edge.
-    pub fn other(&self, n: NodeId) -> NodeId {
+    /// Returns [`NetError::NotAnEndpoint`] if `n` is not an endpoint of
+    /// this edge.
+    pub fn other(&self, n: NodeId) -> Result<NodeId, crate::error::NetError> {
         if n == self.a {
-            self.b
+            Ok(self.b)
         } else if n == self.b {
-            self.a
+            Ok(self.a)
         } else {
-            panic!("{n} is not an endpoint of edge {}-{}", self.a, self.b)
+            Err(crate::error::NetError::NotAnEndpoint {
+                node: n,
+                a: self.a,
+                b: self.b,
+            })
         }
     }
 }
@@ -345,7 +356,10 @@ mod tests {
     #[test]
     fn weight_conversions() {
         assert_eq!(Weight::UNIT.as_units(), 1.0);
-        assert_eq!(Weight::from_units(0.5).as_duration(), SimDuration::from_units(0.5));
+        assert_eq!(
+            Weight::from_units(0.5).as_duration(),
+            SimDuration::from_units(0.5)
+        );
         assert!(Weight::INFINITY.is_infinite());
         assert_eq!(
             Weight::INFINITY.saturating_add(Weight::UNIT),
@@ -367,7 +381,8 @@ mod tests {
         assert_eq!(g.edge_between(NodeId(1), NodeId(0)), Some(e0));
         assert_eq!(g.edge_between(NodeId(0), NodeId(3)), None);
         assert_eq!(g.degree(NodeId(1)), 2);
-        assert_eq!(g.edge(e0).other(NodeId(0)), NodeId(1));
+        assert_eq!(g.edge(e0).other(NodeId(0)), Ok(NodeId(1)));
+        assert!(g.edge(e0).other(NodeId(3)).is_err());
         assert_eq!(g.total_weight(), Weight::from_units(3.0));
         assert!(!g.is_connected()); // node 3 isolated
     }

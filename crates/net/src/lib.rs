@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod generators;
 pub mod graph;
 pub mod mst;
@@ -29,5 +30,6 @@ pub mod shortest_path;
 pub mod topology;
 pub mod transport;
 
+pub use error::NetError;
 pub use graph::{Edge, EdgeId, Graph, NodeId, Weight};
 pub use topology::{NodeKind, RegionId, Topology};

@@ -152,11 +152,7 @@ impl DistanceTable {
     /// The largest finite distance in the table (the graph's weighted
     /// diameter), or `None` for an empty/disconnected table.
     pub fn diameter(&self) -> Option<Weight> {
-        self.dist
-            .iter()
-            .copied()
-            .filter(|w| !w.is_infinite())
-            .max()
+        self.dist.iter().copied().filter(|w| !w.is_infinite()).max()
     }
 }
 
@@ -226,14 +222,22 @@ mod tests {
         // Random spanning tree first, then extra edges.
         for i in 1..n {
             let j = rng.index(i);
-            g.add_edge(NodeId(i), NodeId(j), Weight::from_units(rng.range(1..=10) as f64));
+            g.add_edge(
+                NodeId(i),
+                NodeId(j),
+                Weight::from_units(rng.range(1..=10) as f64),
+            );
         }
         let mut added = 0;
         while added < extra {
             let a = rng.index(n);
             let b = rng.index(n);
             if a != b && g.edge_between(NodeId(a), NodeId(b)).is_none() {
-                g.add_edge(NodeId(a), NodeId(b), Weight::from_units(rng.range(1..=10) as f64));
+                g.add_edge(
+                    NodeId(a),
+                    NodeId(b),
+                    Weight::from_units(rng.range(1..=10) as f64),
+                );
                 added += 1;
             }
         }

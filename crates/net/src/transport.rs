@@ -6,11 +6,13 @@
 //! retrieval), and single-edge delays for protocols that are explicitly
 //! hop-by-hop (GHS messages travel only between direct neighbors).
 
+use std::cell::Cell;
 use std::collections::HashMap;
 
 use lems_sim::actor::{ActorId, Ctx};
 use lems_sim::time::SimDuration;
 
+use crate::error::NetError;
 use crate::graph::{Graph, NodeId};
 use crate::shortest_path::DistanceTable;
 
@@ -29,7 +31,7 @@ use crate::shortest_path::DistanceTable;
 /// tr.bind(NodeId(0), ActorId(10));
 /// tr.bind(NodeId(1), ActorId(11));
 /// assert_eq!(tr.delay(NodeId(0), NodeId(1)).as_units(), 2.0);
-/// assert_eq!(tr.actor_of(NodeId(1)), ActorId(11));
+/// assert_eq!(tr.actor_of(NodeId(1)), Ok(ActorId(11)));
 /// assert_eq!(tr.node_of(ActorId(10)), Some(NodeId(0)));
 /// ```
 #[derive(Clone, Debug)]
@@ -38,6 +40,10 @@ pub struct Transport {
     edge_weights: HashMap<(NodeId, NodeId), SimDuration>,
     node_to_actor: Vec<Option<ActorId>>,
     actor_to_node: HashMap<ActorId, NodeId>,
+    /// Sends that failed because of a bad binding or missing edge. A
+    /// correctly built deployment never increments this; tests assert it
+    /// stays zero instead of relying on a panic deep inside an actor.
+    wiring_errors: Cell<u64>,
 }
 
 impl Transport {
@@ -54,6 +60,7 @@ impl Transport {
             edge_weights,
             node_to_actor: vec![None; g.node_count()],
             actor_to_node: HashMap::new(),
+            wiring_errors: Cell::new(0),
         }
     }
 
@@ -78,12 +85,15 @@ impl Transport {
 
     /// The actor bound to `node`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the node is unbound.
-    pub fn actor_of(&self, node: NodeId) -> ActorId {
-        self.node_to_actor[node.0]
-            .unwrap_or_else(|| panic!("node {node} has no bound actor"))
+    /// Returns [`NetError::UnknownNode`] if the node id is out of range and
+    /// [`NetError::UnboundNode`] if no actor has been bound to it.
+    pub fn actor_of(&self, node: NodeId) -> Result<ActorId, NetError> {
+        self.node_to_actor
+            .get(node.0)
+            .ok_or(NetError::UnknownNode(node))?
+            .ok_or(NetError::UnboundNode(node))
     }
 
     /// The node bound to `actor`, if any.
@@ -98,23 +108,20 @@ impl Transport {
     /// Panics if the nodes are disconnected.
     pub fn delay(&self, from: NodeId, to: NodeId) -> SimDuration {
         let w = self.dist.distance(from, to);
-        assert!(
-            !w.is_infinite(),
-            "no path between {from} and {to}"
-        );
+        assert!(!w.is_infinite(), "no path between {from} and {to}");
         w.as_duration()
     }
 
     /// Delay across the single edge `from`-`to`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the nodes are not adjacent.
-    pub fn edge_delay(&self, from: NodeId, to: NodeId) -> SimDuration {
-        *self
-            .edge_weights
+    /// Returns [`NetError::NotAdjacent`] if there is no direct edge.
+    pub fn edge_delay(&self, from: NodeId, to: NodeId) -> Result<SimDuration, NetError> {
+        self.edge_weights
             .get(&(from, to))
-            .unwrap_or_else(|| panic!("{from} and {to} are not adjacent"))
+            .copied()
+            .ok_or(NetError::NotAdjacent(from, to))
     }
 
     /// The distance table (for cost computations).
@@ -125,6 +132,10 @@ impl Transport {
     /// Sends `msg` from the actor at `from` to the actor at `to` with the
     /// end-to-end shortest-path delay plus `extra` (processing time and the
     /// like).
+    ///
+    /// A destination with no bound actor is a deployment wiring bug; the
+    /// message is dropped and counted in [`Transport::wiring_errors`]
+    /// rather than panicking inside an actor handler.
     pub fn send<M>(
         &self,
         ctx: &mut Ctx<'_, M>,
@@ -134,14 +145,27 @@ impl Transport {
         extra: SimDuration,
     ) {
         let delay = self.delay(from, to) + extra;
-        ctx.send(self.actor_of(to), msg, delay);
+        match self.actor_of(to) {
+            Ok(actor) => ctx.send(actor, msg, delay),
+            Err(_) => self.wiring_errors.set(self.wiring_errors.get() + 1),
+        }
     }
 
     /// Sends `msg` across the direct edge `from`-`to` (hop-by-hop
-    /// protocols).
+    /// protocols). Non-adjacent nodes or an unbound destination are counted
+    /// in [`Transport::wiring_errors`] and the message is dropped.
     pub fn send_edge<M>(&self, ctx: &mut Ctx<'_, M>, from: NodeId, to: NodeId, msg: M) {
-        let delay = self.edge_delay(from, to);
-        ctx.send(self.actor_of(to), msg, delay);
+        match (self.edge_delay(from, to), self.actor_of(to)) {
+            (Ok(delay), Ok(actor)) => ctx.send(actor, msg, delay),
+            _ => self.wiring_errors.set(self.wiring_errors.get() + 1),
+        }
+    }
+
+    /// Messages silently dropped by [`Transport::send`] /
+    /// [`Transport::send_edge`] because of a binding or adjacency error.
+    /// Zero on any correctly wired deployment.
+    pub fn wiring_errors(&self) -> u64 {
+        self.wiring_errors.get()
     }
 }
 
@@ -162,15 +186,32 @@ mod tests {
     fn delays_follow_shortest_paths() {
         let tr = Transport::new(&g3());
         assert_eq!(tr.delay(NodeId(0), NodeId(2)).as_units(), 3.0);
-        assert_eq!(tr.edge_delay(NodeId(2), NodeId(1)).as_units(), 2.0);
+        assert_eq!(tr.edge_delay(NodeId(2), NodeId(1)).unwrap().as_units(), 2.0);
         assert_eq!(tr.delay(NodeId(1), NodeId(1)).as_units(), 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "not adjacent")]
     fn edge_delay_requires_adjacency() {
         let tr = Transport::new(&g3());
-        let _ = tr.edge_delay(NodeId(0), NodeId(2));
+        assert_eq!(
+            tr.edge_delay(NodeId(0), NodeId(2)),
+            Err(crate::error::NetError::NotAdjacent(NodeId(0), NodeId(2)))
+        );
+    }
+
+    #[test]
+    fn lookups_report_unbound_and_unknown_nodes() {
+        let mut tr = Transport::new(&g3());
+        tr.bind(NodeId(0), ActorId(7));
+        assert_eq!(tr.actor_of(NodeId(0)), Ok(ActorId(7)));
+        assert_eq!(
+            tr.actor_of(NodeId(1)),
+            Err(crate::error::NetError::UnboundNode(NodeId(1)))
+        );
+        assert_eq!(
+            tr.actor_of(NodeId(99)),
+            Err(crate::error::NetError::UnknownNode(NodeId(99)))
+        );
     }
 
     #[test]
@@ -203,6 +244,25 @@ mod tests {
                 .send(ctx, self.me, self.dest, 42, SimDuration::from_units(0.5));
         }
         fn on_message(&mut self, _f: ActorId, _m: u32, _c: &mut lems_sim::actor::Ctx<'_, u32>) {}
+    }
+
+    #[test]
+    fn send_to_unbound_node_is_counted_not_fatal() {
+        let g = g3();
+        let mut sim: ActorSim<u32> = ActorSim::new(1);
+        let mut tr = Transport::new(&g);
+        let src_actor = ActorId(0);
+        tr.bind(NodeId(0), src_actor);
+        // NodeId(2) is never bound: the send must be dropped and counted.
+        let id = sim.add_actor(Src {
+            tr,
+            me: NodeId(0),
+            dest: NodeId(2),
+        });
+        assert_eq!(id, src_actor);
+        sim.run_to_quiescence();
+        let s: &Src = sim.actor(src_actor).unwrap();
+        assert_eq!(s.tr.wiring_errors(), 1);
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl std::fmt::Display for ActorId {
 }
 
 /// Handle to a pending timer, used for cancellation.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+///
+/// Ordered so actors can key deterministic (`BTreeMap`) bookkeeping tables
+/// by timer.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct TimerId(u64);
 
 /// A simulated node: reacts to messages and timers via `&mut self`.
@@ -85,10 +88,22 @@ pub trait Actor: std::any::Any {
 }
 
 enum Ev<M> {
-    Deliver { from: ActorId, to: ActorId, msg: M },
-    Timer { actor: ActorId, id: TimerId, tag: u64 },
-    Crash { actor: ActorId },
-    Recover { actor: ActorId },
+    Deliver {
+        from: ActorId,
+        to: ActorId,
+        msg: M,
+    },
+    Timer {
+        actor: ActorId,
+        id: TimerId,
+        tag: u64,
+    },
+    Crash {
+        actor: ActorId,
+    },
+    Recover {
+        actor: ActorId,
+    },
 }
 
 /// Counters describing one simulation run.
@@ -132,10 +147,7 @@ impl<M> Core<M> {
         if self.fifo && from != ActorId::EXTERNAL {
             // Clamp so a later send on the same ordered pair never overtakes
             // an earlier one ("without error and in sequence").
-            let last = self
-                .last_arrival
-                .entry((from, to))
-                .or_insert(SimTime::ZERO);
+            let last = self.last_arrival.entry((from, to)).or_insert(SimTime::ZERO);
             if at < *last {
                 at = *last;
             }
@@ -148,7 +160,8 @@ impl<M> Core<M> {
     fn set_timer(&mut self, actor: ActorId, delay: SimDuration, tag: u64) -> TimerId {
         let id = TimerId(self.next_timer);
         self.next_timer += 1;
-        self.queue.push(self.now + delay, Ev::Timer { actor, id, tag });
+        self.queue
+            .push(self.now + delay, Ev::Timer { actor, id, tag });
         id
     }
 }
@@ -209,11 +222,7 @@ impl<'a, M> Ctx<'a, M> {
     /// drivers and for assertions in tests. Protocol actors should rely on
     /// timeouts instead.
     pub fn is_down(&self, actor: ActorId) -> bool {
-        self.core
-            .down
-            .get(actor.0)
-            .copied()
-            .unwrap_or(false)
+        self.core.down.get(actor.0).copied().unwrap_or(false)
     }
 }
 
@@ -290,6 +299,16 @@ impl<M: 'static> ActorSim<M> {
     pub fn with_trace(mut self, capacity: usize) -> Self {
         self.core.trace = Trace::bounded(capacity);
         self
+    }
+
+    /// Enables tracing on an already-built engine, replacing any existing
+    /// trace. Unlike [`ActorSim::with_trace`] this works after actors have
+    /// been registered, so deployment builders that own the engine can have
+    /// tracing switched on by their callers. A `capacity` of `usize::MAX`
+    /// keeps the complete event history (see [`Trace::unbounded`]), which
+    /// trace auditors require.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.core.trace = Trace::bounded(capacity);
     }
 
     /// Registers an actor; returns its id. `on_start` runs at the current
@@ -413,6 +432,9 @@ impl<M: 'static> ActorSim<M> {
             Ev::Deliver { from, to, msg } => {
                 if to.0 >= self.actors.len() {
                     self.core.counters.dropped_unknown.inc();
+                    // Traced as a drop so every traced send still terminates
+                    // in exactly one deliver-or-drop (conservation law).
+                    self.core.trace.record(at, TraceKind::Drop, from, to);
                 } else if self.core.down[to.0] {
                     self.core.counters.dropped_down.inc();
                     self.core.trace.record(at, TraceKind::Drop, from, to);

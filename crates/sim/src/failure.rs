@@ -119,7 +119,10 @@ impl FailurePlan {
         mttr: SimDuration,
         horizon: SimTime,
     ) -> Self {
-        assert!(!mtbf.is_zero() && !mttr.is_zero(), "mtbf/mttr must be positive");
+        assert!(
+            !mtbf.is_zero() && !mttr.is_zero(),
+            "mtbf/mttr must be positive"
+        );
         let mut plan = FailurePlan::new();
         for &actor in actors {
             let mut t = SimTime::ZERO + rng.exp_duration(mtbf);

@@ -152,7 +152,10 @@ impl SimRng {
     /// Panics if `weights` is empty, contains a negative/non-finite value,
     /// or sums to zero.
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
-        assert!(!weights.is_empty(), "weighted_index needs at least one weight");
+        assert!(
+            !weights.is_empty(),
+            "weighted_index needs at least one weight"
+        );
         let total: f64 = weights
             .iter()
             .map(|&w| {

@@ -226,7 +226,10 @@ impl TimeWeighted {
     ///
     /// Panics if `now` precedes the previous update.
     pub fn set(&mut self, now: SimTime, value: f64) {
-        assert!(now >= self.last_change, "TimeWeighted updates must be in time order");
+        assert!(
+            now >= self.last_change,
+            "TimeWeighted updates must be in time order"
+        );
         self.weighted_sum += self.current * now.duration_since(self.last_change).as_units();
         self.last_change = now;
         self.current = value;
@@ -426,7 +429,7 @@ mod tests {
         let mut g = TimeWeighted::new(SimTime::ZERO, 1.0);
         g.set(SimTime::from_units(1.0), 3.0);
         g.add(SimTime::from_units(3.0), -2.0); // value 1.0 from t=3
-        // [0,1): 1.0, [1,3): 3.0, [3,5): 1.0 => (1 + 6 + 2)/5 = 1.8
+                                               // [0,1): 1.0, [1,3): 3.0, [3,5): 1.0 => (1 + 6 + 2)/5 = 1.8
         assert!((g.average(SimTime::from_units(5.0)) - 1.8).abs() < 1e-9);
         assert_eq!(g.current(), 1.0);
     }

@@ -51,7 +51,11 @@ pub struct TraceEvent {
 
 impl std::fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "[{}] {} {} -> {}", self.at, self.kind, self.from, self.to)
+        write!(
+            f,
+            "[{}] {} {} -> {}",
+            self.at, self.kind, self.from, self.to
+        )
     }
 }
 
@@ -92,9 +96,21 @@ impl Trace {
         }
     }
 
+    /// A trace that keeps every event (no eviction). Auditors that verify
+    /// conservation laws over the stream need the complete history; a lossy
+    /// ring buffer would report false violations for evicted prefixes.
+    pub fn unbounded() -> Self {
+        Trace::bounded(usize::MAX)
+    }
+
     /// True if this trace keeps events.
     pub fn is_enabled(&self) -> bool {
         self.capacity > 0
+    }
+
+    /// True if eviction has discarded at least one recorded event.
+    pub fn is_lossy(&self) -> bool {
+        self.recorded > self.buf.len() as u64
     }
 
     /// Records an event (no-op when disabled).
@@ -112,6 +128,16 @@ impl Trace {
     /// The retained events, oldest first.
     pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
         self.buf.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
     }
 
     /// Total events ever recorded (including evicted ones).
@@ -147,6 +173,24 @@ mod tests {
         let times: Vec<u64> = t.events().map(|e| e.at.as_ticks()).collect();
         assert_eq!(times, vec![2, 3, 4]);
         assert_eq!(t.recorded_total(), 5);
+        assert!(t.is_lossy());
+    }
+
+    #[test]
+    fn unbounded_trace_never_evicts() {
+        let mut t = Trace::unbounded();
+        for i in 0..10_000 {
+            t.record(
+                SimTime::from_ticks(i),
+                TraceKind::Send,
+                ActorId(0),
+                ActorId(1),
+            );
+        }
+        assert_eq!(t.len(), 10_000);
+        assert_eq!(t.recorded_total(), 10_000);
+        assert!(!t.is_lossy());
+        assert!(t.is_enabled());
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! [`FailurePlan`]: lems_sim::failure::FailurePlan
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use lems_core::directory::Directory;
@@ -200,10 +200,13 @@ pub struct HostActor {
     node: NodeId,
     transport: Rc<Transport>,
     users: BTreeMap<MailName, UiUser>,
-    submits: HashMap<MessageId, SubmitTask>,
+    // Actor bookkeeping uses ordered maps throughout: iteration order feeds
+    // protocol decisions, and hash-order iteration would make replays
+    // diverge between runs (enforced by `lems-check -- lint`).
+    submits: BTreeMap<MessageId, SubmitTask>,
     id_gen: Rc<RefCell<MessageIdGen>>,
     stats: SharedStats,
-    timer_purpose: HashMap<TimerId, TimerPurpose>,
+    timer_purpose: BTreeMap<TimerId, TimerPurpose>,
     /// Notifications received (user -> count) — the alert signal of
     /// §3.1.2c.
     pub alerts: BTreeMap<MailName, u64>,
@@ -240,11 +243,17 @@ impl HostActor {
         self.submit_next(msg, remaining, ctx);
     }
 
-    fn submit_next(&mut self, msg: Message, mut remaining: Vec<NodeId>, ctx: &mut Ctx<'_, MailMsg>) {
+    fn submit_next(
+        &mut self,
+        msg: Message,
+        mut remaining: Vec<NodeId>,
+        ctx: &mut Ctx<'_, MailMsg>,
+    ) {
         if remaining.is_empty() {
             let mut st = self.stats.borrow_mut();
             st.bounced += 1;
-            st.ledger_bounced.insert(msg.id, BounceReason::AllServersDown);
+            st.ledger_bounced
+                .insert(msg.id, BounceReason::AllServersDown);
             return;
         }
         let server = remaining.remove(0);
@@ -263,7 +272,14 @@ impl HostActor {
         let timer = ctx.set_timer(timeout, msg.id.0);
         self.timer_purpose
             .insert(timer, TimerPurpose::SubmitTimeout(msg.id));
-        self.submits.insert(msg.id, SubmitTask { msg, remaining, timer });
+        self.submits.insert(
+            msg.id,
+            SubmitTask {
+                msg,
+                remaining,
+                timer,
+            },
+        );
     }
 
     fn start_check(&mut self, user_name: &MailName, ctx: &mut Ctx<'_, MailMsg>) {
@@ -301,14 +317,15 @@ impl HostActor {
         // Move to the sweep phase when the walk is done: sweep previously
         // unavailable servers not already probed this check.
         if (session.walk_remaining.is_empty() || session.finished_walk_early)
-            && session.sweep_remaining.is_empty() {
-                session.sweep_remaining = user
-                    .previously_unavailable
-                    .iter()
-                    .copied()
-                    .filter(|s| !session.probed.contains(s))
-                    .collect();
-            }
+            && session.sweep_remaining.is_empty()
+        {
+            session.sweep_remaining = user
+                .previously_unavailable
+                .iter()
+                .copied()
+                .filter(|s| !session.probed.contains(s))
+                .collect();
+        }
 
         let next = if !session.finished_walk_early && !session.walk_remaining.is_empty() {
             Some(session.walk_remaining.remove(0))
@@ -391,11 +408,32 @@ impl Actor for HostActor {
                 last_start_time,
             } => {
                 let now = ctx.now();
+                // Ledger first, unconditionally: the server has already
+                // drained these messages from its mailbox and they are now
+                // physically at this host. Counting them only when the
+                // session bookkeeping still matches would strand drained
+                // mail on any stale-reply race (the exact loss class the
+                // trace auditor checks for).
+                {
+                    let mut st = self.stats.borrow_mut();
+                    for m in &messages {
+                        // Dedup by message id: a server that crashed while
+                        // forwarding re-routes its stored copy on recovery,
+                        // which can legally deposit the message on a second
+                        // authority server. The UI discards the duplicate
+                        // drain so at-least-once delivery still counts once.
+                        if st.ledger_retrieved.insert(m.id) {
+                            st.retrieved += 1;
+                            st.end_to_end
+                                .observe(now.duration_since(m.submitted_at).as_units());
+                        }
+                    }
+                }
                 let Some(user) = self.users.get_mut(&user_name) else {
                     return;
                 };
                 let Some(session) = user.retrieval.as_mut() else {
-                    return; // stale reply after timeout: drop (mail already drained is re-counted below)
+                    return; // stale reply after timeout: already counted above
                 };
                 let Some((server, timer)) = session.current.take() else {
                     return;
@@ -405,15 +443,6 @@ impl Actor for HostActor {
                 user.previously_unavailable.remove(&server);
                 if user.last_checking_time > last_start_time {
                     session.finished_walk_early = true;
-                }
-                {
-                    let mut st = self.stats.borrow_mut();
-                    for m in &messages {
-                        st.retrieved += 1;
-                        st.ledger_retrieved.insert(m.id);
-                        st.end_to_end
-                            .observe(now.duration_since(m.submitted_at).as_units());
-                    }
                 }
                 self.advance_retrieval(user_name, ctx);
             }
@@ -463,14 +492,18 @@ pub struct ServerActor {
     last_start_time: SimTime,
     proc_time: f64,
     stats: SharedStats,
-    forwards: HashMap<MessageId, ForwardTask>,
+    /// Accepted-but-not-yet-deposited messages, keyed by id. Part of the
+    /// server's stable storage: a store-and-forward server stores *before*
+    /// it forwards, so these survive a crash and are re-routed on recovery
+    /// (see [`Actor::on_recover`]).
+    forwards: BTreeMap<MessageId, ForwardTask>,
     /// Home host of each user in this region (for notifications).
     home_hosts: BTreeMap<MailName, NodeId>,
     /// Message ids ever deposited here — suppresses duplicate deposits
     /// when a retransmitted Forward arrives after its original was already
     /// delivered (at-least-once forwarding + dedup = exactly-once
     /// delivery).
-    deposited_ids: std::collections::HashSet<MessageId>,
+    deposited_ids: BTreeSet<MessageId>,
     /// The §3.1.4 redirect table, shared across servers (migrated users'
     /// old names forward to their new names while the entry lives).
     redirects: Rc<RefCell<crate::migrate::RedirectTable>>,
@@ -504,8 +537,13 @@ impl ServerActor {
             .deposit(msg, now);
         if let Some(&host) = self.home_hosts.get(&user) {
             self.stats.borrow_mut().notifications += 1;
-            self.transport
-                .send(ctx, self.node, host, MailMsg::Notify { user, id }, self.proc());
+            self.transport.send(
+                ctx,
+                self.node,
+                host,
+                MailMsg::Notify { user, id },
+                self.proc(),
+            );
         }
     }
 
@@ -548,9 +586,7 @@ impl ServerActor {
                 candidates.sort_by_key(|&s| self.transport.delay(self.node, s));
                 self.forward_next(msg, candidates, hops_left - 1, ctx);
             }
-            Resolution::UnknownRegion => {
-                self.bounce(msg.id, BounceReason::RegionUnreachable)
-            }
+            Resolution::UnknownRegion => self.bounce(msg.id, BounceReason::RegionUnreachable),
             Resolution::UnknownUser => {
                 // §3.1.4: "mail addressed to a migrated user can be
                 // redirected to the new user address, and the senders are
@@ -686,18 +722,32 @@ impl Actor for ServerActor {
     }
 
     fn on_crash(&mut self, _now: SimTime) {
-        // Mailboxes are stable storage; in-flight forward tasks are
-        // volatile and die with the process. The messages they carried were
-        // ack'd to us, so they are truly lost only if we crashed between
-        // accepting and depositing — the window the paper's replication of
-        // services addresses, surfaced by the ledger in experiments.
-        self.forwards.clear();
+        // Mailboxes AND the forward queue are stable storage: a
+        // store-and-forward server stores every message it has accepted
+        // responsibility for (acked) before attempting delivery, so a crash
+        // loses neither. Only the retry timers are volatile — they die with
+        // the process and are re-armed by re-routing in `on_recover`.
+        // (Earlier revisions cleared `forwards` here; the trace auditor's
+        // conservation check surfaced that as a submitted-but-never-
+        // delivered leak whenever a server crashed while cascading a
+        // forward across a partially-down authority list.)
     }
 
     fn on_recover(&mut self, ctx: &mut Ctx<'_, MailMsg>) {
         // "LastStartTime[server]: the time the server had last recovered
         // from failure or been initialised."
         self.last_start_time = ctx.now();
+        // Crash recovery for accepted-but-undeposited mail: any forward
+        // that was in flight when we went down may have been dropped (and
+        // its retry timer was suppressed while we were crashed), so walk
+        // each stored message through resolution again from the top.
+        // Re-delivery to a server that already holds the message is
+        // harmless — deposit dedups on message id.
+        let pending: Vec<ForwardTask> = std::mem::take(&mut self.forwards).into_values().collect();
+        for task in pending {
+            ctx.cancel_timer(task.timer);
+            self.route(task.msg, task.hops_left.max(1), ctx);
+        }
     }
 }
 
@@ -858,7 +908,10 @@ impl Deployment {
                 s,
                 region,
                 views[&s].clone(),
-                region_index_by_region.get(&region).cloned().unwrap_or_default(),
+                region_index_by_region
+                    .get(&region)
+                    .cloned()
+                    .unwrap_or_default(),
                 region_servers.clone(),
             );
             let actor = ServerActor {
@@ -869,12 +922,12 @@ impl Deployment {
                 last_start_time: SimTime::ZERO,
                 proc_time: cfg.server_spec.proc_time,
                 stats: Rc::clone(&stats),
-                forwards: HashMap::new(),
+                forwards: BTreeMap::new(),
                 home_hosts: home_hosts_by_region
                     .get(&region)
                     .cloned()
                     .unwrap_or_default(),
-                deposited_ids: std::collections::HashSet::new(),
+                deposited_ids: BTreeSet::new(),
                 redirects: Rc::clone(&redirects),
             };
             let id = sim.add_actor(actor);
@@ -888,7 +941,10 @@ impl Deployment {
             let mut ui_users = BTreeMap::new();
             for (name, &home) in &users {
                 if home == h {
-                    let rec = directory.by_name(name).expect("registered");
+                    // Every user in `users` was registered in the loop above.
+                    let Some(rec) = directory.by_name(name) else {
+                        continue;
+                    };
                     ui_users.insert(
                         name.clone(),
                         UiUser {
@@ -905,10 +961,10 @@ impl Deployment {
                 node: h,
                 transport: Rc::clone(&placeholder_transport), // replaced below
                 users: ui_users,
-                submits: HashMap::new(),
+                submits: BTreeMap::new(),
                 id_gen: Rc::clone(&id_gen),
                 stats: Rc::clone(&stats),
-                timer_purpose: HashMap::new(),
+                timer_purpose: BTreeMap::new(),
                 alerts: BTreeMap::new(),
                 server_proc: cfg.server_spec.proc_time,
             };
@@ -981,9 +1037,7 @@ impl Deployment {
         let rec = self
             .directory
             .by_name(old_name)
-            .ok_or_else(|| {
-                lems_core::directory::DirectoryError::UnknownName(old_name.clone())
-            })?
+            .ok_or_else(|| lems_core::directory::DirectoryError::UnknownName(old_name.clone()))?
             .clone();
         let region_token = format!("r{}", {
             // Region of the destination host, via any server's resolver
@@ -995,30 +1049,22 @@ impl Deployment {
             self.host_region
                 .get(&new_host)
                 .copied()
-                .ok_or_else(|| {
-                    lems_core::directory::DirectoryError::UnknownName(old_name.clone())
-                })?
+                .ok_or_else(|| lems_core::directory::DirectoryError::UnknownName(old_name.clone()))?
                 .0
         });
-        let host_token = self
-            .host_names
-            .get(&new_host)
-            .cloned()
-            .ok_or_else(|| {
+        let host_token =
+            self.host_names.get(&new_host).cloned().ok_or_else(|| {
                 lems_core::directory::DirectoryError::UnknownName(old_name.clone())
             })?;
 
         let now = self.sim.now();
         let outcome = if let Some(tok) = new_user_token {
             // Inline variant of migrate_user with a token change.
-            let new_name = MailName::new(&region_token, &host_token, tok).map_err(|_| {
-                lems_core::directory::DirectoryError::UnknownName(old_name.clone())
-            })?;
+            let new_name = MailName::new(&region_token, &host_token, tok)
+                .map_err(|_| lems_core::directory::DirectoryError::UnknownName(old_name.clone()))?;
             self.directory
                 .register(new_name.clone(), new_host, rec.authorities.clone())?;
-            self.directory
-                .unregister(old_name)
-                .expect("old name present");
+            self.directory.unregister(old_name)?;
             self.redirects.borrow_mut().insert(
                 old_name.clone(),
                 new_name.clone(),
@@ -1049,7 +1095,7 @@ impl Deployment {
         let new_rec = self
             .directory
             .by_name(&new_name)
-            .expect("just registered")
+            .ok_or_else(|| lems_core::directory::DirectoryError::UnknownName(new_name.clone()))?
             .clone();
         for aid in server_ids {
             if let Some(server) = self.sim.actor_mut::<ServerActor>(aid) {
@@ -1067,12 +1113,12 @@ impl Deployment {
         }
 
         // UI side: move the user's interface state to the new host actor.
-        let old_host = self.users.remove(old_name).expect("known user");
-        let old_aid = self.host_actors[&old_host];
-        let moved = self
-            .sim
-            .actor_mut::<HostActor>(old_aid)
-            .and_then(|h| h.users.remove(old_name));
+        let moved = self.users.remove(old_name).and_then(|old_host| {
+            let old_aid = self.host_actors[&old_host];
+            self.sim
+                .actor_mut::<HostActor>(old_aid)
+                .and_then(|h| h.users.remove(old_name))
+        });
         if let Some(mut ui) = moved {
             // The move is also a fresh start for retrieval bookkeeping.
             ui.retrieval = None;
@@ -1130,7 +1176,8 @@ impl Deployment {
         let host = *self.users.get(user).expect("unknown user");
         let actor = self.host_actors[&host];
         let delay = at.duration_since(self.sim.now());
-        self.sim.inject(actor, MailMsg::DoCheck { user: user.clone() }, delay);
+        self.sim
+            .inject(actor, MailMsg::DoCheck { user: user.clone() }, delay);
     }
 
     /// Applies a failure plan expressed over *server nodes* (host actors
@@ -1234,10 +1281,14 @@ mod tests {
     fn small_deployment(seed: u64) -> Deployment {
         let f = fig1();
         // Small population to keep tests brisk: 2 users/host.
-        Deployment::build(&f.topology, &[2, 2, 2, 2, 2, 2], &DeploymentConfig {
-            seed,
-            ..DeploymentConfig::default()
-        })
+        Deployment::build(
+            &f.topology,
+            &[2, 2, 2, 2, 2, 2],
+            &DeploymentConfig {
+                seed,
+                ..DeploymentConfig::default()
+            },
+        )
     }
 
     #[test]
@@ -1364,11 +1415,7 @@ mod tests {
             let mut d = small_deployment(seed);
             let names = d.user_names();
             for i in 0..names.len() {
-                d.send_at(
-                    t(1.0 + i as f64),
-                    &names[i],
-                    &names[(i + 3) % names.len()],
-                );
+                d.send_at(t(1.0 + i as f64), &names[i], &names[(i + 3) % names.len()]);
                 d.check_at(t(100.0 + i as f64), &names[(i + 3) % names.len()]);
             }
             d.sim.run_to_quiescence();
@@ -1420,12 +1467,7 @@ mod tests {
 
         // Migrate bob to a different host at t=0.
         let f = lems_net::generators::fig1();
-        let new_host = *f
-            .topology
-            .hosts()
-            .iter()
-            .find(|&&h| h != old_host)
-            .unwrap();
+        let new_host = *f.topology.hosts().iter().find(|&&h| h != old_host).unwrap();
         let bob_new = d
             .migrate_user_live(
                 &bob_old,
@@ -1459,12 +1501,7 @@ mod tests {
         let (alice, bob_old) = (names[0].clone(), names[4].clone());
         let old_host = *d.users.get(&bob_old).unwrap();
         let f = lems_net::generators::fig1();
-        let new_host = *f
-            .topology
-            .hosts()
-            .iter()
-            .find(|&&h| h != old_host)
-            .unwrap();
+        let new_host = *f.topology.hosts().iter().find(|&&h| h != old_host).unwrap();
         let _ = d
             .migrate_user_live(
                 &bob_old,

@@ -77,7 +77,8 @@ impl AssignmentProblem {
             "users_per_host must align with the topology's hosts"
         );
         assert!(!server_nodes.is_empty(), "need at least one server");
-        model.validate().expect("invalid cost model");
+        let validation = model.validate();
+        assert!(validation.is_ok(), "invalid cost model: {validation:?}");
 
         let dist = topology.distances();
         let comm: Vec<Vec<f64>> = host_nodes
@@ -122,7 +123,10 @@ impl AssignmentProblem {
         let mut p = Self::from_topology(
             topology,
             users_per_host,
-            specs.first().copied().unwrap_or_else(ServerSpec::paper_example),
+            specs
+                .first()
+                .copied()
+                .unwrap_or_else(ServerSpec::paper_example),
             model,
         );
         assert_eq!(
@@ -315,13 +319,10 @@ impl Assignment {
 pub fn initialize(p: &AssignmentProblem) -> Assignment {
     let mut a = Assignment::empty(p);
     for (i, host) in p.hosts.iter().enumerate() {
+        // `from_topology` asserts at least one server exists.
         let j = (0..p.server_count())
-            .min_by(|&x, &y| {
-                p.comm[i][x]
-                    .partial_cmp(&p.comm[i][y])
-                    .expect("comm costs are finite")
-            })
-            .expect("at least one server");
+            .min_by(|&x, &y| p.comm[i][x].total_cmp(&p.comm[i][y]))
+            .unwrap_or(0);
         a.place(i, j, host.users);
     }
     a
@@ -390,20 +391,12 @@ pub fn balance(p: &AssignmentProblem, a: &mut Assignment, opts: BalanceOptions) 
             loop {
                 // S_min: cheapest server for host i at current loads.
                 let s_min = (0..p.server_count())
-                    .min_by(|&x, &y| {
-                        p.tc(i, x, a.load(x))
-                            .partial_cmp(&p.tc(i, y, a.load(y)))
-                            .expect("finite costs")
-                    })
-                    .expect("at least one server");
+                    .min_by(|&x, &y| p.tc(i, x, a.load(x)).total_cmp(&p.tc(i, y, a.load(y))))
+                    .unwrap_or(0);
                 // S_max: costliest server among those hosting users of i.
                 let Some(s_max) = (0..p.server_count())
                     .filter(|&j| a.count(i, j) > 0)
-                    .max_by(|&x, &y| {
-                        p.tc(i, x, a.load(x))
-                            .partial_cmp(&p.tc(i, y, a.load(y)))
-                            .expect("finite costs")
-                    })
+                    .max_by(|&x, &y| p.tc(i, x, a.load(x)).total_cmp(&p.tc(i, y, a.load(y))))
                 else {
                     break; // host has no users
                 };
@@ -470,8 +463,7 @@ pub fn server_ranking(p: &AssignmentProblem, a: &Assignment, host: usize) -> Vec
     let mut order: Vec<usize> = (0..p.server_count()).collect();
     order.sort_by(|&x, &y| {
         p.tc(host, x, a.load(x))
-            .partial_cmp(&p.tc(host, y, a.load(y)))
-            .expect("finite costs")
+            .total_cmp(&p.tc(host, y, a.load(y)))
             .then(x.cmp(&y))
     });
     order

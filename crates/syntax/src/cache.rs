@@ -117,9 +117,10 @@ impl ResolutionCache {
         }
         self.stats.hits += 1;
         let tick = self.tick;
-        let e = self.entries.get_mut(name).expect("checked above");
-        e.last_used = tick;
-        Some(&e.list)
+        self.entries.get_mut(name).map(|e| {
+            e.last_used = tick;
+            &e.list
+        })
     }
 
     /// Inserts or refreshes an entry, evicting the least recently used
@@ -250,7 +251,11 @@ mod tests {
     #[test]
     fn server_invalidation_targets_lists() {
         let mut c = ResolutionCache::new(8, SimDuration::from_units(1000.0));
-        c.put(name(0), AuthorityList::new(vec![NodeId(1), NodeId(2)]), t(0.0));
+        c.put(
+            name(0),
+            AuthorityList::new(vec![NodeId(1), NodeId(2)]),
+            t(0.0),
+        );
         c.put(name(1), AuthorityList::new(vec![NodeId(3)]), t(0.0));
         c.put(name(2), AuthorityList::new(vec![NodeId(2)]), t(0.0));
         assert_eq!(c.invalidate_server(NodeId(2)), 2);

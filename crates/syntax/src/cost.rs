@@ -84,7 +84,10 @@ impl CostModel {
             ));
         }
         if !(self.beta > 0.0 && self.beta.is_finite()) {
-            return Err(format!("beta must be positive and finite, got {}", self.beta));
+            return Err(format!(
+                "beta must be positive and finite, got {}",
+                self.beta
+            ));
         }
         Ok(())
     }
@@ -116,8 +119,7 @@ impl CostModel {
         max_load: u32,
         proc_time: f64,
     ) -> f64 {
-        comm_units * self.w_comm
-            + (self.queueing_delay(load, max_load) + proc_time) * self.w_proc
+        comm_units * self.w_comm + (self.queueing_delay(load, max_load) + proc_time) * self.w_proc
     }
 
     /// The paper's "final modification": "include variable communication

@@ -193,8 +193,7 @@ impl PlanStore {
     }
 
     fn is_up(&self, server: NodeId, at: SimTime) -> bool {
-        self.plan
-            .is_up(lems_sim::actor::ActorId(server.0), at)
+        self.plan.is_up(lems_sim::actor::ActorId(server.0), at)
     }
 
     /// `LastStartTime` of `server` as of `at`: the end of the latest outage
@@ -212,7 +211,12 @@ impl PlanStore {
     /// Deposits `id` at the first alive server of `authorities` at time
     /// `at` (the delivery rule). Returns the chosen server, or `None` — and
     /// counts the message lost — if every server is down.
-    pub fn deposit(&mut self, authorities: &[NodeId], id: MessageId, at: SimTime) -> Option<NodeId> {
+    pub fn deposit(
+        &mut self,
+        authorities: &[NodeId],
+        id: MessageId,
+        at: SimTime,
+    ) -> Option<NodeId> {
         for &s in authorities {
             if self.is_up(s, at) {
                 self.stored.entry(s).or_default().push(id);
@@ -308,7 +312,10 @@ mod tests {
         assert_eq!(out.retrieved, vec![MessageId(100)]);
         assert_eq!(out.polls, 2);
         // Primary is now in PreviouslyUnavailableServers.
-        assert_eq!(st.previously_unavailable().collect::<Vec<_>>(), vec![NodeId(0)]);
+        assert_eq!(
+            st.previously_unavailable().collect::<Vec<_>>(),
+            vec![NodeId(0)]
+        );
 
         // After recovery, the next check probes the primary; its
         // LastStartTime (6.0) is newer than our last check (4.0), so the
@@ -418,9 +425,17 @@ mod tests {
             got.extend(st.get_mail(&auth, &mut store, t(501.0)).retrieved);
 
             let got_set: std::collections::HashSet<MessageId> = got.iter().copied().collect();
-            assert_eq!(got.len(), got_set.len(), "duplicate retrievals (trial {trial})");
+            assert_eq!(
+                got.len(),
+                got_set.len(),
+                "duplicate retrievals (trial {trial})"
+            );
             assert_eq!(got_set, expected, "lost/extra mail (trial {trial})");
-            assert_eq!(store.in_storage(), 0, "mail left in storage (trial {trial})");
+            assert_eq!(
+                store.in_storage(),
+                0,
+                "mail left in storage (trial {trial})"
+            );
         }
     }
 }

@@ -182,7 +182,10 @@ mod tests {
     fn nested_expansion() {
         let mut t = GroupTable::new();
         t.define("inner", vec![user("east.h.a")]);
-        t.define("outer", vec![Member::List("inner".into()), user("east.h.b")]);
+        t.define(
+            "outer",
+            vec![Member::List("inner".into()), user("east.h.b")],
+        );
         let got = t.expand("outer").unwrap();
         assert_eq!(got.len(), 2);
     }
@@ -199,10 +202,7 @@ mod tests {
     #[test]
     fn unknown_lists_error() {
         let t = GroupTable::new();
-        assert!(matches!(
-            t.expand("ghost"),
-            Err(GroupError::UnknownList(_))
-        ));
+        assert!(matches!(t.expand("ghost"), Err(GroupError::UnknownList(_))));
         let mut t = GroupTable::new();
         t.define("l", vec![Member::List("ghost".into())]);
         let err = t.expand("l").unwrap_err();

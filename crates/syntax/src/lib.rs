@@ -40,18 +40,18 @@ pub mod getmail;
 pub mod groups;
 pub mod migrate;
 pub mod reconfig;
-pub mod retention;
 pub mod resolve;
+pub mod retention;
 
 pub use actors::{DeliveryStats, Deployment, DeploymentConfig, MailMsg, ServerFailurePlan};
-pub use cache::{CacheStats, ResolutionCache};
 pub use assign::{
     balance, initialize, solve, Assignment, AssignmentProblem, BalanceOptions, BalanceReport,
 };
+pub use cache::{CacheStats, ResolutionCache};
 pub use cost::{CostModel, ServerSpec};
 pub use getmail::{GetMailState, MailStore, PlanStore, ProbeReply, RetrievalOutcome};
 pub use groups::{GroupError, GroupTable, Member};
 pub use migrate::{migrate_user, MigrationOutcome, Redirect, RedirectTable};
 pub use reconfig::{ReconfigReport, Reconfigurator};
-pub use retention::{sweep as retention_sweep, CleanupReport, RetentionPolicy};
 pub use resolve::{Resolution, SyntaxResolver};
+pub use retention::{sweep as retention_sweep, CleanupReport, RetentionPolicy};

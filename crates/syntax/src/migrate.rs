@@ -149,9 +149,7 @@ pub fn migrate_user(
     // "Adding the user to the new location, then deleting the user from
     // the old location."
     directory.register(new_name.clone(), new_home_host, new_authorities)?;
-    directory
-        .unregister(old_name)
-        .expect("old name was present above");
+    directory.unregister(old_name)?;
 
     let expires_at = now + redirect_ttl;
     redirects.insert(old_name.clone(), new_name.clone(), expires_at);
@@ -259,7 +257,10 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, DirectoryError::DuplicateName(_)));
-        assert!(d.is_registered(&old), "old name must survive a failed migration");
+        assert!(
+            d.is_registered(&old),
+            "old name must survive a failed migration"
+        );
         assert!(r.is_empty());
     }
 }

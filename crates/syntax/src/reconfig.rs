@@ -9,7 +9,9 @@
 use lems_net::graph::NodeId;
 use serde::{Deserialize, Serialize};
 
-use crate::assign::{balance, Assignment, AssignmentProblem, BalanceOptions, BalanceReport, HostSpec};
+use crate::assign::{
+    balance, Assignment, AssignmentProblem, BalanceOptions, BalanceReport, HostSpec,
+};
 use crate::cost::ServerSpec;
 
 /// What a reconfiguration step did.
@@ -87,17 +89,19 @@ impl Reconfigurator {
     ///
     /// Panics if `host` is out of range.
     pub fn add_users(&mut self, host: usize, k: u32) -> ReconfigReport {
-        assert!(host < self.problem.host_count(), "unknown host index {host}");
+        assert!(
+            host < self.problem.host_count(),
+            "unknown host index {host}"
+        );
         let before = self.snapshot();
         self.problem.hosts[host].users += k;
         let j = (0..self.problem.server_count())
             .min_by(|&x, &y| {
                 self.problem
                     .tc(host, x, self.assignment.load(x))
-                    .partial_cmp(&self.problem.tc(host, y, self.assignment.load(y)))
-                    .expect("finite")
+                    .total_cmp(&self.problem.tc(host, y, self.assignment.load(y)))
             })
-            .expect("at least one server");
+            .unwrap_or(0);
         self.assignment.place(host, j, k);
 
         let mut report = ReconfigReport {
@@ -126,10 +130,13 @@ impl Reconfigurator {
         self.problem.hosts[host].users -= k;
         let mut left = k;
         while left > 0 {
-            let j = (0..self.problem.server_count())
+            // The assertion above guarantees enough placed users exist.
+            let Some(j) = (0..self.problem.server_count())
                 .filter(|&j| self.assignment.count(host, j) > 0)
                 .max_by_key(|&j| self.assignment.count(host, j))
-                .expect("users exist somewhere");
+            else {
+                break;
+            };
             let take = left.min(self.assignment.count(host, j));
             self.assignment.remove(host, j, take);
             left -= take;
@@ -169,8 +176,8 @@ impl Reconfigurator {
         self.assignment = grown;
         let host = self.problem.host_count() - 1;
         let j = (0..self.problem.server_count())
-            .min_by(|&x, &y| self.problem.comm[host][x].partial_cmp(&self.problem.comm[host][y]).expect("finite"))
-            .expect("servers exist");
+            .min_by(|&x, &y| self.problem.comm[host][x].total_cmp(&self.problem.comm[host][y]))
+            .unwrap_or(0);
         self.assignment.place(host, j, users);
         let before = self.snapshot();
         let rebalance = balance(&self.problem, &mut self.assignment, self.opts);
@@ -189,7 +196,10 @@ impl Reconfigurator {
     ///
     /// Panics if `host` is out of range.
     pub fn remove_host(&mut self, host: usize) -> ReconfigReport {
-        assert!(host < self.problem.host_count(), "unknown host index {host}");
+        assert!(
+            host < self.problem.host_count(),
+            "unknown host index {host}"
+        );
         let users = self.problem.hosts[host].users;
         for j in 0..self.problem.server_count() {
             let c = self.assignment.count(host, j);
@@ -234,7 +244,12 @@ impl Reconfigurator {
     /// # Panics
     ///
     /// Panics if `comm_col` is misaligned with the hosts.
-    pub fn add_server(&mut self, node: NodeId, spec: ServerSpec, comm_col: Vec<f64>) -> ReconfigReport {
+    pub fn add_server(
+        &mut self,
+        node: NodeId,
+        spec: ServerSpec,
+        comm_col: Vec<f64>,
+    ) -> ReconfigReport {
         assert_eq!(
             comm_col.len(),
             self.problem.host_count(),
@@ -274,7 +289,10 @@ impl Reconfigurator {
     /// Panics if it is the last server (users would have nowhere to go) or
     /// the index is out of range.
     pub fn remove_server(&mut self, server: usize) -> ReconfigReport {
-        assert!(server < self.problem.server_count(), "unknown server {server}");
+        assert!(
+            server < self.problem.server_count(),
+            "unknown server {server}"
+        );
         assert!(
             self.problem.server_count() > 1,
             "cannot remove the last server"
@@ -290,15 +308,18 @@ impl Reconfigurator {
             if c == 0 {
                 continue;
             }
-            let j = (0..self.problem.server_count())
+            // Another server exists: the last-server case is asserted out
+            // at the top of `remove_server`.
+            let Some(j) = (0..self.problem.server_count())
                 .filter(|&j| j != server)
                 .min_by(|&x, &y| {
                     self.problem
                         .tc(i, x, self.assignment.load(x))
-                        .partial_cmp(&self.problem.tc(i, y, self.assignment.load(y)))
-                        .expect("finite")
+                        .total_cmp(&self.problem.tc(i, y, self.assignment.load(y)))
                 })
-                .expect("another server exists");
+            else {
+                continue;
+            };
             self.assignment.transfer(i, server, j, c);
         }
 
@@ -355,10 +376,7 @@ mod tests {
         let mut r = reconf();
         let before_total: u32 = r.assignment().loads().iter().sum();
         let rep = r.add_users(0, 5);
-        assert_eq!(
-            r.assignment().loads().iter().sum::<u32>(),
-            before_total + 5
-        );
+        assert_eq!(r.assignment().loads().iter().sum::<u32>(), before_total + 5);
         // Plenty of headroom: no rebalance needed.
         assert!(rep.rebalance.is_none());
     }
@@ -367,7 +385,7 @@ mod tests {
     fn add_users_triggers_rebalance_when_overloading() {
         let mut r = reconf();
         let rep = r.add_users(0, 25); // 270 + 25 = 295 of 300: tight
-        // Either way the invariant holds: totals preserved.
+                                      // Either way the invariant holds: totals preserved.
         assert_eq!(r.assignment().loads().iter().sum::<u32>(), 295);
         let _ = rep;
     }

@@ -185,7 +185,10 @@ mod tests {
     #[test]
     fn local_authority_resolves_immediately() {
         let r = resolver();
-        assert_eq!(r.resolve(&name("east.h1.alice")), Resolution::LocalAuthority);
+        assert_eq!(
+            r.resolve(&name("east.h1.alice")),
+            Resolution::LocalAuthority
+        );
     }
 
     #[test]
@@ -221,10 +224,7 @@ mod tests {
     #[test]
     fn reconfiguration_updates_tables() {
         let mut r = resolver();
-        r.upsert_regional(
-            name("east.h3.dave"),
-            AuthorityList::new(vec![NodeId(1)]),
-        );
+        r.upsert_regional(name("east.h3.dave"), AuthorityList::new(vec![NodeId(1)]));
         assert!(matches!(
             r.resolve(&name("east.h3.dave")),
             Resolution::RegionalAuthority(_)

@@ -154,7 +154,10 @@ mod tests {
         assert_eq!(by_count, 6);
         assert_eq!(mb.len(), 4);
         // The survivors are the newest deposits.
-        assert!(mb.peek().iter().all(|s| s.deposited_at >= SimTime::from_units(6.0)));
+        assert!(mb
+            .peek()
+            .iter()
+            .all(|s| s.deposited_at >= SimTime::from_units(6.0)));
     }
 
     #[test]

@@ -44,7 +44,11 @@ fn main() {
         if to == from {
             to = (to + 1) % users.len();
         }
-        mail.send_at(SimTime::from_units(t), &users[from].clone(), &users[to].clone());
+        mail.send_at(
+            SimTime::from_units(t),
+            &users[from].clone(),
+            &users[to].clone(),
+        );
         t += rng.unit() * 5.0 + 0.5;
     }
     let mut t = 10.0;
@@ -66,7 +70,10 @@ fn main() {
     println!("retrieved:           {}", st.retrieved);
     println!("bounced (notified):  {}", st.bounced);
     println!("silently lost:       {}", st.outstanding());
-    println!("submit attempts/msg: {:.2}", st.submit_attempts as f64 / st.submitted as f64);
+    println!(
+        "submit attempts/msg: {:.2}",
+        st.submit_attempts as f64 / st.submitted as f64
+    );
     println!("polls per check:     {:.3}", st.retrieval_polls.mean());
     println!(
         "delivery latency:    {:.2} units (mean), end-to-end {:.1} units",

@@ -17,7 +17,11 @@ fn main() {
     // Three authority servers; the primary fails between t=10 and t=30.
     let authorities = vec![NodeId(0), NodeId(1), NodeId(2)];
     let mut plan = FailurePlan::new();
-    plan.add_outage(ActorId(0), SimTime::from_units(10.0), SimTime::from_units(30.0));
+    plan.add_outage(
+        ActorId(0),
+        SimTime::from_units(10.0),
+        SimTime::from_units(30.0),
+    );
     let mut store = PlanStore::new(plan.clone());
     let mut state = GetMailState::new();
     let t = SimTime::from_units;
@@ -26,7 +30,10 @@ fn main() {
 
     // Settle: the first-ever check walks the whole list.
     let out = state.get_mail(&authorities, &mut store, t(1.0));
-    println!("t= 1.0  first check:        {} polls (walks the full list once)", out.polls);
+    println!(
+        "t= 1.0  first check:        {} polls (walks the full list once)",
+        out.polls
+    );
 
     store.deposit(&authorities, MessageId(1), t(5.0));
     let out = state.get_mail(&authorities, &mut store, t(6.0));
@@ -37,7 +44,9 @@ fn main() {
     );
 
     // Primary goes down; mail lands on the secondary.
-    let srv = store.deposit(&authorities, MessageId(2), t(12.0)).expect("secondary is up");
+    let srv = store
+        .deposit(&authorities, MessageId(2), t(12.0))
+        .expect("secondary is up");
     println!("t=12.0  deposit while S0 down -> stored on n{}", srv.0);
 
     let out = state.get_mail(&authorities, &mut store, t(15.0));

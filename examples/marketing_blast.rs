@@ -7,8 +7,8 @@
 //! ```
 
 use lems::attr::{
-    distribute, estimate, AttrKey, AttributeNetwork, AttributeRegistry, AttributeSet,
-    Query, RequesterContext, Visibility,
+    distribute, estimate, AttrKey, AttributeNetwork, AttributeRegistry, AttributeSet, Query,
+    RequesterContext, Visibility,
 };
 use lems::net::generators::{multi_region, MultiRegionConfig};
 use lems::net::topology::Topology;
@@ -48,7 +48,11 @@ fn build_world() -> AttributeNetwork {
         let mut reg = AttributeRegistry::new();
         for k in 0..6 {
             let mut a = AttributeSet::new();
-            a.add(AttrKey::Expertise, fields[(person + k) % fields.len()], Visibility::Public);
+            a.add(
+                AttrKey::Expertise,
+                fields[(person + k) % fields.len()],
+                Visibility::Public,
+            );
             a.add(AttrKey::Organization, "ACME", Visibility::Public);
             if person == 2 && k == 1 {
                 // One registered misspelling-prone name for the fuzzy demo.
@@ -59,7 +63,9 @@ fn build_world() -> AttributeNetwork {
                 a.add(AttrKey::Interest, "chess", Visibility::Private);
             }
             reg.upsert(
-                format!("r{region}.h.person{person}_{k}").parse().expect("valid"),
+                format!("r{region}.h.person{person}_{k}")
+                    .parse()
+                    .expect("valid"),
                 a,
             );
         }
@@ -86,7 +92,9 @@ fn main() {
         .expect("root is up");
     println!(
         "distributed search: {} matches across {} responding nodes in {:.1} virtual units",
-        search.matches, search.responded, search.completed_at.as_units()
+        search.matches,
+        search.responded,
+        search.completed_at.as_units()
     );
     assert_eq!(search.matches, search.ground_truth_matches);
 
@@ -96,7 +104,10 @@ fn main() {
     for (region, cost) in &est.region_costs {
         println!("  {region}: {cost:.1} units");
     }
-    println!("full coverage: {:.1} units (+{:.1} search charge)", est.total_cost, est.search_charge);
+    println!(
+        "full coverage: {:.1} units (+{:.1} search charge)",
+        est.total_cost, est.search_charge
+    );
 
     // 3. Send within budget: flow control picks the cheapest regions.
     let budget = est.total_cost * 0.5;
@@ -114,7 +125,9 @@ fn main() {
     // 4. A misspelled directory lookup still finds its person.
     let fuzzy = Query::name_like("tompson", 1);
     let hits = net.central_matches(&fuzzy, &ctx);
-    println!("\nfuzzy lookup for 'tompson' (misspelled): {} hit(s): {:?}",
+    println!(
+        "\nfuzzy lookup for 'tompson' (misspelled): {} hit(s): {:?}",
         hits.len(),
-        hits.iter().map(ToString::to_string).collect::<Vec<_>>());
+        hits.iter().map(ToString::to_string).collect::<Vec<_>>()
+    );
 }

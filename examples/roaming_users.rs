@@ -71,21 +71,41 @@ fn main() {
     // Delivery cost at primary vs roaming.
     let params = CostParams::default();
     let at_primary = delivery_cost(
-        &dist, servers[2], servers[0], hosts[0], &servers,
-        UserLocation::Primary, CrossRegionPolicy::Redirect, &params,
+        &dist,
+        servers[2],
+        servers[0],
+        hosts[0],
+        &servers,
+        UserLocation::Primary,
+        CrossRegionPolicy::Redirect,
+        &params,
     );
     let roaming = delivery_cost(
-        &dist, servers[2], servers[0], hosts[0], &servers,
-        UserLocation::WithinRegion { current_host: hosts[3], consults: found.consults },
-        CrossRegionPolicy::Redirect, &params,
+        &dist,
+        servers[2],
+        servers[0],
+        hosts[0],
+        &servers,
+        UserLocation::WithinRegion {
+            current_host: hosts[3],
+            consults: found.consults,
+        },
+        CrossRegionPolicy::Redirect,
+        &params,
     );
     println!("delivery cost at primary: {:.1} units", at_primary.total());
-    println!("delivery cost roaming:    {:.1} units (overhead only when moving)", roaming.total());
+    println!(
+        "delivery cost roaming:    {:.1} units (overhead only when moving)",
+        roaming.total()
+    );
 
     // Carol moves to the other region for a semester: compare policies.
     let new_server = world.servers_in(RegionId(1))[0];
     let new_host = world.hosts_in(RegionId(1))[0];
-    let loc = UserLocation::CrossRegion { current_host: new_host, new_region_server: new_server };
+    let loc = UserLocation::CrossRegion {
+        current_host: new_host,
+        new_region_server: new_server,
+    };
     let mut costs = Vec::new();
     for policy in [
         CrossRegionPolicy::RemoteAccess,
@@ -95,7 +115,10 @@ fn main() {
         let c = delivery_cost(
             &dist, servers[2], servers[0], hosts[0], &servers, loc, policy, &params,
         );
-        println!("cross-region via {policy:?}: {:.1} units/message", c.total());
+        println!(
+            "cross-region via {policy:?}: {:.1} units/message",
+            c.total()
+        );
         costs.push(c.total());
     }
     match rename_breakeven(costs[1], costs[2], &params) {

@@ -4,8 +4,8 @@
 use lems::net::generators::{multi_region, MultiRegionConfig};
 use lems::net::graph::Weight;
 use lems::sim::rng::SimRng;
-use lems::sim::time::SimTime;
-use lems::syntax::{Deployment, DeploymentConfig};
+use lems::sim::time::{SimDuration, SimTime};
+use lems::syntax::{Deployment, DeploymentConfig, ServerFailurePlan};
 
 fn topo_fingerprint(seed: u64) -> Vec<(usize, usize, Weight)> {
     let mut rng = SimRng::seed(seed);
@@ -68,6 +68,73 @@ fn deployment_fingerprint(seed: u64) -> (u64, u64, SimTime) {
 #[test]
 fn full_deployments_replay_exactly() {
     assert_eq!(deployment_fingerprint(3), deployment_fingerprint(3));
+}
+
+/// Renders the complete engine trace of a fig1 deployment run — with
+/// optional server failures — as one string, one event per line.
+fn trace_stream(seed: u64, with_failures: bool) -> String {
+    let f = lems::net::generators::fig1();
+    let mut d = Deployment::build(
+        &f.topology,
+        &[2, 2, 2, 2, 2, 2],
+        &DeploymentConfig {
+            seed,
+            ..DeploymentConfig::default()
+        },
+    );
+    d.sim.enable_trace(usize::MAX);
+    if with_failures {
+        let mut rng = SimRng::seed(seed).fork("determinism-failures");
+        let plan = ServerFailurePlan::random(
+            &mut rng,
+            &f.servers,
+            SimDuration::from_units(60.0),
+            SimDuration::from_units(10.0),
+            SimTime::from_units(120.0),
+        );
+        d.apply_server_failures(&plan);
+    }
+    let names = d.user_names();
+    for i in 0..names.len() {
+        d.send_at(
+            SimTime::from_units(1.0 + i as f64),
+            &names[i],
+            &names[(i + 5) % names.len()],
+        );
+    }
+    for (i, n) in names.iter().enumerate() {
+        d.check_at(SimTime::from_units(200.0 + i as f64), n);
+    }
+    d.sim.run_to_quiescence();
+    let lines: Vec<String> = d.sim.trace().events().map(|e| e.to_string()).collect();
+    assert!(
+        lines.len() > 50,
+        "trace unexpectedly small: {} events",
+        lines.len()
+    );
+    lines.join("\n")
+}
+
+#[test]
+fn trace_streams_replay_byte_identically() {
+    for seed in [3, 11] {
+        assert_eq!(
+            trace_stream(seed, false),
+            trace_stream(seed, false),
+            "seed {seed}: steady trace diverged between runs"
+        );
+    }
+}
+
+#[test]
+fn trace_streams_replay_byte_identically_under_failures() {
+    for seed in [3, 11] {
+        assert_eq!(
+            trace_stream(seed, true),
+            trace_stream(seed, true),
+            "seed {seed}: failure-injected trace diverged between runs"
+        );
+    }
 }
 
 #[test]

@@ -76,9 +76,8 @@ fn generated_workload_with_failures_loses_nothing() {
         .iter()
         .enumerate()
         .map(|(i, n)| {
-            let region = lems::net::RegionId(
-                n.region().trim_start_matches('r').parse::<usize>().unwrap(),
-            );
+            let region =
+                lems::net::RegionId(n.region().trim_start_matches('r').parse::<usize>().unwrap());
             (UserId(i), region)
         })
         .collect();

@@ -112,10 +112,7 @@ fn failed_migration_is_atomic() {
     )
     .unwrap_err();
 
-    assert!(matches!(
-        err,
-        lems::core::DirectoryError::DuplicateName(_)
-    ));
+    assert!(matches!(err, lems::core::DirectoryError::DuplicateName(_)));
     assert!(dir.is_registered(&old), "old registration must survive");
     assert_eq!(dir.len(), before_len);
     assert!(redirects.is_empty(), "no stray redirect on failure");

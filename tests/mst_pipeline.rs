@@ -5,8 +5,7 @@
 use std::collections::BTreeMap;
 
 use lems::attr::{
-    AttrKey, AttributeNetwork, AttributeRegistry, AttributeSet, Query, RequesterContext,
-    Visibility,
+    AttrKey, AttributeNetwork, AttributeRegistry, AttributeSet, Query, RequesterContext, Visibility,
 };
 use lems::mst::backbone::{build_two_level, build_two_level_distributed};
 use lems::mst::broadcast::{simulate_broadcast, BroadcastConfig};
@@ -112,17 +111,20 @@ fn attribute_search_over_generated_world_matches_oracle() {
             expected += 1;
         }
         a.add(AttrKey::Expertise, field, Visibility::Public);
-        reg.upsert(
-            format!("r{}.h.u{i}", t.region(s).0).parse().unwrap(),
-            a,
-        );
+        reg.upsert(format!("r{}.h.u{i}", t.region(s).0).parse().unwrap(), a);
         registries.insert(s, reg);
     }
     let net = AttributeNetwork::new(t, registries);
     let root = net.topology().servers()[0];
     let q = Query::text_eq(AttrKey::Expertise, "mail");
     let out = net
-        .search(root, &q, &RequesterContext::default(), &FailurePlan::new(), 1)
+        .search(
+            root,
+            &q,
+            &RequesterContext::default(),
+            &FailurePlan::new(),
+            1,
+        )
         .unwrap();
     assert_eq!(out.matches, expected);
     assert_eq!(out.matches, out.ground_truth_matches);

@@ -100,11 +100,7 @@ fn scale_smoke_eight_regions() {
 
     for i in 0..names.len() {
         let to = (i + 29) % names.len(); // mostly cross-region hops
-        d.send_at(
-            SimTime::from_units(1.0 + i as f64),
-            &names[i],
-            &names[to],
-        );
+        d.send_at(SimTime::from_units(1.0 + i as f64), &names[i], &names[to]);
     }
     for (i, n) in names.iter().enumerate() {
         d.check_at(SimTime::from_units(500.0 + i as f64), n);

@@ -1,0 +1,413 @@
+//! Offline vendored stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment for this repository has no network access, so the
+//! real `rand` crate cannot be fetched. This crate re-implements exactly the
+//! slice of the 0.8 API that the workspace uses (`StdRng`, `SeedableRng`,
+//! `RngCore`, `Rng::gen`/`gen_range`, and the `distributions::uniform`
+//! traits) on top of a deterministic xoshiro256++ generator seeded via
+//! SplitMix64. Determinism across platforms is the only hard requirement for
+//! the simulator; statistical quality of xoshiro256++ is more than adequate
+//! for workload generation.
+
+use std::fmt;
+
+/// Error type mirroring `rand::Error`. The vendored generators are
+/// infallible, so this is only ever constructed by downstream code.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rand error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Core random-number trait, mirroring `rand_core::RngCore`.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable generators, mirroring `rand_core::SeedableRng`.
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(state: u64) -> Self {
+        // SplitMix64 expansion of the 64-bit seed into the full seed buffer,
+        // as rand_core does.
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (dst, src) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *dst = src;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Convenience extension trait, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value from the `Standard` distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Uniform sample from a range (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        assert!(!range.is_empty(), "cannot sample from an empty range");
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.gen::<f64>() < p
+        }
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator standing in for `rand::rngs::StdRng`.
+    ///
+    /// Not the same stream as the real `StdRng` (ChaCha12), but the workspace
+    /// only requires cross-run determinism, which this provides.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        fn step(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks(8).enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(chunk);
+                s[i] = u64::from_le_bytes(b);
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0, 0, 0, 0] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    0x2545_F491_4F6C_DD1D,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.step() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.step().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&bytes[..n]);
+            }
+        }
+    }
+}
+
+pub mod distributions {
+    use super::RngCore;
+
+    /// Mirrors `rand::distributions::Distribution`.
+    pub trait Distribution<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Mirrors `rand::distributions::Standard`.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 uniform mantissa bits in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_standard_int {
+        ($($t:ty => $via:ident),* $(,)?) => {
+            $(
+                impl Distribution<$t> for Standard {
+                    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                        rng.$via() as $t
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_standard_int!(
+        u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+        usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32,
+        i64 => next_u64, isize => next_u64, u128 => next_u64, i128 => next_u64,
+    );
+
+    pub mod uniform {
+        use crate::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Types that can be sampled uniformly from a range.
+        ///
+        /// Unlike the real rand crate there is no separate `UniformSampler`;
+        /// the bound-sampling logic lives directly on the trait.
+        pub trait SampleUniform: PartialOrd + Copy {
+            /// Uniform sample from `[low, high)`. Caller guarantees `low < high`.
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+            /// Uniform sample from `[low, high]`. Caller guarantees `low <= high`.
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+        }
+
+        /// Ranges a uniform value can be drawn from, mirroring
+        /// `rand::distributions::uniform::SampleRange`.
+        pub trait SampleRange<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+            fn is_empty(&self) -> bool;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                T::sample_half_open(rng, self.start, self.end)
+            }
+            fn is_empty(&self) -> bool {
+                !(self.start < self.end)
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                let (low, high) = self.into_inner();
+                assert!(low <= high, "cannot sample from an empty range");
+                T::sample_inclusive(rng, low, high)
+            }
+            fn is_empty(&self) -> bool {
+                !(self.start() <= self.end())
+            }
+        }
+
+        /// Draws a u64 below `span` without modulo bias (Lemire's method,
+        /// with a widening multiply and threshold rejection).
+        fn u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+            debug_assert!(span > 0);
+            let threshold = span.wrapping_neg() % span;
+            loop {
+                let m = (rng.next_u64() as u128) * (span as u128);
+                if (m as u64) >= threshold {
+                    return (m >> 64) as u64;
+                }
+            }
+        }
+
+        macro_rules! impl_uniform_uint {
+            ($($t:ty),* $(,)?) => {
+                $(
+                    impl SampleUniform for $t {
+                        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                            let span = (high - low) as u64;
+                            low + (u64_below(rng, span) as $t)
+                        }
+                        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                            let span = (high - low) as u64;
+                            if span == u64::MAX {
+                                return rng.next_u64() as $t;
+                            }
+                            low + (u64_below(rng, span + 1) as $t)
+                        }
+                    }
+                )*
+            };
+        }
+
+        impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+        macro_rules! impl_uniform_int {
+            ($($t:ty => $u:ty),* $(,)?) => {
+                $(
+                    impl SampleUniform for $t {
+                        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                            let span = (high as $u).wrapping_sub(low as $u) as u64;
+                            low.wrapping_add(u64_below(rng, span) as $t)
+                        }
+                        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                            let span = (high as $u).wrapping_sub(low as $u) as u64;
+                            if span == u64::MAX {
+                                return rng.next_u64() as $t;
+                            }
+                            low.wrapping_add(u64_below(rng, span + 1) as $t)
+                        }
+                    }
+                )*
+            };
+        }
+
+        impl_uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+        macro_rules! impl_uniform_float {
+            ($($t:ty),* $(,)?) => {
+                $(
+                    impl SampleUniform for $t {
+                        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                            let unit = (rng.next_u64() >> 11) as $t * (1.0 / (1u64 << 53) as $t);
+                            let v = low + unit * (high - low);
+                            // Guard against rounding up to the excluded bound.
+                            if v >= high { low } else { v }
+                        }
+                        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                            let unit = (rng.next_u64() >> 11) as $t * (1.0 / (1u64 << 53) as $t);
+                            low + unit * (high - low)
+                        }
+                    }
+                )*
+            };
+        }
+
+        impl_uniform_float!(f32, f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::uniform::SampleRange;
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_is_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_floats_are_uniform_ish() {
+        let mut r = StdRng::seed_from_u64(9);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn empty_range_reports_empty() {
+        assert!((5u32..5).is_empty());
+        assert!(!(5u32..6).is_empty());
+    }
+}

@@ -1,0 +1,529 @@
+//! The self-describing data model behind the vendored serde.
+//!
+//! All (de)serialisation in this stand-in flows through [`Value`]:
+//! `Serialize` impls build a `Value` tree, `Deserialize` impls consume one.
+//! `serde_json` prints/parses the tree as JSON text.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+
+use crate::de::{self, Deserialize, Deserializer};
+use crate::ser::{self, Serialize, Serializer};
+
+/// A self-describing serialised value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Key-value pairs in insertion order. Keys are arbitrary values; JSON
+    /// printing emits an object when all keys are strings and an array of
+    /// `[key, value]` pairs otherwise.
+    Map(Vec<(Value, Value)>),
+}
+
+impl Value {
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::UInt(_) => "uint",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Error raised while building or consuming a [`Value`] tree.
+#[derive(Debug, Clone)]
+pub struct ValueError(pub String);
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl ser::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl de::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+/// The [`Serializer`] that produces a [`Value`] tree.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_value(self, v: Value) -> Result<Value, ValueError> {
+        Ok(v)
+    }
+}
+
+/// The [`Deserializer`] that consumes a [`Value`] tree.
+pub struct ValueDeserializer {
+    value: Value,
+}
+
+impl ValueDeserializer {
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer { value }
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+
+    fn deserialize_value(self) -> Result<Value, ValueError> {
+        Ok(self.value)
+    }
+}
+
+/// Serialises any `Serialize` type into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Result<Value, ValueError> {
+    v.serialize(ValueSerializer)
+}
+
+/// Reconstructs a `Deserialize` type from a [`Value`] tree.
+pub fn from_value<T: DeserializeFromValue>(v: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer::new(v))
+}
+
+/// Alias bound: anything deserialisable from an owned `Value`.
+pub trait DeserializeFromValue: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeFromValue for T {}
+
+fn unexpected(expected: &str, got: &Value) -> ValueError {
+    ValueError(format!("expected {expected}, found {}", got.type_name()))
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_via {
+    ($($t:ty => $method:ident as $cast:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {
+                fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                    s.$method(*self as $cast)
+                }
+            }
+        )*
+    };
+}
+
+ser_via!(
+    i8 => serialize_i64 as i64, i16 => serialize_i64 as i64,
+    i32 => serialize_i64 as i64, i64 => serialize_i64 as i64,
+    isize => serialize_i64 as i64,
+    u8 => serialize_u64 as u64, u16 => serialize_u64 as u64,
+    u32 => serialize_u64 as u64, u64 => serialize_u64 as u64,
+    usize => serialize_u64 as u64,
+    f32 => serialize_f64 as f64, f64 => serialize_f64 as f64,
+);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Null)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_value(Value::Null),
+            Some(v) => {
+                let inner = to_value(v).map_err(ser_err::<S>)?;
+                s.serialize_value(inner)
+            }
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+fn ser_err<S: Serializer>(e: ValueError) -> S::Error {
+    <S::Error as ser::Error>::custom(e)
+}
+
+fn ser_seq<'a, S, T, I>(iter: I, s: S) -> Result<S::Ok, S::Error>
+where
+    S: Serializer,
+    T: Serialize + 'a,
+    I: IntoIterator<Item = &'a T>,
+{
+    let mut seq = Vec::new();
+    for item in iter {
+        seq.push(to_value(item).map_err(ser_err::<S>)?);
+    }
+    s.serialize_value(Value::Seq(seq))
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        ser_seq(self.iter(), s)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        ser_seq(self.iter(), s)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        ser_seq(self.iter(), s)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        ser_seq(self.iter(), s)
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        ser_seq(self.iter(), s)
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        ser_seq(self.iter(), s)
+    }
+}
+
+fn ser_map<'a, S, K, V, I>(iter: I, s: S) -> Result<S::Ok, S::Error>
+where
+    S: Serializer,
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: IntoIterator<Item = (&'a K, &'a V)>,
+{
+    let mut map = Vec::new();
+    for (k, v) in iter {
+        map.push((to_value(k).map_err(ser_err::<S>)?, to_value(v).map_err(ser_err::<S>)?));
+    }
+    s.serialize_value(Value::Map(map))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        ser_map(self.iter(), s)
+    }
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        ser_map(self.iter(), s)
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {
+        $(
+            impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+                fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                    let seq = vec![$(to_value(&self.$n).map_err(ser_err::<S>)?),+];
+                    s.serialize_value(Value::Seq(seq))
+                }
+            }
+        )*
+    };
+}
+
+ser_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+);
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+fn de_err<'de, D: Deserializer<'de>>(e: ValueError) -> D::Error {
+    <D::Error as de::Error>::custom(e)
+}
+
+macro_rules! de_int {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl<'de> Deserialize<'de> for $t {
+                fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                    let v = d.deserialize_value()?;
+                    match v {
+                        Value::Int(i) => <$t>::try_from(i)
+                            .map_err(|_| de::Error::custom(format!("integer {i} out of range"))),
+                        Value::UInt(u) => <$t>::try_from(u)
+                            .map_err(|_| de::Error::custom(format!("integer {u} out of range"))),
+                        other => Err(de::Error::custom(unexpected("integer", &other))),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! de_float {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl<'de> Deserialize<'de> for $t {
+                fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                    let v = d.deserialize_value()?;
+                    match v {
+                        Value::Float(f) => Ok(f as $t),
+                        Value::Int(i) => Ok(i as $t),
+                        Value::UInt(u) => Ok(u as $t),
+                        other => Err(de::Error::custom(unexpected("float", &other))),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+de_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(de::Error::custom(unexpected("bool", &other))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(de::Error::custom(unexpected("string", &other))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(de::Error::custom(unexpected("single-char string", &other))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Null => Ok(()),
+            other => Err(de::Error::custom(unexpected("null", &other))),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Null => Ok(None),
+            v => from_value(v).map(Some).map_err(de_err::<D>),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            v => from_value(v).map(Box::new).map_err(de_err::<D>),
+        }
+    }
+}
+
+fn de_seq<'de, D: Deserializer<'de>, T: for<'a> Deserialize<'a>>(
+    d: D,
+) -> Result<Vec<T>, D::Error> {
+    match d.deserialize_value()? {
+        Value::Seq(items) => items
+            .into_iter()
+            .map(|v| from_value(v).map_err(de_err::<D>))
+            .collect(),
+        other => Err(de::Error::custom(unexpected("sequence", &other))),
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        de_seq(d)
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(de_seq(d)?.into_iter().collect())
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a> + Eq + Hash> Deserialize<'de> for HashSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(de_seq(d)?.into_iter().collect())
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for std::collections::VecDeque<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(de_seq(d)?.into_iter().collect())
+    }
+}
+
+/// Accepts either a map or a sequence of `[key, value]` pairs (the printed
+/// form for maps with non-string keys).
+fn de_pairs<'de, D, K, V>(d: D) -> Result<Vec<(K, V)>, D::Error>
+where
+    D: Deserializer<'de>,
+    K: for<'a> Deserialize<'a>,
+    V: for<'a> Deserialize<'a>,
+{
+    let pairs: Vec<(Value, Value)> = match d.deserialize_value()? {
+        Value::Map(pairs) => pairs,
+        Value::Seq(items) => items
+            .into_iter()
+            .map(|item| match item {
+                Value::Seq(mut kv) if kv.len() == 2 => {
+                    let v = kv.pop().unwrap();
+                    let k = kv.pop().unwrap();
+                    Ok((k, v))
+                }
+                other => Err(de::Error::custom(unexpected("[key, value] pair", &other))),
+            })
+            .collect::<Result<_, D::Error>>()?,
+        other => return Err(de::Error::custom(unexpected("map", &other))),
+    };
+    pairs
+        .into_iter()
+        .map(|(k, v)| {
+            let key = from_value(k).map_err(de_err::<D>)?;
+            let val = from_value(v).map_err(de_err::<D>)?;
+            Ok((key, val))
+        })
+        .collect()
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: for<'a> Deserialize<'a> + Ord,
+    V: for<'a> Deserialize<'a>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(de_pairs(d)?.into_iter().collect())
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for HashMap<K, V>
+where
+    K: for<'a> Deserialize<'a> + Eq + Hash,
+    V: for<'a> Deserialize<'a>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(de_pairs(d)?.into_iter().collect())
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+)),+ $(,)?) => {
+        $(
+            impl<'de, $($t: for<'a> Deserialize<'a>),+> Deserialize<'de> for ($($t,)+) {
+                fn deserialize<__D: Deserializer<'de>>(d: __D) -> Result<Self, __D::Error> {
+                    match d.deserialize_value()? {
+                        Value::Seq(items) if items.len() == $len => {
+                            let mut it = items.into_iter();
+                            Ok(($({
+                                let _ = $n;
+                                from_value::<$t>(it.next().unwrap()).map_err(de_err::<__D>)?
+                            },)+))
+                        }
+                        other => Err(de::Error::custom(unexpected(
+                            concat!("sequence of length ", $len), &other))),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+de_tuple!(
+    (1; 0 A),
+    (2; 0 A, 1 B),
+    (3; 0 A, 1 B, 2 C),
+    (4; 0 A, 1 B, 2 C, 3 D),
+    (5; 0 A, 1 B, 2 C, 3 D, 4 E),
+);
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.deserialize_value()
+    }
+}

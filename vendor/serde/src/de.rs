@@ -1,0 +1,30 @@
+//! Deserialisation traits, mirroring `serde::de`.
+
+use std::fmt::Display;
+
+use crate::__value::Value;
+
+/// Error trait for deserialisers, mirroring `serde::de::Error`.
+pub trait Error: Sized + std::fmt::Debug + Display {
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data format that can deserialise values.
+///
+/// Unlike real serde this is not visitor-driven: the single method yields a
+/// self-describing [`Value`] tree which `Deserialize` impls pick apart.
+pub trait Deserializer<'de>: Sized {
+    type Error: Error;
+
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A value that can be deserialised, mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Values deserialisable without borrowing from the input, mirroring
+/// `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

@@ -1,0 +1,22 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment has no network access, so the real serde crate
+//! cannot be fetched. This crate keeps the public trait names and shapes the
+//! workspace relies on (`Serialize`, `Deserialize`, `Serializer`,
+//! `Deserializer`, `serde::de::Error::custom`, `#[derive(Serialize,
+//! Deserialize)]` with `#[serde(skip/default/with)]` attributes) but
+//! simplifies the wire model: everything serialises through the
+//! self-describing [`__value::Value`] tree instead of serde's
+//! visitor-driven data model. `serde_json` (also vendored) prints and parses
+//! that tree as real JSON, so round-trips behave like the genuine article.
+
+pub mod ser;
+pub mod de;
+#[doc(hidden)]
+pub mod __value;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,50 @@
+//! Serialisation traits, mirroring `serde::ser`.
+
+use std::fmt::Display;
+
+use crate::__value::Value;
+
+/// Error trait for serialisers, mirroring `serde::ser::Error`.
+pub trait Error: Sized + std::fmt::Debug + Display {
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data format that can serialise values.
+///
+/// Unlike real serde this is not visitor-driven: the single required method
+/// accepts a fully-built [`Value`] tree, and the scalar `serialize_*`
+/// helpers (the subset of serde's API the workspace calls directly) default
+/// to wrapping their argument in a `Value`.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: Error;
+
+    fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Bool(v))
+    }
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Int(v))
+    }
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::UInt(v))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Float(v))
+    }
+    fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Float(v as f64))
+    }
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Str(v.to_string()))
+    }
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Null)
+    }
+}
+
+/// A value that can be serialised, mirroring `serde::Serialize`.
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}

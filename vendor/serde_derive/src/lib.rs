@@ -1,0 +1,674 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored `serde` crate without `syn`/`quote`: the derive input is parsed
+//! by walking raw token trees, and the generated impl is assembled as a
+//! string and re-parsed into a `TokenStream`.
+//!
+//! Supported input shapes (everything this workspace derives on):
+//! - structs with named fields, tuple structs, unit structs
+//! - enums with unit, tuple, and struct variants
+//! - field attributes `#[serde(skip)]`, `#[serde(default)]`,
+//!   `#[serde(default = "path")]`, `#[serde(with = "module")]`
+//!
+//! Generics are intentionally unsupported (no derive site in the workspace
+//! uses them); deriving on a generic type produces a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct FieldInfo {
+    name: String,
+    skip: bool,
+    /// `None`: no default. `Some(None)`: bare `#[serde(default)]`.
+    /// `Some(Some(path))`: `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+    /// `#[serde(with = "module")]` path, if any.
+    with: Option<String>,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<FieldInfo>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Data {
+    NamedStruct(Vec<FieldInfo>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Container {
+    name: String,
+    data: Data,
+}
+
+// ---------------------------------------------------------------------------
+// Token-tree parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            toks: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn is_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn is_ident(&self, s: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == s)
+    }
+
+    /// Consumes leading `#[...]` attributes, returning parsed serde field
+    /// attributes merged across all of them.
+    fn take_attrs(&mut self) -> (bool, Option<Option<String>>, Option<String>) {
+        let mut skip = false;
+        let mut default = None;
+        let mut with = None;
+        while self.is_punct('#') {
+            self.next();
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                _ => break,
+            };
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            let is_serde =
+                matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+            if !is_serde {
+                continue;
+            }
+            let args = match inner.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+                _ => continue,
+            };
+            let mut it = args.into_iter().peekable();
+            while let Some(tok) = it.next() {
+                let key = match tok {
+                    TokenTree::Ident(i) => i.to_string(),
+                    _ => continue,
+                };
+                let mut value = None;
+                if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    it.next();
+                    if let Some(TokenTree::Literal(l)) = it.next() {
+                        value = Some(strip_str_literal(&l.to_string()));
+                    }
+                }
+                match key.as_str() {
+                    "skip" | "skip_serializing" | "skip_deserializing" => skip = true,
+                    "default" => default = Some(value),
+                    "with" => with = value,
+                    _ => {}
+                }
+            }
+        }
+        (skip, default, with)
+    }
+
+    /// Skips `pub`, `pub(...)`.
+    fn skip_vis(&mut self) {
+        if self.is_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Skips tokens until a top-level comma (angle-bracket aware) and
+    /// consumes the comma if present.
+    fn skip_until_comma(&mut self) {
+        let mut angle: i32 = 0;
+        let mut prev_dash = false;
+        while let Some(tok) = self.peek() {
+            if let TokenTree::Punct(p) = tok {
+                let c = p.as_char();
+                if c == ',' && angle == 0 {
+                    self.next();
+                    return;
+                }
+                if c == '<' {
+                    angle += 1;
+                } else if c == '>' {
+                    // `->` in fn-pointer types must not close an angle bracket.
+                    if !prev_dash {
+                        angle -= 1;
+                    }
+                }
+                prev_dash = c == '-';
+            } else {
+                prev_dash = false;
+            }
+            self.next();
+        }
+    }
+}
+
+fn strip_str_literal(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<FieldInfo>, String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let (skip, default, with) = c.take_attrs();
+        c.skip_vis();
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+            None => break,
+        };
+        if !c.is_punct(':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        c.next();
+        c.skip_until_comma();
+        fields.push(FieldInfo {
+            name,
+            skip,
+            default,
+            with,
+        });
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    while !c.at_end() {
+        c.take_attrs();
+        c.skip_vis();
+        if c.at_end() {
+            break;
+        }
+        count += 1;
+        c.skip_until_comma();
+    }
+    count
+}
+
+fn parse_container(input: TokenStream) -> Result<Container, String> {
+    let mut c = Cursor::new(input);
+    c.take_attrs();
+    c.skip_vis();
+    let kind = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    if c.is_punct('<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Container {
+                name,
+                data: Data::NamedStruct(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Container {
+                name,
+                data: Data::TupleStruct(count_tuple_fields(g.stream())),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Container {
+                name,
+                data: Data::UnitStruct,
+            }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, found {other:?}")),
+            };
+            let mut vc = Cursor::new(body);
+            let mut variants = Vec::new();
+            while !vc.at_end() {
+                vc.take_attrs();
+                let vname = match vc.next() {
+                    Some(TokenTree::Ident(i)) => i.to_string(),
+                    Some(other) => return Err(format!("expected variant name, found `{other}`")),
+                    None => break,
+                };
+                let kind = match vc.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let arity = count_tuple_fields(g.stream());
+                        vc.next();
+                        VariantKind::Tuple(arity)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream())?;
+                        vc.next();
+                        VariantKind::Named(fields)
+                    }
+                    _ => VariantKind::Unit,
+                };
+                // Skip an optional `= discriminant` and the trailing comma.
+                vc.skip_until_comma();
+                variants.push(Variant { name: vname, kind });
+            }
+            Ok(Container {
+                name,
+                data: Data::Enum(variants),
+            })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const SER_ERR: &str = "|__e| <__S::Error as serde::ser::Error>::custom(__e)";
+const DE_ERR: &str = "|__e| <__D::Error as serde::de::Error>::custom(__e)";
+
+/// `Value::Str("name".into())` expression.
+fn str_value(name: &str) -> String {
+    format!("serde::__value::Value::Str(::std::string::String::from(\"{name}\"))")
+}
+
+/// Serialize expression for one named field given an expression that
+/// borrows it (e.g. `&self.foo` or `__b_foo`).
+fn field_to_value(f: &FieldInfo, access: &str) -> String {
+    match &f.with {
+        Some(module) => format!(
+            "{module}::serialize({access}, serde::__value::ValueSerializer).map_err({SER_ERR})?"
+        ),
+        None => format!("serde::__value::to_value({access}).map_err({SER_ERR})?"),
+    }
+}
+
+/// Statements pushing each non-skipped named field into `__fields`.
+fn named_fields_ser(fields: &[FieldInfo], access_prefix: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        let access = format!("{access_prefix}{}", f.name);
+        out.push_str(&format!(
+            "__fields.push(({}, {}));\n",
+            str_value(&f.name),
+            field_to_value(f, &access)
+        ));
+    }
+    out
+}
+
+/// Expression producing the value of one named field during deserialisation,
+/// given `__f_<name>: Option<Value>` bindings already populated.
+fn named_field_de(f: &FieldInfo, ty_ctx: &str) -> String {
+    let var = format!("__f_{}", f.name);
+    let default_expr = match &f.default {
+        Some(Some(path)) => Some(format!("{path}()")),
+        Some(None) => Some("::core::default::Default::default()".to_string()),
+        None => None,
+    };
+    if f.skip {
+        // Skipped both ways: never read from the wire.
+        return default_expr.unwrap_or_else(|| "::core::default::Default::default()".to_string());
+    }
+    let from = match &f.with {
+        Some(module) => format!(
+            "{module}::deserialize(serde::__value::ValueDeserializer::new(__val)).map_err({DE_ERR})?"
+        ),
+        None => format!("serde::__value::from_value(__val).map_err({DE_ERR})?"),
+    };
+    let missing = match default_expr {
+        Some(d) => d,
+        None => format!(
+            "return ::core::result::Result::Err(<__D::Error as serde::de::Error>::custom(\
+             \"missing field `{}` in {}\"))",
+            f.name, ty_ctx
+        ),
+    };
+    format!(
+        "match {var} {{ ::core::option::Option::Some(__val) => {{ {from} }}, \
+         ::core::option::Option::None => {{ {missing} }} }}"
+    )
+}
+
+/// The field-collection loop shared by named structs and struct variants:
+/// declares `__f_<name>` options, fills them from `__pairs`.
+fn named_fields_collect(fields: &[FieldInfo]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        out.push_str(&format!(
+            "let mut __f_{}: ::core::option::Option<serde::__value::Value> = \
+             ::core::option::Option::None;\n",
+            f.name
+        ));
+    }
+    out.push_str("for (__k, __pval) in __pairs {\n");
+    out.push_str("    if let serde::__value::Value::Str(__kname) = __k {\n");
+    out.push_str("        match __kname.as_str() {\n");
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        out.push_str(&format!(
+            "            \"{0}\" => {{ __f_{0} = ::core::option::Option::Some(__pval); }}\n",
+            f.name
+        ));
+    }
+    out.push_str("            _ => {}\n        }\n    }\n}\n");
+    out
+}
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.data {
+        Data::NamedStruct(fields) => format!(
+            "let mut __fields: ::std::vec::Vec<(serde::__value::Value, serde::__value::Value)> \
+             = ::std::vec::Vec::new();\n{}\
+             __s.serialize_value(serde::__value::Value::Map(__fields))",
+            named_fields_ser(fields, "&self.")
+        ),
+        Data::TupleStruct(1) => {
+            // Newtype structs serialise transparently, like serde.
+            format!(
+                "let __inner = serde::__value::to_value(&self.0).map_err({SER_ERR})?;\n\
+                 __s.serialize_value(__inner)"
+            )
+        }
+        Data::TupleStruct(n) => {
+            let mut items = String::new();
+            for i in 0..*n {
+                items.push_str(&format!(
+                    "serde::__value::to_value(&self.{i}).map_err({SER_ERR})?, "
+                ));
+            }
+            format!(
+                "__s.serialize_value(serde::__value::Value::Seq(::std::vec![{items}]))"
+            )
+        }
+        Data::UnitStruct => "__s.serialize_value(serde::__value::Value::Null)".to_string(),
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let tag = str_value(vname);
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => __s.serialize_value({tag}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vname}(__x0) => {{\n\
+                             let __inner = serde::__value::to_value(__x0).map_err({SER_ERR})?;\n\
+                             __s.serialize_value(serde::__value::Value::Map(\
+                             ::std::vec![({tag}, __inner)]))\n}}\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                        let mut items = String::new();
+                        for b in &binds {
+                            items.push_str(&format!(
+                                "serde::__value::to_value({b}).map_err({SER_ERR})?, "
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{\n\
+                             __s.serialize_value(serde::__value::Value::Map(::std::vec![({tag}, \
+                             serde::__value::Value::Seq(::std::vec![{items}]))]))\n}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| format!("{0}: __b_{0}", f.name))
+                            .collect();
+                        let pushes = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "__fields.push(({}, {}));\n",
+                                    str_value(&f.name),
+                                    field_to_value(f, &format!("__b_{}", f.name))
+                                )
+                            })
+                            .collect::<String>();
+                        let binds = if binds.is_empty() {
+                            String::new()
+                        } else {
+                            format!("{}, ", binds.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds}.. }} => {{\n\
+                             let mut __fields: ::std::vec::Vec<(serde::__value::Value, \
+                             serde::__value::Value)> = ::std::vec::Vec::new();\n\
+                             {pushes}\
+                             __s.serialize_value(serde::__value::Value::Map(::std::vec![({tag}, \
+                             serde::__value::Value::Map(__fields))]))\n}}\n",
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::ser::Serialize for {name} {{\n\
+         fn serialize<__S: serde::ser::Serializer>(&self, __s: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.data {
+        Data::NamedStruct(fields) => {
+            let collect = named_fields_collect(fields);
+            let ctor = fields
+                .iter()
+                .map(|f| format!("{}: {},\n", f.name, named_field_de(f, name)))
+                .collect::<String>();
+            format!(
+                "match __v {{\n\
+                 serde::__value::Value::Map(__pairs) => {{\n\
+                 {collect}\
+                 ::core::result::Result::Ok({name} {{\n{ctor}}})\n}}\n\
+                 __other => ::core::result::Result::Err(<__D::Error as serde::de::Error>::custom(\
+                 ::std::format!(\"expected map for struct {name}, found {{}}\", \
+                 __other.type_name()))),\n}}"
+            )
+        }
+        Data::TupleStruct(1) => format!(
+            "::core::result::Result::Ok({name}(\
+             serde::__value::from_value(__v).map_err({DE_ERR})?))"
+        ),
+        Data::TupleStruct(n) => {
+            let mut elems = String::new();
+            for _ in 0..*n {
+                elems.push_str(&format!(
+                    "serde::__value::from_value(__it.next().unwrap()).map_err({DE_ERR})?, "
+                ));
+            }
+            format!(
+                "match __v {{\n\
+                 serde::__value::Value::Seq(__items) if __items.len() == {n} => {{\n\
+                 let mut __it = __items.into_iter();\n\
+                 ::core::result::Result::Ok({name}({elems}))\n}}\n\
+                 __other => ::core::result::Result::Err(<__D::Error as serde::de::Error>::custom(\
+                 ::std::format!(\"expected sequence of {n} for {name}, found {{}}\", \
+                 __other.type_name()))),\n}}"
+            )
+        }
+        Data::UnitStruct => format!("::core::result::Result::Ok({name})"),
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(\
+                             serde::__value::from_value(__payload).map_err({DE_ERR})?)),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let mut elems = String::new();
+                        for _ in 0..*n {
+                            elems.push_str(&format!(
+                                "serde::__value::from_value(__it.next().unwrap())\
+                                 .map_err({DE_ERR})?, "
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => match __payload {{\n\
+                             serde::__value::Value::Seq(__items) if __items.len() == {n} => {{\n\
+                             let mut __it = __items.into_iter();\n\
+                             ::core::result::Result::Ok({name}::{vname}({elems}))\n}}\n\
+                             __other => ::core::result::Result::Err(\
+                             <__D::Error as serde::de::Error>::custom(\
+                             ::std::format!(\"bad payload for {name}::{vname}: {{}}\", \
+                             __other.type_name()))),\n}},\n"
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let collect = named_fields_collect(fields);
+                        let ctor = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{}: {},\n",
+                                    f.name,
+                                    named_field_de(f, &format!("{name}::{vname}"))
+                                )
+                            })
+                            .collect::<String>();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => match __payload {{\n\
+                             serde::__value::Value::Map(__pairs) => {{\n\
+                             {collect}\
+                             ::core::result::Result::Ok({name}::{vname} {{\n{ctor}}})\n}}\n\
+                             __other => ::core::result::Result::Err(\
+                             <__D::Error as serde::de::Error>::custom(\
+                             ::std::format!(\"bad payload for {name}::{vname}: {{}}\", \
+                             __other.type_name()))),\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 serde::__value::Value::Str(__tag) => match __tag.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::core::result::Result::Err(<__D::Error as serde::de::Error>::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n}},\n\
+                 serde::__value::Value::Map(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__k, __payload) = __pairs.into_iter().next().unwrap();\n\
+                 let __tag = match __k {{\n\
+                 serde::__value::Value::Str(__s) => __s,\n\
+                 __other => return ::core::result::Result::Err(\
+                 <__D::Error as serde::de::Error>::custom(\
+                 ::std::format!(\"non-string variant tag for {name}: {{}}\", \
+                 __other.type_name()))),\n}};\n\
+                 match __tag.as_str() {{\n\
+                 {data_arms}\
+                 __other => ::core::result::Result::Err(<__D::Error as serde::de::Error>::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}\n}}\n\
+                 __other => ::core::result::Result::Err(<__D::Error as serde::de::Error>::custom(\
+                 ::std::format!(\"expected enum {name}, found {{}}\", __other.type_name()))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::de::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: serde::de::Deserializer<'de>>(__d: __D) \
+         -> ::core::result::Result<Self, __D::Error> {{\n\
+         #[allow(unused_variables)]\n\
+         let __v = serde::de::Deserializer::deserialize_value(__d)?;\n{body}\n}}\n}}\n"
+    )
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!(\"{}\");", msg.replace('"', "'"))
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_container(input) {
+        Ok(c) => gen_serialize(&c)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive codegen error: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_container(input) {
+        Ok(c) => gen_deserialize(&c)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive codegen error: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}

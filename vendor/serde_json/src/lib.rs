@@ -1,0 +1,484 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! Prints and parses real JSON text over the vendored serde's
+//! [`serde::__value::Value`] data model. Maps whose keys are all strings
+//! print as JSON objects; maps with non-string keys print as arrays of
+//! `[key, value]` pairs (which the vendored serde's map `Deserialize` impls
+//! accept back), so round-trips work for any key type.
+
+use std::fmt;
+
+use serde::__value::{from_value, to_value, Value};
+use serde::de::DeserializeOwned;
+use serde::ser::Serialize;
+
+/// Error type mirroring `serde_json::Error`.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+/// Serialises a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = to_value(value).map_err(|e| Error::new(e.to_string()))?;
+    let mut out = String::new();
+    write_value(&mut out, &v, None, 0);
+    Ok(out)
+}
+
+/// Serialises a value to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = to_value(value).map_err(|e| Error::new(e.to_string()))?;
+    let mut out = String::new();
+    write_value(&mut out, &v, Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any deserialisable value.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let v = parse_value(s)?;
+    from_value(v).map_err(|e| Error::new(e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------------
+
+fn write_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(n) = indent {
+        out.push('\n');
+        for _ in 0..n * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, f: f64) {
+    if f.is_finite() {
+        let s = format!("{f}");
+        out.push_str(&s);
+        // Keep the float/integer distinction visible in the text so parsing
+        // round-trips `1.0` as a float rather than an integer.
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        // Real serde_json errors on non-finite floats; printing null is the
+        // closest lossy-but-total behaviour.
+        out.push_str("null");
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_f64(out, *f),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            write_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Map(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            let all_string_keys = pairs.iter().all(|(k, _)| matches!(k, Value::Str(_)));
+            if all_string_keys {
+                out.push('{');
+                for (i, (k, val)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_indent(out, indent, depth + 1);
+                    if let Value::Str(s) = k {
+                        write_escaped(out, s);
+                    }
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(out, val, indent, depth + 1);
+                }
+                write_indent(out, indent, depth);
+                out.push('}');
+            } else {
+                // Non-string keys: array of [key, value] pairs.
+                out.push('[');
+                for (i, (k, val)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_indent(out, indent, depth + 1);
+                    out.push('[');
+                    write_value(out, k, indent, depth + 1);
+                    out.push(',');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(out, val, indent, depth + 1);
+                    out.push(']');
+                }
+                write_indent(out, indent, depth);
+                out.push(']');
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err(Error::new("unexpected end of input")),
+            Some(b'n') => {
+                if self.eat_literal("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+                }
+            }
+            Some(b't') => {
+                if self.eat_literal("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_literal("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+                }
+            }
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(Error::new(format!(
+                "unexpected character `{}` at byte {}",
+                b as char, self.pos
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error::new("bad escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance over one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::new("invalid UTF-8"))?;
+                    let ch = rest.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(Error::new(format!("expected `,` or `]` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            pairs.push((Value::Str(key), val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(pairs));
+                }
+                _ => return Err(Error::new(format!("expected `,` or `}}` at byte {}", self.pos))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string("hi \"there\"").unwrap(), "\"hi \\\"there\\\"\"");
+        assert_eq!(from_str::<String>("\"hi\"").unwrap(), "hi");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(from_str::<Option<u8>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![1u64, 2, 3];
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<u64>>(&s).unwrap(), v);
+
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("a".to_string(), 1u32);
+        m.insert("b".to_string(), 2);
+        let s = to_string(&m).unwrap();
+        assert_eq!(s, "{\"a\":1,\"b\":2}");
+        assert_eq!(
+            from_str::<std::collections::BTreeMap<String, u32>>(&s).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn non_string_keys_round_trip_as_pair_arrays() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert(3u32, "x".to_string());
+        m.insert(5, "y".to_string());
+        let s = to_string(&m).unwrap();
+        assert_eq!(s, "[[3,\"x\"],[5,\"y\"]]");
+        assert_eq!(
+            from_str::<std::collections::BTreeMap<u32, String>>(&s).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn pretty_printing_indents() {
+        let v = vec![1u8];
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1\n]");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<u32>("nope").is_err());
+        assert!(from_str::<u32>("12 34").is_err());
+        assert!(from_str::<Vec<u8>>("[1,").is_err());
+    }
+}
