@@ -212,7 +212,8 @@ mod tests {
         // Kill a non-root server for the whole run.
         let victim = net.topology().servers()[3];
         let mut plan = FailurePlan::new();
-        plan.add_outage(ActorId(victim.0), SimTime::ZERO, SimTime::from_units(1e9));
+        plan.add_outage(ActorId(victim.0), SimTime::ZERO, SimTime::from_units(1e9))
+            .unwrap();
         let out = net
             .search(root, &q, &RequesterContext::default(), &plan, 2)
             .unwrap();

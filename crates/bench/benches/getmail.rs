@@ -44,7 +44,8 @@ fn bench_getmail(c: &mut Criterion) {
                 ActorId(0),
                 SimTime::from_units(x),
                 SimTime::from_units(x + 5.0),
-            );
+            )
+            .expect("outage window is well-formed");
             x += 10.0;
         }
         let mut store = PlanStore::new(plan);

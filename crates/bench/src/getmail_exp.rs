@@ -108,6 +108,7 @@ fn one_point(availability: f64, cfg: &GetMailSweepConfig) -> GetMailRow {
                 SimDuration::from_units(cfg.mttr),
                 horizon,
             )
+            .expect("experiment parameters are valid")
         };
         // Identical deposit schedules feed both retrieval strategies.
         let mut store_g = PlanStore::new(plan.clone());

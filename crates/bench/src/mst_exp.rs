@@ -208,7 +208,8 @@ pub fn convergecast_resilience(seed: u64) -> ResilienceRow {
         lems_sim::actor::ActorId(victim.0),
         lems_sim::time::SimTime::ZERO,
         lems_sim::time::SimTime::from_units(1e9),
-    );
+    )
+    .expect("outage window is well-formed");
     let degraded = simulate_broadcast(g, &adjacency, &cfg, &plan).expect("root up");
 
     ResilienceRow {

@@ -8,8 +8,10 @@
 //! message payloads:
 //!
 //! * **Message conservation** — every traced send terminates in exactly
-//!   one deliver or drop; no deliver or drop appears without a matching
-//!   send; nothing is consumed twice.
+//!   one deliver, drop, or link-drop; no consume appears without a
+//!   matching send; nothing is consumed twice. Link-level duplication
+//!   preserves the law because the engine records a separate `Send` for
+//!   the duplicate copy; retransmissions are likewise fresh sends.
 //! * **Failure alternation** — per actor, crash and recover events
 //!   strictly alternate, starting from the up state.
 //! * **Trace completeness** — a lossy (evicting) trace is rejected up
@@ -23,9 +25,10 @@
 //! for scenarios that end with every server up and every user polling —
 //! no delivered message is stranded.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
+use lems_core::message::MessageId;
 use lems_sim::actor::ActorId;
 use lems_sim::time::SimTime;
 use lems_sim::trace::{Trace, TraceEvent, TraceKind};
@@ -124,6 +127,8 @@ pub struct AuditReport {
     pub delivers: u64,
     /// Drops observed.
     pub drops: u64,
+    /// Messages lost on the wire (link outages, probabilistic loss).
+    pub link_drops: u64,
     /// Crashes observed.
     pub crashes: u64,
     /// Recoveries observed.
@@ -141,10 +146,11 @@ impl fmt::Display for AuditReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} sends, {} delivers, {} drops, {} crashes, {} recoveries: {}",
+            "{} sends, {} delivers, {} drops, {} link-drops, {} crashes, {} recoveries: {}",
             self.sends,
             self.delivers,
             self.drops,
+            self.link_drops,
             self.crashes,
             self.recoveries,
             if self.is_clean() {
@@ -189,11 +195,11 @@ impl TraceAuditor {
                     .entry(ev.at)
                     .or_insert(0) += 1;
             }
-            TraceKind::Deliver | TraceKind::Drop => {
-                if ev.kind == TraceKind::Deliver {
-                    self.report.delivers += 1;
-                } else {
-                    self.report.drops += 1;
+            TraceKind::Deliver | TraceKind::Drop | TraceKind::LinkDrop => {
+                match ev.kind {
+                    TraceKind::Deliver => self.report.delivers += 1,
+                    TraceKind::Drop => self.report.drops += 1,
+                    _ => self.report.link_drops += 1,
                 }
                 let consumed = self
                     .pending
@@ -297,15 +303,21 @@ pub fn audit_trace(trace: &Trace) -> AuditReport {
 ///
 /// * retrieved and bounced ledgers are subsets of the submitted ledger,
 ///   and disjoint from each other;
-/// * outstanding mail (submitted − retrieved − bounced) equals mail
-///   physically present in server storage — at quiescence nothing is in
-///   flight, so any difference is a leak;
+/// * every outstanding id (submitted − retrieved − bounced) is physically
+///   present in server storage — at quiescence nothing is in flight, so
+///   a missing id is lost mail;
+/// * every stored id was submitted and not bounced. A stored id that was
+///   *retrieved* is tolerated: at-least-once submission over a lossy wire
+///   can legally deposit a message on two authority servers (the ack for
+///   the first deposit was lost), the UI dedups on retrieval, and the
+///   residue copy is indistinguishable from unread mail to the server
+///   holding it;
 /// * the transport counted no wiring errors (sends to unbound nodes).
 ///
 /// With `expect_drained` (scenarios that end with every server up and
 /// every user checking mail until quiet), additionally:
 ///
-/// * no message is stranded in a mailbox, and
+/// * no unretrieved message is stranded in storage, and
 /// * every submitted message was retrieved or bounced.
 pub fn audit_deployment(d: &Deployment, expect_drained: bool) -> Vec<AuditViolation> {
     let mut out = Vec::new();
@@ -349,12 +361,33 @@ pub fn audit_deployment(d: &Deployment, expect_drained: bool) -> Vec<AuditViolat
         )));
     }
 
-    let outstanding = stats.outstanding();
-    let stored = d.mail_in_storage();
-    if outstanding != stored {
-        out.push(AuditViolation::Domain(format!(
-            "ledger says {outstanding} message(s) outstanding but {stored} in server storage"
-        )));
+    let stored = d.stranded_mail();
+    let stored_ids: BTreeSet<MessageId> = stored.iter().map(|&(_, _, id, _)| id).collect();
+    let outstanding_ids: BTreeSet<MessageId> = stats
+        .ledger_submitted
+        .iter()
+        .filter(|id| !stats.ledger_retrieved.contains(id) && !stats.ledger_bounced.contains_key(id))
+        .copied()
+        .collect();
+
+    for id in &outstanding_ids {
+        if !stored_ids.contains(id) {
+            out.push(AuditViolation::Domain(format!(
+                "outstanding message {id:?} is nowhere in server storage (lost)"
+            )));
+        }
+    }
+    for id in &stored_ids {
+        if !stats.ledger_submitted.contains(id) {
+            out.push(AuditViolation::Domain(format!(
+                "stored message {id:?} was never submitted"
+            )));
+        }
+        if stats.ledger_bounced.contains_key(id) {
+            out.push(AuditViolation::Domain(format!(
+                "message {id:?} bounced yet still in server storage"
+            )));
+        }
     }
 
     let wiring = d.transport.wiring_errors();
@@ -365,19 +398,25 @@ pub fn audit_deployment(d: &Deployment, expect_drained: bool) -> Vec<AuditViolat
     }
 
     if expect_drained {
-        if outstanding != 0 {
+        if !outstanding_ids.is_empty() {
             out.push(AuditViolation::Domain(format!(
-                "drained run left {outstanding} message(s) outstanding \
+                "drained run left {} message(s) outstanding \
                  (submitted {} retrieved {} bounced {})",
+                outstanding_ids.len(),
                 stats.ledger_submitted.len(),
                 stats.ledger_retrieved.len(),
                 stats.ledger_bounced.len()
             )));
         }
-        for (node, owner, id, auth) in d.stranded_mail() {
-            out.push(AuditViolation::Domain(format!(
-                "message {id:?} for {owner} stranded on server {node:?} (authorities {auth:?})"
-            )));
+        for (node, owner, id, auth) in &stored {
+            // Residue copies of already-retrieved mail are legal (see
+            // above); only unretrieved mail counts as stranded.
+            if !stats.ledger_retrieved.contains(id) {
+                out.push(AuditViolation::Domain(format!(
+                    "message {id:?} for {owner} stranded on server {node:?} \
+                     (authorities {auth:?})"
+                )));
+            }
         }
     }
 
@@ -479,6 +518,22 @@ mod tests {
                 count: 1,
             }]
         );
+    }
+
+    #[test]
+    fn link_drop_consumes_its_send() {
+        let mut a = TraceAuditor::new();
+        a.observe(&ev(1.0, TraceKind::Send, 0, 1));
+        a.observe(&ev(1.0, TraceKind::LinkDrop, 0, 1));
+        // A duplicated message is two sends consumed by two delivers.
+        a.observe(&ev(2.0, TraceKind::Send, 0, 1));
+        a.observe(&ev(2.5, TraceKind::Send, 0, 1));
+        a.observe(&ev(2.0, TraceKind::Deliver, 0, 1));
+        a.observe(&ev(2.5, TraceKind::Deliver, 0, 1));
+        let r = a.finish();
+        assert!(r.is_clean(), "{r}");
+        assert_eq!(r.link_drops, 1);
+        assert_eq!(r.sends, r.delivers + r.drops + r.link_drops);
     }
 
     #[test]

@@ -21,9 +21,12 @@ commands:
   lint  [--root <dir>]            static rules over crates/*/src
                                   (no-panic, no-wall-clock, no-hash-collections;
                                    vetted exceptions in <root>/lint-allow.txt)
-  audit [--seed <n>] [name ...]   replay audit scenarios and check the
+  audit [--seed <n>] [--chaos] [name ...]
+                                  replay audit scenarios and check the
                                   engine's conservation laws + mail ledgers
-                                  (scenarios: steady, failover, random-failures;
+                                  (scenarios: steady, failover, random-failures,
+                                   chaos-lossy, chaos-partition, chaos-crash-loss;
+                                   --chaos runs just the chaos trio;
                                    default: all, seed 3)
 ";
 
@@ -128,6 +131,7 @@ fn run_lint(args: &[String]) -> ExitCode {
 
 fn run_audit(args: &[String]) -> ExitCode {
     let mut seed = 3u64;
+    let mut chaos_only = false;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -139,17 +143,24 @@ fn run_audit(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--chaos" => chaos_only = true,
             name => wanted.push(name.to_owned()),
         }
     }
 
-    let outcomes: Vec<_> = scenarios::run_all(seed)
+    let all = if chaos_only {
+        scenarios::run_chaos(seed)
+    } else {
+        scenarios::run_all(seed)
+    };
+    let outcomes: Vec<_> = all
         .into_iter()
         .filter(|o| wanted.is_empty() || wanted.iter().any(|w| w == o.name))
         .collect();
     if outcomes.is_empty() {
         eprintln!(
-            "lems-check audit: no scenario matches {:?} (have: steady, failover, random-failures)",
+            "lems-check audit: no scenario matches {:?} (have: steady, failover, \
+             random-failures, chaos-lossy, chaos-partition, chaos-crash-loss)",
             wanted
         );
         return ExitCode::from(2);
@@ -159,8 +170,9 @@ fn run_audit(args: &[String]) -> ExitCode {
     for o in &outcomes {
         println!("scenario `{}` (seed {seed}): {}", o.name, o.description);
         println!(
-            "  {} submitted, {} retrieved, {} bounced; trace: {}",
-            o.submitted, o.retrieved, o.bounced, o.trace
+            "  {} submitted, {} retrieved, {} bounced, {} retransmit(s), \
+             {} wiring error(s); trace: {}",
+            o.submitted, o.retrieved, o.bounced, o.retransmits, o.wiring_errors, o.trace
         );
         for line in o.violation_lines() {
             println!("  violation: {line}");

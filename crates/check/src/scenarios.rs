@@ -12,10 +12,18 @@
 //! reported violation actionable.
 
 use lems_net::generators::fig1;
+use lems_sim::linkfault::LinkProfile;
 use lems_sim::time::{SimDuration, SimTime};
-use lems_syntax::actors::{Deployment, DeploymentConfig, ServerFailurePlan};
+use lems_syntax::actors::{
+    Deployment, DeploymentConfig, LinkChaos, ServerFailurePlan, SessionConfig,
+};
 
 use crate::audit::{audit_deployment, audit_trace, AuditReport, AuditViolation};
+
+/// Event budget for one scenario run: chaos plans can in principle make a
+/// retry loop diverge, so scenarios run bounded and report budget
+/// exhaustion as a violation instead of hanging the audit.
+pub const EVENT_BUDGET: u64 = 2_000_000;
 
 /// The verdict for one scenario run.
 #[derive(Clone, Debug)]
@@ -34,6 +42,10 @@ pub struct ScenarioOutcome {
     pub retrieved: u64,
     /// Messages bounced.
     pub bounced: u64,
+    /// Session-layer retransmissions over the run.
+    pub retransmits: u64,
+    /// Transport wiring errors (sends to unbound/unknown nodes).
+    pub wiring_errors: u64,
 }
 
 impl ScenarioOutcome {
@@ -58,12 +70,17 @@ fn t(u: f64) -> SimTime {
 }
 
 fn fig1_deployment(seed: u64) -> Deployment {
+    fig1_deployment_with_session(seed, SessionConfig::default())
+}
+
+fn fig1_deployment_with_session(seed: u64, session: SessionConfig) -> Deployment {
     let f = fig1();
     let mut d = Deployment::build(
         &f.topology,
         &[2, 2, 2, 2, 2, 2],
         &DeploymentConfig {
             seed,
+            session,
             ..DeploymentConfig::default()
         },
     );
@@ -79,9 +96,18 @@ fn finish(
     mut d: Deployment,
     expect_drained: bool,
 ) -> ScenarioOutcome {
-    d.sim.run_to_quiescence();
+    let quiesced = d.sim.run_to_quiescence_bounded(EVENT_BUDGET);
     let trace = audit_trace(d.sim.trace());
-    let domain = audit_deployment(&d, expect_drained);
+    let mut domain = audit_deployment(&d, expect_drained);
+    if !quiesced {
+        domain.insert(
+            0,
+            AuditViolation::Domain(format!(
+                "event budget exceeded: {EVENT_BUDGET} events processed without \
+                 quiescence (runaway retry loop?)"
+            )),
+        );
+    }
     let stats = d.stats.borrow();
     ScenarioOutcome {
         name,
@@ -91,6 +117,8 @@ fn finish(
         submitted: stats.submitted,
         retrieved: stats.retrieved,
         bounced: stats.bounced,
+        retransmits: stats.retransmits,
+        wiring_errors: d.transport.wiring_errors(),
     }
 }
 
@@ -205,12 +233,158 @@ pub fn random_failures(seed: u64) -> ScenarioOutcome {
     )
 }
 
+/// A lossy, jittery wire under steady load: every link drops 8% of
+/// traffic and duplicates 2% with up to one unit of jitter until t=300,
+/// after which the network heals and users drain their mailboxes. The
+/// session layer (timeout/retransmit/backoff + ack'd retrieval) must
+/// deliver everything despite the loss.
+pub fn chaos_lossy(seed: u64) -> ScenarioOutcome {
+    let mut d = fig1_deployment(seed);
+    let names = d.user_names();
+    let chaos = LinkChaos::new(
+        LinkProfile::new(0.08, 0.02, SimDuration::from_units(1.0))
+            .expect("probabilities are in range"),
+        t(300.0),
+    );
+    d.apply_link_chaos(&chaos).expect("fig1 nodes are bound");
+
+    for i in 0..names.len() {
+        for k in 0..4u64 {
+            d.send_at(
+                t(2.0 + 60.0 * k as f64 + 3.0 * i as f64),
+                &names[i],
+                &names[(i + 1 + k as usize) % names.len()],
+            );
+        }
+    }
+    // Checks run after the stochastic horizon so the drain itself is
+    // clean; two sweeps catch mail parked in drain buffers.
+    for (i, n) in names.iter().enumerate() {
+        d.check_at(t(350.0 + i as f64), n);
+        d.check_at(t(450.0 + i as f64), n);
+    }
+    finish(
+        "chaos-lossy",
+        "Fig. 1 with 8% loss, 2% duplication, jitter until t=300: load + drain",
+        d,
+        true,
+    )
+}
+
+/// The acceptance gauntlet: ≥5% probabilistic loss with jitter on every
+/// link *plus* a flapping partition that repeatedly isolates the first
+/// server (windows [40,70) and [120,150)). Mail submitted into the
+/// partition must fail over to secondaries; nothing may be lost or
+/// stranded once the network heals and users drain.
+pub fn chaos_partition(seed: u64) -> ScenarioOutcome {
+    let d = chaos_partition_deployment(seed, SessionConfig::default());
+    finish(
+        "chaos-partition",
+        "Fig. 1 with 5% loss + jitter and a flapping partition of server 0",
+        d,
+        true,
+    )
+}
+
+/// Builds the `chaos-partition` workload without running it — shared by
+/// the audited scenario and the session-off counterexample test.
+fn chaos_partition_deployment(seed: u64, session: SessionConfig) -> Deployment {
+    let f = fig1();
+    let mut d = fig1_deployment_with_session(seed, session);
+    let names = d.user_names();
+
+    let isolated = vec![f.servers[0]];
+    let mut others: Vec<_> = f.hosts.clone();
+    others.extend(f.servers.iter().skip(1).copied());
+    let chaos = LinkChaos::new(
+        LinkProfile::new(0.05, 0.01, SimDuration::from_units(1.0))
+            .expect("probabilities are in range"),
+        t(300.0),
+    )
+    .partition(isolated.clone(), others.clone(), t(40.0), t(70.0))
+    .partition(isolated, others, t(120.0), t(150.0));
+    d.apply_link_chaos(&chaos).expect("fig1 nodes are bound");
+
+    // Sends land before, inside, and between the partition windows.
+    for i in 0..names.len() {
+        for k in 0..3u64 {
+            d.send_at(
+                t(10.0 + 50.0 * k as f64 + 2.0 * i as f64),
+                &names[i],
+                &names[(i + 5 + k as usize) % names.len()],
+            );
+        }
+    }
+    // Check waves while the wire is still lossy (the ack'd-retrieval
+    // path earns its keep here), then clean drain sweeps after the
+    // horizon.
+    for (i, n) in names.iter().enumerate() {
+        d.check_at(t(200.0 + i as f64), n);
+        d.check_at(t(240.0 + i as f64), n);
+        d.check_at(t(350.0 + i as f64), n);
+        d.check_at(t(450.0 + i as f64), n);
+    }
+    d
+}
+
+/// Compound failure: a crashed server in `[50, 90)` *while* every link
+/// drops 5% of traffic with jitter. Exercises the interaction between
+/// actor-level drops (down server) and link-level loss — both consume
+/// sends in the trace, and the ledgers must still balance.
+pub fn chaos_crash_loss(seed: u64) -> ScenarioOutcome {
+    let f = fig1();
+    let mut d = fig1_deployment(seed);
+    let names = d.user_names();
+
+    let chaos = LinkChaos::new(
+        LinkProfile::new(0.05, 0.0, SimDuration::from_units(0.5))
+            .expect("probabilities are in range"),
+        t(300.0),
+    );
+    d.apply_link_chaos(&chaos).expect("fig1 nodes are bound");
+    let mut plan = ServerFailurePlan::new();
+    plan.add(f.servers[1], t(50.0), t(90.0));
+    d.apply_server_failures(&plan);
+
+    for i in 0..names.len() {
+        for k in 0..3u64 {
+            d.send_at(
+                t(5.0 + 40.0 * k as f64 + 3.0 * i as f64),
+                &names[i],
+                &names[(i + 2 + k as usize) % names.len()],
+            );
+        }
+    }
+    for (i, n) in names.iter().enumerate() {
+        d.check_at(t(350.0 + i as f64), n);
+        d.check_at(t(450.0 + i as f64), n);
+    }
+    finish(
+        "chaos-crash-loss",
+        "Fig. 1 with a server crash in [50, 90) under 5% link loss + jitter",
+        d,
+        true,
+    )
+}
+
+/// The chaos scenarios only (the `--chaos` CLI selector).
+pub fn run_chaos(seed: u64) -> Vec<ScenarioOutcome> {
+    vec![
+        chaos_lossy(seed),
+        chaos_partition(seed),
+        chaos_crash_loss(seed),
+    ]
+}
+
 /// Runs every scenario with `seed`.
 pub fn run_all(seed: u64) -> Vec<ScenarioOutcome> {
     vec![
         steady_exchange(seed),
         primary_outage_failover(seed),
         random_failures(seed),
+        chaos_lossy(seed),
+        chaos_partition(seed),
+        chaos_crash_loss(seed),
     ]
 }
 
@@ -241,5 +415,51 @@ mod tests {
             let o = random_failures(seed);
             assert!(o.is_clean(), "seed {seed}: {:?}", o.violation_lines());
         }
+    }
+
+    #[test]
+    fn chaos_lossy_scenario_is_clean_and_actually_lossy() {
+        let o = chaos_lossy(3);
+        assert!(o.is_clean(), "{:?}", o.violation_lines());
+        assert!(o.trace.link_drops > 0, "8% loss must drop something");
+        assert!(o.retransmits > 0, "loss must force retransmissions");
+        assert_eq!(o.retrieved + o.bounced, o.submitted);
+        assert_eq!(o.wiring_errors, 0);
+    }
+
+    /// The acceptance criterion: ≥5% loss + jitter + a flapping partition
+    /// completes with zero lost mail under the session layer...
+    #[test]
+    fn chaos_partition_scenario_loses_nothing() {
+        let o = chaos_partition(7);
+        assert!(o.is_clean(), "{:?}", o.violation_lines());
+        assert!(o.trace.link_drops > 0, "the partition must cut traffic");
+        assert_eq!(o.retrieved + o.bounced, o.submitted, "zero lost mail");
+        assert_eq!(o.bounced, 0, "failover should beat the retry budget");
+    }
+
+    /// ...and the same gauntlet with the session layer disabled
+    /// demonstrably loses mail — the robustness is load-bearing, not luck.
+    #[test]
+    fn chaos_partition_without_session_layer_loses_mail() {
+        let mut d = chaos_partition_deployment(7, SessionConfig::legacy());
+        assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
+        let stats = d.stats.borrow();
+        let accounted = stats.retrieved + stats.bounced + d.mail_in_storage() as u64;
+        assert!(
+            accounted < stats.submitted,
+            "expected lost mail without retries: submitted {} accounted {}",
+            stats.submitted,
+            accounted
+        );
+    }
+
+    #[test]
+    fn chaos_crash_loss_scenario_is_clean() {
+        let o = chaos_crash_loss(3);
+        assert!(o.is_clean(), "{:?}", o.violation_lines());
+        assert_eq!(o.trace.crashes, 1);
+        assert!(o.trace.drops > 0, "the downed server must drop sends");
+        assert!(o.trace.link_drops > 0, "the lossy wire must drop sends");
     }
 }

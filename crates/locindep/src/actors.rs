@@ -16,7 +16,7 @@
 //!   "is only incurred if a user moves").
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use lems_core::mailbox::Mailbox;
@@ -25,11 +25,15 @@ use lems_core::name::MailName;
 use lems_net::graph::NodeId;
 use lems_net::topology::Topology;
 use lems_net::transport::Transport;
-use lems_sim::actor::{Actor, ActorId, ActorSim, Ctx};
+use lems_sim::actor::{Actor, ActorId, ActorSim, Ctx, TimerId};
+use lems_sim::session::RetryPolicy;
 use lems_sim::stats::Summary;
 use lems_sim::time::{SimDuration, SimTime};
 
 use crate::subgroup::SubgroupMap;
+
+/// Extra timeout slack on top of the round trip (processing, headroom).
+pub const TIMEOUT_SLACK: f64 = 2.0;
 
 /// The System-2 protocol.
 #[derive(Clone, Debug)]
@@ -73,6 +77,12 @@ pub enum RoamMsg {
         /// The message.
         msg: Message,
     },
+    /// Hop-by-hop receipt for [`RoamMsg::Deliver`]: the next hop took
+    /// custody of the message, so the sender stops retransmitting.
+    DeliverAck {
+        /// The message received.
+        id: MessageId,
+    },
     /// Sub-group server -> peer: where is `user`? (asked when the user is
     /// not at their primary location and this server has no record).
     WhereIs {
@@ -115,21 +125,90 @@ pub struct RoamStats {
     pub consults: u64,
     /// Lookups that failed everywhere (user never logged in anywhere).
     pub unknown_location: u64,
+    /// Session-layer retransmissions of `Deliver` hops.
+    pub retransmits: u64,
+    /// Messages abandoned after the retry budget ran out on every
+    /// candidate (the mail is lost — should stay zero under any fault
+    /// plan the session layer is expected to mask).
+    pub delivery_failures: u64,
     /// Submission-to-notification latency (units).
     pub notify_latency: Summary,
 }
 
 type SharedStats = Rc<RefCell<RoamStats>>;
 
+/// A mail submission awaiting its hop-by-hop ack.
+struct SendTask {
+    msg: Message,
+    /// Server currently being probed.
+    current: NodeId,
+    /// Probes already sent to `current`.
+    attempts: u32,
+    /// Servers not yet tried, nearest first.
+    remaining: Vec<NodeId>,
+    /// Pending timeout (guards against stale timers).
+    timer: TimerId,
+}
+
 /// A host: forwards logins and sends to the nearest server.
 pub struct RoamHost {
     node: NodeId,
     nearest_server: NodeId,
+    /// Every region server, nearest first — the failover order for
+    /// submissions when the nearest server stops acking.
+    server_ring: Vec<NodeId>,
     transport: Rc<Transport>,
     id_gen: Rc<RefCell<MessageIdGen>>,
     stats: SharedStats,
+    retry: RetryPolicy,
+    server_proc: f64,
+    /// Submissions awaiting a [`RoamMsg::DeliverAck`].
+    pending_sends: BTreeMap<MessageId, SendTask>,
     /// Alerts received per user.
     pub alerts: BTreeMap<MailName, u64>,
+}
+
+impl RoamHost {
+    fn timeout_for(&self, server: NodeId) -> SimDuration {
+        let rtt = self.transport.delay(self.node, server) * 2;
+        rtt + SimDuration::from_units(self.server_proc + TIMEOUT_SLACK)
+    }
+
+    /// Sends (or retransmits) `msg` to `server` and arms the session
+    /// timeout.
+    fn send_probe(
+        &mut self,
+        msg: Message,
+        server: NodeId,
+        attempt: u32,
+        remaining: Vec<NodeId>,
+        ctx: &mut Ctx<'_, RoamMsg>,
+    ) {
+        if attempt > 0 {
+            self.stats.borrow_mut().retransmits += 1;
+        }
+        let timeout = self
+            .retry
+            .timeout(self.timeout_for(server), attempt, ctx.rng());
+        self.transport.send(
+            ctx,
+            self.node,
+            server,
+            RoamMsg::Deliver { msg: msg.clone() },
+            SimDuration::ZERO,
+        );
+        let timer = ctx.set_timer(timeout, msg.id.0);
+        self.pending_sends.insert(
+            msg.id,
+            SendTask {
+                msg,
+                current: server,
+                attempts: attempt + 1,
+                remaining,
+                timer,
+            },
+        );
+    }
 }
 
 impl Actor for RoamHost {
@@ -155,18 +234,46 @@ impl Actor for RoamHost {
                 let id = self.id_gen.borrow_mut().next_id();
                 self.stats.borrow_mut().submitted += 1;
                 let m = Message::new(id, from, to, "msg", "body", ctx.now());
-                self.transport.send(
-                    ctx,
-                    self.node,
-                    self.nearest_server,
-                    RoamMsg::Deliver { msg: m },
-                    SimDuration::ZERO,
-                );
+                let mut ring = self.server_ring.clone();
+                let first = if ring.is_empty() {
+                    self.nearest_server
+                } else {
+                    ring.remove(0)
+                };
+                self.send_probe(m, first, 0, ring, ctx);
+            }
+            RoamMsg::DeliverAck { id } => {
+                if let Some(task) = self.pending_sends.remove(&id) {
+                    ctx.cancel_timer(task.timer);
+                }
             }
             RoamMsg::Notify { user, .. } => {
                 *self.alerts.entry(user).or_insert(0) += 1;
             }
             _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, id: TimerId, tag: u64, ctx: &mut Ctx<'_, RoamMsg>) {
+        let Some(task) = self.pending_sends.remove(&MessageId(tag)) else {
+            return;
+        };
+        if task.timer != id {
+            // Stale timer from a superseded probe.
+            self.pending_sends.insert(task.msg.id, task);
+            return;
+        }
+        if self.retry.exhausted(task.attempts) {
+            let mut remaining = task.remaining;
+            if remaining.is_empty() {
+                // Every candidate exhausted its budget: the mail is lost.
+                self.stats.borrow_mut().delivery_failures += 1;
+            } else {
+                let next = remaining.remove(0);
+                self.send_probe(task.msg, next, 0, remaining, ctx);
+            }
+        } else {
+            self.send_probe(task.msg, task.current, task.attempts, task.remaining, ctx);
         }
     }
 }
@@ -176,6 +283,15 @@ impl Actor for RoamHost {
 struct PendingLookup {
     msg: Message,
     peers_left: Vec<NodeId>,
+}
+
+/// A sub-group handoff awaiting its hop-by-hop ack.
+struct RelayTask {
+    msg: Message,
+    /// Probes already sent to the responsible peer.
+    attempts: u32,
+    /// Pending timeout (guards against stale timers).
+    timer: TimerId,
 }
 
 /// A System-2 region server.
@@ -192,6 +308,12 @@ pub struct RoamServer {
     locations: BTreeMap<MailName, (NodeId, SimTime)>,
     mailboxes: BTreeMap<MailName, Mailbox>,
     pending: BTreeMap<MessageId, PendingLookup>,
+    /// Message ids already accepted (stored or relayed): retransmitted and
+    /// wire-duplicated `Deliver`s are acked but processed only once.
+    seen_ids: BTreeSet<MessageId>,
+    /// Sub-group handoffs awaiting a [`RoamMsg::DeliverAck`].
+    relays: BTreeMap<MessageId, RelayTask>,
+    retry: RetryPolicy,
     proc_time: f64,
     stats: SharedStats,
 }
@@ -199,6 +321,35 @@ pub struct RoamServer {
 impl RoamServer {
     fn proc(&self) -> SimDuration {
         SimDuration::from_units(self.proc_time)
+    }
+
+    /// Sends (or retransmits) a sub-group handoff and arms the session
+    /// timeout. The responsible server is fixed by the name hash, so there
+    /// is no failover candidate — only retransmission.
+    fn relay_probe(&mut self, msg: Message, attempt: u32, ctx: &mut Ctx<'_, RoamMsg>) {
+        let responsible = self.subgroups.server_of(&msg.to);
+        if attempt > 0 {
+            self.stats.borrow_mut().retransmits += 1;
+        }
+        let rtt = self.transport.delay(self.node, responsible) * 2;
+        let base = rtt + SimDuration::from_units(self.proc_time + TIMEOUT_SLACK);
+        let timeout = self.retry.timeout(base, attempt, ctx.rng());
+        self.transport.send(
+            ctx,
+            self.node,
+            responsible,
+            RoamMsg::Deliver { msg: msg.clone() },
+            self.proc(),
+        );
+        let timer = ctx.set_timer(timeout, msg.id.0);
+        self.relays.insert(
+            msg.id,
+            RelayTask {
+                msg,
+                attempts: attempt + 1,
+                timer,
+            },
+        );
     }
 
     /// Applies a location fact if it is newer than what we hold
@@ -318,7 +469,7 @@ impl RoamServer {
 impl Actor for RoamServer {
     type Msg = RoamMsg;
 
-    fn on_message(&mut self, _from: ActorId, msg: RoamMsg, ctx: &mut Ctx<'_, RoamMsg>) {
+    fn on_message(&mut self, from: ActorId, msg: RoamMsg, ctx: &mut Ctx<'_, RoamMsg>) {
         match msg {
             RoamMsg::LoginReport { user, host, at } => {
                 self.record_location(user.clone(), host, at);
@@ -343,18 +494,33 @@ impl Actor for RoamServer {
                 self.record_location(user, host, at);
             }
             RoamMsg::Deliver { msg } => {
+                // Ack the hop unconditionally — even for a duplicate, since
+                // the duplicate means the sender never saw our first ack.
+                if let Some(sender) = self.transport.node_of(from) {
+                    self.transport.send(
+                        ctx,
+                        self.node,
+                        sender,
+                        RoamMsg::DeliverAck { id: msg.id },
+                        self.proc(),
+                    );
+                }
+                if !self.seen_ids.insert(msg.id) {
+                    // Retransmission or wire duplicate: already handled.
+                    return;
+                }
                 let responsible = self.subgroups.server_of(&msg.to);
                 if responsible == self.node {
                     self.store_and_notify(msg, ctx);
                 } else {
-                    // Hash says a peer owns this sub-group: hand it over.
-                    self.transport.send(
-                        ctx,
-                        self.node,
-                        responsible,
-                        RoamMsg::Deliver { msg },
-                        self.proc(),
-                    );
+                    // Hash says a peer owns this sub-group: hand it over,
+                    // reliably (retransmit until the peer acks).
+                    self.relay_probe(msg, 0, ctx);
+                }
+            }
+            RoamMsg::DeliverAck { id } => {
+                if let Some(task) = self.relays.remove(&id) {
+                    ctx.cancel_timer(task.timer);
                 }
             }
             RoamMsg::WhereIs {
@@ -418,6 +584,24 @@ impl Actor for RoamServer {
                 }
             }
             _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, id: TimerId, tag: u64, ctx: &mut Ctx<'_, RoamMsg>) {
+        let Some(task) = self.relays.remove(&MessageId(tag)) else {
+            return;
+        };
+        if task.timer != id {
+            // Stale timer from a superseded probe.
+            self.relays.insert(task.msg.id, task);
+            return;
+        }
+        if self.retry.exhausted(task.attempts) {
+            // The responsible peer never acked within budget; the name
+            // hash admits no substitute, so the handoff is abandoned.
+            self.stats.borrow_mut().delivery_failures += 1;
+        } else {
+            self.relay_probe(task.msg, task.attempts, ctx);
         }
     }
 }
@@ -485,6 +669,9 @@ impl RoamDeployment {
                 locations: BTreeMap::new(),
                 mailboxes: BTreeMap::new(),
                 pending: BTreeMap::new(),
+                seen_ids: BTreeSet::new(),
+                relays: BTreeMap::new(),
+                retry: RetryPolicy::default_session(),
                 proc_time: 0.5,
                 stats: Rc::clone(&stats),
             };
@@ -501,12 +688,18 @@ impl RoamDeployment {
                 .copied()
                 .min_by_key(|&s| dist.distance(h, s))
                 .unwrap_or_else(|| servers[0]);
+            let mut ring = servers.clone();
+            ring.sort_by_key(|&s| (dist.distance(h, s), s));
             let actor = RoamHost {
                 node: h,
                 nearest_server: nearest,
+                server_ring: ring,
                 transport: Rc::clone(&placeholder_transport),
                 id_gen: Rc::clone(&id_gen),
                 stats: Rc::clone(&stats),
+                retry: RetryPolicy::default_session(),
+                server_proc: 0.5,
+                pending_sends: BTreeMap::new(),
                 alerts: BTreeMap::new(),
             };
             let id = sim.add_actor(actor);
@@ -724,5 +917,65 @@ mod tests {
         let st = d.stats.borrow();
         assert_eq!(st.consults, 0, "cooperative updates make lookups free");
         assert_eq!(st.notified, users.len() as u64 - 1);
+    }
+
+    #[test]
+    fn lossy_wire_mail_still_reaches_storage() {
+        use lems_sim::linkfault::{LinkFaultPlan, LinkProfile};
+
+        let topo = world();
+        let mut d = RoamDeployment::build(&topo, &[1, 1, 1, 1], 16, 6);
+        let plan = LinkFaultPlan::new()
+            .with_default_profile(
+                LinkProfile::new(0.25, 0.0, SimDuration::from_units(0.5)).unwrap(),
+            )
+            .with_stochastic_horizon(t(300.0));
+        d.sim.set_link_faults(plan);
+
+        let users: Vec<MailName> = d.users.keys().cloned().collect();
+        for u in &users {
+            d.login_at(t(1.0), u, d.users[u]);
+        }
+        let sender = users[0].clone();
+        for (i, u) in users.iter().enumerate().skip(1) {
+            d.send_at(t(20.0 + i as f64 * 5.0), &sender, u);
+        }
+        d.sim.run_to_quiescence();
+
+        let st = d.stats.borrow();
+        assert_eq!(st.submitted, 3);
+        assert_eq!(st.stored, 3, "session layer must mask 25% loss");
+        assert_eq!(st.delivery_failures, 0);
+        assert!(
+            st.retransmits > 0,
+            "a 25% lossy wire must force at least one retransmission"
+        );
+        drop(st);
+        assert_eq!(d.mail_in_storage(), 3);
+    }
+
+    #[test]
+    fn wire_duplicates_store_once() {
+        use lems_sim::linkfault::{LinkFaultPlan, LinkProfile};
+
+        let topo = world();
+        let mut d = RoamDeployment::build(&topo, &[1, 1, 1, 1], 16, 7);
+        let plan = LinkFaultPlan::new()
+            .with_default_profile(LinkProfile::new(0.0, 1.0, SimDuration::ZERO).unwrap())
+            .with_stochastic_horizon(t(200.0));
+        d.sim.set_link_faults(plan);
+
+        let users: Vec<MailName> = d.users.keys().cloned().collect();
+        let (alice, bob) = (users[0].clone(), users[1].clone());
+        d.login_at(t(1.0), &bob, d.users[&bob]);
+        d.send_at(t(10.0), &alice, &bob);
+        d.sim.run_to_quiescence();
+
+        let st = d.stats.borrow();
+        assert_eq!(st.submitted, 1);
+        assert_eq!(st.stored, 1, "duplicated Deliver hops must dedup");
+        drop(st);
+        assert_eq!(d.mail_in_storage(), 1);
+        assert!(d.sim.counters().duplicated.get() > 0);
     }
 }

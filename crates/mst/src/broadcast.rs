@@ -454,7 +454,8 @@ mod tests {
         let adj = tree_adj(&g);
         let mut plan = FailurePlan::new();
         // Node 3 dead for the whole run: nodes 3,4,5 unreachable.
-        plan.add_outage(ActorId(3), SimTime::ZERO, SimTime::from_units(1e9));
+        plan.add_outage(ActorId(3), SimTime::ZERO, SimTime::from_units(1e9))
+            .unwrap();
         let cfg = BroadcastConfig {
             root: NodeId(0),
             local_matches: vec![1; 6],
@@ -472,7 +473,8 @@ mod tests {
         let g = chain(3);
         let adj = tree_adj(&g);
         let mut plan = FailurePlan::new();
-        plan.add_outage(ActorId(0), SimTime::ZERO, SimTime::from_units(1e9));
+        plan.add_outage(ActorId(0), SimTime::ZERO, SimTime::from_units(1e9))
+            .unwrap();
         let cfg = BroadcastConfig {
             root: NodeId(0),
             local_matches: vec![1; 3],

@@ -15,6 +15,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use crate::linkfault::LinkFaultPlan;
 use crate::queue::EventQueue;
 use crate::rng::SimRng;
 use crate::stats::Counter;
@@ -115,6 +116,11 @@ pub struct SimCounters {
     pub dropped_down: Counter,
     /// Messages dropped because the destination id was never registered.
     pub dropped_unknown: Counter,
+    /// Messages lost on the wire by the link-fault plan (outage or
+    /// probabilistic loss).
+    pub dropped_link: Counter,
+    /// Extra copies created by link-level duplication.
+    pub duplicated: Counter,
     /// Timers that fired and reached a live actor.
     pub timers_fired: Counter,
     /// Timers suppressed by cancellation or by a crash.
@@ -137,10 +143,13 @@ struct Core<M> {
     counters: SimCounters,
     trace: Trace,
     rng: SimRng,
+    link_faults: Option<LinkFaultPlan>,
+    fault_rng: SimRng,
 }
 
 impl<M> Core<M> {
-    fn send(&mut self, from: ActorId, to: ActorId, msg: M, delay: SimDuration) {
+    /// Queues a message for delivery after `delay` (FIFO clamp + trace).
+    fn enqueue(&mut self, from: ActorId, to: ActorId, msg: M, delay: SimDuration) {
         let mut at = self.now + delay;
         // External injections model independent workload arrivals, not a
         // physical link, so they are exempt from FIFO clamping.
@@ -155,6 +164,55 @@ impl<M> Core<M> {
         }
         self.trace.record(at, TraceKind::Send, from, to);
         self.queue.push(at, Ev::Deliver { from, to, msg });
+    }
+
+    fn send(&mut self, from: ActorId, to: ActorId, msg: M, delay: SimDuration)
+    where
+        M: Clone,
+    {
+        // Link faults apply only to real network hops: external injections
+        // (workload arrivals) and self-sends (local processing stages) never
+        // traverse a link.
+        if let Some(plan) = &self.link_faults {
+            if from != ActorId::EXTERNAL && from != to {
+                let profile = plan.profile(from, to);
+                let stochastic = plan.stochastic_active(self.now);
+                let lost = !plan.is_link_up(from, to, self.now)
+                    || (stochastic
+                        && profile.drop_prob > 0.0
+                        && self.fault_rng.chance(profile.drop_prob));
+                if lost {
+                    // Trace the send and its loss under the same
+                    // (from, to, at) key so the conservation law "every send
+                    // terminates in exactly one deliver-or-drop" still holds.
+                    // The FIFO clamp is not updated: nothing arrives.
+                    let at = self.now + delay;
+                    self.counters.dropped_link.inc();
+                    self.trace.record(at, TraceKind::Send, from, to);
+                    self.trace.record(at, TraceKind::LinkDrop, from, to);
+                    return;
+                }
+                let jitter = |rng: &mut SimRng| {
+                    if stochastic && !profile.jitter.is_zero() {
+                        SimDuration::from_ticks(rng.range(0..=profile.jitter.as_ticks()))
+                    } else {
+                        SimDuration::ZERO
+                    }
+                };
+                let extra = jitter(&mut self.fault_rng);
+                if stochastic && profile.dup_prob > 0.0 && self.fault_rng.chance(profile.dup_prob) {
+                    // The duplicate takes its own jitter draw so the two
+                    // copies land at distinct instants (FIFO still orders
+                    // them per the clamp above).
+                    let dup_extra = jitter(&mut self.fault_rng);
+                    self.counters.duplicated.inc();
+                    self.enqueue(from, to, msg.clone(), delay + dup_extra);
+                }
+                self.enqueue(from, to, msg, delay + extra);
+                return;
+            }
+        }
+        self.enqueue(from, to, msg, delay);
     }
 
     fn set_timer(&mut self, actor: ActorId, delay: SimDuration, tag: u64) -> TimerId {
@@ -189,14 +247,18 @@ impl<'a, M> Ctx<'a, M> {
     /// two nodes; the network substrate computes it from topology. With FIFO
     /// links enabled (the default) arrival order per ordered pair matches
     /// send order even if later sends carry smaller delays.
-    pub fn send(&mut self, to: ActorId, msg: M, delay: SimDuration) {
+    pub fn send(&mut self, to: ActorId, msg: M, delay: SimDuration)
+    where
+        M: Clone,
+    {
         self.core.send(self.me, to, msg, delay);
     }
 
     /// Sends `msg` to the actor itself after `delay` — a convenience for
-    /// modelling local processing stages.
+    /// modelling local processing stages. Self-sends never traverse a link,
+    /// so link faults do not apply.
     pub fn send_self(&mut self, msg: M, delay: SimDuration) {
-        self.core.send(self.me, self.me, msg, delay);
+        self.core.enqueue(self.me, self.me, msg, delay);
     }
 
     /// Arms a timer that fires after `delay`, delivering `tag` to
@@ -281,6 +343,10 @@ impl<M: 'static> ActorSim<M> {
                 counters: SimCounters::default(),
                 trace: Trace::disabled(),
                 rng: SimRng::seed(seed).fork("actor-sim"),
+                link_faults: None,
+                // A dedicated stream: enabling faults must not perturb the
+                // randomness actors observe via `Ctx::rng`.
+                fault_rng: SimRng::seed(seed).fork("link-faults"),
             },
             actors: Vec::new(),
             started: Vec::new(),
@@ -345,9 +411,26 @@ impl<M: 'static> ActorSim<M> {
     }
 
     /// Injects a message from outside the simulation, delivered to `to` at
-    /// `now + delay`.
+    /// `now + delay`. Injections model workload arrivals, not link traffic,
+    /// so link faults do not apply.
     pub fn inject(&mut self, to: ActorId, msg: M, delay: SimDuration) {
-        self.core.send(ActorId::EXTERNAL, to, msg, delay);
+        self.core.enqueue(ActorId::EXTERNAL, to, msg, delay);
+    }
+
+    /// Installs (or replaces) the link-fault plan consulted on every
+    /// actor-to-actor send. See [`LinkFaultPlan`] for the fault taxonomy.
+    pub fn set_link_faults(&mut self, plan: LinkFaultPlan) {
+        self.core.link_faults = Some(plan);
+    }
+
+    /// Removes the link-fault plan; subsequent sends travel a perfect wire.
+    pub fn clear_link_faults(&mut self) {
+        self.core.link_faults = None;
+    }
+
+    /// The installed link-fault plan, if any.
+    pub fn link_faults(&self) -> Option<&LinkFaultPlan> {
+        self.core.link_faults.as_ref()
     }
 
     /// Schedules `actor` to crash at `at` (no-op if already down then).
@@ -699,5 +782,144 @@ mod tests {
         sim.inject(ActorId(999), 1, unit(1.0));
         sim.run_to_quiescence();
         assert_eq!(sim.counters().dropped_unknown.get(), 1);
+    }
+
+    /// Relays every received message to `target` after 1 unit.
+    struct Relay {
+        target: ActorId,
+    }
+    impl Actor for Relay {
+        type Msg = u32;
+        fn on_message(&mut self, _f: ActorId, m: u32, ctx: &mut Ctx<'_, u32>) {
+            ctx.send(self.target, m, unit(1.0));
+        }
+    }
+
+    #[test]
+    fn link_outage_drops_wire_traffic_but_not_injections() {
+        use crate::linkfault::LinkFaultPlan;
+        let mut sim = ActorSim::new(1);
+        let r = sim.add_actor(Recorder::default());
+        let relay = sim.add_actor(Relay { target: r });
+        let mut plan = LinkFaultPlan::new();
+        plan.add_link_outage(relay, r, SimTime::ZERO, SimTime::from_units(10.0))
+            .unwrap();
+        sim.set_link_faults(plan);
+        sim.enable_trace(usize::MAX);
+        // Injection reaches the relay (injections are exempt), but the
+        // relay's forward crosses the dead link and is lost.
+        sim.inject(relay, 5, unit(1.0));
+        // After the outage lifts, the same route works.
+        sim.inject(relay, 6, unit(11.0));
+        sim.run_to_quiescence();
+        let rec: &Recorder = sim.actor(r).unwrap();
+        assert_eq!(rec.seen.len(), 1);
+        assert_eq!(rec.seen[0].1, 6);
+        assert_eq!(sim.counters().dropped_link.get(), 1);
+        // Conservation: every traced send has a deliver or a drop.
+        let sends = sim
+            .trace()
+            .events()
+            .filter(|e| e.kind == TraceKind::Send)
+            .count();
+        let ends = sim
+            .trace()
+            .events()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    TraceKind::Deliver | TraceKind::Drop | TraceKind::LinkDrop
+                )
+            })
+            .count();
+        assert_eq!(sends, ends);
+    }
+
+    #[test]
+    fn certain_loss_loses_everything_on_the_wire() {
+        use crate::linkfault::{LinkFaultPlan, LinkProfile};
+        let mut sim = ActorSim::new(1);
+        let r = sim.add_actor(Recorder::default());
+        let relay = sim.add_actor(Relay { target: r });
+        sim.set_link_faults(
+            LinkFaultPlan::new()
+                .with_default_profile(LinkProfile::new(1.0, 0.0, SimDuration::ZERO).unwrap()),
+        );
+        for i in 0..10 {
+            sim.inject(relay, i, unit(i as f64));
+        }
+        sim.run_to_quiescence();
+        let rec: &Recorder = sim.actor(r).unwrap();
+        assert!(rec.seen.is_empty());
+        assert_eq!(sim.counters().dropped_link.get(), 10);
+    }
+
+    #[test]
+    fn certain_duplication_doubles_delivery() {
+        use crate::linkfault::{LinkFaultPlan, LinkProfile};
+        let mut sim = ActorSim::new(1);
+        let r = sim.add_actor(Recorder::default());
+        let relay = sim.add_actor(Relay { target: r });
+        sim.set_link_faults(
+            LinkFaultPlan::new()
+                .with_default_profile(LinkProfile::new(0.0, 1.0, SimDuration::ZERO).unwrap()),
+        );
+        sim.inject(relay, 7, unit(1.0));
+        sim.run_to_quiescence();
+        let rec: &Recorder = sim.actor(r).unwrap();
+        assert_eq!(rec.seen.len(), 2, "original + duplicate");
+        assert_eq!(sim.counters().duplicated.get(), 1);
+    }
+
+    #[test]
+    fn self_sends_bypass_link_faults() {
+        use crate::linkfault::{LinkFaultPlan, LinkProfile};
+        struct SelfLooper {
+            got: u32,
+        }
+        impl Actor for SelfLooper {
+            type Msg = u32;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                ctx.send_self(3, unit(1.0));
+            }
+            fn on_message(&mut self, _f: ActorId, m: u32, _c: &mut Ctx<'_, u32>) {
+                self.got = m;
+            }
+        }
+        let mut sim = ActorSim::new(1);
+        let a = sim.add_actor(SelfLooper { got: 0 });
+        sim.set_link_faults(
+            LinkFaultPlan::new()
+                .with_default_profile(LinkProfile::new(1.0, 0.0, SimDuration::ZERO).unwrap()),
+        );
+        sim.run_to_quiescence();
+        let looper: &SelfLooper = sim.actor(a).unwrap();
+        assert_eq!(looper.got, 3);
+        assert_eq!(sim.counters().dropped_link.get(), 0);
+    }
+
+    #[test]
+    fn link_faults_are_deterministic_per_seed() {
+        use crate::linkfault::{LinkFaultPlan, LinkProfile};
+        fn run(seed: u64) -> (u64, u64, u64, SimTime) {
+            let mut sim = ActorSim::new(seed);
+            let r = sim.add_actor(Recorder::default());
+            let relay = sim.add_actor(Relay { target: r });
+            sim.set_link_faults(LinkFaultPlan::new().with_default_profile(
+                LinkProfile::new(0.3, 0.1, SimDuration::from_units(0.5)).unwrap(),
+            ));
+            for i in 0..200 {
+                sim.inject(relay, i, unit(i as f64 * 0.1));
+            }
+            sim.run_to_quiescence();
+            (
+                sim.counters().delivered.get(),
+                sim.counters().dropped_link.get(),
+                sim.counters().duplicated.get(),
+                sim.now(),
+            )
+        }
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
     }
 }

@@ -13,6 +13,38 @@ use crate::actor::{ActorId, ActorSim};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
+/// Why a failure or link-fault plan could not be constructed.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum FailureError {
+    /// An outage interval was empty or inverted (`up_at <= down_at`).
+    EmptyOutage {
+        /// Requested crash instant.
+        down_at: SimTime,
+        /// Requested repair instant.
+        up_at: SimTime,
+    },
+    /// A mean time (MTBF or MTTR) was zero.
+    ZeroMeanTime,
+    /// A probability was outside `[0, 1]` or NaN.
+    InvalidProbability(f64),
+}
+
+impl std::fmt::Display for FailureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureError::EmptyOutage { down_at, up_at } => {
+                write!(f, "outage must end after it starts ({down_at} >= {up_at})")
+            }
+            FailureError::ZeroMeanTime => write!(f, "mtbf/mttr must be positive"),
+            FailureError::InvalidProbability(p) => {
+                write!(f, "probability {p} outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FailureError {}
+
 /// One contiguous down interval `[down_at, up_at)` for an actor.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Outage {
@@ -23,14 +55,12 @@ pub struct Outage {
 }
 
 impl Outage {
-    /// Creates an outage.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `up_at <= down_at`.
-    pub fn new(down_at: SimTime, up_at: SimTime) -> Self {
-        assert!(up_at > down_at, "outage must end after it starts");
-        Outage { down_at, up_at }
+    /// Creates an outage, rejecting empty or inverted intervals.
+    pub fn new(down_at: SimTime, up_at: SimTime) -> Result<Self, FailureError> {
+        if up_at <= down_at {
+            return Err(FailureError::EmptyOutage { down_at, up_at });
+        }
+        Ok(Outage { down_at, up_at })
     }
 
     /// True if `t` falls inside the outage.
@@ -54,7 +84,7 @@ impl Outage {
 /// use lems_sim::time::SimTime;
 ///
 /// let mut plan = FailurePlan::new();
-/// plan.add_outage(ActorId(2), SimTime::from_units(5.0), SimTime::from_units(9.0));
+/// plan.add_outage(ActorId(2), SimTime::from_units(5.0), SimTime::from_units(9.0)).unwrap();
 /// assert!(plan.is_up(ActorId(2), SimTime::from_units(4.9)));
 /// assert!(!plan.is_up(ActorId(2), SimTime::from_units(5.0)));
 /// assert!(plan.is_up(ActorId(2), SimTime::from_units(9.0)));
@@ -73,17 +103,18 @@ impl FailurePlan {
 
     /// Adds an outage for `actor` (O(1): insertion order is preserved;
     /// call [`normalize`] to sort and merge overlaps when needed).
+    /// Rejects empty or inverted intervals.
     ///
     /// [`normalize`]: FailurePlan::normalize
-    ///
-    /// # Panics
-    ///
-    /// Panics if `up_at <= down_at`.
-    pub fn add_outage(&mut self, actor: ActorId, down_at: SimTime, up_at: SimTime) {
-        self.outages
-            .entry(actor)
-            .or_default()
-            .push(Outage::new(down_at, up_at));
+    pub fn add_outage(
+        &mut self,
+        actor: ActorId,
+        down_at: SimTime,
+        up_at: SimTime,
+    ) -> Result<(), FailureError> {
+        let outage = Outage::new(down_at, up_at)?;
+        self.outages.entry(actor).or_default().push(outage);
+        Ok(())
     }
 
     /// Merges overlapping or adjacent outages per actor.
@@ -107,32 +138,33 @@ impl FailurePlan {
 
     /// Generates a plan where each actor alternates exponentially
     /// distributed up intervals (mean `mtbf`) and down intervals (mean
-    /// `mttr`) over `[0, horizon)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `mtbf` or `mttr` is zero.
+    /// `mttr`) over `[0, horizon)`. Rejects zero means.
     pub fn random(
         rng: &mut SimRng,
         actors: &[ActorId],
         mtbf: SimDuration,
         mttr: SimDuration,
         horizon: SimTime,
-    ) -> Self {
-        assert!(
-            !mtbf.is_zero() && !mttr.is_zero(),
-            "mtbf/mttr must be positive"
-        );
+    ) -> Result<Self, FailureError> {
+        if mtbf.is_zero() || mttr.is_zero() {
+            return Err(FailureError::ZeroMeanTime);
+        }
         let mut plan = FailurePlan::new();
         for &actor in actors {
             let mut t = SimTime::ZERO + rng.exp_duration(mtbf);
             while t < horizon {
-                let repair = t + rng.exp_duration(mttr);
-                plan.add_outage(actor, t, repair);
+                // An exponential draw can round down to zero ticks; stretch
+                // to one tick so the outage interval stays non-empty.
+                let mut down = rng.exp_duration(mttr);
+                if down.is_zero() {
+                    down = SimDuration::from_ticks(1);
+                }
+                let repair = t + down;
+                plan.add_outage(actor, t, repair)?;
                 t = repair + rng.exp_duration(mtbf);
             }
         }
-        plan
+        Ok(plan)
     }
 
     /// True if `actor` is up at instant `t` under this plan.
@@ -199,7 +231,7 @@ mod tests {
 
     #[test]
     fn outage_covers_half_open_interval() {
-        let o = Outage::new(t(1.0), t(2.0));
+        let o = Outage::new(t(1.0), t(2.0)).unwrap();
         assert!(!o.covers(t(0.99)));
         assert!(o.covers(t(1.0)));
         assert!(o.covers(t(1.99)));
@@ -211,13 +243,16 @@ mod tests {
     fn normalize_merges_overlaps() {
         let mut p = FailurePlan::new();
         let a = ActorId(0);
-        p.add_outage(a, t(1.0), t(3.0));
-        p.add_outage(a, t(2.0), t(4.0));
-        p.add_outage(a, t(6.0), t(7.0));
+        p.add_outage(a, t(1.0), t(3.0)).unwrap();
+        p.add_outage(a, t(2.0), t(4.0)).unwrap();
+        p.add_outage(a, t(6.0), t(7.0)).unwrap();
         p.normalize();
         assert_eq!(
             p.outages(a),
-            &[Outage::new(t(1.0), t(4.0)), Outage::new(t(6.0), t(7.0))]
+            &[
+                Outage::new(t(1.0), t(4.0)).unwrap(),
+                Outage::new(t(6.0), t(7.0)).unwrap()
+            ]
         );
     }
 
@@ -225,7 +260,7 @@ mod tests {
     fn availability_accounts_for_truncation() {
         let mut p = FailurePlan::new();
         let a = ActorId(0);
-        p.add_outage(a, t(8.0), t(20.0)); // truncated by horizon 10 -> 2 down
+        p.add_outage(a, t(8.0), t(20.0)).unwrap(); // truncated by horizon 10 -> 2 down
         assert!((p.availability(a, t(10.0)) - 0.8).abs() < 1e-9);
         assert_eq!(p.availability(ActorId(9), t(10.0)), 1.0);
     }
@@ -237,7 +272,7 @@ mod tests {
         let mtbf = SimDuration::from_units(90.0);
         let mttr = SimDuration::from_units(10.0);
         let horizon = t(10_000.0);
-        let plan = FailurePlan::random(&mut rng, &actors, mtbf, mttr, horizon);
+        let plan = FailurePlan::random(&mut rng, &actors, mtbf, mttr, horizon).unwrap();
         let avg: f64 = actors
             .iter()
             .map(|&a| plan.availability(a, horizon))
@@ -258,7 +293,7 @@ mod tests {
         let mut sim = ActorSim::new(1);
         let a = sim.add_actor(Nop);
         let mut plan = FailurePlan::new();
-        plan.add_outage(a, t(1.0), t(2.0));
+        plan.add_outage(a, t(1.0), t(2.0)).unwrap();
         plan.apply(&mut sim);
         sim.run_until(t(1.5));
         assert!(sim.is_down(a));
@@ -277,7 +312,8 @@ mod tests {
             let mut p = FailurePlan::new();
             let a = ActorId(1);
             for &(start, len) in &spans {
-                p.add_outage(a, SimTime::from_ticks(start), SimTime::from_ticks(start + len));
+                p.add_outage(a, SimTime::from_ticks(start), SimTime::from_ticks(start + len))
+                    .unwrap();
             }
             let brute_down = spans.iter().any(|&(s, l)| probe >= s && probe < s + l);
             p.normalize();

@@ -46,8 +46,10 @@
 pub mod actor;
 pub mod failure;
 pub mod kernel;
+pub mod linkfault;
 pub mod queue;
 pub mod rng;
+pub mod session;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -55,8 +57,10 @@ pub mod trace;
 /// Convenient glob-import of the most used simulation types.
 pub mod prelude {
     pub use crate::actor::{Actor, ActorId, ActorSim, Ctx, TimerId};
-    pub use crate::failure::FailurePlan;
+    pub use crate::failure::{FailureError, FailurePlan};
+    pub use crate::linkfault::{LinkFaultPlan, LinkProfile};
     pub use crate::rng::SimRng;
+    pub use crate::session::RetryPolicy;
     pub use crate::stats::{Counter, Histogram, Summary, TimeWeighted};
     pub use crate::time::{SimDuration, SimTime};
 }

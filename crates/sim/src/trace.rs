@@ -17,6 +17,8 @@ pub enum TraceKind {
     Deliver,
     /// A message was dropped because its destination was down.
     Drop,
+    /// A message was lost on the wire (link outage or probabilistic loss).
+    LinkDrop,
     /// An actor crashed.
     Crash,
     /// An actor recovered.
@@ -29,6 +31,7 @@ impl std::fmt::Display for TraceKind {
             TraceKind::Send => "send",
             TraceKind::Deliver => "deliver",
             TraceKind::Drop => "drop",
+            TraceKind::LinkDrop => "link-drop",
             TraceKind::Crash => "crash",
             TraceKind::Recover => "recover",
         };

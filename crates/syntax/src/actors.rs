@@ -30,10 +30,14 @@ use lems_core::mailbox::Mailbox;
 use lems_core::message::{BounceReason, Message, MessageId, MessageIdGen};
 use lems_core::name::MailName;
 use lems_core::user::AuthorityList;
+use lems_net::error::NetError;
 use lems_net::graph::NodeId;
 use lems_net::topology::{RegionId, Topology};
 use lems_net::transport::Transport;
 use lems_sim::actor::{Actor, ActorId, ActorSim, Ctx, TimerId};
+use lems_sim::failure::{FailureError, Outage};
+use lems_sim::linkfault::{LinkFaultPlan, LinkProfile};
+use lems_sim::session::RetryPolicy;
 use lems_sim::stats::Summary;
 use lems_sim::time::{SimDuration, SimTime};
 
@@ -113,6 +117,16 @@ pub enum MailMsg {
         /// The server's `LastStartTime`.
         last_start_time: SimTime,
     },
+    /// UI -> server: the listed drained messages arrived safely; the
+    /// server may release its drain buffer for them. Without this ack a
+    /// lost `RetrieveReply` would destroy mail — the server keeps drained
+    /// messages in stable storage until the host confirms receipt.
+    RetrieveAck {
+        /// The user whose drain is being confirmed.
+        user: MailName,
+        /// Ids received by the host.
+        ids: Vec<MessageId>,
+    },
 }
 
 /// Shared run statistics (single-threaded simulation: `Rc<RefCell<_>>`).
@@ -126,10 +140,15 @@ pub struct DeliveryStats {
     pub retrieved: u64,
     /// Messages bounced (resolution failure or every server down).
     pub bounced: u64,
-    /// Individual submit probes (connection-setup attempts).
+    /// Individual submit probes (connection-setup attempts), including
+    /// retransmissions.
     pub submit_attempts: u64,
-    /// Individual forward probes between servers.
+    /// Individual forward probes between servers, including
+    /// retransmissions.
     pub forward_attempts: u64,
+    /// Session-layer retransmissions (same peer, repeated request after a
+    /// timeout) across submit, forward, and retrieve exchanges.
+    pub retransmits: u64,
     /// Notifications sent to recipient hosts.
     pub notifications: u64,
     /// Messages currently sitting in server storage (live gauge).
@@ -170,6 +189,42 @@ struct UiUser {
     pending_check: bool,
 }
 
+/// Session-layer configuration for a deployment: how request/response
+/// exchanges (submit, forward, retrieve) time out and retransmit, and
+/// whether retrieval uses the acked drain buffer.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionConfig {
+    /// Timeout/retransmit discipline per peer exchange.
+    pub retry: RetryPolicy,
+    /// When true (the default), servers keep drained messages in a stable
+    /// drain buffer until the host acks the `RetrieveReply`; a lost reply
+    /// is then recovered by a retransmitted `Retrieve`. When false the
+    /// drain is destructive (the pre-session behaviour): a lost reply
+    /// loses mail — kept so experiments can prove the session layer is
+    /// load-bearing.
+    pub reliable_retrieval: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            retry: RetryPolicy::default_session(),
+            reliable_retrieval: true,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// The pre-session behaviour: one attempt per server, destructive
+    /// drain. Demonstrably loses mail on lossy links.
+    pub fn legacy() -> Self {
+        SessionConfig {
+            retry: RetryPolicy::no_retry(),
+            reliable_retrieval: false,
+        }
+    }
+}
+
 /// An in-flight asynchronous GetMail walk.
 #[derive(Clone, Debug)]
 struct RetrievalSession {
@@ -182,6 +237,8 @@ struct RetrievalSession {
     probed: BTreeSet<NodeId>,
     polls: u32,
     current: Option<(NodeId, TimerId)>,
+    /// Probes already sent to the current server (session-layer attempts).
+    attempts: u32,
     check_started: SimTime,
     finished_walk_early: bool,
 }
@@ -191,6 +248,10 @@ struct RetrievalSession {
 #[derive(Clone, Debug)]
 struct SubmitTask {
     msg: Message,
+    /// The server currently being probed.
+    current: NodeId,
+    /// Probes already sent to `current`.
+    attempts: u32,
     remaining: Vec<NodeId>,
     timer: TimerId,
 }
@@ -211,6 +272,7 @@ pub struct HostActor {
     /// §3.1.2c.
     pub alerts: BTreeMap<MailName, u64>,
     server_proc: f64,
+    retry: RetryPolicy,
 }
 
 #[derive(Clone, Debug)]
@@ -257,8 +319,28 @@ impl HostActor {
             return;
         }
         let server = remaining.remove(0);
-        self.stats.borrow_mut().submit_attempts += 1;
-        let timeout = self.timeout_for(server);
+        self.submit_probe(msg, server, 0, remaining, ctx);
+    }
+
+    /// Sends one Submit probe (0-based `attempt`) to `server` and arms the
+    /// session timeout with backoff.
+    fn submit_probe(
+        &mut self,
+        msg: Message,
+        server: NodeId,
+        attempt: u32,
+        remaining: Vec<NodeId>,
+        ctx: &mut Ctx<'_, MailMsg>,
+    ) {
+        {
+            let mut st = self.stats.borrow_mut();
+            st.submit_attempts += 1;
+            if attempt > 0 {
+                st.retransmits += 1;
+            }
+        }
+        let base = self.timeout_for(server);
+        let timeout = self.retry.timeout(base, attempt, ctx.rng());
         self.transport.send(
             ctx,
             self.node,
@@ -276,6 +358,8 @@ impl HostActor {
             msg.id,
             SubmitTask {
                 msg,
+                current: server,
+                attempts: attempt + 1,
                 remaining,
                 timer,
             },
@@ -297,6 +381,7 @@ impl HostActor {
             probed: BTreeSet::new(),
             polls: 0,
             current: None,
+            attempts: 0,
             check_started: ctx.now(),
             finished_walk_early: false,
         };
@@ -341,12 +426,17 @@ impl HostActor {
 
         match next {
             Some(server) => {
+                // `polls` counts distinct servers probed (the paper's
+                // GetMail cost metric); session-layer retransmissions to
+                // the same server are counted in `retransmits` instead.
                 session.polls += 1;
                 session.probed.insert(server);
-                let timeout = {
+                session.attempts = 1;
+                let base = {
                     let rtt = self.transport.delay(node, server) * 2;
                     rtt + SimDuration::from_units(self.server_proc + TIMEOUT_SLACK)
                 };
+                let timeout = self.retry.timeout(base, 0, ctx.rng());
                 self.transport.send(
                     ctx,
                     node,
@@ -383,7 +473,7 @@ impl HostActor {
 impl Actor for HostActor {
     type Msg = MailMsg;
 
-    fn on_message(&mut self, _from: ActorId, msg: MailMsg, ctx: &mut Ctx<'_, MailMsg>) {
+    fn on_message(&mut self, from: ActorId, msg: MailMsg, ctx: &mut Ctx<'_, MailMsg>) {
         match msg {
             MailMsg::DoSend { from, to } => {
                 let id = self.id_gen.borrow_mut().next_id();
@@ -408,6 +498,25 @@ impl Actor for HostActor {
                 last_start_time,
             } => {
                 let now = ctx.now();
+                // Ack first, unconditionally — even for stale replies after
+                // a timeout. The messages are physically at this host, so
+                // the server must release its drain buffer; failing to ack
+                // a stale reply would make the server re-send (and the UI
+                // re-discard) them forever.
+                if !messages.is_empty() {
+                    if let Some(server_node) = self.transport.node_of(from) {
+                        self.transport.send(
+                            ctx,
+                            self.node,
+                            server_node,
+                            MailMsg::RetrieveAck {
+                                user: user_name.clone(),
+                                ids: messages.iter().map(|m| m.id).collect(),
+                            },
+                            SimDuration::ZERO,
+                        );
+                    }
+                }
                 // Ledger first, unconditionally: the server has already
                 // drained these messages from its mailbox and they are now
                 // physically at this host. Counting them only when the
@@ -453,21 +562,70 @@ impl Actor for HostActor {
     fn on_timer(&mut self, id: TimerId, _tag: u64, ctx: &mut Ctx<'_, MailMsg>) {
         match self.timer_purpose.remove(&id) {
             Some(TimerPurpose::SubmitTimeout(mid)) => {
-                if let Some(task) = self.submits.remove(&mid) {
+                let Some(task) = self.submits.remove(&mid) else {
+                    return;
+                };
+                if task.timer != id {
+                    // Stale timer from a superseded probe.
+                    self.submits.insert(mid, task);
+                    return;
+                }
+                if self.retry.exhausted(task.attempts) {
+                    // Retry budget for this server spent: fall back to the
+                    // next authority server.
                     self.submit_next(task.msg, task.remaining, ctx);
+                } else {
+                    self.submit_probe(task.msg, task.current, task.attempts, task.remaining, ctx);
                 }
             }
             Some(TimerPurpose::RetrieveTimeout(user_name)) => {
+                let node = self.node;
                 let Some(user) = self.users.get_mut(&user_name) else {
                     return;
                 };
                 let Some(session) = user.retrieval.as_mut() else {
                     return;
                 };
-                if let Some((server, _)) = session.current.take() {
-                    user.previously_unavailable.insert(server);
+                let Some((server, timer)) = session.current.take() else {
+                    return;
+                };
+                if timer != id {
+                    // Stale timer from a superseded probe.
+                    session.current = Some((server, timer));
+                    return;
                 }
-                self.advance_retrieval(user_name, ctx);
+                if self.retry.exhausted(session.attempts) {
+                    // Retry budget spent: the server is unresponsive.
+                    // Record it for future sweeps — the paper's
+                    // PreviouslyUnavailableServers, now driven by real
+                    // timeouts rather than oracle knowledge — and move on.
+                    user.previously_unavailable.insert(server);
+                    self.advance_retrieval(user_name, ctx);
+                } else {
+                    // Retransmit to the same server with backoff.
+                    let attempt = session.attempts;
+                    session.attempts += 1;
+                    let base = {
+                        let rtt = self.transport.delay(node, server) * 2;
+                        rtt + SimDuration::from_units(self.server_proc + TIMEOUT_SLACK)
+                    };
+                    let timeout = self.retry.timeout(base, attempt, ctx.rng());
+                    self.transport.send(
+                        ctx,
+                        node,
+                        server,
+                        MailMsg::Retrieve {
+                            user: user_name.clone(),
+                            reply_to: node,
+                        },
+                        SimDuration::ZERO,
+                    );
+                    let new_timer = ctx.set_timer(timeout, 0);
+                    session.current = Some((server, new_timer));
+                    self.stats.borrow_mut().retransmits += 1;
+                    self.timer_purpose
+                        .insert(new_timer, TimerPurpose::RetrieveTimeout(user_name));
+                }
             }
             None => {}
         }
@@ -478,6 +636,10 @@ impl Actor for HostActor {
 #[derive(Clone, Debug)]
 struct ForwardTask {
     msg: Message,
+    /// The server currently being probed.
+    current: NodeId,
+    /// Probes already sent to `current`.
+    attempts: u32,
     remaining: Vec<NodeId>,
     timer: TimerId,
     hops_left: u32,
@@ -507,6 +669,15 @@ pub struct ServerActor {
     /// The §3.1.4 redirect table, shared across servers (migrated users'
     /// old names forward to their new names while the entry lives).
     redirects: Rc<RefCell<crate::migrate::RedirectTable>>,
+    retry: RetryPolicy,
+    /// When true, retrieval drains go through [`ServerActor::pending_drain`]
+    /// and are only released on a `RetrieveAck`.
+    reliable_retrieval: bool,
+    /// Drained-but-unacked messages per user. Stable storage, like the
+    /// mailboxes: a drain moves messages here instead of destroying them,
+    /// so a lost `RetrieveReply` is recovered by the host's retransmitted
+    /// `Retrieve` (which re-sends this buffer plus any fresh mail).
+    pending_drain: BTreeMap<MailName, Vec<Message>>,
 }
 
 impl ServerActor {
@@ -626,9 +797,30 @@ impl ServerActor {
             self.deposit(msg, ctx);
             return;
         }
-        self.stats.borrow_mut().forward_attempts += 1;
+        self.forward_probe(msg, target, 0, remaining, hops_left, ctx);
+    }
+
+    /// Sends one Forward probe (0-based `attempt`) to `target` and arms
+    /// the session timeout with backoff.
+    fn forward_probe(
+        &mut self,
+        msg: Message,
+        target: NodeId,
+        attempt: u32,
+        remaining: Vec<NodeId>,
+        hops_left: u32,
+        ctx: &mut Ctx<'_, MailMsg>,
+    ) {
+        {
+            let mut st = self.stats.borrow_mut();
+            st.forward_attempts += 1;
+            if attempt > 0 {
+                st.retransmits += 1;
+            }
+        }
         let rtt = self.transport.delay(self.node, target) * 2;
-        let timeout = rtt + SimDuration::from_units(self.proc_time + TIMEOUT_SLACK);
+        let base = rtt + SimDuration::from_units(self.proc_time + TIMEOUT_SLACK);
+        let timeout = self.retry.timeout(base, attempt, ctx.rng());
         self.transport.send(
             ctx,
             self.node,
@@ -640,11 +832,18 @@ impl ServerActor {
             },
             self.proc(),
         );
+        // Cancel a superseded probe's timer (a duplicate Forward of the
+        // same message can overwrite the task) so it cannot fire later.
+        if let Some(old) = self.forwards.get(&msg.id) {
+            ctx.cancel_timer(old.timer);
+        }
         let timer = ctx.set_timer(timeout, msg.id.0);
         self.forwards.insert(
             msg.id,
             ForwardTask {
                 msg,
+                current: target,
+                attempts: attempt + 1,
                 remaining,
                 timer,
                 hops_left,
@@ -689,15 +888,27 @@ impl Actor for ServerActor {
                 }
             }
             MailMsg::Retrieve { user, reply_to } => {
-                let messages: Vec<Message> = self
+                let fresh: Vec<Message> = self
                     .mailboxes
                     .get_mut(&user)
                     .map(|mb| mb.drain().into_iter().map(|s| s.message).collect())
                     .unwrap_or_default();
-                {
+                let messages: Vec<Message> = if self.reliable_retrieval {
+                    // Reserve the drain: messages move from the mailbox to
+                    // the (equally stable) drain buffer and are re-sent on
+                    // every Retrieve until the host acks them, so a lost
+                    // reply never loses mail. The storage gauge is only
+                    // decremented at ack time.
+                    let pending = self.pending_drain.entry(user.clone()).or_default();
+                    pending.extend(fresh);
+                    pending.clone()
+                } else {
+                    // Legacy destructive drain: if the reply is lost on the
+                    // wire, so is the mail.
                     let mut st = self.stats.borrow_mut();
-                    st.in_storage_now = st.in_storage_now.saturating_sub(messages.len() as u64);
-                }
+                    st.in_storage_now = st.in_storage_now.saturating_sub(fresh.len() as u64);
+                    fresh
+                };
                 self.transport.send(
                     ctx,
                     self.node,
@@ -710,14 +921,47 @@ impl Actor for ServerActor {
                     self.proc(),
                 );
             }
+            MailMsg::RetrieveAck { user, ids } => {
+                if let Some(pending) = self.pending_drain.get_mut(&user) {
+                    let acked: BTreeSet<MessageId> = ids.into_iter().collect();
+                    let before = pending.len();
+                    pending.retain(|m| !acked.contains(&m.id));
+                    let released = (before - pending.len()) as u64;
+                    if pending.is_empty() {
+                        self.pending_drain.remove(&user);
+                    }
+                    if released > 0 {
+                        let mut st = self.stats.borrow_mut();
+                        st.in_storage_now = st.in_storage_now.saturating_sub(released);
+                    }
+                }
+            }
             _ => {}
         }
     }
 
-    fn on_timer(&mut self, _id: TimerId, tag: u64, ctx: &mut Ctx<'_, MailMsg>) {
-        // Forward timeout: try the next candidate server.
-        if let Some(task) = self.forwards.remove(&MessageId(tag)) {
+    fn on_timer(&mut self, id: TimerId, tag: u64, ctx: &mut Ctx<'_, MailMsg>) {
+        // Forward timeout: retransmit to the same candidate until the
+        // session budget is spent, then cascade to the next one.
+        let Some(task) = self.forwards.remove(&MessageId(tag)) else {
+            return;
+        };
+        if task.timer != id {
+            // Stale timer from a superseded probe.
+            self.forwards.insert(task.msg.id, task);
+            return;
+        }
+        if self.retry.exhausted(task.attempts) {
             self.forward_next(task.msg, task.remaining, task.hops_left, ctx);
+        } else {
+            self.forward_probe(
+                task.msg,
+                task.current,
+                task.attempts,
+                task.remaining,
+                task.hops_left,
+                ctx,
+            );
         }
     }
 
@@ -764,6 +1008,8 @@ pub struct DeploymentConfig {
     pub balance: BalanceOptions,
     /// Engine seed.
     pub seed: u64,
+    /// Session-layer (timeout/retry/ack) behaviour.
+    pub session: SessionConfig,
 }
 
 impl Default for DeploymentConfig {
@@ -774,6 +1020,7 @@ impl Default for DeploymentConfig {
             cost_model: CostModel::paper_example(),
             balance: BalanceOptions::default(),
             seed: 0,
+            session: SessionConfig::default(),
         }
     }
 }
@@ -929,6 +1176,9 @@ impl Deployment {
                     .unwrap_or_default(),
                 deposited_ids: BTreeSet::new(),
                 redirects: Rc::clone(&redirects),
+                retry: cfg.session.retry,
+                reliable_retrieval: cfg.session.reliable_retrieval,
+                pending_drain: BTreeMap::new(),
             };
             let id = sim.add_actor(actor);
             transport.bind(s, id);
@@ -967,6 +1217,7 @@ impl Deployment {
                 timer_purpose: BTreeMap::new(),
                 alerts: BTreeMap::new(),
                 server_proc: cfg.server_spec.proc_time,
+                retry: cfg.session.retry,
             };
             let id = sim.add_actor(actor);
             transport.bind(h, id);
@@ -1192,6 +1443,41 @@ impl Deployment {
         }
     }
 
+    /// Applies a node-addressed chaos plan: installs a [`LinkFaultPlan`] on
+    /// the engine (stochastic loss/duplication/jitter on every wire send)
+    /// and schedules the requested partitions, cutting every cross-group
+    /// actor pair. Partitions are additionally mirrored onto the transport's
+    /// link-outage table for *adjacent* node pairs so that topology-level
+    /// queries ([`Transport::reachable`]) agree with the engine's view.
+    pub fn apply_link_chaos(&mut self, chaos: &LinkChaos) -> Result<(), ChaosError> {
+        let mut plan = LinkFaultPlan::new()
+            .with_default_profile(chaos.profile)
+            .with_stochastic_horizon(chaos.stochastic_horizon);
+        for part in &chaos.partitions {
+            let group_a = self.actors_of(&part.side_a)?;
+            let group_b = self.actors_of(&part.side_b)?;
+            plan.add_partition(&group_a, &group_b, part.down_at, part.up_at)?;
+            for &a in &part.side_a {
+                for &b in &part.side_b {
+                    let outage = Outage::new(part.down_at, part.up_at)?;
+                    match self.transport.add_link_outage_bidi(a, b, outage) {
+                        Ok(()) | Err(NetError::NotAdjacent(..)) => {}
+                        Err(e) => return Err(ChaosError::Net(e)),
+                    }
+                }
+            }
+        }
+        self.sim.set_link_faults(plan);
+        Ok(())
+    }
+
+    fn actors_of(&self, nodes: &[NodeId]) -> Result<Vec<ActorId>, ChaosError> {
+        nodes
+            .iter()
+            .map(|&n| self.transport.actor_of(n).map_err(ChaosError::Net))
+            .collect()
+    }
+
     /// Debug dump: every message still stored, as
     /// `(server node, owner, message id, owner's authority list)`.
     pub fn stranded_mail(&self) -> Vec<(NodeId, MailName, MessageId, Vec<NodeId>)> {
@@ -1208,18 +1494,121 @@ impl Deployment {
                         out.push((node, owner.clone(), stored.message.id, auth));
                     }
                 }
+                // Drained-but-unacked mail is still the server's to lose.
+                for (owner, pending) in &s.pending_drain {
+                    for message in pending {
+                        let auth = self
+                            .directory
+                            .by_name(owner)
+                            .map(|r| r.authorities.servers().to_vec())
+                            .unwrap_or_default();
+                        out.push((node, owner.clone(), message.id, auth));
+                    }
+                }
             }
         }
         out
     }
 
-    /// Messages still sitting in server mailboxes.
+    /// Messages still sitting in server storage (mailboxes plus the
+    /// drained-but-unacked reserve buffers).
     pub fn mail_in_storage(&self) -> usize {
         self.server_actors
             .values()
             .filter_map(|&aid| self.sim.actor::<ServerActor>(aid))
-            .map(|s| s.mailboxes.values().map(Mailbox::len).sum::<usize>())
+            .map(|s| {
+                s.mailboxes.values().map(Mailbox::len).sum::<usize>()
+                    + s.pending_drain.values().map(Vec::len).sum::<usize>()
+            })
             .sum()
+    }
+}
+
+/// One scheduled network partition: every link between a node on `side_a`
+/// and a node on `side_b` is cut over `[down_at, up_at)`.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Nodes on one side of the cut.
+    pub side_a: Vec<NodeId>,
+    /// Nodes on the other side.
+    pub side_b: Vec<NodeId>,
+    /// When the partition begins.
+    pub down_at: SimTime,
+    /// When the partition heals.
+    pub up_at: SimTime,
+}
+
+/// A node-addressed chaos plan for [`Deployment::apply_link_chaos`]:
+/// stochastic link faults on every wire send plus scheduled partitions.
+#[derive(Clone, Debug)]
+pub struct LinkChaos {
+    /// Loss/duplication/jitter applied to every link.
+    pub profile: LinkProfile,
+    /// Stochastic faults cease at this time so runs can drain cleanly
+    /// (scheduled partitions are unaffected).
+    pub stochastic_horizon: SimTime,
+    /// Scheduled partitions (repeat with different windows to flap).
+    pub partitions: Vec<Partition>,
+}
+
+impl LinkChaos {
+    /// A chaos plan with the given stochastic profile, active until
+    /// `stochastic_horizon`, and no partitions.
+    pub fn new(profile: LinkProfile, stochastic_horizon: SimTime) -> Self {
+        LinkChaos {
+            profile,
+            stochastic_horizon,
+            partitions: Vec::new(),
+        }
+    }
+
+    /// Adds a partition window between two node groups.
+    pub fn partition(
+        mut self,
+        side_a: Vec<NodeId>,
+        side_b: Vec<NodeId>,
+        down_at: SimTime,
+        up_at: SimTime,
+    ) -> Self {
+        self.partitions.push(Partition {
+            side_a,
+            side_b,
+            down_at,
+            up_at,
+        });
+        self
+    }
+}
+
+/// Why a chaos plan could not be applied.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChaosError {
+    /// A node in the plan is unknown to (or unbound in) the transport.
+    Net(NetError),
+    /// An outage window or probability in the plan is invalid.
+    Failure(FailureError),
+}
+
+impl std::fmt::Display for ChaosError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChaosError::Net(e) => write!(f, "chaos plan rejected by transport: {e}"),
+            ChaosError::Failure(e) => write!(f, "chaos plan invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChaosError {}
+
+impl From<NetError> for ChaosError {
+    fn from(e: NetError) -> Self {
+        ChaosError::Net(e)
+    }
+}
+
+impl From<FailureError> for ChaosError {
+    fn from(e: FailureError) -> Self {
+        ChaosError::Failure(e)
     }
 }
 
@@ -1539,5 +1928,154 @@ mod tests {
         let st = d.stats.borrow();
         assert_eq!(st.retrieved, 1);
         assert_eq!(st.outstanding(), 0);
+    }
+
+    #[test]
+    fn lossy_links_deliver_everything_via_retries() {
+        let mut d = small_deployment(21);
+        let names = d.user_names();
+        let chaos = LinkChaos::new(
+            LinkProfile::new(0.2, 0.05, SimDuration::from_units(1.0)).unwrap(),
+            t(150.0),
+        );
+        d.apply_link_chaos(&chaos).unwrap();
+
+        for i in 0..6 {
+            d.send_at(t(1.0 + i as f64), &names[i], &names[(i + 5) % names.len()]);
+        }
+        // Checks run after the stochastic horizon: the wire is clean again,
+        // so this isolates the *delivery* path's fault tolerance.
+        for i in 0..6 {
+            d.check_at(t(200.0 + i as f64), &names[(i + 5) % names.len()]);
+        }
+        d.sim.run_to_quiescence();
+
+        let st = d.stats.borrow();
+        assert_eq!(st.submitted, 6);
+        assert_eq!(st.deposited, 6, "session layer must mask 20% loss");
+        assert_eq!(st.retrieved, 6);
+        assert_eq!(st.bounced, 0);
+        assert_eq!(st.outstanding(), 0);
+        assert!(
+            st.retransmits > 0,
+            "a 20% lossy wire must force at least one retransmission"
+        );
+        drop(st);
+        assert_eq!(d.mail_in_storage(), 0);
+        assert!(d.sim.counters().dropped_link.get() > 0);
+    }
+
+    /// A lost `RetrieveReply` must not lose mail: the server keeps drained
+    /// messages in the reserve buffer until the host acknowledges them.
+    #[test]
+    fn dropped_retrieve_reply_does_not_lose_mail() {
+        let mut d = small_deployment(22);
+        let names = d.user_names();
+        let (alice, bob) = (names[0].clone(), names[1].clone());
+        let primary = d.directory.by_name(&bob).unwrap().authorities.primary();
+        let server = d.server_actor(primary).unwrap();
+        let host = d.host_actor(*d.users.get(&bob).unwrap()).unwrap();
+
+        // Deliver cleanly, then make the server->host direction drop every
+        // message until t=100: Retrieves arrive, replies vanish.
+        d.send_at(t(1.0), &alice, &bob);
+        d.sim.run_to_quiescence();
+        assert_eq!(d.stats.borrow().deposited, 1);
+
+        let mut plan = LinkFaultPlan::new().with_stochastic_horizon(t(100.0));
+        plan.set_link_profile(
+            server,
+            host,
+            LinkProfile::new(1.0, 0.0, SimDuration::ZERO).unwrap(),
+        );
+        d.sim.set_link_faults(plan);
+
+        // This check's replies are all eaten; the session retries, gives
+        // up, and the mail stays in server storage.
+        d.check_at(t(20.0), &bob);
+        // A later check, after the horizon, must recover it.
+        d.check_at(t(200.0), &bob);
+        d.sim.run_to_quiescence();
+
+        let st = d.stats.borrow();
+        assert_eq!(st.retrieved, 1, "mail must survive dropped replies");
+        assert_eq!(st.outstanding(), 0);
+        assert!(st.retransmits > 0, "dropped replies must trigger retries");
+        drop(st);
+        assert_eq!(d.mail_in_storage(), 0);
+    }
+
+    /// The same dropped-reply scenario under [`SessionConfig::legacy`]
+    /// demonstrably loses the mail — proof the session layer (not luck)
+    /// provides the guarantee above.
+    #[test]
+    fn legacy_session_loses_mail_on_dropped_reply() {
+        let f = fig1();
+        let mut d = Deployment::build(
+            &f.topology,
+            &[2, 2, 2, 2, 2, 2],
+            &DeploymentConfig {
+                seed: 22,
+                session: SessionConfig::legacy(),
+                ..DeploymentConfig::default()
+            },
+        );
+        let names = d.user_names();
+        let (alice, bob) = (names[0].clone(), names[1].clone());
+        let primary = d.directory.by_name(&bob).unwrap().authorities.primary();
+        let server = d.server_actor(primary).unwrap();
+        let host = d.host_actor(*d.users.get(&bob).unwrap()).unwrap();
+
+        d.send_at(t(1.0), &alice, &bob);
+        d.sim.run_to_quiescence();
+        assert_eq!(d.stats.borrow().deposited, 1);
+
+        let mut plan = LinkFaultPlan::new().with_stochastic_horizon(t(100.0));
+        plan.set_link_profile(
+            server,
+            host,
+            LinkProfile::new(1.0, 0.0, SimDuration::ZERO).unwrap(),
+        );
+        d.sim.set_link_faults(plan);
+
+        d.check_at(t(20.0), &bob);
+        d.check_at(t(200.0), &bob);
+        d.sim.run_to_quiescence();
+
+        let st = d.stats.borrow();
+        assert_eq!(
+            st.retrieved, 0,
+            "legacy destructive drain loses mail when the reply is dropped"
+        );
+        assert_eq!(st.outstanding(), 1, "the message is gone for good");
+        drop(st);
+        assert_eq!(d.mail_in_storage(), 0, "not in storage either: truly lost");
+    }
+
+    /// Identical seeds and chaos plans produce byte-identical traces.
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        fn run() -> (u64, u64, u64, SimTime) {
+            let mut d = small_deployment(23);
+            let chaos = LinkChaos::new(
+                LinkProfile::new(0.1, 0.02, SimDuration::from_units(0.5)).unwrap(),
+                t(120.0),
+            );
+            d.apply_link_chaos(&chaos).unwrap();
+            let names = d.user_names();
+            for i in 0..4 {
+                d.send_at(t(1.0 + i as f64), &names[i], &names[i + 6]);
+                d.check_at(t(150.0 + i as f64), &names[i + 6]);
+            }
+            d.sim.run_to_quiescence();
+            let st = d.stats.borrow();
+            (
+                st.retrieved,
+                st.retransmits,
+                d.sim.counters().dropped_link.get(),
+                d.sim.now(),
+            )
+        }
+        assert_eq!(run(), run());
     }
 }

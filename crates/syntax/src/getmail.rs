@@ -295,7 +295,7 @@ mod tests {
     fn failover_deposits_are_recovered() {
         let mut plan = FailurePlan::new();
         // Primary down between t=2 and t=6.
-        plan.add_outage(ActorId(0), t(2.0), t(6.0));
+        plan.add_outage(ActorId(0), t(2.0), t(6.0)).unwrap();
         let mut store = PlanStore::new(plan);
         let auth = servers();
         let mut st = GetMailState::new();
@@ -330,7 +330,7 @@ mod tests {
     #[test]
     fn mail_stranded_on_crashed_server_is_recovered_later() {
         let mut plan = FailurePlan::new();
-        plan.add_outage(ActorId(0), t(4.0), t(10.0));
+        plan.add_outage(ActorId(0), t(4.0), t(10.0)).unwrap();
         let mut store = PlanStore::new(plan);
         let auth = servers();
         let mut st = GetMailState::new();
@@ -366,7 +366,7 @@ mod tests {
     fn deposit_with_all_servers_down_bounces() {
         let mut plan = FailurePlan::new();
         for i in 0..3 {
-            plan.add_outage(ActorId(i), t(1.0), t(9.0));
+            plan.add_outage(ActorId(i), t(1.0), t(9.0)).unwrap();
         }
         let mut store = PlanStore::new(plan);
         let auth = servers();
@@ -399,7 +399,8 @@ mod tests {
                 lems_sim::time::SimDuration::from_units(30.0),
                 lems_sim::time::SimDuration::from_units(10.0),
                 t(400.0),
-            );
+            )
+            .expect("valid random-plan parameters");
             let mut store = PlanStore::new(plan);
             let auth = servers();
             let mut st = GetMailState::new();

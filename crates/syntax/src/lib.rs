@@ -43,7 +43,10 @@ pub mod reconfig;
 pub mod resolve;
 pub mod retention;
 
-pub use actors::{DeliveryStats, Deployment, DeploymentConfig, MailMsg, ServerFailurePlan};
+pub use actors::{
+    ChaosError, DeliveryStats, Deployment, DeploymentConfig, LinkChaos, MailMsg, Partition,
+    ServerFailurePlan, SessionConfig,
+};
 pub use assign::{
     balance, initialize, solve, Assignment, AssignmentProblem, BalanceOptions, BalanceReport,
 };

@@ -21,7 +21,8 @@ fn main() {
         ActorId(0),
         SimTime::from_units(10.0),
         SimTime::from_units(30.0),
-    );
+    )
+    .expect("outage window is well-formed");
     let mut store = PlanStore::new(plan.clone());
     let mut state = GetMailState::new();
     let t = SimTime::from_units;

@@ -3,9 +3,10 @@
 
 use lems::net::generators::{multi_region, MultiRegionConfig};
 use lems::net::graph::Weight;
+use lems::sim::linkfault::LinkProfile;
 use lems::sim::rng::SimRng;
 use lems::sim::time::{SimDuration, SimTime};
-use lems::syntax::{Deployment, DeploymentConfig, ServerFailurePlan};
+use lems::syntax::{Deployment, DeploymentConfig, LinkChaos, ServerFailurePlan};
 
 fn topo_fingerprint(seed: u64) -> Vec<(usize, usize, Weight)> {
     let mut rng = SimRng::seed(seed);
@@ -133,6 +134,72 @@ fn trace_streams_replay_byte_identically_under_failures() {
             trace_stream(seed, true),
             trace_stream(seed, true),
             "seed {seed}: failure-injected trace diverged between runs"
+        );
+    }
+}
+
+/// Renders the complete engine trace of a fig1 run under link-level chaos
+/// — probabilistic drop/duplication/jitter plus a flapping partition — as
+/// one string, one event per line.
+fn chaos_trace_stream(seed: u64) -> String {
+    let f = lems::net::generators::fig1();
+    let mut d = Deployment::build(
+        &f.topology,
+        &[2, 2, 2, 2, 2, 2],
+        &DeploymentConfig {
+            seed,
+            ..DeploymentConfig::default()
+        },
+    );
+    d.sim.enable_trace(usize::MAX);
+    let isolated = vec![f.servers[0]];
+    let mut others = f.hosts.clone();
+    others.extend(f.servers.iter().skip(1).copied());
+    let chaos = LinkChaos::new(
+        LinkProfile::new(0.10, 0.03, SimDuration::from_units(1.0))
+            .expect("probabilities are in range"),
+        SimTime::from_units(250.0),
+    )
+    .partition(
+        isolated,
+        others,
+        SimTime::from_units(40.0),
+        SimTime::from_units(80.0),
+    );
+    d.apply_link_chaos(&chaos).expect("fig1 nodes are bound");
+    let names = d.user_names();
+    for i in 0..names.len() {
+        d.send_at(
+            SimTime::from_units(1.0 + 3.0 * i as f64),
+            &names[i],
+            &names[(i + 5) % names.len()],
+        );
+    }
+    for (i, n) in names.iter().enumerate() {
+        d.check_at(SimTime::from_units(300.0 + i as f64), n);
+    }
+    d.sim.run_to_quiescence();
+    let stream: String = d
+        .sim
+        .trace()
+        .events()
+        .map(|e| e.to_string())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(
+        stream.contains("link-drop"),
+        "chaos trace has no link-drop events — faults were not active"
+    );
+    stream
+}
+
+#[test]
+fn trace_streams_replay_byte_identically_under_link_faults() {
+    for seed in [3, 11] {
+        assert_eq!(
+            chaos_trace_stream(seed),
+            chaos_trace_stream(seed),
+            "seed {seed}: link-fault trace diverged between runs"
         );
     }
 }

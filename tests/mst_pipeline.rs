@@ -92,7 +92,8 @@ fn convergecast_counts_every_node_and_masks_failures() {
         lems::sim::actor::ActorId(leaf.0),
         lems::sim::time::SimTime::ZERO,
         lems::sim::time::SimTime::from_units(1e9),
-    );
+    )
+    .unwrap();
     let degraded = simulate_broadcast(t.graph(), &adjacency, &cfg, &plan).unwrap();
     assert_eq!(degraded.aggregate.matches, expected - leaf.0 as u64);
     assert_eq!(degraded.aggregate.unavailable, 1);
