@@ -69,7 +69,7 @@ pub fn soundex(word: &str) -> String {
             _ => b'0', // vowels, h, w, y: not coded
         }
     }
-    let letters: Vec<char> = word.chars().filter(|c| c.is_ascii_alphabetic()).collect();
+    let letters: Vec<char> = word.chars().filter(char::is_ascii_alphabetic).collect();
     let Some(&first) = letters.first() else {
         return "0000".to_owned();
     };

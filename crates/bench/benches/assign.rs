@@ -41,13 +41,13 @@ fn synthetic_problem(hosts_per_region: usize, regions: usize) -> AssignmentProbl
 fn bench_assign(c: &mut Criterion) {
     let p_fig1 = fig1_problem();
     c.bench_function("assign/initialize/fig1", |b| {
-        b.iter(|| initialize(std::hint::black_box(&p_fig1)))
+        b.iter(|| initialize(std::hint::black_box(&p_fig1)));
     });
     c.bench_function("assign/balance/fig1/batch1", |b| {
         b.iter(|| {
             let mut a = initialize(&p_fig1);
             balance(&p_fig1, &mut a, BalanceOptions::default())
-        })
+        });
     });
     c.bench_function("assign/balance/fig1/batch8", |b| {
         b.iter(|| {
@@ -60,7 +60,7 @@ fn bench_assign(c: &mut Criterion) {
                     ..BalanceOptions::default()
                 },
             )
-        })
+        });
     });
 
     let mut group = c.benchmark_group("assign/balance/scaling");
@@ -80,7 +80,7 @@ fn bench_assign(c: &mut Criterion) {
                             ..BalanceOptions::default()
                         },
                     )
-                })
+                });
             },
         );
     }

@@ -48,7 +48,7 @@ fn bench_attr_query(c: &mut Criterion) {
 
     let exact = Query::text_eq(AttrKey::Expertise, "mail");
     c.bench_function("attr/query/exact", |b| {
-        b.iter(|| reg.count_matches(std::hint::black_box(&exact), &ctx))
+        b.iter(|| reg.count_matches(std::hint::black_box(&exact), &ctx));
     });
 
     let boolean = Query::All(vec![
@@ -63,12 +63,12 @@ fn bench_attr_query(c: &mut Criterion) {
         ),
     ]);
     c.bench_function("attr/query/boolean", |b| {
-        b.iter(|| reg.count_matches(std::hint::black_box(&boolean), &ctx))
+        b.iter(|| reg.count_matches(std::hint::black_box(&boolean), &ctx));
     });
 
     let fuzzy = Query::name_like("smyth", 1);
     c.bench_function("attr/query/fuzzy-name", |b| {
-        b.iter(|| reg.count_matches(std::hint::black_box(&fuzzy), &ctx))
+        b.iter(|| reg.count_matches(std::hint::black_box(&fuzzy), &ctx));
     });
 }
 

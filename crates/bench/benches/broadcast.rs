@@ -32,7 +32,7 @@ fn bench_broadcast(c: &mut Criterion) {
                         },
                         &FailurePlan::new(),
                     )
-                })
+                });
             },
         );
     }
@@ -42,7 +42,7 @@ fn bench_broadcast(c: &mut Criterion) {
     let two = build_two_level(&t);
     let root = t.servers()[0];
     c.bench_function("broadcast/region-cost-table", |b| {
-        b.iter(|| region_cost_table(&t, &two, t.region(root)))
+        b.iter(|| region_cost_table(&t, &two, t.region(root)));
     });
 }
 

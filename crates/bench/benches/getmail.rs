@@ -32,7 +32,7 @@ fn bench_getmail(c: &mut Criterion) {
             store.deposit(&auth, MessageId(id), SimTime::from_units(t - 0.5));
             id += 1;
             st.get_mail(&auth, &mut store, SimTime::from_units(t))
-        })
+        });
     });
 
     c.bench_function("getmail/check/primary-flapping", |b| {
@@ -57,7 +57,7 @@ fn bench_getmail(c: &mut Criterion) {
             store.deposit(&auth, MessageId(id), SimTime::from_units(t - 0.5));
             id += 1;
             st.get_mail(&auth, &mut store, SimTime::from_units(t))
-        })
+        });
     });
 
     c.bench_function("getmail/poll-all/steady", |b| {
@@ -69,7 +69,7 @@ fn bench_getmail(c: &mut Criterion) {
             store.deposit(&auth, MessageId(id), SimTime::from_units(t - 0.5));
             id += 1;
             poll_all(&auth, &mut store, SimTime::from_units(t))
-        })
+        });
     });
 }
 

@@ -43,20 +43,20 @@ fn bench_ghs(c: &mut Criterion) {
     for &n in &[8usize, 16, 32] {
         let g = random_connected(n as u64, n, n);
         group.bench_with_input(BenchmarkId::new("ghs", n), &g, |b, g| {
-            b.iter(|| run_ghs(std::hint::black_box(g), 1))
+            b.iter(|| run_ghs(std::hint::black_box(g), 1));
         });
         group.bench_with_input(BenchmarkId::new("kruskal", n), &g, |b, g| {
-            b.iter(|| kruskal(std::hint::black_box(g)))
+            b.iter(|| kruskal(std::hint::black_box(g)));
         });
     }
     group.finish();
 
     let world = distinct_world(9, 4, 3, 3);
     c.bench_function("mst/two-level/centralized", |b| {
-        b.iter(|| build_two_level(std::hint::black_box(&world)))
+        b.iter(|| build_two_level(std::hint::black_box(&world)));
     });
     c.bench_function("mst/two-level/distributed", |b| {
-        b.iter(|| build_two_level_distributed(std::hint::black_box(&world), 1))
+        b.iter(|| build_two_level_distributed(std::hint::black_box(&world), 1));
     });
 }
 

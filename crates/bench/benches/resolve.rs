@@ -88,7 +88,7 @@ fn bench_resolve(c: &mut Criterion) {
             b.iter(|| {
                 i = (i + 1) % stream.len();
                 syntax.resolve(std::hint::black_box(&names[stream[i]]))
-            })
+            });
         });
         c.bench_function("resolve/cached-zipf", |b| {
             let mut cache = ResolutionCache::new(200, SimDuration::from_units(1e9));
@@ -107,7 +107,7 @@ fn bench_resolve(c: &mut Criterion) {
                         now,
                     );
                 }
-            })
+            });
         });
     }
 
@@ -120,18 +120,18 @@ fn bench_resolve(c: &mut Criterion) {
         b.iter(|| {
             i = (i + 1) % names.len();
             syntax.resolve(std::hint::black_box(&names[i]))
-        })
+        });
     });
     c.bench_function("resolve/location-independent", |b| {
         let mut i = 0;
         b.iter(|| {
             i = (i + 1) % names.len();
             locindep.resolve(std::hint::black_box(&names[i]))
-        })
+        });
     });
     c.bench_function("resolve/foreign-region", |b| {
         let foreign: MailName = "west.h1.zed".parse().expect("valid");
-        b.iter(|| syntax.resolve(std::hint::black_box(&foreign)))
+        b.iter(|| syntax.resolve(std::hint::black_box(&foreign)));
     });
 }
 

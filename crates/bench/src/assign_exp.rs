@@ -1,6 +1,8 @@
 //! Experiments FIG1, T1, T2, T3, C6: the server-assignment worked
 //! examples and their ablations.
 
+use std::fmt::Write;
+
 use lems_net::generators::{fig1, table3, Fig1Scenario};
 use lems_net::graph::NodeId;
 use lems_syntax::assign::{
@@ -60,10 +62,7 @@ pub fn render_assignment(scenario: &Fig1Scenario, p: &AssignmentProblem, a: &Ass
         ]);
     }
     out.push_str(&loads.render());
-    out.push_str(&format!(
-        "\ntotal connection cost: {}\n",
-        f1(a.total_cost(p))
-    ));
+    let _ = write!(out, "\ntotal connection cost: {}\n", f1(a.total_cost(p)));
     out
 }
 
@@ -154,8 +153,8 @@ pub fn weight_ablation(weights: &[(f64, f64)]) -> Vec<WeightRow> {
             let utils: Vec<f64> = (0..p.server_count())
                 .map(|j| a.utilization(&p, j))
                 .collect();
-            let spread = utils.iter().cloned().fold(f64::MIN, f64::max)
-                - utils.iter().cloned().fold(f64::MAX, f64::min);
+            let spread = utils.iter().copied().fold(f64::MIN, f64::max)
+                - utils.iter().copied().fold(f64::MAX, f64::min);
             let split_hosts = (0..p.host_count())
                 .filter(|&i| (0..p.server_count()).filter(|&j| a.count(i, j) > 0).count() > 1)
                 .count();

@@ -20,6 +20,10 @@ use lems_sim::time::{SimDuration, SimTime};
 use lems_syntax::actors::{Deployment, DeploymentConfig, ServerFailurePlan};
 use lems_syntax::getmail::{poll_all, GetMailState, PlanStore};
 
+/// Generous per-run event budget: a non-quiescing run is a livelocked
+/// retry loop and aborts the experiment rather than hanging it.
+const EVENT_BUDGET: u64 = 20_000_000;
+
 /// One row of the C1/C2 sweep.
 #[derive(Clone, Copy, Debug)]
 pub struct GetMailRow {
@@ -257,7 +261,7 @@ pub fn full_stack(availability: f64, seed: u64) -> FullStackRow {
         d.check_at(SimTime::from_units(1_100.0 + i as f64), name);
         d.check_at(SimTime::from_units(1_200.0 + i as f64), name);
     }
-    d.sim.run_to_quiescence();
+    assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
 
     let in_storage = d.mail_in_storage();
     let st = d.stats.borrow();

@@ -13,6 +13,10 @@ use lems_sim::rng::SimRng;
 
 use crate::mst_exp::distinct_world;
 
+/// Generous per-run event budget: a non-quiescing run is a livelocked
+/// retry loop and aborts the experiment rather than hanging it.
+const EVENT_BUDGET: u64 = 20_000_000;
+
 /// One row of the mobility sweep.
 #[derive(Clone, Copy, Debug)]
 pub struct MobilityRow {
@@ -246,7 +250,7 @@ pub fn actor_mobility_sweep(fractions: &[f64], seed: u64) -> Vec<ActorMobilityRo
             for (i, u) in users.iter().enumerate().skip(1) {
                 d.send_at(SimTime::from_units(100.0 + i as f64), &sender, u);
             }
-            d.sim.run_to_quiescence();
+            assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
 
             let st = d.stats.borrow();
             ActorMobilityRow {

@@ -1,5 +1,7 @@
 //! Plain-text table rendering for the `repro-*` binaries.
 
+use std::fmt::Write;
+
 /// A fixed-width text table.
 ///
 /// # Examples
@@ -66,7 +68,7 @@ impl Table {
                 if i > 0 {
                     out.push_str("  ");
                 }
-                out.push_str(&format!("{cell:>width$}", width = widths[i]));
+                let _ = write!(out, "{cell:>width$}", width = widths[i]);
             }
             out.push('\n');
         };

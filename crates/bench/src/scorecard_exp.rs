@@ -14,6 +14,10 @@ use lems_sim::rng::SimRng;
 use lems_sim::time::{SimDuration, SimTime};
 use lems_syntax::actors::{Deployment, DeploymentConfig, ServerFailurePlan};
 
+/// Generous per-run event budget: a non-quiescing run is a livelocked
+/// retry loop and aborts the experiment rather than hanging it.
+const EVENT_BUDGET: u64 = 20_000_000;
+
 use crate::locindep_exp::{mobility_sweep, reconfig_comparison};
 use crate::mst_exp::c3_sweep;
 
@@ -64,7 +68,7 @@ pub fn scorecards(seed: u64) -> Vec<Scorecard> {
         d.check_at(SimTime::from_units(horizon + 100.0 + i as f64), n);
         d.check_at(SimTime::from_units(horizon + 200.0 + i as f64), n);
     }
-    d.sim.run_to_quiescence();
+    assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
 
     let st = d.stats.borrow();
     let submitted = st.submitted.max(1) as f64;

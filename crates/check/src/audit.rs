@@ -429,6 +429,10 @@ mod tests {
     use lems_sim::actor::{Actor, ActorSim, Ctx};
     use lems_sim::time::SimDuration;
 
+    /// Every test scenario quiesces far below this; exhausting it means
+    /// a stuck retry loop, which must fail the test rather than hang it.
+    const EVENT_BUDGET: u64 = 100_000;
+
     fn t(u: f64) -> SimTime {
         SimTime::from_units(u)
     }
@@ -605,7 +609,7 @@ mod tests {
         // recover it before the rally's retries would matter.
         sim.schedule_crash(b, t(2.5));
         sim.schedule_recover(b, t(4.5));
-        sim.run_to_quiescence();
+        assert!(sim.run_to_quiescence_bounded(EVENT_BUDGET));
 
         let r = audit_trace(sim.trace());
         assert!(r.is_clean(), "{r}");
@@ -619,7 +623,7 @@ mod tests {
         let a = sim.add_actor(Echo { bounces: 0 });
         sim.inject(a, 0, SimDuration::ZERO);
         sim.inject(ActorId(99), 1, SimDuration::ZERO);
-        sim.run_to_quiescence();
+        assert!(sim.run_to_quiescence_bounded(EVENT_BUDGET));
         let r = audit_trace(sim.trace());
         assert!(r.is_clean(), "{r}");
         assert!(r.drops >= 1);

@@ -16,17 +16,24 @@
 //!   mail).
 //! * [`scenarios`] — reproducible deployment scenarios replayed by the
 //!   `lems-check -- audit` subcommand and by integration tests.
+//! * [`explore`] — a small-scope schedule model checker: exhaustively
+//!   enumerates same-instant event interleavings of tiny System-1 and
+//!   System-2 deployments (via [`lems_sim::sched`]), auditing every
+//!   terminal trace and reporting failing schedules as replayable
+//!   branch-choice lists.
 //!
 //! Run from the workspace root:
 //!
 //! ```sh
 //! cargo run -p lems-check -- lint
 //! cargo run -p lems-check -- audit
+//! cargo run --release -p lems-check -- explore
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod explore;
 pub mod lint;
 pub mod scenarios;

@@ -23,9 +23,22 @@
 //! * **`no-hash-collections`** — actor decision paths (files named
 //!   `actors.rs`) must use ordered collections (`BTreeMap`/`BTreeSet`):
 //!   hash-order iteration is nondeterministic across runs and platforms.
+//! * **`no-partial-cmp-sort`** — sorting through
+//!   `partial_cmp(..).unwrap()` (or any `.sort*` + `partial_cmp` combo)
+//!   panics on NaN and invites `unwrap_or(Ordering::Equal)` hacks that
+//!   silently destroy total order. Use `f64::total_cmp` or a plain `Ord`
+//!   key instead. Unlike the rules above this one also applies to test
+//!   code: a NaN-panicking comparator is as flaky in a test as anywhere.
+//! * **`no-unbounded-run`** — outside the `sim` crate itself, library
+//!   and test code must drive simulations with
+//!   `run_to_quiescence_bounded(budget)` rather than the unbounded
+//!   `run_to_quiescence()`: a retry loop that never converges (the exact
+//!   bug class the schedule explorer hunts) must fail a bounded run, not
+//!   hang the process. Also applies to test code.
 //!
 //! Vetted exceptions live in `lint-allow.txt` at the workspace root; see
-//! [`Allowlist`] for the format.
+//! [`Allowlist`] for the format. Exceptions that no longer match any
+//! source line are *stale* and fail the pass — the list cannot rot.
 
 use std::fmt;
 use std::fs;
@@ -38,9 +51,23 @@ pub const RULE_NO_PANIC: &str = "no-panic";
 pub const RULE_NO_WALL_CLOCK: &str = "no-wall-clock";
 /// Rule identifier: no hash-ordered collections in actor decision paths.
 pub const RULE_NO_HASH: &str = "no-hash-collections";
+/// Rule identifier: no sorting through `partial_cmp` (use `total_cmp`/`Ord`).
+pub const RULE_NO_PARTIAL_CMP_SORT: &str = "no-partial-cmp-sort";
+/// Rule identifier: no unbounded `run_to_quiescence()` outside the sim crate.
+pub const RULE_NO_UNBOUNDED_RUN: &str = "no-unbounded-run";
 
 /// Crates whose code runs under the deterministic simulation clock.
 const SIM_DRIVEN_CRATES: &[&str] = &["sim", "syntax", "locindep", "mst"];
+
+/// Needles for the `no-panic` rule.
+const PANICKY: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
 
 /// One finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -172,16 +199,19 @@ impl Allowlist {
 pub struct LintReport {
     /// Violations not covered by the allowlist.
     pub violations: Vec<Violation>,
-    /// Allowlist entries that matched nothing (candidates for removal).
+    /// Allowlist entries that matched nothing. These fail the pass: a
+    /// stale exception means the vetted code is gone and the waiver now
+    /// silently covers whatever lands on that line next.
     pub stale_allows: Vec<String>,
     /// Files scanned.
     pub files_scanned: usize,
 }
 
 impl LintReport {
-    /// True when the run found nothing to report.
+    /// True when the run found nothing to report — no violations *and*
+    /// no stale allowlist entries.
     pub fn is_clean(&self) -> bool {
-        self.violations.is_empty()
+        self.violations.is_empty() && self.stale_allows.is_empty()
     }
 }
 
@@ -223,7 +253,7 @@ fn strip_code(src: &str) -> String {
                     }
                     if next(1 + hashes) == Some('"') {
                         st = St::RawStr(hashes);
-                        for _ in 0..(1 + hashes) {
+                        for _ in 0..=hashes {
                             out.push(' ');
                             i += 1;
                         }
@@ -416,17 +446,21 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Violation> {
     };
 
     for (ln, line) in stripped_lines.iter().enumerate() {
+        // Rules that govern test code too: a NaN-panicking comparator or
+        // an unbounded simulation drive is as hazardous in a test as in
+        // the library, so these fire before the `#[cfg(test)]` mask.
+        if line.contains(".sort")
+            && contains_token(line, "partial_cmp")
+            && !line.contains("fn partial_cmp")
+        {
+            push(RULE_NO_PARTIAL_CMP_SORT, ln);
+        }
+        if krate != "sim" && contains_token(line, "run_to_quiescence()") {
+            push(RULE_NO_UNBOUNDED_RUN, ln);
+        }
         if mask[ln] {
             continue;
         }
-        const PANICKY: &[&str] = &[
-            ".unwrap()",
-            ".expect(",
-            "panic!",
-            "unreachable!",
-            "todo!",
-            "unimplemented!",
-        ];
         if !panic_exempt && PANICKY.iter().any(|n| contains_token(line, n)) {
             push(RULE_NO_PANIC, ln);
         }
@@ -613,6 +647,70 @@ mod tests {
     }
 
     #[test]
+    fn partial_cmp_sort_fires_even_in_test_code() {
+        let src = concat!(
+            "fn f(mut v: Vec<f64>) {\n",
+            "    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n",
+            "}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t(mut v: Vec<(f64, u32)>) {\n",
+            "        v.sort_by_key(|x| x.1);\n",
+            "        v.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap());\n",
+            "    }\n",
+            "}\n",
+        );
+        let vs: Vec<_> = scan_source("crates/eval/src/x.rs", src)
+            .into_iter()
+            .filter(|v| v.rule == RULE_NO_PARTIAL_CMP_SORT)
+            .collect();
+        let lines: Vec<usize> = vs.iter().map(|v| v.line).collect();
+        assert_eq!(lines, vec![2, 8]);
+    }
+
+    #[test]
+    fn total_cmp_sorts_and_partial_cmp_impls_do_not_fire() {
+        let src = concat!(
+            "fn f(mut v: Vec<f64>) {\n",
+            "    v.sort_by(f64::total_cmp);\n",
+            "    v.sort_by(|a, b| a.total_cmp(b));\n",
+            "}\n",
+            "impl PartialOrd for W {\n",
+            "    fn partial_cmp(&self, o: &W) -> Option<Ordering> { self.0.partial_cmp(&o.0) }\n",
+            "}\n",
+        );
+        assert!(scan_source("crates/eval/src/x.rs", src)
+            .iter()
+            .all(|v| v.rule != RULE_NO_PARTIAL_CMP_SORT));
+    }
+
+    #[test]
+    fn unbounded_run_fires_outside_sim_crate_including_tests() {
+        let src = concat!(
+            "pub fn drive(sim: &mut S) {\n",
+            "    sim.run_to_quiescence();\n",
+            "}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t(sim: &mut S) {\n",
+            "        sim.run_to_quiescence();\n",
+            "        assert!(sim.run_to_quiescence_bounded(1_000));\n",
+            "    }\n",
+            "}\n",
+        );
+        let vs: Vec<_> = scan_source("crates/syntax/src/x.rs", src)
+            .into_iter()
+            .filter(|v| v.rule == RULE_NO_UNBOUNDED_RUN)
+            .collect();
+        let lines: Vec<usize> = vs.iter().map(|v| v.line).collect();
+        assert_eq!(lines, vec![2, 7]);
+        // The sim crate defines (and may call) the unbounded variant.
+        assert!(scan_source("crates/sim/src/x.rs", src)
+            .iter()
+            .all(|v| v.rule != RULE_NO_UNBOUNDED_RUN));
+    }
+
+    #[test]
     fn token_boundaries_respected() {
         let src = "fn f() { my_thread_rng(); not_a_panic!simulated(); }\n";
         assert!(scan_source("crates/sim/src/x.rs", src).is_empty());
@@ -642,6 +740,17 @@ mod tests {
         ));
         assert!(!allow.waives(&v, "let x = other.unwrap();"));
         assert_eq!(allow.unused().len(), 1);
+    }
+
+    #[test]
+    fn stale_allowlist_entries_fail_the_pass() {
+        let clean = LintReport::default();
+        assert!(clean.is_clean());
+        let stale = LintReport {
+            stale_allows: vec!["no-panic crates/net/src/never.rs nothing".into()],
+            ..LintReport::default()
+        };
+        assert!(!stale.is_clean());
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::env;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use lems_check::explore;
 use lems_check::lint::{lint_workspace, Allowlist};
 use lems_check::scenarios;
 
@@ -19,8 +20,10 @@ usage: lems-check <command> [options]
 
 commands:
   lint  [--root <dir>]            static rules over crates/*/src
-                                  (no-panic, no-wall-clock, no-hash-collections;
-                                   vetted exceptions in <root>/lint-allow.txt)
+                                  (no-panic, no-wall-clock, no-hash-collections,
+                                   no-partial-cmp-sort, no-unbounded-run;
+                                   vetted exceptions in <root>/lint-allow.txt;
+                                   stale exceptions fail the pass)
   audit [--seed <n>] [--chaos] [name ...]
                                   replay audit scenarios and check the
                                   engine's conservation laws + mail ledgers
@@ -28,6 +31,16 @@ commands:
                                    chaos-lossy, chaos-partition, chaos-crash-loss;
                                    --chaos runs just the chaos trio;
                                    default: all, seed 3)
+  explore [--seed <n>] [--max-schedules <n>] [--require-exhaustive] [name ...]
+                                  small-scope schedule model checker: enumerate
+                                  every same-instant interleaving of tiny
+                                  deployments, audit each terminal trace, and
+                                  print failing schedules as replayable
+                                  branch-choice lists
+                                  (scenarios: s1-steady, s1-crash, s2-roam;
+                                   default: all, seed 3;
+                                   --require-exhaustive also fails runs the
+                                   bounds truncated)
 ";
 
 fn main() -> ExitCode {
@@ -35,7 +48,8 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
         Some("audit") => run_audit(&args[1..]),
-        Some("--help") | Some("-h") | None => {
+        Some("explore") => run_explore(&args[1..]),
+        Some("--help" | "-h") | None => {
             print!("{USAGE}");
             ExitCode::from(if args.is_empty() { 2 } else { 0 })
         }
@@ -109,7 +123,7 @@ fn run_lint(args: &[String]) -> ExitCode {
         println!("{v}");
     }
     for stale in &report.stale_allows {
-        eprintln!("warning: stale allowlist entry (matched nothing): {stale}");
+        println!("stale allowlist entry (matched nothing): {stale}");
     }
     if report.is_clean() {
         println!(
@@ -121,8 +135,9 @@ fn run_lint(args: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         println!(
-            "lint: {} violation(s) across {} files",
+            "lint: {} violation(s), {} stale exception(s) across {} files",
             report.violations.len(),
+            report.stale_allows.len(),
             report.files_scanned
         );
         ExitCode::FAILURE
@@ -159,9 +174,8 @@ fn run_audit(args: &[String]) -> ExitCode {
         .collect();
     if outcomes.is_empty() {
         eprintln!(
-            "lems-check audit: no scenario matches {:?} (have: steady, failover, \
-             random-failures, chaos-lossy, chaos-partition, chaos-crash-loss)",
-            wanted
+            "lems-check audit: no scenario matches {wanted:?} (have: steady, failover, \
+             random-failures, chaos-lossy, chaos-partition, chaos-crash-loss)"
         );
         return ExitCode::from(2);
     }
@@ -184,6 +198,87 @@ fn run_audit(args: &[String]) -> ExitCode {
         ExitCode::FAILURE
     } else {
         println!("audit: {} scenario(s) clean", outcomes.len());
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_explore(args: &[String]) -> ExitCode {
+    let mut seed = 3u64;
+    let mut bounds = explore::default_bounds();
+    let mut require_exhaustive = false;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--require-exhaustive" => require_exhaustive = true,
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("lems-check explore: --seed needs an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--max-schedules" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => bounds.max_schedules = n,
+                None => {
+                    eprintln!("lems-check explore: --max-schedules needs an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            name => wanted.push(name.to_owned()),
+        }
+    }
+
+    let outcomes: Vec<_> = explore::run_all(seed, bounds)
+        .into_iter()
+        .filter(|o| wanted.is_empty() || wanted.iter().any(|w| w == o.name))
+        .collect();
+    if outcomes.is_empty() {
+        eprintln!(
+            "lems-check explore: no scenario matches {wanted:?} \
+             (have: s1-steady, s1-crash, s2-roam)"
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut dirty = false;
+    for o in &outcomes {
+        println!("scenario `{}` (seed {seed}): {}", o.name, o.description);
+        println!(
+            "  {} schedule(s) explored, {} distinct outcome(s){}",
+            o.schedules,
+            o.distinct_outcomes,
+            if o.truncated {
+                " [TRUNCATED: bounds clipped the space]"
+            } else {
+                " (exhaustive)"
+            }
+        );
+        if o.truncated && require_exhaustive {
+            dirty = true;
+            println!("  FAIL: --require-exhaustive set but bounds clipped the space");
+        }
+        if let Some(cx) = &o.counterexample {
+            dirty = true;
+            println!("  counterexample schedule: {}", cx.schedule);
+            println!(
+                "  replay: {}",
+                if cx.replay_verified {
+                    "verified byte-identical"
+                } else {
+                    "FAILED to reproduce (nondeterministic workload?)"
+                }
+            );
+            for v in &cx.violations {
+                println!("  violation: {v}");
+            }
+        }
+    }
+    if dirty {
+        println!("explore: counterexample(s) or truncated run(s) found");
+        ExitCode::FAILURE
+    } else {
+        println!("explore: {} scenario(s) clean", outcomes.len());
         ExitCode::SUCCESS
     }
 }

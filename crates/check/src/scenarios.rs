@@ -60,7 +60,7 @@ impl ScenarioOutcome {
             .violations
             .iter()
             .chain(&self.domain)
-            .map(|v| v.to_string())
+            .map(std::string::ToString::to_string)
             .collect()
     }
 }

@@ -160,7 +160,7 @@ pub fn generate(
     }
 
     // Per-region index for local draws.
-    let mut regions: std::collections::BTreeMap<RegionId, Vec<usize>> = Default::default();
+    let mut regions = std::collections::BTreeMap::<RegionId, Vec<usize>>::new();
     for (i, &(_, r)) in population.iter().enumerate() {
         regions.entry(r).or_default().push(i);
     }
@@ -211,7 +211,7 @@ pub fn generate(
         }
     }
 
-    events.sort_by_key(|e| e.at());
+    events.sort_by_key(WorkloadEvent::at);
     Workload {
         events,
         sends,

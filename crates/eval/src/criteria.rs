@@ -199,8 +199,8 @@ pub fn rank(cards: &[Scorecard], weights: &CriteriaWeights) -> Vec<(usize, f64)>
     let cost = |c: &Scorecard| c.cost.messages_per_delivery + c.cost.total_comm_units / 100.0;
 
     let normalise = |vals: Vec<f64>| -> Vec<f64> {
-        let lo = vals.iter().cloned().fold(f64::MAX, f64::min);
-        let hi = vals.iter().cloned().fold(f64::MIN, f64::max);
+        let lo = vals.iter().copied().fold(f64::MAX, f64::min);
+        let hi = vals.iter().copied().fold(f64::MIN, f64::max);
         vals.into_iter()
             .map(|v| {
                 if (hi - lo).abs() < 1e-12 {

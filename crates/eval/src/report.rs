@@ -1,5 +1,7 @@
 //! Rendering scorecards side by side (the C7 experiment's output).
 
+use std::fmt::Write;
+
 use crate::criteria::Scorecard;
 
 /// Renders a fixed-width comparison table of several scorecards, one
@@ -28,20 +30,20 @@ pub fn comparison_table(cards: &[Scorecard]) -> String {
         .max(14)
         + 2;
 
-    let header: String = cards
-        .iter()
-        .map(|c| format!("{:>col_width$}", c.system))
-        .collect();
-    out.push_str(&format!("{:<label_width$}{header}\n", "criterion"));
+    let mut header = String::new();
+    for c in cards {
+        let _ = write!(header, "{:>col_width$}", c.system);
+    }
+    let _ = writeln!(out, "{:<label_width$}{header}", "criterion");
     out.push_str(&"-".repeat(label_width + col_width * cards.len()));
     out.push('\n');
 
     let mut row = |label: &str, values: Vec<String>| {
-        let cols: String = values
-            .into_iter()
-            .map(|v| format!("{v:>col_width$}"))
-            .collect();
-        out.push_str(&format!("{label:<label_width$}{cols}\n"));
+        let mut cols = String::new();
+        for v in values {
+            let _ = write!(cols, "{v:>col_width$}");
+        }
+        let _ = writeln!(out, "{label:<label_width$}{cols}");
     };
 
     row(

@@ -788,6 +788,10 @@ mod tests {
     use lems_net::generators::MultiRegionConfig;
     use lems_sim::rng::SimRng;
 
+    /// Every test scenario quiesces far below this; exhausting it means
+    /// a stuck retry loop, which must fail the test rather than hang it.
+    const EVENT_BUDGET: u64 = 2_000_000;
+
     fn world() -> Topology {
         let mut rng = SimRng::seed(8);
         multi_region(
@@ -817,7 +821,7 @@ mod tests {
         d.login_at(t(1.0), &alice, d.users[&alice]);
         d.login_at(t(1.0), &bob, bob_home);
         d.send_at(t(20.0), &alice, &bob);
-        d.sim.run_to_quiescence();
+        assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
 
         let st = d.stats.borrow();
         assert_eq!(st.submitted, 1);
@@ -842,7 +846,7 @@ mod tests {
         // Bob roams to a different host before the mail arrives.
         d.login_at(t(1.0), &bob, away);
         d.send_at(t(30.0), &alice, &bob);
-        d.sim.run_to_quiescence();
+        assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
 
         assert_eq!(d.alerts_at(away, &bob), 1, "alert must follow bob");
         assert_eq!(d.alerts_at(bob_home, &bob), 0);
@@ -860,7 +864,7 @@ mod tests {
         let bob_home = d.users[&bob];
 
         d.send_at(t(5.0), &alice, &bob);
-        d.sim.run_to_quiescence();
+        assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
 
         // Bob never logged in: after the peers come up empty, the alert
         // goes to the primary host derived from his name.
@@ -890,7 +894,7 @@ mod tests {
         // Bob goes home; a second message follows him there.
         d.login_at(t(60.0), &bob, bob_home);
         d.send_at(t(90.0), &alice, &bob);
-        d.sim.run_to_quiescence();
+        assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
 
         assert_eq!(d.alerts_at(away, &bob), 1);
         assert_eq!(d.alerts_at(bob_home, &bob), 1);
@@ -906,14 +910,14 @@ mod tests {
             let hosts = topo.hosts_in(lems_net::topology::RegionId(0));
             d.login_at(t(1.0 + i as f64), u, hosts[i % hosts.len()]);
         }
-        d.sim.run_to_quiescence();
+        assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
         // Mail to every user notifies without any WhereIs consults,
         // because LocationUpdates already spread the knowledge.
         let sender = users[0].clone();
         for (i, u) in users.iter().enumerate().skip(1) {
             d.send_at(t(100.0 + i as f64), &sender, u);
         }
-        d.sim.run_to_quiescence();
+        assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
         let st = d.stats.borrow();
         assert_eq!(st.consults, 0, "cooperative updates make lookups free");
         assert_eq!(st.notified, users.len() as u64 - 1);
@@ -940,7 +944,7 @@ mod tests {
         for (i, u) in users.iter().enumerate().skip(1) {
             d.send_at(t(20.0 + i as f64 * 5.0), &sender, u);
         }
-        d.sim.run_to_quiescence();
+        assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
 
         let st = d.stats.borrow();
         assert_eq!(st.submitted, 3);
@@ -969,7 +973,7 @@ mod tests {
         let (alice, bob) = (users[0].clone(), users[1].clone());
         d.login_at(t(1.0), &bob, d.users[&bob]);
         d.send_at(t(10.0), &alice, &bob);
-        d.sim.run_to_quiescence();
+        assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
 
         let st = d.stats.borrow();
         assert_eq!(st.submitted, 1);

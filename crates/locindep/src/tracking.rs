@@ -97,7 +97,7 @@ impl RegionTracker {
         self.logins += 1;
         // Remove stale knowledge elsewhere: the paper's servers "cooperate
         // to keep track of the movement of users".
-        for (&s, map) in self.known.iter_mut() {
+        for (&s, map) in &mut self.known {
             if s != via_server {
                 map.remove(user);
             }

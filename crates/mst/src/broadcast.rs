@@ -214,10 +214,18 @@ fn subtree_timeouts(
         .collect()
 }
 
+/// Event budget for one broadcast/convergecast run. The protocol
+/// processes O(nodes) messages plus bounded retry timers, so any
+/// legitimate run sits orders of magnitude below this; exhausting it
+/// means a non-converging retry loop, reported as a failed broadcast.
+pub const BROADCAST_EVENT_BUDGET: u64 = 1_000_000;
+
 /// Runs the broadcast/convergecast protocol over `tree_adjacency` (a
 /// spanning tree of `g`), with failures from `plan` (indexed by node id).
 ///
-/// Returns `None` if the root itself is down for the whole run.
+/// Returns `None` if the root itself is down for the whole run, or if the
+/// run exceeds [`BROADCAST_EVENT_BUDGET`] events without quiescing (a
+/// livelocked retry loop rather than a finishing protocol).
 ///
 /// # Panics
 ///
@@ -281,7 +289,9 @@ pub fn simulate_broadcast(
         BcastMsg::Query,
         SimDuration::from_units(0.001),
     );
-    sim.run_to_quiescence();
+    if !sim.run_to_quiescence_bounded(BROADCAST_EVENT_BUDGET) {
+        return None;
+    }
 
     let out = result.borrow();
     out.map(|(aggregate, completed_at)| BroadcastOutcome {

@@ -100,7 +100,7 @@ pub struct GhsNode {
 impl GhsNode {
     fn new(
         node: NodeId,
-        neighbors: Vec<(NodeId, Weight)>,
+        neighbors: &[(NodeId, Weight)],
         transport: Rc<Transport>,
         stats: Rc<RefCell<GhsStats>>,
     ) -> Self {
@@ -364,10 +364,10 @@ impl GhsNode {
             if self.edge_state[&from] == EdgeState::Basic {
                 self.edge_state.insert(from, EdgeState::Rejected);
             }
-            if self.test_edge != Some(from) {
-                self.send(ctx, from, GhsMsg::Reject);
-            } else {
+            if self.test_edge == Some(from) {
                 self.test(ctx);
+            } else {
+                self.send(ctx, from, GhsMsg::Reject);
             }
         }
         true
@@ -582,7 +582,7 @@ impl GhsSim {
                 .neighbors(n)
                 .map(|(m, eid)| (m, g.edge(eid).weight))
                 .collect();
-            let node = GhsNode::new(n, neighbors, Rc::clone(&placeholder), Rc::clone(&stats));
+            let node = GhsNode::new(n, &neighbors, Rc::clone(&placeholder), Rc::clone(&stats));
             let aid = sim.add_actor(node);
             transport.bind(n, aid);
             actor_ids.push(aid);
@@ -626,7 +626,7 @@ impl GhsSim {
             .map(|&aid| {
                 self.sim
                     .actor::<GhsNode>(aid)
-                    .map(|n| n.debug_state())
+                    .map(GhsNode::debug_state)
                     .unwrap_or_default()
             })
             .collect()
@@ -634,7 +634,7 @@ impl GhsSim {
 
     /// Collects the result (callable once quiesced).
     pub fn into_run(self) -> GhsRun {
-        let mut edge_set: std::collections::BTreeSet<(NodeId, NodeId)> = Default::default();
+        let mut edge_set = std::collections::BTreeSet::<(NodeId, NodeId)>::new();
         for (i, &aid) in self.actor_ids.iter().enumerate() {
             let Some(node) = self.sim.actor::<GhsNode>(aid) else {
                 continue;

@@ -92,7 +92,7 @@ mod tests {
             GhsMsg::Report { best: None },
             GhsMsg::ChangeRoot,
         ];
-        let kinds: std::collections::HashSet<&str> = msgs.iter().map(|m| m.kind()).collect();
+        let kinds: std::collections::HashSet<&str> = msgs.iter().map(super::GhsMsg::kind).collect();
         assert_eq!(kinds.len(), msgs.len());
     }
 }

@@ -278,6 +278,10 @@ mod tests {
     use crate::graph::Weight;
     use lems_sim::actor::{Actor, ActorSim};
 
+    /// Every test scenario quiesces far below this; exhausting it means
+    /// a stuck retry loop, which must fail the test rather than hang it.
+    const EVENT_BUDGET: u64 = 100_000;
+
     fn g3() -> Graph {
         let mut g = Graph::with_nodes(3);
         g.add_edge(NodeId(0), NodeId(1), Weight::from_units(1.0));
@@ -363,7 +367,7 @@ mod tests {
             dest: NodeId(2),
         });
         assert_eq!(id, src_actor);
-        sim.run_to_quiescence();
+        assert!(sim.run_to_quiescence_bounded(EVENT_BUDGET));
         let s: &Src = sim.actor(src_actor).unwrap();
         assert_eq!(s.tr.wiring_errors(), 1);
     }
@@ -438,7 +442,7 @@ mod tests {
             dest: NodeId(2),
         });
         assert_eq!(id, src_actor);
-        sim.run_to_quiescence();
+        assert!(sim.run_to_quiescence_bounded(EVENT_BUDGET));
         let s: &Sink = sim.actor(sink).unwrap();
         assert_eq!(s.got, vec![42]);
         assert_eq!(sim.now().as_units(), 3.5);

@@ -13,11 +13,12 @@
 //! actor pair is enforced by default and can be disabled for experiments
 //! that want reordering.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use crate::linkfault::LinkFaultPlan;
 use crate::queue::EventQueue;
 use crate::rng::SimRng;
+use crate::sched::{ReadyEvent, ReadyKind, Scheduler};
 use crate::stats::Counter;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceKind};
@@ -145,6 +146,7 @@ struct Core<M> {
     rng: SimRng,
     link_faults: Option<LinkFaultPlan>,
     fault_rng: SimRng,
+    scheduler: Option<Box<dyn Scheduler>>,
 }
 
 impl<M> Core<M> {
@@ -222,6 +224,60 @@ impl<M> Core<M> {
             .push(self.now + delay, Ev::Timer { actor, id, tag });
         id
     }
+
+    /// Removes and returns the next event to fire.
+    ///
+    /// Without a scheduler this is a plain pop (lowest `(time, seq)`). With
+    /// one installed, the ready set — every event at the earliest pending
+    /// instant — is summarised into candidates and the scheduler picks.
+    /// FIFO link order is enforced *before* the scheduler sees anything:
+    /// for deliveries on a real link, only the oldest pending message per
+    /// ordered `(from, to)` pair is a candidate, so no schedule can violate
+    /// the in-sequence delivery assumption. External injections model
+    /// independent arrivals and are each freely orderable.
+    fn pop_next(&mut self) -> Option<(SimTime, Ev<M>)> {
+        if self.scheduler.is_none() {
+            return self.queue.pop();
+        }
+        let mut lanes: BTreeSet<(ActorId, ActorId)> = BTreeSet::new();
+        let mut candidates: Vec<ReadyEvent> = Vec::new();
+        for (at, seq, ev) in self.queue.ready() {
+            let (kind, target, from) = match ev {
+                Ev::Deliver { from, to, .. } => {
+                    if self.fifo && *from != ActorId::EXTERNAL && !lanes.insert((*from, *to)) {
+                        // Not the lane head: an older message on the same
+                        // ordered pair must fire first.
+                        continue;
+                    }
+                    (ReadyKind::Deliver, *to, *from)
+                }
+                Ev::Timer { actor, .. } => (ReadyKind::Timer, *actor, *actor),
+                Ev::Crash { actor } => (ReadyKind::Crash, *actor, *actor),
+                Ev::Recover { actor } => (ReadyKind::Recover, *actor, *actor),
+            };
+            candidates.push(ReadyEvent {
+                seq,
+                at,
+                kind,
+                target,
+                from,
+            });
+        }
+        let chosen = match candidates.len() {
+            0 => return None,
+            1 => candidates[0],
+            n => {
+                let idx = self
+                    .scheduler
+                    .as_mut()
+                    .map_or(0, |s| s.choose(&candidates))
+                    .min(n - 1);
+                candidates[idx]
+            }
+        };
+        let ev = self.queue.remove(chosen.at, chosen.seq)?;
+        Some((chosen.at, ev))
+    }
 }
 
 /// Handler-side view of the engine: clock, messaging, timers, randomness.
@@ -230,7 +286,7 @@ pub struct Ctx<'a, M> {
     me: ActorId,
 }
 
-impl<'a, M> Ctx<'a, M> {
+impl<M> Ctx<'_, M> {
     /// The current simulated time.
     pub fn now(&self) -> SimTime {
         self.core.now
@@ -347,6 +403,7 @@ impl<M: 'static> ActorSim<M> {
                 // A dedicated stream: enabling faults must not perturb the
                 // randomness actors observe via `Ctx::rng`.
                 fault_rng: SimRng::seed(seed).fork("link-faults"),
+                scheduler: None,
             },
             actors: Vec::new(),
             started: Vec::new(),
@@ -428,6 +485,21 @@ impl<M: 'static> ActorSim<M> {
         self.core.link_faults = None;
     }
 
+    /// Installs (or replaces) the event [`Scheduler`] consulted whenever
+    /// two or more events are ready at the same instant. Without one, the
+    /// engine fires events in scheduling order ([`FifoScheduler`]
+    /// semantics, zero overhead).
+    ///
+    /// [`FifoScheduler`]: crate::sched::FifoScheduler
+    pub fn set_scheduler(&mut self, scheduler: Box<dyn Scheduler>) {
+        self.core.scheduler = Some(scheduler);
+    }
+
+    /// Removes the scheduler; the engine reverts to plain FIFO order.
+    pub fn clear_scheduler(&mut self) {
+        self.core.scheduler = None;
+    }
+
     /// The installed link-fault plan, if any.
     pub fn link_faults(&self) -> Option<&LinkFaultPlan> {
         self.core.link_faults.as_ref()
@@ -480,7 +552,7 @@ impl<M: 'static> ActorSim<M> {
         for idx in 0..self.actors.len() {
             if !self.started[idx] {
                 self.started[idx] = true;
-                self.with_actor(ActorId(idx), |actor, ctx| actor.on_start(ctx));
+                self.with_actor(ActorId(idx), Actor::on_start);
             }
         }
     }
@@ -506,7 +578,7 @@ impl<M: 'static> ActorSim<M> {
             self.running = true;
         }
         self.start_pending();
-        let Some((at, ev)) = self.core.queue.pop() else {
+        let Some((at, ev)) = self.core.pop_next() else {
             return false;
         };
         debug_assert!(at >= self.core.now, "time went backwards");
@@ -553,7 +625,7 @@ impl<M: 'static> ActorSim<M> {
                     self.core.down[actor.0] = false;
                     self.core.counters.recoveries.inc();
                     self.core.trace.record(at, TraceKind::Recover, actor, actor);
-                    self.with_actor(actor, |a, ctx| a.on_recover(ctx));
+                    self.with_actor(actor, Actor::on_recover);
                 }
             }
         }
@@ -605,7 +677,7 @@ impl<M> std::fmt::Debug for ActorSim<M> {
             .field("actors", &self.actors.len())
             .field("pending_events", &self.core.queue.len())
             .field("counters", &self.core.counters)
-            .finish()
+            .finish_non_exhaustive()
     }
 }
 

@@ -159,7 +159,7 @@ mod tests {
         let mut k: Kernel<Vec<u64>> = Kernel::new(Vec::new());
         for ticks in [50u64, 10, 30] {
             k.schedule(SimTime::from_ticks(ticks), move |w, s| {
-                w.push(s.now().as_ticks())
+                w.push(s.now().as_ticks());
             });
         }
         assert_eq!(k.run_to_quiescence(), vec![10, 30, 50]);

@@ -11,6 +11,8 @@
 //! * [`actor`] — message-passing actors with timers, matching the delivery
 //!   model assumed by the paper (finite, in-sequence, error-free links);
 //! * [`failure`] — planned and random crash/repair injection;
+//! * [`sched`] — pluggable schedulers: FIFO replay, seeded schedule
+//!   fuzzing, and exhaustive small-scope interleaving exploration;
 //! * [`rng`] — seeded, forkable randomness so runs reproduce exactly;
 //! * [`stats`] — counters, time-weighted gauges, summaries, histograms;
 //! * [`trace`] — bounded in-memory event tracing.
@@ -49,6 +51,7 @@ pub mod kernel;
 pub mod linkfault;
 pub mod queue;
 pub mod rng;
+pub mod sched;
 pub mod session;
 pub mod stats;
 pub mod time;
@@ -60,6 +63,10 @@ pub mod prelude {
     pub use crate::failure::{FailureError, FailurePlan};
     pub use crate::linkfault::{LinkFaultPlan, LinkProfile};
     pub use crate::rng::SimRng;
+    pub use crate::sched::{
+        ExploreBounds, Explorer, FifoScheduler, RandomScheduler, ReplayScheduler, Schedule,
+        Scheduler,
+    };
     pub use crate::session::RetryPolicy;
     pub use crate::stats::{Counter, Histogram, Summary, TimeWeighted};
     pub use crate::time::{SimDuration, SimTime};

@@ -3,9 +3,14 @@
 //!
 //! Two events scheduled for the same instant fire in the order they were
 //! scheduled. This is what makes same-seed runs byte-for-byte reproducible.
+//!
+//! The queue is backed by an ordered map keyed on `(time, sequence)`, which
+//! pops in exactly the order the old binary-heap implementation did while
+//! also exposing the *ready set* — every event scheduled for the earliest
+//! pending instant — so a [`Scheduler`](crate::sched::Scheduler) can pick
+//! which one fires next during schedule exploration.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::BTreeMap;
 
 use crate::time::SimTime;
 
@@ -13,34 +18,6 @@ use crate::time::SimTime;
 /// the same instant.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
 pub struct EventSeq(pub u64);
-
-struct Entry<E> {
-    at: SimTime,
-    seq: EventSeq,
-    event: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest event
-        // (and, within an instant, the lowest sequence number) on top.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
 
 /// A future-event list holding events of type `E`.
 ///
@@ -62,7 +39,7 @@ impl<E> Ord for Entry<E> {
 /// ```
 #[derive(Default)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    map: BTreeMap<(SimTime, EventSeq), E>,
     next_seq: u64,
 }
 
@@ -70,7 +47,7 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            map: BTreeMap::new(),
             next_seq: 0,
         }
     }
@@ -80,34 +57,51 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, at: SimTime, event: E) -> EventSeq {
         let seq = EventSeq(self.next_seq);
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        self.map.insert((at, seq), event);
         seq
     }
 
     /// Removes and returns the earliest event, or `None` when empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.at, e.event))
+        self.map.pop_first().map(|((at, _), e)| (at, e))
     }
 
     /// Removes and returns the earliest event together with its sequence
     /// number.
     pub fn pop_with_seq(&mut self) -> Option<(SimTime, EventSeq, E)> {
-        self.heap.pop().map(|e| (e.at, e.seq, e.event))
+        self.map.pop_first().map(|((at, seq), e)| (at, seq, e))
     }
 
     /// The firing time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        self.map.first_key_value().map(|((at, _), _)| *at)
+    }
+
+    /// Iterates over the *ready set*: every event scheduled for the earliest
+    /// pending instant, in scheduling (sequence) order. Empty when the queue
+    /// is empty.
+    pub fn ready(&self) -> impl Iterator<Item = (SimTime, EventSeq, &E)> {
+        let head = self.peek_time();
+        self.map
+            .iter()
+            .take_while(move |((at, _), _)| Some(*at) == head)
+            .map(|(&(at, seq), e)| (at, seq, e))
+    }
+
+    /// Removes a specific event by its firing time and sequence number.
+    /// Used by schedulers to fire a ready event other than the head.
+    pub fn remove(&mut self, at: SimTime, seq: EventSeq) -> Option<E> {
+        self.map.remove(&(at, seq))
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.map.len()
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.map.is_empty()
     }
 
     /// Total number of events ever scheduled on this queue.
@@ -117,14 +111,14 @@ impl<E> EventQueue<E> {
 
     /// Drops all pending events.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.map.clear();
     }
 }
 
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
-            .field("pending", &self.heap.len())
+            .field("pending", &self.map.len())
             .field("scheduled_total", &self.next_seq)
             .finish()
     }
@@ -169,6 +163,29 @@ mod tests {
         assert_eq!(q.scheduled_total(), 1);
     }
 
+    #[test]
+    fn ready_set_covers_exactly_the_earliest_instant() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ticks(5), "a");
+        q.push(SimTime::from_ticks(5), "b");
+        q.push(SimTime::from_ticks(9), "c");
+        let ready: Vec<&str> = q.ready().map(|(_, _, e)| *e).collect();
+        assert_eq!(ready, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn remove_targets_a_specific_entry() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ticks(5);
+        q.push(t, "a");
+        let seq_b = q.push(t, "b");
+        q.push(t, "c");
+        assert_eq!(q.remove(t, seq_b), Some("b"));
+        assert_eq!(q.remove(t, seq_b), None);
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "c"]);
+    }
+
     proptest! {
         /// Popping always yields events in non-decreasing time order, and
         /// within equal times in scheduling order.
@@ -187,6 +204,20 @@ mod tests {
                     }
                 }
                 prev = Some((t, idx));
+            }
+        }
+
+        /// The head of the ready set is always what `pop` would return.
+        #[test]
+        fn ready_head_matches_pop(times in proptest::collection::vec(0u64..10, 1..100)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime::from_ticks(t), i);
+            }
+            while !q.is_empty() {
+                let head = q.ready().next().map(|(at, seq, e)| (at, seq, *e));
+                let popped = q.pop_with_seq();
+                prop_assert_eq!(head, popped);
             }
         }
     }

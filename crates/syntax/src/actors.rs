@@ -418,7 +418,7 @@ impl HostActor {
             // Sweep phase.
             loop {
                 match session.sweep_remaining.pop() {
-                    Some(s) if session.probed.contains(&s) => continue,
+                    Some(s) if session.probed.contains(&s) => {}
                     other => break other,
                 }
             }
@@ -742,8 +742,7 @@ impl ServerActor {
                     .resolver
                     .view()
                     .lookup(&msg.to)
-                    .map(|rec| rec.authorities.servers().to_vec())
-                    .unwrap_or_else(|| vec![self.node]);
+                    .map_or_else(|| vec![self.node], |rec| rec.authorities.servers().to_vec());
                 self.forward_next(msg, candidates, hops_left - 1, ctx);
             }
             Resolution::RegionalAuthority(list) => {
@@ -1254,9 +1253,9 @@ impl Deployment {
             host_actors,
             host_region,
             host_names,
+            server_actors,
             assignment,
             problem,
-            server_actors,
             redirects,
         }
     }
@@ -1663,6 +1662,10 @@ mod tests {
     use super::*;
     use lems_net::generators::fig1;
 
+    /// Every test scenario quiesces far below this; exhausting it means
+    /// a stuck retry loop, which must fail the test rather than hang it.
+    const EVENT_BUDGET: u64 = 2_000_000;
+
     fn t(u: f64) -> SimTime {
         SimTime::from_units(u)
     }
@@ -1698,7 +1701,7 @@ mod tests {
         let (alice, bob) = (names[0].clone(), names[5].clone());
         d.send_at(t(1.0), &alice, &bob);
         d.check_at(t(50.0), &bob);
-        d.sim.run_to_quiescence();
+        assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
 
         let st = d.stats.borrow();
         assert_eq!(st.submitted, 1);
@@ -1716,7 +1719,7 @@ mod tests {
         let names = d.user_names();
         let (alice, bob) = (names[0].clone(), names[7].clone());
         d.send_at(t(1.0), &alice, &bob);
-        d.sim.run_to_quiescence();
+        assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
         let host = *d.users.get(&bob).unwrap();
         let actor = d.host_actor(host).unwrap();
         let h: &HostActor = d.sim.actor(actor).unwrap();
@@ -1732,7 +1735,7 @@ mod tests {
         for i in 1..=5 {
             d.check_at(t(i as f64 * 20.0), &user);
         }
-        d.sim.run_to_quiescence();
+        assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
         let st = d.stats.borrow();
         assert_eq!(st.retrieval_polls.count(), 5);
         // First = 3 polls, remaining 4 = 1 poll -> mean = (3+4)/5 = 1.4
@@ -1765,7 +1768,7 @@ mod tests {
         }
         // Bob checks after the dust settles; mail must be retrievable.
         d.check_at(t(120.0), &bob);
-        d.sim.run_to_quiescence();
+        assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
         let st = d.stats.borrow();
         assert_eq!(st.retrieved, 1);
         assert_eq!(st.outstanding(), 0);
@@ -1778,7 +1781,7 @@ mod tests {
         let alice = names[0].clone();
         let ghost: MailName = "r0.H1.ghost".parse().unwrap();
         d.send_at(t(1.0), &alice, &ghost);
-        d.sim.run_to_quiescence();
+        assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
         let st = d.stats.borrow();
         assert_eq!(st.bounced, 1);
         assert_eq!(
@@ -1794,7 +1797,7 @@ mod tests {
         let alice = names[0].clone();
         let ghost: MailName = "r999.H1.ghost".parse().unwrap();
         d.send_at(t(1.0), &alice, &ghost);
-        d.sim.run_to_quiescence();
+        assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
         assert_eq!(d.stats.borrow().bounced, 1);
     }
 
@@ -1807,7 +1810,7 @@ mod tests {
                 d.send_at(t(1.0 + i as f64), &names[i], &names[(i + 3) % names.len()]);
                 d.check_at(t(100.0 + i as f64), &names[(i + 3) % names.len()]);
             }
-            d.sim.run_to_quiescence();
+            assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
             let st = d.stats.borrow();
             (st.retrieved, st.deposited, d.sim.now())
         }
@@ -1823,7 +1826,7 @@ mod tests {
         let server_actor = d.server_actor(primary).unwrap();
 
         d.send_at(t(1.0), &alice, &bob);
-        d.sim.run_to_quiescence();
+        assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
         assert_eq!(d.stats.borrow().deposited, 1);
 
         // Replay the delivered message as a stray duplicate Forward.
@@ -1842,7 +1845,7 @@ mod tests {
             },
             SimDuration::from_units(1.0),
         );
-        d.sim.run_to_quiescence();
+        assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
         assert_eq!(d.stats.borrow().deposited, 1, "duplicate suppressed");
         assert_eq!(d.mail_in_storage(), 1);
     }
@@ -1872,7 +1875,7 @@ mod tests {
         // under the new name.
         d.send_at(t(1.0), &alice, &bob_old);
         d.check_at(t(60.0), &bob_new);
-        d.sim.run_to_quiescence();
+        assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
 
         let st = d.stats.borrow();
         assert_eq!(st.bounced, 0, "old-name mail must redirect, not bounce");
@@ -1901,7 +1904,7 @@ mod tests {
             .unwrap();
         // Mail sent long after the redirect expired.
         d.send_at(t(100.0), &alice, &bob_old);
-        d.sim.run_to_quiescence();
+        assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
         let st = d.stats.borrow();
         assert_eq!(st.bounced, 1);
         assert_eq!(
@@ -1924,7 +1927,7 @@ mod tests {
         plan.add(primary, t(20.0), t(40.0));
         d.apply_server_failures(&plan);
         d.check_at(t(50.0), &bob);
-        d.sim.run_to_quiescence();
+        assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
         let st = d.stats.borrow();
         assert_eq!(st.retrieved, 1);
         assert_eq!(st.outstanding(), 0);
@@ -1948,7 +1951,7 @@ mod tests {
         for i in 0..6 {
             d.check_at(t(200.0 + i as f64), &names[(i + 5) % names.len()]);
         }
-        d.sim.run_to_quiescence();
+        assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
 
         let st = d.stats.borrow();
         assert_eq!(st.submitted, 6);
@@ -1979,7 +1982,7 @@ mod tests {
         // Deliver cleanly, then make the server->host direction drop every
         // message until t=100: Retrieves arrive, replies vanish.
         d.send_at(t(1.0), &alice, &bob);
-        d.sim.run_to_quiescence();
+        assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
         assert_eq!(d.stats.borrow().deposited, 1);
 
         let mut plan = LinkFaultPlan::new().with_stochastic_horizon(t(100.0));
@@ -1995,7 +1998,7 @@ mod tests {
         d.check_at(t(20.0), &bob);
         // A later check, after the horizon, must recover it.
         d.check_at(t(200.0), &bob);
-        d.sim.run_to_quiescence();
+        assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
 
         let st = d.stats.borrow();
         assert_eq!(st.retrieved, 1, "mail must survive dropped replies");
@@ -2027,7 +2030,7 @@ mod tests {
         let host = d.host_actor(*d.users.get(&bob).unwrap()).unwrap();
 
         d.send_at(t(1.0), &alice, &bob);
-        d.sim.run_to_quiescence();
+        assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
         assert_eq!(d.stats.borrow().deposited, 1);
 
         let mut plan = LinkFaultPlan::new().with_stochastic_horizon(t(100.0));
@@ -2040,7 +2043,7 @@ mod tests {
 
         d.check_at(t(20.0), &bob);
         d.check_at(t(200.0), &bob);
-        d.sim.run_to_quiescence();
+        assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
 
         let st = d.stats.borrow();
         assert_eq!(
@@ -2067,7 +2070,7 @@ mod tests {
                 d.send_at(t(1.0 + i as f64), &names[i], &names[i + 6]);
                 d.check_at(t(150.0 + i as f64), &names[i + 6]);
             }
-            d.sim.run_to_quiescence();
+            assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
             let st = d.stats.borrow();
             (
                 st.retrieved,

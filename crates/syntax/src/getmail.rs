@@ -186,7 +186,7 @@ impl PlanStore {
     pub fn new(plan: lems_sim::failure::FailurePlan) -> Self {
         PlanStore {
             plan,
-            stored: Default::default(),
+            stored: std::collections::HashMap::new(),
             deposited: 0,
             lost: 0,
         }
@@ -404,7 +404,7 @@ mod tests {
             let mut store = PlanStore::new(plan);
             let auth = servers();
             let mut st = GetMailState::new();
-            let mut expected: std::collections::HashSet<MessageId> = Default::default();
+            let mut expected = std::collections::HashSet::<MessageId>::new();
             let mut got: Vec<MessageId> = Vec::new();
             let mut next_id = 0u64;
 

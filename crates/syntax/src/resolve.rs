@@ -235,7 +235,7 @@ mod tests {
         r.set_region_servers(RegionId(1), vec![NodeId(6), NodeId(7)]);
         match r.resolve(&name("west.h9.carol")) {
             Resolution::ForwardToRegion { servers, .. } => {
-                assert_eq!(servers, vec![NodeId(6), NodeId(7)])
+                assert_eq!(servers, vec![NodeId(6), NodeId(7)]);
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -21,6 +21,8 @@ mod duration_units {
     use lems_sim::time::SimDuration;
     use serde::{Deserialize, Deserializer, Serializer};
 
+    // serde's `serialize_with` contract passes the field by reference.
+    #[allow(clippy::trivially_copy_pass_by_ref)]
     pub fn serialize<S: Serializer>(d: &SimDuration, s: S) -> Result<S::Ok, S::Error> {
         s.serialize_f64(d.as_units())
     }

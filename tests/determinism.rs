@@ -8,6 +8,10 @@ use lems::sim::rng::SimRng;
 use lems::sim::time::{SimDuration, SimTime};
 use lems::syntax::{Deployment, DeploymentConfig, LinkChaos, ServerFailurePlan};
 
+/// Every scenario here quiesces far below this; exhausting it means a
+/// stuck retry loop, which must fail the test rather than hang it.
+const EVENT_BUDGET: u64 = 2_000_000;
+
 fn topo_fingerprint(seed: u64) -> Vec<(usize, usize, Weight)> {
     let mut rng = SimRng::seed(seed);
     let t = multi_region(&mut rng, &MultiRegionConfig::default());
@@ -61,7 +65,7 @@ fn deployment_fingerprint(seed: u64) -> (u64, u64, SimTime) {
     for (i, n) in names.iter().enumerate() {
         d.check_at(SimTime::from_units(100.0 + i as f64), n);
     }
-    d.sim.run_to_quiescence();
+    assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
     let st = d.stats.borrow();
     (st.retrieved, st.deposited, d.sim.now())
 }
@@ -106,8 +110,13 @@ fn trace_stream(seed: u64, with_failures: bool) -> String {
     for (i, n) in names.iter().enumerate() {
         d.check_at(SimTime::from_units(200.0 + i as f64), n);
     }
-    d.sim.run_to_quiescence();
-    let lines: Vec<String> = d.sim.trace().events().map(|e| e.to_string()).collect();
+    assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
+    let lines: Vec<String> = d
+        .sim
+        .trace()
+        .events()
+        .map(std::string::ToString::to_string)
+        .collect();
     assert!(
         lines.len() > 50,
         "trace unexpectedly small: {} events",
@@ -178,12 +187,12 @@ fn chaos_trace_stream(seed: u64) -> String {
     for (i, n) in names.iter().enumerate() {
         d.check_at(SimTime::from_units(300.0 + i as f64), n);
     }
-    d.sim.run_to_quiescence();
+    assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
     let stream: String = d
         .sim
         .trace()
         .events()
-        .map(|e| e.to_string())
+        .map(std::string::ToString::to_string)
         .collect::<Vec<_>>()
         .join("\n");
     assert!(

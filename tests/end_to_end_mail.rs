@@ -9,6 +9,10 @@ use lems::sim::rng::SimRng;
 use lems::sim::time::{SimDuration, SimTime};
 use lems::syntax::{Deployment, DeploymentConfig, ServerFailurePlan};
 
+/// Every scenario here quiesces far below this; exhausting it means a
+/// stuck retry loop, which must fail the test rather than hang it.
+const EVENT_BUDGET: u64 = 2_000_000;
+
 fn build_world(seed: u64) -> Deployment {
     let mut rng = SimRng::seed(seed);
     let topo = multi_region(
@@ -48,7 +52,7 @@ fn cross_region_mail_is_delivered() {
         .clone();
     d.send_at(SimTime::from_units(1.0), &a, &b);
     d.check_at(SimTime::from_units(200.0), &b);
-    d.sim.run_to_quiescence();
+    assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
     let st = d.stats.borrow();
     assert_eq!(st.retrieved, 1, "cross-region message must arrive");
     assert_eq!(st.outstanding(), 0);
@@ -107,7 +111,7 @@ fn generated_workload_with_failures_loses_nothing() {
         d.check_at(SimTime::from_units(800.0 + i as f64), n);
         d.check_at(SimTime::from_units(900.0 + i as f64), n);
     }
-    d.sim.run_to_quiescence();
+    assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
 
     let st = d.stats.borrow();
     assert!(st.submitted > 10);
@@ -130,7 +134,7 @@ fn notifications_follow_deposits() {
     let (a, b) = (names[0].clone(), names[1].clone());
     d.send_at(SimTime::from_units(1.0), &a, &b);
     d.send_at(SimTime::from_units(2.0), &a, &b);
-    d.sim.run_to_quiescence();
+    assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
     let st = d.stats.borrow();
     assert_eq!(st.deposited, 2);
     assert_eq!(st.notifications, 2, "one alert per deposit (§3.1.2c)");

@@ -9,6 +9,10 @@ use lems::net::generators::{multi_region, MultiRegionConfig};
 use lems::sim::rng::SimRng;
 use lems::sim::time::{SimDuration, SimTime};
 
+/// Every scenario here quiesces far below this; exhausting it means a
+/// stuck retry loop, which must fail the test rather than hang it.
+const EVENT_BUDGET: u64 = 2_000_000;
+
 #[test]
 fn generated_mobility_delivers_alerts_to_latest_location() {
     let mut rng = SimRng::seed(21);
@@ -55,7 +59,7 @@ fn generated_mobility_delivers_alerts_to_latest_location() {
     for (i, u) in users.iter().enumerate().skip(1) {
         d.send_at(SimTime::from_units(600.0 + i as f64), &sender, u);
     }
-    d.sim.run_to_quiescence();
+    assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
 
     // Every recipient got exactly one alert, at their last login host.
     for (i, u) in users.iter().enumerate().skip(1) {
@@ -105,7 +109,7 @@ fn scale_smoke_eight_regions() {
     for (i, n) in names.iter().enumerate() {
         d.check_at(SimTime::from_units(500.0 + i as f64), n);
     }
-    d.sim.run_to_quiescence();
+    assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
 
     let st = d.stats.borrow();
     assert_eq!(st.submitted, 96);

@@ -11,6 +11,10 @@ use lems::syntax::{Deployment, DeploymentConfig, ServerFailurePlan};
 use lems_check::audit::{audit_deployment, audit_trace};
 use lems_check::scenarios;
 
+/// Every scenario here quiesces far below this; exhausting it means a
+/// stuck retry loop, which must fail the test rather than hang it.
+const EVENT_BUDGET: u64 = 2_000_000;
+
 #[test]
 fn steady_scenario_conserves_every_message() {
     for seed in [1, 4, 9] {
@@ -78,7 +82,7 @@ fn getmail_under_outage_strands_nothing() {
     d.check_at(t(15.0), &names[0]);
     d.check_at(t(35.0), &names[0]);
     d.check_at(t(60.0), &names[0]);
-    d.sim.run_to_quiescence();
+    assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
 
     let trace_report = audit_trace(d.sim.trace());
     assert!(trace_report.is_clean(), "{trace_report}");
