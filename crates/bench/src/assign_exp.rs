@@ -193,7 +193,7 @@ pub fn add_server_reconvergence() -> ReconfigRow {
     let report = rec.add_server(
         NodeId(100),
         ServerSpec::paper_example(),
-        vec![2.0, 1.0, 2.0, 1.0, 1.0, 2.0],
+        &[2.0, 1.0, 2.0, 1.0, 1.0, 2.0],
     );
     let p2 = rec.problem();
     let a2 = rec.assignment();

@@ -1,31 +1,37 @@
 //! Convenience: run every repro experiment in sequence (the same code the
 //! individual `repro-*` binaries call), printing section markers. Useful
-//! for regenerating `artifacts/` wholesale.
+//! for regenerating `artifacts/` wholesale. A `--json` flag is forwarded
+//! to every child, so each experiment emits its machine-readable form.
 
 use std::process::Command;
 
 fn main() {
-    let bins = [
-        "repro-fig1",
-        "repro-table1-2",
-        "repro-table3",
-        "repro-fig2",
-        "repro-getmail",
-        "repro-mst-cost",
-        "repro-attr-cost",
-        "repro-locindep",
-        "repro-assign-ablate",
-        "repro-cache",
-        "repro-scorecard",
+    let bins: [(&str, &[&str]); 12] = [
+        ("repro-fig1", &[]),
+        ("repro-table1-2", &[]),
+        ("repro-table3", &[]),
+        ("repro-fig2", &[]),
+        ("repro-getmail", &[]),
+        ("repro-mst-cost", &[]),
+        ("repro-attr-cost", &[]),
+        ("repro-locindep", &[]),
+        ("repro-assign-ablate", &[]),
+        ("repro-cache", &[]),
+        ("repro-scorecard", &[]),
+        ("repro-scale", &["--smoke"]),
     ];
+    let forward: Vec<String> = std::env::args().skip(1).filter(|a| a == "--json").collect();
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
     let mut failed = Vec::new();
-    for bin in bins {
+    for (bin, extra) in bins {
         println!("\n================================================================");
         println!("== {bin}");
         println!("================================================================\n");
-        let status = Command::new(dir.join(bin)).status();
+        let status = Command::new(dir.join(bin))
+            .args(extra)
+            .args(&forward)
+            .status();
         match status {
             Ok(s) if s.success() => {}
             other => {

@@ -4,12 +4,16 @@
 //! reconvergence.
 
 use lems_bench::assign_exp::{add_server_reconvergence, batch_ablation, weight_ablation};
+use lems_bench::emit::{json_flag, Report};
 use lems_bench::render::{f1, f3, Table};
 
 fn main() {
-    println!("C6 — assignment-algorithm ablations (Fig. 1 scenario)\n");
+    let mut report = Report::new(
+        "assign-ablate",
+        "C6 — assignment-algorithm ablations (Fig. 1 scenario)",
+    );
 
-    println!("C6a: batch size vs convergence effort");
+    report.note("C6a: batch size vs convergence effort");
     let rows = batch_ablation(&[1, 2, 4, 8, 16, 32]);
     let mut t = Table::new(vec!["batch", "moves", "passes", "final cost"]);
     for r in &rows {
@@ -20,10 +24,10 @@ fn main() {
             f1(r.final_cost),
         ]);
     }
-    println!("{}", t.render());
-    println!("shape check: moves drop sharply with batch size at (near-)equal final cost.\n");
+    report.table("batch_ablation", &t);
+    report.note("shape check: moves drop sharply with batch size at (near-)equal final cost.");
 
-    println!("C6b: weight sensitivity (W1 = communication, W2 = processing)");
+    report.note("C6b: weight sensitivity (W1 = communication, W2 = processing)");
     let rows = weight_ablation(&[(8.0, 1.0), (4.0, 1.0), (1.0, 1.0), (1.0, 4.0), (1.0, 8.0)]);
     let mut t = Table::new(vec![
         "W1",
@@ -41,17 +45,27 @@ fn main() {
             r.split_hosts.to_string(),
         ]);
     }
-    println!("{}", t.render());
-    println!("shape check: processing-heavy weights tighten load balance;\ncommunication-heavy weights pin users to nearby servers.\n");
-
-    println!("C6c: add-server reconvergence (4th server adjacent to the hot spot)");
-    let r = add_server_reconvergence();
-    println!(
-        "  moved users: {}, new server load: {}, cost {} -> {}",
-        r.moved_users,
-        r.new_server_load,
-        f1(r.cost_before),
-        f1(r.cost_after)
+    report.table("weight_ablation", &t);
+    report.note(
+        "shape check: processing-heavy weights tighten load balance;\n\
+         communication-heavy weights pin users to nearby servers.",
     );
-    println!("  (paper §3.1.3c: 'the server assignment procedure is performed to\n   redistribute the load so that some users are assigned to the new server')");
+
+    report.note("C6c: add-server reconvergence (4th server adjacent to the hot spot)");
+    let r = add_server_reconvergence();
+    report.kv(
+        "add_server",
+        vec![
+            ("moved users".into(), r.moved_users.to_string()),
+            ("new server load".into(), r.new_server_load.to_string()),
+            ("cost before".into(), f1(r.cost_before)),
+            ("cost after".into(), f1(r.cost_after)),
+        ],
+    );
+    report.note(
+        "(paper §3.1.3c: 'the server assignment procedure is performed to\n\
+         redistribute the load so that some users are assigned to the new server')",
+    );
+
+    report.emit(json_flag());
 }

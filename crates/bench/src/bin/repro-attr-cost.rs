@@ -9,6 +9,7 @@ use lems_attr::query::Query;
 use lems_attr::registry::AttributeRegistry;
 use lems_attr::search::AttributeNetwork;
 use lems_attr::{distribute, estimate};
+use lems_bench::emit::{json_flag, Report};
 use lems_bench::mst_exp::distinct_world;
 use lems_bench::render::{f1, Table};
 
@@ -33,41 +34,54 @@ fn main() {
     let root = net.topology().servers()[0];
     let query = Query::text_eq(AttrKey::Interest, "opera");
 
-    println!(
-        "C4 — §3.3.1B cost table from region {}\n",
-        net.topology().region(root)
+    let mut report = Report::new(
+        "attr-cost",
+        format!(
+            "C4 — §3.3.1B cost table from region {}",
+            net.topology().region(root)
+        ),
     );
     let est = estimate(&net, root, &query);
     let mut table = Table::new(vec!["region", "delivery cost (u)"]);
     for &(r, c) in &est.region_costs {
         table.row(vec![format!("{r}"), f1(c)]);
     }
-    println!("{}", table.render());
-    println!(
-        "total = {} units; search charge estimate = {} units\n",
+    report.table("region_costs", &table);
+    report.note(format!(
+        "total = {} units; search charge estimate = {} units",
         f1(est.total_cost),
         f1(est.search_charge)
-    );
+    ));
 
-    println!("budget walk (cheapest regions first):");
+    report.note("budget walk (cheapest regions first):");
     let ctx = RequesterContext::default();
+    let mut walk = Table::new(vec![
+        "budget (u)",
+        "regions",
+        "recipients",
+        "skipped",
+        "cost (u)",
+    ]);
     for frac in [1.0, 0.6, 0.3, 0.1] {
         let budget = est.total_cost * frac;
         let out = distribute(&net, root, &query, &ctx, Some(budget));
-        println!(
-            "  budget {:>8} -> {} region(s), {} recipient(s), {} skipped, cost {}",
+        walk.row(vec![
             f1(budget),
-            out.regions.len(),
-            out.recipients.len(),
-            out.skipped_recipients,
+            out.regions.len().to_string(),
+            out.recipients.len().to_string(),
+            out.skipped_recipients.to_string(),
             f1(out.cost),
-        );
+        ]);
     }
+    report.table("budget_walk", &walk);
+
     let full = distribute(&net, root, &query, &ctx, None);
-    println!(
-        "\nunlimited budget: {} recipients across {} regions, cost {} units",
+    report.note(format!(
+        "unlimited budget: {} recipients across {} regions, cost {} units",
         full.recipients.len(),
         full.regions.len(),
         f1(full.cost)
-    );
+    ));
+
+    report.emit(json_flag());
 }

@@ -3,10 +3,14 @@
 //! invalidation costs.
 
 use lems_bench::cache_exp::{invalidation_cost, sweep};
+use lems_bench::emit::{json_flag, Report};
 use lems_bench::render::{f3, Table};
 
 fn main() {
-    println!("C8 — resolution caching (500 names, 20k lookups per point)\n");
+    let mut report = Report::new(
+        "cache",
+        "C8 — resolution caching (500 names, 20k lookups per point)",
+    );
     let rows = sweep(
         500,
         20_000,
@@ -23,16 +27,18 @@ fn main() {
             f3(r.evictions_per_k),
         ]);
     }
-    println!("{}", t.render());
-    println!("shape checks:");
-    println!("  - hit rate rises with capacity at fixed skew;");
-    println!("  - skewed (Zipf) popularity makes small caches effective —");
-    println!("    'a list of both frequently and recently used names' (§4.1)\n");
+    report.table("capacity_sweep", &t);
+    report.note("shape checks:");
+    report.note("  - hit rate rises with capacity at fixed skew;");
+    report.note("  - skewed (Zipf) popularity makes small caches effective —");
+    report.note("    'a list of both frequently and recently used names' (§4.1)");
 
-    println!("invalidation on removing 1 of 3 servers from a warm cache:");
+    report.note("invalidation on removing 1 of 3 servers from a warm cache:");
     let frac = invalidation_cost(300, 3);
-    println!(
+    report.note(format!(
         "  {:.1}% of entries dropped (every cached list naming the dead server)",
         100.0 * frac
-    );
+    ));
+
+    report.emit(json_flag());
 }

@@ -3,20 +3,24 @@
 //! assignment algorithm.
 
 use lems_bench::assign_exp::fig1_problem;
+use lems_bench::emit::{json_flag, Report};
 use lems_bench::render::{f1, Table};
 
 fn main() {
     let (scenario, problem) = fig1_problem();
     let t = &scenario.topology;
 
-    println!("FIG1 — topology and user distribution (reconstruction)\n");
-    println!(
-        "nodes: {} ({} hosts, {} servers), links: {} (all 1.0 unit)\n",
+    let mut report = Report::new(
+        "fig1",
+        "FIG1 — topology and user distribution (reconstruction)",
+    );
+    report.note(format!(
+        "nodes: {} ({} hosts, {} servers), links: {} (all 1.0 unit)",
         t.node_count(),
         scenario.hosts.len(),
         scenario.servers.len(),
         t.graph().edge_count(),
-    );
+    ));
 
     let mut links = Table::new(vec!["link", "weight (units)"]);
     for e in t.graph().edges() {
@@ -25,19 +29,19 @@ fn main() {
             format!("{}", e.weight),
         ]);
     }
-    println!("{}", links.render());
+    report.table("links", &links);
 
     let mut users = Table::new(vec!["host", "users"]);
     for (h, &n) in scenario.hosts.iter().zip(&scenario.users_per_host) {
         users.row(vec![t.name(*h).to_owned(), n.to_string()]);
     }
-    println!("{}", users.render());
-    println!(
-        "total users: {}\n",
+    report.table("users_per_host", &users);
+    report.note(format!(
+        "total users: {}",
         scenario.users_per_host.iter().sum::<u32>()
-    );
+    ));
 
-    println!("zero-load shortest-path cost matrix C_ij (units):\n");
+    report.note("zero-load shortest-path cost matrix C_ij (units):");
     let mut c = Table::new(vec!["host", "S1", "S2", "S3"]);
     for (i, &h) in scenario.hosts.iter().enumerate() {
         c.row(vec![
@@ -47,9 +51,11 @@ fn main() {
             f1(problem.comm[i][2]),
         ]);
     }
-    println!("{}", c.render());
-    println!(
+    report.table("cost_matrix", &c);
+    report.note(format!(
         "paper check: C(H2,S1) = {} units (the §3.1.1 example says 2).",
         f1(problem.comm[1][0])
-    );
+    ));
+
+    report.emit(json_flag());
 }

@@ -1,6 +1,7 @@
 //! FIG2: the backbone MST + local MSTs of §3.3.1A(ii), built by the real
 //! distributed GHS protocol and checked against the centralized planner.
 
+use lems_bench::emit::{json_flag, Report};
 use lems_bench::mst_exp::fig2;
 use lems_bench::render::{f1, Table};
 
@@ -8,14 +9,17 @@ fn main() {
     let r = fig2(3);
     let t = &r.topology;
 
-    println!("FIG2 — backbone MST over gateways + local MST per region\n");
-    println!(
-        "world: {} regions, {} nodes, {} edges; gateways: {}\n",
+    let mut report = Report::new(
+        "fig2",
+        "FIG2 — backbone MST over gateways + local MST per region",
+    );
+    report.note(format!(
+        "world: {} regions, {} nodes, {} edges; gateways: {}",
         t.region_ids().len(),
         t.node_count(),
         t.graph().edge_count(),
         t.gateways().len(),
-    );
+    ));
 
     for (region, edges) in &r.two_level.local_edges {
         let mut table = Table::new(vec!["local MST edge", "weight"]);
@@ -26,7 +30,8 @@ fn main() {
                 format!("{}", e.weight),
             ]);
         }
-        println!("region {region}:\n{}", table.render());
+        report.note(format!("region {region}:"));
+        report.table(&format!("local_mst_r{region}"), &table);
     }
 
     let mut bb = Table::new(vec!["backbone edge", "regions", "weight"]);
@@ -38,20 +43,23 @@ fn main() {
             format!("{}", e.weight),
         ]);
     }
-    println!("backbone:\n{}", bb.render());
+    report.note("backbone:");
+    report.table("backbone_mst", &bb);
 
-    println!("spans the whole network: {}", r.two_level.spans(t));
-    println!(
+    report.note(format!("spans the whole network: {}", r.two_level.spans(t)));
+    report.note(format!(
         "two-level weight: {} units (flat MST lower bound: {} units, +{:.1}%)",
         f1(r.two_level_weight),
         f1(r.flat_weight),
         100.0 * (r.two_level_weight - r.flat_weight) / r.flat_weight,
-    );
-    println!(
+    ));
+    report.note(format!(
         "distributed GHS messages: {} ({} deferred), by type: {:?}",
         r.ghs_stats.total_sent(),
         r.ghs_stats.requeues,
         r.ghs_stats.sent,
-    );
-    println!("\ndistributed construction == centralized Kruskal planner: verified");
+    ));
+    report.note("distributed construction == centralized Kruskal planner: verified");
+
+    report.emit(json_flag());
 }

@@ -4,14 +4,18 @@
 //! approximately one under normal conditions" and "no messages will be
 //! lost even when some servers fail").
 
+use lems_bench::emit::{json_flag, Report};
 use lems_bench::getmail_exp::{full_stack, sweep, GetMailSweepConfig};
 use lems_bench::render::{f3, Table};
 
 fn main() {
     let cfg = GetMailSweepConfig::default();
-    println!(
-        "C1/C2 — GetMail vs poll-all ({} users x {} units per point, {}-server authority lists)\n",
-        cfg.users, cfg.horizon, cfg.servers
+    let mut report = Report::new(
+        "getmail",
+        format!(
+            "C1/C2 — GetMail vs poll-all ({} users x {} units per point, {}-server authority lists)",
+            cfg.users, cfg.horizon, cfg.servers
+        ),
     );
 
     let availabilities = [1.0, 0.99, 0.95, 0.9, 0.8, 0.7];
@@ -37,16 +41,24 @@ fn main() {
             r.undeliverable.to_string(),
         ]);
     }
-    println!("{}", t.render());
-    println!("shape checks:");
-    println!("  - polls -> 1 as availability -> 1 (paper: 'approximately one')");
-    println!("  - poll-all always pays the full list length");
-    println!("  - lost = 0 at every point (paper: 'no messages will be lost')\n");
+    report.table("availability_sweep", &t);
+    report.note("shape checks:");
+    report.note("  - polls -> 1 as availability -> 1 (paper: 'approximately one')");
+    report.note("  - poll-all always pays the full list length");
+    report.note("  - lost = 0 at every point (paper: 'no messages will be lost')");
 
-    println!("full-stack cross-check (actor pipeline, Fig. 1 network, 95% availability):");
+    report.note("full-stack cross-check (actor pipeline, Fig. 1 network, 95% availability):");
     let fs = full_stack(0.95, 7);
-    println!(
-        "  polls/check = {:.3}, submitted = {}, retrieved = {}, bounced = {}, unaccounted = {}",
-        fs.polls_mean, fs.submitted, fs.retrieved, fs.bounced, fs.outstanding
+    report.kv(
+        "full_stack",
+        vec![
+            ("polls/check".into(), format!("{:.3}", fs.polls_mean)),
+            ("submitted".into(), fs.submitted.to_string()),
+            ("retrieved".into(), fs.retrieved.to_string()),
+            ("bounced".into(), fs.bounced.to_string()),
+            ("unaccounted".into(), fs.outstanding.to_string()),
+        ],
     );
+
+    report.emit(json_flag());
 }

@@ -3,15 +3,16 @@
 //! (§3.2.4), and the rehash-vs-reassign reconfiguration comparison
 //! (§3.2.3c).
 
+use lems_bench::emit::{json_flag, Report};
 use lems_bench::locindep_exp::{
     actor_mobility_sweep, mobility_sweep, policy_comparison, reconfig_comparison,
 };
 use lems_bench::render::{f1, f3, Table};
 
 fn main() {
-    println!("C5 — location-independent access overheads\n");
+    let mut report = Report::new("locindep", "C5 — location-independent access overheads");
 
-    println!("mobility sweep (two-region world, 400 sampled deliveries per point):");
+    report.note("mobility sweep (two-region world, 400 sampled deliveries per point):");
     let rows = mobility_sweep(&[0.0, 0.1, 0.25, 0.5, 0.75, 1.0], 1);
     let mut t = Table::new(vec![
         "moved fraction",
@@ -25,25 +26,31 @@ fn main() {
             f3(r.mean_consults),
         ]);
     }
-    println!("{}", t.render());
-    println!("shape check: consult cost is 0 at fraction 0 ('overhead is only\nincurred if a user moves') and grows with mobility.\n");
-
-    println!("cross-region policies for one migrant (per-message cost):");
-    let p = policy_comparison(2);
-    println!(
-        "  remote access: {} units  (interactive packets over the long haul)",
-        f1(p.remote_access)
+    report.table("mobility_sweep", &t);
+    report.note(
+        "shape check: consult cost is 0 at fraction 0 ('overhead is only\n\
+         incurred if a user moves') and grows with mobility.",
     );
-    println!("  redirect:      {} units", f1(p.redirect));
-    println!("  rename:        {} units", f1(p.rename));
+
+    report.note("cross-region policies for one migrant (per-message cost):");
+    let p = policy_comparison(2);
+    report.kv(
+        "policy_comparison",
+        vec![
+            ("remote access (u)".into(), f1(p.remote_access)),
+            ("redirect (u)".into(), f1(p.redirect)),
+            ("rename (u)".into(), f1(p.rename)),
+        ],
+    );
     match p.breakeven_messages {
-        Some(n) => println!(
-            "  renaming pays for itself after {n} redirected message(s)\n  (paper: 'obtaining a new name … may place less overhead on the system')"
-        ),
-        None => println!("  redirecting never costs more here — no break-even"),
+        Some(n) => report.note(format!(
+            "renaming pays for itself after {n} redirected message(s)\n\
+             (paper: 'obtaining a new name … may place less overhead on the system')"
+        )),
+        None => report.note("redirecting never costs more here — no break-even"),
     }
 
-    println!("actor-measured sweep (running System-2 protocol, cooperative tracking):");
+    report.note("actor-measured sweep (running System-2 protocol, cooperative tracking):");
     let rows = actor_mobility_sweep(&[0.0, 0.5, 1.0], 3);
     let mut t2 = Table::new(vec![
         "moved fraction",
@@ -59,18 +66,23 @@ fn main() {
             f3(r.notify_latency),
         ]);
     }
-    println!("{}", t2.render());
-    println!("shape check: cooperative LocationUpdate broadcasts keep consults near\nzero even under mobility; alerts follow the user off their primary host.\n");
+    report.table("actor_mobility_sweep", &t2);
+    report.note(
+        "shape check: cooperative LocationUpdate broadcasts keep consults near\n\
+         zero even under mobility; alerts follow the user off their primary host.",
+    );
 
-    println!("reconfiguration on adding a server:");
+    report.note("reconfiguration on adding a server:");
     let r = reconfig_comparison(3);
-    println!(
+    report.note(format!(
         "  System 2 rehash moves {:.1}% of the name space (rendezvous hashing)",
         100.0 * r.rehash_moved_fraction
-    );
-    println!(
+    ));
+    report.note(format!(
         "  System 1 reassignment moves {:.1}% of the users (assignment algorithm)",
         100.0 * r.assignment_moved_fraction
-    );
-    println!("  (paper: System 2's 'reconfiguration can be done easily without much overhead')");
+    ));
+    report.note("  (paper: System 2's 'reconfiguration can be done easily without much overhead')");
+
+    report.emit(json_flag());
 }

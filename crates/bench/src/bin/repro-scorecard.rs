@@ -1,21 +1,24 @@
 //! C7: the §4 criteria scorecard — efficiency, reliability, flexibility,
 //! cost — for all three designs on a common scenario.
 
-use lems_bench::scorecard_exp::scorecards;
+use lems_bench::emit::{json_flag, Report};
 use lems_eval::criteria::{rank, CriteriaWeights};
 use lems_eval::report::{comparison_table, to_json};
 
+use lems_bench::scorecard_exp::scorecards;
+
 fn main() {
-    println!("C7 — §4 criteria scorecard\n");
+    let mut report = Report::new("scorecard", "C7 — §4 criteria scorecard");
     let cards = scorecards(5);
-    println!("{}", comparison_table(&cards));
-    println!("reading guide (the paper's trade-off in §4):");
-    println!("  - syntax-directed: most efficient, least flexible (rename on every move);");
-    println!("  - location-independent: small delivery overhead buys rename-free mobility");
-    println!("    and cheap rehash reconfiguration;");
-    println!("  - attribute-based: group naming and broadcast delivery; pays tree-building");
-    println!("    and per-search costs.\n");
-    println!("weighted rankings (min-max normalised within this comparison):");
+    report.note(comparison_table(&cards));
+    report.note("reading guide (the paper's trade-off in §4):");
+    report.note("  - syntax-directed: most efficient, least flexible (rename on every move);");
+    report.note("  - location-independent: small delivery overhead buys rename-free mobility");
+    report.note("    and cheap rehash reconfiguration;");
+    report.note("  - attribute-based: group naming and broadcast delivery; pays tree-building");
+    report.note("    and per-search costs.");
+    report.note("weighted rankings (min-max normalised within this comparison):");
+    let mut pairs = Vec::new();
     for (label, weights) in [
         ("equal weights", CriteriaWeights::default()),
         (
@@ -38,8 +41,10 @@ fn main() {
             .iter()
             .map(|&(i, s)| format!("{} ({:.2})", cards[i].system, s))
             .collect();
-        println!("  {label:<18} {}", order.join("  >  "));
+        pairs.push((label.to_owned(), order.join("  >  ")));
     }
-    println!();
-    println!("JSON artifact:\n{}", to_json(&cards));
+    report.kv("weighted_rankings", pairs);
+    report.note(format!("JSON artifact:\n{}", to_json(&cards)));
+
+    report.emit(json_flag());
 }

@@ -3,31 +3,35 @@
 //! constants W1=4, W2=1, z=0.5, M=100.
 
 use lems_bench::assign_exp::{fig1_problem, fig1_rankings, render_assignment, tables_1_and_2};
+use lems_bench::emit::{json_flag, Report};
 use lems_bench::render::f1;
 
 fn main() {
     let (scenario, problem) = fig1_problem();
-    let (initial, balanced, report) = tables_1_and_2();
+    let (initial, balanced, balance_report) = tables_1_and_2();
 
-    println!("TABLE 1 — initial server assignment (nearest server, zero-load costs)\n");
-    println!("{}", render_assignment(&scenario, &problem, &initial));
-    println!("paper: S1=100, S2=150 (overloaded), S3=20.\n");
+    let mut report = Report::new(
+        "table1-2",
+        "TABLE 1 + TABLE 2 — initial and balanced server assignment (Fig. 1)",
+    );
 
-    println!("TABLE 2 — final load distribution after balancing\n");
-    println!("{}", render_assignment(&scenario, &problem, &balanced));
-    println!(
-        "balancing: {} passes, {} accepted moves, {} undone, cost {} -> {}\n",
-        report.passes,
-        report.moves,
-        report.undone,
-        f1(report.initial_cost),
-        f1(report.final_cost),
+    report.note("TABLE 1 — initial server assignment (nearest server, zero-load costs)");
+    report.note(render_assignment(&scenario, &problem, &initial));
+    report.note("paper: S1=100, S2=150 (overloaded), S3=20.");
+
+    report.note("TABLE 2 — final load distribution after balancing");
+    report.note(render_assignment(&scenario, &problem, &balanced));
+    report.kv(
+        "balancing",
+        vec![
+            ("passes".into(), balance_report.passes.to_string()),
+            ("accepted moves".into(), balance_report.moves.to_string()),
+            ("undone".into(), balance_report.undone.to_string()),
+            ("initial cost".into(), f1(balance_report.initial_cost)),
+            ("final cost".into(), f1(balance_report.final_cost)),
+        ],
     );
-    println!("paper shape checks:");
-    println!(
-        "  - every server within capacity: {}",
-        balanced.overloaded(&problem).is_empty()
-    );
+
     let split = (0..problem.host_count())
         .filter(|&i| {
             (0..problem.server_count())
@@ -36,12 +40,19 @@ fn main() {
                 > 1
         })
         .count();
-    println!(
-        "  - 'users on one host may be assigned to different servers': {split} host(s) split\n"
-    );
+    report.note("paper shape checks:");
+    report.note(format!(
+        "  - every server within capacity: {}",
+        balanced.overloaded(&problem).is_empty()
+    ));
+    report.note(format!(
+        "  - 'users on one host may be assigned to different servers': {split} host(s) split"
+    ));
 
-    println!("authority-server rankings per host at final loads (primary first):");
+    report.note("authority-server rankings per host at final loads (primary first):");
     for (host, servers) in fig1_rankings() {
-        println!("  {host}: {}", servers.join(" > "));
+        report.note(format!("  {host}: {}", servers.join(" > ")));
     }
+
+    report.emit(json_flag());
 }

@@ -1,0 +1,402 @@
+//! Shared experiment output: the [`Report`] every `repro-*` binary renders
+//! (plain text by default, machine-readable with `--json`) and the typed
+//! `BENCH_*.json` documents behind the CI perf gate.
+//!
+//! There is deliberately one code path from experiment data to both output
+//! forms: binaries build a [`Report`] (or a [`AssignBench`] /
+//! [`GetMailBench`] document) and call [`Report::emit`], so the text and
+//! JSON renderings can never drift apart.
+
+use serde::{Deserialize, Serialize};
+
+use crate::render::Table;
+
+/// Version stamp carried by every JSON document this module emits; bump
+/// when a field changes meaning or disappears (additions are fine).
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// True when the process was invoked with `--json` — the shared flag
+/// convention for every `repro-*` binary.
+pub fn json_flag() -> bool {
+    std::env::args().skip(1).any(|a| a == "--json")
+}
+
+/// One renderable block of an experiment report.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Section {
+    /// A free-form prose line (headings, shape checks, paper quotes).
+    Note(String),
+    /// A titled table: headers plus string rows.
+    Rows {
+        /// Short machine-friendly name for the table.
+        name: String,
+        /// Column headers.
+        headers: Vec<String>,
+        /// Data rows, aligned with `headers`.
+        rows: Vec<Vec<String>>,
+    },
+    /// Named scalar results.
+    KeyVals {
+        /// Short machine-friendly name for the group.
+        name: String,
+        /// `(key, value)` pairs in display order.
+        pairs: Vec<(String, String)>,
+    },
+}
+
+/// An experiment report that renders identically structured text and JSON.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Report {
+    /// Schema version (see [`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Machine-friendly experiment id (e.g. `fig1`, `getmail`).
+    pub experiment: String,
+    /// Human heading printed at the top of the text rendering.
+    pub title: String,
+    /// Ordered content blocks.
+    pub sections: Vec<Section>,
+}
+
+impl Report {
+    /// Starts an empty report.
+    pub fn new(experiment: &str, title: impl Into<String>) -> Self {
+        Report {
+            schema_version: BENCH_SCHEMA_VERSION,
+            experiment: experiment.to_owned(),
+            title: title.into(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends a prose line.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.sections.push(Section::Note(text.into()));
+    }
+
+    /// Appends a table section.
+    pub fn table(&mut self, name: &str, table: &Table) {
+        self.sections.push(Section::Rows {
+            name: name.to_owned(),
+            headers: table.headers().to_vec(),
+            rows: table.rows().to_vec(),
+        });
+    }
+
+    /// Appends a key/value section.
+    pub fn kv(&mut self, name: &str, pairs: Vec<(String, String)>) {
+        self.sections.push(Section::KeyVals {
+            name: name.to_owned(),
+            pairs,
+        });
+    }
+
+    /// The plain-text rendering (what the `repro-*` binaries have always
+    /// printed).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push_str("\n\n");
+        for s in &self.sections {
+            match s {
+                Section::Note(text) => {
+                    out.push_str(text);
+                    out.push('\n');
+                }
+                Section::Rows { headers, rows, .. } => {
+                    let mut t = Table::new(headers.iter().map(String::as_str).collect());
+                    for r in rows {
+                        t.row(r.clone());
+                    }
+                    out.push('\n');
+                    out.push_str(&t.render());
+                    out.push('\n');
+                }
+                Section::KeyVals { pairs, .. } => {
+                    for (k, v) in pairs {
+                        out.push_str("  ");
+                        out.push_str(k);
+                        out.push_str(" = ");
+                        out.push_str(v);
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The JSON rendering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialisation fails (experiment-driver policy: fail fast).
+    pub fn render_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialises")
+    }
+
+    /// Prints the report in the requested form.
+    pub fn emit(&self, json: bool) {
+        if json {
+            println!("{}", self.render_json());
+        } else {
+            print!("{}", self.render_text());
+        }
+    }
+}
+
+/// One size tier of the §3.1.1 assignment scale experiment
+/// (`BENCH_assign.json`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AssignTier {
+    /// Tier label (`fig1`, `smoke-50k`, `200k`, `1m`).
+    pub label: String,
+    /// Total users assigned.
+    pub users: u64,
+    /// Hosts in the topology.
+    pub hosts: usize,
+    /// Servers in the topology.
+    pub servers: usize,
+    /// Wall time to build the shared [`CostMatrix`], milliseconds.
+    ///
+    /// [`CostMatrix`]: lems_net::cost_matrix::CostMatrix
+    pub matrix_build_ms: f64,
+    /// Wall time for nearest-server initialisation, milliseconds.
+    pub init_ms: f64,
+    /// Wall time for the paper's classic solver (full-objective
+    /// re-evaluation per tentative move); `None` above the sizes where it
+    /// is tractable.
+    pub classic_ms: Option<f64>,
+    /// Wall time for the sequential synchronous-pass solver, milliseconds.
+    pub sync_ms: f64,
+    /// Wall time for the parallel synchronous-pass solver, milliseconds.
+    pub par_ms: f64,
+    /// `classic_ms / par_ms` where the classic solver ran.
+    pub speedup_vs_classic: Option<f64>,
+    /// `sync_ms / par_ms` (≈1 on a single-core machine by design).
+    pub speedup_vs_sync: f64,
+    /// Synchronous passes to convergence.
+    pub passes: u64,
+    /// Accepted transfers.
+    pub moves: u64,
+    /// Maximum final server utilisation ρ.
+    pub rho_max: f64,
+    /// Spread `max ρ − min ρ` across servers after balancing.
+    pub rho_spread: f64,
+    /// Final objective `Σ A_ij · TC_ij`.
+    pub total_cost: f64,
+    /// FNV-1a fingerprint of the final assignment (hex) — the determinism
+    /// contract: same seed, same digest, at any thread count.
+    pub digest: String,
+}
+
+/// One size tier of the GetMail authority-list scale experiment
+/// (`BENCH_getmail.json`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GetMailTier {
+    /// Tier label, matching the assignment tier it derives from.
+    pub label: String,
+    /// Total users whose lists were built.
+    pub users: u64,
+    /// Hosts in the topology.
+    pub hosts: usize,
+    /// Servers in the topology.
+    pub servers: usize,
+    /// Authority-list length per host.
+    pub list_len: usize,
+    /// Wall time to rank and truncate every host's list, milliseconds.
+    pub build_ms: f64,
+    /// Mean polls per retrieval over the sampled GetMail runs.
+    pub polls_mean: f64,
+    /// FNV-1a fingerprint (hex) over every list's node ids.
+    pub digest: String,
+}
+
+/// The `BENCH_assign.json` document: environment stamp plus per-tier
+/// assignment results. (The vendored serde derive has no generics, so the
+/// two bench documents are spelled out rather than sharing a `BenchDoc<T>`.)
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AssignBench {
+    /// Schema version (see [`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Experiment id (`assign-scale`).
+    pub experiment: String,
+    /// RNG seed the topologies were generated from.
+    pub seed: u64,
+    /// Worker threads the parallel paths actually used.
+    pub threads: usize,
+    /// Per-tier measurements, smallest tier first.
+    pub tiers: Vec<AssignTier>,
+}
+
+/// The `BENCH_getmail.json` document.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GetMailBench {
+    /// Schema version (see [`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Experiment id (`getmail-scale`).
+    pub experiment: String,
+    /// RNG seed the topologies were generated from.
+    pub seed: u64,
+    /// Worker threads the parallel paths actually used.
+    pub threads: usize,
+    /// Per-tier measurements, smallest tier first.
+    pub tiers: Vec<GetMailTier>,
+}
+
+impl AssignBench {
+    /// Pretty JSON for committing as a `BENCH_*.json` artifact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialisation fails (experiment-driver policy: fail fast).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("bench doc serialises")
+    }
+}
+
+impl GetMailBench {
+    /// Pretty JSON for committing as a `BENCH_*.json` artifact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialisation fails (experiment-driver policy: fail fast).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("bench doc serialises")
+    }
+}
+
+/// One regression found by [`gate_wall_times`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// Tier label.
+    pub label: String,
+    /// Which timing field regressed.
+    pub metric: &'static str,
+    /// Committed baseline, milliseconds.
+    pub baseline_ms: f64,
+    /// Current run, milliseconds.
+    pub current_ms: f64,
+}
+
+/// The CI smoke gate: compares current assignment wall times against a
+/// committed baseline, flagging any tier whose `sync_ms`/`par_ms` grew by
+/// more than `tolerance` (e.g. `0.25` = +25%). Tiers present on only one
+/// side are ignored (the smoke run measures a subset). Timings under two
+/// milliseconds are skipped — at that scale scheduler jitter, not code,
+/// dominates.
+pub fn gate_wall_times(
+    baseline: &AssignBench,
+    current: &AssignBench,
+    tolerance: f64,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for cur in &current.tiers {
+        let Some(base) = baseline.tiers.iter().find(|t| t.label == cur.label) else {
+            continue;
+        };
+        for (metric, b, c) in [
+            ("sync_ms", base.sync_ms, cur.sync_ms),
+            ("par_ms", base.par_ms, cur.par_ms),
+        ] {
+            if b >= 2.0 && c > b * (1.0 + tolerance) {
+                out.push(Regression {
+                    label: cur.label.clone(),
+                    metric,
+                    baseline_ms: b,
+                    current_ms: c,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tier(label: &str, sync_ms: f64, par_ms: f64) -> AssignTier {
+        AssignTier {
+            label: label.to_owned(),
+            users: 100,
+            hosts: 6,
+            servers: 3,
+            matrix_build_ms: 0.1,
+            init_ms: 0.1,
+            classic_ms: Some(1.0),
+            sync_ms,
+            par_ms,
+            speedup_vs_classic: Some(1.0),
+            speedup_vs_sync: 1.0,
+            passes: 3,
+            moves: 10,
+            rho_max: 0.9,
+            rho_spread: 0.1,
+            total_cost: 1234.5,
+            digest: "deadbeef".into(),
+        }
+    }
+
+    fn doc(tiers: Vec<AssignTier>) -> AssignBench {
+        AssignBench {
+            schema_version: BENCH_SCHEMA_VERSION,
+            experiment: "assign-scale".into(),
+            seed: 42,
+            threads: 1,
+            tiers,
+        }
+    }
+
+    #[test]
+    fn report_renders_both_forms() {
+        let mut r = Report::new("demo", "DEMO — heading");
+        r.note("a prose line");
+        let mut t = Table::new(vec!["k", "v"]);
+        t.row(vec!["a".into(), "1".into()]);
+        r.table("pairs", &t);
+        r.kv("totals", vec![("sum".into(), "1".into())]);
+        let text = r.render_text();
+        assert!(text.contains("DEMO — heading"));
+        assert!(text.contains("a prose line"));
+        assert!(text.contains("sum = 1"));
+        let json = r.render_json();
+        assert!(json.contains("\"experiment\": \"demo\""));
+        let back: Report = serde_json::from_str(&json).expect("round-trip");
+        assert_eq!(back.sections.len(), 3);
+        assert_eq!(back.render_text(), text);
+    }
+
+    #[test]
+    fn bench_doc_round_trips() {
+        let d = doc(vec![tier("fig1", 5.0, 5.0)]);
+        let json = d.to_json();
+        let back: AssignBench = serde_json::from_str(&json).expect("round-trip");
+        assert_eq!(back.schema_version, BENCH_SCHEMA_VERSION);
+        assert_eq!(back.tiers.len(), 1);
+        assert_eq!(back.tiers[0].label, "fig1");
+        assert_eq!(back.tiers[0].classic_ms, Some(1.0));
+    }
+
+    #[test]
+    fn gate_flags_only_real_regressions() {
+        let base = doc(vec![tier("a", 10.0, 10.0), tier("b", 1.0, 1.0)]);
+        // Tier `a` par_ms regressed 50%; tier `b` is under the jitter
+        // floor; tier `c` has no baseline.
+        let cur = doc(vec![
+            tier("a", 10.0, 15.0),
+            tier("b", 1.9, 1.9),
+            tier("c", 99.0, 99.0),
+        ]);
+        let regressions = gate_wall_times(&base, &cur, 0.25);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].label, "a");
+        assert_eq!(regressions[0].metric, "par_ms");
+    }
+
+    #[test]
+    fn gate_accepts_within_tolerance() {
+        let base = doc(vec![tier("a", 10.0, 10.0)]);
+        let cur = doc(vec![tier("a", 12.0, 12.0)]);
+        assert!(gate_wall_times(&base, &cur, 0.25).is_empty());
+    }
+}

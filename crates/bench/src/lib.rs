@@ -11,8 +11,10 @@
 
 pub mod assign_exp;
 pub mod cache_exp;
+pub mod emit;
 pub mod getmail_exp;
 pub mod locindep_exp;
 pub mod mst_exp;
 pub mod render;
+pub mod scale_exp;
 pub mod scorecard_exp;

@@ -48,6 +48,16 @@ impl Table {
         self.rows.len()
     }
 
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// True if no data rows were added.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()

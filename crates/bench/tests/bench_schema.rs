@@ -1,0 +1,129 @@
+//! Golden-schema tests for the committed `BENCH_assign.json` /
+//! `BENCH_getmail.json` documents at the repository root: the files must
+//! deserialize into the current [`lems_bench::emit`] types, carry the
+//! current schema version and the expected tiers, and survive a
+//! serde round trip — so the emitter and the committed baselines (which
+//! CI's perf gate compares against) can never silently drift apart.
+
+use std::fs;
+use std::path::PathBuf;
+
+use lems_bench::emit::{AssignBench, GetMailBench, BENCH_SCHEMA_VERSION};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn read(name: &str) -> String {
+    let path = repo_root().join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn committed_assign_bench_matches_schema() {
+    let doc: AssignBench = serde_json::from_str(&read("BENCH_assign.json"))
+        .expect("BENCH_assign.json must deserialize into emit::AssignBench");
+    assert_eq!(doc.schema_version, BENCH_SCHEMA_VERSION);
+    assert_eq!(doc.experiment, "assign-scale");
+    assert!(doc.threads >= 1);
+    assert!(!doc.tiers.is_empty(), "need at least one tier");
+
+    let labels: Vec<&str> = doc.tiers.iter().map(|t| t.label.as_str()).collect();
+    // The committed baseline is the full ladder; the CI smoke run gates
+    // against the tiers it shares with it.
+    for required in ["fig1", "smoke-50k", "1m"] {
+        assert!(labels.contains(&required), "missing tier {required}");
+    }
+
+    for t in &doc.tiers {
+        assert!(t.users > 0 && t.hosts > 0 && t.servers > 0, "{}", t.label);
+        assert!(
+            t.sync_ms >= 0.0 && t.par_ms >= 0.0 && t.matrix_build_ms >= 0.0,
+            "{}: negative wall time",
+            t.label
+        );
+        assert!(
+            t.passes >= 1,
+            "{}: solver must run at least one pass",
+            t.label
+        );
+        assert!(
+            (0.0..1.0).contains(&t.rho_max),
+            "{}: rho_max {} out of range",
+            t.label,
+            t.rho_max
+        );
+        assert!(
+            t.rho_spread >= 0.0 && t.rho_spread <= t.rho_max,
+            "{}",
+            t.label
+        );
+        assert!(
+            t.total_cost.is_finite() && t.total_cost > 0.0,
+            "{}",
+            t.label
+        );
+        assert_eq!(
+            t.digest.len(),
+            16,
+            "{}: digest must be a 16-hex-digit FNV-1a fingerprint",
+            t.label
+        );
+        assert!(
+            t.digest.chars().all(|c| c.is_ascii_hexdigit()),
+            "{}: digest not hex",
+            t.label
+        );
+    }
+
+    let m = doc.tiers.iter().find(|t| t.label == "1m").expect("1m tier");
+    assert_eq!(m.users, 1_000_000);
+    assert_eq!(m.hosts, 10_000);
+    assert_eq!(m.servers, 500);
+    assert!(
+        m.classic_ms.is_none(),
+        "the classic solver is not run at the million-user tier"
+    );
+
+    // Round trip: emitter output re-parses to an identical document.
+    let doc2: AssignBench = serde_json::from_str(&doc.to_json()).expect("round trip");
+    assert_eq!(doc2.schema_version, doc.schema_version);
+    assert_eq!(doc2.tiers.len(), doc.tiers.len());
+    assert_eq!(doc.to_json(), doc2.to_json());
+}
+
+#[test]
+fn committed_getmail_bench_matches_schema() {
+    let doc: GetMailBench = serde_json::from_str(&read("BENCH_getmail.json"))
+        .expect("BENCH_getmail.json must deserialize into emit::GetMailBench");
+    assert_eq!(doc.schema_version, BENCH_SCHEMA_VERSION);
+    assert_eq!(doc.experiment, "getmail-scale");
+    assert!(!doc.tiers.is_empty());
+
+    for t in &doc.tiers {
+        assert!(t.users > 0 && t.hosts > 0 && t.servers > 0, "{}", t.label);
+        assert!(t.list_len >= 1, "{}", t.label);
+        assert!(t.build_ms >= 0.0, "{}", t.label);
+        // The paper's steady-state contract: GetMail needs ≈ one poll.
+        assert!(
+            t.polls_mean >= 1.0 && t.polls_mean < 1.5,
+            "{}: polls_mean {} violates the ≈1-poll contract",
+            t.label,
+            t.polls_mean
+        );
+        assert_eq!(t.digest.len(), 16, "{}", t.label);
+    }
+
+    let doc2: GetMailBench = serde_json::from_str(&doc.to_json()).expect("round trip");
+    assert_eq!(doc.to_json(), doc2.to_json());
+}
+
+#[test]
+fn assign_and_getmail_baselines_agree_on_seed_and_tiers() {
+    let a: AssignBench = serde_json::from_str(&read("BENCH_assign.json")).expect("assign");
+    let g: GetMailBench = serde_json::from_str(&read("BENCH_getmail.json")).expect("getmail");
+    assert_eq!(a.seed, g.seed, "both documents come from one run");
+    let al: Vec<&str> = a.tiers.iter().map(|t| t.label.as_str()).collect();
+    let gl: Vec<&str> = g.tiers.iter().map(|t| t.label.as_str()).collect();
+    assert_eq!(al, gl, "tier ladders must match");
+}

@@ -35,6 +35,12 @@
 //!   `run_to_quiescence()`: a retry loop that never converges (the exact
 //!   bug class the schedule explorer hunts) must fail a bounded run, not
 //!   hang the process. Also applies to test code.
+//! * **`no-ambient-parallelism`** — sim-driven crates must not reach for
+//!   `rayon`, `par_iter`, `thread::spawn`, or `available_parallelism`
+//!   without a vetted allowlist entry: thread fan-out inside simulated
+//!   code is only deterministic when the merge step is explicitly
+//!   order-independent, so every such call site gets audited (the
+//!   `assign` scaled solver's evaluation fan-out is the vetted example).
 //!
 //! Vetted exceptions live in `lint-allow.txt` at the workspace root; see
 //! [`Allowlist`] for the format. Exceptions that no longer match any
@@ -55,6 +61,8 @@ pub const RULE_NO_HASH: &str = "no-hash-collections";
 pub const RULE_NO_PARTIAL_CMP_SORT: &str = "no-partial-cmp-sort";
 /// Rule identifier: no unbounded `run_to_quiescence()` outside the sim crate.
 pub const RULE_NO_UNBOUNDED_RUN: &str = "no-unbounded-run";
+/// Rule identifier: no unaudited thread fan-out in sim-driven crates.
+pub const RULE_NO_AMBIENT_PAR: &str = "no-ambient-parallelism";
 
 /// Crates whose code runs under the deterministic simulation clock.
 const SIM_DRIVEN_CRATES: &[&str] = &["sim", "syntax", "locindep", "mst"];
@@ -478,6 +486,19 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Violation> {
         {
             push(RULE_NO_HASH, ln);
         }
+        if sim_driven
+            && [
+                "rayon",
+                "par_iter",
+                "into_par_iter",
+                "thread::spawn",
+                "available_parallelism",
+            ]
+            .iter()
+            .any(|n| contains_token(line, n))
+        {
+            push(RULE_NO_AMBIENT_PAR, ln);
+        }
     }
     out
 }
@@ -708,6 +729,23 @@ mod tests {
         assert!(scan_source("crates/sim/src/x.rs", src)
             .iter()
             .all(|v| v.rule != RULE_NO_UNBOUNDED_RUN));
+    }
+
+    #[test]
+    fn ambient_parallelism_fires_only_in_sim_driven_crates() {
+        let src = concat!(
+            "use rayon::prelude::*;\n",
+            "fn f(v: &[u32]) -> Vec<u32> {\n",
+            "    let h = std::thread::spawn(|| 1);\n",
+            "    let _ = (h, std::thread::available_parallelism());\n",
+            "    v.par_iter().map(|&x| x + 1).collect()\n",
+            "}\n",
+        );
+        let vs = scan_source("crates/syntax/src/x.rs", src);
+        assert_eq!(vs.len(), 4);
+        assert!(vs.iter().all(|v| v.rule == RULE_NO_AMBIENT_PAR));
+        // Non-sim-driven crates (net, bench, check) fan out freely.
+        assert!(scan_source("crates/net/src/x.rs", src).is_empty());
     }
 
     #[test]

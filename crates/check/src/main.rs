@@ -21,7 +21,8 @@ usage: lems-check <command> [options]
 commands:
   lint  [--root <dir>]            static rules over crates/*/src
                                   (no-panic, no-wall-clock, no-hash-collections,
-                                   no-partial-cmp-sort, no-unbounded-run;
+                                   no-partial-cmp-sort, no-unbounded-run,
+                                   no-ambient-parallelism;
                                    vetted exceptions in <root>/lint-allow.txt;
                                    stale exceptions fail the pass)
   audit [--seed <n>] [--chaos] [name ...]

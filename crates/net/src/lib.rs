@@ -9,6 +9,9 @@
 //! * [`shortest_path`] — Dijkstra and all-pairs distance tables (the
 //!   "shortest-path zero-load algorithm" used to initialise the §3.1.1
 //!   server-assignment costs);
+//! * [`cost_matrix`] — the flat host→server block of that table, built
+//!   once (one parallel Dijkstra per server) and shared by assignment,
+//!   reconfiguration, and GetMail authority-list construction;
 //! * [`mst`] — centralized Kruskal/Prim spanning trees, the verification
 //!   oracle for the distributed GHS algorithm in `lems-mst`;
 //! * [`routing`] — next-hop tables for store-and-forward relaying;
@@ -21,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cost_matrix;
 pub mod error;
 pub mod generators;
 pub mod graph;

@@ -23,12 +23,39 @@
 //! The paper notes the algorithm "can be made much faster if in each
 //! iteration more than one user is moved"; [`BalanceOptions::batch`]
 //! implements that ablation.
+//!
+//! ## Scaling beyond the worked example
+//!
+//! [`balance`] re-evaluates the full objective on every tentative move —
+//! `O(hosts × servers)` per transfer — which is perfect for auditing the
+//! paper's 6-host example and hopeless at a million users. The scaled
+//! solver ([`balance_sync`] / [`balance_par`], shared options in
+//! [`ScaleOptions`]) runs *synchronous passes* instead:
+//!
+//! 1. **Evaluate** — against loads frozen at the start of the pass, each
+//!    host independently proposes moving users off its most expensive
+//!    current server to the destination with the best exact marginal
+//!    cost change (a pure function, fanned out across threads by
+//!    [`balance_par`]);
+//! 2. **Merge** — proposals are applied in host-index order, each
+//!    re-validated against *current* loads with an `O(1)` exact cost
+//!    delta ([`transfer_delta`]) and dropped if it no longer improves
+//!    the objective.
+//!
+//! Because evaluation is pure and the merge is sequential in a fixed
+//! order, [`balance_par`] is byte-identical to [`balance_sync`] at any
+//! thread count — `tests/assign_differential.rs` enforces this.
 
+use lems_net::cost_matrix::CostMatrix;
 use lems_net::graph::NodeId;
 use lems_net::topology::{NodeKind, Topology};
 use serde::{Deserialize, Serialize};
 
 use crate::cost::{CostModel, ServerSpec};
+
+/// Moves below this margin are treated as non-improving (guards against
+/// float round-off oscillation); shared by the classic and scaled solvers.
+const COST_EPS: f64 = 1e-12;
 
 /// A host together with its user population (`N_i`).
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -47,8 +74,8 @@ pub struct AssignmentProblem {
     /// Servers with their capacities and processing times.
     pub servers: Vec<(NodeId, ServerSpec)>,
     /// `C_ij`: zero-load shortest-path communication time (in units)
-    /// between host `i` and server `j`.
-    pub comm: Vec<Vec<f64>>,
+    /// between host `i` and server `j`, as a shared flat matrix.
+    pub comm: CostMatrix,
     /// Cost constants.
     pub model: CostModel,
 }
@@ -69,6 +96,31 @@ impl AssignmentProblem {
         spec: ServerSpec,
         model: CostModel,
     ) -> Self {
+        Self::from_matrix(
+            topology,
+            CostMatrix::build(topology),
+            users_per_host,
+            spec,
+            model,
+        )
+    }
+
+    /// Builds a problem around an already-computed [`CostMatrix`] — the
+    /// scale path, where the matrix is built once and shared by
+    /// assignment, reconfiguration, and GetMail authority lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shape does not match the topology's
+    /// hosts × servers, plus the conditions of
+    /// [`AssignmentProblem::from_topology`].
+    pub fn from_matrix(
+        topology: &Topology,
+        comm: CostMatrix,
+        users_per_host: &[u32],
+        spec: ServerSpec,
+        model: CostModel,
+    ) -> Self {
         let host_nodes = topology.hosts();
         let server_nodes = topology.servers();
         assert_eq!(
@@ -77,23 +129,13 @@ impl AssignmentProblem {
             "users_per_host must align with the topology's hosts"
         );
         assert!(!server_nodes.is_empty(), "need at least one server");
+        assert_eq!(
+            (comm.host_count(), comm.server_count()),
+            (host_nodes.len(), server_nodes.len()),
+            "cost matrix shape must match the topology"
+        );
         let validation = model.validate();
         assert!(validation.is_ok(), "invalid cost model: {validation:?}");
-
-        let dist = topology.distances();
-        let comm: Vec<Vec<f64>> = host_nodes
-            .iter()
-            .map(|&h| {
-                server_nodes
-                    .iter()
-                    .map(|&s| {
-                        let w = dist.distance(h, s);
-                        assert!(!w.is_infinite(), "host {h} cannot reach server {s}");
-                        w.as_units()
-                    })
-                    .collect()
-            })
-            .collect();
 
         AssignmentProblem {
             hosts: host_nodes
@@ -295,6 +337,29 @@ impl Assignment {
         }
         rows
     }
+
+    /// FNV-1a digest over the full `A_ij` matrix (shape included) — a
+    /// compact fingerprint for determinism checks: byte-identical
+    /// assignments, and nothing else, share a digest.
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(self.counts.len() as u64);
+        eat(self.loads.len() as u64);
+        for row in &self.counts {
+            for &c in row {
+                eat(u64::from(c));
+            }
+        }
+        h
+    }
 }
 
 /// Initialisation: every host's users go to its nearest server by
@@ -421,7 +486,7 @@ pub fn balance(p: &AssignmentProblem, a: &mut Assignment, opts: BalanceOptions) 
                     let before = a.total_cost(p);
                     a.transfer(i, s_max, s_min, k);
                     let after = a.total_cost(p);
-                    if after < before - 1e-12 {
+                    if after < before - COST_EPS {
                         report.moves += 1;
                         changed = true;
                         accepted = true;
@@ -456,6 +521,317 @@ pub fn solve(p: &AssignmentProblem, opts: BalanceOptions) -> (Assignment, Balanc
     (a, report)
 }
 
+/// Options for the scaled synchronous solver ([`balance_sync`] /
+/// [`balance_par`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleOptions {
+    /// Users moved per accepted transfer (with a fall-back retry of 1, so
+    /// batching never changes which fixpoints are reachable, only speed).
+    pub batch: u32,
+    /// Safety bound on synchronous passes.
+    pub max_passes: u64,
+    /// Worker threads for the evaluation fan-out; `0` means use the
+    /// runtime's thread count. The result is identical for every value.
+    pub threads: usize,
+}
+
+impl Default for ScaleOptions {
+    fn default() -> Self {
+        ScaleOptions {
+            batch: 64,
+            max_passes: 100_000,
+            threads: 0,
+        }
+    }
+}
+
+/// One host's proposed `S_max → S_min` transfer, computed against loads
+/// frozen at the start of a synchronous pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MoveProposal {
+    /// Proposing host.
+    pub host: usize,
+    /// Source server (`S_max`).
+    pub from: usize,
+    /// Destination server (`S_min`).
+    pub to: usize,
+    /// Users to move (`min(batch, A_ij)` at evaluation time).
+    pub users: u32,
+}
+
+/// Outcome of a scaled balancing run, including the per-pass objective
+/// trace used by the monotonicity invariants.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ScaleReport {
+    /// Synchronous passes executed.
+    pub passes: u64,
+    /// Accepted transfers.
+    pub moves: u64,
+    /// Proposals rejected at merge time (stale after earlier merges).
+    pub undone: u64,
+    /// Objective before balancing.
+    pub initial_cost: f64,
+    /// Objective after balancing.
+    pub final_cost: f64,
+    /// Objective after initialisation and after each pass
+    /// (`cost_trace[0] == initial_cost`, last element `== final_cost`).
+    pub cost_trace: Vec<f64>,
+}
+
+/// Exact `O(1)` objective change for moving `k` users of `host` from
+/// server `from` to server `to` at the assignment's *current* loads.
+///
+/// Derived from the decomposition in the module docs: the comm term
+/// changes by `k·(C_i,to − C_i,from)·W1` and only the two touched
+/// servers' load terms change.
+pub fn transfer_delta(
+    p: &AssignmentProblem,
+    a: &Assignment,
+    host: usize,
+    from: usize,
+    to: usize,
+    k: u32,
+) -> f64 {
+    let comm_delta =
+        f64::from(k) * (p.comm.cost(host, to) - p.comm.cost(host, from)) * p.model.w_comm;
+    let load_delta = p.load_term(to, a.load(to) + k) - p.load_term(to, a.load(to))
+        + p.load_term(from, a.load(from) - k)
+        - p.load_term(from, a.load(from));
+    comm_delta + load_delta
+}
+
+/// Host `host`'s best move against frozen pass-start state: `S_max` is
+/// the most expensive server currently holding its users (by the frozen
+/// average `TC_ij = C_ij·W1 + srv_term[j]`), the destination is the
+/// server with the best exact *marginal* cost change ([`transfer_delta`]
+/// at pass-start loads, `O(1)` per candidate). Ties break toward the
+/// lower server index.
+///
+/// The destination must be chosen by marginal — not average — cost: a
+/// server sitting just below the ρ cutoff looks cheap on average, but
+/// one more user pushes *every* resident user's waiting-time estimate to
+/// β, so its marginal cost is enormous. An average-cost argmin stalls on
+/// exactly that server while emptier (merely farther) servers go unused,
+/// leaving overload the solver could have drained.
+fn propose_move(
+    p: &AssignmentProblem,
+    a: &Assignment,
+    srv_term: &[f64],
+    dest_term1: &[f64],
+    host: usize,
+    batch: u32,
+) -> Option<MoveProposal> {
+    let row = p.comm.row(host);
+    let w1 = p.model.w_comm;
+    let mut s_max = None;
+    let mut tc_max = f64::NEG_INFINITY;
+    for (j, (&c, &t)) in row.iter().zip(srv_term).enumerate() {
+        if a.count(host, j) > 0 {
+            let tc = c * w1 + t;
+            if tc > tc_max {
+                tc_max = tc;
+                s_max = Some(j);
+            }
+        }
+    }
+    let s_max = s_max?;
+    // The source-side part of the one-user marginal delta is the same for
+    // every candidate destination, so the argmin only needs the
+    // destination-side unit terms — one mul-add per server, like the
+    // classic `TC` scan, not a full `transfer_delta` per candidate.
+    let mut to = None;
+    let mut d1_min = f64::INFINITY;
+    for (j, (&c, &t1)) in row.iter().zip(dest_term1).enumerate() {
+        if j == s_max {
+            continue;
+        }
+        let d1 = c * w1 + t1;
+        if d1 < d1_min {
+            d1_min = d1;
+            to = Some(j);
+        }
+    }
+    let to = to?;
+    let users = batch.min(a.count(host, s_max));
+    // Exact check only for the winner, at both granularities the merge
+    // step will try (whole batch, then a single user).
+    let d =
+        transfer_delta(p, a, host, s_max, to, users).min(transfer_delta(p, a, host, s_max, to, 1));
+    if d < -COST_EPS {
+        Some(MoveProposal {
+            host,
+            from: s_max,
+            to,
+            users,
+        })
+    } else {
+        None
+    }
+}
+
+/// The per-server term of `TC` at the assignment's current loads:
+/// `(Q(ρ_j) + z_j)·W2` for every server.
+fn server_terms(p: &AssignmentProblem, a: &Assignment) -> Vec<f64> {
+    (0..p.server_count())
+        .map(|j| {
+            let (_, spec) = p.servers[j];
+            (p.model.queueing_delay(a.load(j), spec.max_load) + spec.proc_time) * p.model.w_proc
+        })
+        .collect()
+}
+
+/// The destination-side part of the one-user marginal cost at the
+/// assignment's current loads: `load_term(j, L_j + 1) − load_term(j, L_j)`
+/// for every server. This is what makes a server sitting just below the ρ
+/// cutoff expensive as a *destination* even though its average cost is
+/// still low — one more user sends every resident's waiting time to β.
+fn dest_unit_terms(p: &AssignmentProblem, a: &Assignment) -> Vec<f64> {
+    (0..p.server_count())
+        .map(|j| p.load_term(j, a.load(j) + 1) - p.load_term(j, a.load(j)))
+        .collect()
+}
+
+fn eval_hosts_sequential(
+    p: &AssignmentProblem,
+    a: &Assignment,
+    srv_term: &[f64],
+    dest_term1: &[f64],
+    lo: usize,
+    hi: usize,
+    batch: u32,
+) -> Vec<MoveProposal> {
+    (lo..hi)
+        .filter_map(|i| propose_move(p, a, srv_term, dest_term1, i, batch))
+        .collect()
+}
+
+fn eval_hosts_parallel(
+    p: &AssignmentProblem,
+    a: &Assignment,
+    srv_term: &[f64],
+    dest_term1: &[f64],
+    batch: u32,
+    threads: usize,
+) -> Vec<MoveProposal> {
+    use rayon::prelude::*;
+
+    let n = p.host_count();
+    let workers = if threads == 0 {
+        rayon::current_num_threads()
+    } else {
+        threads
+    };
+    if workers <= 1 || n < 2 {
+        return eval_hosts_sequential(p, a, srv_term, dest_term1, 0, n, batch);
+    }
+    let chunk = n.div_ceil(workers);
+    let ranges: Vec<(usize, usize)> = (0..n)
+        .step_by(chunk)
+        .map(|lo| (lo, (lo + chunk).min(n)))
+        .collect();
+    // Each range is evaluated against the same frozen state (pure); the
+    // flatten preserves host order, so the merge below sees the exact
+    // sequence the sequential evaluator would produce.
+    let per_range: Vec<Vec<MoveProposal>> = ranges
+        .par_iter()
+        .map(|&(lo, hi)| eval_hosts_sequential(p, a, srv_term, dest_term1, lo, hi, batch))
+        .collect();
+    per_range.into_iter().flatten().collect()
+}
+
+/// Deterministic merge: applies proposals in host-index order, each
+/// re-validated with [`transfer_delta`] against *current* loads (earlier
+/// merges may have invalidated it). Falls back from the batch size to a
+/// single user before giving up, mirroring [`balance`].
+fn merge_proposals(
+    p: &AssignmentProblem,
+    a: &mut Assignment,
+    proposals: &[MoveProposal],
+    report: &mut ScaleReport,
+) -> bool {
+    let mut changed = false;
+    for m in proposals {
+        let avail = a.count(m.host, m.from);
+        for k in [m.users.min(avail), 1] {
+            if k == 0 || k > avail {
+                break;
+            }
+            if transfer_delta(p, a, m.host, m.from, m.to, k) < -COST_EPS {
+                a.transfer(m.host, m.from, m.to, k);
+                report.moves += 1;
+                changed = true;
+                break;
+            }
+            report.undone += 1;
+            if k == 1 {
+                break;
+            }
+        }
+    }
+    changed
+}
+
+fn run_synced(
+    p: &AssignmentProblem,
+    a: &mut Assignment,
+    opts: ScaleOptions,
+    parallel: bool,
+) -> ScaleReport {
+    assert!(opts.batch >= 1, "batch must be at least 1");
+    let initial = a.total_cost(p);
+    let mut report = ScaleReport {
+        initial_cost: initial,
+        final_cost: initial,
+        cost_trace: vec![initial],
+        ..ScaleReport::default()
+    };
+
+    for _pass in 0..opts.max_passes {
+        report.passes += 1;
+        let srv_term = server_terms(p, a);
+        let dest_term1 = dest_unit_terms(p, a);
+        let proposals = if parallel {
+            eval_hosts_parallel(p, a, &srv_term, &dest_term1, opts.batch, opts.threads)
+        } else {
+            eval_hosts_sequential(p, a, &srv_term, &dest_term1, 0, p.host_count(), opts.batch)
+        };
+        let changed = merge_proposals(p, a, &proposals, &mut report);
+        report.final_cost = a.total_cost(p);
+        report.cost_trace.push(report.final_cost);
+        if !changed {
+            break;
+        }
+    }
+    report
+}
+
+/// Sequential reference implementation of the synchronous-pass solver —
+/// the ground truth [`balance_par`] must match byte for byte.
+pub fn balance_sync(p: &AssignmentProblem, a: &mut Assignment, opts: ScaleOptions) -> ScaleReport {
+    run_synced(p, a, opts, false)
+}
+
+/// Parallel synchronous-pass solver: per-host move evaluation fans out
+/// across threads; the deterministic merge keeps the result byte-identical
+/// to [`balance_sync`] at any thread count (including 1).
+pub fn balance_par(p: &AssignmentProblem, a: &mut Assignment, opts: ScaleOptions) -> ScaleReport {
+    run_synced(p, a, opts, true)
+}
+
+/// Convenience: initialise then [`balance_sync`].
+pub fn solve_sync(p: &AssignmentProblem, opts: ScaleOptions) -> (Assignment, ScaleReport) {
+    let mut a = initialize(p);
+    let report = balance_sync(p, &mut a, opts);
+    (a, report)
+}
+
+/// Convenience: initialise then [`balance_par`].
+pub fn solve_par(p: &AssignmentProblem, opts: ScaleOptions) -> (Assignment, ScaleReport) {
+    let mut a = initialize(p);
+    let report = balance_par(p, &mut a, opts);
+    (a, report)
+}
+
 /// Ranks all servers for host `i` by `TC_ij` at the final loads — the order
 /// in which authority lists are drawn ("the first server in the list is the
 /// primary server").
@@ -467,6 +843,28 @@ pub fn server_ranking(p: &AssignmentProblem, a: &Assignment, host: usize) -> Vec
             .then(x.cmp(&y))
     });
     order
+}
+
+/// Top-`k` authority lists for every host: server *node ids* ranked by
+/// `TC_ij` at the final loads, truncated to `list_len` — the §3.2.3 lists
+/// GetMail polls. Shares the solver's precomputed per-server terms so the
+/// sort key is `O(1)` per comparison even at 500 servers.
+pub fn authority_lists(p: &AssignmentProblem, a: &Assignment, list_len: usize) -> Vec<Vec<NodeId>> {
+    let srv_term = server_terms(p, a);
+    let w1 = p.model.w_comm;
+    (0..p.host_count())
+        .map(|i| {
+            let row = p.comm.row(i);
+            let mut order: Vec<usize> = (0..p.server_count()).collect();
+            order.sort_by(|&x, &y| {
+                (row[x] * w1 + srv_term[x])
+                    .total_cmp(&(row[y] * w1 + srv_term[y]))
+                    .then(x.cmp(&y))
+            });
+            order.truncate(list_len);
+            order.into_iter().map(|j| p.servers[j].0).collect()
+        })
+        .collect()
 }
 
 /// Checks that a topology has the hosts/servers the problem assumes —
@@ -613,6 +1011,90 @@ mod tests {
         let p = fig1_problem();
         let mut a = initialize(&p);
         a.transfer(5, 2, 0, 21); // H6 has only 20 users on S3
+    }
+
+    #[test]
+    fn scaled_solver_matches_parallel_on_fig1() {
+        let p = fig1_problem();
+        let (a_sync, r_sync) = solve_sync(&p, ScaleOptions::default());
+        let (a_par, r_par) = solve_par(&p, ScaleOptions::default());
+        assert_eq!(a_sync, a_par);
+        assert_eq!(a_sync.digest(), a_par.digest());
+        assert_eq!(r_sync.cost_trace, r_par.cost_trace);
+        assert_eq!(r_sync.moves, r_par.moves);
+        // The scaled solver reaches a valid fixpoint on the paper example.
+        assert_eq!(a_sync.loads().iter().sum::<u32>(), 270);
+        assert!(a_sync.overloaded(&p).is_empty());
+        assert!(r_sync.final_cost < r_sync.initial_cost);
+    }
+
+    #[test]
+    fn scaled_solver_is_thread_count_independent() {
+        let p = fig1_problem();
+        let base = solve_par(&p, ScaleOptions::default());
+        for threads in [1, 2, 3, 8] {
+            let got = solve_par(
+                &p,
+                ScaleOptions {
+                    threads,
+                    ..ScaleOptions::default()
+                },
+            );
+            assert_eq!(base.0, got.0, "threads={threads}");
+            assert_eq!(base.1.cost_trace, got.1.cost_trace, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn transfer_delta_matches_full_recompute() {
+        let p = fig1_problem();
+        let mut a = initialize(&p);
+        for (host, from, to, k) in [(1usize, 1usize, 2usize, 5u32), (3, 1, 0, 2), (0, 0, 2, 10)] {
+            let predicted = transfer_delta(&p, &a, host, from, to, k);
+            let before = a.total_cost(&p);
+            a.transfer(host, from, to, k);
+            let actual = a.total_cost(&p) - before;
+            assert!(
+                (predicted - actual).abs() < 1e-9,
+                "delta mismatch: predicted {predicted}, actual {actual}"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_cost_trace_is_monotone() {
+        let p = fig1_problem();
+        let (_, r) = solve_sync(&p, ScaleOptions::default());
+        assert_eq!(r.cost_trace.first(), Some(&r.initial_cost));
+        assert_eq!(r.cost_trace.last(), Some(&r.final_cost));
+        assert!(r
+            .cost_trace
+            .windows(2)
+            .all(|w| w[1] <= w[0] + 1e-9 * w[0].abs().max(1.0)));
+    }
+
+    #[test]
+    fn digest_distinguishes_assignments() {
+        let p = fig1_problem();
+        let a = initialize(&p);
+        let mut b = a.clone();
+        assert_eq!(a.digest(), b.digest());
+        b.transfer(1, 1, 2, 1);
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn authority_lists_rank_by_final_tc() {
+        let p = fig1_problem();
+        let (a, _) = solve_sync(&p, ScaleOptions::default());
+        let lists = authority_lists(&p, &a, 2);
+        assert_eq!(lists.len(), p.host_count());
+        for (i, list) in lists.iter().enumerate() {
+            assert_eq!(list.len(), 2);
+            let rank = server_ranking(&p, &a, i);
+            let expect: Vec<NodeId> = rank.iter().take(2).map(|&j| p.servers[j].0).collect();
+            assert_eq!(list, &expect, "host {i}");
+        }
     }
 
     proptest! {

@@ -48,7 +48,8 @@ pub use actors::{
     ServerFailurePlan, SessionConfig,
 };
 pub use assign::{
-    balance, initialize, solve, Assignment, AssignmentProblem, BalanceOptions, BalanceReport,
+    balance, balance_par, balance_sync, initialize, solve, solve_par, solve_sync, Assignment,
+    AssignmentProblem, BalanceOptions, BalanceReport, ScaleOptions, ScaleReport,
 };
 pub use cache::{CacheStats, ResolutionCache};
 pub use cost::{CostModel, ServerSpec};

@@ -155,14 +155,14 @@ impl Reconfigurator {
     /// # Panics
     ///
     /// Panics if `comm_row` is misaligned with the servers.
-    pub fn add_host(&mut self, node: NodeId, users: u32, comm_row: Vec<f64>) -> ReconfigReport {
+    pub fn add_host(&mut self, node: NodeId, users: u32, comm_row: &[f64]) -> ReconfigReport {
         assert_eq!(
             comm_row.len(),
             self.problem.server_count(),
             "comm_row must cover every server"
         );
         self.problem.hosts.push(HostSpec { node, users });
-        self.problem.comm.push(comm_row);
+        self.problem.comm.push_host_row(comm_row);
         // Grow the assignment matrix by rebuilding shape-compatibly.
         let mut grown = Assignment::empty(&self.problem);
         for i in 0..self.problem.host_count() - 1 {
@@ -208,7 +208,7 @@ impl Reconfigurator {
             }
         }
         self.problem.hosts.remove(host);
-        self.problem.comm.remove(host);
+        self.problem.comm.remove_host_row(host);
         // Rebuild the matrix without the removed row.
         let mut shrunk = Assignment::empty(&self.problem);
         let mut old_i = 0;
@@ -248,7 +248,7 @@ impl Reconfigurator {
         &mut self,
         node: NodeId,
         spec: ServerSpec,
-        comm_col: Vec<f64>,
+        comm_col: &[f64],
     ) -> ReconfigReport {
         assert_eq!(
             comm_col.len(),
@@ -257,9 +257,7 @@ impl Reconfigurator {
         );
         let notified = self.problem.server_count();
         self.problem.servers.push((node, spec));
-        for (i, c) in comm_col.into_iter().enumerate() {
-            self.problem.comm[i].push(c);
-        }
+        self.problem.comm.push_server_col(comm_col);
         // Extend the matrix with a zero column.
         let mut grown = Assignment::empty(&self.problem);
         for i in 0..self.problem.host_count() {
@@ -324,9 +322,7 @@ impl Reconfigurator {
         }
 
         self.problem.servers.remove(server);
-        for row in &mut self.problem.comm {
-            row.remove(server);
-        }
+        self.problem.comm.remove_server_col(server);
         let mut shrunk = Assignment::empty(&self.problem);
         for i in 0..self.problem.host_count() {
             let mut old_j = 0;
@@ -402,7 +398,7 @@ mod tests {
     #[test]
     fn add_and_remove_host_preserve_population_balance() {
         let mut r = reconf();
-        let rep = r.add_host(NodeId(99), 30, vec![2.0, 1.0, 2.0]);
+        let rep = r.add_host(NodeId(99), 30, &[2.0, 1.0, 2.0]);
         assert!(rep.rebalance.is_some());
         assert_eq!(r.assignment().loads().iter().sum::<u32>(), 300);
         assert_eq!(r.problem().host_count(), 7);
@@ -420,7 +416,7 @@ mod tests {
         let rep = r.add_server(
             NodeId(100),
             ServerSpec::paper_example(),
-            vec![2.0, 1.0, 2.0, 1.0, 1.0, 2.0],
+            &[2.0, 1.0, 2.0, 1.0, 1.0, 2.0],
         );
         assert_eq!(rep.notified_servers, 3);
         assert_eq!(r.problem().server_count(), 4);

@@ -1,0 +1,200 @@
+//! Offline vendored stand-in for the `rayon` crate (1.x API subset).
+//!
+//! The build environment for this repository has no network access, so the
+//! real `rayon` crate cannot be fetched. This crate re-implements exactly
+//! the slice of the 1.x API the workspace uses — `par_iter()` on slices and
+//! `Vec`s, `.map(..)`, `.with_min_len(..)`, `.collect::<Vec<_>>()`, plus
+//! [`current_num_threads`] and [`join`] — on top of `std::thread::scope`.
+//!
+//! Semantics the workspace relies on and this shim guarantees:
+//!
+//! * **Order preservation** — `par_iter().map(f).collect::<Vec<_>>()`
+//!   returns results in input order, exactly like rayon's indexed
+//!   parallel iterators.
+//! * **Pure fan-out** — the mapped closure runs once per item; no work
+//!   stealing means no re-execution and no interleaving surprises.
+//! * **Thread-count independence** — output is a pure function of the
+//!   input regardless of how many worker threads run the chunks, so
+//!   callers that need determinism get it by construction.
+//!
+//! Worker count defaults to [`std::thread::available_parallelism`] and can
+//! be pinned with the `RAYON_NUM_THREADS` environment variable, mirroring
+//! the real crate. With one worker (or one item) everything runs inline on
+//! the calling thread — no spawn overhead on single-core machines.
+
+use std::thread;
+
+/// Everything the workspace imports from `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+/// Number of worker threads a parallel operation will use at most:
+/// `RAYON_NUM_THREADS` when set to a positive integer, otherwise the
+/// machine's available parallelism (1 when that cannot be determined).
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+        (ra, rb)
+    })
+}
+
+/// Entry point: `.par_iter()` on slices and `Vec`s.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by the parallel iterator.
+    type Item: 'a;
+    /// Creates a parallel iterator over references to the elements.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element through `f` (applied on worker threads).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Accepted for API compatibility; chunking is already coarse (one
+    /// contiguous chunk per worker), so the hint is a no-op.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+/// The result of [`ParIter::map`], ready to collect.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Collects mapped results in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(run_map(self.items, &self.f))
+    }
+}
+
+/// Maps `items` through `f` across up to [`current_num_threads`] scoped
+/// threads (one contiguous chunk each), preserving input order.
+fn run_map<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let workers = current_num_threads().min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled.len(), xs.len());
+        for (i, d) in doubled.iter().enumerate() {
+            assert_eq!(*d, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_owned() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn min_len_hint_is_accepted() {
+        let xs = [1u32, 2, 3];
+        let out: Vec<u32> = xs.par_iter().with_min_len(2).map(|&x| x).collect();
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}
