@@ -4,9 +4,10 @@
 //! approximately one under normal conditions" and "no messages will be
 //! lost even when some servers fail").
 
-use lems_bench::emit::{json_flag, Report};
-use lems_bench::getmail_exp::{full_stack, sweep, GetMailSweepConfig};
+use lems_bench::emit::{json_flag, trace_out_flag, Report};
+use lems_bench::getmail_exp::{full_stack_traced, sweep, GetMailSweepConfig};
 use lems_bench::render::{f3, Table};
+use lems_obs::export::{export_jsonl, RunTelemetry};
 
 fn main() {
     let cfg = GetMailSweepConfig::default();
@@ -48,7 +49,7 @@ fn main() {
     report.note("  - lost = 0 at every point (paper: 'no messages will be lost')");
 
     report.note("full-stack cross-check (actor pipeline, Fig. 1 network, 95% availability):");
-    let fs = full_stack(0.95, 7);
+    let (fs, telemetry) = full_stack_traced(0.95, 7);
     report.kv(
         "full_stack",
         vec![
@@ -59,6 +60,21 @@ fn main() {
             ("unaccounted".into(), fs.outstanding.to_string()),
         ],
     );
+
+    // `--trace-out <path>`: dump the full-stack run's spans and metrics
+    // for `lems-trace timeline/servers/summary/audit`.
+    if let Some(path) = trace_out_flag() {
+        let text = export_jsonl(&RunTelemetry {
+            run: "getmail-full-stack",
+            seed: telemetry.seed,
+            finished_at: telemetry.finished_at,
+            spans: &telemetry.spans,
+            scopes: &telemetry.scopes,
+        })
+        .expect("full-stack telemetry must export");
+        std::fs::write(&path, text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        report.note(format!("telemetry written to {}", path.display()));
+    }
 
     report.emit(json_flag());
 }

@@ -21,6 +21,17 @@ pub fn json_flag() -> bool {
     std::env::args().skip(1).any(|a| a == "--json")
 }
 
+/// The value following `--trace-out`, when present — the shared flag
+/// convention for binaries that can export their run's telemetry as a
+/// `lems-obs` JSONL dump.
+pub fn trace_out_flag() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    args.iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+}
+
 /// One renderable block of an experiment report.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum Section {

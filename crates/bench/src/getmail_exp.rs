@@ -14,7 +14,9 @@ use lems_net::generators::fig1;
 use lems_net::graph::NodeId;
 use lems_sim::actor::ActorId;
 use lems_sim::failure::FailurePlan;
+use lems_sim::metrics::MetricsRegistry;
 use lems_sim::rng::SimRng;
+use lems_sim::span::SpanLog;
 use lems_sim::stats::Summary;
 use lems_sim::time::{SimDuration, SimTime};
 use lems_syntax::actors::{Deployment, DeploymentConfig, ServerFailurePlan};
@@ -203,11 +205,33 @@ pub struct FullStackRow {
     pub in_storage: usize,
 }
 
+/// Message-lifecycle telemetry captured alongside a [`full_stack_traced`]
+/// run, in the shape `lems-obs` exports: the complete span log plus the
+/// per-actor metric registries in deployment order.
+#[derive(Clone, Debug)]
+pub struct FullStackTelemetry {
+    /// The run's span log (lossless; recording is unbounded).
+    pub spans: SpanLog,
+    /// `(scope, registry)` pairs in deployment (node) order.
+    pub scopes: Vec<(String, MetricsRegistry)>,
+    /// Engine seed the run used.
+    pub seed: u64,
+    /// Simulated time at quiescence.
+    pub finished_at: SimTime,
+}
+
 /// Runs the actor-based deployment on the Fig. 1 network with random
 /// server outages and periodic checks; the deliverable is the same
 /// polls/lost metrics as the analytic sweep, now including timeouts,
 /// forwarding, and store-and-forward effects.
 pub fn full_stack(availability: f64, seed: u64) -> FullStackRow {
+    full_stack_traced(availability, seed).0
+}
+
+/// [`full_stack`] plus the run's telemetry. Span recording draws no
+/// randomness and schedules nothing, so the measured row is identical to
+/// the untraced run's.
+pub fn full_stack_traced(availability: f64, seed: u64) -> (FullStackRow, FullStackTelemetry) {
     let f = fig1();
     let mut d = Deployment::build(
         &f.topology,
@@ -217,6 +241,7 @@ pub fn full_stack(availability: f64, seed: u64) -> FullStackRow {
             ..DeploymentConfig::default()
         },
     );
+    d.enable_spans();
     let names = d.user_names();
     let mut rng = SimRng::seed(seed).fork("full-stack");
 
@@ -265,14 +290,22 @@ pub fn full_stack(availability: f64, seed: u64) -> FullStackRow {
 
     let in_storage = d.mail_in_storage();
     let st = d.stats.borrow();
-    FullStackRow {
+    let row = FullStackRow {
         polls_mean: st.retrieval_polls.mean(),
         submitted: st.submitted,
         retrieved: st.retrieved,
         bounced: st.bounced,
         outstanding: st.outstanding(),
         in_storage,
-    }
+    };
+    drop(st);
+    let telemetry = FullStackTelemetry {
+        spans: d.spans.borrow().clone(),
+        scopes: d.metrics_snapshot(),
+        seed,
+        finished_at: d.sim.now(),
+    };
+    (row, telemetry)
 }
 
 #[cfg(test)]

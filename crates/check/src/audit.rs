@@ -80,6 +80,8 @@ pub enum AuditViolation {
         recorded: u64,
         /// Events actually retained.
         retained: usize,
+        /// Events silently evicted (`recorded - retained`).
+        dropped: u64,
     },
     /// A domain-level (ledger / storage) inconsistency.
     Domain(String),
@@ -106,10 +108,14 @@ impl fmt::Display for AuditViolation {
             AuditViolation::RecoverWhileUp { actor, at } => {
                 write!(f, "recover of {actor} at [{at}] while not down")
             }
-            AuditViolation::LossyTrace { recorded, retained } => write!(
+            AuditViolation::LossyTrace {
+                recorded,
+                retained,
+                dropped,
+            } => write!(
                 f,
-                "trace is lossy ({recorded} events recorded, {retained} retained); \
-                 audit with Trace::unbounded()"
+                "trace is lossy ({recorded} events recorded, {retained} retained, \
+                 {dropped} dropped); audit with Trace::unbounded()"
             ),
             AuditViolation::Domain(msg) => f.write_str(msg),
         }
@@ -288,6 +294,7 @@ pub fn audit_trace(trace: &Trace) -> AuditReport {
             violations: vec![AuditViolation::LossyTrace {
                 recorded: trace.recorded_total(),
                 retained: trace.len(),
+                dropped: trace.dropped_events(),
             }],
             ..AuditReport::default()
         };
@@ -574,7 +581,8 @@ mod tests {
             r.violations[..],
             [AuditViolation::LossyTrace {
                 recorded: 2,
-                retained: 1
+                retained: 1,
+                dropped: 1
             }]
         ));
     }

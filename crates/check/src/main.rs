@@ -25,12 +25,16 @@ commands:
                                    no-ambient-parallelism;
                                    vetted exceptions in <root>/lint-allow.txt;
                                    stale exceptions fail the pass)
-  audit [--seed <n>] [--chaos] [name ...]
+  audit [--seed <n>] [--chaos] [--trace-out <path>] [name ...]
                                   replay audit scenarios and check the
                                   engine's conservation laws + mail ledgers
+                                  + message-lifecycle span conservation
                                   (scenarios: steady, failover, random-failures,
                                    chaos-lossy, chaos-partition, chaos-crash-loss;
                                    --chaos runs just the chaos trio;
+                                   --trace-out writes each scenario's spans and
+                                   metrics as deterministic JSONL for lems-trace,
+                                   name-suffixed when several scenarios run;
                                    default: all, seed 3)
   explore [--seed <n>] [--max-schedules <n>] [--require-exhaustive] [name ...]
                                   small-scope schedule model checker: enumerate
@@ -148,6 +152,7 @@ fn run_lint(args: &[String]) -> ExitCode {
 fn run_audit(args: &[String]) -> ExitCode {
     let mut seed = 3u64;
     let mut chaos_only = false;
+    let mut trace_out: Option<PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -160,6 +165,13 @@ fn run_audit(args: &[String]) -> ExitCode {
                 }
             },
             "--chaos" => chaos_only = true,
+            "--trace-out" => match it.next() {
+                Some(p) => trace_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("lems-check audit: --trace-out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
             name => wanted.push(name.to_owned()),
         }
     }
@@ -189,9 +201,24 @@ fn run_audit(args: &[String]) -> ExitCode {
              {} wiring error(s); trace: {}",
             o.submitted, o.retrieved, o.bounced, o.retransmits, o.wiring_errors, o.trace
         );
+        println!("  spans: {}", o.span_report);
         for line in o.violation_lines() {
             println!("  violation: {line}");
             dirty = true;
+        }
+        if let Some(base) = &trace_out {
+            let path = if outcomes.len() == 1 {
+                base.clone()
+            } else {
+                suffixed(base, o.name)
+            };
+            match write_trace(o, &path) {
+                Ok(lines) => println!("  wrote {lines} line(s) to {}", path.display()),
+                Err(e) => {
+                    eprintln!("lems-check audit: {e}");
+                    return ExitCode::from(2);
+                }
+            }
         }
     }
     if dirty {
@@ -201,6 +228,31 @@ fn run_audit(args: &[String]) -> ExitCode {
         println!("audit: {} scenario(s) clean", outcomes.len());
         ExitCode::SUCCESS
     }
+}
+
+/// `base` with `.{name}` spliced in before the extension, so
+/// `--trace-out spans.jsonl` over several scenarios yields
+/// `spans.steady.jsonl`, `spans.chaos-lossy.jsonl`, ….
+fn suffixed(base: &std::path::Path, name: &str) -> PathBuf {
+    let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+    match base.extension().and_then(|s| s.to_str()) {
+        Some(ext) => base.with_file_name(format!("{stem}.{name}.{ext}")),
+        None => base.with_file_name(format!("{stem}.{name}")),
+    }
+}
+
+/// Exports one scenario's telemetry to `path`; returns the line count.
+fn write_trace(o: &scenarios::ScenarioOutcome, path: &std::path::Path) -> Result<usize, String> {
+    let text = lems_obs::export::export_jsonl(&lems_obs::export::RunTelemetry {
+        run: o.name,
+        seed: o.seed,
+        finished_at: o.finished_at,
+        spans: &o.spans,
+        scopes: &o.scopes,
+    })?;
+    let lines = text.lines().count();
+    std::fs::write(path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(lines)
 }
 
 fn run_explore(args: &[String]) -> ExitCode {

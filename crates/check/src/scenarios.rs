@@ -13,6 +13,8 @@
 
 use lems_net::generators::fig1;
 use lems_sim::linkfault::LinkProfile;
+use lems_sim::metrics::MetricsRegistry;
+use lems_sim::span::{audit_spans, SpanAuditReport, SpanLog};
 use lems_sim::time::{SimDuration, SimTime};
 use lems_syntax::actors::{
     Deployment, DeploymentConfig, LinkChaos, ServerFailurePlan, SessionConfig,
@@ -46,21 +48,38 @@ pub struct ScenarioOutcome {
     pub retransmits: u64,
     /// Transport wiring errors (sends to unbound/unknown nodes).
     pub wiring_errors: u64,
+    /// Message-lifecycle span conservation report — the third evidence
+    /// stream, cross-checked against the session stats.
+    pub span_report: SpanAuditReport,
+    /// The run's complete span log (exportable via `lems-obs`).
+    pub spans: SpanLog,
+    /// Per-actor metric registries in deployment order (exportable).
+    pub scopes: Vec<(String, MetricsRegistry)>,
+    /// Engine seed the scenario ran with.
+    pub seed: u64,
+    /// Simulated time at quiescence.
+    pub finished_at: SimTime,
 }
 
 impl ScenarioOutcome {
-    /// True when both audit layers found nothing.
+    /// True when all three audit layers found nothing.
     pub fn is_clean(&self) -> bool {
-        self.trace.is_clean() && self.domain.is_empty()
+        self.trace.is_clean() && self.domain.is_empty() && self.span_report.is_clean()
     }
 
-    /// Every violation from both layers, rendered.
+    /// Every violation from all layers, rendered.
     pub fn violation_lines(&self) -> Vec<String> {
         self.trace
             .violations
             .iter()
-            .chain(&self.domain)
             .map(std::string::ToString::to_string)
+            .chain(self.domain.iter().map(std::string::ToString::to_string))
+            .chain(
+                self.span_report
+                    .violations
+                    .iter()
+                    .map(|v| format!("span: {v}")),
+            )
             .collect()
     }
 }
@@ -87,12 +106,16 @@ fn fig1_deployment_with_session(seed: u64, session: SessionConfig) -> Deployment
     // Unbounded so the auditor sees the complete history; must happen
     // before the first injection or the stream starts mid-story.
     d.sim.enable_trace(usize::MAX);
+    // Lifecycle spans ride the same runs: recording draws no randomness
+    // and schedules nothing, so the event stream is unchanged.
+    d.enable_spans();
     d
 }
 
 fn finish(
     name: &'static str,
     description: &'static str,
+    seed: u64,
     mut d: Deployment,
     expect_drained: bool,
 ) -> ScenarioOutcome {
@@ -108,17 +131,40 @@ fn finish(
             )),
         );
     }
+    // Third evidence stream: every opened span must reach exactly one
+    // terminal state (open-ended spans are only tolerated when the run
+    // itself was cut off), and the span ledger's retransmit count must
+    // agree with the session layer's own accounting.
+    let spans = d.spans.borrow().clone();
+    let span_report = audit_spans(&spans, expect_drained && quiesced);
     let stats = d.stats.borrow();
+    if span_report.retransmits != stats.retransmits {
+        domain.push(AuditViolation::Domain(format!(
+            "span ledger disagrees with session stats: {} retransmit probe(s) \
+             recorded in spans, {} counted by the session layer",
+            span_report.retransmits, stats.retransmits
+        )));
+    }
+    let submitted = stats.submitted;
+    let retrieved = stats.retrieved;
+    let bounced = stats.bounced;
+    let retransmits = stats.retransmits;
+    drop(stats);
     ScenarioOutcome {
         name,
         description,
         trace,
         domain,
-        submitted: stats.submitted,
-        retrieved: stats.retrieved,
-        bounced: stats.bounced,
-        retransmits: stats.retransmits,
+        submitted,
+        retrieved,
+        bounced,
+        retransmits,
         wiring_errors: d.transport.wiring_errors(),
+        span_report,
+        spans,
+        scopes: d.metrics_snapshot(),
+        seed,
+        finished_at: d.sim.now(),
     }
 }
 
@@ -137,6 +183,7 @@ pub fn steady_exchange(seed: u64) -> ScenarioOutcome {
     finish(
         "steady",
         "Fig. 1 topology, no failures: ring of sends, then everyone checks",
+        seed,
         d,
         true,
     )
@@ -179,6 +226,7 @@ pub fn primary_outage_failover(seed: u64) -> ScenarioOutcome {
     finish(
         "failover",
         "Fig. 1 primary server down in [10, 30): failover, recovery, drain",
+        seed,
         d,
         true,
     )
@@ -228,6 +276,7 @@ pub fn random_failures(seed: u64) -> ScenarioOutcome {
     finish(
         "random-failures",
         "Fig. 1 with random server outages (MTBF 120, MTTR 15): load + drain",
+        seed,
         d,
         true,
     )
@@ -266,6 +315,7 @@ pub fn chaos_lossy(seed: u64) -> ScenarioOutcome {
     finish(
         "chaos-lossy",
         "Fig. 1 with 8% loss, 2% duplication, jitter until t=300: load + drain",
+        seed,
         d,
         true,
     )
@@ -281,6 +331,7 @@ pub fn chaos_partition(seed: u64) -> ScenarioOutcome {
     finish(
         "chaos-partition",
         "Fig. 1 with 5% loss + jitter and a flapping partition of server 0",
+        seed,
         d,
         true,
     )
@@ -362,6 +413,7 @@ pub fn chaos_crash_loss(seed: u64) -> ScenarioOutcome {
     finish(
         "chaos-crash-loss",
         "Fig. 1 with a server crash in [50, 90) under 5% link loss + jitter",
+        seed,
         d,
         true,
     )
@@ -452,6 +504,23 @@ mod tests {
             stats.submitted,
             accounted
         );
+    }
+
+    /// Every scenario now carries the third evidence stream: a clean span
+    /// conservation report whose terminal counts agree with the ledgers,
+    /// plus per-actor metric registries ready for export.
+    #[test]
+    fn scenarios_carry_span_and_metric_evidence() {
+        let o = steady_exchange(3);
+        assert!(o.span_report.is_clean(), "{:?}", o.span_report.violations);
+        assert_eq!(o.span_report.retrieved, o.retrieved);
+        assert_eq!(o.span_report.bounced, o.bounced);
+        assert_eq!(o.span_report.retransmits, o.retransmits);
+        assert!(o.spans.spans_opened() > 0, "spans must be recorded");
+        assert_eq!(o.spans.dropped_events(), 0, "span log must be lossless");
+        assert!(!o.scopes.is_empty(), "metric scopes must be captured");
+        assert_eq!(o.seed, 3);
+        assert!(o.finished_at > t(0.0));
     }
 
     #[test]

@@ -26,6 +26,7 @@ use lems_net::graph::NodeId;
 use lems_net::topology::Topology;
 use lems_net::transport::Transport;
 use lems_sim::actor::{Actor, ActorId, ActorSim, Ctx, TimerId};
+use lems_sim::metrics::MetricsRegistry;
 use lems_sim::session::RetryPolicy;
 use lems_sim::stats::Summary;
 use lems_sim::time::{SimDuration, SimTime};
@@ -166,6 +167,8 @@ pub struct RoamHost {
     pending_sends: BTreeMap<MessageId, SendTask>,
     /// Alerts received per user.
     pub alerts: BTreeMap<MailName, u64>,
+    /// Per-host telemetry (submissions, retransmits, alerts).
+    pub metrics: MetricsRegistry,
 }
 
 impl RoamHost {
@@ -186,7 +189,9 @@ impl RoamHost {
     ) {
         if attempt > 0 {
             self.stats.borrow_mut().retransmits += 1;
+            self.metrics.inc("retransmits");
         }
+        self.metrics.inc("submit_probes");
         let timeout = self
             .retry
             .timeout(self.timeout_for(server), attempt, ctx.rng());
@@ -233,6 +238,7 @@ impl Actor for RoamHost {
             RoamMsg::DoSend { from, to } => {
                 let id = self.id_gen.borrow_mut().next_id();
                 self.stats.borrow_mut().submitted += 1;
+                self.metrics.inc("submitted");
                 let m = Message::new(id, from, to, "msg", "body", ctx.now());
                 let mut ring = self.server_ring.clone();
                 let first = if ring.is_empty() {
@@ -249,6 +255,7 @@ impl Actor for RoamHost {
             }
             RoamMsg::Notify { user, .. } => {
                 *self.alerts.entry(user).or_insert(0) += 1;
+                self.metrics.inc("alerts");
             }
             _ => {}
         }
@@ -268,6 +275,7 @@ impl Actor for RoamHost {
             if remaining.is_empty() {
                 // Every candidate exhausted its budget: the mail is lost.
                 self.stats.borrow_mut().delivery_failures += 1;
+                self.metrics.inc("delivery_failures");
             } else {
                 let next = remaining.remove(0);
                 self.send_probe(task.msg, next, 0, remaining, ctx);
@@ -316,6 +324,8 @@ pub struct RoamServer {
     retry: RetryPolicy,
     proc_time: f64,
     stats: SharedStats,
+    /// Per-server telemetry (storage, notifications, lookup overhead).
+    pub metrics: MetricsRegistry,
 }
 
 impl RoamServer {
@@ -330,7 +340,9 @@ impl RoamServer {
         let responsible = self.subgroups.server_of(&msg.to);
         if attempt > 0 {
             self.stats.borrow_mut().retransmits += 1;
+            self.metrics.inc("retransmits");
         }
+        self.metrics.inc("relay_probes");
         let rtt = self.transport.delay(self.node, responsible) * 2;
         let base = rtt + SimDuration::from_units(self.proc_time + TIMEOUT_SLACK);
         let timeout = self.retry.timeout(base, attempt, ctx.rng());
@@ -369,6 +381,8 @@ impl RoamServer {
         let user = msg.to.clone();
         let id = msg.id;
         self.stats.borrow_mut().stored += 1;
+        self.metrics.inc("stored");
+        self.metrics.gauge_add(ctx.now(), "storage", 1.0);
         self.mailboxes
             .entry(user.clone())
             .or_insert_with(|| Mailbox::new(user.clone()))
@@ -384,6 +398,7 @@ impl RoamServer {
             (Some(host), p) => {
                 if Some(host) == p {
                     self.stats.borrow_mut().notified_at_primary += 1;
+                    self.metrics.inc("notified_at_primary");
                 }
                 self.notify(&user, id, host, msg.submitted_at, ctx);
             }
@@ -397,6 +412,7 @@ impl RoamServer {
             }
             (None, None) => {
                 self.stats.borrow_mut().unknown_location += 1;
+                self.metrics.inc("unknown_location");
             }
         }
     }
@@ -413,11 +429,13 @@ impl RoamServer {
             let user = msg.to.clone();
             let primary = self.primary_hosts[&user];
             self.stats.borrow_mut().notified_at_primary += 1;
+            self.metrics.inc("notified_at_primary");
             self.notify(&user, msg.id, primary, msg.submitted_at, ctx);
             return;
         }
         let first = peers.remove(0);
         self.stats.borrow_mut().consults += 1;
+        self.metrics.inc("consults");
         let pending = msg.id;
         self.pending.insert(
             pending,
@@ -453,6 +471,11 @@ impl RoamServer {
             st.notify_latency
                 .observe(ctx.now().duration_since(submitted_at).as_units());
         }
+        self.metrics.inc("notified");
+        self.metrics.observe(
+            "notify_latency",
+            ctx.now().duration_since(submitted_at).as_units(),
+        );
         self.transport.send(
             ctx,
             self.node,
@@ -548,12 +571,14 @@ impl Actor for RoamServer {
                         let primary = self.primary_hosts.get(&user).copied();
                         if Some(h) == primary {
                             self.stats.borrow_mut().notified_at_primary += 1;
+                            self.metrics.inc("notified_at_primary");
                         }
                         self.notify(&user, pending, h, lookup.msg.submitted_at, ctx);
                     }
                     None if !lookup.peers_left.is_empty() => {
                         let next = lookup.peers_left.remove(0);
                         self.stats.borrow_mut().consults += 1;
+                        self.metrics.inc("consults");
                         let user = lookup.msg.to.clone();
                         self.pending.insert(pending, lookup);
                         self.transport.send(
@@ -574,10 +599,12 @@ impl Actor for RoamServer {
                         match self.primary_hosts.get(&user).copied() {
                             Some(primary) => {
                                 self.stats.borrow_mut().notified_at_primary += 1;
+                                self.metrics.inc("notified_at_primary");
                                 self.notify(&user, pending, primary, lookup.msg.submitted_at, ctx);
                             }
                             None => {
                                 self.stats.borrow_mut().unknown_location += 1;
+                                self.metrics.inc("unknown_location");
                             }
                         }
                     }
@@ -600,6 +627,7 @@ impl Actor for RoamServer {
             // The responsible peer never acked within budget; the name
             // hash admits no substitute, so the handoff is abandoned.
             self.stats.borrow_mut().delivery_failures += 1;
+            self.metrics.inc("delivery_failures");
         } else {
             self.relay_probe(task.msg, task.attempts, ctx);
         }
@@ -674,6 +702,7 @@ impl RoamDeployment {
                 retry: RetryPolicy::default_session(),
                 proc_time: 0.5,
                 stats: Rc::clone(&stats),
+                metrics: MetricsRegistry::new(),
             };
             let id = sim.add_actor(actor);
             transport.bind(s, id);
@@ -701,6 +730,7 @@ impl RoamDeployment {
                 server_proc: 0.5,
                 pending_sends: BTreeMap::new(),
                 alerts: BTreeMap::new(),
+                metrics: MetricsRegistry::new(),
             };
             let id = sim.add_actor(actor);
             transport.bind(h, id);
@@ -769,6 +799,32 @@ impl RoamDeployment {
     pub fn responsible_server(&self, user: &MailName, groups: usize) -> NodeId {
         let servers: Vec<NodeId> = self.server_actors.keys().copied().collect();
         SubgroupMap::new(groups, servers).server_of(user)
+    }
+
+    /// Per-actor metrics registries under stable scope names
+    /// (`server:n<id>` then `host:n<id>`, in node order).
+    pub fn metrics_snapshot(&self) -> Vec<(String, MetricsRegistry)> {
+        let mut out = Vec::new();
+        for (&node, &aid) in &self.server_actors {
+            if let Some(a) = self.sim.actor::<RoamServer>(aid) {
+                out.push((format!("server:n{}", node.0), a.metrics.clone()));
+            }
+        }
+        for (&node, &aid) in &self.host_actors {
+            if let Some(a) = self.sim.actor::<RoamHost>(aid) {
+                out.push((format!("host:n{}", node.0), a.metrics.clone()));
+            }
+        }
+        out
+    }
+
+    /// All per-actor registries folded into one region-wide aggregate.
+    pub fn merged_metrics(&self) -> MetricsRegistry {
+        let mut merged = MetricsRegistry::new();
+        for (_, m) in self.metrics_snapshot() {
+            merged.merge(&m);
+        }
+        merged
     }
 
     /// Total mail currently stored across servers.
@@ -981,5 +1037,54 @@ mod tests {
         drop(st);
         assert_eq!(d.mail_in_storage(), 1);
         assert!(d.sim.counters().duplicated.get() > 0);
+    }
+
+    /// Per-actor registries, merged region-wide, must agree with the
+    /// shared stats ledger — even under a lossy wire that forces
+    /// session-layer retransmissions.
+    #[test]
+    fn merged_metrics_agree_with_shared_stats() {
+        use lems_sim::linkfault::{LinkFaultPlan, LinkProfile};
+
+        let topo = world();
+        let mut d = RoamDeployment::build(&topo, &[1, 1, 1, 1], 16, 9);
+        let plan = LinkFaultPlan::new()
+            .with_default_profile(LinkProfile::new(0.2, 0.0, SimDuration::from_units(0.5)).unwrap())
+            .with_stochastic_horizon(t(300.0));
+        d.sim.set_link_faults(plan);
+
+        let users: Vec<MailName> = d.users.keys().cloned().collect();
+        for u in &users {
+            d.login_at(t(1.0), u, d.users[u]);
+        }
+        let sender = users[0].clone();
+        for (i, u) in users.iter().enumerate().skip(1) {
+            d.send_at(t(20.0 + i as f64 * 5.0), &sender, u);
+        }
+        assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
+
+        let merged = d.merged_metrics();
+        let st = d.stats.borrow();
+        assert_eq!(merged.counter("submitted"), st.submitted);
+        assert_eq!(merged.counter("stored"), st.stored);
+        assert_eq!(merged.counter("notified"), st.notified);
+        assert_eq!(
+            merged.counter("notified_at_primary"),
+            st.notified_at_primary
+        );
+        assert_eq!(merged.counter("consults"), st.consults);
+        assert_eq!(merged.counter("retransmits"), st.retransmits);
+        assert_eq!(merged.counter("delivery_failures"), st.delivery_failures);
+        let lat = merged
+            .histogram("notify_latency")
+            .expect("latency recorded");
+        assert_eq!(lat.count(), st.notify_latency.count());
+        assert!((lat.mean() - st.notify_latency.mean()).abs() < 1e-9);
+        // Storage gauges stay per-server: merging must not invent one.
+        assert!(merged.gauge("storage").is_none());
+        assert!(d
+            .metrics_snapshot()
+            .iter()
+            .any(|(scope, m)| scope.starts_with("server:") && m.gauge("storage").is_some()));
     }
 }

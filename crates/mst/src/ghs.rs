@@ -26,6 +26,7 @@ use std::rc::Rc;
 use lems_net::graph::{Graph, NodeId, Weight};
 use lems_net::transport::Transport;
 use lems_sim::actor::{Actor, ActorId, ActorSim, Ctx};
+use lems_sim::metrics::MetricsRegistry;
 
 use crate::messages::{FragmentId, GhsMsg, NodePhase};
 
@@ -88,6 +89,9 @@ pub struct GhsNode {
     in_branch: Option<NodeId>,
     halted: bool,
     stats: Rc<RefCell<GhsStats>>,
+    /// Per-node telemetry: one counter per protocol message kind, plus
+    /// `requeues` and `halted` — the per-actor view of [`GhsStats`].
+    metrics: MetricsRegistry,
     /// Messages waiting for a local state change ("place received message
     /// on end of queue" in \[GAL83\]); retried after every handled message.
     pending: Vec<Env>,
@@ -123,6 +127,7 @@ impl GhsNode {
             in_branch: None,
             halted: false,
             stats,
+            metrics: MetricsRegistry::new(),
             pending: Vec::new(),
             spontaneous: true,
         }
@@ -179,8 +184,14 @@ impl GhsNode {
         )
     }
 
-    fn send(&self, ctx: &mut Ctx<'_, Env>, to: NodeId, msg: GhsMsg) {
+    /// This node's telemetry registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    fn send(&mut self, ctx: &mut Ctx<'_, Env>, to: NodeId, msg: GhsMsg) {
         *self.stats.borrow_mut().sent.entry(msg.kind()).or_insert(0) += 1;
+        self.metrics.inc(msg.kind());
         self.transport.send_edge(
             ctx,
             self.node,
@@ -194,6 +205,7 @@ impl GhsNode {
 
     fn defer(&mut self, from: NodeId, msg: GhsMsg) {
         self.stats.borrow_mut().requeues += 1;
+        self.metrics.inc("requeues");
         self.pending.push(Env { from, msg });
     }
 
@@ -412,6 +424,7 @@ impl GhsNode {
                     // spans the whole graph. Halt.
                     self.halted = true;
                     self.stats.borrow_mut().halted_nodes += 1;
+                    self.metrics.inc("halted");
                 }
                 (Some(their), Some(ours)) if their > ours => self.change_root(ctx),
                 (None, Some(_)) => self.change_root(ctx),
@@ -500,6 +513,9 @@ pub struct GhsRun {
     pub total_weight: Weight,
     /// Protocol statistics.
     pub stats: GhsStats,
+    /// Per-node telemetry folded into one registry (per-kind message
+    /// counters agree with [`GhsStats::sent`]).
+    pub metrics: MetricsRegistry,
     /// Virtual time at quiescence.
     pub finished_at: lems_sim::time::SimTime,
 }
@@ -619,6 +635,28 @@ impl GhsSim {
         self.sim.run_to_quiescence_bounded(max_events)
     }
 
+    /// Per-node metrics registries under stable `node:n<id>` scope names.
+    pub fn metrics_snapshot(&self) -> Vec<(String, MetricsRegistry)> {
+        self.actor_ids
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &aid)| {
+                self.sim
+                    .actor::<GhsNode>(aid)
+                    .map(|n| (format!("node:n{i}"), n.metrics().clone()))
+            })
+            .collect()
+    }
+
+    /// All per-node registries folded into one run-wide aggregate.
+    pub fn merged_metrics(&self) -> MetricsRegistry {
+        let mut merged = MetricsRegistry::new();
+        for (_, m) in self.metrics_snapshot() {
+            merged.merge(&m);
+        }
+        merged
+    }
+
     /// One-line state summaries for every node (debugging).
     pub fn node_states(&self) -> Vec<String> {
         self.actor_ids
@@ -651,11 +689,13 @@ impl GhsSim {
         let edges: Vec<(NodeId, NodeId)> = edge_set.into_iter().collect();
         let total_weight = edges.iter().map(|&(a, b)| self.weights[&(a, b)]).sum();
 
+        let metrics = self.merged_metrics();
         let stats = self.stats.borrow().clone();
         GhsRun {
             edges,
             total_weight,
             stats,
+            metrics,
             finished_at: self.sim.now(),
         }
     }
@@ -686,6 +726,13 @@ mod tests {
         assert_eq!(ghs_set, kruskal_set);
         // Exactly one core pair halts.
         assert!(run.stats.halted_nodes >= 1, "no node detected termination");
+        // The per-node registries, merged, must agree with the shared
+        // stats ledger kind-for-kind.
+        for (&kind, &n) in &run.stats.sent {
+            assert_eq!(run.metrics.counter(kind), n, "kind {kind}");
+        }
+        assert_eq!(run.metrics.counter("requeues"), run.stats.requeues);
+        assert_eq!(run.metrics.counter("halted"), run.stats.halted_nodes as u64);
     }
 
     #[test]

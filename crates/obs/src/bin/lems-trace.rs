@@ -1,0 +1,74 @@
+//! `lems-trace` — inspect deterministic telemetry dumps.
+//!
+//! ```text
+//! lems-trace timeline <dump.jsonl> --msg <span>   per-message lifecycle
+//! lems-trace servers  <dump.jsonl>                per-server counters/gauges
+//! lems-trace summary  <dump.jsonl>                totals + latency percentiles
+//! lems-trace audit    <dump.jsonl> [--open-ok]    span conservation check
+//! ```
+//!
+//! `--msg` accepts `s3` or `3`. `audit` exits nonzero on any conservation
+//! violation; pass `--open-ok` when the dump comes from a run that was cut
+//! off before draining (open-ended spans are then not violations).
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use lems_obs::inspect::Dump;
+
+const USAGE: &str = "usage: lems-trace <timeline|servers|summary|audit> <dump.jsonl> \
+                     [--msg <span>] [--open-ok]";
+
+fn run() -> Result<String, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, path) = match (args.first(), args.get(1)) {
+        (Some(c), Some(p)) => (c.as_str(), p.as_str()),
+        _ => return Err(USAGE.to_owned()),
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let dump = Dump::parse(&text)?;
+    match cmd {
+        "timeline" => {
+            let span = args
+                .iter()
+                .position(|a| a == "--msg")
+                .and_then(|i| args.get(i + 1))
+                .ok_or_else(|| format!("timeline needs --msg <span>\n{USAGE}"))?;
+            let id: u64 = span
+                .strip_prefix('s')
+                .unwrap_or(span)
+                .parse()
+                .map_err(|_| format!("`{span}` is not a span id (expected s<N> or N)"))?;
+            dump.timeline(id)
+        }
+        "servers" => Ok(dump.servers()),
+        "summary" => Ok(dump.summary()),
+        "audit" => {
+            let require_terminal = !args.iter().any(|a| a == "--open-ok");
+            let report = dump.audit(require_terminal);
+            let mut out = format!("{report}\n");
+            for v in &report.violations {
+                let _ = writeln!(out, "  violation: {v}");
+            }
+            if report.is_clean() {
+                Ok(out)
+            } else {
+                Err(out)
+            }
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Serialising one run's telemetry into a deterministic JSONL dump.
+//!
+//! The line order is a pure function of the run: header first, then span
+//! events in record order (the span log is append-only and the engine is
+//! deterministic), then metric lines grouped by scope in the order the
+//! deployment lists them (node order), with counters, gauges, and
+//! histograms each in name order (`BTreeMap` iteration). No wall clock,
+//! no host names, no environment — a seeded run exports byte-identical
+//! bytes every time.
+
+use lems_sim::metrics::MetricsRegistry;
+use lems_sim::span::SpanLog;
+use lems_sim::time::SimTime;
+
+use crate::schema::{ObsLine, OBS_SCHEMA_VERSION};
+
+/// Everything one dump describes: a labelled run's span log and its
+/// per-scope metric registries.
+pub struct RunTelemetry<'a> {
+    /// Scenario or experiment id stamped into the header.
+    pub run: &'a str,
+    /// Engine seed of the run.
+    pub seed: u64,
+    /// Simulated time at quiescence (gauge averages integrate to here).
+    pub finished_at: SimTime,
+    /// The run's span log.
+    pub spans: &'a SpanLog,
+    /// Per-scope metric registries, in deployment (node) order.
+    pub scopes: &'a [(String, MetricsRegistry)],
+}
+
+/// Builds the typed line sequence for `run`.
+///
+/// # Errors
+///
+/// Refuses to export a lossy span log (events were dropped by a capacity
+/// bound): a truncated dump would silently pass for complete evidence.
+pub fn export_lines(run: &RunTelemetry<'_>) -> Result<Vec<ObsLine>, String> {
+    let dropped = run.spans.dropped_events();
+    if dropped > 0 {
+        return Err(format!(
+            "span log dropped {dropped} event(s); refusing to export a truncated dump"
+        ));
+    }
+    let mut lines = Vec::with_capacity(1 + run.spans.events().len());
+    lines.push(ObsLine::Header {
+        schema_version: OBS_SCHEMA_VERSION,
+        run: run.run.to_owned(),
+        seed: run.seed,
+        finished_at_ticks: run.finished_at.as_ticks(),
+    });
+    for e in run.spans.events() {
+        lines.push(ObsLine::Span {
+            at_ticks: e.at.as_ticks(),
+            span: e.span.0,
+            stage: e.stage.name().to_owned(),
+            site: e.site,
+            peer: e.peer,
+            detail: e.detail,
+        });
+    }
+    for (scope, m) in run.scopes {
+        for (name, value) in m.counters() {
+            lines.push(ObsLine::Counter {
+                scope: scope.clone(),
+                name: name.to_owned(),
+                value,
+            });
+        }
+        for (name, g) in m.gauges() {
+            lines.push(ObsLine::Gauge {
+                scope: scope.clone(),
+                name: name.to_owned(),
+                current: g.current(),
+                average: g.average(run.finished_at),
+            });
+        }
+        for (name, h) in m.histograms() {
+            lines.push(ObsLine::Hist {
+                scope: scope.clone(),
+                name: name.to_owned(),
+                count: h.count(),
+                mean: h.mean(),
+                p50: h.quantile(0.50).unwrap_or(0.0),
+                p90: h.quantile(0.90).unwrap_or(0.0),
+                p99: h.quantile(0.99).unwrap_or(0.0),
+                max: h.max().unwrap_or(0.0),
+            });
+        }
+    }
+    Ok(lines)
+}
+
+/// Serialises `run` to JSONL text (one compact JSON object per line,
+/// trailing newline).
+///
+/// # Errors
+///
+/// As [`export_lines`], plus serialisation failures.
+pub fn export_jsonl(run: &RunTelemetry<'_>) -> Result<String, String> {
+    let lines = export_lines(run)?;
+    let mut out = String::new();
+    for line in &lines {
+        let json = serde_json::to_string(line).map_err(|e| e.to_string())?;
+        out.push_str(&json);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lems_sim::span::{SpanStage, NO_NODE};
+    use lems_sim::time::SimDuration;
+
+    fn t(u: f64) -> SimTime {
+        SimTime::from_units(u)
+    }
+
+    fn sample_run() -> (SpanLog, Vec<(String, MetricsRegistry)>) {
+        let mut log = SpanLog::unbounded();
+        let s = log.open_keyed(1, t(1.0), SpanStage::Submitted, 0);
+        log.record(t(2.0), s, SpanStage::Deposited, 4, NO_NODE, 0);
+        log.record(t(9.0), s, SpanStage::Retrieved, 0, 4, 0);
+        let mut m = MetricsRegistry::new();
+        m.inc("deposited");
+        m.gauge_add(t(2.0), "storage", 1.0);
+        m.gauge_add(t(9.0), "storage", -1.0);
+        m.observe("delivery_latency", 1.0);
+        (log, vec![("server:n4".to_owned(), m)])
+    }
+
+    #[test]
+    fn export_is_deterministic_and_ordered() {
+        let (log, scopes) = sample_run();
+        let run = RunTelemetry {
+            run: "demo",
+            seed: 7,
+            finished_at: t(10.0),
+            spans: &log,
+            scopes: &scopes,
+        };
+        let a = export_jsonl(&run).expect("exports");
+        let b = export_jsonl(&run).expect("exports");
+        assert_eq!(a, b, "same run must export byte-identical text");
+        let lines: Vec<&str> = a.lines().collect();
+        assert_eq!(lines.len(), 1 + 3 + 3, "header + spans + metrics");
+        assert!(lines[0].contains("Header"));
+        assert!(lines[1].contains("submitted"));
+        assert!(lines[4].contains("Counter"));
+    }
+
+    #[test]
+    fn lossy_span_log_is_refused() {
+        let mut log = SpanLog::bounded(1);
+        let s = log.open(t(0.0), SpanStage::Submitted, 0);
+        log.record(t(1.0), s, SpanStage::Retrieved, 0, NO_NODE, 0);
+        let run = RunTelemetry {
+            run: "demo",
+            seed: 7,
+            finished_at: t(2.0),
+            spans: &log,
+            scopes: &[],
+        };
+        let err = export_jsonl(&run).expect_err("must refuse");
+        assert!(err.contains("dropped 1 event"));
+    }
+
+    #[test]
+    fn gauge_average_integrates_to_finish_time() {
+        let mut m = MetricsRegistry::new();
+        m.gauge_add(t(2.0), "storage", 4.0);
+        let scopes = vec![("server:n0".to_owned(), m)];
+        let log = SpanLog::unbounded();
+        let run = RunTelemetry {
+            run: "demo",
+            seed: 1,
+            finished_at: SimTime::ZERO.saturating_add(SimDuration::from_units(4.0)),
+            spans: &log,
+            scopes: &scopes,
+        };
+        let lines = export_lines(&run).expect("exports");
+        let Some(ObsLine::Gauge {
+            average, current, ..
+        }) = lines.last()
+        else {
+            panic!("expected a gauge line");
+        };
+        // 0 for [0,2), 4 for [2,4) => average 2 over the run.
+        assert!((average - 2.0).abs() < 1e-9);
+        assert!((current - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,352 @@
+//! Reading telemetry dumps back: parsing, per-message timelines,
+//! per-server tables, latency summaries, and the exported-evidence span
+//! audit.
+//!
+//! Everything here operates on the JSONL text alone — the inspector never
+//! needs the simulation that produced the dump, so `lems-trace` can
+//! examine dumps from any `repro-*` or `lems-check` run after the fact.
+
+use std::fmt::Write as _;
+
+use lems_sim::span::{audit_spans, SpanAuditReport, SpanEvent, SpanId, SpanLog, SpanStage};
+use lems_sim::time::SimTime;
+
+use crate::schema::{ObsLine, OBS_SCHEMA_VERSION};
+
+/// One parsed histogram line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistSummary {
+    /// Scope the histogram belongs to.
+    pub scope: String,
+    /// Histogram name.
+    pub name: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Mean of the raw observations.
+    pub mean: f64,
+    /// 50th percentile.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Exact maximum.
+    pub max: f64,
+}
+
+/// A fully parsed telemetry dump.
+#[derive(Clone, Debug, Default)]
+pub struct Dump {
+    /// Scenario or experiment id from the header.
+    pub run: String,
+    /// Engine seed from the header.
+    pub seed: u64,
+    /// Simulated finish time from the header, in ticks.
+    pub finished_at_ticks: u64,
+    /// Span events, in record order.
+    pub spans: Vec<SpanEvent>,
+    /// `(scope, name, value)` counters, in dump order.
+    pub counters: Vec<(String, String, u64)>,
+    /// `(scope, name, current, average)` gauges, in dump order.
+    pub gauges: Vec<(String, String, f64, f64)>,
+    /// Histogram summaries, in dump order.
+    pub hists: Vec<HistSummary>,
+}
+
+impl Dump {
+    /// Parses JSONL text produced by [`crate::export::export_jsonl`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line on malformed JSON, a
+    /// missing or mismatched header, or an unknown span stage.
+    pub fn parse(text: &str) -> Result<Dump, String> {
+        let mut dump = Dump::default();
+        let mut saw_header = false;
+        for (i, raw) in text.lines().enumerate() {
+            if raw.trim().is_empty() {
+                continue;
+            }
+            let line: ObsLine =
+                serde_json::from_str(raw).map_err(|e| format!("line {}: {e}", i + 1))?;
+            match line {
+                ObsLine::Header {
+                    schema_version,
+                    run,
+                    seed,
+                    finished_at_ticks,
+                } => {
+                    if schema_version != OBS_SCHEMA_VERSION {
+                        return Err(format!(
+                            "line {}: schema version {schema_version}, \
+                             this inspector reads {OBS_SCHEMA_VERSION}",
+                            i + 1
+                        ));
+                    }
+                    dump.run = run;
+                    dump.seed = seed;
+                    dump.finished_at_ticks = finished_at_ticks;
+                    saw_header = true;
+                }
+                ObsLine::Span {
+                    at_ticks,
+                    span,
+                    stage,
+                    site,
+                    peer,
+                    detail,
+                } => {
+                    let stage = SpanStage::from_name(&stage)
+                        .ok_or_else(|| format!("line {}: unknown stage `{stage}`", i + 1))?;
+                    dump.spans.push(SpanEvent {
+                        at: SimTime::from_ticks(at_ticks),
+                        span: SpanId(span),
+                        stage,
+                        site,
+                        peer,
+                        detail,
+                    });
+                }
+                ObsLine::Counter { scope, name, value } => {
+                    dump.counters.push((scope, name, value));
+                }
+                ObsLine::Gauge {
+                    scope,
+                    name,
+                    current,
+                    average,
+                } => dump.gauges.push((scope, name, current, average)),
+                ObsLine::Hist {
+                    scope,
+                    name,
+                    count,
+                    mean,
+                    p50,
+                    p90,
+                    p99,
+                    max,
+                } => dump.hists.push(HistSummary {
+                    scope,
+                    name,
+                    count,
+                    mean,
+                    p50,
+                    p90,
+                    p99,
+                    max,
+                }),
+            }
+        }
+        if !saw_header {
+            return Err("dump has no Header line".to_owned());
+        }
+        Ok(dump)
+    }
+
+    /// The distinct scopes, in first-appearance order.
+    pub fn scopes(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        let names = self
+            .counters
+            .iter()
+            .map(|(s, _, _)| s.as_str())
+            .chain(self.gauges.iter().map(|(s, _, _, _)| s.as_str()))
+            .chain(self.hists.iter().map(|h| h.scope.as_str()));
+        for s in names {
+            if !out.contains(&s) {
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    /// The causal timeline of one span: its events in order, one per line.
+    /// Returns an error naming the span when the dump has no events for it.
+    ///
+    /// # Errors
+    ///
+    /// When no event carries the requested span id.
+    pub fn timeline(&self, span: u64) -> Result<String, String> {
+        let events: Vec<&SpanEvent> = self.spans.iter().filter(|e| e.span.0 == span).collect();
+        if events.is_empty() {
+            return Err(format!("no events for span s{span} in this dump"));
+        }
+        let mut out = format!("span s{span} — {} event(s)\n", events.len());
+        for e in events {
+            let _ = writeln!(out, "  {e}");
+        }
+        Ok(out)
+    }
+
+    /// A per-scope table of every counter and gauge: the per-server view
+    /// (the paper's server-utilisation lens).
+    pub fn servers(&self) -> String {
+        let mut out = String::new();
+        for scope in self.scopes() {
+            let _ = writeln!(out, "{scope}");
+            for (s, name, value) in &self.counters {
+                if s == scope {
+                    let _ = writeln!(out, "  {name} = {value}");
+                }
+            }
+            for (s, name, current, average) in &self.gauges {
+                if s == scope {
+                    let _ = writeln!(
+                        out,
+                        "  {name} = {current} (time-weighted mean {average:.3})"
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Latency percentiles plus fleet-wide counter totals.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "run `{}` seed {} finished at {} tick(s): {} span event(s)\n",
+            self.run,
+            self.seed,
+            self.finished_at_ticks,
+            self.spans.len()
+        );
+        let mut totals: Vec<(&str, u64)> = Vec::new();
+        for (_, name, value) in &self.counters {
+            match totals.iter_mut().find(|(n, _)| n == name) {
+                Some((_, v)) => *v += value,
+                None => totals.push((name, *value)),
+            }
+        }
+        totals.sort_unstable();
+        for (name, value) in totals {
+            let _ = writeln!(out, "  {name} = {value}");
+        }
+        if !self.hists.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>8} {:>9} {:>9} {:>9} {:>9}",
+                "latency", "count", "p50", "p90", "p99", "max"
+            );
+            for h in &self.hists {
+                let _ = writeln!(
+                    out,
+                    "  {:<28} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+                    format!("{}/{}", h.scope, h.name),
+                    h.count,
+                    h.p50,
+                    h.p90,
+                    h.p99,
+                    h.max
+                );
+            }
+        }
+        out
+    }
+
+    /// Re-runs the span conservation audit on the exported events — the
+    /// same checker the simulator applies in-process, now on the dump as
+    /// the evidence.
+    pub fn audit(&self, require_terminal: bool) -> SpanAuditReport {
+        let log = SpanLog::from_events(self.spans.clone());
+        audit_spans(&log, require_terminal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::{export_jsonl, RunTelemetry};
+    use lems_sim::metrics::MetricsRegistry;
+    use lems_sim::span::NO_NODE;
+
+    fn t(u: f64) -> SimTime {
+        SimTime::from_units(u)
+    }
+
+    fn demo_dump() -> Dump {
+        let mut log = SpanLog::unbounded();
+        let s = log.open_keyed(1, t(1.0), SpanStage::Submitted, 0);
+        log.record(t(1.5), s, SpanStage::Probe, 0, 4, 0);
+        log.record(t(2.0), s, SpanStage::Deposited, 4, NO_NODE, 0);
+        log.record(t(9.0), s, SpanStage::Retrieved, 0, 4, 0);
+        let c = log.open(t(8.0), SpanStage::CheckStarted, 0);
+        log.record(t(9.0), c, SpanStage::CheckDone, 0, 4, 1);
+        let mut m = MetricsRegistry::new();
+        m.inc("deposited");
+        m.gauge_add(t(2.0), "storage", 1.0);
+        m.observe("delivery_latency", 1.0);
+        let scopes = vec![("server:n4".to_owned(), m)];
+        let text = export_jsonl(&RunTelemetry {
+            run: "demo",
+            seed: 7,
+            finished_at: t(10.0),
+            spans: &log,
+            scopes: &scopes,
+        })
+        .expect("exports");
+        Dump::parse(&text).expect("parses")
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let d = demo_dump();
+        assert_eq!(d.run, "demo");
+        assert_eq!(d.seed, 7);
+        assert_eq!(d.spans.len(), 6);
+        assert_eq!(
+            d.counters,
+            vec![("server:n4".into(), "deposited".into(), 1)]
+        );
+        assert_eq!(d.gauges.len(), 1);
+        assert_eq!(d.hists.len(), 1);
+        assert_eq!(d.scopes(), vec!["server:n4"]);
+    }
+
+    #[test]
+    fn timeline_lists_one_span_in_order() {
+        let d = demo_dump();
+        let tl = d.timeline(0).expect("span exists");
+        assert!(tl.contains("4 event(s)"));
+        assert!(tl.contains("submitted"));
+        assert!(tl.contains("retrieved"));
+        assert!(!tl.contains("check"), "span 1 must not leak in");
+        assert!(d.timeline(99).is_err());
+    }
+
+    #[test]
+    fn audit_matches_in_process_verdict() {
+        let d = demo_dump();
+        let report = d.audit(true);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert_eq!(report.retrieved, 1);
+        assert_eq!(report.checks_done, 1);
+    }
+
+    #[test]
+    fn summary_and_servers_render() {
+        let d = demo_dump();
+        let s = d.summary();
+        assert!(s.contains("deposited = 1"));
+        assert!(s.contains("server:n4/delivery_latency"));
+        let sv = d.servers();
+        assert!(sv.contains("server:n4"));
+        assert!(sv.contains("storage"));
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(Dump::parse("").is_err(), "no header");
+        assert!(Dump::parse("{\"nonsense\":1}\n").is_err());
+        let good = export_jsonl(&RunTelemetry {
+            run: "x",
+            seed: 1,
+            finished_at: t(1.0),
+            spans: &SpanLog::unbounded(),
+            scopes: &[],
+        })
+        .expect("exports");
+        let bad = good.replace("\"schema_version\":1", "\"schema_version\":99");
+        let err = Dump::parse(&bad).expect_err("version mismatch");
+        assert!(err.contains("schema version 99"));
+    }
+}

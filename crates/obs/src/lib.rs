@@ -1,0 +1,33 @@
+//! # lems-obs — deterministic telemetry export and trace inspection
+//!
+//! The observability layer of the `lems` workspace. The simulator records
+//! message-lifecycle spans ([`lems_sim::span`]) and per-actor metrics
+//! ([`lems_sim::metrics`]); this crate turns one run's worth of both into
+//! a schema-versioned JSONL document and reads such documents back for
+//! inspection:
+//!
+//! * [`schema`] — the [`ObsLine`] wire format (one JSON object per line);
+//! * [`export`] — serialises a run's span log + metric registries, in an
+//!   order that is a pure function of the run (same seed ⇒ byte-identical
+//!   output, no wall clock anywhere);
+//! * [`inspect`] — parses a dump back into a typed [`inspect::Dump`] and
+//!   renders per-message timelines, per-server tables, latency summaries,
+//!   and re-runs the span conservation audit on the exported evidence.
+//!
+//! The `lems-trace` binary wraps [`inspect`] as a CLI:
+//!
+//! ```text
+//! lems-trace timeline spans.jsonl --msg s0
+//! lems-trace servers  spans.jsonl
+//! lems-trace summary  spans.jsonl
+//! lems-trace audit    spans.jsonl
+//! ```
+//!
+//! [`ObsLine`]: schema::ObsLine
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod inspect;
+pub mod schema;

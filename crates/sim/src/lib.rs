@@ -15,7 +15,10 @@
 //!   fuzzing, and exhaustive small-scope interleaving exploration;
 //! * [`rng`] — seeded, forkable randomness so runs reproduce exactly;
 //! * [`stats`] — counters, time-weighted gauges, summaries, histograms;
-//! * [`trace`] — bounded in-memory event tracing.
+//! * [`trace`] — bounded in-memory event tracing;
+//! * [`span`] — causal message-lifecycle spans with a conservation auditor;
+//! * [`metrics`] — per-actor registries of counters, gauges, and
+//!   log-scale latency histograms, mergeable across actors and threads.
 //!
 //! Everything is single-threaded and deterministic by construction: a run is
 //! a pure function of its seed and configuration.
@@ -49,10 +52,12 @@ pub mod actor;
 pub mod failure;
 pub mod kernel;
 pub mod linkfault;
+pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod sched;
 pub mod session;
+pub mod span;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -62,12 +67,14 @@ pub mod prelude {
     pub use crate::actor::{Actor, ActorId, ActorSim, Ctx, TimerId};
     pub use crate::failure::{FailureError, FailurePlan};
     pub use crate::linkfault::{LinkFaultPlan, LinkProfile};
+    pub use crate::metrics::MetricsRegistry;
     pub use crate::rng::SimRng;
     pub use crate::sched::{
         ExploreBounds, Explorer, FifoScheduler, RandomScheduler, ReplayScheduler, Schedule,
         Scheduler,
     };
     pub use crate::session::RetryPolicy;
-    pub use crate::stats::{Counter, Histogram, Summary, TimeWeighted};
+    pub use crate::span::{SpanEvent, SpanId, SpanLog, SpanStage};
+    pub use crate::stats::{Counter, Histogram, LogHistogram, Summary, TimeWeighted};
     pub use crate::time::{SimDuration, SimTime};
 }

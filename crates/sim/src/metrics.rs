@@ -1,0 +1,229 @@
+//! A per-actor metrics registry: named counters, time-weighted gauges, and
+//! log-scale latency histograms.
+//!
+//! Each instrumented actor owns one [`MetricsRegistry`]; a deployment
+//! collects the per-actor registries under scope names like `server:n4`
+//! and [`MetricsRegistry::merge`] folds them into fleet-wide aggregates —
+//! counters add, histograms add bucket-wise (see
+//! [`crate::stats::LogHistogram::merge`]), and the same fold works across
+//! `balance_par` worker threads because merging is associative and
+//! commutative.
+//!
+//! Keys are `&'static str` and storage is `BTreeMap`, so iteration order —
+//! and therefore any export built from it — is deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::stats::{LogHistogram, TimeWeighted};
+use crate::time::SimTime;
+
+/// Named counters, gauges, and histograms for one actor (or one merged
+/// scope).
+///
+/// # Examples
+///
+/// ```
+/// use lems_sim::metrics::MetricsRegistry;
+/// use lems_sim::time::SimTime;
+///
+/// let mut m = MetricsRegistry::new();
+/// m.inc("deposited");
+/// m.counter_add("deposited", 2);
+/// m.gauge_add(SimTime::from_units(1.0), "storage", 3.0);
+/// m.observe("delivery_latency", 4.2);
+/// assert_eq!(m.counter("deposited"), 3);
+/// assert_eq!(m.counter("never_touched"), 0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, TimeWeighted>,
+    histograms: BTreeMap<&'static str, LogHistogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Increments counter `name` by one.
+    pub fn inc(&mut self, name: &'static str) {
+        self.counter_add(name, 1);
+    }
+
+    /// Increments counter `name` by `n`.
+    pub fn counter_add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Adds `delta` to gauge `name` at instant `now`, creating it at zero
+    /// from `SimTime::ZERO` on first touch. Updates must be in time order
+    /// (see [`TimeWeighted::set`]).
+    pub fn gauge_add(&mut self, now: SimTime, name: &'static str, delta: f64) {
+        self.gauges
+            .entry(name)
+            .or_insert_with(|| TimeWeighted::new(SimTime::ZERO, 0.0))
+            .add(now, delta);
+    }
+
+    /// Sets gauge `name` to `value` at instant `now`, creating it at zero
+    /// from `SimTime::ZERO` on first touch.
+    pub fn gauge_set(&mut self, now: SimTime, name: &'static str, value: f64) {
+        self.gauges
+            .entry(name)
+            .or_insert_with(|| TimeWeighted::new(SimTime::ZERO, 0.0))
+            .set(now, value);
+    }
+
+    /// The gauge named `name`, if it was ever touched.
+    pub fn gauge(&self, name: &str) -> Option<&TimeWeighted> {
+        self.gauges.get(name)
+    }
+
+    /// Records `x` into histogram `name`, creating it with the
+    /// [`LogHistogram::latency`] layout on first touch. All histograms in
+    /// all registries share that layout, so cross-actor merges are always
+    /// compatible.
+    pub fn observe(&mut self, name: &'static str, x: f64) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(LogHistogram::latency)
+            .observe(x);
+    }
+
+    /// The histogram named `name`, if it was ever touched.
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Iterates gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, &TimeWeighted)> + '_ {
+        self.gauges.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Iterates histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &LogHistogram)> + '_ {
+        self.histograms.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// True if nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds `other` into this registry: counters add and histograms merge
+    /// bucket-wise. Gauges are *not* merged — a time-weighted average of
+    /// one server's storage has no meaning summed with another's — so the
+    /// merged registry keeps only its own gauges; read per-scope gauges
+    /// from the per-actor registries.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, v) in other.counters() {
+            self.counter_add(name, v);
+        }
+        for (name, h) in other.histograms() {
+            self.histograms
+                .entry(name)
+                .or_insert_with(LogHistogram::latency)
+                .merge(h);
+        }
+    }
+}
+
+impl fmt::Display for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} counter(s), {} gauge(s), {} histogram(s)",
+            self.counters.len(),
+            self.gauges.len(),
+            self.histograms.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.inc("a");
+        m.inc("a");
+        m.counter_add("b", 5);
+        assert_eq!(m.counter("a"), 2);
+        assert_eq!(m.counter("b"), 5);
+        assert_eq!(m.counter("c"), 0);
+        let names: Vec<_> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn gauges_track_time_average() {
+        let mut m = MetricsRegistry::new();
+        m.gauge_add(SimTime::from_units(2.0), "storage", 4.0);
+        m.gauge_add(SimTime::from_units(4.0), "storage", -4.0);
+        let g = m.gauge("storage").expect("gauge was touched");
+        // 0 for [0,2), 4 for [2,4), 0 after => average over [0,4) is 2.
+        assert!((g.average(SimTime::from_units(4.0)) - 2.0).abs() < 1e-9);
+        assert_eq!(g.current(), 0.0);
+        assert!(m.gauge("absent").is_none());
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms_but_not_gauges() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.inc("x");
+        b.counter_add("x", 9);
+        b.inc("y");
+        a.observe("lat", 1.0);
+        b.observe("lat", 100.0);
+        b.gauge_set(SimTime::from_units(1.0), "storage", 7.0);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 10);
+        assert_eq!(a.counter("y"), 1);
+        let h = a.histogram("lat").expect("histogram was touched");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Some(100.0));
+        assert!(a.gauge("storage").is_none(), "gauges must not merge");
+    }
+
+    #[test]
+    fn merge_order_does_not_matter() {
+        let mk = |vals: &[f64], n: u64| {
+            let mut m = MetricsRegistry::new();
+            m.counter_add("c", n);
+            for &v in vals {
+                m.observe("h", v);
+            }
+            m
+        };
+        let parts = [mk(&[1.0], 2), mk(&[5.0, 9.0], 3), mk(&[0.2], 7)];
+        let mut fwd = MetricsRegistry::new();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = MetricsRegistry::new();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(fwd.counter("c"), rev.counter("c"));
+        assert_eq!(
+            fwd.histogram("h").map(LogHistogram::bins),
+            rev.histogram("h").map(LogHistogram::bins)
+        );
+    }
+}

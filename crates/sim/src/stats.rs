@@ -374,6 +374,227 @@ impl Histogram {
         }
         Some(self.bin_edge(self.bins.len() - 1))
     }
+
+    /// Merges another histogram into this one. Merging is associative and
+    /// commutative: per-actor histograms folded in any order give the same
+    /// global distribution as observing every value in one histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different bin counts or widths —
+    /// bin-wise addition is only meaningful over identical layouts.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.bins.len() == other.bins.len() && self.width == other.width,
+            "Histogram::merge requires identical bin layouts"
+        );
+        for (b, &o) in self.bins.iter_mut().zip(&other.bins) {
+            *b += o;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+/// A fixed-bucket log-scale histogram for latency-style observations whose
+/// interesting behavior lives in the tail: bucket edges grow geometrically,
+/// so relative quantile error is bounded by the growth factor across the
+/// whole range instead of degrading at the high end like a uniform layout.
+///
+/// Buckets with the same `(first_edge, growth, buckets)` shape merge
+/// losslessly across actors and across `balance_par` worker threads.
+///
+/// # Examples
+///
+/// ```
+/// use lems_sim::stats::LogHistogram;
+///
+/// let mut h = LogHistogram::latency();
+/// for x in [0.3, 1.0, 2.0, 4.0, 250.0] {
+///     h.observe(x);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.max(), Some(250.0));
+/// assert!(h.quantile(0.5).unwrap() >= 1.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogHistogram {
+    /// Upper edge of bucket 0; buckets below cover `[0, first_edge)`.
+    first_edge: f64,
+    /// Ratio between consecutive bucket edges (> 1).
+    growth: f64,
+    bins: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl LogHistogram {
+    /// Creates a log-scale histogram: bucket `i` covers
+    /// `[first_edge * growth^(i-1), first_edge * growth^i)` with bucket 0
+    /// absorbing everything below `first_edge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0`, `first_edge` is not positive and finite,
+    /// or `growth <= 1`.
+    pub fn new(first_edge: f64, growth: f64, buckets: usize) -> Self {
+        assert!(buckets > 0, "log histogram needs at least one bucket");
+        assert!(
+            first_edge > 0.0 && first_edge.is_finite(),
+            "first bucket edge must be positive and finite"
+        );
+        assert!(
+            growth > 1.0 && growth.is_finite(),
+            "bucket growth factor must exceed 1"
+        );
+        LogHistogram {
+            first_edge,
+            growth,
+            bins: vec![0; buckets],
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+            max: 0.0,
+        }
+    }
+
+    /// The default latency layout: 64 buckets from 0.5 paper-time units
+    /// growing by `2^(1/4)` per bucket (≈19% relative quantile error),
+    /// covering roughly `[0.5, 32768)` units before overflow.
+    pub fn latency() -> Self {
+        LogHistogram::new(0.5, std::f64::consts::SQRT_2.sqrt(), 64)
+    }
+
+    /// Records one observation. Negative values clamp into bucket 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not finite.
+    pub fn observe(&mut self, x: f64) {
+        assert!(
+            x.is_finite(),
+            "LogHistogram::observe requires finite values"
+        );
+        if self.count == 0 || x > self.max {
+            self.max = x;
+        }
+        self.count += 1;
+        self.sum += x;
+        let idx = self.bucket_of(x);
+        if idx < self.bins.len() {
+            self.bins[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Records a duration observation in paper time units.
+    pub fn observe_duration(&mut self, d: SimDuration) {
+        self.observe(d.as_units());
+    }
+
+    /// The bucket index `x` falls into (may be `bins.len()` = overflow).
+    fn bucket_of(&self, x: f64) -> usize {
+        if x < self.first_edge {
+            return 0;
+        }
+        // Edge of bucket i is first_edge * growth^i; invert via log.
+        let i = ((x / self.first_edge).ln() / self.growth.ln()).floor();
+        1 + i as usize
+    }
+
+    /// Upper edge of bucket `i`.
+    pub fn bucket_edge(&self, i: usize) -> f64 {
+        self.first_edge * self.growth.powi(i as i32)
+    }
+
+    /// Total observations (including overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations beyond the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Per-bucket counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of all observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Largest observation seen (exact, not bucketed), if any.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Estimates quantile `q` in `[0, 1]`; returns `None` when empty.
+    /// Reports the upper edge of the bucket holding the target rank;
+    /// overflow observations report as the exact maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.bucket_edge(i));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// True if `other` has the same bucket layout and can merge losslessly.
+    pub fn same_layout(&self, other: &LogHistogram) -> bool {
+        self.bins.len() == other.bins.len()
+            && self.first_edge == other.first_edge
+            && self.growth == other.growth
+    }
+
+    /// Merges another histogram into this one (associative, commutative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layouts differ (see [`LogHistogram::same_layout`]).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert!(
+            self.same_layout(other),
+            "LogHistogram::merge requires identical bucket layouts"
+        );
+        if other.count > 0 && (self.count == 0 || other.max > self.max) {
+            self.max = other.max;
+        }
+        for (b, &o) in self.bins.iter_mut().zip(&other.bins) {
+            *b += o;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+    }
 }
 
 #[cfg(test)]
@@ -438,6 +659,140 @@ mod tests {
     fn time_weighted_empty_span() {
         let g = TimeWeighted::new(SimTime::from_units(2.0), 7.0);
         assert_eq!(g.average(SimTime::from_units(2.0)), 7.0);
+    }
+
+    #[test]
+    fn summary_variance_exact_on_known_stream() {
+        // Population variance of [1..=8] is 5.25; mean 4.5. Welford must
+        // reproduce both exactly (small integers are exact in f64).
+        let mut s = Summary::new();
+        for x in 1..=8 {
+            s.observe(f64::from(x));
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 4.5).abs() < 1e-12);
+        assert!((s.variance() - 5.25).abs() < 1e-12);
+        // Constant stream: variance exactly zero, no drift.
+        let mut c = Summary::new();
+        for _ in 0..1000 {
+            c.observe(3.75);
+        }
+        assert_eq!(c.mean(), 3.75);
+        assert!(c.variance().abs() < 1e-18);
+    }
+
+    #[test]
+    fn summary_variance_merge_of_disjoint_halves() {
+        // Merging [0,0,0,0] and [10,10,10,10]: mean 5, variance 25.
+        let mut lo = Summary::new();
+        let mut hi = Summary::new();
+        for _ in 0..4 {
+            lo.observe(0.0);
+            hi.observe(10.0);
+        }
+        lo.merge(&hi);
+        assert_eq!(lo.count(), 8);
+        assert!((lo.mean() - 5.0).abs() < 1e-12);
+        assert!((lo.variance() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..500).map(|i| f64::from(i) * 0.037).collect();
+        let mut whole = Histogram::uniform(16, 1.0);
+        let mut a = Histogram::uniform(16, 1.0);
+        let mut b = Histogram::uniform(16, 1.0);
+        for (i, &x) in xs.iter().enumerate() {
+            whole.observe(x);
+            if i % 2 == 0 {
+                a.observe(x);
+            } else {
+                b.observe(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.bins(), whole.bins());
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.overflow(), whole.overflow());
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), whole.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_exact_on_known_stream() {
+        // 10 observations landing in known bins of width 1: values
+        // 0.5, 1.5, ..., 9.5 -> one per bin. quantile(k/10) is the upper
+        // edge of bin k-1, i.e. exactly k.
+        let mut h = Histogram::uniform(10, 1.0);
+        for i in 0..10 {
+            h.observe(f64::from(i) + 0.5);
+        }
+        for k in 1..=10u32 {
+            let q = f64::from(k) / 10.0;
+            assert_eq!(h.quantile(q), Some(f64::from(k)), "q={q}");
+        }
+    }
+
+    #[test]
+    fn log_histogram_exact_quantiles_and_max() {
+        // Powers of two land exactly on bucket boundaries of a growth-2
+        // layout: value 2^k falls in the bucket whose upper edge is
+        // 2^(k+1).
+        let mut h = LogHistogram::new(1.0, 2.0, 12);
+        for k in 0..10 {
+            h.observe(f64::from(1u32 << k)); // 1, 2, 4, ..., 512
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.max(), Some(512.0));
+        // Rank 5 of 10 (q=0.5) is value 16 -> bucket edge 32.
+        assert_eq!(h.quantile(0.5), Some(32.0));
+        // q=1.0 is the last bucket holding data: value 512 -> edge 1024.
+        assert_eq!(h.quantile(1.0), Some(1024.0));
+        // Everything below the first edge clamps into bucket 0.
+        let mut lo = LogHistogram::new(1.0, 2.0, 4);
+        lo.observe(0.0);
+        lo.observe(-3.0);
+        assert_eq!(lo.bins()[0], 2);
+        assert_eq!(lo.quantile(0.5), Some(1.0));
+    }
+
+    #[test]
+    fn log_histogram_merge_is_associative() {
+        let mk = |xs: &[f64]| {
+            let mut h = LogHistogram::latency();
+            for &x in xs {
+                h.observe(x);
+            }
+            h
+        };
+        let a = mk(&[0.1, 1.0, 7.0]);
+        let b = mk(&[2.0, 2.0, 90.0]);
+        let c = mk(&[0.4, 400.0, 1e6]); // 1e6 overflows the latency layout
+                                        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left.bins(), right.bins());
+        assert_eq!(left.count(), right.count());
+        assert_eq!(left.overflow(), right.overflow());
+        assert_eq!(left.max(), right.max());
+        assert!((left.sum() - right.sum()).abs() < 1e-6);
+        // And both equal observing the whole stream directly.
+        let whole = mk(&[0.1, 1.0, 7.0, 2.0, 2.0, 90.0, 0.4, 400.0, 1e6]);
+        assert_eq!(left.bins(), whole.bins());
+        assert_eq!(left.count(), whole.count());
+        assert_eq!(left.overflow(), whole.overflow());
+        assert_eq!(left.max(), whole.max());
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(left.quantile(q), whole.quantile(q), "q={q}");
+        }
     }
 
     #[test]

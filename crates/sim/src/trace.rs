@@ -82,6 +82,7 @@ pub struct Trace {
     buf: VecDeque<TraceEvent>,
     capacity: usize,
     recorded: u64,
+    dropped: u64,
 }
 
 impl Trace {
@@ -96,6 +97,7 @@ impl Trace {
             buf: VecDeque::with_capacity(capacity.min(4096)),
             capacity,
             recorded: 0,
+            dropped: 0,
         }
     }
 
@@ -113,7 +115,14 @@ impl Trace {
 
     /// True if eviction has discarded at least one recorded event.
     pub fn is_lossy(&self) -> bool {
-        self.recorded > self.buf.len() as u64
+        self.dropped > 0
+    }
+
+    /// Events evicted by the ring buffer: recorded but no longer retained.
+    /// Any nonzero value means conservation auditors cannot trust this
+    /// trace — the missing prefix would surface as false violations.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
     }
 
     /// Records an event (no-op when disabled).
@@ -124,6 +133,7 @@ impl Trace {
         self.recorded += 1;
         if self.buf.len() == self.capacity {
             self.buf.pop_front();
+            self.dropped += 1;
         }
         self.buf.push_back(TraceEvent { at, kind, from, to });
     }
@@ -176,6 +186,7 @@ mod tests {
         let times: Vec<u64> = t.events().map(|e| e.at.as_ticks()).collect();
         assert_eq!(times, vec![2, 3, 4]);
         assert_eq!(t.recorded_total(), 5);
+        assert_eq!(t.dropped_events(), 2);
         assert!(t.is_lossy());
     }
 
@@ -192,6 +203,7 @@ mod tests {
         }
         assert_eq!(t.len(), 10_000);
         assert_eq!(t.recorded_total(), 10_000);
+        assert_eq!(t.dropped_events(), 0);
         assert!(!t.is_lossy());
         assert!(t.is_enabled());
     }

@@ -37,7 +37,9 @@ use lems_net::transport::Transport;
 use lems_sim::actor::{Actor, ActorId, ActorSim, Ctx, TimerId};
 use lems_sim::failure::{FailureError, Outage};
 use lems_sim::linkfault::{LinkFaultPlan, LinkProfile};
+use lems_sim::metrics::MetricsRegistry;
 use lems_sim::session::RetryPolicy;
+use lems_sim::span::{BounceCode, ResolveCode, SpanId, SpanLog, SpanStage, NO_NODE};
 use lems_sim::stats::Summary;
 use lems_sim::time::{SimDuration, SimTime};
 
@@ -179,6 +181,26 @@ impl DeliveryStats {
 
 type SharedStats = Rc<RefCell<DeliveryStats>>;
 
+/// The shared lifecycle-span log (disabled by default; see
+/// [`Deployment::enable_spans`]). Like the stats ledger it is pure
+/// bookkeeping: recording never touches the scheduler or any RNG stream,
+/// so enabling spans cannot perturb event order.
+type SharedSpans = Rc<RefCell<SpanLog>>;
+
+/// Span `site`/`peer` encoding: raw topology node index.
+fn site(n: NodeId) -> u64 {
+    n.0 as u64
+}
+
+/// The wire code for a bounce reason (see [`BounceCode`]).
+fn bounce_code(reason: BounceReason) -> u64 {
+    match reason {
+        BounceReason::UnknownRecipient => BounceCode::UnknownRecipient.as_detail(),
+        BounceReason::AllServersDown => BounceCode::AllServersDown.as_detail(),
+        BounceReason::RegionUnreachable => BounceCode::RegionUnreachable.as_detail(),
+    }
+}
+
 /// Per-user state kept by the host actor.
 #[derive(Clone, Debug)]
 struct UiUser {
@@ -241,6 +263,8 @@ struct RetrievalSession {
     attempts: u32,
     check_started: SimTime,
     finished_walk_early: bool,
+    /// The lifecycle span covering this check.
+    span: SpanId,
 }
 
 /// An in-flight submission (connection-setup walk over the sender's
@@ -273,6 +297,10 @@ pub struct HostActor {
     pub alerts: BTreeMap<MailName, u64>,
     server_proc: f64,
     retry: RetryPolicy,
+    spans: SharedSpans,
+    /// This actor's telemetry; collected by
+    /// [`Deployment::metrics_snapshot`].
+    pub metrics: MetricsRegistry,
 }
 
 #[derive(Clone, Debug)]
@@ -287,21 +315,50 @@ impl HostActor {
         rtt + SimDuration::from_units(self.server_proc + TIMEOUT_SLACK)
     }
 
+    /// Records a host-side bounce in the stats ledger, the span log, and
+    /// this actor's metrics. The span terminal dedups on the ledger: only
+    /// the first outcome for a message id terminates its span.
+    fn bounce_here(&mut self, id: MessageId, reason: BounceReason, now: SimTime) {
+        let mut st = self.stats.borrow_mut();
+        st.bounced += 1;
+        self.metrics.inc("bounced");
+        let first_outcome =
+            !st.ledger_retrieved.contains(&id) && st.ledger_bounced.insert(id, reason).is_none();
+        if first_outcome {
+            self.spans.borrow_mut().record_keyed(
+                now,
+                id.0,
+                SpanStage::Bounced,
+                site(self.node),
+                NO_NODE,
+                bounce_code(reason),
+            );
+        }
+    }
+
     fn start_submit(&mut self, msg: Message, ctx: &mut Ctx<'_, MailMsg>) {
-        let Some(user) = self.users.get(&msg.from) else {
+        self.spans.borrow_mut().open_keyed(
+            msg.id.0,
+            ctx.now(),
+            SpanStage::Submitted,
+            site(self.node),
+        );
+        if !self.users.contains_key(&msg.from) {
             // Sender not homed here; count as bounce at source.
-            let mut st = self.stats.borrow_mut();
-            st.bounced += 1;
-            st.ledger_bounced
-                .insert(msg.id, BounceReason::UnknownRecipient);
+            self.bounce_here(msg.id, BounceReason::UnknownRecipient, ctx.now());
             return;
-        };
-        let remaining: Vec<NodeId> = user.authorities.servers().to_vec();
+        }
+        let remaining: Vec<NodeId> = self
+            .users
+            .get(&msg.from)
+            .map(|u| u.authorities.servers().to_vec())
+            .unwrap_or_default();
         {
             let mut st = self.stats.borrow_mut();
             st.submitted += 1;
             st.ledger_submitted.insert(msg.id);
         }
+        self.metrics.inc("submitted");
         self.submit_next(msg, remaining, ctx);
     }
 
@@ -312,10 +369,7 @@ impl HostActor {
         ctx: &mut Ctx<'_, MailMsg>,
     ) {
         if remaining.is_empty() {
-            let mut st = self.stats.borrow_mut();
-            st.bounced += 1;
-            st.ledger_bounced
-                .insert(msg.id, BounceReason::AllServersDown);
+            self.bounce_here(msg.id, BounceReason::AllServersDown, ctx.now());
             return;
         }
         let server = remaining.remove(0);
@@ -339,6 +393,18 @@ impl HostActor {
                 st.retransmits += 1;
             }
         }
+        self.metrics.inc("submit_probes");
+        if attempt > 0 {
+            self.metrics.inc("retransmits");
+        }
+        self.spans.borrow_mut().record_keyed(
+            ctx.now(),
+            msg.id.0,
+            SpanStage::Probe,
+            site(self.node),
+            site(server),
+            u64::from(attempt),
+        );
         let base = self.timeout_for(server);
         let timeout = self.retry.timeout(base, attempt, ctx.rng());
         self.transport.send(
@@ -375,6 +441,11 @@ impl HostActor {
             user.pending_check = true;
             return;
         }
+        let span =
+            self.spans
+                .borrow_mut()
+                .open(ctx.now(), SpanStage::CheckStarted, site(self.node));
+        self.metrics.inc("checks_started");
         let session = RetrievalSession {
             walk_remaining: user.authorities.servers().to_vec(),
             sweep_remaining: Vec::new(),
@@ -384,6 +455,7 @@ impl HostActor {
             attempts: 0,
             check_started: ctx.now(),
             finished_walk_early: false,
+            span,
         };
         user.retrieval = Some(session);
         self.advance_retrieval(user_name.clone(), ctx);
@@ -432,6 +504,15 @@ impl HostActor {
                 session.polls += 1;
                 session.probed.insert(server);
                 session.attempts = 1;
+                self.spans.borrow_mut().record(
+                    ctx.now(),
+                    session.span,
+                    SpanStage::Probe,
+                    site(node),
+                    site(server),
+                    0,
+                );
+                self.metrics.inc("retrieve_probes");
                 let base = {
                     let rtt = self.transport.delay(node, server) * 2;
                     rtt + SimDuration::from_units(self.server_proc + TIMEOUT_SLACK)
@@ -456,12 +537,26 @@ impl HostActor {
                 // Session complete.
                 let polls = session.polls;
                 let started = session.check_started;
+                let span = session.span;
                 user.last_checking_time = started;
                 user.retrieval = None;
                 self.stats
                     .borrow_mut()
                     .retrieval_polls
                     .observe(f64::from(polls));
+                self.spans.borrow_mut().record(
+                    ctx.now(),
+                    span,
+                    SpanStage::CheckDone,
+                    site(node),
+                    NO_NODE,
+                    u64::from(polls),
+                );
+                self.metrics.inc("checks_done");
+                self.metrics.observe(
+                    "check_latency",
+                    ctx.now().duration_since(started).as_units(),
+                );
                 if std::mem::take(&mut user.pending_check) {
                     self.start_check(&user_name, ctx);
                 }
@@ -487,10 +582,21 @@ impl Actor for HostActor {
                 if let Some(task) = self.submits.remove(&id) {
                     ctx.cancel_timer(task.timer);
                     self.timer_purpose.remove(&task.timer);
+                    // Store-and-forward responsibility now rests with the
+                    // accepting server.
+                    self.spans.borrow_mut().record_keyed(
+                        ctx.now(),
+                        id.0,
+                        SpanStage::Accepted,
+                        site(self.node),
+                        site(task.current),
+                        0,
+                    );
                 }
             }
             MailMsg::Notify { user, id: _ } => {
                 *self.alerts.entry(user).or_insert(0) += 1;
+                self.metrics.inc("alerts");
             }
             MailMsg::RetrieveReply {
                 user: user_name,
@@ -524,7 +630,9 @@ impl Actor for HostActor {
                 // mail on any stale-reply race (the exact loss class the
                 // trace auditor checks for).
                 {
+                    let server_site = self.transport.node_of(from).map_or(NO_NODE, site);
                     let mut st = self.stats.borrow_mut();
+                    let mut spans = self.spans.borrow_mut();
                     for m in &messages {
                         // Dedup by message id: a server that crashed while
                         // forwarding re-routes its stored copy on recovery,
@@ -533,8 +641,24 @@ impl Actor for HostActor {
                         // drain so at-least-once delivery still counts once.
                         if st.ledger_retrieved.insert(m.id) {
                             st.retrieved += 1;
-                            st.end_to_end
-                                .observe(now.duration_since(m.submitted_at).as_units());
+                            let latency = now.duration_since(m.submitted_at).as_units();
+                            st.end_to_end.observe(latency);
+                            self.metrics.inc("retrieved");
+                            self.metrics.observe("end_to_end", latency);
+                            // First terminal outcome wins the span: a host
+                            // that conservatively bounced after losing every
+                            // ack keeps that terminal even if the mail later
+                            // surfaces (the ledgers record both).
+                            if !st.ledger_bounced.contains_key(&m.id) {
+                                spans.record_keyed(
+                                    now,
+                                    m.id.0,
+                                    SpanStage::Retrieved,
+                                    site(self.node),
+                                    server_site,
+                                    0,
+                                );
+                            }
                         }
                     }
                 }
@@ -623,6 +747,15 @@ impl Actor for HostActor {
                     let new_timer = ctx.set_timer(timeout, 0);
                     session.current = Some((server, new_timer));
                     self.stats.borrow_mut().retransmits += 1;
+                    self.metrics.inc("retransmits");
+                    self.spans.borrow_mut().record(
+                        ctx.now(),
+                        session.span,
+                        SpanStage::Probe,
+                        site(node),
+                        site(server),
+                        u64::from(attempt),
+                    );
                     self.timer_purpose
                         .insert(new_timer, TimerPurpose::RetrieveTimeout(user_name));
                 }
@@ -678,6 +811,11 @@ pub struct ServerActor {
     /// so a lost `RetrieveReply` is recovered by the host's retransmitted
     /// `Retrieve` (which re-sends this buffer plus any fresh mail).
     pending_drain: BTreeMap<MailName, Vec<Message>>,
+    spans: SharedSpans,
+    /// This server's telemetry; collected by
+    /// [`Deployment::metrics_snapshot`]. The `storage` gauge tracks this
+    /// server's live mailbox+drain occupancy (§4.4 storage space).
+    pub metrics: MetricsRegistry,
 }
 
 impl ServerActor {
@@ -692,14 +830,25 @@ impl ServerActor {
             return;
         }
         let now = ctx.now();
+        let latency = now.duration_since(msg.submitted_at).as_units();
         {
             let mut st = self.stats.borrow_mut();
             st.deposited += 1;
-            st.delivery_latency
-                .observe(now.duration_since(msg.submitted_at).as_units());
+            st.delivery_latency.observe(latency);
             st.in_storage_now += 1;
             st.peak_storage = st.peak_storage.max(st.in_storage_now);
         }
+        self.metrics.inc("deposited");
+        self.metrics.observe("delivery_latency", latency);
+        self.metrics.gauge_add(now, "storage", 1.0);
+        self.spans.borrow_mut().record_keyed(
+            now,
+            msg.id.0,
+            SpanStage::Deposited,
+            site(self.node),
+            NO_NODE,
+            0,
+        );
         let user = msg.to.clone();
         let id = msg.id;
         self.mailboxes
@@ -708,6 +857,15 @@ impl ServerActor {
             .deposit(msg, now);
         if let Some(&host) = self.home_hosts.get(&user) {
             self.stats.borrow_mut().notifications += 1;
+            self.metrics.inc("notifications");
+            self.spans.borrow_mut().record_keyed(
+                now,
+                id.0,
+                SpanStage::Notified,
+                site(self.node),
+                site(host),
+                0,
+            );
             self.transport.send(
                 ctx,
                 self.node,
@@ -718,10 +876,22 @@ impl ServerActor {
         }
     }
 
-    fn bounce(&self, id: MessageId, reason: BounceReason) {
+    fn bounce(&mut self, id: MessageId, reason: BounceReason, now: SimTime) {
         let mut st = self.stats.borrow_mut();
         st.bounced += 1;
-        st.ledger_bounced.insert(id, reason);
+        self.metrics.inc("bounced");
+        let first_outcome =
+            !st.ledger_retrieved.contains(&id) && st.ledger_bounced.insert(id, reason).is_none();
+        if first_outcome {
+            self.spans.borrow_mut().record_keyed(
+                now,
+                id.0,
+                SpanStage::Bounced,
+                site(self.node),
+                NO_NODE,
+                bounce_code(reason),
+            );
+        }
     }
 
     /// Route a message we have accepted responsibility for.
@@ -733,11 +903,20 @@ impl ServerActor {
     /// at deposit time) holds.
     fn route(&mut self, msg: Message, hops_left: u32, ctx: &mut Ctx<'_, MailMsg>) {
         if hops_left == 0 {
-            self.bounce(msg.id, BounceReason::RegionUnreachable);
+            self.bounce(msg.id, BounceReason::RegionUnreachable, ctx.now());
             return;
         }
+        let resolved = |code: ResolveCode| -> u64 { code.as_detail() };
         match self.resolver.resolve(&msg.to) {
             Resolution::LocalAuthority => {
+                self.spans.borrow_mut().record_keyed(
+                    ctx.now(),
+                    msg.id.0,
+                    SpanStage::Resolved,
+                    site(self.node),
+                    NO_NODE,
+                    resolved(ResolveCode::LocalAuthority),
+                );
                 let candidates: Vec<NodeId> = self
                     .resolver
                     .view()
@@ -746,17 +925,43 @@ impl ServerActor {
                 self.forward_next(msg, candidates, hops_left - 1, ctx);
             }
             Resolution::RegionalAuthority(list) => {
+                self.spans.borrow_mut().record_keyed(
+                    ctx.now(),
+                    msg.id.0,
+                    SpanStage::Resolved,
+                    site(self.node),
+                    NO_NODE,
+                    resolved(ResolveCode::RegionalAuthority),
+                );
                 let candidates: Vec<NodeId> = list.servers().to_vec();
                 self.forward_next(msg, candidates, hops_left - 1, ctx);
             }
             Resolution::ForwardToRegion { servers, .. } => {
+                self.spans.borrow_mut().record_keyed(
+                    ctx.now(),
+                    msg.id.0,
+                    SpanStage::Resolved,
+                    site(self.node),
+                    NO_NODE,
+                    resolved(ResolveCode::ForwardToRegion),
+                );
                 // "the message is transmitted to one of the servers in the
                 // recipient region": try them nearest-first.
                 let mut candidates = servers;
                 candidates.sort_by_key(|&s| self.transport.delay(self.node, s));
                 self.forward_next(msg, candidates, hops_left - 1, ctx);
             }
-            Resolution::UnknownRegion => self.bounce(msg.id, BounceReason::RegionUnreachable),
+            Resolution::UnknownRegion => {
+                self.spans.borrow_mut().record_keyed(
+                    ctx.now(),
+                    msg.id.0,
+                    SpanStage::Resolved,
+                    site(self.node),
+                    NO_NODE,
+                    resolved(ResolveCode::Failed),
+                );
+                self.bounce(msg.id, BounceReason::RegionUnreachable, ctx.now());
+            }
             Resolution::UnknownUser => {
                 // §3.1.4: "mail addressed to a migrated user can be
                 // redirected to the new user address, and the senders are
@@ -772,7 +977,17 @@ impl ServerActor {
                         rewritten.to = new_name;
                         self.route(rewritten, hops_left - 1, ctx);
                     }
-                    None => self.bounce(msg.id, BounceReason::UnknownRecipient),
+                    None => {
+                        self.spans.borrow_mut().record_keyed(
+                            ctx.now(),
+                            msg.id.0,
+                            SpanStage::Resolved,
+                            site(self.node),
+                            NO_NODE,
+                            resolved(ResolveCode::Failed),
+                        );
+                        self.bounce(msg.id, BounceReason::UnknownRecipient, ctx.now());
+                    }
                 }
             }
         }
@@ -786,7 +1001,7 @@ impl ServerActor {
         ctx: &mut Ctx<'_, MailMsg>,
     ) {
         if remaining.is_empty() {
-            self.bounce(msg.id, BounceReason::AllServersDown);
+            self.bounce(msg.id, BounceReason::AllServersDown, ctx.now());
             return;
         }
         let target = remaining.remove(0);
@@ -816,6 +1031,32 @@ impl ServerActor {
             if attempt > 0 {
                 st.retransmits += 1;
             }
+        }
+        self.metrics.inc("forward_probes");
+        if attempt > 0 {
+            self.metrics.inc("retransmits");
+        }
+        {
+            let mut spans = self.spans.borrow_mut();
+            if attempt == 0 {
+                // One Forwarded per hop-target choice; Probe per attempt.
+                spans.record_keyed(
+                    ctx.now(),
+                    msg.id.0,
+                    SpanStage::Forwarded,
+                    site(self.node),
+                    site(target),
+                    0,
+                );
+            }
+            spans.record_keyed(
+                ctx.now(),
+                msg.id.0,
+                SpanStage::Probe,
+                site(self.node),
+                site(target),
+                u64::from(attempt),
+            );
         }
         let rtt = self.transport.delay(self.node, target) * 2;
         let base = rtt + SimDuration::from_units(self.proc_time + TIMEOUT_SLACK);
@@ -858,6 +1099,7 @@ impl Actor for ServerActor {
         match msg {
             MailMsg::Submit { msg, reply_to } => {
                 // Accept responsibility immediately (store-and-forward).
+                self.metrics.inc("submits_received");
                 self.transport.send(
                     ctx,
                     self.node,
@@ -884,9 +1126,18 @@ impl Actor for ServerActor {
             MailMsg::ForwardAck { id } => {
                 if let Some(task) = self.forwards.remove(&id) {
                     ctx.cancel_timer(task.timer);
+                    self.spans.borrow_mut().record_keyed(
+                        ctx.now(),
+                        id.0,
+                        SpanStage::Accepted,
+                        site(self.node),
+                        site(task.current),
+                        0,
+                    );
                 }
             }
             MailMsg::Retrieve { user, reply_to } => {
+                self.metrics.inc("retrieve_requests");
                 let fresh: Vec<Message> = self
                     .mailboxes
                     .get_mut(&user)
@@ -906,6 +1157,8 @@ impl Actor for ServerActor {
                     // wire, so is the mail.
                     let mut st = self.stats.borrow_mut();
                     st.in_storage_now = st.in_storage_now.saturating_sub(fresh.len() as u64);
+                    self.metrics
+                        .gauge_add(ctx.now(), "storage", -(fresh.len() as f64));
                     fresh
                 };
                 self.transport.send(
@@ -932,6 +1185,8 @@ impl Actor for ServerActor {
                     if released > 0 {
                         let mut st = self.stats.borrow_mut();
                         st.in_storage_now = st.in_storage_now.saturating_sub(released);
+                        self.metrics
+                            .gauge_add(ctx.now(), "storage", -(released as f64));
                     }
                 }
             }
@@ -1051,6 +1306,9 @@ pub struct Deployment {
     pub problem: AssignmentProblem,
     /// The §3.1.4 redirect table shared with every server actor.
     pub redirects: Rc<RefCell<crate::migrate::RedirectTable>>,
+    /// The lifecycle-span log shared with every actor (disabled until
+    /// [`Deployment::enable_spans`]).
+    pub spans: Rc<RefCell<SpanLog>>,
 }
 
 impl Deployment {
@@ -1079,6 +1337,7 @@ impl Deployment {
         let mut transport = Transport::new(topology.graph());
         let mut sim: ActorSim<MailMsg> = ActorSim::new(cfg.seed);
         let stats: SharedStats = Rc::new(RefCell::new(DeliveryStats::default()));
+        let spans: SharedSpans = Rc::new(RefCell::new(SpanLog::disabled()));
         let id_gen = Rc::new(RefCell::new(MessageIdGen::new()));
         let redirects = Rc::new(RefCell::new(crate::migrate::RedirectTable::new()));
         // One shared stand-in transport until the fully-bound one exists.
@@ -1178,6 +1437,8 @@ impl Deployment {
                 retry: cfg.session.retry,
                 reliable_retrieval: cfg.session.reliable_retrieval,
                 pending_drain: BTreeMap::new(),
+                spans: Rc::clone(&spans),
+                metrics: MetricsRegistry::new(),
             };
             let id = sim.add_actor(actor);
             transport.bind(s, id);
@@ -1217,6 +1478,8 @@ impl Deployment {
                 alerts: BTreeMap::new(),
                 server_proc: cfg.server_spec.proc_time,
                 retry: cfg.session.retry,
+                spans: Rc::clone(&spans),
+                metrics: MetricsRegistry::new(),
             };
             let id = sim.add_actor(actor);
             transport.bind(h, id);
@@ -1257,7 +1520,46 @@ impl Deployment {
             assignment,
             problem,
             redirects,
+            spans,
         }
+    }
+
+    /// Turns on lifecycle-span recording (unbounded). Call before
+    /// injecting workload; spans recorded from then on are shared with
+    /// every actor through [`Deployment::spans`]. Recording is pure
+    /// bookkeeping — no RNG draws, no scheduled events — so enabling it
+    /// cannot change the simulation's behaviour.
+    pub fn enable_spans(&mut self) {
+        *self.spans.borrow_mut() = SpanLog::unbounded();
+    }
+
+    /// Per-actor metrics registries, keyed `server:n<node>` / `host:n<node>`
+    /// in deterministic (BTreeMap node) order.
+    pub fn metrics_snapshot(&self) -> Vec<(String, MetricsRegistry)> {
+        let mut out = Vec::new();
+        for (&node, &aid) in &self.server_actors {
+            if let Some(s) = self.sim.actor::<ServerActor>(aid) {
+                out.push((format!("server:n{}", node.0), s.metrics.clone()));
+            }
+        }
+        for (&node, &aid) in &self.host_actors {
+            if let Some(h) = self.sim.actor::<HostActor>(aid) {
+                out.push((format!("host:n{}", node.0), h.metrics.clone()));
+            }
+        }
+        out
+    }
+
+    /// Every per-actor registry folded into one fleet-wide aggregate:
+    /// counters add and histograms merge bucket-wise; per-server gauges
+    /// stay in [`Deployment::metrics_snapshot`] (a time-average has no
+    /// meaning summed across servers).
+    pub fn merged_metrics(&self) -> MetricsRegistry {
+        let mut merged = MetricsRegistry::new();
+        for (_, registry) in self.metrics_snapshot() {
+            merged.merge(&registry);
+        }
+        merged
     }
 
     /// Performs the §3.1.4 migration *live*: renames the user in the
@@ -2080,5 +2382,139 @@ mod tests {
             )
         }
         assert_eq!(run(), run());
+    }
+
+    /// One clean send + check produces a conserved span pair: the message
+    /// span terminates in Retrieved, the check span in CheckDone, and the
+    /// per-actor metrics agree with the global stats ledger.
+    #[test]
+    fn spans_conserve_on_clean_cycle() {
+        let mut d = small_deployment(31);
+        d.enable_spans();
+        let names = d.user_names();
+        let (alice, bob) = (names[0].clone(), names[5].clone());
+        d.send_at(t(1.0), &alice, &bob);
+        d.check_at(t(50.0), &bob);
+        assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
+
+        let spans = d.spans.borrow();
+        let report = lems_sim::span::audit_spans(&spans, true);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert_eq!(report.opened, 2, "one message span + one check span");
+        assert_eq!(report.retrieved, 1);
+        assert_eq!(report.checks_done, 1);
+        assert_eq!(report.bounced, 0);
+        assert_eq!(report.retransmits, 0);
+
+        let merged = d.merged_metrics();
+        let st = d.stats.borrow();
+        assert_eq!(merged.counter("submitted"), st.submitted);
+        assert_eq!(merged.counter("deposited"), st.deposited);
+        assert_eq!(merged.counter("retrieved"), st.retrieved);
+        assert_eq!(merged.counter("retransmits"), st.retransmits);
+        let lat = merged.histogram("delivery_latency").unwrap();
+        assert_eq!(lat.count(), 1);
+        assert!((lat.mean() - st.delivery_latency.mean()).abs() < 1e-9);
+    }
+
+    /// Session-layer retry accounting under a deterministic link-fault
+    /// plan: a dead host->primary link forces exactly
+    /// `max_attempts - 1` retransmissions before the submit fails over,
+    /// and the span log's retry annotations match the stats ledger
+    /// event-for-event.
+    #[test]
+    fn span_retries_match_link_fault_schedule() {
+        let mut d = small_deployment(32);
+        d.enable_spans();
+        let names = d.user_names();
+        let (alice, bob) = (names[0].clone(), names[1].clone());
+        let primary = d.directory.by_name(&alice).unwrap().authorities.primary();
+        let host_node = *d.users.get(&alice).unwrap();
+        let host = d.host_actor(host_node).unwrap();
+        let server = d.server_actor(primary).unwrap();
+
+        // Every Submit to alice's primary vanishes until t=100; the
+        // session layer must burn its whole per-server retry budget
+        // before failing over to the secondary.
+        let mut plan = LinkFaultPlan::new().with_stochastic_horizon(t(100.0));
+        plan.set_link_profile(
+            host,
+            server,
+            LinkProfile::new(1.0, 0.0, SimDuration::ZERO).unwrap(),
+        );
+        d.sim.set_link_faults(plan);
+
+        d.send_at(t(1.0), &alice, &bob);
+        d.check_at(t(200.0), &bob); // after the horizon: clean retrieval
+        assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
+
+        let budget = RetryPolicy::default_session().max_attempts;
+        let st = d.stats.borrow();
+        assert_eq!(st.retrieved, 1);
+        assert_eq!(
+            st.retransmits,
+            u64::from(budget - 1),
+            "retry budget spent on the dead primary, none elsewhere"
+        );
+
+        let spans = d.spans.borrow();
+        let report = lems_sim::span::audit_spans(&spans, true);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert_eq!(
+            report.retransmits, st.retransmits,
+            "span retry annotations must match the stats ledger"
+        );
+        // The drop schedule is visible probe-by-probe: attempts 0..budget
+        // to the dead primary, then a first-try probe to the secondary.
+        let probes: Vec<(u64, u64)> = spans
+            .events()
+            .iter()
+            .filter(|e| e.stage == SpanStage::Probe && e.span == SpanId(0))
+            .map(|e| (e.peer, e.detail))
+            .collect();
+        let expected_primary = site(primary);
+        assert!(probes.len() as u32 > budget);
+        for (k, &(peer, attempt)) in probes.iter().take(budget as usize).enumerate() {
+            assert_eq!(peer, expected_primary);
+            assert_eq!(attempt, k as u64);
+        }
+        // The failover submit picks a different server, and after it every
+        // hop (secondary submit, server-to-server forward) goes through on
+        // its first try — only the host-to-primary link is faulted.
+        assert_ne!(probes[budget as usize].0, expected_primary);
+        for &(_, attempt) in &probes[budget as usize..] {
+            assert_eq!(attempt, 0);
+        }
+    }
+
+    /// Enabling spans must not change what the simulation does — same
+    /// seed, same outcome, span recording or not.
+    #[test]
+    fn span_recording_does_not_perturb_the_run() {
+        fn run(enable: bool) -> (u64, u64, u64, SimTime) {
+            let mut d = small_deployment(33);
+            if enable {
+                d.enable_spans();
+            }
+            let chaos = LinkChaos::new(
+                LinkProfile::new(0.08, 0.02, SimDuration::from_units(0.5)).unwrap(),
+                t(120.0),
+            );
+            d.apply_link_chaos(&chaos).unwrap();
+            let names = d.user_names();
+            for i in 0..4 {
+                d.send_at(t(1.0 + i as f64), &names[i], &names[i + 6]);
+                d.check_at(t(150.0 + i as f64), &names[i + 6]);
+            }
+            assert!(d.sim.run_to_quiescence_bounded(EVENT_BUDGET));
+            let st = d.stats.borrow();
+            (
+                st.retrieved,
+                st.retransmits,
+                d.sim.counters().dropped_link.get(),
+                d.sim.now(),
+            )
+        }
+        assert_eq!(run(false), run(true));
     }
 }

@@ -1,0 +1,72 @@
+//! Deterministic telemetry export, end to end: a seeded scenario exports
+//! byte-identical JSONL on every run, the `lems-obs` inspector's audit of
+//! the dump agrees with the in-process span audit, and the committed
+//! golden dump (`GOLDEN_spans.jsonl`) stays parseable under the current
+//! schema *and* regenerable bit-for-bit — so the exporter, the inspector,
+//! and the simulator can never silently drift apart.
+
+use lems_check::scenarios;
+use lems_obs::export::{export_jsonl, RunTelemetry};
+use lems_obs::inspect::Dump;
+
+fn export(o: &scenarios::ScenarioOutcome) -> String {
+    export_jsonl(&RunTelemetry {
+        run: o.name,
+        seed: o.seed,
+        finished_at: o.finished_at,
+        spans: &o.spans,
+        scopes: &o.scopes,
+    })
+    .expect("scenario telemetry must export")
+}
+
+/// The acceptance criterion: same seed ⇒ byte-identical bytes, and the
+/// dump parses and audits clean on its own (no access to the run).
+#[test]
+fn seeded_export_is_byte_identical_across_runs() {
+    let a = export(&scenarios::chaos_lossy(3));
+    let b = export(&scenarios::chaos_lossy(3));
+    assert_eq!(a, b, "same seed must export byte-identical JSONL");
+
+    let dump = Dump::parse(&a).expect("dump parses");
+    assert_eq!(dump.run, "chaos-lossy");
+    assert_eq!(dump.seed, 3);
+    assert!(!dump.spans.is_empty() && !dump.counters.is_empty());
+    let report = dump.audit(true);
+    assert!(report.is_clean(), "{:?}", report.violations);
+}
+
+/// The exported evidence supports the same verdict as the live run: the
+/// inspector-side span audit reproduces the in-process report exactly.
+#[test]
+fn exported_audit_matches_in_process_audit() {
+    let o = scenarios::chaos_partition(7);
+    assert!(o.is_clean(), "{:?}", o.violation_lines());
+    let dump = Dump::parse(&export(&o)).expect("dump parses");
+    let report = dump.audit(true);
+    assert!(report.is_clean(), "{:?}", report.violations);
+    assert_eq!(report.opened, o.span_report.opened);
+    assert_eq!(report.retrieved, o.span_report.retrieved);
+    assert_eq!(report.bounced, o.span_report.bounced);
+    assert_eq!(report.checks_done, o.span_report.checks_done);
+    assert_eq!(report.retransmits, o.span_report.retransmits);
+}
+
+/// Golden-schema gate (mirrors `bench_schema.rs`): the committed dump
+/// must parse under the current schema version, audit clean, and be
+/// exactly what the current code regenerates for the same seed.
+#[test]
+fn committed_golden_dump_is_current_and_regenerable() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/GOLDEN_spans.jsonl");
+    let committed = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let dump = Dump::parse(&committed).expect("golden dump must parse with the current schema");
+    assert_eq!(dump.run, "steady");
+    assert!(dump.audit(true).is_clean());
+
+    let fresh = export(&scenarios::steady_exchange(3));
+    assert_eq!(
+        fresh, committed,
+        "schema or telemetry drift: regenerate with \
+         `cargo run -p lems-check -- audit steady --trace-out GOLDEN_spans.jsonl`"
+    );
+}
