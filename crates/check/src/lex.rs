@@ -1,0 +1,550 @@
+//! A hand-rolled Rust lexer producing a line-annotated token stream.
+//!
+//! This is the first layer of the lint engine: instead of blanking
+//! comments and strings out of the raw text and needle-matching what
+//! remains (the v1 scanner), every rule now runs over real tokens with
+//! source positions. The lexer handles the parts of Rust's lexical
+//! grammar that matter for never mis-classifying code as text (or the
+//! reverse):
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`), kept as [`TokKind::Comment`] tokens so the item
+//!   parser can attach doc text to items;
+//! * string literals with escapes, raw strings `r"…"` / `r#"…"#` with
+//!   any number of hashes, byte strings `b"…"` and raw byte strings
+//!   `br#"…"#`;
+//! * char literals vs lifetimes (`'a'` is a literal, `'a` is a
+//!   lifetime, `b'x'` is a byte literal, `'\''` is an escaped quote);
+//! * raw identifiers (`r#match`), lexed as [`TokKind::RawIdent`] so a
+//!   `r#fn` never looks like the `fn` keyword;
+//! * numbers, including float/method-call disambiguation (`x.0.cmp`
+//!   lexes `0` as an integer because `.cmp` follows, while `1.5` stays
+//!   one float token).
+//!
+//! The lexer never fails: anything unrecognised becomes a one-character
+//! [`TokKind::Punct`] token. That makes it safe to run over fixture
+//! snippets that would not compile — exactly what the negative-case
+//! lint tests feed it.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`foo`, `fn`, `match`).
+    Ident,
+    /// A raw identifier (`r#match`); [`Tok::text`] keeps the `r#` prefix.
+    RawIdent,
+    /// A lifetime or loop label (`'a`, `'static`) — no closing quote.
+    Lifetime,
+    /// A char or byte-char literal (`'x'`, `b'\n'`).
+    CharLit,
+    /// Any string literal: plain, raw, byte, or raw-byte.
+    StrLit,
+    /// A numeric literal (integer or float, any base, with suffix).
+    NumLit,
+    /// A single punctuation character (`.`, `:`, `{`, …). Multi-char
+    /// operators arrive as consecutive tokens (`::` is two `:`).
+    Punct,
+    /// A comment, line or block; [`Tok::text`] keeps the full text so
+    /// doc comments (`///`, `//!`, `/**`, `/*!`) stay inspectable.
+    Comment,
+}
+
+/// One lexeme with its 1-based start line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// The lexeme class.
+    pub kind: TokKind,
+    /// The lexeme text, exactly as written (including quotes/prefixes).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for an identifier token with exactly this text. Raw
+    /// identifiers never match: `r#fn` is not the `fn` keyword.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True for a punctuation token with this character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True when this token is a doc comment (outer `///`/`/**` or
+    /// inner `//!`/`/*!`).
+    pub fn is_doc_comment(&self) -> bool {
+        self.kind == TokKind::Comment
+            && (self.text.starts_with("///")
+                || self.text.starts_with("//!")
+                || self.text.starts_with("/**")
+                || self.text.starts_with("/*!"))
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into a token stream (whitespace dropped, comments kept).
+///
+/// Never fails; see the module docs for the recovery policy.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        b: src.chars().collect(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    b: Vec<char>,
+    i: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self, k: usize) -> Option<char> {
+        self.b.get(self.i + k).copied()
+    }
+
+    /// Advances one char, counting newlines.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.i += 1;
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line, String::new()),
+                'r' | 'b' => match self.string_prefix() {
+                    // r"…", r#"…"#, b"…", br"…", b'…', r#ident
+                    Some(Prefix::RawStr(hashes)) => self.raw_string(line, hashes),
+                    Some(Prefix::ByteStr) => {
+                        self.bump(); // `b`
+                        self.string(line, String::from("b"));
+                    }
+                    Some(Prefix::ByteChar) => {
+                        self.bump(); // `b`
+                        self.char_literal(line, true);
+                    }
+                    Some(Prefix::RawIdent) => self.raw_ident(line),
+                    None => self.ident(line),
+                },
+                c if is_ident_start(c) => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                '\'' => self.quote(line),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Comment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0u32;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::Comment, text, line);
+    }
+
+    /// A plain (possibly byte-) string starting at the opening quote;
+    /// `text` carries any already-consumed prefix (`b`).
+    fn string(&mut self, line: u32, mut text: String) {
+        text.push('"');
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '\\' {
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+            } else if c == '"' {
+                break;
+            }
+        }
+        self.push(TokKind::StrLit, text, line);
+    }
+
+    /// What an `r`/`b` at the cursor actually starts, if not a plain
+    /// identifier.
+    fn string_prefix(&self) -> Option<Prefix> {
+        match self.peek(0) {
+            Some('r') => {
+                // r"…" or r#…: count hashes, then decide string vs ident.
+                let mut hashes = 0;
+                while self.peek(1 + hashes) == Some('#') {
+                    hashes += 1;
+                }
+                match self.peek(1 + hashes) {
+                    Some('"') => Some(Prefix::RawStr(hashes)),
+                    Some(c) if hashes == 1 && is_ident_start(c) => Some(Prefix::RawIdent),
+                    _ => None,
+                }
+            }
+            Some('b') => match self.peek(1) {
+                Some('"') => Some(Prefix::ByteStr),
+                Some('\'') => Some(Prefix::ByteChar),
+                Some('r') => {
+                    let mut hashes = 0;
+                    while self.peek(2 + hashes) == Some('#') {
+                        hashes += 1;
+                    }
+                    match self.peek(2 + hashes) {
+                        // br"…" / br#"…"# — consume the `b` here, the
+                        // raw-string path handles the rest.
+                        Some('"') => Some(Prefix::RawStr(hashes)),
+                        _ => None,
+                    }
+                }
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Raw (byte) string: cursor on `r` or `b`; consumes through the
+    /// closing quote + hashes.
+    fn raw_string(&mut self, line: u32, hashes: usize) {
+        let mut text = String::new();
+        // Prefix chars up to and including the opening quote.
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '"' {
+                break;
+            }
+        }
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '"' && (0..hashes).all(|k| self.peek(k) == Some('#')) {
+                for _ in 0..hashes {
+                    text.push('#');
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokKind::StrLit, text, line);
+    }
+
+    fn raw_ident(&mut self, line: u32) {
+        let mut text = String::new();
+        text.push(self.bump().unwrap_or('r')); // r
+        text.push(self.bump().unwrap_or('#')); // #
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::RawIdent, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                // Digits, hex digits, suffixes (`u64`), exponents.
+                let at_exponent = (c == 'e' || c == 'E') && !text.starts_with("0x");
+                text.push(c);
+                self.bump();
+                if at_exponent && matches!(self.peek(0), Some('+' | '-')) {
+                    if let Some(sign) = self.bump() {
+                        text.push(sign);
+                    }
+                }
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` is one float; `x.0.cmp()` keeps `.cmp` a method
+                // call because `c` after the dot is not a digit.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::NumLit, text, line);
+    }
+
+    /// A `'`: char literal or lifetime.
+    fn quote(&mut self, line: u32) {
+        if self.peek(1) == Some('\\') || (self.peek(2) == Some('\'') && self.peek(1) != Some('\''))
+        {
+            self.char_literal(line, false);
+        } else {
+            // Lifetime / label: consume the quote plus the identifier.
+            let mut text = String::from("'");
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                self.bump();
+            }
+            self.push(TokKind::Lifetime, text, line);
+        }
+    }
+
+    /// Char literal with the cursor on the opening `'`.
+    fn char_literal(&mut self, line: u32, byte: bool) {
+        let mut text = if byte {
+            String::from("b'")
+        } else {
+            String::from("'")
+        };
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '\\' {
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+            } else if c == '\'' {
+                break;
+            }
+        }
+        self.push(TokKind::CharLit, text, line);
+    }
+}
+
+enum Prefix {
+    RawStr(usize),
+    ByteStr,
+    ByteChar,
+    RawIdent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn code_texts(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokKind::Comment)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let toks = lex("fn foo() {\n    bar.baz();\n}\n");
+        let foo = toks.iter().find(|t| t.is_ident("foo")).unwrap();
+        assert_eq!(foo.line, 1);
+        let baz = toks.iter().find(|t| t.is_ident("baz")).unwrap();
+        assert_eq!(baz.line, 2);
+        assert!(toks.iter().any(|t| t.is_punct('{')));
+        assert!(toks.iter().any(|t| t.is_punct('.')));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let texts = code_texts("let s = \".unwrap() panic!\";");
+        assert!(texts.iter().any(|t| t == "\".unwrap() panic!\""));
+        assert!(!texts.iter().any(|t| t == "unwrap" || t == "panic"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let toks = lex(r#"let s = "a\"b\\"; x.unwrap();"#);
+        assert!(toks.iter().any(|t| t.is_ident("unwrap")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::StrLit).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let a = r\"x\"; let b = r#\"contains \"quotes\" and panic!\"#; c.unwrap();";
+        let toks = lex(src);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::StrLit).count(), 2);
+        assert!(toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!toks.iter().any(|t| t.is_ident("panic")));
+    }
+
+    #[test]
+    fn byte_strings_and_raw_byte_strings() {
+        let toks = lex("let a = b\"bytes\"; let b = br#\"raw panic!\"#;");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::StrLit).count(), 2);
+        assert!(!toks.iter().any(|t| t.is_ident("panic")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner .unwrap() */ still comment */ real()");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Comment).count(),
+            1
+        );
+        assert!(toks.iter().any(|t| t.is_ident("real")));
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn doc_comments_are_flagged() {
+        let toks = lex("/// outer doc\n//! inner doc\n// plain\n/** block doc */\nfn f() {}\n");
+        let docs: Vec<bool> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Comment)
+            .map(Tok::is_doc_comment)
+            .collect();
+        assert_eq!(docs, vec![true, true, false, true]);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; let u = '\\u{41}'; }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::CharLit).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn byte_char_literals() {
+        let toks = lex("let c = b'x'; let e = b'\\''; y.unwrap();");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::CharLit).count(),
+            2
+        );
+        assert!(toks.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn static_lifetime_and_labels() {
+        let toks = lex("fn f() -> &'static str { 'outer: loop { break 'outer; } }");
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        assert_eq!(lifetimes, 3);
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_keywords() {
+        let toks = lex("let r#fn = 3; fn real() {}");
+        assert_eq!(
+            toks.iter().filter(|t| t.is_ident("fn")).count(),
+            1,
+            "only the real `fn` keyword is an Ident"
+        );
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::RawIdent && t.text == "r#fn"));
+    }
+
+    #[test]
+    fn numbers_and_tuple_field_access() {
+        let ks = kinds("let x = 1.5 + 0x1f; a.0.partial_cmp(&b.0);");
+        assert!(ks.contains(&(TokKind::NumLit, "1.5".into())));
+        assert!(ks.contains(&(TokKind::NumLit, "0x1f".into())));
+        // `a.0.partial_cmp` keeps the method name a separate ident.
+        assert!(ks.contains(&(TokKind::Ident, "partial_cmp".into())));
+        assert!(ks.contains(&(TokKind::NumLit, "0".into())));
+    }
+
+    #[test]
+    fn exponent_floats() {
+        let ks = kinds("let x = 1e-5; let y = 2.5E+10; let z = 7e3;");
+        assert!(ks.contains(&(TokKind::NumLit, "1e-5".into())));
+        assert!(ks.contains(&(TokKind::NumLit, "2.5E+10".into())));
+        assert!(ks.contains(&(TokKind::NumLit, "7e3".into())));
+    }
+
+    #[test]
+    fn tokens_split_across_lines_keep_positions() {
+        // The v1 scanner matched needles per line and missed calls split
+        // by rustfmt; the token stream sees them regardless of layout.
+        let toks = lex("x\n    .unwrap\n    ();\n");
+        let unwrap = toks.iter().find(|t| t.is_ident("unwrap")).unwrap();
+        assert_eq!(unwrap.line, 2);
+    }
+
+    #[test]
+    fn lone_r_and_b_are_plain_idents() {
+        let toks = lex("let r = 1; let b = r + 2; br();");
+        assert!(toks.iter().any(|t| t.is_ident("r")));
+        assert!(toks.iter().any(|t| t.is_ident("b")));
+        assert!(toks.iter().any(|t| t.is_ident("br")));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_hang() {
+        for src in ["\"unterminated", "r#\"raw", "/* open", "'", "b'"] {
+            let _ = lex(src); // must terminate without panicking
+        }
+    }
+}

@@ -2,11 +2,18 @@
 //!
 //! Two analysis layers over the deterministic mail simulator:
 //!
-//! * [`lint`] — a dependency-light static pass over `crates/*/src` that
-//!   enforces the workspace's determinism and robustness rules: no
-//!   `unwrap`/`expect`/`panic!` in non-test library code (with a vetted
+//! * [`lint`] — a dependency-free static analysis engine over
+//!   `crates/*/src`: a hand-rolled Rust lexer ([`lex`]) and item parser
+//!   ([`items`]) feed scope-aware rules that enforce the workspace's
+//!   determinism and robustness invariants — no `unwrap`/`expect`/
+//!   `panic!` in non-test library code (with a vetted, versioned
 //!   allowlist), no wall-clock or ambient randomness inside sim-driven
-//!   crates, and no hash-ordered collections in actor decision paths.
+//!   crates, no hash-ordered collections in actor decision paths — plus
+//!   two semantic lints: `rng-fork-discipline` (a taint pass proving
+//!   every RNG draw descends from the seeded fork tree) and
+//!   `event-match-exhaustive` (protocol-enum variants vs actor `match`
+//!   arms). Reports render as text, schema-versioned JSON ([`report`]),
+//!   or GitHub error annotations.
 //! * [`audit`] — a [`TraceAuditor`](audit::TraceAuditor) that consumes
 //!   [`lems_sim::trace`] event streams and asserts the engine's
 //!   conservation laws (every send terminates in exactly one deliver or
@@ -35,5 +42,8 @@
 
 pub mod audit;
 pub mod explore;
+pub mod items;
+pub mod lex;
 pub mod lint;
+pub mod report;
 pub mod scenarios;

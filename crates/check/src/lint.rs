@@ -1,55 +1,77 @@
-//! Static lint pass over the workspace sources.
+//! Scope-aware static lint pass over the workspace sources (engine v2).
 //!
-//! The scanner is deliberately dependency-light: it tokenises each file
-//! just enough to blank out comments, strings, and char literals (so doc
-//! examples and log text never trip a rule), tracks `#[cfg(test)]` blocks
-//! (test code may unwrap freely), and then matches per-rule needles
-//! against what remains.
+//! The engine has two layers, both dependency-free (the build is
+//! offline): [`crate::lex`] turns each file into a token stream with
+//! line spans — raw strings, nested block comments, char-vs-lifetime,
+//! `r#` idents all handled — and [`crate::items`] recovers the item
+//! shape on top of it: module/fn/impl nesting, `#[cfg(test)]`
+//! inheritance, `# Panics` doc contracts, enum definitions, `type Msg`
+//! protocol declarations, and `match` arms. Rules then run over tokens
+//! and scopes instead of needle-matching blanked text, which kills the
+//! v1 false-negative classes (needles split across lines, test masks
+//! lost across nested `mod` blocks) and false positives (needles inside
+//! identifiers or literals).
 //!
 //! ## Rules
 //!
-//! * **`no-panic`** — non-test library code must not contain `.unwrap()`,
-//!   `.expect(`, `panic!`, `unreachable!`, `todo!`, or `unimplemented!`.
-//!   A crashed simulation loses a whole experiment; fallible lookups
-//!   return `Result` (see `lems_net::NetError`). `assert!`-family guards
-//!   are allowed: they document invariants rather than handle input.
-//!   Binary entry points (`src/main.rs`, `src/bin/**`) and the
-//!   `lems-bench` experiment-driver crate are exempt: fail-fast on setup
-//!   errors is correct behaviour for a command-line tool.
+//! * **`no-panic`** — non-test library code must not contain
+//!   `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`, or
+//!   `unimplemented!`. A crashed simulation loses a whole experiment;
+//!   fallible lookups return `Result` (see `lems_net::NetError`).
+//!   `assert!`-family guards are allowed: they document invariants
+//!   rather than handle input. Two exemptions: binary entry points
+//!   (`src/main.rs`, `src/bin/**`) and the `lems-bench` driver crate
+//!   may fail fast; and a panic site inside a function whose doc
+//!   comment carries a `# Panics` section is vetted by that documented
+//!   contract (the inverse of `clippy::missing_panics_doc`).
 //! * **`no-wall-clock`** — crates that run *inside* the simulation
 //!   (`sim`, `syntax`, `locindep`, `mst`) must not read `SystemTime`,
-//!   `Instant`, or `thread_rng`: all time comes from `sim::time` and all
-//!   randomness from the seeded `sim::rng`, otherwise replays diverge.
+//!   `Instant`, or `thread_rng`: all time comes from `sim::time` and
+//!   all randomness from the seeded `sim::rng`, or replays diverge.
 //! * **`no-hash-collections`** — actor decision paths (files named
 //!   `actors.rs`) must use ordered collections (`BTreeMap`/`BTreeSet`):
-//!   hash-order iteration is nondeterministic across runs and platforms.
-//! * **`no-partial-cmp-sort`** — sorting through
-//!   `partial_cmp(..).unwrap()` (or any `.sort*` + `partial_cmp` combo)
-//!   panics on NaN and invites `unwrap_or(Ordering::Equal)` hacks that
-//!   silently destroy total order. Use `f64::total_cmp` or a plain `Ord`
-//!   key instead. Unlike the rules above this one also applies to test
-//!   code: a NaN-panicking comparator is as flaky in a test as anywhere.
-//! * **`no-unbounded-run`** — outside the `sim` crate itself, library
-//!   and test code must drive simulations with
-//!   `run_to_quiescence_bounded(budget)` rather than the unbounded
-//!   `run_to_quiescence()`: a retry loop that never converges (the exact
-//!   bug class the schedule explorer hunts) must fail a bounded run, not
-//!   hang the process. Also applies to test code.
-//! * **`no-ambient-parallelism`** — sim-driven crates must not reach for
-//!   `rayon`, `par_iter`, `thread::spawn`, or `available_parallelism`
-//!   without a vetted allowlist entry: thread fan-out inside simulated
-//!   code is only deterministic when the merge step is explicitly
-//!   order-independent, so every such call site gets audited (the
-//!   `assign` scaled solver's evaluation fan-out is the vetted example).
+//!   hash-order iteration is nondeterministic across runs/platforms.
+//! * **`no-partial-cmp-sort`** — a `.sort*(…)` call whose comparator
+//!   mentions `partial_cmp` panics on NaN or invites
+//!   `unwrap_or(Ordering::Equal)` hacks that destroy total order; use
+//!   `f64::total_cmp` or an `Ord` key. Applies to test code too, and —
+//!   new in v2 — across line breaks inside the call.
+//! * **`no-unbounded-run`** — outside the `sim` crate, drive
+//!   simulations with `run_to_quiescence_bounded(budget)`, never the
+//!   unbounded `run_to_quiescence()`. Applies to test code too.
+//! * **`no-ambient-parallelism`** — sim-driven crates must not reach
+//!   for `rayon`, `par_iter`, `thread::spawn`, or
+//!   `available_parallelism` without a vetted allowlist entry.
+//! * **`rng-fork-discipline`** — (semantic, v2) every RNG in a
+//!   sim-driven crate must descend from the deployment's seeded fork
+//!   tree. A taint pass over the per-crate item graph flags bare
+//!   `SimRng::seed(…)` roots in non-test code that are not immediately
+//!   `.fork(label)`-chained, and — by iterating fn summaries (does this
+//!   fn return a bare root?) to fixpoint — call sites of helpers that
+//!   launder such roots through a return value. `sim/src/rng.rs` itself
+//!   is the trusted module and exempt.
+//! * **`event-match-exhaustive`** — (semantic, v2) for every protocol
+//!   enum named by a non-test `type Msg = E;` actor impl, the handler
+//!   file's non-test `match`es over `E` must name every variant: a
+//!   catch-all arm silently swallowing unnamed variants is exactly how
+//!   a new event kind gets dropped on the floor. Variants never
+//!   constructed anywhere in the scanned sources are flagged as dead.
+//!   Intentionally ignored variants are spelled `E::A { .. } | … => {}`
+//!   so the ignore list is visible and compiler-checked.
 //!
-//! Vetted exceptions live in `lint-allow.txt` at the workspace root; see
-//! [`Allowlist`] for the format. Exceptions that no longer match any
-//! source line are *stale* and fail the pass — the list cannot rot.
+//! Vetted exceptions live in `lint-allow.txt` at the workspace root;
+//! see [`Allowlist`] for the `rule@version` entry format. Entries that
+//! no longer match any source line — or that pin an outdated rule
+//! version — are *stale* and fail the pass, so the list cannot rot.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+use crate::items::{ParsedFile, ScopeKind};
+use crate::lex::{Tok, TokKind};
 
 /// Rule identifier: no panicking constructs in non-test library code.
 pub const RULE_NO_PANIC: &str = "no-panic";
@@ -63,19 +85,40 @@ pub const RULE_NO_PARTIAL_CMP_SORT: &str = "no-partial-cmp-sort";
 pub const RULE_NO_UNBOUNDED_RUN: &str = "no-unbounded-run";
 /// Rule identifier: no unaudited thread fan-out in sim-driven crates.
 pub const RULE_NO_AMBIENT_PAR: &str = "no-ambient-parallelism";
+/// Rule identifier: RNG draws must descend from the seeded fork tree.
+pub const RULE_RNG_FORK: &str = "rng-fork-discipline";
+/// Rule identifier: protocol-enum matches must name every variant.
+pub const RULE_EVENT_MATCH: &str = "event-match-exhaustive";
+
+/// Every rule id with its current version. Allowlist entries pin a
+/// version (`rule@version`); when a rule's analysis changes enough that
+/// old waivers need re-vetting, its version bumps here and the stale
+/// entries fail the pass until re-audited.
+pub fn rule_versions() -> &'static [(&'static str, u32)] {
+    &[
+        (RULE_NO_PANIC, 2),
+        (RULE_NO_WALL_CLOCK, 2),
+        (RULE_NO_HASH, 2),
+        (RULE_NO_PARTIAL_CMP_SORT, 2),
+        (RULE_NO_UNBOUNDED_RUN, 2),
+        (RULE_NO_AMBIENT_PAR, 2),
+        (RULE_RNG_FORK, 1),
+        (RULE_EVENT_MATCH, 1),
+    ]
+}
+
+fn version_of(rule: &str) -> u32 {
+    rule_versions()
+        .iter()
+        .find(|&&(r, _)| r == rule)
+        .map_or(0, |&(_, v)| v)
+}
 
 /// Crates whose code runs under the deterministic simulation clock.
 const SIM_DRIVEN_CRATES: &[&str] = &["sim", "syntax", "locindep", "mst"];
 
-/// Needles for the `no-panic` rule.
-const PANICKY: &[&str] = &[
-    ".unwrap()",
-    ".expect(",
-    "panic!",
-    "unreachable!",
-    "todo!",
-    "unimplemented!",
-];
+/// The trusted RNG module: defines the seeded fork tree itself.
+const RNG_MODULE: &str = "crates/sim/src/rng.rs";
 
 /// One finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -83,19 +126,21 @@ pub struct Violation {
     /// Workspace-relative path, forward slashes.
     pub path: String,
     /// 1-based line number.
-    pub line: usize,
+    pub line: u32,
     /// The rule that fired (`RULE_*` constant).
     pub rule: &'static str,
     /// The offending source line, trimmed.
     pub excerpt: String,
+    /// Rule-specific explanation of why this site was flagged.
+    pub note: String,
 }
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
-            self.path, self.line, self.rule, self.excerpt
+            "{}:{}: [{}] {} — {}",
+            self.path, self.line, self.rule, self.excerpt, self.note
         )
     }
 }
@@ -106,12 +151,14 @@ impl fmt::Display for Violation {
 ///
 /// ```text
 /// # comment
-/// <rule> <path-suffix> <substring of the offending line>
+/// <rule>@<version> <path-suffix> <substring of the offending line>
 /// ```
 ///
-/// A violation is waived when the rule matches, the violation's path ends
-/// with `<path-suffix>`, and the raw source line contains the substring.
-/// Entries that never match anything are reported so the list cannot rot.
+/// A violation is waived when all four match: the rule id, the entry's
+/// pinned version equals the rule's *current* version, the violation's
+/// path ends with `<path-suffix>`, and the raw source line contains the
+/// substring. Entries that never waive anything — including entries
+/// pinning an outdated rule version — are *stale* and fail the pass.
 #[derive(Clone, Debug, Default)]
 pub struct Allowlist {
     entries: Vec<AllowEntry>,
@@ -120,6 +167,7 @@ pub struct Allowlist {
 #[derive(Clone, Debug)]
 struct AllowEntry {
     rule: String,
+    version: u32,
     path_suffix: String,
     needle: String,
     used: std::cell::Cell<u32>,
@@ -132,6 +180,11 @@ impl Allowlist {
     }
 
     /// Parses the allowlist format; unparseable lines are errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line when an entry is
+    /// malformed, names an unknown rule, or omits the `@version` pin.
     pub fn parse(text: &str) -> Result<Self, String> {
         let mut entries = Vec::new();
         for (i, raw) in text.lines().enumerate() {
@@ -140,19 +193,35 @@ impl Allowlist {
                 continue;
             }
             let mut parts = line.splitn(3, char::is_whitespace);
-            let (rule, path, needle) = match (parts.next(), parts.next(), parts.next()) {
+            let (rule_field, path, needle) = match (parts.next(), parts.next(), parts.next()) {
                 (Some(r), Some(p), Some(n)) if !n.trim().is_empty() => {
                     (r.to_owned(), p.to_owned(), n.trim().to_owned())
                 }
                 _ => {
                     return Err(format!(
-                        "lint-allow.txt:{}: expected `<rule> <path-suffix> <needle>`",
+                        "lint-allow.txt:{}: expected `<rule>@<version> <path-suffix> <needle>`",
                         i + 1
                     ))
                 }
             };
+            let Some((rule, ver)) = rule_field.split_once('@') else {
+                return Err(format!(
+                    "lint-allow.txt:{}: entry must pin a rule version (`{rule_field}@N`)",
+                    i + 1
+                ));
+            };
+            let Ok(version) = ver.parse::<u32>() else {
+                return Err(format!(
+                    "lint-allow.txt:{}: bad version `{ver}` in `{rule_field}`",
+                    i + 1
+                ));
+            };
+            if !rule_versions().iter().any(|&(r, _)| r == rule) {
+                return Err(format!("lint-allow.txt:{}: unknown rule `{rule}`", i + 1));
+            }
             entries.push(AllowEntry {
-                rule,
+                rule: rule.to_owned(),
+                version,
                 path_suffix: path,
                 needle,
                 used: std::cell::Cell::new(0),
@@ -162,6 +231,10 @@ impl Allowlist {
     }
 
     /// Loads `lint-allow.txt` from `root`; a missing file is an empty list.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on unreadable files or malformed entries.
     pub fn load(root: &Path) -> Result<Self, String> {
         match fs::read_to_string(root.join("lint-allow.txt")) {
             Ok(text) => Self::parse(&text),
@@ -183,6 +256,7 @@ impl Allowlist {
     fn waives(&self, v: &Violation, raw_line: &str) -> bool {
         self.entries.iter().any(|e| {
             e.rule == v.rule
+                && e.version == version_of(v.rule)
                 && v.path.ends_with(&e.path_suffix)
                 && raw_line.contains(&e.needle)
                 && {
@@ -192,12 +266,13 @@ impl Allowlist {
         })
     }
 
-    /// Entries that waived nothing in the last run (stale exceptions).
+    /// Entries that waived nothing in the last run (stale exceptions —
+    /// vetted code gone, or the entry pins an outdated rule version).
     pub fn unused(&self) -> Vec<String> {
         self.entries
             .iter()
             .filter(|e| e.used.get() == 0)
-            .map(|e| format!("{} {} {}", e.rule, e.path_suffix, e.needle))
+            .map(|e| format!("{}@{} {} {}", e.rule, e.version, e.path_suffix, e.needle))
             .collect()
     }
 }
@@ -223,284 +298,491 @@ impl LintReport {
     }
 }
 
-/// Blanks comments, string literals, and char literals while preserving
-/// every newline (so line numbers survive). Lifetimes (`'a`) are kept.
-fn strip_code(src: &str) -> String {
-    #[derive(PartialEq)]
-    enum St {
-        Code,
-        Line,
-        Block(u32),
-        Str,
-        RawStr(usize),
-        Char,
-    }
-    let b: Vec<char> = src.chars().collect();
-    let mut out = String::with_capacity(src.len());
-    let mut st = St::Code;
-    let mut i = 0;
-    while i < b.len() {
-        let c = b[i];
-        let next = |k: usize| b.get(i + k).copied();
-        match st {
-            St::Code => {
-                if c == '/' && next(1) == Some('/') {
-                    st = St::Line;
-                    out.push(' ');
-                } else if c == '/' && next(1) == Some('*') {
-                    st = St::Block(1);
-                    out.push(' ');
-                } else if c == '"' {
-                    st = St::Str;
-                    out.push(' ');
-                } else if c == 'r' && (next(1) == Some('"') || next(1) == Some('#')) {
-                    // Possible raw string r"..." / r#"..."#.
-                    let mut hashes = 0;
-                    while next(1 + hashes) == Some('#') {
-                        hashes += 1;
-                    }
-                    if next(1 + hashes) == Some('"') {
-                        st = St::RawStr(hashes);
-                        for _ in 0..=hashes {
-                            out.push(' ');
-                            i += 1;
-                        }
-                        out.push(' ');
-                    } else {
-                        out.push(c);
-                    }
-                } else if c == '\'' {
-                    // Char literal vs lifetime: a literal is 'x' or '\x…'.
-                    if next(1) == Some('\\') || (next(2) == Some('\'') && next(1) != Some('\'')) {
-                        st = St::Char;
-                        out.push(' ');
-                    } else {
-                        out.push(c);
-                    }
-                } else {
-                    out.push(c);
-                }
-            }
-            St::Line => {
-                if c == '\n' {
-                    st = St::Code;
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
-            }
-            St::Block(d) => {
-                if c == '\n' {
-                    out.push('\n');
-                } else if c == '/' && next(1) == Some('*') {
-                    st = St::Block(d + 1);
-                    out.push(' ');
-                    out.push(' ');
-                    i += 1;
-                } else if c == '*' && next(1) == Some('/') {
-                    st = if d == 1 { St::Code } else { St::Block(d - 1) };
-                    out.push(' ');
-                    out.push(' ');
-                    i += 1;
-                } else {
-                    out.push(' ');
-                }
-            }
-            St::Str => {
-                if c == '\\' {
-                    out.push(' ');
-                    if next(1).is_some() {
-                        out.push(if next(1) == Some('\n') { '\n' } else { ' ' });
-                        i += 1;
-                    }
-                } else if c == '"' {
-                    st = St::Code;
-                    out.push(' ');
-                } else {
-                    out.push(if c == '\n' { '\n' } else { ' ' });
-                }
-            }
-            St::RawStr(hashes) => {
-                if c == '"' {
-                    let closed = (0..hashes).all(|k| next(1 + k) == Some('#'));
-                    if closed {
-                        for _ in 0..hashes {
-                            out.push(' ');
-                            i += 1;
-                        }
-                        out.push(' ');
-                        st = St::Code;
-                    } else {
-                        out.push(' ');
-                    }
-                } else {
-                    out.push(if c == '\n' { '\n' } else { ' ' });
-                }
-            }
-            St::Char => {
-                if c == '\\' {
-                    out.push(' ');
-                    if next(1).is_some() {
-                        out.push(' ');
-                        i += 1;
-                    }
-                } else if c == '\'' {
-                    st = St::Code;
-                    out.push(' ');
-                } else {
-                    out.push(if c == '\n' { '\n' } else { ' ' });
-                }
-            }
-        }
-        i += 1;
-    }
-    out
-}
-
-/// Marks lines that belong to `#[cfg(test)]` blocks (true = test code).
-fn test_line_mask(stripped_lines: &[&str]) -> Vec<bool> {
-    let mut mask = vec![false; stripped_lines.len()];
-    let mut i = 0;
-    while i < stripped_lines.len() {
-        if stripped_lines[i].contains("#[cfg(test)]") {
-            // Skip from here through the end of the next braced block.
-            let mut depth = 0i64;
-            let mut opened = false;
-            let mut j = i;
-            while j < stripped_lines.len() {
-                mask[j] = true;
-                for ch in stripped_lines[j].chars() {
-                    match ch {
-                        '{' => {
-                            depth += 1;
-                            opened = true;
-                        }
-                        '}' => depth -= 1,
-                        _ => {}
-                    }
-                }
-                if opened && depth <= 0 {
-                    break;
-                }
-                j += 1;
-            }
-            i = j + 1;
-        } else {
-            i += 1;
-        }
-    }
-    mask
-}
-
-/// True if `hay` contains `needle` at an identifier boundary: when the
-/// needle starts with an identifier char (macros like `panic!`, names
-/// like `thread_rng`), the preceding char must not be one, so
-/// `prefix_panic!` or `my_thread_rng` never match. Method needles like
-/// `.unwrap()` start with `.`, which is its own boundary.
-fn contains_token(hay: &str, needle: &str) -> bool {
-    let ident_start = needle
-        .chars()
-        .next()
-        .is_some_and(|c| c.is_alphanumeric() || c == '_');
-    let mut start = 0;
-    while let Some(pos) = hay[start..].find(needle) {
-        let abs = start + pos;
-        let boundary = !ident_start
-            || abs == 0
-            || !hay[..abs]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if boundary {
-            return true;
-        }
-        start = abs + needle.len();
-    }
-    false
-}
-
 fn crate_of(rel_path: &str) -> Option<&str> {
     rel_path
         .strip_prefix("crates/")
         .and_then(|rest| rest.split('/').next())
 }
 
-/// Scans one file's contents; `rel_path` is workspace-relative with
-/// forward slashes (e.g. `crates/sim/src/actor.rs`).
-pub fn scan_source(rel_path: &str, source: &str) -> Vec<Violation> {
-    let stripped = strip_code(source);
-    let stripped_lines: Vec<&str> = stripped.lines().collect();
-    let raw_lines: Vec<&str> = source.lines().collect();
-    let mask = test_line_mask(&stripped_lines);
+/// One file prepared for analysis.
+struct Ctx {
+    rel: String,
+    krate: String,
+    sim_driven: bool,
+    actor_file: bool,
+    panic_exempt: bool,
+    pf: ParsedFile,
+    lines: Vec<String>,
+}
 
-    let krate = crate_of(rel_path).unwrap_or("");
-    let sim_driven = SIM_DRIVEN_CRATES.contains(&krate);
-    let is_actor_file = rel_path.ends_with("/actors.rs");
-    // Binaries and the experiment-driver crate may fail fast.
-    let panic_exempt =
-        krate == "bench" || rel_path.contains("/src/bin/") || rel_path.ends_with("/src/main.rs");
+impl Ctx {
+    fn new(rel: &str, source: &str) -> Ctx {
+        let krate = crate_of(rel).unwrap_or("").to_owned();
+        Ctx {
+            sim_driven: SIM_DRIVEN_CRATES.contains(&krate.as_str()),
+            actor_file: rel.ends_with("/actors.rs"),
+            panic_exempt: krate == "bench"
+                || rel.contains("/src/bin/")
+                || rel.ends_with("/src/main.rs"),
+            pf: ParsedFile::parse(source),
+            lines: source.lines().map(str::to_owned).collect(),
+            rel: rel.to_owned(),
+            krate,
+        }
+    }
 
-    let mut out = Vec::new();
-    let mut push = |rule: &'static str, ln: usize| {
-        out.push(Violation {
-            path: rel_path.to_owned(),
-            line: ln + 1,
+    fn violation(&self, rule: &'static str, line: u32, note: String) -> Violation {
+        Violation {
+            path: self.rel.clone(),
+            line,
             rule,
-            excerpt: raw_lines
-                .get(ln)
+            excerpt: self
+                .lines
+                .get(line.saturating_sub(1) as usize)
                 .map(|l| l.trim().to_owned())
                 .unwrap_or_default(),
-        });
-    };
+            note,
+        }
+    }
+}
 
-    for (ln, line) in stripped_lines.iter().enumerate() {
-        // Rules that govern test code too: a NaN-panicking comparator or
-        // an unbounded simulation drive is as hazardous in a test as in
-        // the library, so these fire before the `#[cfg(test)]` mask.
-        if line.contains(".sort")
-            && contains_token(line, "partial_cmp")
-            && !line.contains("fn partial_cmp")
-        {
-            push(RULE_NO_PARTIAL_CMP_SORT, ln);
+/// Next non-comment token index after `i`.
+fn nc_next(toks: &[Tok], i: usize) -> Option<usize> {
+    toks.iter()
+        .enumerate()
+        .skip(i + 1)
+        .find(|(_, t)| t.kind != TokKind::Comment)
+        .map(|(j, _)| j)
+}
+
+/// Previous non-comment token index before `i`.
+fn nc_prev(toks: &[Tok], i: usize) -> Option<usize> {
+    toks[..i].iter().rposition(|t| t.kind != TokKind::Comment)
+}
+
+/// Index of the `)` matching the `(` at `open`, or `toks.len()`.
+fn close_paren(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
         }
-        if krate != "sim" && contains_token(line, "run_to_quiescence()") {
-            push(RULE_NO_UNBOUNDED_RUN, ln);
-        }
-        if mask[ln] {
+    }
+    toks.len()
+}
+
+/// True when `toks[i]` begins the path `a::b`; returns the index of `b`.
+fn path2(toks: &[Tok], i: usize, a: &str, b: &str) -> Option<usize> {
+    if !toks[i].is_ident(a) {
+        return None;
+    }
+    let c1 = nc_next(toks, i)?;
+    let c2 = nc_next(toks, c1)?;
+    let name = nc_next(toks, c2)?;
+    (toks[c1].is_punct(':') && toks[c2].is_punct(':') && toks[name].is_ident(b)).then_some(name)
+}
+
+/// The six per-file rules, token- and scope-aware.
+fn file_rules(ctx: &Ctx) -> Vec<Violation> {
+    let toks = &ctx.pf.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
             continue;
         }
-        if !panic_exempt && PANICKY.iter().any(|n| contains_token(line, n)) {
-            push(RULE_NO_PANIC, ln);
+        let line = t.line;
+        let next_is = |c: char| nc_next(toks, i).is_some_and(|j| toks[j].is_punct(c));
+        let prev_is = |c: char| nc_prev(toks, i).is_some_and(|j| toks[j].is_punct(c));
+
+        // Rules that govern test code too: a NaN-panicking comparator or
+        // an unbounded simulation drive is as hazardous in a test as in
+        // the library.
+        if t.text.starts_with("sort") && prev_is('.') && next_is('(') {
+            let open = nc_next(toks, i).unwrap_or(i);
+            let close = close_paren(toks, open);
+            if toks[open..close].iter().any(|a| a.is_ident("partial_cmp")) {
+                out.push(
+                    ctx.violation(
+                        RULE_NO_PARTIAL_CMP_SORT,
+                        line,
+                        "sort comparator built on partial_cmp: panics on NaN or silently breaks \
+                     total order; use total_cmp or an Ord key"
+                            .to_owned(),
+                    ),
+                );
+            }
         }
-        if sim_driven
-            && ["SystemTime", "Instant", "thread_rng"]
-                .iter()
-                .any(|n| contains_token(line, n))
-        {
-            push(RULE_NO_WALL_CLOCK, ln);
+        if ctx.krate != "sim" && t.is_ident("run_to_quiescence") && next_is('(') {
+            out.push(
+                ctx.violation(
+                    RULE_NO_UNBOUNDED_RUN,
+                    line,
+                    "unbounded simulation drive: use run_to_quiescence_bounded(budget) so \
+                 non-converging retry loops fail instead of hanging"
+                        .to_owned(),
+                ),
+            );
         }
-        if is_actor_file
-            && ["HashMap", "HashSet"]
-                .iter()
-                .any(|n| contains_token(line, n))
-        {
-            push(RULE_NO_HASH, ln);
+
+        if ctx.pf.is_test_at(i) {
+            continue;
         }
-        if sim_driven
-            && [
+
+        if !ctx.panic_exempt {
+            let bang_macro = ["panic", "unreachable", "todo", "unimplemented"]
+                .contains(&t.text.as_str())
+                && next_is('!');
+            let method =
+                ["unwrap", "expect"].contains(&t.text.as_str()) && prev_is('.') && next_is('(');
+            if (bang_macro || method) && !ctx.pf.panics_documented_at(i) {
+                out.push(
+                    ctx.violation(
+                        RULE_NO_PANIC,
+                        line,
+                        "panic site in non-test library code with no `# Panics` doc contract \
+                     on the enclosing fn"
+                            .to_owned(),
+                    ),
+                );
+            }
+        }
+        if ctx.sim_driven && ["SystemTime", "Instant", "thread_rng"].contains(&t.text.as_str()) {
+            out.push(
+                ctx.violation(
+                    RULE_NO_WALL_CLOCK,
+                    line,
+                    "wall-clock/ambient-randomness source in a sim-driven crate: time comes \
+                 from sim::time, randomness from the seeded sim::rng"
+                        .to_owned(),
+                ),
+            );
+        }
+        if ctx.actor_file && ["HashMap", "HashSet"].contains(&t.text.as_str()) {
+            out.push(
+                ctx.violation(
+                    RULE_NO_HASH,
+                    line,
+                    "hash-ordered collection in an actor decision path: iteration order is \
+                 nondeterministic; use BTreeMap/BTreeSet"
+                        .to_owned(),
+                ),
+            );
+        }
+        if ctx.sim_driven {
+            let par_ident = [
                 "rayon",
                 "par_iter",
                 "into_par_iter",
-                "thread::spawn",
                 "available_parallelism",
             ]
-            .iter()
-            .any(|n| contains_token(line, n))
-        {
-            push(RULE_NO_AMBIENT_PAR, ln);
+            .contains(&t.text.as_str());
+            let thread_spawn = path2(toks, i, "thread", "spawn").is_some();
+            if par_ident || thread_spawn {
+                out.push(
+                    ctx.violation(
+                        RULE_NO_AMBIENT_PAR,
+                        line,
+                        "unaudited thread fan-out in a sim-driven crate: parallel merges must \
+                     be vetted order-independent (see lint-allow.txt)"
+                            .to_owned(),
+                    ),
+                );
+            }
         }
     }
     out
+}
+
+/// `rng-fork-discipline`: the taint pass over each sim-driven crate's
+/// item graph. See the module docs for the rule statement.
+fn rng_rule(ctxs: &[Ctx]) -> Vec<Violation> {
+    /// Per-crate summary of a non-test fn whose signature returns `SimRng`.
+    struct FnInfo {
+        file: usize,
+        name: String,
+        body: (usize, usize),
+    }
+    let mut by_crate: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, c) in ctxs.iter().enumerate() {
+        if c.sim_driven && !c.rel.ends_with(RNG_MODULE) && c.rel.starts_with("crates/") {
+            by_crate.entry(&c.krate).or_default().push(i);
+        }
+    }
+
+    let mut out = Vec::new();
+    for files in by_crate.values() {
+        // Direct sites: bare `SimRng::seed(…)` not `.fork(…)`-chained.
+        // (tok index per file, and whether the site is in test code.)
+        let mut bare_sites: Vec<(usize, usize)> = Vec::new();
+        for &fi in files {
+            let toks = &ctxs[fi].pf.tokens;
+            for i in 0..toks.len() {
+                let Some(seed) = path2(toks, i, "SimRng", "seed") else {
+                    continue;
+                };
+                let Some(open) = nc_next(toks, seed).filter(|&j| toks[j].is_punct('(')) else {
+                    continue;
+                };
+                let close = close_paren(toks, open);
+                let chained = nc_next(toks, close)
+                    .filter(|&j| toks[j].is_punct('.'))
+                    .and_then(|j| nc_next(toks, j))
+                    .is_some_and(|j| toks[j].is_ident("fork"));
+                if !chained {
+                    bare_sites.push((fi, i));
+                }
+            }
+        }
+        for &(fi, i) in &bare_sites {
+            if !ctxs[fi].pf.is_test_at(i) {
+                out.push(
+                    ctxs[fi].violation(
+                        RULE_RNG_FORK,
+                        ctxs[fi].pf.tokens[i].line,
+                        "fresh RNG root: SimRng::seed(..) without .fork(label) does not descend \
+                     from the deployment's seeded fork tree, so replays diverge"
+                            .to_owned(),
+                    ),
+                );
+            }
+        }
+
+        // Fn summaries: which non-test fns return a bare root? Seeded by
+        // fns whose body holds a bare site; propagated through calls to
+        // other bare-root-returning fns, to fixpoint.
+        let mut fns: Vec<FnInfo> = Vec::new();
+        for &fi in files {
+            for s in &ctxs[fi].pf.scopes {
+                if s.kind == ScopeKind::Fn && !s.is_test && returns_simrng(&ctxs[fi].pf, s.sig) {
+                    fns.push(FnInfo {
+                        file: fi,
+                        name: s.name.clone(),
+                        body: s.body,
+                    });
+                }
+            }
+        }
+        let mut bare_fns: BTreeSet<String> = fns
+            .iter()
+            .filter(|f| {
+                bare_sites
+                    .iter()
+                    .any(|&(fi, i)| fi == f.file && f.body.0 <= i && i < f.body.1)
+            })
+            .map(|f| f.name.clone())
+            .collect();
+        loop {
+            let before = bare_fns.len();
+            for f in &fns {
+                if bare_fns.contains(&f.name) {
+                    continue;
+                }
+                let toks = &ctxs[f.file].pf.tokens;
+                let calls_bare = (f.body.0..f.body.1)
+                    .any(|i| call_of(toks, i).is_some_and(|n| bare_fns.contains(n)));
+                if calls_bare {
+                    bare_fns.insert(f.name.clone());
+                }
+            }
+            if bare_fns.len() == before {
+                break;
+            }
+        }
+
+        // Call sites of bare-root-returning fns, outside test code.
+        for &fi in files {
+            let toks = &ctxs[fi].pf.tokens;
+            for i in 0..toks.len() {
+                let Some(name) = call_of(toks, i) else {
+                    continue;
+                };
+                if bare_fns.contains(name) && !ctxs[fi].pf.is_test_at(i) {
+                    out.push(ctxs[fi].violation(
+                        RULE_RNG_FORK,
+                        toks[i].line,
+                        format!(
+                            "`{name}` returns an unforked RNG root (taint traced to a bare \
+                             SimRng::seed site); draws through it sit outside the fork tree"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// When `toks[i]` is the callee ident of a call (`name(` not preceded
+/// by `fn`), returns the name.
+fn call_of(toks: &[Tok], i: usize) -> Option<&str> {
+    if toks[i].kind != TokKind::Ident {
+        return None;
+    }
+    let open = nc_next(toks, i)?;
+    if !toks[open].is_punct('(') {
+        return None;
+    }
+    if nc_prev(toks, i).is_some_and(|j| toks[j].is_ident("fn")) {
+        return None;
+    }
+    Some(&toks[i].text)
+}
+
+/// True when a fn signature's return type mentions `SimRng`.
+fn returns_simrng(pf: &ParsedFile, sig: (usize, usize)) -> bool {
+    let toks = &pf.tokens;
+    let mut arrow = None;
+    for i in sig.0..sig.1.min(toks.len()) {
+        if toks[i].is_punct('-') && toks.get(i + 1).is_some_and(|t| t.is_punct('>')) {
+            arrow = Some(i + 2);
+            break;
+        }
+    }
+    arrow.is_some_and(|start| {
+        toks[start..sig.1.min(toks.len())]
+            .iter()
+            .any(|t| t.is_ident("SimRng"))
+    })
+}
+
+/// `event-match-exhaustive`: protocol-enum variants vs handler `match`
+/// arms, plus dead-variant detection. See the module docs.
+fn event_rule(ctxs: &[Ctx]) -> Vec<Violation> {
+    let mut by_crate: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, c) in ctxs.iter().enumerate() {
+        if c.rel.starts_with("crates/") {
+            by_crate.entry(&c.krate).or_default().push(i);
+        }
+    }
+
+    let mut out = Vec::new();
+    for files in by_crate.values() {
+        // Non-test enum definitions of this crate, by name.
+        let mut enums: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+        for &fi in files {
+            for (ei, e) in ctxs[fi].pf.enums.iter().enumerate() {
+                if !e.is_test {
+                    enums.entry(&e.name).or_insert((fi, ei));
+                }
+            }
+        }
+
+        let mut dead_checked: BTreeSet<&str> = BTreeSet::new();
+        for &fi in files {
+            let declared: BTreeSet<&str> =
+                ctxs[fi].pf.msg_types.iter().map(String::as_str).collect();
+            for tname in declared {
+                let Some(&(ef, ei)) = enums.get(tname) else {
+                    continue; // struct protocol (e.g. an envelope type)
+                };
+                let variants = &ctxs[ef].pf.enums[ei].variants;
+
+                // Handler matches: non-test matches in the declaring
+                // file whose arms name `T::…` paths.
+                for m in &ctxs[fi].pf.matches {
+                    if ctxs[fi].pf.is_test_at(m.tok) {
+                        continue;
+                    }
+                    let toks = &ctxs[fi].pf.tokens;
+                    let mut named: BTreeSet<&str> = BTreeSet::new();
+                    let mut catch_all_line = None;
+                    for arm in &m.arms {
+                        if arm.catch_all && catch_all_line.is_none() {
+                            catch_all_line = Some(arm.line);
+                        }
+                        for i in arm.pat.0..arm.pat.1 {
+                            for (vname, _) in variants {
+                                if path2(toks, i, tname, vname).is_some() {
+                                    named.insert(vname);
+                                }
+                            }
+                        }
+                    }
+                    if named.is_empty() {
+                        continue; // not a match over this enum
+                    }
+                    let missing: Vec<&str> = variants
+                        .iter()
+                        .map(|(v, _)| v.as_str())
+                        .filter(|v| !named.contains(v))
+                        .collect();
+                    if missing.is_empty() {
+                        continue;
+                    }
+                    let list = missing.join(", ");
+                    if let Some(line) = catch_all_line {
+                        out.push(ctxs[fi].violation(
+                            RULE_EVENT_MATCH,
+                            line,
+                            format!(
+                                "match on {tname} swallows variants through this catch-all \
+                                 arm: {list}; name them explicitly (`{tname}::X {{ .. }} | \
+                                 … => {{}}`) so new event kinds cannot vanish silently"
+                            ),
+                        ));
+                    } else {
+                        out.push(ctxs[fi].violation(
+                            RULE_EVENT_MATCH,
+                            m.line,
+                            format!("match on {tname} does not handle: {list}"),
+                        ));
+                    }
+                }
+
+                // Dead variants: never constructed in expression position
+                // anywhere in the scanned set (crate-crossing drivers
+                // included).
+                if dead_checked.insert(tname) {
+                    for (vname, vline) in variants {
+                        let constructed = ctxs.iter().any(|c| {
+                            let toks = &c.pf.tokens;
+                            (0..toks.len()).any(|i| {
+                                path2(toks, i, tname, vname).is_some_and(|vi| !c.pf.in_pattern(vi))
+                            })
+                        });
+                        if !constructed {
+                            out.push(ctxs[ef].violation(
+                                RULE_EVENT_MATCH,
+                                *vline,
+                                format!(
+                                    "dead variant: {tname}::{vname} is never constructed in \
+                                     the scanned sources — no actor can ever receive it"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Analyses a set of sources together (cross-file rules see the whole
+/// set). Each entry is `(workspace-relative path, source text)`.
+pub fn analyze_sources(files: &[(&str, &str)]) -> Vec<Violation> {
+    let ctxs: Vec<Ctx> = files.iter().map(|&(rel, src)| Ctx::new(rel, src)).collect();
+    let mut out = Vec::new();
+    for ctx in &ctxs {
+        out.extend(file_rules(ctx));
+    }
+    out.extend(rng_rule(&ctxs));
+    out.extend(event_rule(&ctxs));
+    out.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    out
+}
+
+/// Scans one file's contents; `rel_path` is workspace-relative with
+/// forward slashes (e.g. `crates/sim/src/actor.rs`). Cross-file rules
+/// run with just this file in view.
+pub fn scan_source(rel_path: &str, source: &str) -> Vec<Violation> {
+    analyze_sources(&[(rel_path, source)])
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -535,7 +817,7 @@ pub fn lint_workspace(root: &Path, allow: &Allowlist) -> io::Result<LintReport> 
         .collect();
     crate_dirs.sort();
 
-    let mut report = LintReport::default();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for crate_dir in crate_dirs {
         let src = crate_dir.join("src");
         if !src.is_dir() {
@@ -544,20 +826,32 @@ pub fn lint_workspace(root: &Path, allow: &Allowlist) -> io::Result<LintReport> 
         let mut files = Vec::new();
         collect_rs_files(&src, &mut files)?;
         for file in files {
-            let source = fs::read_to_string(&file)?;
+            let text = fs::read_to_string(&file)?;
             let rel = file
                 .strip_prefix(root)
                 .unwrap_or(&file)
                 .to_string_lossy()
                 .replace('\\', "/");
-            report.files_scanned += 1;
-            let raw_lines: Vec<&str> = source.lines().collect();
-            for v in scan_source(&rel, &source) {
-                let raw = raw_lines.get(v.line - 1).copied().unwrap_or("");
-                if !allow.waives(&v, raw) {
-                    report.violations.push(v);
-                }
-            }
+            sources.push((rel, text));
+        }
+    }
+
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(r, s)| (r.as_str(), s.as_str()))
+        .collect();
+    let mut report = LintReport {
+        files_scanned: sources.len(),
+        ..LintReport::default()
+    };
+    for v in analyze_sources(&refs) {
+        let raw = sources
+            .iter()
+            .find(|(r, _)| *r == v.path)
+            .and_then(|(_, s)| s.lines().nth(v.line.saturating_sub(1) as usize))
+            .unwrap_or("");
+        if !allow.waives(&v, raw) {
+            report.violations.push(v);
         }
     }
     report.stale_allows = allow.unused();
@@ -582,7 +876,7 @@ mod tests {
     fn expect_and_todo_and_unreachable_fire() {
         let src = "fn f() {\n    let _ = std::env::var(\"X\").expect(\"set\");\n    todo!()\n}\nfn h() { unreachable!() }\n";
         let vs = scan_source("crates/net/src/x.rs", src);
-        let lines: Vec<usize> = vs.iter().map(|v| v.line).collect();
+        let lines: Vec<u32> = vs.iter().map(|v| v.line).collect();
         assert_eq!(lines, vec![2, 3, 5]);
     }
 
@@ -638,6 +932,46 @@ mod tests {
     }
 
     #[test]
+    fn nested_test_mods_stay_exempt_but_siblings_do_not() {
+        // The v1 line mask lost track of nesting like this; the scope
+        // tree carries #[cfg(test)] down arbitrarily deep.
+        let src = concat!(
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    mod inner {\n",
+            "        mod deeper {\n",
+            "            fn helper() { Some(1).unwrap(); }\n",
+            "        }\n",
+            "    }\n",
+            "}\n",
+            "pub fn lib(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        );
+        let vs = scan_source("crates/core/src/lib.rs", src);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].line, 9);
+    }
+
+    #[test]
+    fn panics_doc_contract_exempts_the_documented_fn() {
+        let src = concat!(
+            "/// Looks up a bound name.\n",
+            "///\n",
+            "/// # Panics\n",
+            "///\n",
+            "/// Panics when `name` was never registered.\n",
+            "pub fn lookup(m: &Map, name: &str) -> u32 {\n",
+            "    *m.get(name).expect(\"unknown name\")\n",
+            "}\n",
+            "pub fn bare(m: &Map, name: &str) -> u32 {\n",
+            "    *m.get(name).expect(\"unknown name\")\n",
+            "}\n",
+        );
+        let vs = scan_source("crates/core/src/lib.rs", src);
+        assert_eq!(vs.len(), 1, "only the undocumented fn fires");
+        assert_eq!(vs[0].line, 10);
+    }
+
+    #[test]
     fn wall_clock_fires_only_in_sim_driven_crates() {
         let src = "fn f() {\n    let t = std::time::Instant::now();\n    let r = rand::thread_rng();\n    let _ = (t, r);\n}\n";
         let in_sim = scan_source("crates/syntax/src/x.rs", src);
@@ -685,8 +1019,27 @@ mod tests {
             .into_iter()
             .filter(|v| v.rule == RULE_NO_PARTIAL_CMP_SORT)
             .collect();
-        let lines: Vec<usize> = vs.iter().map(|v| v.line).collect();
+        let lines: Vec<u32> = vs.iter().map(|v| v.line).collect();
         assert_eq!(lines, vec![2, 8]);
+    }
+
+    #[test]
+    fn partial_cmp_sort_caught_across_line_breaks() {
+        // v1 matched needle-per-line and missed exactly this layout.
+        let src = concat!(
+            "fn f(mut v: Vec<f64>) {\n",
+            "    v.sort_by(|a, b| {\n",
+            "        a.partial_cmp(b)\n",
+            "            .unwrap_or(std::cmp::Ordering::Equal)\n",
+            "    });\n",
+            "}\n",
+        );
+        let vs: Vec<_> = scan_source("crates/eval/src/x.rs", src)
+            .into_iter()
+            .filter(|v| v.rule == RULE_NO_PARTIAL_CMP_SORT)
+            .collect();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].line, 2, "reported at the .sort_by call");
     }
 
     #[test]
@@ -723,7 +1076,7 @@ mod tests {
             .into_iter()
             .filter(|v| v.rule == RULE_NO_UNBOUNDED_RUN)
             .collect();
-        let lines: Vec<usize> = vs.iter().map(|v| v.line).collect();
+        let lines: Vec<u32> = vs.iter().map(|v| v.line).collect();
         assert_eq!(lines, vec![2, 7]);
         // The sim crate defines (and may call) the unbounded variant.
         assert!(scan_source("crates/sim/src/x.rs", src)
@@ -760,10 +1113,173 @@ mod tests {
         assert!(scan_source("crates/core/src/lib.rs", src).is_empty());
     }
 
+    // --- rng-fork-discipline ---
+
+    #[test]
+    fn bare_seed_site_fires_in_sim_driven_lib_code() {
+        let src = concat!(
+            "use lems_sim::rng::SimRng;\n",
+            "pub fn jitter(seed: u64) -> u64 {\n",
+            "    let mut rng = SimRng::seed(seed);\n",
+            "    rng.range(0, 10)\n",
+            "}\n",
+        );
+        let vs = scan_source("crates/syntax/src/x.rs", src);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rule, RULE_RNG_FORK);
+        assert_eq!(vs[0].line, 3);
+    }
+
+    #[test]
+    fn forked_root_and_test_seeds_are_fine() {
+        let src = concat!(
+            "use lems_sim::rng::SimRng;\n",
+            "pub fn build(seed: u64) -> SimRng {\n",
+            "    SimRng::seed(seed).fork(\"deploy\")\n",
+            "}\n",
+            "pub fn build_split(seed: u64) -> SimRng {\n",
+            "    SimRng::seed(seed)\n",
+            "        .fork(\"deploy\")\n",
+            "}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t() { let _ = super::SimRng::seed(7); }\n",
+            "}\n",
+        );
+        assert!(scan_source("crates/syntax/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn seed_outside_sim_driven_crates_is_fine() {
+        let src = "pub fn f() -> SimRng { SimRng::seed(1) }\n";
+        assert!(scan_source("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn taint_propagates_through_root_returning_helpers() {
+        let src = concat!(
+            "use lems_sim::rng::SimRng;\n",
+            "fn fresh() -> SimRng {\n",
+            "    SimRng::seed(42)\n",
+            "}\n",
+            "pub fn shuffle_order(xs: &mut Vec<u32>) {\n",
+            "    let mut rng = fresh();\n",
+            "    rng.shuffle(xs);\n",
+            "}\n",
+        );
+        let vs = scan_source("crates/locindep/src/x.rs", src);
+        assert_eq!(vs.len(), 2, "the bare root and the laundering call site");
+        assert!(vs.iter().all(|v| v.rule == RULE_RNG_FORK));
+        let lines: Vec<u32> = vs.iter().map(|v| v.line).collect();
+        assert_eq!(lines, vec![3, 6]);
+        assert!(vs[1].note.contains("fresh"));
+    }
+
+    #[test]
+    fn rng_module_itself_is_exempt() {
+        let src = "pub fn reseed() -> SimRng { SimRng::seed(0) }\n";
+        assert!(scan_source("crates/sim/src/rng.rs", src).is_empty());
+    }
+
+    // --- event-match-exhaustive ---
+
+    const PROTO: &str = concat!(
+        "pub enum MailMsg {\n",
+        "    Submit { body: u32 },\n",
+        "    SubmitAck,\n",
+        "    Notify,\n",
+        "}\n",
+        "fn traffic(n: &mut Node) {\n",
+        "    n.send(MailMsg::Submit { body: 1 });\n",
+        "    n.send(MailMsg::SubmitAck);\n",
+        "    n.send(MailMsg::Notify);\n",
+        "}\n",
+    );
+
+    #[test]
+    fn wildcard_swallowed_variant_is_flagged() {
+        let src = format!(
+            "{PROTO}impl Actor for Host {{\n    type Msg = MailMsg;\n    fn on_message(&mut self, m: MailMsg) {{\n        match m {{\n            MailMsg::Submit {{ .. }} => {{}}\n            MailMsg::SubmitAck => {{}}\n            _ => {{}}\n        }}\n    }}\n}}\n"
+        );
+        let vs = scan_source("crates/syntax/src/actors.rs", &src);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rule, RULE_EVENT_MATCH);
+        assert!(
+            vs[0].note.contains("Notify"),
+            "note names the swallowed variant"
+        );
+        assert_eq!(vs[0].line, 17, "reported at the catch-all arm");
+    }
+
+    #[test]
+    fn explicit_ignore_arms_lint_clean() {
+        let src = format!(
+            "{PROTO}impl Actor for Host {{\n    type Msg = MailMsg;\n    fn on_message(&mut self, m: MailMsg) {{\n        match m {{\n            MailMsg::Submit {{ .. }} => {{}}\n            MailMsg::SubmitAck | MailMsg::Notify => {{}}\n        }}\n    }}\n}}\n"
+        );
+        assert!(scan_source("crates/syntax/src/actors.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn unhandled_variant_without_catch_all_is_flagged() {
+        let src = format!(
+            "{PROTO}impl Actor for Host {{\n    type Msg = MailMsg;\n    fn on_message(&mut self, m: MailMsg) {{\n        match m {{\n            MailMsg::Submit {{ .. }} => {{}}\n            MailMsg::SubmitAck => {{}}\n        }}\n    }}\n}}\n"
+        );
+        let vs = scan_source("crates/syntax/src/actors.rs", &src);
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].note.contains("does not handle"));
+        assert!(vs[0].note.contains("Notify"));
+    }
+
+    #[test]
+    fn dead_variant_is_flagged_at_its_definition() {
+        // Notify is handled but nothing ever constructs it.
+        let src = concat!(
+            "pub enum MailMsg {\n",
+            "    Submit,\n",
+            "    Notify,\n",
+            "}\n",
+            "fn traffic(n: &mut Node) { n.send(MailMsg::Submit); }\n",
+            "impl Actor for Host {\n",
+            "    type Msg = MailMsg;\n",
+            "    fn on_message(&mut self, m: MailMsg) {\n",
+            "        match m { MailMsg::Submit => {}, MailMsg::Notify => {} }\n",
+            "    }\n",
+            "}\n",
+        );
+        let vs = scan_source("crates/syntax/src/actors.rs", src);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rule, RULE_EVENT_MATCH);
+        assert_eq!(vs[0].line, 3);
+        assert!(vs[0].note.contains("dead variant"));
+    }
+
+    #[test]
+    fn test_scope_matches_and_plain_enums_are_ignored() {
+        // A wildcard match in a test mod, and a match over an enum that
+        // is not a `type Msg` protocol, are both out of scope.
+        let src = concat!(
+            "pub enum Color { Red, Green }\n",
+            "pub fn pick(c: Color) -> u32 { match c { Color::Red => 1, _ => 2 } }\n",
+            "pub enum MailMsg { Submit }\n",
+            "fn traffic(n: &mut N) { n.send(MailMsg::Submit); }\n",
+            "impl Actor for Host {\n",
+            "    type Msg = MailMsg;\n",
+            "    fn on_message(&mut self, m: MailMsg) { match m { MailMsg::Submit => {} } }\n",
+            "}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t(m: super::MailMsg) { match m { _ => {} } }\n",
+            "}\n",
+        );
+        assert!(scan_source("crates/syntax/src/actors.rs", src).is_empty());
+    }
+
+    // --- allowlist v2 ---
+
     #[test]
     fn allowlist_waives_and_reports_stale_entries() {
         let allow = Allowlist::parse(
-            "# vetted\nno-panic crates/core/src/lib.rs expect(\"generated names\nno-panic crates/net/src/never.rs nothing here\n",
+            "# vetted\nno-panic@2 crates/core/src/lib.rs expect(\"generated names\nno-panic@2 crates/net/src/never.rs nothing here\n",
         )
         .unwrap();
         let v = Violation {
@@ -771,6 +1287,7 @@ mod tests {
             line: 1,
             rule: RULE_NO_PANIC,
             excerpt: String::new(),
+            note: String::new(),
         };
         assert!(allow.waives(
             &v,
@@ -781,11 +1298,31 @@ mod tests {
     }
 
     #[test]
+    fn version_mismatched_entries_never_waive_and_go_stale() {
+        let allow = Allowlist::parse("no-panic@1 crates/core/src/lib.rs .expect(\"x\")\n").unwrap();
+        let v = Violation {
+            path: "crates/core/src/lib.rs".into(),
+            line: 1,
+            rule: RULE_NO_PANIC,
+            excerpt: String::new(),
+            note: String::new(),
+        };
+        assert!(
+            !allow.waives(&v, "m.get(k).expect(\"x\")"),
+            "v1-pinned entry must not waive a v2 finding"
+        );
+        assert_eq!(
+            allow.unused(),
+            vec!["no-panic@1 crates/core/src/lib.rs .expect(\"x\")"]
+        );
+    }
+
+    #[test]
     fn stale_allowlist_entries_fail_the_pass() {
         let clean = LintReport::default();
         assert!(clean.is_clean());
         let stale = LintReport {
-            stale_allows: vec!["no-panic crates/net/src/never.rs nothing".into()],
+            stale_allows: vec!["no-panic@2 crates/net/src/never.rs nothing".into()],
             ..LintReport::default()
         };
         assert!(!stale.is_clean());
@@ -794,6 +1331,14 @@ mod tests {
     #[test]
     fn allowlist_rejects_malformed_lines() {
         assert!(Allowlist::parse("no-panic onlytwo").is_err());
+        assert!(
+            Allowlist::parse("no-panic crates/x/src/lib.rs needle").is_err(),
+            "version pin is mandatory"
+        );
+        assert!(
+            Allowlist::parse("no-panik@2 crates/x/src/lib.rs needle").is_err(),
+            "unknown rules are typos, not waivers"
+        );
         assert!(Allowlist::parse("").unwrap().is_empty());
     }
 

@@ -1,7 +1,7 @@
 //! `lems-check` — workspace lint pass and trace-based invariant auditor.
 //!
 //! ```sh
-//! cargo run -p lems-check -- lint [--root <workspace-root>]
+//! cargo run -p lems-check -- lint [--root <workspace-root>] [--json] [--github] [--no-allow]
 //! cargo run -p lems-check -- audit [--seed <n>] [scenario ...]
 //! ```
 //!
@@ -13,18 +13,27 @@ use std::process::ExitCode;
 
 use lems_check::explore;
 use lems_check::lint::{lint_workspace, Allowlist};
+use lems_check::report::LintDoc;
 use lems_check::scenarios;
 
 const USAGE: &str = "\
 usage: lems-check <command> [options]
 
 commands:
-  lint  [--root <dir>]            static rules over crates/*/src
+  lint  [--root <dir>] [--json] [--github] [--no-allow]
+                                  scope-aware static rules over crates/*/src
                                   (no-panic, no-wall-clock, no-hash-collections,
                                    no-partial-cmp-sort, no-unbounded-run,
-                                   no-ambient-parallelism;
-                                   vetted exceptions in <root>/lint-allow.txt;
-                                   stale exceptions fail the pass)
+                                   no-ambient-parallelism, rng-fork-discipline,
+                                   event-match-exhaustive;
+                                   vetted exceptions in <root>/lint-allow.txt,
+                                   pinned as rule@version; stale exceptions
+                                   fail the pass;
+                                   --json emits the schema-versioned report,
+                                   --github emits ::error annotations,
+                                   --no-allow ignores the allowlist — the CI
+                                   differential diffs that output against
+                                   GOLDEN_lint.json)
   audit [--seed <n>] [--chaos] [--trace-out <path>] [name ...]
                                   replay audit scenarios and check the
                                   engine's conservation laws + mail ledgers
@@ -88,6 +97,9 @@ fn workspace_root(explicit: Option<PathBuf>) -> Option<PathBuf> {
 
 fn run_lint(args: &[String]) -> ExitCode {
     let mut explicit = None;
+    let mut json = false;
+    let mut github = false;
+    let mut no_allow = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -98,6 +110,9 @@ fn run_lint(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--json" => json = true,
+            "--github" => github = true,
+            "--no-allow" => no_allow = true,
             other => {
                 eprintln!("lems-check lint: unknown option `{other}`");
                 return ExitCode::from(2);
@@ -109,11 +124,15 @@ fn run_lint(args: &[String]) -> ExitCode {
         eprintln!("lems-check lint: cannot locate a workspace root (no crates/ found)");
         return ExitCode::from(2);
     };
-    let allow = match Allowlist::load(&root) {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("lems-check lint: {e}");
-            return ExitCode::from(2);
+    let allow = if no_allow {
+        Allowlist::empty()
+    } else {
+        match Allowlist::load(&root) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("lems-check lint: {e}");
+                return ExitCode::from(2);
+            }
         }
     };
     let report = match lint_workspace(&root, &allow) {
@@ -123,6 +142,21 @@ fn run_lint(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if json || github {
+        let doc = LintDoc::from_report(&report, allow.len());
+        if json {
+            print!("{}", doc.render_json());
+        }
+        if github {
+            print!("{}", doc.render_github());
+        }
+        return if report.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
 
     for v in &report.violations {
         println!("{v}");

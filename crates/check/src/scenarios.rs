@@ -287,6 +287,12 @@ pub fn random_failures(seed: u64) -> ScenarioOutcome {
 /// after which the network heals and users drain their mailboxes. The
 /// session layer (timeout/retransmit/backoff + ack'd retrieval) must
 /// deliver everything despite the loss.
+///
+/// # Panics
+///
+/// Panics if the scenario's literal fault parameters are invalid or
+/// name unbound Fig. 1 nodes — a typo in the scenario definition must
+/// abort the checker loudly, not audit a half-built deployment.
 pub fn chaos_lossy(seed: u64) -> ScenarioOutcome {
     let mut d = fig1_deployment(seed);
     let names = d.user_names();
@@ -339,6 +345,11 @@ pub fn chaos_partition(seed: u64) -> ScenarioOutcome {
 
 /// Builds the `chaos-partition` workload without running it — shared by
 /// the audited scenario and the session-off counterexample test.
+///
+/// # Panics
+///
+/// Panics if the scenario's literal fault parameters are invalid or
+/// name unbound Fig. 1 nodes (a typo in the scenario definition).
 fn chaos_partition_deployment(seed: u64, session: SessionConfig) -> Deployment {
     let f = fig1();
     let mut d = fig1_deployment_with_session(seed, session);
@@ -382,6 +393,11 @@ fn chaos_partition_deployment(seed: u64, session: SessionConfig) -> Deployment {
 /// drops 5% of traffic with jitter. Exercises the interaction between
 /// actor-level drops (down server) and link-level loss — both consume
 /// sends in the trace, and the ledgers must still balance.
+///
+/// # Panics
+///
+/// Panics if the scenario's literal fault parameters are invalid or
+/// name unbound Fig. 1 nodes (a typo in the scenario definition).
 pub fn chaos_crash_loss(seed: u64) -> ScenarioOutcome {
     let f = fig1();
     let mut d = fig1_deployment(seed);

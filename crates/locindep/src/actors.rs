@@ -257,7 +257,12 @@ impl Actor for RoamHost {
                 *self.alerts.entry(user).or_insert(0) += 1;
                 self.metrics.inc("alerts");
             }
-            _ => {}
+            // Server-bound traffic; a host receiving these ignores them.
+            RoamMsg::LoginReport { .. }
+            | RoamMsg::LocationUpdate { .. }
+            | RoamMsg::Deliver { .. }
+            | RoamMsg::WhereIs { .. }
+            | RoamMsg::LocationReply { .. } => {}
         }
     }
 
@@ -610,7 +615,8 @@ impl Actor for RoamServer {
                     }
                 }
             }
-            _ => {}
+            // Host-bound traffic; a server receiving these ignores them.
+            RoamMsg::DoLogin { .. } | RoamMsg::DoSend { .. } | RoamMsg::Notify { .. } => {}
         }
     }
 
@@ -772,6 +778,11 @@ impl RoamDeployment {
     }
 
     /// Injects a send at `at` from `from` (at their primary host) to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not a user of the deployment: a typo in a
+    /// driver script should fail loudly, not silently drop the send.
     pub fn send_at(&mut self, at: SimTime, from: &MailName, to: &MailName) {
         let host = *self.users.get(from).expect("unknown sender");
         let actor = self.host_actors[&host];

@@ -679,7 +679,12 @@ impl Actor for HostActor {
                 }
                 self.advance_retrieval(user_name, ctx);
             }
-            _ => {}
+            // Server-bound traffic; a host receiving these ignores them.
+            MailMsg::Submit { .. }
+            | MailMsg::Forward { .. }
+            | MailMsg::ForwardAck { .. }
+            | MailMsg::Retrieve { .. }
+            | MailMsg::RetrieveAck { .. } => {}
         }
     }
 
@@ -1190,7 +1195,12 @@ impl Actor for ServerActor {
                     }
                 }
             }
-            _ => {}
+            // Host-bound traffic; a server receiving these ignores them.
+            MailMsg::DoSend { .. }
+            | MailMsg::DoCheck { .. }
+            | MailMsg::SubmitAck { .. }
+            | MailMsg::Notify { .. }
+            | MailMsg::RetrieveReply { .. } => {}
         }
     }
 
