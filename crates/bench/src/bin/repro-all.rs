@@ -6,7 +6,7 @@
 use std::process::Command;
 
 fn main() {
-    let bins: [(&str, &[&str]); 12] = [
+    let bins: [(&str, &[&str]); 13] = [
         ("repro-fig1", &[]),
         ("repro-table1-2", &[]),
         ("repro-table3", &[]),
@@ -19,6 +19,7 @@ fn main() {
         ("repro-cache", &[]),
         ("repro-scorecard", &[]),
         ("repro-scale", &["--smoke"]),
+        ("repro-store", &["--smoke"]),
     ];
     let forward: Vec<String> = std::env::args().skip(1).filter(|a| a == "--json").collect();
     let exe = std::env::current_exe().expect("own path");

@@ -69,6 +69,7 @@ fn main() {
             seed: telemetry.seed,
             finished_at: telemetry.finished_at,
             spans: &telemetry.spans,
+            recoveries: &[],
             scopes: &telemetry.scopes,
         })
         .expect("full-stack telemetry must export");

@@ -276,6 +276,62 @@ impl GetMailBench {
     }
 }
 
+/// One backend's measurements at one size tier of the storage durability
+/// experiment (`BENCH_store.json`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StoreTier {
+    /// Tier label (`smoke-10k`, `100k`, `1m`).
+    pub label: String,
+    /// Backend measured (`mem` = fiat-stable RAM, `wal` = write-ahead log
+    /// with per-record sync).
+    pub backend: String,
+    /// Distinct mailboxes the deposits spread over.
+    pub users: usize,
+    /// Messages deposited (every one must be drained back after recovery).
+    pub messages: u64,
+    /// Wall time to deposit every message, milliseconds.
+    pub deposit_ms: f64,
+    /// `messages / deposit_ms`, as deposits per second — the headline
+    /// durability-tax number when compared across backends.
+    pub deposits_per_sec: f64,
+    /// Wall time for crash + recovery (log replay for `wal`), milliseconds.
+    pub recovery_ms: f64,
+    /// Log records replayed during recovery (0 for `mem`).
+    pub replayed_records: u64,
+    /// Mailbox messages present after recovery.
+    pub recovered_messages: u64,
+    /// Wall time to destructively drain every mailbox post-recovery,
+    /// milliseconds.
+    pub drain_ms: f64,
+    /// Durable log bytes at crash time (0 for `mem`).
+    pub wal_bytes: u64,
+}
+
+/// The `BENCH_store.json` document: per-tier, per-backend durability cost.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StoreBench {
+    /// Schema version (see [`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Experiment id (`store-durability`).
+    pub experiment: String,
+    /// Seed the deterministic workload was generated from.
+    pub seed: u64,
+    /// Per-tier measurements, smallest tier first, `mem` before `wal`
+    /// within a tier.
+    pub tiers: Vec<StoreTier>,
+}
+
+impl StoreBench {
+    /// Pretty JSON for committing as a `BENCH_*.json` artifact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialisation fails (experiment-driver policy: fail fast).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("bench doc serialises")
+    }
+}
+
 /// One regression found by [`gate_wall_times`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct Regression {
@@ -312,6 +368,41 @@ pub fn gate_wall_times(
             if b >= 2.0 && c > b * (1.0 + tolerance) {
                 out.push(Regression {
                     label: cur.label.clone(),
+                    metric,
+                    baseline_ms: b,
+                    current_ms: c,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The storage CI gate: like [`gate_wall_times`] but over the durability
+/// tiers, matching on `(label, backend)` and flagging `deposit_ms` /
+/// `recovery_ms` growth beyond `tolerance`. The same sub-2ms jitter floor
+/// applies.
+pub fn gate_store_times(
+    baseline: &StoreBench,
+    current: &StoreBench,
+    tolerance: f64,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for cur in &current.tiers {
+        let Some(base) = baseline
+            .tiers
+            .iter()
+            .find(|t| t.label == cur.label && t.backend == cur.backend)
+        else {
+            continue;
+        };
+        for (metric, b, c) in [
+            ("deposit_ms", base.deposit_ms, cur.deposit_ms),
+            ("recovery_ms", base.recovery_ms, cur.recovery_ms),
+        ] {
+            if b >= 2.0 && c > b * (1.0 + tolerance) {
+                out.push(Regression {
+                    label: format!("{}/{}", cur.label, cur.backend),
                     metric,
                     baseline_ms: b,
                     current_ms: c,
@@ -409,5 +500,71 @@ mod tests {
         let base = doc(vec![tier("a", 10.0, 10.0)]);
         let cur = doc(vec![tier("a", 12.0, 12.0)]);
         assert!(gate_wall_times(&base, &cur, 0.25).is_empty());
+    }
+
+    fn store_tier(label: &str, backend: &str, deposit_ms: f64, recovery_ms: f64) -> StoreTier {
+        StoreTier {
+            label: label.to_owned(),
+            backend: backend.to_owned(),
+            users: 100,
+            messages: 10_000,
+            deposit_ms,
+            deposits_per_sec: 1.0e6,
+            recovery_ms,
+            replayed_records: if backend == "wal" { 10_000 } else { 0 },
+            recovered_messages: 10_000,
+            drain_ms: 1.0,
+            wal_bytes: if backend == "wal" { 1 << 20 } else { 0 },
+        }
+    }
+
+    fn store_doc(tiers: Vec<StoreTier>) -> StoreBench {
+        StoreBench {
+            schema_version: BENCH_SCHEMA_VERSION,
+            experiment: "store-durability".into(),
+            seed: 42,
+            tiers,
+        }
+    }
+
+    #[test]
+    fn store_doc_round_trips() {
+        let d = store_doc(vec![
+            store_tier("smoke-10k", "mem", 3.0, 0.1),
+            store_tier("smoke-10k", "wal", 9.0, 4.0),
+        ]);
+        let back: StoreBench = serde_json::from_str(&d.to_json()).expect("round-trip");
+        assert_eq!(back.schema_version, BENCH_SCHEMA_VERSION);
+        assert_eq!(back.tiers.len(), 2);
+        assert_eq!(back.tiers[1].backend, "wal");
+        assert_eq!(d.to_json(), back.to_json());
+    }
+
+    #[test]
+    fn store_gate_matches_on_label_and_backend() {
+        let base = store_doc(vec![
+            store_tier("a", "mem", 10.0, 0.1),
+            store_tier("a", "wal", 10.0, 10.0),
+        ]);
+        // mem regresses on deposit, wal on recovery; the sub-2ms mem
+        // recovery baseline is jitter-floored; tier `b` has no baseline.
+        let cur = store_doc(vec![
+            store_tier("a", "mem", 15.0, 1.9),
+            store_tier("a", "wal", 10.0, 15.0),
+            store_tier("b", "wal", 99.0, 99.0),
+        ]);
+        let regressions = gate_store_times(&base, &cur, 0.25);
+        assert_eq!(regressions.len(), 2);
+        assert_eq!(regressions[0].label, "a/mem");
+        assert_eq!(regressions[0].metric, "deposit_ms");
+        assert_eq!(regressions[1].label, "a/wal");
+        assert_eq!(regressions[1].metric, "recovery_ms");
+    }
+
+    #[test]
+    fn store_gate_accepts_within_tolerance() {
+        let base = store_doc(vec![store_tier("a", "wal", 10.0, 10.0)]);
+        let cur = store_doc(vec![store_tier("a", "wal", 12.0, 12.0)]);
+        assert!(gate_store_times(&base, &cur, 0.25).is_empty());
     }
 }

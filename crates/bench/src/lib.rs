@@ -18,3 +18,4 @@ pub mod mst_exp;
 pub mod render;
 pub mod scale_exp;
 pub mod scorecard_exp;
+pub mod store_exp;

@@ -8,7 +8,7 @@
 use std::fs;
 use std::path::PathBuf;
 
-use lems_bench::emit::{AssignBench, GetMailBench, BENCH_SCHEMA_VERSION};
+use lems_bench::emit::{AssignBench, GetMailBench, StoreBench, BENCH_SCHEMA_VERSION};
 
 fn repo_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
@@ -115,6 +115,68 @@ fn committed_getmail_bench_matches_schema() {
     }
 
     let doc2: GetMailBench = serde_json::from_str(&doc.to_json()).expect("round trip");
+    assert_eq!(doc.to_json(), doc2.to_json());
+}
+
+#[test]
+fn committed_store_bench_matches_schema() {
+    let doc: StoreBench = serde_json::from_str(&read("BENCH_store.json"))
+        .expect("BENCH_store.json must deserialize into emit::StoreBench");
+    assert_eq!(doc.schema_version, BENCH_SCHEMA_VERSION);
+    assert_eq!(doc.experiment, "store-durability");
+    assert!(!doc.tiers.is_empty(), "need at least one tier");
+
+    let labels: Vec<(&str, &str)> = doc
+        .tiers
+        .iter()
+        .map(|t| (t.label.as_str(), t.backend.as_str()))
+        .collect();
+    // The committed baseline is the full ladder (mem before wal within a
+    // tier); CI's smoke run gates against the smoke-100k pair.
+    for required in [
+        ("smoke-100k", "mem"),
+        ("smoke-100k", "wal"),
+        ("1m", "mem"),
+        ("1m", "wal"),
+    ] {
+        assert!(labels.contains(&required), "missing tier {required:?}");
+    }
+
+    for t in &doc.tiers {
+        assert!(t.users > 0 && t.messages > 0, "{}/{}", t.label, t.backend);
+        assert!(
+            t.deposit_ms >= 0.0 && t.recovery_ms >= 0.0 && t.drain_ms >= 0.0,
+            "{}/{}: negative wall time",
+            t.label,
+            t.backend
+        );
+        assert!(
+            t.deposits_per_sec > 0.0,
+            "{}/{}: deposits/sec must be positive",
+            t.label,
+            t.backend
+        );
+        // The durability contract the bench asserts at run time, visible
+        // in the document: everything deposited is there after recovery.
+        assert_eq!(
+            t.recovered_messages, t.messages,
+            "{}/{}",
+            t.label, t.backend
+        );
+        match t.backend.as_str() {
+            "mem" => {
+                assert_eq!(t.replayed_records, 0, "{}: RAM replays nothing", t.label);
+                assert_eq!(t.wal_bytes, 0, "{}: RAM logs nothing", t.label);
+            }
+            "wal" => {
+                assert!(t.replayed_records > 0, "{}: WAL must replay", t.label);
+                assert!(t.wal_bytes > 0, "{}: WAL must log", t.label);
+            }
+            other => panic!("unknown backend {other}"),
+        }
+    }
+
+    let doc2: StoreBench = serde_json::from_str(&doc.to_json()).expect("round trip");
     assert_eq!(doc.to_json(), doc2.to_json());
 }
 

@@ -34,13 +34,17 @@ commands:
                                    --no-allow ignores the allowlist — the CI
                                    differential diffs that output against
                                    GOLDEN_lint.json)
-  audit [--seed <n>] [--chaos] [--trace-out <path>] [name ...]
+  audit [--seed <n>] [--chaos] [--durability] [--trace-out <path>] [name ...]
                                   replay audit scenarios and check the
                                   engine's conservation laws + mail ledgers
                                   + message-lifecycle span conservation
                                   (scenarios: steady, failover, random-failures,
-                                   chaos-lossy, chaos-partition, chaos-crash-loss;
+                                   chaos-lossy, chaos-partition, chaos-crash-loss,
+                                   durable-crash, durable-torn-tail,
+                                   durable-recrash;
                                    --chaos runs just the chaos trio;
+                                   --durability runs just the WAL crash-recovery
+                                   trio and fails on any acked-deposit loss;
                                    --trace-out writes each scenario's spans and
                                    metrics as deterministic JSONL for lems-trace,
                                    name-suffixed when several scenarios run;
@@ -186,6 +190,7 @@ fn run_lint(args: &[String]) -> ExitCode {
 fn run_audit(args: &[String]) -> ExitCode {
     let mut seed = 3u64;
     let mut chaos_only = false;
+    let mut durability_only = false;
     let mut trace_out: Option<PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -199,6 +204,7 @@ fn run_audit(args: &[String]) -> ExitCode {
                 }
             },
             "--chaos" => chaos_only = true,
+            "--durability" => durability_only = true,
             "--trace-out" => match it.next() {
                 Some(p) => trace_out = Some(PathBuf::from(p)),
                 None => {
@@ -212,6 +218,8 @@ fn run_audit(args: &[String]) -> ExitCode {
 
     let all = if chaos_only {
         scenarios::run_chaos(seed)
+    } else if durability_only {
+        scenarios::run_durability(seed)
     } else {
         scenarios::run_all(seed)
     };
@@ -222,7 +230,8 @@ fn run_audit(args: &[String]) -> ExitCode {
     if outcomes.is_empty() {
         eprintln!(
             "lems-check audit: no scenario matches {wanted:?} (have: steady, failover, \
-             random-failures, chaos-lossy, chaos-partition, chaos-crash-loss)"
+             random-failures, chaos-lossy, chaos-partition, chaos-crash-loss, \
+             durable-crash, durable-torn-tail, durable-recrash)"
         );
         return ExitCode::from(2);
     }
@@ -282,6 +291,7 @@ fn write_trace(o: &scenarios::ScenarioOutcome, path: &std::path::Path) -> Result
         seed: o.seed,
         finished_at: o.finished_at,
         spans: &o.spans,
+        recoveries: &o.recoveries,
         scopes: &o.scopes,
     })?;
     let lines = text.lines().count();

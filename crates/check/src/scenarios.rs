@@ -11,11 +11,13 @@
 //! seed reproduces the identical event stream, which is what makes a
 //! reported violation actionable.
 
+use lems_core::store::StoreRecovery;
 use lems_net::generators::fig1;
 use lems_sim::linkfault::LinkProfile;
 use lems_sim::metrics::MetricsRegistry;
 use lems_sim::span::{audit_spans, SpanAuditReport, SpanLog};
 use lems_sim::time::{SimDuration, SimTime};
+use lems_store::{DurabilityConfig, WalConfig};
 use lems_syntax::actors::{
     Deployment, DeploymentConfig, LinkChaos, ServerFailurePlan, SessionConfig,
 };
@@ -53,6 +55,8 @@ pub struct ScenarioOutcome {
     pub span_report: SpanAuditReport,
     /// The run's complete span log (exportable via `lems-obs`).
     pub spans: SpanLog,
+    /// Store-recovery reports, one per server recovery (exportable).
+    pub recoveries: Vec<StoreRecovery>,
     /// Per-actor metric registries in deployment order (exportable).
     pub scopes: Vec<(String, MetricsRegistry)>,
     /// Engine seed the scenario ran with.
@@ -162,6 +166,7 @@ fn finish(
         wiring_errors: d.transport.wiring_errors(),
         span_report,
         spans,
+        recoveries: d.recoveries.borrow().clone(),
         scopes: d.metrics_snapshot(),
         seed,
         finished_at: d.sim.now(),
@@ -435,6 +440,168 @@ pub fn chaos_crash_loss(seed: u64) -> ScenarioOutcome {
     )
 }
 
+/// Builds a Fig. 1 deployment whose servers persist through `durability`,
+/// with tracing and spans enabled.
+fn fig1_deployment_durable(seed: u64, durability: DurabilityConfig) -> Deployment {
+    let f = fig1();
+    let mut d = Deployment::build(
+        &f.topology,
+        &[2, 2, 2, 2, 2, 2],
+        &DeploymentConfig {
+            seed,
+            durability,
+            ..DeploymentConfig::default()
+        },
+    );
+    d.sim.enable_trace(usize::MAX);
+    d.enable_spans();
+    d
+}
+
+/// The WAL configuration the durability scenarios run with: small
+/// segments so rotation and chunked compaction actually happen inside a
+/// short audited run, plus an optional torn tail at crash time.
+fn scenario_wal(torn_tail_bytes: usize) -> WalConfig {
+    WalConfig {
+        segment_bytes: 8 * 1024,
+        chunk_messages: 8,
+        max_segments: 3,
+        torn_tail_bytes,
+        ..WalConfig::default()
+    }
+}
+
+/// Post-audit durability gate: the scenario must have actually recovered
+/// at least one server, and no recovery may report destroyed mail — an
+/// acked deposit that did not survive its crash is exactly the loss the
+/// WAL exists to prevent.
+fn expect_durable(mut o: ScenarioOutcome) -> ScenarioOutcome {
+    if o.recoveries.is_empty() {
+        o.domain.push(AuditViolation::Domain(
+            "durability scenario recorded no store recovery — nothing crashed, \
+             so the scenario proves nothing"
+                .to_owned(),
+        ));
+    }
+    for r in &o.recoveries {
+        if r.lost_messages > 0 {
+            o.domain.push(AuditViolation::Domain(format!(
+                "store recovery at {} on n{} lost {} acked message(s) \
+                 (backend {})",
+                r.at, r.site, r.lost_messages, r.backend
+            )));
+        }
+    }
+    o
+}
+
+/// Crash-mid-deposit under the WAL backend: the first Fig. 1 server goes
+/// down in `[10, 30)` while mail is in flight, its WAL replays on
+/// recovery, and every acked deposit must still reach its recipient —
+/// proven by the same span-conservation audit the volatile scenarios use.
+pub fn durable_crash(seed: u64) -> ScenarioOutcome {
+    let f = fig1();
+    let mut d = fig1_deployment_durable(seed, DurabilityConfig::Wal(scenario_wal(0)));
+    let names = d.user_names();
+    let mut plan = ServerFailurePlan::new();
+    plan.add(f.servers[0], t(10.0), t(30.0));
+    d.apply_server_failures(&plan);
+    for i in 0..names.len() {
+        d.send_at(
+            t(5.0 + 2.0 * i as f64),
+            &names[i],
+            &names[(i + 3) % names.len()],
+        );
+    }
+    for (i, n) in names.iter().enumerate() {
+        d.check_at(t(60.0 + i as f64), n);
+        d.check_at(t(120.0 + i as f64), n);
+    }
+    expect_durable(finish(
+        "durable-crash",
+        "WAL-backed Fig. 1, server 0 crashes in [10, 30) mid-deposit: replay, drain",
+        seed,
+        d,
+        true,
+    ))
+}
+
+/// As `durable-crash`, but the crash additionally leaves a torn write —
+/// garbage bytes past the durable boundary of the newest WAL segment.
+/// Recovery must truncate the torn tail and still lose nothing.
+pub fn durable_torn_tail(seed: u64) -> ScenarioOutcome {
+    let f = fig1();
+    let mut d = fig1_deployment_durable(seed, DurabilityConfig::Wal(scenario_wal(13)));
+    let names = d.user_names();
+    let mut plan = ServerFailurePlan::new();
+    plan.add(f.servers[0], t(10.0), t(30.0));
+    d.apply_server_failures(&plan);
+    for i in 0..names.len() {
+        d.send_at(
+            t(5.0 + 2.0 * i as f64),
+            &names[i],
+            &names[(i + 3) % names.len()],
+        );
+    }
+    for (i, n) in names.iter().enumerate() {
+        d.check_at(t(60.0 + i as f64), n);
+        d.check_at(t(120.0 + i as f64), n);
+    }
+    expect_durable(finish(
+        "durable-torn-tail",
+        "WAL-backed Fig. 1, crash in [10, 30) leaves a torn segment tail: truncate, replay, drain",
+        seed,
+        d,
+        true,
+    ))
+}
+
+/// Recover-then-re-crash: the same WAL-backed server goes down twice
+/// (`[10, 25)` and `[45, 60)`), so the second recovery replays a log that
+/// already contains one recovery's worth of re-routing. Nothing may be
+/// lost across either cycle.
+pub fn durable_recrash(seed: u64) -> ScenarioOutcome {
+    let f = fig1();
+    let mut d = fig1_deployment_durable(seed, DurabilityConfig::Wal(scenario_wal(13)));
+    let names = d.user_names();
+    let mut plan = ServerFailurePlan::new();
+    plan.add(f.servers[0], t(10.0), t(25.0));
+    plan.add(f.servers[0], t(45.0), t(60.0));
+    d.apply_server_failures(&plan);
+    for i in 0..names.len() {
+        d.send_at(
+            t(5.0 + 4.0 * i as f64),
+            &names[i],
+            &names[(i + 3) % names.len()],
+        );
+        d.send_at(
+            t(40.0 + 2.0 * i as f64),
+            &names[i],
+            &names[(i + 7) % names.len()],
+        );
+    }
+    for (i, n) in names.iter().enumerate() {
+        d.check_at(t(90.0 + i as f64), n);
+        d.check_at(t(150.0 + i as f64), n);
+    }
+    expect_durable(finish(
+        "durable-recrash",
+        "WAL-backed Fig. 1, server 0 crashes twice ([10, 25) and [45, 60)): recover, re-crash, drain",
+        seed,
+        d,
+        true,
+    ))
+}
+
+/// The durability scenarios only (the `--durability` CLI selector).
+pub fn run_durability(seed: u64) -> Vec<ScenarioOutcome> {
+    vec![
+        durable_crash(seed),
+        durable_torn_tail(seed),
+        durable_recrash(seed),
+    ]
+}
+
 /// The chaos scenarios only (the `--chaos` CLI selector).
 pub fn run_chaos(seed: u64) -> Vec<ScenarioOutcome> {
     vec![
@@ -453,6 +620,9 @@ pub fn run_all(seed: u64) -> Vec<ScenarioOutcome> {
         chaos_lossy(seed),
         chaos_partition(seed),
         chaos_crash_loss(seed),
+        durable_crash(seed),
+        durable_torn_tail(seed),
+        durable_recrash(seed),
     ]
 }
 

@@ -10,6 +10,9 @@
 //! * [`message`] — messages, ids, and delivery status;
 //! * [`mailbox`] — server-side stable storage for undelivered mail
 //!   (§3.1.2c);
+//! * [`store`] — the [`MailStore`] persistence trait behind those
+//!   mailboxes, with the in-memory backends (the write-ahead-log backend
+//!   lives in `lems-store`);
 //! * [`user`] — users and their ordered authority-server lists;
 //! * [`directory`] — the partitioned, partially replicated name database
 //!   (§2) and per-server views of it;
@@ -26,6 +29,7 @@ pub mod hierarchy;
 pub mod mailbox;
 pub mod message;
 pub mod name;
+pub mod store;
 pub mod user;
 pub mod workload;
 
@@ -34,6 +38,7 @@ pub use hierarchy::{HierName, ZoneTable};
 pub use mailbox::{Mailbox, StoredMessage};
 pub use message::{BounceReason, DeliveryStatus, Message, MessageId, MessageIdGen};
 pub use name::{MailName, ParseNameError};
+pub use store::{MailStore, MemStore, RecoveryReport, StoreRecovery, StoreState};
 pub use user::{AuthorityList, UserId, UserRecord};
 pub use workload::{
     generate, generate_mobility, MobilityConfig, MobilitySchedule, Workload, WorkloadConfig,

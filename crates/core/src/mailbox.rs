@@ -47,12 +47,25 @@ pub struct StoredMessage {
 /// assert!(mbox.is_empty());
 /// # Ok::<(), lems_core::name::ParseNameError>(())
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+/// Ledger invariant: every deposited message leaves the mailbox through
+/// exactly one of retrieval (`drain`/`remove`) or expiry
+/// (`expire_older_than`), so at all times
+///
+/// ```text
+/// deposited_total == retrieved_total + expired_total + len()
+/// ```
+///
+/// `retrieved_total` deliberately counts only messages handed to a user
+/// (drains and targeted removals); expiry is storage reclamation, not
+/// retrieval, and is ledgered separately in `expired_total`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Mailbox {
     owner: MailName,
     stored: Vec<StoredMessage>,
     deposited_total: u64,
     retrieved_total: u64,
+    #[serde(default)]
+    expired_total: u64,
 }
 
 impl Mailbox {
@@ -63,6 +76,7 @@ impl Mailbox {
             stored: Vec::new(),
             deposited_total: 0,
             retrieved_total: 0,
+            expired_total: 0,
         }
     }
 
@@ -115,19 +129,37 @@ impl Mailbox {
         self.deposited_total
     }
 
-    /// Messages ever retrieved from this mailbox.
+    /// Messages ever retrieved from this mailbox (drains + removals; expiry
+    /// is ledgered in [`Mailbox::expired_total`], not here).
     pub fn retrieved_total(&self) -> u64 {
         self.retrieved_total
+    }
+
+    /// Messages ever reclaimed by [`Mailbox::expire_older_than`].
+    pub fn expired_total(&self) -> u64 {
+        self.expired_total
     }
 
     /// Drops every stored message older than `cutoff`, returning how many
     /// were removed — the archiving/clean-up hook of §3.1.2c ("some policy
     /// of message archiving and clean-up must be implemented to protect the
-    /// servers' storage").
+    /// servers' storage"). Expired messages count toward `expired_total`,
+    /// never `retrieved_total`: nobody read them.
     pub fn expire_older_than(&mut self, cutoff: SimTime) -> usize {
         let before = self.stored.len();
         self.stored.retain(|s| s.deposited_at >= cutoff);
-        before - self.stored.len()
+        let expired = before - self.stored.len();
+        self.expired_total += expired as u64;
+        expired
+    }
+
+    /// Restores the ledger counters after a log replay rebuilds this
+    /// mailbox from a snapshot (the counters are history, not derivable
+    /// from the surviving messages alone).
+    pub fn restore_ledger(&mut self, deposited: u64, retrieved: u64, expired: u64) {
+        self.deposited_total = deposited;
+        self.retrieved_total = retrieved;
+        self.expired_total = expired;
     }
 }
 
@@ -179,6 +211,31 @@ mod tests {
         assert!(mb.remove(MessageId(0)).is_none());
         assert_eq!(mb.len(), 1);
         assert_eq!(mb.peek()[0].message.id, MessageId(1));
+    }
+
+    /// Pins the ledger semantics: expiry is accounted in `expired_total`,
+    /// never in `retrieved_total`, and the conservation identity
+    /// `deposited == retrieved + expired + len` holds through a mixed
+    /// drain/remove/expire history.
+    #[test]
+    fn ledger_conserves_messages_across_drain_remove_expire() {
+        let mut g = MessageIdGen::new();
+        let mut mb = mk("east.h.u");
+        for i in 0..6 {
+            mb.deposit(msg(&mut g, "east.h.u"), SimTime::from_units(i as f64));
+        }
+        assert!(mb.remove(MessageId(2)).is_some());
+        let expired = mb.expire_older_than(SimTime::from_units(2.0));
+        assert_eq!(expired, 2); // ids 0 and 1 (id 2 was already removed)
+        let drained = mb.drain();
+        assert_eq!(drained.len(), 3);
+        assert_eq!(mb.deposited_total(), 6);
+        assert_eq!(mb.retrieved_total(), 4); // 1 removal + 3 drained
+        assert_eq!(mb.expired_total(), 2); // expiry is not retrieval
+        assert_eq!(
+            mb.deposited_total(),
+            mb.retrieved_total() + mb.expired_total() + mb.len() as u64
+        );
     }
 
     #[test]

@@ -1,0 +1,473 @@
+//! Pluggable mailbox persistence — the [`MailStore`] trait.
+//!
+//! §3.1.2c makes servers custodians of undelivered mail, and the GetMail
+//! protocol assumes a crashed server comes back with its mailboxes intact.
+//! Historically the simulation granted that assumption by fiat: mailboxes
+//! were plain in-memory maps and a crash simply paused the actor. This
+//! module makes the assumption explicit and falsifiable. Everything a
+//! server must not lose across a crash — mailboxes, the reserved
+//! (drained-but-unacknowledged) retrieval buffer, the accepted-but-unsettled
+//! forward set, and the deposit dedup ledger — lives behind [`MailStore`],
+//! and each backend decides what actually survives:
+//!
+//! * [`MemStore::stable`] — the historical fiat-stable store (backend
+//!   `"mem-stable"`): nothing is ever lost, crash and recovery are no-ops.
+//! * [`MemStore::volatile`] — RAM only (backend `"mem-volatile"`): a crash
+//!   wipes everything. This is the counterexample backend that justifies
+//!   the write-ahead log.
+//! * `WalStore` (in `lems-store`) — an append-only, checksummed,
+//!   schema-versioned write-ahead log with segment rotation and chunked
+//!   compaction; a crash keeps exactly the synced prefix (plus an optional
+//!   injected torn tail) and recovery replays it.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use lems_sim::time::SimTime;
+
+use crate::mailbox::Mailbox;
+use crate::message::{Message, MessageId};
+use crate::name::MailName;
+
+/// The durable state a server entrusts to its store.
+///
+/// Both backends (and the WAL replay path) mutate their state exclusively
+/// through this struct's methods, so "what an operation means" is defined
+/// once: a log record replayed during recovery calls the same method the
+/// live operation did, which is what makes recovery exact.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StoreState {
+    /// Per-user mailboxes (stable storage of §3.1.2c).
+    pub mailboxes: BTreeMap<MailName, Mailbox>,
+    /// Messages handed to a retrieval session but not yet acknowledged
+    /// (the reliable-retrieval reservation buffer).
+    pub pending: BTreeMap<MailName, Vec<Message>>,
+    /// Forwards this server has acknowledged upstream but not yet settled
+    /// downstream, keyed by message id, with the hop budget they carried.
+    pub forwards: BTreeMap<MessageId, (Message, u32)>,
+    /// Every message id ever deposited here — the dedup ledger that makes
+    /// at-least-once delivery idempotent.
+    pub deposited: BTreeSet<MessageId>,
+}
+
+impl StoreState {
+    /// Deposits `message` into its recipient's mailbox at `now`. Returns
+    /// `false` (and stores nothing) when the id was already deposited.
+    pub fn deposit(&mut self, message: Message, now: SimTime) -> bool {
+        if !self.deposited.insert(message.id) {
+            return false;
+        }
+        let owner = message.to.clone();
+        self.mailboxes
+            .entry(owner.clone())
+            .or_insert_with(|| Mailbox::new(owner))
+            .deposit(message, now);
+        true
+    }
+
+    /// True when `id` has ever been deposited here.
+    pub fn is_deposited(&self, id: MessageId) -> bool {
+        self.deposited.contains(&id)
+    }
+
+    /// Reliable retrieval: moves everything in `owner`'s mailbox into the
+    /// reservation buffer and returns the full reserved list (older
+    /// reservations first). Nothing is released until
+    /// [`StoreState::release_drained`].
+    pub fn drain_reserve(&mut self, owner: &MailName) -> Vec<Message> {
+        let fresh: Vec<Message> = self
+            .mailboxes
+            .get_mut(owner)
+            .map(Mailbox::drain)
+            .unwrap_or_default()
+            .into_iter()
+            .map(|s| s.message)
+            .collect();
+        let pending = self.pending.entry(owner.clone()).or_default();
+        pending.extend(fresh);
+        pending.clone()
+    }
+
+    /// Legacy destructive retrieval: removes and returns `owner`'s stored
+    /// messages outright.
+    pub fn drain_destructive(&mut self, owner: &MailName) -> Vec<Message> {
+        self.mailboxes
+            .get_mut(owner)
+            .map(Mailbox::drain)
+            .unwrap_or_default()
+            .into_iter()
+            .map(|s| s.message)
+            .collect()
+    }
+
+    /// Releases acknowledged ids from `owner`'s reservation buffer,
+    /// returning how many were released.
+    pub fn release_drained(&mut self, owner: &MailName, ids: &[MessageId]) -> u64 {
+        let acked: BTreeSet<MessageId> = ids.iter().copied().collect();
+        let Some(pending) = self.pending.get_mut(owner) else {
+            return 0;
+        };
+        let before = pending.len();
+        pending.retain(|m| !acked.contains(&m.id));
+        (before - pending.len()) as u64
+    }
+
+    /// Removes one message from `owner`'s mailbox by id.
+    pub fn remove(&mut self, owner: &MailName, id: MessageId) -> Option<Message> {
+        self.mailboxes.get_mut(owner)?.remove(id).map(|s| s.message)
+    }
+
+    /// Expires messages deposited before `cutoff` from `owner`'s mailbox,
+    /// returning how many were reclaimed.
+    pub fn expire_older_than(&mut self, owner: &MailName, cutoff: SimTime) -> usize {
+        self.mailboxes
+            .get_mut(owner)
+            .map_or(0, |m| m.expire_older_than(cutoff))
+    }
+
+    /// Records that this server accepted responsibility for forwarding
+    /// `message` with `hops_left` hops remaining. Idempotent: a message
+    /// already accepted keeps its original entry. Returns `true` when the
+    /// entry is new.
+    pub fn accept_forward(&mut self, message: &Message, hops_left: u32) -> bool {
+        match self.forwards.entry(message.id) {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert((message.clone(), hops_left));
+                true
+            }
+            std::collections::btree_map::Entry::Occupied(_) => false,
+        }
+    }
+
+    /// Settles (discharges) an accepted forward: the message was handed to
+    /// the next custodian, deposited locally, or bounced.
+    pub fn settle_forward(&mut self, id: MessageId) -> bool {
+        self.forwards.remove(&id).is_some()
+    }
+
+    /// Messages currently held: mailboxes plus reservation buffers.
+    pub fn storage_messages(&self) -> u64 {
+        let boxed: usize = self.mailboxes.values().map(Mailbox::len).sum();
+        let reserved: usize = self.pending.values().map(Vec::len).sum();
+        (boxed + reserved) as u64
+    }
+}
+
+/// What a backend reconstructed when it came back from a crash.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Backend name (`"mem-stable"`, `"mem-volatile"`, `"wal"`).
+    pub backend: &'static str,
+    /// Log records replayed (0 for in-memory backends).
+    pub replayed_records: u64,
+    /// Mailbox messages present after recovery.
+    pub recovered_messages: u64,
+    /// Reserved (drained-but-unacked) messages present after recovery.
+    pub recovered_pending: u64,
+    /// Accepted-but-unsettled forwards reconstructed.
+    pub recovered_forwards: u64,
+    /// Messages known lost by this backend across the crash.
+    pub lost_messages: u64,
+    /// Bytes discarded from a torn (partially written) log tail.
+    pub torn_bytes: u64,
+    /// Log segments scanned during replay.
+    pub segments: u64,
+    /// Unsettled forwards the server must re-route, in message-id order.
+    /// Empty for backends whose process state survives by fiat (the actor
+    /// keeps its own in-flight bookkeeping in that case).
+    pub unsettled: Vec<(Message, u32)>,
+}
+
+/// A recovery event as surfaced to telemetry (one per server recovery).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreRecovery {
+    /// When the server recovered.
+    pub at: SimTime,
+    /// Recovering server's node id.
+    pub site: u64,
+    /// Backend name.
+    pub backend: &'static str,
+    /// Log records replayed.
+    pub replayed_records: u64,
+    /// Mailbox messages present after recovery.
+    pub recovered_messages: u64,
+    /// Reserved messages present after recovery.
+    pub recovered_pending: u64,
+    /// Unsettled forwards re-routed after recovery.
+    pub recovered_forwards: u64,
+    /// Messages known lost across the crash.
+    pub lost_messages: u64,
+    /// Torn-tail bytes discarded during replay.
+    pub torn_bytes: u64,
+    /// Log segments scanned.
+    pub segments: u64,
+}
+
+/// Mailbox persistence backend.
+///
+/// A server actor routes every durable-state mutation through this trait;
+/// the backend decides what survives [`MailStore::crash`]. Methods are
+/// infallible because simulated backends cannot fail; file-backed stores
+/// surface problems through [`MailStore::io_errors`] instead of panicking
+/// inside an event handler.
+pub trait MailStore: std::fmt::Debug {
+    /// Stable backend name for telemetry.
+    fn backend(&self) -> &'static str;
+
+    /// True when the server process's volatile protocol state (retry
+    /// timers, in-flight bookkeeping) also survives a crash by fiat —
+    /// only the historical `"mem-stable"` backend says yes.
+    fn preserves_volatile(&self) -> bool {
+        false
+    }
+
+    /// Deposits `message`; returns `false` for a duplicate id (dedup).
+    fn deposit(&mut self, message: Message, now: SimTime) -> bool;
+
+    /// True when `id` has ever been deposited here.
+    fn is_deposited(&self, id: MessageId) -> bool;
+
+    /// Reliable retrieval: reserve `owner`'s mail, return the reserved list.
+    fn drain_reserve(&mut self, owner: &MailName) -> Vec<Message>;
+
+    /// Destructive retrieval: remove and return `owner`'s mail.
+    fn drain_destructive(&mut self, owner: &MailName) -> Vec<Message>;
+
+    /// Release acknowledged reserved ids; returns how many were released.
+    fn release_drained(&mut self, owner: &MailName, ids: &[MessageId]) -> u64;
+
+    /// Remove one message by id from `owner`'s mailbox.
+    fn remove(&mut self, owner: &MailName, id: MessageId) -> Option<Message>;
+
+    /// Expire messages deposited before `cutoff`; returns how many.
+    fn expire_older_than(&mut self, owner: &MailName, cutoff: SimTime) -> usize;
+
+    /// Journal acceptance of a forward (message + remaining hop budget).
+    fn accept_forward(&mut self, message: &Message, hops_left: u32);
+
+    /// Discharge an accepted forward.
+    fn settle_forward(&mut self, id: MessageId);
+
+    /// Current mailboxes (read-only view for audits and metrics).
+    fn mailboxes(&self) -> &BTreeMap<MailName, Mailbox>;
+
+    /// Current reservation buffers (read-only view).
+    fn pending_drain(&self) -> &BTreeMap<MailName, Vec<Message>>;
+
+    /// The server crashed at `now`: apply the backend's loss model.
+    fn crash(&mut self, now: SimTime);
+
+    /// The server recovered at `now`: rebuild state, report what survived.
+    fn recover(&mut self, now: SimTime) -> RecoveryReport;
+
+    /// Persist everything durable and rebuild in-memory state from it, as
+    /// if the store were closed and reopened cleanly. Returns `None` for
+    /// backends with nothing to round-trip.
+    fn persist_restore(&mut self) -> Option<RecoveryReport> {
+        None
+    }
+
+    /// Durable log bytes currently held (0 for in-memory backends).
+    fn wal_bytes(&self) -> u64 {
+        0
+    }
+
+    /// I/O errors swallowed so far (always 0 for simulated backends).
+    fn io_errors(&self) -> u64 {
+        0
+    }
+}
+
+/// In-memory backend: the historical store made explicit.
+///
+/// With `stable: true` it reproduces the fiat-stable behaviour the
+/// simulation always had (crash loses nothing). With `stable: false` it
+/// models a server that kept mail in RAM: a crash wipes mailboxes,
+/// reservations, the forward journal, and the dedup ledger.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    state: StoreState,
+    stable: bool,
+    lost_at_crash: u64,
+}
+
+impl MemStore {
+    /// The fiat-stable backend (`"mem-stable"`): historical behaviour.
+    pub fn stable() -> Self {
+        MemStore {
+            state: StoreState::default(),
+            stable: true,
+            lost_at_crash: 0,
+        }
+    }
+
+    /// The RAM-only backend (`"mem-volatile"`): crashes lose everything.
+    pub fn volatile() -> Self {
+        MemStore {
+            state: StoreState::default(),
+            stable: false,
+            lost_at_crash: 0,
+        }
+    }
+
+    /// Read-only view of the full durable state (tests and audits).
+    pub fn state(&self) -> &StoreState {
+        &self.state
+    }
+}
+
+impl MailStore for MemStore {
+    fn backend(&self) -> &'static str {
+        if self.stable {
+            "mem-stable"
+        } else {
+            "mem-volatile"
+        }
+    }
+
+    fn preserves_volatile(&self) -> bool {
+        self.stable
+    }
+
+    fn deposit(&mut self, message: Message, now: SimTime) -> bool {
+        self.state.deposit(message, now)
+    }
+
+    fn is_deposited(&self, id: MessageId) -> bool {
+        self.state.is_deposited(id)
+    }
+
+    fn drain_reserve(&mut self, owner: &MailName) -> Vec<Message> {
+        self.state.drain_reserve(owner)
+    }
+
+    fn drain_destructive(&mut self, owner: &MailName) -> Vec<Message> {
+        self.state.drain_destructive(owner)
+    }
+
+    fn release_drained(&mut self, owner: &MailName, ids: &[MessageId]) -> u64 {
+        self.state.release_drained(owner, ids)
+    }
+
+    fn remove(&mut self, owner: &MailName, id: MessageId) -> Option<Message> {
+        self.state.remove(owner, id)
+    }
+
+    fn expire_older_than(&mut self, owner: &MailName, cutoff: SimTime) -> usize {
+        self.state.expire_older_than(owner, cutoff)
+    }
+
+    fn accept_forward(&mut self, message: &Message, hops_left: u32) {
+        self.state.accept_forward(message, hops_left);
+    }
+
+    fn settle_forward(&mut self, id: MessageId) {
+        self.state.settle_forward(id);
+    }
+
+    fn mailboxes(&self) -> &BTreeMap<MailName, Mailbox> {
+        &self.state.mailboxes
+    }
+
+    fn pending_drain(&self) -> &BTreeMap<MailName, Vec<Message>> {
+        &self.state.pending
+    }
+
+    fn crash(&mut self, _now: SimTime) {
+        if !self.stable {
+            self.lost_at_crash = self.state.storage_messages();
+            self.state = StoreState::default();
+        }
+    }
+
+    fn recover(&mut self, _now: SimTime) -> RecoveryReport {
+        let lost = std::mem::take(&mut self.lost_at_crash);
+        RecoveryReport {
+            backend: self.backend(),
+            replayed_records: 0,
+            recovered_messages: self.state.mailboxes.values().map(|m| m.len() as u64).sum(),
+            recovered_pending: self.state.pending.values().map(|p| p.len() as u64).sum(),
+            recovered_forwards: if self.stable {
+                self.state.forwards.len() as u64
+            } else {
+                0
+            },
+            lost_messages: lost,
+            torn_bytes: 0,
+            segments: 0,
+            unsettled: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageIdGen;
+
+    fn msg(g: &mut MessageIdGen, to: &str) -> Message {
+        Message::new(
+            g.next_id(),
+            "east.h.sender".parse().unwrap(),
+            to.parse().unwrap(),
+            "s",
+            "b",
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn deposit_dedups_by_id() {
+        let mut g = MessageIdGen::new();
+        let mut s = MemStore::stable();
+        let m = msg(&mut g, "east.h.u");
+        assert!(s.deposit(m.clone(), SimTime::ZERO));
+        assert!(!s.deposit(m, SimTime::ZERO));
+        assert_eq!(s.state().storage_messages(), 1);
+    }
+
+    #[test]
+    fn drain_reserve_then_release_settles_storage() {
+        let mut g = MessageIdGen::new();
+        let mut s = MemStore::stable();
+        let owner: MailName = "east.h.u".parse().unwrap();
+        for _ in 0..3 {
+            s.deposit(msg(&mut g, "east.h.u"), SimTime::ZERO);
+        }
+        let reserved = s.drain_reserve(&owner);
+        assert_eq!(reserved.len(), 3);
+        // Un-acked: still held in the reservation buffer.
+        assert_eq!(s.state().storage_messages(), 3);
+        // A second reserve returns the same outstanding batch.
+        assert_eq!(s.drain_reserve(&owner).len(), 3);
+        let released = s.release_drained(&owner, &[reserved[0].id, reserved[2].id]);
+        assert_eq!(released, 2);
+        assert_eq!(s.state().storage_messages(), 1);
+    }
+
+    #[test]
+    fn volatile_crash_wipes_state_and_reports_loss() {
+        let mut g = MessageIdGen::new();
+        let mut s = MemStore::volatile();
+        for _ in 0..4 {
+            s.deposit(msg(&mut g, "east.h.u"), SimTime::ZERO);
+        }
+        s.crash(SimTime::from_units(5.0));
+        assert_eq!(s.state().storage_messages(), 0);
+        let report = s.recover(SimTime::from_units(6.0));
+        assert_eq!(report.lost_messages, 4);
+        assert_eq!(report.recovered_messages, 0);
+    }
+
+    #[test]
+    fn stable_crash_recover_is_a_no_op() {
+        let mut g = MessageIdGen::new();
+        let mut s = MemStore::stable();
+        for _ in 0..4 {
+            s.deposit(msg(&mut g, "east.h.u"), SimTime::ZERO);
+        }
+        s.crash(SimTime::from_units(5.0));
+        let report = s.recover(SimTime::from_units(6.0));
+        assert_eq!(report.lost_messages, 0);
+        assert_eq!(report.recovered_messages, 4);
+    }
+}

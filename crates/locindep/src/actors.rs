@@ -22,6 +22,7 @@ use std::rc::Rc;
 use lems_core::mailbox::Mailbox;
 use lems_core::message::{Message, MessageId, MessageIdGen};
 use lems_core::name::MailName;
+use lems_core::store::MailStore;
 use lems_net::graph::NodeId;
 use lems_net::topology::Topology;
 use lems_net::transport::Transport;
@@ -30,6 +31,7 @@ use lems_sim::metrics::MetricsRegistry;
 use lems_sim::session::RetryPolicy;
 use lems_sim::stats::Summary;
 use lems_sim::time::{SimDuration, SimTime};
+use lems_store::DurabilityConfig;
 
 use crate::subgroup::SubgroupMap;
 
@@ -319,7 +321,9 @@ pub struct RoamServer {
     /// timestamp that produced them (last-writer-wins). Ordered maps keep
     /// actor state deterministic (see `lems-check -- lint`).
     locations: BTreeMap<MailName, (NodeId, SimTime)>,
-    mailboxes: BTreeMap<MailName, Mailbox>,
+    /// Durable mailbox storage behind the [`MailStore`] trait (System-2
+    /// servers only ever deposit; retrieval happens at the user's host).
+    store: Box<dyn MailStore>,
     pending: BTreeMap<MessageId, PendingLookup>,
     /// Message ids already accepted (stored or relayed): retransmitted and
     /// wire-duplicated `Deliver`s are acked but processed only once.
@@ -385,13 +389,13 @@ impl RoamServer {
     fn store_and_notify(&mut self, msg: Message, ctx: &mut Ctx<'_, RoamMsg>) {
         let user = msg.to.clone();
         let id = msg.id;
-        self.stats.borrow_mut().stored += 1;
-        self.metrics.inc("stored");
-        self.metrics.gauge_add(ctx.now(), "storage", 1.0);
-        self.mailboxes
-            .entry(user.clone())
-            .or_insert_with(|| Mailbox::new(user.clone()))
-            .deposit(msg.clone(), ctx.now());
+        // `seen_ids` dedups upstream, so this only returns false if the
+        // same id somehow reached two code paths — count only real stores.
+        if self.store.deposit(msg.clone(), ctx.now()) {
+            self.stats.borrow_mut().stored += 1;
+            self.metrics.inc("stored");
+            self.metrics.gauge_add(ctx.now(), "storage", 1.0);
+        }
 
         // Primary location is derivable from the name alone (§3.2.2c:
         // "from the user name, the primary location of the user can be
@@ -663,6 +667,28 @@ impl RoamDeployment {
     /// Panics if the topology has no servers or hosts in region 0, or the
     /// population slice is misaligned.
     pub fn build(topology: &Topology, users_per_host: &[u32], groups: usize, seed: u64) -> Self {
+        Self::build_with_durability(
+            topology,
+            users_per_host,
+            groups,
+            seed,
+            &DurabilityConfig::default(),
+        )
+    }
+
+    /// [`RoamDeployment::build`] with an explicit mailbox persistence
+    /// backend for every server.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`RoamDeployment::build`].
+    pub fn build_with_durability(
+        topology: &Topology,
+        users_per_host: &[u32],
+        groups: usize,
+        seed: u64,
+        durability: &DurabilityConfig,
+    ) -> Self {
         let region = lems_net::topology::RegionId(0);
         let servers = topology.servers_in(region);
         let hosts = topology.hosts_in(region);
@@ -701,7 +727,7 @@ impl RoamDeployment {
                 peers: servers.clone(),
                 primary_hosts: primary_hosts.clone(),
                 locations: BTreeMap::new(),
-                mailboxes: BTreeMap::new(),
+                store: lems_store::make_store(durability),
                 pending: BTreeMap::new(),
                 seen_ids: BTreeSet::new(),
                 relays: BTreeMap::new(),
@@ -843,7 +869,13 @@ impl RoamDeployment {
         self.server_actors
             .values()
             .filter_map(|&aid| self.sim.actor::<RoamServer>(aid))
-            .map(|s| s.mailboxes.values().map(Mailbox::len).sum::<usize>())
+            .map(|s| {
+                s.store
+                    .mailboxes()
+                    .values()
+                    .map(Mailbox::len)
+                    .sum::<usize>()
+            })
             .sum()
     }
 }

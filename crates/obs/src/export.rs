@@ -2,12 +2,14 @@
 //!
 //! The line order is a pure function of the run: header first, then span
 //! events in record order (the span log is append-only and the engine is
-//! deterministic), then metric lines grouped by scope in the order the
-//! deployment lists them (node order), with counters, gauges, and
-//! histograms each in name order (`BTreeMap` iteration). No wall clock,
+//! deterministic), then store-recovery lines in recovery order, then
+//! metric lines grouped by scope in the order the deployment lists them
+//! (node order), with counters, gauges, and histograms each in name order
+//! (`BTreeMap` iteration). No wall clock,
 //! no host names, no environment — a seeded run exports byte-identical
 //! bytes every time.
 
+use lems_core::store::StoreRecovery;
 use lems_sim::metrics::MetricsRegistry;
 use lems_sim::span::SpanLog;
 use lems_sim::time::SimTime;
@@ -25,6 +27,9 @@ pub struct RunTelemetry<'a> {
     pub finished_at: SimTime,
     /// The run's span log.
     pub spans: &'a SpanLog,
+    /// Store-recovery reports, in recovery order (empty when no server
+    /// crashed or the deployment predates durable storage).
+    pub recoveries: &'a [StoreRecovery],
     /// Per-scope metric registries, in deployment (node) order.
     pub scopes: &'a [(String, MetricsRegistry)],
 }
@@ -57,6 +62,20 @@ pub fn export_lines(run: &RunTelemetry<'_>) -> Result<Vec<ObsLine>, String> {
             site: e.site,
             peer: e.peer,
             detail: e.detail,
+        });
+    }
+    for r in run.recoveries {
+        lines.push(ObsLine::Recovery {
+            at_ticks: r.at.as_ticks(),
+            site: r.site,
+            backend: r.backend.to_owned(),
+            replayed_records: r.replayed_records,
+            recovered_messages: r.recovered_messages,
+            recovered_pending: r.recovered_pending,
+            recovered_forwards: r.recovered_forwards,
+            lost_messages: r.lost_messages,
+            torn_bytes: r.torn_bytes,
+            segments: r.segments,
         });
     }
     for (scope, m) in run.scopes {
@@ -139,6 +158,7 @@ mod tests {
             seed: 7,
             finished_at: t(10.0),
             spans: &log,
+            recoveries: &[],
             scopes: &scopes,
         };
         let a = export_jsonl(&run).expect("exports");
@@ -161,6 +181,7 @@ mod tests {
             seed: 7,
             finished_at: t(2.0),
             spans: &log,
+            recoveries: &[],
             scopes: &[],
         };
         let err = export_jsonl(&run).expect_err("must refuse");
@@ -178,6 +199,7 @@ mod tests {
             seed: 1,
             finished_at: SimTime::ZERO.saturating_add(SimDuration::from_units(4.0)),
             spans: &log,
+            recoveries: &[],
             scopes: &scopes,
         };
         let lines = export_lines(&run).expect("exports");

@@ -34,6 +34,31 @@ pub struct HistSummary {
     pub max: f64,
 }
 
+/// One parsed store-recovery line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoverySummary {
+    /// Recovery time in ticks.
+    pub at_ticks: u64,
+    /// Node that recovered.
+    pub site: u64,
+    /// Backend that performed recovery.
+    pub backend: String,
+    /// WAL records replayed.
+    pub replayed_records: u64,
+    /// Mailbox messages present after recovery.
+    pub recovered_messages: u64,
+    /// Drained-but-unacked messages present after recovery.
+    pub recovered_pending: u64,
+    /// Unsettled forwards re-routed after recovery.
+    pub recovered_forwards: u64,
+    /// Stored messages the crash destroyed.
+    pub lost_messages: u64,
+    /// Torn-tail bytes truncated during replay.
+    pub torn_bytes: u64,
+    /// Live WAL segments after recovery.
+    pub segments: u64,
+}
+
 /// A fully parsed telemetry dump.
 #[derive(Clone, Debug, Default)]
 pub struct Dump {
@@ -45,6 +70,8 @@ pub struct Dump {
     pub finished_at_ticks: u64,
     /// Span events, in record order.
     pub spans: Vec<SpanEvent>,
+    /// Store-recovery reports, in recovery order.
+    pub recoveries: Vec<RecoverySummary>,
     /// `(scope, name, value)` counters, in dump order.
     pub counters: Vec<(String, String, u64)>,
     /// `(scope, name, current, average)` gauges, in dump order.
@@ -107,6 +134,29 @@ impl Dump {
                         detail,
                     });
                 }
+                ObsLine::Recovery {
+                    at_ticks,
+                    site,
+                    backend,
+                    replayed_records,
+                    recovered_messages,
+                    recovered_pending,
+                    recovered_forwards,
+                    lost_messages,
+                    torn_bytes,
+                    segments,
+                } => dump.recoveries.push(RecoverySummary {
+                    at_ticks,
+                    site,
+                    backend,
+                    replayed_records,
+                    recovered_messages,
+                    recovered_pending,
+                    recovered_forwards,
+                    lost_messages,
+                    torn_bytes,
+                    segments,
+                }),
                 ObsLine::Counter { scope, name, value } => {
                     dump.counters.push((scope, name, value));
                 }
@@ -210,6 +260,24 @@ impl Dump {
             self.finished_at_ticks,
             self.spans.len()
         );
+        for r in &self.recoveries {
+            let _ = writeln!(
+                out,
+                "  recovery at {} tick(s): n{} via {} — {} record(s) replayed, \
+                 {} stored / {} pending / {} forward(s) recovered, {} lost, \
+                 {} torn byte(s), {} segment(s)",
+                r.at_ticks,
+                r.site,
+                r.backend,
+                r.replayed_records,
+                r.recovered_messages,
+                r.recovered_pending,
+                r.recovered_forwards,
+                r.lost_messages,
+                r.torn_bytes,
+                r.segments
+            );
+        }
         let mut totals: Vec<(&str, u64)> = Vec::new();
         for (_, name, value) in &self.counters {
             match totals.iter_mut().find(|(n, _)| n == name) {
@@ -276,11 +344,24 @@ mod tests {
         m.gauge_add(t(2.0), "storage", 1.0);
         m.observe("delivery_latency", 1.0);
         let scopes = vec![("server:n4".to_owned(), m)];
+        let recoveries = vec![lems_core::store::StoreRecovery {
+            at: t(5.0),
+            site: 4,
+            backend: "wal",
+            replayed_records: 12,
+            recovered_messages: 1,
+            recovered_pending: 0,
+            recovered_forwards: 0,
+            lost_messages: 0,
+            torn_bytes: 7,
+            segments: 1,
+        }];
         let text = export_jsonl(&RunTelemetry {
             run: "demo",
             seed: 7,
             finished_at: t(10.0),
             spans: &log,
+            recoveries: &recoveries,
             scopes: &scopes,
         })
         .expect("exports");
@@ -300,6 +381,10 @@ mod tests {
         assert_eq!(d.gauges.len(), 1);
         assert_eq!(d.hists.len(), 1);
         assert_eq!(d.scopes(), vec!["server:n4"]);
+        assert_eq!(d.recoveries.len(), 1);
+        assert_eq!(d.recoveries[0].backend, "wal");
+        assert_eq!(d.recoveries[0].replayed_records, 12);
+        assert_eq!(d.recoveries[0].torn_bytes, 7);
     }
 
     #[test]
@@ -327,6 +412,7 @@ mod tests {
         let d = demo_dump();
         let s = d.summary();
         assert!(s.contains("deposited = 1"));
+        assert!(s.contains("recovery at 5000000 tick(s): n4 via wal"));
         assert!(s.contains("server:n4/delivery_latency"));
         let sv = d.servers();
         assert!(sv.contains("server:n4"));
@@ -342,10 +428,11 @@ mod tests {
             seed: 1,
             finished_at: t(1.0),
             spans: &SpanLog::unbounded(),
+            recoveries: &[],
             scopes: &[],
         })
         .expect("exports");
-        let bad = good.replace("\"schema_version\":1", "\"schema_version\":99");
+        let bad = good.replace("\"schema_version\":2", "\"schema_version\":99");
         let err = Dump::parse(&bad).expect_err("version mismatch");
         assert!(err.contains("schema version 99"));
     }

@@ -10,7 +10,10 @@ use serde::{Deserialize, Serialize};
 
 /// Version stamp carried by every dump's header; bump when a field
 /// changes meaning or disappears (additions are fine).
-pub const OBS_SCHEMA_VERSION: u32 = 1;
+///
+/// History: v1 — header/span/metric lines; v2 — store-recovery lines
+/// ([`ObsLine::Recovery`]) between the span block and the metric block.
+pub const OBS_SCHEMA_VERSION: u32 = 2;
 
 /// One line of a telemetry dump.
 ///
@@ -43,6 +46,30 @@ pub enum ObsLine {
         peer: u64,
         /// Stage-specific payload (attempt number, poll count, code).
         detail: u64,
+    },
+    /// One mailbox-store recovery (a server coming back from a crash),
+    /// in recovery order.
+    Recovery {
+        /// Recovery time in simulated ticks.
+        at_ticks: u64,
+        /// Node that recovered.
+        site: u64,
+        /// Backend that performed recovery (e.g. `wal`, `mem-volatile`).
+        backend: String,
+        /// WAL records replayed (0 for in-memory backends).
+        replayed_records: u64,
+        /// Mailbox messages present after recovery.
+        recovered_messages: u64,
+        /// Drained-but-unacked messages present after recovery.
+        recovered_pending: u64,
+        /// Unsettled forward-journal entries re-routed after recovery.
+        recovered_forwards: u64,
+        /// Stored messages the crash destroyed (0 means durable).
+        lost_messages: u64,
+        /// Torn-tail bytes truncated from the log during replay.
+        torn_bytes: u64,
+        /// Live WAL segments after recovery.
+        segments: u64,
     },
     /// One named counter of one scope.
     Counter {
@@ -105,6 +132,18 @@ mod tests {
                 site: 1,
                 peer: u64::MAX,
                 detail: 0,
+            },
+            ObsLine::Recovery {
+                at_ticks: 9,
+                site: 4,
+                backend: "wal".into(),
+                replayed_records: 12,
+                recovered_messages: 3,
+                recovered_pending: 1,
+                recovered_forwards: 2,
+                lost_messages: 0,
+                torn_bytes: 17,
+                segments: 2,
             },
             ObsLine::Counter {
                 scope: "host:n0".into(),

@@ -1,0 +1,732 @@
+//! WAL record codec: checksummed, length-prefixed, schema-versioned frames.
+//!
+//! Every record is wrapped in a frame:
+//!
+//! ```text
+//! frame   := magic(1B = 0xA7) | len(u32 LE, payload bytes) | crc32(u32 LE) | payload
+//! payload := version(u16 LE) | tag(u8) | body
+//! ```
+//!
+//! The CRC covers the payload only, so a torn write (truncated or garbled
+//! frame at the end of the last segment) is always detectable: either the
+//! header is short, the declared length overruns the segment, or the
+//! checksum fails. A checksum *pass* followed by a body that fails to
+//! decode is not a torn write — it is mid-log corruption or a codec bug,
+//! and recovery refuses the log instead of guessing.
+
+use lems_core::message::{Message, MessageId};
+use lems_core::name::MailName;
+use lems_sim::time::SimTime;
+
+use crate::StoreError;
+
+/// First byte of every frame.
+pub const MAGIC: u8 = 0xA7;
+/// Frame header bytes (magic + len + crc).
+pub const HEADER_BYTES: usize = 9;
+/// On-log schema version; bump on any record-format change.
+pub const WAL_SCHEMA_VERSION: u16 = 1;
+/// Upper bound on a single payload; longer declared lengths are treated as
+/// tail garbage, not allocation requests.
+pub const MAX_PAYLOAD_BYTES: u32 = 1 << 28;
+
+/// One durable operation (or compaction-snapshot chunk) on the log.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Record {
+    /// A message entered its recipient's mailbox.
+    Deposit {
+        /// The stored message.
+        message: Message,
+        /// Deposit time (drives expiry on replay).
+        at: SimTime,
+    },
+    /// One message removed from a mailbox by id.
+    Remove {
+        /// Mailbox owner.
+        owner: MailName,
+        /// Removed message id.
+        id: MessageId,
+    },
+    /// Expiry sweep over one mailbox.
+    Expire {
+        /// Mailbox owner.
+        owner: MailName,
+        /// Messages deposited before this instant were reclaimed.
+        cutoff: SimTime,
+    },
+    /// Reliable retrieval reserved the whole mailbox.
+    DrainReserve {
+        /// Mailbox owner.
+        owner: MailName,
+    },
+    /// Legacy destructive retrieval emptied the mailbox.
+    DrainDestructive {
+        /// Mailbox owner.
+        owner: MailName,
+    },
+    /// Acknowledged ids left the reservation buffer.
+    Release {
+        /// Mailbox owner.
+        owner: MailName,
+        /// Acknowledged message ids.
+        ids: Vec<MessageId>,
+    },
+    /// This server took custody of a message to forward onward.
+    AcceptForward {
+        /// The in-flight message.
+        message: Message,
+        /// Hop budget it carried.
+        hops_left: u32,
+    },
+    /// A previously accepted forward was discharged.
+    SettleForward {
+        /// The settled message id.
+        id: MessageId,
+    },
+    /// Compaction chunk: a slice of one mailbox's stored messages.
+    SnapshotMailbox {
+        /// Mailbox owner.
+        owner: MailName,
+        /// Stored messages with their deposit times.
+        messages: Vec<(Message, SimTime)>,
+    },
+    /// Compaction record: one mailbox's ledger counters (written after its
+    /// chunks so replay can overwrite the counter bumps chunk deposits made).
+    SnapshotMeta {
+        /// Mailbox owner.
+        owner: MailName,
+        /// Lifetime deposits.
+        deposited: u64,
+        /// Lifetime retrievals.
+        retrieved: u64,
+        /// Lifetime expirations.
+        expired: u64,
+    },
+    /// Compaction chunk: a slice of one reservation buffer.
+    SnapshotPending {
+        /// Mailbox owner.
+        owner: MailName,
+        /// Reserved messages, oldest first.
+        messages: Vec<Message>,
+    },
+    /// Compaction chunk: a slice of the unsettled-forward journal.
+    SnapshotForwards {
+        /// (message, hop budget) pairs in id order.
+        entries: Vec<(Message, u32)>,
+    },
+    /// Compaction chunk: a slice of the deposit dedup ledger.
+    SnapshotDeposited {
+        /// Deposited message ids.
+        ids: Vec<MessageId>,
+    },
+}
+
+impl Record {
+    fn tag(&self) -> u8 {
+        match self {
+            Record::Deposit { .. } => 1,
+            Record::Remove { .. } => 2,
+            Record::Expire { .. } => 3,
+            Record::DrainReserve { .. } => 4,
+            Record::DrainDestructive { .. } => 5,
+            Record::Release { .. } => 6,
+            Record::AcceptForward { .. } => 7,
+            Record::SettleForward { .. } => 8,
+            Record::SnapshotMailbox { .. } => 9,
+            Record::SnapshotMeta { .. } => 10,
+            Record::SnapshotPending { .. } => 11,
+            Record::SnapshotForwards { .. } => 12,
+            Record::SnapshotDeposited { .. } => 13,
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected), table-driven.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn time(&mut self, t: SimTime) {
+        self.u64(t.as_ticks());
+    }
+    fn name(&mut self, n: &MailName) {
+        self.str(&n.to_string());
+    }
+    fn message(&mut self, m: &Message) {
+        self.u64(m.id.0);
+        self.name(&m.from);
+        self.name(&m.to);
+        self.str(&m.subject);
+        self.str(&m.body);
+        self.time(m.submitted_at);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+type Decode<T> = Result<T, String>;
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Decode<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or("length overflow")?;
+        if end > self.buf.len() {
+            return Err(format!("payload truncated at byte {}", self.pos));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Decode<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Decode<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+    fn u32(&mut self) -> Decode<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn u64(&mut self) -> Decode<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+    fn str(&mut self) -> Decode<String> {
+        let n = self.u32()? as usize;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| "invalid utf-8 in string".to_string())
+    }
+    fn time(&mut self) -> Decode<SimTime> {
+        Ok(SimTime::from_ticks(self.u64()?))
+    }
+    fn name(&mut self) -> Decode<MailName> {
+        let s = self.str()?;
+        s.parse::<MailName>()
+            .map_err(|e| format!("bad mail name {s:?}: {e}"))
+    }
+    fn message(&mut self) -> Decode<Message> {
+        let id = MessageId(self.u64()?);
+        let from = self.name()?;
+        let to = self.name()?;
+        let subject = self.str()?;
+        let body = self.str()?;
+        let submitted_at = self.time()?;
+        Ok(Message::new(id, from, to, subject, body, submitted_at))
+    }
+    fn done(&self) -> Decode<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing bytes after record body",
+                self.buf.len() - self.pos
+            ))
+        }
+    }
+}
+
+fn encode_body(record: &Record, w: &mut Writer) {
+    match record {
+        Record::Deposit { message, at } => {
+            w.message(message);
+            w.time(*at);
+        }
+        Record::Remove { owner, id } => {
+            w.name(owner);
+            w.u64(id.0);
+        }
+        Record::Expire { owner, cutoff } => {
+            w.name(owner);
+            w.time(*cutoff);
+        }
+        Record::DrainReserve { owner } | Record::DrainDestructive { owner } => {
+            w.name(owner);
+        }
+        Record::Release { owner, ids } => {
+            w.name(owner);
+            w.u32(ids.len() as u32);
+            for id in ids {
+                w.u64(id.0);
+            }
+        }
+        Record::AcceptForward { message, hops_left } => {
+            w.message(message);
+            w.u32(*hops_left);
+        }
+        Record::SettleForward { id } => {
+            w.u64(id.0);
+        }
+        Record::SnapshotMailbox { owner, messages } => {
+            w.name(owner);
+            w.u32(messages.len() as u32);
+            for (m, at) in messages {
+                w.message(m);
+                w.time(*at);
+            }
+        }
+        Record::SnapshotMeta {
+            owner,
+            deposited,
+            retrieved,
+            expired,
+        } => {
+            w.name(owner);
+            w.u64(*deposited);
+            w.u64(*retrieved);
+            w.u64(*expired);
+        }
+        Record::SnapshotPending { owner, messages } => {
+            w.name(owner);
+            w.u32(messages.len() as u32);
+            for m in messages {
+                w.message(m);
+            }
+        }
+        Record::SnapshotForwards { entries } => {
+            w.u32(entries.len() as u32);
+            for (m, hops) in entries {
+                w.message(m);
+                w.u32(*hops);
+            }
+        }
+        Record::SnapshotDeposited { ids } => {
+            w.u32(ids.len() as u32);
+            for id in ids {
+                w.u64(id.0);
+            }
+        }
+    }
+}
+
+fn decode_body(tag: u8, r: &mut Reader<'_>) -> Decode<Record> {
+    let rec = match tag {
+        1 => Record::Deposit {
+            message: r.message()?,
+            at: r.time()?,
+        },
+        2 => Record::Remove {
+            owner: r.name()?,
+            id: MessageId(r.u64()?),
+        },
+        3 => Record::Expire {
+            owner: r.name()?,
+            cutoff: r.time()?,
+        },
+        4 => Record::DrainReserve { owner: r.name()? },
+        5 => Record::DrainDestructive { owner: r.name()? },
+        6 => {
+            let owner = r.name()?;
+            let n = r.u32()? as usize;
+            let mut ids = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                ids.push(MessageId(r.u64()?));
+            }
+            Record::Release { owner, ids }
+        }
+        7 => Record::AcceptForward {
+            message: r.message()?,
+            hops_left: r.u32()?,
+        },
+        8 => Record::SettleForward {
+            id: MessageId(r.u64()?),
+        },
+        9 => {
+            let owner = r.name()?;
+            let n = r.u32()? as usize;
+            let mut messages = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                let m = r.message()?;
+                let at = r.time()?;
+                messages.push((m, at));
+            }
+            Record::SnapshotMailbox { owner, messages }
+        }
+        10 => Record::SnapshotMeta {
+            owner: r.name()?,
+            deposited: r.u64()?,
+            retrieved: r.u64()?,
+            expired: r.u64()?,
+        },
+        11 => {
+            let owner = r.name()?;
+            let n = r.u32()? as usize;
+            let mut messages = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                messages.push(r.message()?);
+            }
+            Record::SnapshotPending { owner, messages }
+        }
+        12 => {
+            let n = r.u32()? as usize;
+            let mut entries = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                let m = r.message()?;
+                let hops = r.u32()?;
+                entries.push((m, hops));
+            }
+            Record::SnapshotForwards { entries }
+        }
+        13 => {
+            let n = r.u32()? as usize;
+            let mut ids = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                ids.push(MessageId(r.u64()?));
+            }
+            Record::SnapshotDeposited { ids }
+        }
+        other => return Err(format!("unknown record tag {other}")),
+    };
+    r.done()?;
+    Ok(rec)
+}
+
+/// Encodes `record` as one complete frame.
+pub fn encode_frame(record: &Record) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u16(WAL_SCHEMA_VERSION);
+    w.u8(record.tag());
+    encode_body(record, &mut w);
+    let payload = w.buf;
+    let mut frame = Vec::with_capacity(HEADER_BYTES + payload.len());
+    frame.push(MAGIC);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Outcome of decoding the next frame from `bytes`.
+#[derive(Debug)]
+pub enum FrameOutcome {
+    /// A complete, checksum-verified record; `consumed` bytes were used.
+    Record {
+        /// The decoded record (boxed: record bodies dwarf the other
+        /// variants).
+        record: Box<Record>,
+        /// Frame size in bytes.
+        consumed: usize,
+    },
+    /// `bytes` is empty: clean end of segment.
+    End,
+    /// The remaining bytes are not a complete valid frame. At the end of
+    /// the *last* segment this is a torn write and the tail is discarded;
+    /// anywhere else it is corruption and recovery must refuse the log.
+    Tail {
+        /// Why the tail failed to parse.
+        detail: String,
+    },
+    /// Checksum passed but the payload is from a newer schema.
+    Version {
+        /// Version found on the log.
+        found: u16,
+    },
+    /// Checksum passed but the body failed to decode — mid-log corruption
+    /// or a codec bug, never tolerated.
+    Corrupt {
+        /// What failed.
+        detail: String,
+    },
+}
+
+/// Decodes the next frame from `bytes` (the unconsumed suffix of one
+/// segment).
+pub fn decode_frame(bytes: &[u8]) -> FrameOutcome {
+    if bytes.is_empty() {
+        return FrameOutcome::End;
+    }
+    if bytes.len() < HEADER_BYTES {
+        return FrameOutcome::Tail {
+            detail: format!("{}-byte tail shorter than frame header", bytes.len()),
+        };
+    }
+    if bytes[0] != MAGIC {
+        return FrameOutcome::Tail {
+            detail: format!("bad frame magic 0x{:02X}", bytes[0]),
+        };
+    }
+    let len = u32::from_le_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]);
+    if len > MAX_PAYLOAD_BYTES {
+        return FrameOutcome::Tail {
+            detail: format!("implausible payload length {len}"),
+        };
+    }
+    let want = HEADER_BYTES + len as usize;
+    if bytes.len() < want {
+        return FrameOutcome::Tail {
+            detail: format!("frame declares {want} bytes, only {} present", bytes.len()),
+        };
+    }
+    let crc = u32::from_le_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]);
+    let payload = &bytes[HEADER_BYTES..want];
+    if crc32(payload) != crc {
+        return FrameOutcome::Tail {
+            detail: "payload checksum mismatch".to_string(),
+        };
+    }
+    let mut r = Reader::new(payload);
+    let version = match r.u16() {
+        Ok(v) => v,
+        Err(detail) => return FrameOutcome::Corrupt { detail },
+    };
+    if version > WAL_SCHEMA_VERSION {
+        return FrameOutcome::Version { found: version };
+    }
+    let tag = match r.u8() {
+        Ok(t) => t,
+        Err(detail) => return FrameOutcome::Corrupt { detail },
+    };
+    match decode_body(tag, &mut r) {
+        Ok(record) => FrameOutcome::Record {
+            record: Box::new(record),
+            consumed: want,
+        },
+        Err(detail) => FrameOutcome::Corrupt { detail },
+    }
+}
+
+/// Replays one segment's bytes, applying records via `apply`.
+///
+/// Returns the number of records applied and, when the segment ends in an
+/// unparsable tail, the byte offset where the valid prefix ends. Callers
+/// decide whether that tail is a tolerable torn write (last segment) or
+/// fatal corruption.
+pub fn replay_segment(
+    bytes: &[u8],
+    seq: u64,
+    mut apply: impl FnMut(Record),
+) -> Result<SegmentReplay, StoreError> {
+    let mut off = 0usize;
+    let mut records = 0u64;
+    loop {
+        match decode_frame(&bytes[off..]) {
+            FrameOutcome::End => {
+                return Ok(SegmentReplay {
+                    records,
+                    valid_len: off,
+                    tail: None,
+                })
+            }
+            FrameOutcome::Record { record, consumed } => {
+                apply(*record);
+                records += 1;
+                off += consumed;
+            }
+            FrameOutcome::Tail { detail } => {
+                return Ok(SegmentReplay {
+                    records,
+                    valid_len: off,
+                    tail: Some(detail),
+                })
+            }
+            FrameOutcome::Version { found } => {
+                return Err(StoreError::SchemaVersion {
+                    found,
+                    supported: WAL_SCHEMA_VERSION,
+                })
+            }
+            FrameOutcome::Corrupt { detail } => {
+                return Err(StoreError::Corrupt {
+                    segment: seq,
+                    offset: off,
+                    detail,
+                })
+            }
+        }
+    }
+}
+
+/// Result of replaying one segment.
+#[derive(Debug)]
+pub struct SegmentReplay {
+    /// Records applied.
+    pub records: u64,
+    /// Bytes of valid frames from the start of the segment.
+    pub valid_len: usize,
+    /// Unparsable-tail diagnostic, when the segment did not end cleanly.
+    pub tail: Option<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(id: u64) -> Message {
+        Message::new(
+            MessageId(id),
+            "east.h.a".parse().unwrap(),
+            "west.h.b".parse().unwrap(),
+            "subject",
+            "body text",
+            SimTime::from_units(1.5),
+        )
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // IEEE CRC-32 of "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn every_record_kind_round_trips() {
+        let owner: MailName = "west.h.b".parse().unwrap();
+        let records = vec![
+            Record::Deposit {
+                message: msg(1),
+                at: SimTime::from_units(2.0),
+            },
+            Record::Remove {
+                owner: owner.clone(),
+                id: MessageId(1),
+            },
+            Record::Expire {
+                owner: owner.clone(),
+                cutoff: SimTime::from_units(9.0),
+            },
+            Record::DrainReserve {
+                owner: owner.clone(),
+            },
+            Record::DrainDestructive {
+                owner: owner.clone(),
+            },
+            Record::Release {
+                owner: owner.clone(),
+                ids: vec![MessageId(1), MessageId(7)],
+            },
+            Record::AcceptForward {
+                message: msg(2),
+                hops_left: 14,
+            },
+            Record::SettleForward { id: MessageId(2) },
+            Record::SnapshotMailbox {
+                owner: owner.clone(),
+                messages: vec![(msg(3), SimTime::from_units(4.0))],
+            },
+            Record::SnapshotMeta {
+                owner: owner.clone(),
+                deposited: 10,
+                retrieved: 6,
+                expired: 1,
+            },
+            Record::SnapshotPending {
+                owner,
+                messages: vec![msg(4), msg(5)],
+            },
+            Record::SnapshotForwards {
+                entries: vec![(msg(6), 3)],
+            },
+            Record::SnapshotDeposited {
+                ids: vec![MessageId(3), MessageId(4)],
+            },
+        ];
+        for rec in records {
+            let frame = encode_frame(&rec);
+            match decode_frame(&frame) {
+                FrameOutcome::Record { record, consumed } => {
+                    assert_eq!(*record, rec);
+                    assert_eq!(consumed, frame.len());
+                }
+                other => panic!("expected record, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_frame_is_a_tail_at_every_prefix() {
+        let frame = encode_frame(&Record::Deposit {
+            message: msg(9),
+            at: SimTime::ZERO,
+        });
+        for cut in 1..frame.len() {
+            match decode_frame(&frame[..cut]) {
+                FrameOutcome::Tail { .. } => {}
+                other => panic!("prefix of {cut} bytes should be a tail, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flip_in_payload_fails_checksum() {
+        let mut frame = encode_frame(&Record::SettleForward { id: MessageId(5) });
+        let last = frame.len() - 1;
+        frame[last] ^= 0x01;
+        match decode_frame(&frame) {
+            FrameOutcome::Tail { detail } => assert!(detail.contains("checksum")),
+            other => panic!("expected checksum tail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn future_schema_version_is_rejected() {
+        let rec = Record::SettleForward { id: MessageId(5) };
+        let mut frame = encode_frame(&rec);
+        // Rewrite the payload version and re-checksum so only the version
+        // check can object.
+        let v = (WAL_SCHEMA_VERSION + 1).to_le_bytes();
+        frame[HEADER_BYTES] = v[0];
+        frame[HEADER_BYTES + 1] = v[1];
+        let crc = crc32(&frame[HEADER_BYTES..]).to_le_bytes();
+        frame[5..9].copy_from_slice(&crc);
+        match decode_frame(&frame) {
+            FrameOutcome::Version { found } => assert_eq!(found, WAL_SCHEMA_VERSION + 1),
+            other => panic!("expected version rejection, got {other:?}"),
+        }
+    }
+}

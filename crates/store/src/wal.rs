@@ -1,0 +1,716 @@
+//! [`WalStore`]: the log-structured [`MailStore`] backend.
+//!
+//! Every durable-state mutation is encoded as one [`Record`], framed and
+//! checksummed, appended to the active segment, and *then* applied to the
+//! in-memory [`StoreState`] through [`apply`] — the same function recovery
+//! uses, so a replayed log reconstructs the exact state the live store
+//! held (recovery is exact, not approximate).
+//!
+//! Segments rotate at a configurable size; when more than
+//! [`WalConfig::max_segments`] accumulate, compaction writes the live
+//! state into the fresh segment as *chunked* snapshot records (at most
+//! [`WalConfig::chunk_messages`] messages per record, so a million-message
+//! mailbox becomes many bounded records, never one giant rewrite) and
+//! deletes the older segments.
+
+use std::collections::BTreeMap;
+
+use lems_core::mailbox::Mailbox;
+use lems_core::message::{Message, MessageId};
+use lems_core::name::MailName;
+use lems_core::store::{MailStore, RecoveryReport, StoreState};
+use lems_sim::time::SimTime;
+
+use crate::codec::{self, Record};
+use crate::segment::SegmentIo;
+use crate::StoreError;
+
+/// When appended records reach durable media.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Every record is synced before the operation returns — an
+    /// acknowledgement can never outrun its log entry, so acked deposits
+    /// always survive a crash.
+    PerRecord,
+    /// Records sync only at segment seal/compaction (or an explicit
+    /// persist). Fast, and wrong: a crash loses the un-synced suffix.
+    /// Exists to demonstrate that the fsync in `PerRecord` is what buys
+    /// durability.
+    Manual,
+}
+
+/// Tuning and fault-injection knobs for [`WalStore`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct WalConfig {
+    /// Rotate the active segment once it holds this many bytes of
+    /// operation records.
+    pub segment_bytes: u64,
+    /// Maximum messages (or ids/entries) per compaction-snapshot record.
+    pub chunk_messages: usize,
+    /// Compact once more than this many segments exist.
+    pub max_segments: u64,
+    /// Sync policy; see [`SyncPolicy`].
+    pub sync: SyncPolicy,
+    /// On crash, leave this many bytes of torn-write garbage past the
+    /// durable boundary of the newest segment (0 = clean truncation).
+    pub torn_tail_bytes: usize,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            segment_bytes: 64 * 1024,
+            chunk_messages: 1024,
+            max_segments: 4,
+            sync: SyncPolicy::PerRecord,
+            torn_tail_bytes: 0,
+        }
+    }
+}
+
+/// Outcome of applying one record to a [`StoreState`].
+pub enum Applied {
+    /// Nothing to report.
+    None,
+    /// Deposit outcome: `true` when newly stored.
+    Deposited(bool),
+    /// Messages returned by a drain.
+    Drained(Vec<Message>),
+    /// Reserved messages released.
+    Released(u64),
+    /// Message removed by id, if found.
+    Removed(Option<Message>),
+    /// Messages reclaimed by expiry.
+    Expired(usize),
+}
+
+/// Applies one record to `state`. Live operations and recovery replay both
+/// funnel through here — the single definition of record semantics.
+pub fn apply(state: &mut StoreState, record: Record) -> Applied {
+    match record {
+        Record::Deposit { message, at } => Applied::Deposited(state.deposit(message, at)),
+        Record::Remove { owner, id } => Applied::Removed(state.remove(&owner, id)),
+        Record::Expire { owner, cutoff } => {
+            Applied::Expired(state.expire_older_than(&owner, cutoff))
+        }
+        Record::DrainReserve { owner } => Applied::Drained(state.drain_reserve(&owner)),
+        Record::DrainDestructive { owner } => Applied::Drained(state.drain_destructive(&owner)),
+        Record::Release { owner, ids } => Applied::Released(state.release_drained(&owner, &ids)),
+        Record::AcceptForward { message, hops_left } => {
+            state.accept_forward(&message, hops_left);
+            Applied::None
+        }
+        Record::SettleForward { id } => {
+            state.settle_forward(id);
+            Applied::None
+        }
+        Record::SnapshotMailbox { owner, messages } => {
+            let mb = state
+                .mailboxes
+                .entry(owner.clone())
+                .or_insert_with(|| Mailbox::new(owner));
+            for (m, at) in messages {
+                mb.deposit(m, at);
+            }
+            Applied::None
+        }
+        Record::SnapshotMeta {
+            owner,
+            deposited,
+            retrieved,
+            expired,
+        } => {
+            // Written after the owner's chunks: overwrite the counter bumps
+            // the chunk deposits made with the true lifetime ledger.
+            let mb = state
+                .mailboxes
+                .entry(owner.clone())
+                .or_insert_with(|| Mailbox::new(owner));
+            mb.restore_ledger(deposited, retrieved, expired);
+            Applied::None
+        }
+        Record::SnapshotPending { owner, messages } => {
+            state.pending.entry(owner).or_default().extend(messages);
+            Applied::None
+        }
+        Record::SnapshotForwards { entries } => {
+            for (m, hops) in entries {
+                state.forwards.insert(m.id, (m, hops));
+            }
+            Applied::None
+        }
+        Record::SnapshotDeposited { ids } => {
+            state.deposited.extend(ids);
+            Applied::None
+        }
+    }
+}
+
+/// What one full-log replay found.
+#[derive(Debug, Default)]
+struct Replay {
+    state: StoreState,
+    records: u64,
+    torn_bytes: u64,
+    segments: u64,
+    /// (segment, valid prefix length) to truncate away a torn tail.
+    trim: Option<(u64, u64)>,
+}
+
+/// The log-structured backend.
+#[derive(Debug)]
+pub struct WalStore {
+    cfg: WalConfig,
+    io: Box<dyn SegmentIo>,
+    state: StoreState,
+    active_seq: u64,
+    /// Operation-record bytes in the active segment (snapshot records from
+    /// compaction are excluded so a big snapshot does not instantly
+    /// re-trigger rotation).
+    active_op_bytes: u64,
+    io_errors: u64,
+    records_appended: u64,
+    compactions: u64,
+    pre_crash_storage: Option<u64>,
+    last_recovery: Option<RecoveryReport>,
+}
+
+impl WalStore {
+    /// Opens a store over `io`, replaying whatever log it already holds.
+    ///
+    /// A fresh device starts empty at segment 0; a device with history
+    /// recovers exactly like a post-crash restart (including torn-tail
+    /// trimming), and the result is recorded in
+    /// [`WalStore::last_recovery`].
+    pub fn open(io: Box<dyn SegmentIo>, cfg: WalConfig) -> Result<Self, StoreError> {
+        let mut store = WalStore {
+            cfg,
+            io,
+            state: StoreState::default(),
+            active_seq: 0,
+            active_op_bytes: 0,
+            io_errors: 0,
+            records_appended: 0,
+            compactions: 0,
+            pre_crash_storage: None,
+            last_recovery: None,
+        };
+        if store.io.list().is_empty() {
+            store.io.create(0)?;
+        } else {
+            let report = store.reopen()?;
+            store.last_recovery = Some(report);
+        }
+        Ok(store)
+    }
+
+    /// The report from the replay [`WalStore::open`] performed, if any.
+    pub fn last_recovery(&self) -> Option<&RecoveryReport> {
+        self.last_recovery.as_ref()
+    }
+
+    /// Records appended over this store's lifetime (excluding snapshots).
+    pub fn records_appended(&self) -> u64 {
+        self.records_appended
+    }
+
+    /// Compactions performed so far.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Live segment count.
+    pub fn segments(&self) -> u64 {
+        self.io.list().len() as u64
+    }
+
+    /// Read-only view of the full durable state.
+    pub fn state(&self) -> &StoreState {
+        &self.state
+    }
+
+    /// Raw bytes of one segment (tests and forensic tooling).
+    ///
+    /// # Errors
+    /// When the segment does not exist or the device fails.
+    pub fn read_segment(&self, seq: u64) -> Result<Vec<u8>, StoreError> {
+        self.io.read(seq)
+    }
+
+    fn replay(&self) -> Result<Replay, StoreError> {
+        let seqs = self.io.list();
+        let mut out = Replay {
+            segments: seqs.len() as u64,
+            ..Replay::default()
+        };
+        let last = seqs.last().copied();
+        for seq in seqs {
+            let bytes = self.io.read(seq)?;
+            let seg = codec::replay_segment(&bytes, seq, |rec| {
+                apply(&mut out.state, rec);
+            })?;
+            out.records += seg.records;
+            if let Some(detail) = seg.tail {
+                if Some(seq) != last {
+                    return Err(StoreError::Corrupt {
+                        segment: seq,
+                        offset: seg.valid_len,
+                        detail,
+                    });
+                }
+                out.torn_bytes = (bytes.len() - seg.valid_len) as u64;
+                out.trim = Some((seq, seg.valid_len as u64));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Replays the device into a fresh state and adopts it, trimming any
+    /// torn tail so new appends continue from the valid prefix.
+    fn reopen(&mut self) -> Result<RecoveryReport, StoreError> {
+        let replay = self.replay()?;
+        if let Some((seq, len)) = replay.trim {
+            self.io.truncate(seq, len)?;
+            self.io.sync(seq)?;
+        }
+        self.active_seq = self.io.list().last().copied().unwrap_or(0);
+        self.active_op_bytes = 0;
+        let lost = self
+            .pre_crash_storage
+            .take()
+            .map_or(0, |pre| pre.saturating_sub(replay.state.storage_messages()));
+        let report = RecoveryReport {
+            backend: "wal",
+            replayed_records: replay.records,
+            recovered_messages: replay
+                .state
+                .mailboxes
+                .values()
+                .map(|m| m.len() as u64)
+                .sum(),
+            recovered_pending: replay.state.pending.values().map(|p| p.len() as u64).sum(),
+            recovered_forwards: replay.state.forwards.len() as u64,
+            lost_messages: lost,
+            torn_bytes: replay.torn_bytes,
+            segments: replay.segments,
+            unsettled: replay
+                .state
+                .forwards
+                .values()
+                .map(|(m, h)| (m.clone(), *h))
+                .collect(),
+        };
+        self.state = replay.state;
+        Ok(report)
+    }
+
+    fn note_io(&mut self, r: &Result<(), StoreError>) {
+        if r.is_err() {
+            self.io_errors += 1;
+        }
+    }
+
+    fn append_frame(&mut self, frame: &[u8]) {
+        let len = frame.len() as u64;
+        let r = self.io.append(self.active_seq, frame);
+        self.note_io(&r);
+        if self.cfg.sync == SyncPolicy::PerRecord {
+            let r = self.io.sync(self.active_seq);
+            self.note_io(&r);
+        }
+        self.records_appended += 1;
+        self.active_op_bytes += len;
+        if self.active_op_bytes >= self.cfg.segment_bytes {
+            self.rotate();
+        }
+    }
+
+    fn rotate(&mut self) {
+        let r = self.io.sync(self.active_seq);
+        self.note_io(&r);
+        self.active_seq += 1;
+        let r = self.io.create(self.active_seq);
+        self.note_io(&r);
+        self.active_op_bytes = 0;
+        if self.segments() > self.cfg.max_segments {
+            self.compact();
+        }
+    }
+
+    /// Writes the live state into the (fresh) active segment as chunked
+    /// snapshot records, then drops every older segment.
+    fn compact(&mut self) {
+        let chunk = self.cfg.chunk_messages.max(1);
+        let mut records: Vec<Record> = Vec::new();
+        for (owner, mb) in &self.state.mailboxes {
+            for slice in mb.peek().chunks(chunk).filter(|slice| !slice.is_empty()) {
+                records.push(Record::SnapshotMailbox {
+                    owner: owner.clone(),
+                    messages: slice
+                        .iter()
+                        .map(|s| (s.message.clone(), s.deposited_at))
+                        .collect(),
+                });
+            }
+            records.push(Record::SnapshotMeta {
+                owner: owner.clone(),
+                deposited: mb.deposited_total(),
+                retrieved: mb.retrieved_total(),
+                expired: mb.expired_total(),
+            });
+        }
+        for (owner, pending) in &self.state.pending {
+            if pending.is_empty() {
+                // A drained-but-fully-acked buffer is still part of the
+                // state shape; replay must recreate the (empty) entry.
+                records.push(Record::SnapshotPending {
+                    owner: owner.clone(),
+                    messages: Vec::new(),
+                });
+            }
+            for slice in pending.chunks(chunk) {
+                records.push(Record::SnapshotPending {
+                    owner: owner.clone(),
+                    messages: slice.to_vec(),
+                });
+            }
+        }
+        let forwards: Vec<(Message, u32)> = self
+            .state
+            .forwards
+            .values()
+            .map(|(m, h)| (m.clone(), *h))
+            .collect();
+        for slice in forwards.chunks(chunk) {
+            records.push(Record::SnapshotForwards {
+                entries: slice.to_vec(),
+            });
+        }
+        let ids: Vec<MessageId> = self.state.deposited.iter().copied().collect();
+        for slice in ids.chunks(chunk) {
+            records.push(Record::SnapshotDeposited {
+                ids: slice.to_vec(),
+            });
+        }
+        for rec in &records {
+            let frame = codec::encode_frame(rec);
+            let r = self.io.append(self.active_seq, &frame);
+            self.note_io(&r);
+        }
+        let r = self.io.sync(self.active_seq);
+        self.note_io(&r);
+        let old: Vec<u64> = self
+            .io
+            .list()
+            .into_iter()
+            .filter(|&s| s < self.active_seq)
+            .collect();
+        for seq in old {
+            let r = self.io.delete(seq);
+            self.note_io(&r);
+        }
+        self.compactions += 1;
+    }
+
+    /// Encodes, applies, then appends one record.
+    ///
+    /// Apply happens before the append so that a rotation/compaction
+    /// triggered by this very append snapshots a state that already
+    /// includes the record — otherwise compaction would delete the
+    /// segment holding the record's frame while the snapshot predates
+    /// its effect, silently losing the operation.
+    fn log_and_apply(&mut self, record: Record) -> Applied {
+        let frame = codec::encode_frame(&record);
+        let applied = apply(&mut self.state, record);
+        self.append_frame(&frame);
+        applied
+    }
+}
+
+impl MailStore for WalStore {
+    fn backend(&self) -> &'static str {
+        "wal"
+    }
+
+    fn deposit(&mut self, message: Message, now: SimTime) -> bool {
+        if self.state.is_deposited(message.id) {
+            return false;
+        }
+        matches!(
+            self.log_and_apply(Record::Deposit { message, at: now }),
+            Applied::Deposited(true)
+        )
+    }
+
+    fn is_deposited(&self, id: MessageId) -> bool {
+        self.state.is_deposited(id)
+    }
+
+    fn drain_reserve(&mut self, owner: &MailName) -> Vec<Message> {
+        match self.log_and_apply(Record::DrainReserve {
+            owner: owner.clone(),
+        }) {
+            Applied::Drained(v) => v,
+            _ => Vec::new(),
+        }
+    }
+
+    fn drain_destructive(&mut self, owner: &MailName) -> Vec<Message> {
+        match self.log_and_apply(Record::DrainDestructive {
+            owner: owner.clone(),
+        }) {
+            Applied::Drained(v) => v,
+            _ => Vec::new(),
+        }
+    }
+
+    fn release_drained(&mut self, owner: &MailName, ids: &[MessageId]) -> u64 {
+        match self.log_and_apply(Record::Release {
+            owner: owner.clone(),
+            ids: ids.to_vec(),
+        }) {
+            Applied::Released(n) => n,
+            _ => 0,
+        }
+    }
+
+    fn remove(&mut self, owner: &MailName, id: MessageId) -> Option<Message> {
+        match self.log_and_apply(Record::Remove {
+            owner: owner.clone(),
+            id,
+        }) {
+            Applied::Removed(m) => m,
+            _ => None,
+        }
+    }
+
+    fn expire_older_than(&mut self, owner: &MailName, cutoff: SimTime) -> usize {
+        match self.log_and_apply(Record::Expire {
+            owner: owner.clone(),
+            cutoff,
+        }) {
+            Applied::Expired(n) => n,
+            _ => 0,
+        }
+    }
+
+    fn accept_forward(&mut self, message: &Message, hops_left: u32) {
+        if self.state.forwards.contains_key(&message.id) {
+            return;
+        }
+        self.log_and_apply(Record::AcceptForward {
+            message: message.clone(),
+            hops_left,
+        });
+    }
+
+    fn settle_forward(&mut self, id: MessageId) {
+        if !self.state.forwards.contains_key(&id) {
+            return;
+        }
+        self.log_and_apply(Record::SettleForward { id });
+    }
+
+    fn mailboxes(&self) -> &BTreeMap<MailName, Mailbox> {
+        &self.state.mailboxes
+    }
+
+    fn pending_drain(&self) -> &BTreeMap<MailName, Vec<Message>> {
+        &self.state.pending
+    }
+
+    fn crash(&mut self, _now: SimTime) {
+        // Process memory dies; the device keeps only its durable prefix
+        // (plus any injected torn tail).
+        self.pre_crash_storage = Some(self.state.storage_messages());
+        self.io.crash(self.cfg.torn_tail_bytes);
+        self.state = StoreState::default();
+    }
+
+    fn recover(&mut self, _now: SimTime) -> RecoveryReport {
+        match self.reopen() {
+            Ok(report) => report,
+            Err(_) => {
+                // An unreplayable log is a hard fault; surface it as an
+                // empty recovery with the error counted rather than
+                // panicking inside an event handler.
+                self.io_errors += 1;
+                RecoveryReport {
+                    backend: "wal",
+                    lost_messages: self.pre_crash_storage.take().unwrap_or(0),
+                    ..RecoveryReport::default()
+                }
+            }
+        }
+    }
+
+    fn persist_restore(&mut self) -> Option<RecoveryReport> {
+        let r = self.io.sync(self.active_seq);
+        self.note_io(&r);
+        match self.reopen() {
+            Ok(report) => Some(report),
+            Err(_) => {
+                self.io_errors += 1;
+                None
+            }
+        }
+    }
+
+    fn wal_bytes(&self) -> u64 {
+        self.io
+            .list()
+            .into_iter()
+            .filter_map(|seq| self.io.read(seq).ok())
+            .map(|b| b.len() as u64)
+            .sum()
+    }
+
+    fn io_errors(&self) -> u64 {
+        self.io_errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::MemSegments;
+    use lems_core::message::MessageIdGen;
+
+    fn mk(cfg: WalConfig) -> WalStore {
+        WalStore::open(Box::new(MemSegments::new()), cfg).unwrap()
+    }
+
+    fn msg(g: &mut MessageIdGen, to: &str) -> Message {
+        Message::new(
+            g.next_id(),
+            "east.h.sender".parse().unwrap(),
+            to.parse().unwrap(),
+            "subj",
+            "body",
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn crash_recover_preserves_synced_deposits() {
+        let mut g = MessageIdGen::new();
+        let mut s = mk(WalConfig::default());
+        for _ in 0..10 {
+            s.deposit(msg(&mut g, "east.h.u"), SimTime::from_units(1.0));
+        }
+        s.crash(SimTime::from_units(2.0));
+        assert_eq!(s.state().storage_messages(), 0);
+        let report = s.recover(SimTime::from_units(3.0));
+        assert_eq!(report.recovered_messages, 10);
+        assert_eq!(report.lost_messages, 0);
+        assert_eq!(report.replayed_records, 10);
+        // Dedup ledger survived too: re-deposit is refused.
+        assert!(s.is_deposited(MessageId(0)));
+    }
+
+    #[test]
+    fn manual_sync_loses_unsynced_suffix() {
+        let mut g = MessageIdGen::new();
+        let mut s = mk(WalConfig {
+            sync: SyncPolicy::Manual,
+            ..WalConfig::default()
+        });
+        for _ in 0..10 {
+            s.deposit(msg(&mut g, "east.h.u"), SimTime::from_units(1.0));
+        }
+        s.crash(SimTime::from_units(2.0));
+        let report = s.recover(SimTime::from_units(3.0));
+        assert_eq!(report.recovered_messages, 0);
+        assert_eq!(report.lost_messages, 10);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_discarded() {
+        let mut g = MessageIdGen::new();
+        let mut s = mk(WalConfig {
+            torn_tail_bytes: 17,
+            ..WalConfig::default()
+        });
+        for _ in 0..5 {
+            s.deposit(msg(&mut g, "east.h.u"), SimTime::from_units(1.0));
+        }
+        s.crash(SimTime::from_units(2.0));
+        let report = s.recover(SimTime::from_units(3.0));
+        assert_eq!(report.recovered_messages, 5);
+        assert_eq!(report.torn_bytes, 17);
+        assert_eq!(report.lost_messages, 0);
+        // The trimmed log keeps working: deposit, crash, recover again.
+        s.deposit(msg(&mut g, "east.h.u"), SimTime::from_units(4.0));
+        s.crash(SimTime::from_units(5.0));
+        let report = s.recover(SimTime::from_units(6.0));
+        assert_eq!(report.recovered_messages, 6);
+    }
+
+    #[test]
+    fn rotation_and_compaction_preserve_state_and_bound_segments() {
+        let mut g = MessageIdGen::new();
+        let cfg = WalConfig {
+            segment_bytes: 512,
+            chunk_messages: 3,
+            max_segments: 3,
+            ..WalConfig::default()
+        };
+        let mut s = mk(cfg);
+        for i in 0..200 {
+            s.deposit(msg(&mut g, "east.h.u"), SimTime::from_units(i as f64));
+        }
+        // Retrieval traffic so the snapshot covers pending + ledger too.
+        let owner: MailName = "east.h.u".parse().unwrap();
+        let reserved = s.drain_reserve(&owner);
+        let keep: Vec<MessageId> = reserved.iter().take(50).map(|m| m.id).collect();
+        s.release_drained(&owner, &keep);
+        assert!(
+            s.compactions() > 0,
+            "small segments must trigger compaction"
+        );
+        assert!(s.segments() <= 4);
+        let before = s.state().clone();
+        s.crash(SimTime::from_units(999.0));
+        let report = s.recover(SimTime::from_units(1000.0));
+        assert_eq!(report.lost_messages, 0);
+        assert_eq!(s.state(), &before, "replay must reconstruct exact state");
+    }
+
+    #[test]
+    fn unsettled_forwards_survive_and_settle_once() {
+        let mut g = MessageIdGen::new();
+        let mut s = mk(WalConfig::default());
+        let m = msg(&mut g, "west.h.v");
+        s.accept_forward(&m, 7);
+        s.accept_forward(&m, 3); // idempotent: keeps the original budget
+        s.crash(SimTime::from_units(1.0));
+        let report = s.recover(SimTime::from_units(2.0));
+        assert_eq!(report.recovered_forwards, 1);
+        assert_eq!(report.unsettled, vec![(m.clone(), 7)]);
+        s.settle_forward(m.id);
+        s.crash(SimTime::from_units(3.0));
+        let report = s.recover(SimTime::from_units(4.0));
+        assert_eq!(report.recovered_forwards, 0);
+    }
+
+    #[test]
+    fn persist_restore_round_trip_is_exact() {
+        let mut g = MessageIdGen::new();
+        let mut s = mk(WalConfig {
+            segment_bytes: 256,
+            chunk_messages: 4,
+            max_segments: 2,
+            sync: SyncPolicy::Manual,
+            ..WalConfig::default()
+        });
+        for i in 0..60 {
+            s.deposit(msg(&mut g, "east.h.u"), SimTime::from_units(i as f64));
+        }
+        let owner: MailName = "east.h.u".parse().unwrap();
+        s.drain_reserve(&owner);
+        let before = s.state().clone();
+        let report = s.persist_restore().expect("wal supports persist/restore");
+        assert_eq!(s.state(), &before);
+        assert_eq!(report.lost_messages, 0);
+    }
+}

@@ -29,6 +29,7 @@ use lems_core::directory::Directory;
 use lems_core::mailbox::Mailbox;
 use lems_core::message::{BounceReason, Message, MessageId, MessageIdGen};
 use lems_core::name::MailName;
+use lems_core::store::{MailStore, StoreRecovery};
 use lems_core::user::AuthorityList;
 use lems_net::error::NetError;
 use lems_net::graph::NodeId;
@@ -42,6 +43,7 @@ use lems_sim::session::RetryPolicy;
 use lems_sim::span::{BounceCode, ResolveCode, SpanId, SpanLog, SpanStage, NO_NODE};
 use lems_sim::stats::Summary;
 use lems_sim::time::{SimDuration, SimTime};
+use lems_store::DurabilityConfig;
 
 use crate::assign::{solve, Assignment, AssignmentProblem, BalanceOptions};
 use crate::cost::{CostModel, ServerSpec};
@@ -186,6 +188,11 @@ type SharedStats = Rc<RefCell<DeliveryStats>>;
 /// bookkeeping: recording never touches the scheduler or any RNG stream,
 /// so enabling spans cannot perturb event order.
 type SharedSpans = Rc<RefCell<SpanLog>>;
+
+/// The shared log of store-recovery reports, one entry per server
+/// recovery, in recovery order. Pure bookkeeping like the span log:
+/// recording never touches the scheduler or any RNG stream.
+pub type SharedRecoveries = Rc<RefCell<Vec<StoreRecovery>>>;
 
 /// Span `site`/`peer` encoding: raw topology node index.
 fn site(n: NodeId) -> u64 {
@@ -788,35 +795,38 @@ pub struct ServerActor {
     node: NodeId,
     transport: Rc<Transport>,
     resolver: SyntaxResolver,
-    mailboxes: BTreeMap<MailName, Mailbox>,
+    /// The server's durable state — mailboxes, drained-but-unacked
+    /// reservation buffers, the store-before-forward journal, and the
+    /// deposit dedup ledger — behind the [`MailStore`] trait so the same
+    /// actor runs against fiat-stable memory ([`DurabilityConfig::Ideal`]),
+    /// RAM that a crash wipes ([`DurabilityConfig::Volatile`]), or a
+    /// write-ahead log ([`DurabilityConfig::Wal`]).
+    store: Box<dyn MailStore>,
     last_start_time: SimTime,
     proc_time: f64,
     stats: SharedStats,
-    /// Accepted-but-not-yet-deposited messages, keyed by id. Part of the
-    /// server's stable storage: a store-and-forward server stores *before*
-    /// it forwards, so these survive a crash and are re-routed on recovery
-    /// (see [`Actor::on_recover`]).
+    /// Retry bookkeeping (probe timers, attempt counts, remaining
+    /// candidates) for accepted-but-not-yet-settled messages. This map is
+    /// *process* state; the durable custody record lives in the store's
+    /// forward journal (a store-and-forward server stores *before* it
+    /// forwards). Under [`DurabilityConfig::Ideal`] the map survives a
+    /// crash and drives recovery re-routing directly; otherwise it dies
+    /// with the process and recovery re-routes from the journal (see
+    /// [`Actor::on_recover`]).
     forwards: BTreeMap<MessageId, ForwardTask>,
     /// Home host of each user in this region (for notifications).
     home_hosts: BTreeMap<MailName, NodeId>,
-    /// Message ids ever deposited here — suppresses duplicate deposits
-    /// when a retransmitted Forward arrives after its original was already
-    /// delivered (at-least-once forwarding + dedup = exactly-once
-    /// delivery).
-    deposited_ids: BTreeSet<MessageId>,
     /// The §3.1.4 redirect table, shared across servers (migrated users'
     /// old names forward to their new names while the entry lives).
     redirects: Rc<RefCell<crate::migrate::RedirectTable>>,
     retry: RetryPolicy,
-    /// When true, retrieval drains go through [`ServerActor::pending_drain`]
-    /// and are only released on a `RetrieveAck`.
+    /// When true, retrieval drains move messages into the store's
+    /// reservation buffer and are only released on a `RetrieveAck`.
     reliable_retrieval: bool,
-    /// Drained-but-unacked messages per user. Stable storage, like the
-    /// mailboxes: a drain moves messages here instead of destroying them,
-    /// so a lost `RetrieveReply` is recovered by the host's retransmitted
-    /// `Retrieve` (which re-sends this buffer plus any fresh mail).
-    pending_drain: BTreeMap<MailName, Vec<Message>>,
     spans: SharedSpans,
+    /// Shared recovery-report log; one entry appended per
+    /// [`Actor::on_recover`].
+    recoveries: SharedRecoveries,
     /// This server's telemetry; collected by
     /// [`Deployment::metrics_snapshot`]. The `storage` gauge tracks this
     /// server's live mailbox+drain occupancy (§4.4 storage space).
@@ -831,11 +841,13 @@ impl ServerActor {
     /// Deposit into the local mailbox + notify the recipient's home host.
     /// Duplicate ids (forward retransmissions) are dropped silently.
     fn deposit(&mut self, msg: Message, ctx: &mut Ctx<'_, MailMsg>) {
-        if !self.deposited_ids.insert(msg.id) {
-            return;
-        }
         let now = ctx.now();
         let latency = now.duration_since(msg.submitted_at).as_units();
+        let user = msg.to.clone();
+        let id = msg.id;
+        if !self.store.deposit(msg, now) {
+            return;
+        }
         {
             let mut st = self.stats.borrow_mut();
             st.deposited += 1;
@@ -848,18 +860,12 @@ impl ServerActor {
         self.metrics.gauge_add(now, "storage", 1.0);
         self.spans.borrow_mut().record_keyed(
             now,
-            msg.id.0,
+            id.0,
             SpanStage::Deposited,
             site(self.node),
             NO_NODE,
             0,
         );
-        let user = msg.to.clone();
-        let id = msg.id;
-        self.mailboxes
-            .entry(user.clone())
-            .or_insert_with(|| Mailbox::new(user.clone()))
-            .deposit(msg, now);
         if let Some(&host) = self.home_hosts.get(&user) {
             self.stats.borrow_mut().notifications += 1;
             self.metrics.inc("notifications");
@@ -882,6 +888,10 @@ impl ServerActor {
     }
 
     fn bounce(&mut self, id: MessageId, reason: BounceReason, now: SimTime) {
+        // Custody ends here: settle any forward-journal entry (a no-op for
+        // messages never journaled, e.g. fresh submissions bounced by the
+        // resolver before any probe went out).
+        self.store.settle_forward(id);
         let mut st = self.stats.borrow_mut();
         st.bounced += 1;
         self.metrics.inc("bounced");
@@ -1012,7 +1022,9 @@ impl ServerActor {
         let target = remaining.remove(0);
         if target == self.node {
             // This server is the first (still-reachable) authority in the
-            // walk: deposit here.
+            // walk: deposit here. The mailbox record supersedes the
+            // journal entry.
+            self.store.settle_forward(msg.id);
             self.deposit(msg, ctx);
             return;
         }
@@ -1030,6 +1042,13 @@ impl ServerActor {
         hops_left: u32,
         ctx: &mut Ctx<'_, MailMsg>,
     ) {
+        if attempt == 0 {
+            // Store before forwarding: journal custody of this message so
+            // recovery can resume the walk even when process state is lost.
+            // Insert-if-absent — a retransmitted duplicate or a recovery
+            // re-route finds the entry already present.
+            self.store.accept_forward(&msg, hops_left);
+        }
         {
             let mut st = self.stats.borrow_mut();
             st.forward_attempts += 1;
@@ -1130,6 +1149,9 @@ impl Actor for ServerActor {
             }
             MailMsg::ForwardAck { id } => {
                 if let Some(task) = self.forwards.remove(&id) {
+                    // The target acknowledged custody: our journal entry is
+                    // settled together with the retry bookkeeping.
+                    self.store.settle_forward(id);
                     ctx.cancel_timer(task.timer);
                     self.spans.borrow_mut().record_keyed(
                         ctx.now(),
@@ -1143,23 +1165,17 @@ impl Actor for ServerActor {
             }
             MailMsg::Retrieve { user, reply_to } => {
                 self.metrics.inc("retrieve_requests");
-                let fresh: Vec<Message> = self
-                    .mailboxes
-                    .get_mut(&user)
-                    .map(|mb| mb.drain().into_iter().map(|s| s.message).collect())
-                    .unwrap_or_default();
                 let messages: Vec<Message> = if self.reliable_retrieval {
                     // Reserve the drain: messages move from the mailbox to
-                    // the (equally stable) drain buffer and are re-sent on
+                    // the (equally durable) drain buffer and are re-sent on
                     // every Retrieve until the host acks them, so a lost
                     // reply never loses mail. The storage gauge is only
                     // decremented at ack time.
-                    let pending = self.pending_drain.entry(user.clone()).or_default();
-                    pending.extend(fresh);
-                    pending.clone()
+                    self.store.drain_reserve(&user)
                 } else {
                     // Legacy destructive drain: if the reply is lost on the
                     // wire, so is the mail.
+                    let fresh = self.store.drain_destructive(&user);
                     let mut st = self.stats.borrow_mut();
                     st.in_storage_now = st.in_storage_now.saturating_sub(fresh.len() as u64);
                     self.metrics
@@ -1179,20 +1195,12 @@ impl Actor for ServerActor {
                 );
             }
             MailMsg::RetrieveAck { user, ids } => {
-                if let Some(pending) = self.pending_drain.get_mut(&user) {
-                    let acked: BTreeSet<MessageId> = ids.into_iter().collect();
-                    let before = pending.len();
-                    pending.retain(|m| !acked.contains(&m.id));
-                    let released = (before - pending.len()) as u64;
-                    if pending.is_empty() {
-                        self.pending_drain.remove(&user);
-                    }
-                    if released > 0 {
-                        let mut st = self.stats.borrow_mut();
-                        st.in_storage_now = st.in_storage_now.saturating_sub(released);
-                        self.metrics
-                            .gauge_add(ctx.now(), "storage", -(released as f64));
-                    }
+                let released = self.store.release_drained(&user, &ids);
+                if released > 0 {
+                    let mut st = self.stats.borrow_mut();
+                    st.in_storage_now = st.in_storage_now.saturating_sub(released);
+                    self.metrics
+                        .gauge_add(ctx.now(), "storage", -(released as f64));
                 }
             }
             // Host-bound traffic; a server receiving these ignores them.
@@ -1229,32 +1237,82 @@ impl Actor for ServerActor {
         }
     }
 
-    fn on_crash(&mut self, _now: SimTime) {
-        // Mailboxes AND the forward queue are stable storage: a
-        // store-and-forward server stores every message it has accepted
-        // responsibility for (acked) before attempting delivery, so a crash
-        // loses neither. Only the retry timers are volatile — they die with
-        // the process and are re-armed by re-routing in `on_recover`.
-        // (Earlier revisions cleared `forwards` here; the trace auditor's
-        // conservation check surfaced that as a submitted-but-never-
-        // delivered leak whenever a server crashed while cascading a
-        // forward across a partially-down authority list.)
+    fn on_crash(&mut self, now: SimTime) {
+        // What a crash costs depends on the backend: under the fiat-stable
+        // [`DurabilityConfig::Ideal`] model nothing is lost (the historical
+        // behaviour — only retry timers die); a volatile backend loses all
+        // storage; the WAL backend loses its un-synced log suffix. The
+        // store records the damage so `on_recover` can report it.
+        self.store.crash(now);
+        if !self.store.preserves_volatile() {
+            // Real process death: the retry bookkeeping dies with the
+            // process. Recovery re-routes from the store's forward journal
+            // instead. (Timers cannot be cancelled here — no scheduler
+            // access — but a stale timer firing after recovery finds no
+            // task under its tag and does nothing, and timers are not
+            // traced, so this cannot perturb the event trace.)
+            self.forwards.clear();
+        }
+        // (Earlier revisions always cleared `forwards` here without a
+        // durable journal; the trace auditor's conservation check surfaced
+        // that as a submitted-but-never-delivered leak whenever a server
+        // crashed while cascading a forward across a partially-down
+        // authority list.)
     }
 
     fn on_recover(&mut self, ctx: &mut Ctx<'_, MailMsg>) {
         // "LastStartTime[server]: the time the server had last recovered
         // from failure or been initialised."
         self.last_start_time = ctx.now();
+        let now = ctx.now();
+        let mut report = self.store.recover(now);
+        if report.lost_messages > 0 {
+            // The backend lost stored mail (volatile RAM, or a WAL with a
+            // sync policy weaker than per-record): reconcile the occupancy
+            // ledger so the storage gauge tracks what actually survived.
+            let mut st = self.stats.borrow_mut();
+            st.in_storage_now = st.in_storage_now.saturating_sub(report.lost_messages);
+            self.metrics
+                .gauge_add(now, "storage", -(report.lost_messages as f64));
+        }
+        let unsettled = std::mem::take(&mut report.unsettled);
+        self.recoveries.borrow_mut().push(StoreRecovery {
+            at: now,
+            site: site(self.node),
+            backend: report.backend,
+            replayed_records: report.replayed_records,
+            recovered_messages: report.recovered_messages,
+            recovered_pending: report.recovered_pending,
+            recovered_forwards: report.recovered_forwards,
+            lost_messages: report.lost_messages,
+            torn_bytes: report.torn_bytes,
+            segments: report.segments,
+        });
         // Crash recovery for accepted-but-undeposited mail: any forward
         // that was in flight when we went down may have been dropped (and
         // its retry timer was suppressed while we were crashed), so walk
         // each stored message through resolution again from the top.
         // Re-delivery to a server that already holds the message is
         // harmless — deposit dedups on message id.
-        let pending: Vec<ForwardTask> = std::mem::take(&mut self.forwards).into_values().collect();
-        for task in pending {
-            ctx.cancel_timer(task.timer);
-            self.route(task.msg, task.hops_left.max(1), ctx);
+        if self.store.preserves_volatile() {
+            // Fiat-stable model: the retry bookkeeping itself survived;
+            // re-route from it exactly as before.
+            let pending: Vec<ForwardTask> =
+                std::mem::take(&mut self.forwards).into_values().collect();
+            for task in pending {
+                ctx.cancel_timer(task.timer);
+                self.route(task.msg, task.hops_left.max(1), ctx);
+            }
+        } else {
+            // Real recovery: the volatile map is gone; the durable forward
+            // journal (replayed by the store) says what we still owe.
+            // Journal iteration is in message-id order — the same order
+            // the BTreeMap re-route above uses — so the recovery schedule
+            // is identical to the fiat-stable model's when nothing was
+            // lost.
+            for (msg, hops_left) in unsettled {
+                self.route(msg, hops_left.max(1), ctx);
+            }
         }
     }
 }
@@ -1274,6 +1332,8 @@ pub struct DeploymentConfig {
     pub seed: u64,
     /// Session-layer (timeout/retry/ack) behaviour.
     pub session: SessionConfig,
+    /// Mailbox persistence backend for every server.
+    pub durability: DurabilityConfig,
 }
 
 impl Default for DeploymentConfig {
@@ -1285,6 +1345,7 @@ impl Default for DeploymentConfig {
             balance: BalanceOptions::default(),
             seed: 0,
             session: SessionConfig::default(),
+            durability: DurabilityConfig::default(),
         }
     }
 }
@@ -1319,6 +1380,8 @@ pub struct Deployment {
     /// The lifecycle-span log shared with every actor (disabled until
     /// [`Deployment::enable_spans`]).
     pub spans: Rc<RefCell<SpanLog>>,
+    /// Store-recovery reports, one per server recovery, in recovery order.
+    pub recoveries: SharedRecoveries,
 }
 
 impl Deployment {
@@ -1350,6 +1413,7 @@ impl Deployment {
         let spans: SharedSpans = Rc::new(RefCell::new(SpanLog::disabled()));
         let id_gen = Rc::new(RefCell::new(MessageIdGen::new()));
         let redirects = Rc::new(RefCell::new(crate::migrate::RedirectTable::new()));
+        let recoveries: SharedRecoveries = Rc::new(RefCell::new(Vec::new()));
         // One shared stand-in transport until the fully-bound one exists.
         let placeholder_transport = Rc::new(Transport::new(topology.graph()));
 
@@ -1433,7 +1497,7 @@ impl Deployment {
                 node: s,
                 transport: Rc::clone(&placeholder_transport), // replaced below
                 resolver,
-                mailboxes: BTreeMap::new(),
+                store: lems_store::make_store(&cfg.durability),
                 last_start_time: SimTime::ZERO,
                 proc_time: cfg.server_spec.proc_time,
                 stats: Rc::clone(&stats),
@@ -1442,12 +1506,11 @@ impl Deployment {
                     .get(&region)
                     .cloned()
                     .unwrap_or_default(),
-                deposited_ids: BTreeSet::new(),
                 redirects: Rc::clone(&redirects),
                 retry: cfg.session.retry,
                 reliable_retrieval: cfg.session.reliable_retrieval,
-                pending_drain: BTreeMap::new(),
                 spans: Rc::clone(&spans),
+                recoveries: Rc::clone(&recoveries),
                 metrics: MetricsRegistry::new(),
             };
             let id = sim.add_actor(actor);
@@ -1531,6 +1594,7 @@ impl Deployment {
             problem,
             redirects,
             spans,
+            recoveries,
         }
     }
 
@@ -1795,7 +1859,7 @@ impl Deployment {
         let mut out = Vec::new();
         for (&node, &aid) in &self.server_actors {
             if let Some(s) = self.sim.actor::<ServerActor>(aid) {
-                for (owner, mb) in &s.mailboxes {
+                for (owner, mb) in s.store.mailboxes() {
                     for stored in mb.peek() {
                         let auth = self
                             .directory
@@ -1806,7 +1870,7 @@ impl Deployment {
                     }
                 }
                 // Drained-but-unacked mail is still the server's to lose.
-                for (owner, pending) in &s.pending_drain {
+                for (owner, pending) in s.store.pending_drain() {
                     for message in pending {
                         let auth = self
                             .directory
@@ -1828,9 +1892,49 @@ impl Deployment {
             .values()
             .filter_map(|&aid| self.sim.actor::<ServerActor>(aid))
             .map(|s| {
-                s.mailboxes.values().map(Mailbox::len).sum::<usize>()
-                    + s.pending_drain.values().map(Vec::len).sum::<usize>()
+                s.store
+                    .mailboxes()
+                    .values()
+                    .map(Mailbox::len)
+                    .sum::<usize>()
+                    + s.store
+                        .pending_drain()
+                        .values()
+                        .map(Vec::len)
+                        .sum::<usize>()
             })
+            .sum()
+    }
+
+    /// Persists and re-opens every server's store, as a clean
+    /// close-and-restart of the storage layer (no crash: everything is
+    /// synced first). Returns how many servers actually round-tripped —
+    /// in-memory backends have nothing to persist and report `0`.
+    ///
+    /// This is the determinism probe for the durability layer: a run's
+    /// trace digest must be identical with and without a mid-run
+    /// persist/restore, because recovery replay reconstructs the exact
+    /// pre-restart state.
+    pub fn persist_restore_stores(&mut self) -> usize {
+        let mut restored = 0;
+        let aids: Vec<ActorId> = self.server_actors.values().copied().collect();
+        for aid in aids {
+            if let Some(s) = self.sim.actor_mut::<ServerActor>(aid) {
+                if s.store.persist_restore().is_some() {
+                    restored += 1;
+                }
+            }
+        }
+        restored
+    }
+
+    /// Total WAL bytes currently on every server's segment device
+    /// (`0` for in-memory backends).
+    pub fn wal_bytes(&self) -> u64 {
+        self.server_actors
+            .values()
+            .filter_map(|&aid| self.sim.actor::<ServerActor>(aid))
+            .map(|s| s.store.wal_bytes())
             .sum()
     }
 }
@@ -2146,7 +2250,7 @@ mod tests {
         assert_eq!(stored.len(), 1);
         let dup = {
             let s: &ServerActor = d.sim.actor(server_actor).unwrap();
-            s.mailboxes[&bob].peek()[0].message.clone()
+            s.store.mailboxes()[&bob].peek()[0].message.clone()
         };
         d.sim.inject(
             server_actor,

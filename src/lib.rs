@@ -28,6 +28,8 @@
 //! * [`net`] — weighted graphs, shortest paths, centralized MSTs,
 //!   multi-region topologies, transport;
 //! * [`core`] — names, messages, mailboxes, directories, workloads;
+//! * [`store`] — durable mailbox storage: pluggable `MailStore` backends
+//!   and the crash-recoverable write-ahead log;
 //! * [`eval`] — the paper's §4 evaluation criteria as a metrics framework.
 //!
 //! ## Quickstart
@@ -60,4 +62,5 @@ pub use lems_locindep as locindep;
 pub use lems_mst as mst;
 pub use lems_net as net;
 pub use lems_sim as sim;
+pub use lems_store as store;
 pub use lems_syntax as syntax;

@@ -15,6 +15,7 @@ fn export(o: &scenarios::ScenarioOutcome) -> String {
         seed: o.seed,
         finished_at: o.finished_at,
         spans: &o.spans,
+        recoveries: &o.recoveries,
         scopes: &o.scopes,
     })
     .expect("scenario telemetry must export")
@@ -68,5 +69,34 @@ fn committed_golden_dump_is_current_and_regenerable() {
         fresh, committed,
         "schema or telemetry drift: regenerate with \
          `cargo run -p lems-check -- audit steady --trace-out GOLDEN_spans.jsonl`"
+    );
+}
+
+/// Golden gate for the crash/recovery export: the committed
+/// `durable-torn-tail` dump carries the schema-v2 `Recovery` line (replay
+/// counts, torn bytes, zero loss) and is regenerable bit-for-bit.
+#[test]
+fn committed_recovery_dump_is_current_and_regenerable() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/GOLDEN_spans_recovery.jsonl");
+    let committed = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let dump = Dump::parse(&committed).expect("golden dump must parse with the current schema");
+    assert_eq!(dump.run, "durable-torn-tail");
+    assert!(dump.audit(true).is_clean());
+    assert_eq!(dump.recoveries.len(), 1, "one crash, one recovery line");
+    let r = &dump.recoveries[0];
+    assert_eq!(r.backend, "wal");
+    assert!(r.replayed_records > 0);
+    assert!(
+        r.torn_bytes > 0,
+        "the torn tail must be visible as evidence"
+    );
+    assert_eq!(r.lost_messages, 0, "acked deposits survive the torn tail");
+
+    let fresh = export(&scenarios::durable_torn_tail(3));
+    assert_eq!(
+        fresh, committed,
+        "schema or telemetry drift: regenerate with \
+         `cargo run -p lems-check -- audit durable-torn-tail --trace-out \
+         GOLDEN_spans_recovery.jsonl`"
     );
 }
