@@ -1,0 +1,552 @@
+//! Per-fn control-flow graphs lowered from [`crate::expr`] statement
+//! trees.
+//!
+//! Each fn body becomes a small digraph of [`Node`]s between a
+//! distinguished `Entry` and `Exit`. Statement-position control flow
+//! (`if`/`while`/`loop`/`for`/`match`, `return`/`break`/`continue`,
+//! `let .. else`) produces real branches and back-edges; flat
+//! expression statements become single straight-line nodes. Two
+//! conservative refinements keep the graph honest without a full
+//! parser:
+//!
+//! * A statement that consists of a diverging macro call (`panic!`,
+//!   `unreachable!`, `todo!`, `unimplemented!`) becomes a [`NodeKind::
+//!   Diverge`] node with no fallthrough — as does a `loop` with no
+//!   `break`, which genuinely never terminates.
+//! * A statement containing a depth-0 `?` gets an extra edge to `Exit`
+//!   (the early error return).
+//!
+//! The graph drives [`crate::flow`]'s worklist (facts propagate along
+//! `succs` until fixpoint) and the corpus connectivity check used by
+//! the test suite: for every fn, `Entry` must reach `Exit` or a
+//! diverging node.
+
+use crate::expr::{FnBody, Range, Stmt, StmtKind};
+use crate::lex::Tok;
+
+/// Node kinds in a fn's control-flow graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The unique entry node (no statement range).
+    Entry,
+    /// The unique exit node; `return` and fn-tail fallthrough land here.
+    Exit,
+    /// A straight-line statement (or statement fragment, e.g. a loop
+    /// condition).
+    Stmt,
+    /// A branching point: an `if`/`while` condition or `match`
+    /// scrutinee. Has one successor per branch.
+    Branch,
+    /// A statement that never falls through: diverging macro call or an
+    /// infinite `loop` with no `break`.
+    Diverge,
+}
+
+/// One CFG node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// What kind of node.
+    pub kind: NodeKind,
+    /// Token range of the statement or fragment this node covers;
+    /// `None` for `Entry`/`Exit`.
+    pub range: Option<Range>,
+    /// Successor node indices.
+    pub succs: Vec<usize>,
+    /// For nodes that bind a pattern (`let`, `for`): the pattern range.
+    /// Dataflow assigns the evaluated `value` bits to these bindings.
+    pub bind: Option<Range>,
+    /// For binding nodes: the range whose value is bound (`let`
+    /// initializer, `for` iterable).
+    pub value: Option<Range>,
+    /// True when `value` is iterated (a `for` loop): hash-classed
+    /// collections in it taint the bindings with iteration order.
+    pub iterates: bool,
+}
+
+/// A per-fn control-flow graph.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// All nodes; `nodes[entry]` is `Entry`, `nodes[exit]` is `Exit`.
+    pub nodes: Vec<Node>,
+    /// Index of the entry node (always 0).
+    pub entry: usize,
+    /// Index of the exit node (always 1).
+    pub exit: usize,
+}
+
+/// Macro names whose statement-position invocation never returns.
+const DIVERGING_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+impl Cfg {
+    /// Lower a parsed fn body into a CFG. `toks` is the same token
+    /// stream the body's ranges index into.
+    pub fn build(body: &FnBody, toks: &[Tok]) -> Self {
+        let mut cfg = Cfg {
+            nodes: vec![
+                Node {
+                    kind: NodeKind::Entry,
+                    range: None,
+                    succs: Vec::new(),
+                    bind: None,
+                    value: None,
+                    iterates: false,
+                },
+                Node {
+                    kind: NodeKind::Exit,
+                    range: None,
+                    succs: Vec::new(),
+                    bind: None,
+                    value: None,
+                    iterates: false,
+                },
+            ],
+            entry: 0,
+            exit: 1,
+        };
+        let mut lower = Lowerer {
+            cfg: &mut cfg,
+            toks,
+            loops: Vec::new(),
+        };
+        let tail = lower.block(&body.stmts, 0);
+        // Fn-tail fallthrough reaches Exit.
+        lower.connect(tail, 1);
+        cfg
+    }
+
+    /// True when `from` can reach any node satisfying `pred`.
+    pub fn reaches(&self, from: usize, pred: impl Fn(&Node) -> bool) -> bool {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if seen[n] {
+                continue;
+            }
+            seen[n] = true;
+            if pred(&self.nodes[n]) {
+                return true;
+            }
+            stack.extend(self.nodes[n].succs.iter().copied());
+        }
+        false
+    }
+
+    /// True when `from` can reach node index `target`.
+    pub fn reaches_node(&self, from: usize, target: usize) -> bool {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if seen[n] {
+                continue;
+            }
+            seen[n] = true;
+            if n == target {
+                return true;
+            }
+            stack.extend(self.nodes[n].succs.iter().copied());
+        }
+        false
+    }
+
+    /// The corpus invariant: entry reaches exit or a diverging node.
+    pub fn entry_reaches_exit_or_diverge(&self) -> bool {
+        self.reaches(self.entry, |n| {
+            matches!(n.kind, NodeKind::Exit | NodeKind::Diverge)
+        })
+    }
+
+    /// Nodes in reverse-postorder-ish worklist seed order (just index
+    /// order; the worklist iterates to fixpoint regardless).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Loop context for `break`/`continue` targets: indices that `break`
+/// edges should be patched to, and the loop-head node `continue` jumps
+/// back to.
+struct LoopCtx {
+    head: usize,
+    breaks: Vec<usize>,
+}
+
+struct Lowerer<'a> {
+    cfg: &'a mut Cfg,
+    toks: &'a [Tok],
+    loops: Vec<LoopCtx>,
+}
+
+impl Lowerer<'_> {
+    fn push(&mut self, kind: NodeKind, range: Option<Range>) -> usize {
+        self.cfg.nodes.push(Node {
+            kind,
+            range,
+            succs: Vec::new(),
+            bind: None,
+            value: None,
+            iterates: false,
+        });
+        self.cfg.nodes.len() - 1
+    }
+
+    /// Add an edge from every node in `froms` to `to`.
+    fn connect(&mut self, froms: Vec<usize>, to: usize) {
+        for f in froms {
+            if !self.cfg.nodes[f].succs.contains(&to) {
+                self.cfg.nodes[f].succs.push(to);
+            }
+        }
+    }
+
+    /// For an `if let` / `while let` condition node: record the pattern
+    /// and matched-value sub-ranges so dataflow can bind them.
+    fn set_cond_bind(&mut self, node: usize, cond: Range) {
+        let (lo, hi) = cond;
+        let hi = hi.min(self.toks.len());
+        let mut i = lo;
+        while i < hi && self.toks[i].kind == crate::lex::TokKind::Comment {
+            i += 1;
+        }
+        if i >= hi || !self.toks[i].is_ident("let") {
+            return;
+        }
+        // Split at the depth-0 `=` (never `==`/`=>` at depth 0 in a
+        // condition's let position).
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while j < hi {
+            let t = &self.toks[j];
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "=" if depth == 0 => {
+                    self.cfg.nodes[node].bind = Some((i + 1, j));
+                    self.cfg.nodes[node].value = Some((j + 1, hi));
+                    return;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+
+    /// Does `[lo, hi)` contain a depth-0 `?` (early error return)?
+    fn has_try(&self, range: Range) -> bool {
+        let (lo, hi) = range;
+        let hi = hi.min(self.toks.len());
+        (lo..hi).any(|i| self.toks[i].is_punct('?'))
+    }
+
+    /// Is the flat statement range a diverging macro invocation?
+    fn is_diverging(&self, range: Range) -> bool {
+        let (lo, hi) = range;
+        let hi = hi.min(self.toks.len());
+        let mut i = lo;
+        while i < hi && self.toks[i].kind == crate::lex::TokKind::Comment {
+            i += 1;
+        }
+        i < hi
+            && DIVERGING_MACROS.iter().any(|m| self.toks[i].is_ident(m))
+            && i + 1 < hi
+            && self.toks[i + 1].is_punct('!')
+    }
+
+    /// Lower a statement list. `preds` is the set of dangling node
+    /// indices whose fallthrough enters this block; returns the set
+    /// whose fallthrough leaves it. Entry (index 0) participates via
+    /// `preds = vec![0]` at the top level.
+    fn block(&mut self, stmts: &[Stmt], entry_pred: usize) -> Vec<usize> {
+        let mut preds = vec![entry_pred];
+        for s in stmts {
+            preds = self.stmt(s, preds);
+        }
+        preds
+    }
+
+    fn block_from(&mut self, stmts: &[Stmt], preds: Vec<usize>) -> Vec<usize> {
+        let mut p = preds;
+        for s in stmts {
+            p = self.stmt(s, p);
+        }
+        p
+    }
+
+    /// Lower one statement given dangling predecessors; returns the new
+    /// dangling set.
+    fn stmt(&mut self, s: &Stmt, preds: Vec<usize>) -> Vec<usize> {
+        match &s.kind {
+            StmtKind::Let {
+                pat,
+                init,
+                else_block,
+                ..
+            } => {
+                if let Some(eb) = else_block {
+                    // let-else: binding succeeds (fallthrough) or the
+                    // else block runs (and must diverge).
+                    let n = self.push(NodeKind::Branch, Some(s.range));
+                    self.cfg.nodes[n].bind = Some(*pat);
+                    self.cfg.nodes[n].value = *init;
+                    self.connect(preds, n);
+                    let else_tail = self.block_from(eb, vec![n]);
+                    // The else block's fallthrough cannot continue past
+                    // the let (the compiler enforces divergence); drop
+                    // its dangling ends at Exit to stay conservative.
+                    self.connect(else_tail, self.cfg.exit);
+                    vec![n]
+                } else {
+                    let n = self.flat(s.range);
+                    self.cfg.nodes[n].bind = Some(*pat);
+                    self.cfg.nodes[n].value = *init;
+                    self.connect(preds, n);
+                    self.flat_next(n, s.range)
+                }
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let b = self.push(NodeKind::Branch, Some(*cond));
+                self.set_cond_bind(b, *cond);
+                self.connect(preds, b);
+                let mut out = self.block_from(then_branch, vec![b]);
+                if let Some(eb) = else_branch {
+                    let else_out = self.block_from(eb, vec![b]);
+                    out.extend(else_out);
+                } else {
+                    out.push(b);
+                }
+                out
+            }
+            StmtKind::While { cond, body } => {
+                let b = self.push(NodeKind::Branch, Some(*cond));
+                self.set_cond_bind(b, *cond);
+                self.connect(preds, b);
+                self.loops.push(LoopCtx {
+                    head: b,
+                    breaks: Vec::new(),
+                });
+                let body_out = self.block_from(body, vec![b]);
+                self.connect(body_out, b);
+                // Balanced with the push above; empty only if a `break`
+                // handler misbehaved, in which case there are no breaks.
+                let breaks = self.loops.pop().map(|c| c.breaks).unwrap_or_default();
+                let mut out = vec![b];
+                out.extend(breaks);
+                out
+            }
+            StmtKind::Loop { body } => {
+                let head = self.push(NodeKind::Stmt, Some(s.range));
+                self.connect(preds, head);
+                self.loops.push(LoopCtx {
+                    head,
+                    breaks: Vec::new(),
+                });
+                let body_out = self.block_from(body, vec![head]);
+                self.connect(body_out, head);
+                let breaks = self.loops.pop().map(|c| c.breaks).unwrap_or_default();
+                if breaks.is_empty() {
+                    // No break: the loop never terminates — that IS the
+                    // fn's way of diverging.
+                    self.cfg.nodes[head].kind = NodeKind::Diverge;
+                    Vec::new()
+                } else {
+                    breaks
+                }
+            }
+            StmtKind::For { pat, iter, body } => {
+                let b = self.push(NodeKind::Branch, Some(*iter));
+                self.cfg.nodes[b].bind = Some(*pat);
+                self.cfg.nodes[b].value = Some(*iter);
+                self.cfg.nodes[b].iterates = true;
+                self.connect(preds, b);
+                self.loops.push(LoopCtx {
+                    head: b,
+                    breaks: Vec::new(),
+                });
+                let body_out = self.block_from(body, vec![b]);
+                self.connect(body_out, b);
+                let breaks = self.loops.pop().map(|c| c.breaks).unwrap_or_default();
+                let mut out = vec![b];
+                out.extend(breaks);
+                out
+            }
+            StmtKind::Match { scrut, arms } => {
+                let b = self.push(NodeKind::Branch, Some(*scrut));
+                self.connect(preds, b);
+                if arms.is_empty() {
+                    // `match never {}` — no arm can run; treat as
+                    // diverging.
+                    self.cfg.nodes[b].kind = NodeKind::Diverge;
+                    return Vec::new();
+                }
+                let mut out = Vec::new();
+                for arm in arms {
+                    let arm_out = self.block_from(&arm.body, vec![b]);
+                    out.extend(arm_out);
+                }
+                out
+            }
+            StmtKind::Return { .. } => {
+                let n = self.push(NodeKind::Stmt, Some(s.range));
+                self.connect(preds, n);
+                let exit = self.cfg.exit;
+                self.connect(vec![n], exit);
+                Vec::new()
+            }
+            StmtKind::Break => {
+                let n = self.push(NodeKind::Stmt, Some(s.range));
+                self.connect(preds, n);
+                if let Some(ctx) = self.loops.last_mut() {
+                    ctx.breaks.push(n);
+                } else {
+                    // break outside a lowered loop (e.g. inside a
+                    // labelled block we flattened): fall to Exit so the
+                    // node is not dangling.
+                    let exit = self.cfg.exit;
+                    self.connect(vec![n], exit);
+                }
+                Vec::new()
+            }
+            StmtKind::Continue => {
+                let n = self.push(NodeKind::Stmt, Some(s.range));
+                self.connect(preds, n);
+                if let Some(ctx) = self.loops.last() {
+                    let head = ctx.head;
+                    self.connect(vec![n], head);
+                } else {
+                    let exit = self.cfg.exit;
+                    self.connect(vec![n], exit);
+                }
+                Vec::new()
+            }
+            StmtKind::Block(body) => {
+                let mut p = preds;
+                if body.is_empty() {
+                    let n = self.push(NodeKind::Stmt, Some(s.range));
+                    self.connect(p, n);
+                    return vec![n];
+                }
+                for st in body {
+                    p = self.stmt(st, p);
+                }
+                p
+            }
+            StmtKind::Expr { range } => {
+                if self.is_diverging(*range) {
+                    let n = self.push(NodeKind::Diverge, Some(*range));
+                    self.connect(preds, n);
+                    return Vec::new();
+                }
+                let n = self.flat(*range);
+                self.connect(preds, n);
+                self.flat_next(n, *range)
+            }
+        }
+    }
+
+    fn flat(&mut self, range: Range) -> usize {
+        self.push(NodeKind::Stmt, Some(range))
+    }
+
+    /// Fallthrough set for a flat node: itself, plus an Exit edge when
+    /// the range contains a `?` operator.
+    fn flat_next(&mut self, n: usize, range: Range) -> Vec<usize> {
+        if self.has_try(range) {
+            let exit = self.cfg.exit;
+            self.connect(vec![n], exit);
+        }
+        vec![n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let toks = lex(src);
+        let open = toks.iter().position(|t| t.is_punct('{')).unwrap();
+        let body = FnBody::parse(&toks, open + 1, toks.len() - 1);
+        Cfg::build(&body, &toks)
+    }
+
+    #[test]
+    fn straight_line_reaches_exit() {
+        let cfg = cfg_of("fn f() { let x = 1; g(x); }");
+        assert!(cfg.entry_reaches_exit_or_diverge());
+        assert!(cfg.reaches(cfg.entry, |n| n.kind == NodeKind::Exit));
+    }
+
+    #[test]
+    fn if_produces_branch_and_join() {
+        let cfg = cfg_of("fn f(c: bool) { if c { a(); } else { b(); } tail(); }");
+        let branches = cfg
+            .nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Branch)
+            .count();
+        assert_eq!(branches, 1);
+        assert!(cfg.entry_reaches_exit_or_diverge());
+    }
+
+    #[test]
+    fn while_has_back_edge() {
+        let cfg = cfg_of("fn f() { while cond() { step(); } }");
+        // The branch node must appear in its own transitive successors
+        // (the loop back-edge).
+        let b = cfg
+            .nodes
+            .iter()
+            .position(|n| n.kind == NodeKind::Branch)
+            .unwrap();
+        let reached = cfg.nodes[b].succs.iter().any(|&s| cfg.reaches_node(s, b));
+        assert!(reached, "no back edge to loop head");
+        assert!(cfg.entry_reaches_exit_or_diverge());
+    }
+
+    #[test]
+    fn infinite_loop_counts_as_diverging() {
+        let cfg = cfg_of("fn f() { loop { tick(); } }");
+        assert!(!cfg.reaches(cfg.entry, |n| n.kind == NodeKind::Exit));
+        assert!(cfg.entry_reaches_exit_or_diverge());
+    }
+
+    #[test]
+    fn loop_with_break_reaches_exit() {
+        let cfg = cfg_of("fn f() { loop { if done() { break; } } after(); }");
+        assert!(cfg.reaches(cfg.entry, |n| n.kind == NodeKind::Exit));
+    }
+
+    #[test]
+    fn panic_statement_diverges() {
+        let cfg = cfg_of("fn f() { panic!(\"boom\"); }");
+        assert!(cfg.nodes.iter().any(|n| n.kind == NodeKind::Diverge));
+        assert!(cfg.entry_reaches_exit_or_diverge());
+    }
+
+    #[test]
+    fn early_return_and_try_reach_exit() {
+        let cfg = cfg_of("fn f() -> R { if bad() { return err(); } let v = io()?; ok(v) }");
+        assert!(cfg.entry_reaches_exit_or_diverge());
+        // The `?` statement must have an Exit successor.
+        let exit = cfg.exit;
+        assert!(cfg
+            .nodes
+            .iter()
+            .any(|n| n.kind == NodeKind::Stmt && n.succs.contains(&exit)));
+    }
+
+    #[test]
+    fn match_arms_all_branch_from_scrutinee() {
+        let cfg = cfg_of("fn f(m: M) { match m { M::A => a(), M::B => { b(); } } }");
+        let b = cfg
+            .nodes
+            .iter()
+            .position(|n| n.kind == NodeKind::Branch)
+            .unwrap();
+        assert_eq!(cfg.nodes[b].succs.len(), 2);
+    }
+}

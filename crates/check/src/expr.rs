@@ -1,0 +1,1066 @@
+//! Statement/expression structure over fn bodies — the third parsing
+//! layer of the lint engine, sitting on top of [`crate::lex`] (tokens)
+//! and [`crate::items`] (scopes).
+//!
+//! [`items`](crate::items) stops at item granularity: it knows *where*
+//! a fn body is (`Scope::body` is a `[start, end)` token range) but not
+//! what happens inside. This module parses that range into a statement
+//! tree — `let` bindings, `if`/`while`/`loop`/`for`/`match` control
+//! flow, `return`/`break`/`continue`, and flat expression statements —
+//! precise enough for [`crate::cfg`] to lower into a control-flow graph
+//! and for [`crate::flow`] to run dataflow over, while staying
+//! deliberately shallow everywhere deeper structure would not change
+//! the analyses:
+//!
+//! * Expression *interiors* are kept as flat token ranges. Taint
+//!   transfer functions read ranges token-wise, so a nested
+//!   `match`/closure inside a `let` initializer still contributes its
+//!   reads and calls without being structurally parsed.
+//! * Only statement-position control flow branches the CFG. An `if`
+//!   buried in an initializer cannot skip a binding, so flattening it
+//!   loses nothing the rules care about.
+//!
+//! The parser never fails: like [`lex`](crate::lex) and
+//! [`items`](crate::items) it is total over arbitrary token streams,
+//! degrading to flat `Expr` statements when structure is unrecognised.
+
+use crate::lex::{Tok, TokKind};
+
+/// A half-open token range `[start, end)` into the file's token stream.
+pub type Range = (usize, usize);
+
+/// One parsed statement. `range` always covers the whole statement
+/// (including any nested blocks), so flat token scans over a statement
+/// see everything inside it.
+#[derive(Debug, Clone)]
+pub struct Stmt {
+    /// What kind of statement, with structured sub-ranges.
+    pub kind: StmtKind,
+    /// Token range of the whole statement.
+    pub range: Range,
+}
+
+/// A match arm: pattern range plus the arm body as statements (an
+/// expression arm becomes a single [`StmtKind::Expr`] statement).
+#[derive(Debug, Clone)]
+pub struct MatchArm {
+    /// Token range of the arm's pattern (up to, not including, `=>`).
+    pub pat: Range,
+    /// The arm body.
+    pub body: Vec<Stmt>,
+}
+
+/// Statement kinds recognised at statement position.
+#[derive(Debug, Clone)]
+pub enum StmtKind {
+    /// `let pat[: ty] [= init] [else { .. }];`
+    Let {
+        /// Pattern range.
+        pat: Range,
+        /// Explicit type annotation range, if any.
+        ty: Option<Range>,
+        /// Initializer range (flat), if any.
+        init: Option<Range>,
+        /// `let .. else` diverging block, if any.
+        else_block: Option<Vec<Stmt>>,
+    },
+    /// `if cond { .. } [else ..]` — `else if` chains nest as a
+    /// single-statement `else_branch`.
+    If {
+        /// Condition range (covers `let pat = expr` for if-let).
+        cond: Range,
+        /// Then-block statements.
+        then_branch: Vec<Stmt>,
+        /// Else-block statements (a nested `If` for `else if`).
+        else_branch: Option<Vec<Stmt>>,
+    },
+    /// `while cond { .. }` (covers while-let).
+    While {
+        /// Condition range.
+        cond: Range,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `loop { .. }`
+    Loop {
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `for pat in iter { .. }`
+    For {
+        /// Loop pattern range.
+        pat: Range,
+        /// Iterated expression range.
+        iter: Range,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Statement-position `match scrut { arms }`.
+    Match {
+        /// Scrutinee range.
+        scrut: Range,
+        /// The arms.
+        arms: Vec<MatchArm>,
+    },
+    /// `return [value];`
+    Return {
+        /// Returned expression range, if any.
+        value: Option<Range>,
+    },
+    /// `break [label] [value];`
+    Break,
+    /// `continue [label];`
+    Continue,
+    /// A bare `{ .. }` (or `unsafe { .. }`) block statement.
+    Block(Vec<Stmt>),
+    /// Anything else: a flat expression statement (assignment, call
+    /// chain, macro invocation, tail expression, …).
+    Expr {
+        /// The whole flat range.
+        range: Range,
+    },
+}
+
+/// A parsed fn body.
+#[derive(Debug, Clone)]
+pub struct FnBody {
+    /// Top-level statements of the body, in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl FnBody {
+    /// Parse the `[lo, hi)` token range of a braced fn body's contents
+    /// (the `Scope::body` range from [`crate::items`]). Total: never
+    /// panics, never rejects input.
+    pub fn parse(toks: &[Tok], lo: usize, hi: usize) -> Self {
+        let hi = hi.min(toks.len());
+        let lo = lo.min(hi);
+        FnBody {
+            stmts: parse_stmts(toks, lo, hi),
+        }
+    }
+
+    /// Visit every statement in the tree, depth-first, in source order.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Stmt)) {
+        fn go<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+            for s in stmts {
+                f(s);
+                match &s.kind {
+                    StmtKind::Let { else_block, .. } => {
+                        if let Some(b) = else_block {
+                            go(b, f);
+                        }
+                    }
+                    StmtKind::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => {
+                        go(then_branch, f);
+                        if let Some(b) = else_branch {
+                            go(b, f);
+                        }
+                    }
+                    StmtKind::While { body, .. }
+                    | StmtKind::Loop { body }
+                    | StmtKind::For { body, .. } => go(body, f),
+                    StmtKind::Match { arms, .. } => {
+                        for a in arms {
+                            go(&a.body, f);
+                        }
+                    }
+                    StmtKind::Block(b) => go(b, f),
+                    StmtKind::Return { .. }
+                    | StmtKind::Break
+                    | StmtKind::Continue
+                    | StmtKind::Expr { .. } => {}
+                }
+            }
+        }
+        go(&self.stmts, f);
+    }
+}
+
+/// True for tokens the statement parser should step over entirely.
+fn is_skip(t: &Tok) -> bool {
+    matches!(t.kind, TokKind::Comment)
+}
+
+/// Next non-comment token index at or after `i`, bounded by `hi`.
+fn nc(toks: &[Tok], mut i: usize, hi: usize) -> usize {
+    while i < hi && is_skip(&toks[i]) {
+        i += 1;
+    }
+    i
+}
+
+/// Index just past the block opened by the `{` at `open` (which must be
+/// a `{`), bounded by `hi`. Returns `hi` when unbalanced.
+pub fn close_brace(toks: &[Tok], open: usize, hi: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < hi {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    hi
+}
+
+/// Scan from `i` for the first token at bracket-depth 0 satisfying
+/// `stop`; returns its index (or `hi`). Tracks `(`/`[`/`{` uniformly.
+fn scan_depth0(toks: &[Tok], i: usize, hi: usize, mut stop: impl FnMut(&Tok) -> bool) -> usize {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut brace = 0i32;
+    let mut j = i;
+    while j < hi {
+        let t = &toks[j];
+        if paren == 0 && bracket == 0 && brace == 0 && stop(t) {
+            return j;
+        }
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                "{" => brace += 1,
+                "}" => {
+                    if brace == 0 {
+                        // Closing brace of an enclosing block: hard stop.
+                        return j;
+                    }
+                    brace -= 1;
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    hi
+}
+
+/// Find the `{` that opens the block of an `if`/`while`/`for`/`match`
+/// header starting at `i`. Rust forbids bare struct literals in these
+/// header positions, so the first depth-0 `{` opens the block.
+fn header_block_open(toks: &[Tok], i: usize, hi: usize) -> usize {
+    scan_depth0(toks, i, hi, |t| t.is_punct('{'))
+}
+
+/// End of a `;`-terminated statement starting at `i`: index of the `;`
+/// at depth 0, or the enclosing `}` / `hi`.
+fn stmt_semi(toks: &[Tok], i: usize, hi: usize) -> usize {
+    scan_depth0(toks, i, hi, |t| t.is_punct(';'))
+}
+
+fn parse_stmts(toks: &[Tok], lo: usize, hi: usize) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    let mut i = nc(toks, lo, hi);
+    while i < hi {
+        let (stmt, next) = parse_stmt(toks, i, hi);
+        // Guarantee progress on any input.
+        let next = next.max(i + 1);
+        out.push(stmt);
+        i = nc(toks, next, hi);
+    }
+    out
+}
+
+/// Parse one statement starting at non-comment index `i`; returns the
+/// statement and the index just past it.
+fn parse_stmt(toks: &[Tok], i: usize, hi: usize) -> (Stmt, usize) {
+    let t = &toks[i];
+    if t.is_ident("let") {
+        return parse_let(toks, i, hi);
+    }
+    if t.is_ident("if") {
+        return parse_if(toks, i, hi);
+    }
+    if t.is_ident("while") {
+        return parse_while(toks, i, hi);
+    }
+    if t.is_ident("loop") {
+        return parse_loop(toks, i, hi);
+    }
+    if t.is_ident("for") {
+        return parse_for(toks, i, hi);
+    }
+    if t.is_ident("match") {
+        return parse_match(toks, i, hi);
+    }
+    if t.is_ident("return") {
+        let end = stmt_semi(toks, i + 1, hi);
+        let value = if nc(toks, i + 1, end) < end {
+            Some((i + 1, end))
+        } else {
+            None
+        };
+        return (
+            Stmt {
+                kind: StmtKind::Return { value },
+                range: (i, semi_incl(toks, end, hi)),
+            },
+            semi_incl(toks, end, hi),
+        );
+    }
+    if t.is_ident("break") || t.is_ident("continue") {
+        let kind = if t.is_ident("break") {
+            StmtKind::Break
+        } else {
+            StmtKind::Continue
+        };
+        let end = stmt_semi(toks, i + 1, hi);
+        let past = semi_incl(toks, end, hi);
+        return (
+            Stmt {
+                kind,
+                range: (i, past),
+            },
+            past,
+        );
+    }
+    if t.is_punct('{') {
+        let past = close_brace(toks, i, hi);
+        let body = parse_stmts(toks, i + 1, past.saturating_sub(1).max(i + 1));
+        return (
+            Stmt {
+                kind: StmtKind::Block(body),
+                range: (i, past),
+            },
+            past,
+        );
+    }
+    if t.is_ident("unsafe") {
+        let open = nc(toks, i + 1, hi);
+        if open < hi && toks[open].is_punct('{') {
+            let past = close_brace(toks, open, hi);
+            let body = parse_stmts(toks, open + 1, past.saturating_sub(1).max(open + 1));
+            return (
+                Stmt {
+                    kind: StmtKind::Block(body),
+                    range: (i, past),
+                },
+                past,
+            );
+        }
+    }
+    // Flat expression statement. Scan to `;` at depth 0. A statement
+    // that *starts* with something block-terminated we did not
+    // recognise (attribute'd nested items, nested fns, …) falls out of
+    // the depth-0 scan correctly because its braces are balanced.
+    let end = stmt_semi(toks, i, hi);
+    let past = semi_incl(toks, end, hi);
+    (
+        Stmt {
+            kind: StmtKind::Expr { range: (i, past) },
+            range: (i, past),
+        },
+        past,
+    )
+}
+
+/// If `end` points at a `;`, include it; otherwise return `end`.
+fn semi_incl(toks: &[Tok], end: usize, hi: usize) -> usize {
+    if end < hi && toks[end].is_punct(';') {
+        end + 1
+    } else {
+        end
+    }
+}
+
+fn parse_let(toks: &[Tok], i: usize, hi: usize) -> (Stmt, usize) {
+    // let PAT [: TY] [= INIT [else { .. }]] ;
+    let start = i;
+    let pat_start = nc(toks, i + 1, hi);
+    // Pattern runs to the first depth-0 `:` (type annotation), `=`
+    // (initializer), or `;`. `::` path separators (lexed as two `:`
+    // puncts) are stepped over; `==`/`=>` cannot appear at depth 0
+    // inside a pattern, so a bare `=` check suffices.
+    let pat_end = {
+        let mut j = pat_start;
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        let mut brace = 0i32;
+        let mut end = hi;
+        while j < hi {
+            let t = &toks[j];
+            if paren == 0 && bracket == 0 && brace == 0 {
+                if t.is_punct(';') || t.is_punct('=') || t.is_punct('}') {
+                    end = j;
+                    break;
+                }
+                if t.is_punct(':') {
+                    if j + 1 < hi && toks[j + 1].is_punct(':') {
+                        j += 2;
+                        continue;
+                    }
+                    end = j;
+                    break;
+                }
+            }
+            match t.text.as_str() {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                "{" => brace += 1,
+                "}" => brace -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        end
+    };
+
+    let mut ty = None;
+    let mut j = pat_end;
+    if j < hi && toks[j].is_punct(':') {
+        // Type runs to `=` or `;` at depth 0.
+        let ty_start = j + 1;
+        let ty_end = scan_depth0(toks, ty_start, hi, |t| t.is_punct('=') || t.is_punct(';'));
+        ty = Some((ty_start, ty_end));
+        j = ty_end;
+    }
+
+    let mut init = None;
+    let mut else_block = None;
+    let mut past;
+    if j < hi && toks[j].is_punct('=') {
+        let init_start = j + 1;
+        // Initializer runs to `;` at depth 0, or to a depth-0 `else`
+        // (let-else).
+        let init_end = scan_depth0(toks, init_start, hi, |t| {
+            t.is_punct(';') || t.is_ident("else")
+        });
+        init = Some((init_start, init_end));
+        if init_end < hi && toks[init_end].is_ident("else") {
+            let open = nc(toks, init_end + 1, hi);
+            if open < hi && toks[open].is_punct('{') {
+                let block_past = close_brace(toks, open, hi);
+                else_block = Some(parse_stmts(toks, open + 1, block_past.saturating_sub(1)));
+                let after = nc(toks, block_past, hi);
+                past = semi_incl(toks, after, hi);
+            } else {
+                past = semi_incl(toks, init_end, hi);
+            }
+        } else {
+            past = semi_incl(toks, init_end, hi);
+        }
+    } else {
+        let end = stmt_semi(toks, j, hi);
+        past = semi_incl(toks, end, hi);
+    }
+    if past <= start {
+        past = start + 1;
+    }
+    (
+        Stmt {
+            kind: StmtKind::Let {
+                pat: (pat_start, pat_end),
+                ty,
+                init,
+                else_block,
+            },
+            range: (start, past),
+        },
+        past,
+    )
+}
+
+fn parse_block_body(toks: &[Tok], open: usize, hi: usize) -> (Vec<Stmt>, usize) {
+    let past = close_brace(toks, open, hi);
+    let inner_hi = past.saturating_sub(1).max(open + 1);
+    (parse_stmts(toks, open + 1, inner_hi), past)
+}
+
+fn parse_if(toks: &[Tok], i: usize, hi: usize) -> (Stmt, usize) {
+    let open = header_block_open(toks, i + 1, hi);
+    if open >= hi || !toks[open].is_punct('{') {
+        // Malformed — treat as flat.
+        let end = stmt_semi(toks, i, hi);
+        let past = semi_incl(toks, end, hi).max(i + 1);
+        return (
+            Stmt {
+                kind: StmtKind::Expr { range: (i, past) },
+                range: (i, past),
+            },
+            past,
+        );
+    }
+    let cond = (i + 1, open);
+    let (then_branch, mut past) = parse_block_body(toks, open, hi);
+    let mut else_branch = None;
+    let after = nc(toks, past, hi);
+    if after < hi && toks[after].is_ident("else") {
+        let next = nc(toks, after + 1, hi);
+        if next < hi && toks[next].is_ident("if") {
+            let (nested, p) = parse_if(toks, next, hi);
+            past = p;
+            else_branch = Some(vec![nested]);
+        } else if next < hi && toks[next].is_punct('{') {
+            let (body, p) = parse_block_body(toks, next, hi);
+            past = p;
+            else_branch = Some(body);
+        }
+    }
+    (
+        Stmt {
+            kind: StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            },
+            range: (i, past),
+        },
+        past,
+    )
+}
+
+fn parse_while(toks: &[Tok], i: usize, hi: usize) -> (Stmt, usize) {
+    let open = header_block_open(toks, i + 1, hi);
+    if open >= hi || !toks[open].is_punct('{') {
+        let end = stmt_semi(toks, i, hi);
+        let past = semi_incl(toks, end, hi).max(i + 1);
+        return (
+            Stmt {
+                kind: StmtKind::Expr { range: (i, past) },
+                range: (i, past),
+            },
+            past,
+        );
+    }
+    let cond = (i + 1, open);
+    let (body, past) = parse_block_body(toks, open, hi);
+    (
+        Stmt {
+            kind: StmtKind::While { cond, body },
+            range: (i, past),
+        },
+        past,
+    )
+}
+
+fn parse_loop(toks: &[Tok], i: usize, hi: usize) -> (Stmt, usize) {
+    let open = nc(toks, i + 1, hi);
+    if open >= hi || !toks[open].is_punct('{') {
+        let end = stmt_semi(toks, i, hi);
+        let past = semi_incl(toks, end, hi).max(i + 1);
+        return (
+            Stmt {
+                kind: StmtKind::Expr { range: (i, past) },
+                range: (i, past),
+            },
+            past,
+        );
+    }
+    let (body, past) = parse_block_body(toks, open, hi);
+    (
+        Stmt {
+            kind: StmtKind::Loop { body },
+            range: (i, past),
+        },
+        past,
+    )
+}
+
+fn parse_for(toks: &[Tok], i: usize, hi: usize) -> (Stmt, usize) {
+    // for PAT in ITER { .. }
+    let pat_start = nc(toks, i + 1, hi);
+    let in_kw = scan_depth0(toks, pat_start, hi, |t| t.is_ident("in") || t.is_punct('{'));
+    if in_kw >= hi || !toks[in_kw].is_ident("in") {
+        let end = stmt_semi(toks, i, hi);
+        let past = semi_incl(toks, end, hi).max(i + 1);
+        return (
+            Stmt {
+                kind: StmtKind::Expr { range: (i, past) },
+                range: (i, past),
+            },
+            past,
+        );
+    }
+    let open = header_block_open(toks, in_kw + 1, hi);
+    if open >= hi || !toks[open].is_punct('{') {
+        let end = stmt_semi(toks, i, hi);
+        let past = semi_incl(toks, end, hi).max(i + 1);
+        return (
+            Stmt {
+                kind: StmtKind::Expr { range: (i, past) },
+                range: (i, past),
+            },
+            past,
+        );
+    }
+    let (body, past) = parse_block_body(toks, open, hi);
+    (
+        Stmt {
+            kind: StmtKind::For {
+                pat: (pat_start, in_kw),
+                iter: (in_kw + 1, open),
+                body,
+            },
+            range: (i, past),
+        },
+        past,
+    )
+}
+
+fn parse_match(toks: &[Tok], i: usize, hi: usize) -> (Stmt, usize) {
+    let open = header_block_open(toks, i + 1, hi);
+    if open >= hi || !toks[open].is_punct('{') {
+        let end = stmt_semi(toks, i, hi);
+        let past = semi_incl(toks, end, hi).max(i + 1);
+        return (
+            Stmt {
+                kind: StmtKind::Expr { range: (i, past) },
+                range: (i, past),
+            },
+            past,
+        );
+    }
+    let scrut = (i + 1, open);
+    let past = close_brace(toks, open, hi);
+    let inner_hi = past.saturating_sub(1).max(open + 1);
+    let mut arms = Vec::new();
+    let mut j = nc(toks, open + 1, inner_hi);
+    while j < inner_hi {
+        // Pattern runs to `=>` at depth 0 (lexed as `=` `>`).
+        let mut arrow;
+        {
+            let mut paren = 0i32;
+            let mut bracket = 0i32;
+            let mut brace = 0i32;
+            let mut k = j;
+            arrow = inner_hi;
+            while k < inner_hi {
+                let t = &toks[k];
+                if paren == 0
+                    && bracket == 0
+                    && brace == 0
+                    && t.is_punct('=')
+                    && k + 1 < inner_hi
+                    && toks[k + 1].is_punct('>')
+                {
+                    arrow = k;
+                    break;
+                }
+                match t.text.as_str() {
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    "[" => bracket += 1,
+                    "]" => bracket -= 1,
+                    "{" => brace += 1,
+                    "}" => brace -= 1,
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        if arrow >= inner_hi {
+            break;
+        }
+        let pat = (j, arrow);
+        let body_start = nc(toks, arrow + 2, inner_hi);
+        if body_start >= inner_hi {
+            arms.push(MatchArm {
+                pat,
+                body: Vec::new(),
+            });
+            break;
+        }
+        let (body, body_past) = if toks[body_start].is_punct('{') {
+            let p = close_brace(toks, body_start, inner_hi);
+            (
+                parse_stmts(
+                    toks,
+                    body_start + 1,
+                    p.saturating_sub(1).max(body_start + 1),
+                ),
+                p,
+            )
+        } else {
+            // Expression arm: runs to `,` at depth 0 or the match end.
+            let end = scan_depth0(toks, body_start, inner_hi, |t| t.is_punct(','));
+            (
+                vec![Stmt {
+                    kind: StmtKind::Expr {
+                        range: (body_start, end),
+                    },
+                    range: (body_start, end),
+                }],
+                end,
+            )
+        };
+        arms.push(MatchArm { pat, body });
+        let mut k = nc(toks, body_past, inner_hi);
+        if k < inner_hi && toks[k].is_punct(',') {
+            k += 1;
+        }
+        let k = nc(toks, k, inner_hi);
+        if k <= j {
+            break;
+        }
+        j = k;
+    }
+    (
+        Stmt {
+            kind: StmtKind::Match { scrut, arms },
+            range: (i, past),
+        },
+        past,
+    )
+}
+
+/// Rust keywords and pattern noise words that can never be value
+/// bindings.
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "as" | "async"
+            | "await"
+            | "box"
+            | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "extern"
+            | "false"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "self"
+            | "Self"
+            | "static"
+            | "struct"
+            | "super"
+            | "trait"
+            | "true"
+            | "type"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+    )
+}
+
+/// Extract the value bindings introduced by a pattern range: lowercase
+/// idents that are not keywords, not path segments (`a::b`), and not
+/// struct-pattern field *names* (`Foo { name: binding }` — the binding
+/// follows the `:`). Returns `(name, token_index)` pairs.
+pub fn pattern_bindings(toks: &[Tok], range: Range) -> Vec<(String, usize)> {
+    let (lo, hi) = range;
+    let hi = hi.min(toks.len());
+    let mut out = Vec::new();
+    let mut i = lo;
+    while i < hi {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident || t.kind == TokKind::RawIdent {
+            let name = t.text.as_str();
+            let first = name.chars().next().unwrap_or('_');
+            let bindable =
+                (first.is_ascii_lowercase() || first == '_') && name != "_" && !is_keyword(name);
+            if bindable {
+                // Skip path segments: `a::b` or `::a`.
+                let path_before =
+                    i >= 2 && i - 2 >= lo && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':');
+                let path_after =
+                    i + 2 < hi && toks[i + 1].is_punct(':') && toks[i + 2].is_punct(':');
+                // Skip struct-pattern field names: ident followed by a
+                // single `:` (the binding is the next ident).
+                let field_name = i + 1 < hi
+                    && toks[i + 1].is_punct(':')
+                    && !(i + 2 < hi && toks[i + 2].is_punct(':'));
+                // Skip macro names: `ident!`.
+                let macro_name = i + 1 < hi && toks[i + 1].is_punct('!');
+                if !path_before && !path_after && !field_name && !macro_name {
+                    out.push((t.text.clone(), i));
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// A call site found in a flat token range.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// The called name: method name for `recv.name(..)`, the final path
+    /// segment for `a::b::name(..)`, or a bare fn name for `name(..)`.
+    pub name: String,
+    /// Token index of the name.
+    pub at: usize,
+    /// For a method call, the token index of the receiver ident
+    /// immediately before the `.` (e.g. `x` in `x.iter()` or the field
+    /// `f` in `self.f.iter()`); `None` for path/bare calls.
+    pub recv: Option<usize>,
+    /// For a path call, the path segment before the final `::` (e.g.
+    /// `HashMap` in `HashMap::new(..)`); `None` otherwise.
+    pub path_qual: Option<String>,
+    /// Token range of the parenthesised argument list *contents*.
+    pub args: Range,
+    /// Argument sub-ranges, split on depth-0 commas inside `args`.
+    pub arg_ranges: Vec<Range>,
+}
+
+/// Find every call site in `[lo, hi)`: `name(..)` where `name` is an
+/// ident directly followed by `(` (generic turbofish `name::<T>(..)` is
+/// also recognised). Macro invocations (`name!(..)`) are excluded.
+pub fn call_sites(toks: &[Tok], range: Range) -> Vec<CallSite> {
+    let (lo, hi) = range;
+    let hi = hi.min(toks.len());
+    let mut out = Vec::new();
+    let mut i = lo;
+    while i < hi {
+        let t = &toks[i];
+        if !(t.kind == TokKind::Ident || t.kind == TokKind::RawIdent) || is_keyword(&t.text) {
+            i += 1;
+            continue;
+        }
+        // Find the `(` that would make this a call: either directly
+        // after the name, or after a `::<..>` turbofish.
+        let mut j = i + 1;
+        if j + 1 < hi && toks[j].is_punct(':') && toks[j + 1].is_punct(':') {
+            let k = j + 2;
+            if k < hi && toks[k].is_punct('<') {
+                // Skip the turbofish generic list.
+                let mut depth = 0i32;
+                let mut m = k;
+                while m < hi {
+                    if toks[m].is_punct('<') {
+                        depth += 1;
+                    } else if toks[m].is_punct('>') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    m += 1;
+                }
+                j = m + 1;
+            } else {
+                // Plain path continues; the final segment will be
+                // visited on a later iteration.
+                i += 1;
+                continue;
+            }
+        }
+        if j >= hi || !toks[j].is_punct('(') {
+            i += 1;
+            continue;
+        }
+        // Exclude macro calls: `name!(..)`.
+        if i + 1 < hi && toks[i + 1].is_punct('!') {
+            i += 1;
+            continue;
+        }
+        // Receiver: `recv . name (` — recv is the ident before the `.`.
+        let mut recv = None;
+        let mut path_qual = None;
+        if i >= 1 && toks[i - 1].is_punct('.') && i >= 2 {
+            let r = i - 2;
+            if toks[r].kind == TokKind::Ident || toks[r].kind == TokKind::RawIdent {
+                recv = Some(r);
+            }
+        } else if i >= 2 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':') && i >= 3 {
+            let q = i - 3;
+            if toks[q].kind == TokKind::Ident {
+                path_qual = Some(toks[q].text.clone());
+            } else if toks[q].is_punct('>') {
+                // `Type::<..>::name(` or `<T as Trait>::name(` — record
+                // no qualifier rather than misattribute.
+            }
+        }
+        // Argument list contents.
+        let close = {
+            let mut depth = 0i32;
+            let mut m = j;
+            let mut c = hi;
+            while m < hi {
+                if toks[m].is_punct('(') {
+                    depth += 1;
+                } else if toks[m].is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        c = m;
+                        break;
+                    }
+                }
+                m += 1;
+            }
+            c
+        };
+        let args = (j + 1, close.min(hi));
+        let mut arg_ranges = Vec::new();
+        {
+            let (alo, ahi) = args;
+            let mut start = alo;
+            let mut k = alo;
+            let mut paren = 0i32;
+            let mut bracket = 0i32;
+            let mut brace = 0i32;
+            let mut angle = 0i32;
+            while k < ahi {
+                let tk = &toks[k];
+                match tk.text.as_str() {
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    "[" => bracket += 1,
+                    "]" => bracket -= 1,
+                    "{" => brace += 1,
+                    "}" => brace -= 1,
+                    "|" => {
+                        // Closure params `|a, b|`: commas inside should
+                        // not split. Approximate by toggling.
+                        angle = 1 - angle;
+                    }
+                    "," if paren == 0 && bracket == 0 && brace == 0 && angle == 0 => {
+                        if k > start {
+                            arg_ranges.push((start, k));
+                        }
+                        start = k + 1;
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            if ahi > start {
+                arg_ranges.push((start, ahi));
+            }
+        }
+        out.push(CallSite {
+            name: t.text.clone(),
+            at: i,
+            recv,
+            path_qual,
+            args,
+            arg_ranges,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn body_of(src: &str) -> (Vec<Tok>, usize, usize) {
+        let toks = lex(src);
+        let open = toks.iter().position(|t| t.is_punct('{')).unwrap();
+        let close = toks.len() - 1;
+        (toks, open + 1, close)
+    }
+
+    #[test]
+    fn parses_let_if_and_flat_statements() {
+        let (toks, lo, hi) =
+            body_of("fn f() { let x: u32 = g(1); if x > 2 { h(x); } else { k(); } x + 1 }");
+        let body = FnBody::parse(&toks, lo, hi);
+        assert_eq!(body.stmts.len(), 3);
+        assert!(matches!(
+            body.stmts[0].kind,
+            StmtKind::Let {
+                ty: Some(_),
+                init: Some(_),
+                ..
+            }
+        ));
+        match &body.stmts[1].kind {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                assert_eq!(then_branch.len(), 1);
+                assert_eq!(else_branch.as_ref().unwrap().len(), 1);
+            }
+            other => panic!("expected If, got {other:?}"),
+        }
+        assert!(matches!(body.stmts[2].kind, StmtKind::Expr { .. }));
+    }
+
+    #[test]
+    fn parses_loops_match_and_let_else() {
+        let src = "fn f() { for x in xs { g(x); } while a < b { a += 1; } loop { break; } \
+                   match m { Some(v) => use_it(v), None => {} } \
+                   let Some(y) = opt else { return; }; y }";
+        let (toks, lo, hi) = body_of(src);
+        let body = FnBody::parse(&toks, lo, hi);
+        let kinds: Vec<&str> = body
+            .stmts
+            .iter()
+            .map(|s| match &s.kind {
+                StmtKind::For { .. } => "for",
+                StmtKind::While { .. } => "while",
+                StmtKind::Loop { .. } => "loop",
+                StmtKind::Match { .. } => "match",
+                StmtKind::Let { .. } => "let",
+                StmtKind::Expr { .. } => "expr",
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(kinds, ["for", "while", "loop", "match", "let", "expr"]);
+        match &body.stmts[3].kind {
+            StmtKind::Match { arms, .. } => assert_eq!(arms.len(), 2),
+            _ => unreachable!(),
+        }
+        match &body.stmts[4].kind {
+            StmtKind::Let { else_block, .. } => {
+                let eb = else_block.as_ref().expect("let-else block");
+                assert!(matches!(eb[0].kind, StmtKind::Return { .. }));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn pattern_bindings_skip_paths_fields_and_constructors() {
+        let toks = lex("Some(Message { id: msg_id, owner }) | Other(x)");
+        let binds = pattern_bindings(&toks, (0, toks.len()));
+        let names: Vec<&str> = binds.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["msg_id", "owner", "x"]);
+    }
+
+    #[test]
+    fn call_sites_capture_receiver_path_and_args() {
+        let toks = lex("let v = map.iter().count(); HashMap::new(); free(a, b.c(d), e);");
+        let calls = call_sites(&toks, (0, toks.len()));
+        let names: Vec<&str> = calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["iter", "count", "new", "free", "c"]);
+        let iter = &calls[0];
+        assert_eq!(toks[iter.recv.unwrap()].text, "map");
+        let new = &calls[2];
+        assert_eq!(new.path_qual.as_deref(), Some("HashMap"));
+        let free = &calls[3];
+        assert_eq!(free.arg_ranges.len(), 3);
+    }
+
+    #[test]
+    fn parser_is_total_on_garbage() {
+        let toks = lex("fn f() { ) } { let = ; match { => , } if else while ( }");
+        let _ = FnBody::parse(&toks, 0, toks.len());
+    }
+}

@@ -1,0 +1,1126 @@
+//! Worklist dataflow over per-fn CFGs with fn summaries propagated to
+//! fixpoint through the per-crate call graph — the engine behind the
+//! flow-aware lint rules (`determinism-taint`, `store-mutation-
+//! discipline`, `no-ignored-store-errors`, and the re-expressed
+//! `rng-fork-discipline`).
+//!
+//! ## Taint lattice
+//!
+//! A dataflow fact maps variable names to a bitmask of labels:
+//!
+//! * **Root labels** — the nondeterminism sources the rules hunt:
+//!   [`L_WALL`] (wall-clock reads), [`L_HASH`] (hash-map/set iteration
+//!   order), [`L_RAND`] (ambient randomness). Once a root label reaches
+//!   an emission or scheduling sink, determinism is gone.
+//! * **Parameter labels** — bit `PARAM_SHIFT + i` stands for "derived
+//!   from the fn's `i`-th parameter". Running one dataflow pass per fn
+//!   with parameters seeded by their own bit yields the fn's *summary*
+//!   in a single pass: which root labels its return value carries, and
+//!   which parameters flow to the return value or into a sink.
+//!
+//! Join is bitwise OR; transfer functions evaluate flat token ranges
+//! (union of the labels of every known variable mentioned, plus fresh
+//! source labels, plus callee-summary labels at call sites), so the
+//! analysis is conservative about expression structure while staying
+//! path-sensitive enough to follow `let` chains, loop-carried taint
+//! (the worklist iterates back-edges to fixpoint), and helper fns
+//! (summaries iterate through the crate's name-keyed call graph to
+//! fixpoint, the same approximation `rng-fork-discipline` shipped with
+//! in engine v2).
+//!
+//! ## Type classes
+//!
+//! Flow rules need *some* typing — `.iter()` on a `HashMap` taints,
+//! `.iter()` on a `Vec` does not; `.remove(..)` on a `Mailbox` is a
+//! durable-state mutation, `.remove(..)` on a cache is not. Instead of
+//! type inference, the engine classifies names from declared evidence:
+//! parameter and `let` type annotations, constructor calls
+//! (`HashMap::new()`, `Mailbox::new(..)`), struct field declarations
+//! (scanned per crate), generic bounds (`S: SegmentIo`), and `for`
+//! bindings over classified collections. Unclassified names are
+//! [`TypeClass::Other`] and never fire.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::cfg::Cfg;
+use crate::expr::{call_sites, pattern_bindings, CallSite, FnBody, Range};
+use crate::items::{ParsedFile, ScopeKind};
+use crate::lex::{Tok, TokKind};
+
+/// Label bit: value derived from a wall-clock read (`SystemTime`,
+/// `Instant`).
+pub const L_WALL: u32 = 1;
+/// Label bit: value derived from hash-map/set iteration order.
+pub const L_HASH: u32 = 1 << 1;
+/// Label bit: value derived from ambient randomness (`thread_rng`).
+pub const L_RAND: u32 = 1 << 2;
+/// All root (source) labels.
+pub const ROOT_MASK: u32 = L_WALL | L_HASH | L_RAND;
+/// First parameter bit; parameter `i` owns bit `PARAM_SHIFT + i`.
+pub const PARAM_SHIFT: u32 = 8;
+/// Parameters beyond this many get no bit (their flows are dropped).
+pub const MAX_PARAMS: usize = 24;
+
+/// The label bit for parameter index `i`, or 0 when out of range.
+pub fn param_bit(i: usize) -> u32 {
+    if i < MAX_PARAMS {
+        1 << (PARAM_SHIFT as usize + i)
+    } else {
+        0
+    }
+}
+
+/// Human-readable names of the root labels present in `bits`.
+pub fn root_names(bits: u32) -> Vec<&'static str> {
+    let mut out = Vec::new();
+    if bits & L_WALL != 0 {
+        out.push("wall-clock");
+    }
+    if bits & L_HASH != 0 {
+        out.push("hash-iteration-order");
+    }
+    if bits & L_RAND != 0 {
+        out.push("ambient-randomness");
+    }
+    out
+}
+
+/// Declared-evidence type classes; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeClass {
+    /// `HashMap`/`HashSet`: iteration order is nondeterministic.
+    Hash,
+    /// A `lems_core` `Mailbox` value: durable state.
+    Mailbox,
+    /// A map holding `Mailbox` values (the ledger itself).
+    MailboxMap,
+    /// The sanctioned durable-state API (`MailStore` impls,
+    /// `StoreState`): calls through it are the discipline, not a
+    /// violation.
+    Store,
+    /// A WAL segment backend (`SegmentIo` impls): its operations return
+    /// `Result`s that must not be swallowed.
+    StoreIo,
+    /// A write-ahead log (`Wal`/`WalStore`): same fallible surface.
+    Wal,
+    /// Everything else: inert for every flow rule.
+    Other,
+}
+
+/// Classify a type annotation's token range. `storeio_generics` holds
+/// generic parameter names bounded by `SegmentIo` in the same file
+/// (`impl<S: SegmentIo> …` makes a field `io: S` a [`TypeClass::
+/// StoreIo`]).
+pub fn classify_type(toks: &[Tok], range: Range, storeio_generics: &BTreeSet<String>) -> TypeClass {
+    let (lo, hi) = range;
+    let hi = hi.min(toks.len());
+    let has = |name: &str| (lo..hi).any(|i| toks[i].is_ident(name));
+    if has("MailStore") || has("StoreState") {
+        return TypeClass::Store;
+    }
+    if has("Mailbox") {
+        if has("BTreeMap") || has("HashMap") {
+            return TypeClass::MailboxMap;
+        }
+        return TypeClass::Mailbox;
+    }
+    if has("HashMap") || has("HashSet") {
+        return TypeClass::Hash;
+    }
+    if has("Wal") || has("WalStore") {
+        return TypeClass::Wal;
+    }
+    if has("SegmentIo") || has("MemSegments") || has("FileSegments") {
+        return TypeClass::StoreIo;
+    }
+    if (lo..hi)
+        .any(|i| toks[i].kind == TokKind::Ident && storeio_generics.contains(toks[i].text.as_str()))
+    {
+        return TypeClass::StoreIo;
+    }
+    TypeClass::Other
+}
+
+/// Generic parameters bounded by `SegmentIo` anywhere in the file
+/// (`impl<S: SegmentIo>`, `fn f<S: SegmentIo>`): their names classify
+/// as [`TypeClass::StoreIo`] in the same file.
+pub fn storeio_generics(toks: &[Tok]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for i in 0..toks.len() {
+        if toks[i].is_ident("SegmentIo")
+            && i >= 2
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].kind == TokKind::Ident
+            && !toks[i - 2].text.is_empty()
+            && toks[i - 2]
+                .text
+                .chars()
+                .next()
+                .is_some_and(char::is_uppercase)
+        {
+            out.insert(toks[i - 2].text.clone());
+        }
+    }
+    out
+}
+
+/// Struct-field type classes scanned from `struct Name { field: Type }`
+/// declarations. Keyed by field name; fields classing as `Other` are
+/// omitted. The table is per-crate (callers merge files), which bounds
+/// name-collision blast radius to one crate.
+pub fn field_classes(toks: &[Tok], storeio: &BTreeSet<String>) -> BTreeMap<String, TypeClass> {
+    let mut out = BTreeMap::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("struct") {
+            i += 1;
+            continue;
+        }
+        // struct NAME [<generics>] { fields } | ( .. ); | ;
+        let mut j = i + 1;
+        // Find the body `{` at angle-depth 0; `(`/`;` means tuple/unit.
+        let mut angle = 0i32;
+        let mut open = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') && j >= 1 && !toks[j - 1].is_punct('-') {
+                angle -= 1;
+            } else if angle <= 0 && (t.is_punct('(') || t.is_punct(';')) {
+                break;
+            } else if angle <= 0 && t.is_punct('{') {
+                open = Some(j);
+                break;
+            } else if t.is_ident("where") {
+                // `struct S<T> where …: bound { … }` — bounds may nest
+                // arbitrarily; bail on this struct rather than misread.
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i = j.max(i + 1);
+            continue;
+        };
+        let close = crate::expr::close_brace(toks, open, toks.len());
+        // Fields: `name : TYPE ,` at brace-depth 1.
+        let mut k = open + 1;
+        while k < close.saturating_sub(1) {
+            let t = &toks[k];
+            if (t.kind == TokKind::Ident || t.kind == TokKind::RawIdent)
+                && k + 1 < close
+                && toks[k + 1].is_punct(':')
+                && !(k + 2 < close && toks[k + 2].is_punct(':'))
+            {
+                // Type runs to the `,` at depth 0 relative to the body.
+                let ty_start = k + 2;
+                let mut depth = 0i32;
+                let mut angle = 0i32;
+                let mut m = ty_start;
+                while m < close - 1 {
+                    let u = &toks[m];
+                    if u.is_punct('(') || u.is_punct('[') || u.is_punct('{') {
+                        depth += 1;
+                    } else if u.is_punct(')') || u.is_punct(']') || u.is_punct('}') {
+                        depth -= 1;
+                    } else if u.is_punct('<') {
+                        angle += 1;
+                    } else if u.is_punct('>') && m >= 1 && !toks[m - 1].is_punct('-') {
+                        angle -= 1;
+                    } else if u.is_punct(',') && depth == 0 && angle == 0 {
+                        break;
+                    }
+                    m += 1;
+                }
+                let class = classify_type(toks, (ty_start, m), storeio);
+                if class != TypeClass::Other {
+                    out.entry(toks[k].text.clone()).or_insert(class);
+                }
+                k = m;
+            }
+            k += 1;
+        }
+        i = close.max(i + 1);
+    }
+    out
+}
+
+/// One parameter: its binding name and class.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Binding name.
+    pub name: String,
+    /// Declared-type class.
+    pub class: TypeClass,
+}
+
+/// Parse a fn signature's parameter list (the `sig` token range from
+/// [`crate::items`], i.e. everything after the fn name) into ordered
+/// parameters.
+pub fn params_of(toks: &[Tok], sig: Range, storeio: &BTreeSet<String>) -> Vec<Param> {
+    let (lo, hi) = sig;
+    let hi = hi.min(toks.len());
+    // Find the parameter-list `(` at angle-depth 0 (generics may hold
+    // `Fn(..)` bounds, which live at angle-depth ≥ 1).
+    let mut angle = 0i32;
+    let mut open = None;
+    let mut i = lo;
+    while i < hi {
+        let t = &toks[i];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') && i >= 1 && !toks[i - 1].is_punct('-') {
+            angle -= 1;
+        } else if t.is_punct('(') && angle <= 0 {
+            open = Some(i);
+            break;
+        }
+        i += 1;
+    }
+    let Some(open) = open else {
+        return Vec::new();
+    };
+    // Matching close paren.
+    let mut depth = 0i32;
+    let mut close = hi;
+    let mut j = open;
+    while j < hi {
+        if toks[j].is_punct('(') {
+            depth += 1;
+        } else if toks[j].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                close = j;
+                break;
+            }
+        }
+        j += 1;
+    }
+    // Split params on commas at all-depth 0 inside the parens.
+    let mut params = Vec::new();
+    let mut seg_start = open + 1;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut brace = 0i32;
+    let mut angle = 0i32;
+    let mut k = open + 1;
+    loop {
+        let at_end = k >= close;
+        let split = at_end
+            || (paren == 0 && bracket == 0 && brace == 0 && angle == 0 && toks[k].is_punct(','));
+        if split {
+            if k > seg_start {
+                params.extend(param_of_segment(toks, (seg_start, k), storeio));
+            }
+            seg_start = k + 1;
+            if at_end {
+                break;
+            }
+        } else {
+            let t = &toks[k];
+            if t.is_punct('(') {
+                paren += 1;
+            } else if t.is_punct(')') {
+                paren -= 1;
+            } else if t.is_punct('[') {
+                bracket += 1;
+            } else if t.is_punct(']') {
+                bracket -= 1;
+            } else if t.is_punct('{') {
+                brace += 1;
+            } else if t.is_punct('}') {
+                brace -= 1;
+            } else if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') && k >= 1 && !toks[k - 1].is_punct('-') {
+                angle -= 1;
+            }
+        }
+        k += 1;
+    }
+    params
+}
+
+/// One `pattern: Type` parameter segment → its bindings with the
+/// segment's class. A bare `self` receiver yields a `self` param of
+/// class `Other` (field accesses go through the field table instead).
+fn param_of_segment(toks: &[Tok], seg: Range, storeio: &BTreeSet<String>) -> Vec<Param> {
+    let (lo, hi) = seg;
+    // Split at the first depth-0 single `:`.
+    let mut depth = 0i32;
+    let mut colon = None;
+    let mut i = lo;
+    while i < hi {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') || t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct(')')
+            || t.is_punct(']')
+            || t.is_punct('}')
+            || (t.is_punct('>') && i >= 1 && !toks[i - 1].is_punct('-'))
+        {
+            depth -= 1;
+        } else if t.is_punct(':') && depth == 0 {
+            if i + 1 < hi && toks[i + 1].is_punct(':') {
+                i += 2;
+                continue;
+            }
+            colon = Some(i);
+            break;
+        }
+        i += 1;
+    }
+    let Some(colon) = colon else {
+        // Receiver (`self`, `&mut self`) or malformed: name it if it is
+        // a self param, classless.
+        if (lo..hi).any(|i| toks[i].is_ident("self")) {
+            return vec![Param {
+                name: "self".to_owned(),
+                class: TypeClass::Other,
+            }];
+        }
+        return Vec::new();
+    };
+    let class = classify_type(toks, (colon + 1, hi), storeio);
+    pattern_bindings(toks, (lo, colon))
+        .into_iter()
+        .map(|(name, _)| Param { name, class })
+        .collect()
+}
+
+/// Per-fn analysis context: everything the transfer functions need.
+pub struct FnCtx<'a> {
+    /// The file's token stream.
+    pub toks: &'a [Tok],
+    /// The fn's parsed body.
+    pub body: &'a FnBody,
+    /// The fn's CFG.
+    pub cfg: &'a Cfg,
+    /// Ordered parameters.
+    pub params: &'a [Param],
+    /// Local variable classes (params + `let` evidence), by name.
+    pub classes: &'a BTreeMap<String, TypeClass>,
+    /// Struct-field classes for the crate.
+    pub fields: &'a BTreeMap<String, TypeClass>,
+}
+
+impl FnCtx<'_> {
+    /// The class of a name: local evidence first, then field
+    /// declarations.
+    pub fn class_of(&self, name: &str) -> TypeClass {
+        self.classes
+            .get(name)
+            .copied()
+            .or_else(|| self.fields.get(name).copied())
+            .unwrap_or(TypeClass::Other)
+    }
+
+    /// Class of a call's receiver token, if any.
+    pub fn recv_class(&self, call: &CallSite) -> TypeClass {
+        call.recv
+            .map_or(TypeClass::Other, |r| self.class_of(&self.toks[r].text))
+    }
+}
+
+/// Build the local class environment for one fn: parameter classes plus
+/// `let` evidence (type annotations, constructor calls, bindings over
+/// classified collections).
+pub fn local_classes(
+    toks: &[Tok],
+    body: &FnBody,
+    params: &[Param],
+    fields: &BTreeMap<String, TypeClass>,
+    storeio: &BTreeSet<String>,
+) -> BTreeMap<String, TypeClass> {
+    let mut env: BTreeMap<String, TypeClass> = params
+        .iter()
+        .filter(|p| p.class != TypeClass::Other)
+        .map(|p| (p.name.clone(), p.class))
+        .collect();
+    // Two passes so a classified binding can classify a later one.
+    for _ in 0..2 {
+        body.walk(&mut |s| {
+            use crate::expr::StmtKind;
+            let (pat, ty, init, iterates) = match &s.kind {
+                StmtKind::Let { pat, ty, init, .. } => (*pat, *ty, *init, false),
+                StmtKind::For { pat, iter, .. } => (*pat, None, Some(*iter), true),
+                _ => return,
+            };
+            let mut class = ty.map_or(TypeClass::Other, |t| classify_type(toks, t, storeio));
+            if class == TypeClass::Other {
+                if let Some(init) = init {
+                    class = init_class(toks, init, &env, fields, iterates);
+                }
+            }
+            if class != TypeClass::Other {
+                for (name, _) in pattern_bindings(toks, pat) {
+                    env.entry(name).or_insert(class);
+                }
+            }
+        });
+    }
+    env
+}
+
+/// Infer a binding's class from its initializer (or `for` iterable):
+/// constructor paths (`HashMap::new`, `Mailbox::new`), or projection
+/// out of an already-classified collection.
+fn init_class(
+    toks: &[Tok],
+    init: Range,
+    env: &BTreeMap<String, TypeClass>,
+    fields: &BTreeMap<String, TypeClass>,
+    iterates: bool,
+) -> TypeClass {
+    let class_of = |name: &str| {
+        env.get(name)
+            .copied()
+            .or_else(|| fields.get(name).copied())
+            .unwrap_or(TypeClass::Other)
+    };
+    for call in call_sites(toks, init) {
+        if let Some(q) = &call.path_qual {
+            match (q.as_str(), call.name.as_str()) {
+                ("HashMap" | "HashSet", "new" | "with_capacity" | "from") => {
+                    return TypeClass::Hash
+                }
+                ("Mailbox", "new") => return TypeClass::Mailbox,
+                ("Wal" | "WalStore", "open" | "new") => return TypeClass::Wal,
+                ("FileSegments", "open") | ("MemSegments", "new") => return TypeClass::StoreIo,
+                _ => {}
+            }
+        }
+    }
+    // Projection: iterating or indexing into a Mailbox-valued map
+    // yields Mailbox bindings; iterating a Hash collection does not
+    // *class* the binding (taint handles order-dependence instead).
+    let mentions = |class: TypeClass| {
+        let (lo, hi) = init;
+        (lo..hi.min(toks.len())).any(|i| {
+            (toks[i].kind == TokKind::Ident || toks[i].kind == TokKind::RawIdent)
+                && class_of(&toks[i].text) == class
+        })
+    };
+    if mentions(TypeClass::MailboxMap) {
+        let projecting = iterates
+            || call_sites(toks, init).iter().any(|c| {
+                matches!(
+                    c.name.as_str(),
+                    "entry"
+                        | "get_mut"
+                        | "get"
+                        | "or_insert"
+                        | "or_insert_with"
+                        | "or_default"
+                        | "values_mut"
+                        | "values"
+                        | "iter_mut"
+                        | "iter"
+                )
+            });
+        if projecting {
+            return TypeClass::Mailbox;
+        }
+    }
+    TypeClass::Other
+}
+
+/// A fn summary: what flows out of (and through) a fn, iterated to
+/// fixpoint across the crate's name-keyed call graph.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// Root labels the return value can carry.
+    pub ret_roots: u32,
+    /// Bitmask of parameter indices whose taint flows to the return
+    /// value.
+    pub param_to_ret: u32,
+    /// Bitmask of parameter indices whose taint flows into an emission
+    /// sink inside this fn (or transitively through its callees).
+    pub param_to_sink: u32,
+}
+
+/// Methods whose call on a [`TypeClass::Hash`] receiver yields
+/// iteration-order-dependent values.
+pub const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+];
+
+/// Configuration for a taint run: source idents and sink call names.
+pub struct TaintConfig<'a> {
+    /// Idents that inject [`L_WALL`] wherever they appear.
+    pub wall_idents: &'a [&'a str],
+    /// Idents that inject [`L_RAND`].
+    pub rand_idents: &'a [&'a str],
+    /// Call names that count as emission/scheduling sinks.
+    pub sinks: &'a [&'a str],
+}
+
+/// One tainted-sink hit inside a fn.
+#[derive(Debug, Clone)]
+pub struct SinkHit {
+    /// Token index of the sink call name.
+    pub at: usize,
+    /// The sink call name.
+    pub sink: String,
+    /// The labels that reached it (root bits plus param bits).
+    pub bits: u32,
+}
+
+/// Result of one fn's taint pass.
+#[derive(Debug, Clone, Default)]
+pub struct FnFlow {
+    /// The fn's summary for this round.
+    pub summary: Summary,
+    /// Sink calls reached by any taint (root or parameter).
+    pub hits: Vec<SinkHit>,
+}
+
+/// Run the worklist taint analysis over one fn, given the current
+/// summaries of the crate's other fns. Facts are `name → label bits`
+/// maps per CFG node; join is pointwise OR; the worklist follows
+/// `succs` (including loop back-edges) until fixpoint.
+pub fn taint_fn(
+    fcx: &FnCtx<'_>,
+    cfg_summaries: &BTreeMap<String, Summary>,
+    config: &TaintConfig<'_>,
+) -> FnFlow {
+    let n = fcx.cfg.nodes.len();
+    let mut facts: Vec<BTreeMap<String, u32>> = vec![BTreeMap::new(); n];
+    // Seed entry with parameter bits.
+    let mut entry_fact = BTreeMap::new();
+    for (i, p) in fcx.params.iter().enumerate() {
+        let bit = param_bit(i);
+        if bit != 0 {
+            entry_fact.insert(p.name.clone(), bit);
+        }
+    }
+    facts[fcx.cfg.entry] = entry_fact;
+
+    // Every node is processed at least once (a node whose incoming fact
+    // is empty still has binding effects to propagate); after that,
+    // nodes re-enter the list only when their input fact grows.
+    let mut work: Vec<usize> = (0..n).rev().collect();
+    let mut rounds = 0usize;
+    // Safety valve: labels are monotone so this terminates, but cap
+    // rounds against pathological graphs all the same.
+    let cap = 16 * n + 64;
+    while let Some(node) = work.pop() {
+        rounds += 1;
+        if rounds > cap * 4 {
+            break;
+        }
+        let out = transfer(fcx, cfg_summaries, config, node, &facts[node]);
+        for &succ in &fcx.cfg.nodes[node].succs {
+            if join_into(&mut facts, succ, &out) {
+                work.push(succ);
+            }
+        }
+    }
+
+    // Summary + sink hits from the stabilized facts.
+    let mut flow = FnFlow::default();
+    for (idx, node) in fcx.cfg.nodes.iter().enumerate() {
+        let fact = &facts[idx];
+        // Return flows: nodes with an edge to Exit contribute the bits
+        // of their range (coarse: `return e;`, tail exprs, and `?`
+        // statements all count).
+        if node.succs.contains(&fcx.cfg.exit) {
+            if let Some(r) = node.range {
+                let bits = eval_bits(fcx, cfg_summaries, config, r, fact, false);
+                flow.summary.ret_roots |= bits & ROOT_MASK;
+                flow.summary.param_to_ret |= (bits >> PARAM_SHIFT) << PARAM_SHIFT;
+            }
+        }
+        // Sink hits.
+        if let Some(r) = node.range {
+            for call in call_sites(fcx.toks, r) {
+                let is_sink = config.sinks.contains(&call.name.as_str());
+                let callee_sink_params =
+                    cfg_summaries.get(&call.name).map_or(0, |s| s.param_to_sink);
+                if !is_sink && callee_sink_params == 0 {
+                    continue;
+                }
+                for (ai, arg) in call.arg_ranges.iter().enumerate() {
+                    let arg_is_sink =
+                        is_sink || (ai < MAX_PARAMS && callee_sink_params & param_bit(ai) != 0);
+                    if !arg_is_sink {
+                        continue;
+                    }
+                    let bits = eval_bits(fcx, cfg_summaries, config, *arg, fact, false);
+                    if bits == 0 {
+                        continue;
+                    }
+                    flow.summary.param_to_sink |= (bits >> PARAM_SHIFT) << PARAM_SHIFT;
+                    if bits & ROOT_MASK != 0 {
+                        flow.hits.push(SinkHit {
+                            at: call.at,
+                            sink: call.name.clone(),
+                            bits,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    // Normalize param masks back down to index bits.
+    flow.summary.param_to_ret >>= PARAM_SHIFT;
+    flow.summary.param_to_ret <<= PARAM_SHIFT;
+    flow
+}
+
+/// Pointwise-OR `out` into `facts[succ]`; true when anything changed.
+fn join_into(
+    facts: &mut [BTreeMap<String, u32>],
+    succ: usize,
+    out: &BTreeMap<String, u32>,
+) -> bool {
+    let mut changed = false;
+    for (k, &v) in out {
+        let slot = facts[succ].entry(k.clone()).or_insert(0);
+        if *slot | v != *slot {
+            *slot |= v;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Transfer function for one node: apply its binding/assignment effect
+/// to the incoming fact.
+fn transfer(
+    fcx: &FnCtx<'_>,
+    summaries: &BTreeMap<String, Summary>,
+    config: &TaintConfig<'_>,
+    node: usize,
+    fact: &BTreeMap<String, u32>,
+) -> BTreeMap<String, u32> {
+    let mut out = fact.clone();
+    let n = &fcx.cfg.nodes[node];
+    if let (Some(bind), Some(value)) = (n.bind, n.value) {
+        let bits = eval_bits(fcx, summaries, config, value, fact, n.iterates);
+        for (name, _) in pattern_bindings(fcx.toks, bind) {
+            out.insert(name, bits);
+        }
+        return out;
+    }
+    if let Some(bind) = n.bind {
+        // `let x;` — declared, nothing known flows in yet.
+        for (name, _) in pattern_bindings(fcx.toks, bind) {
+            out.insert(name, 0);
+        }
+        return out;
+    }
+    // Plain range: recognise `x = rhs;` / `x op= rhs;` assignments.
+    if let Some((lo, hi)) = n.range {
+        let hi = hi.min(fcx.toks.len());
+        let mut i = lo;
+        while i < hi && fcx.toks[i].kind == TokKind::Comment {
+            i += 1;
+        }
+        if i < hi && matches!(fcx.toks[i].kind, TokKind::Ident | TokKind::RawIdent) {
+            let name = fcx.toks[i].text.clone();
+            let mut j = i + 1;
+            while j < hi && fcx.toks[j].kind == TokKind::Comment {
+                j += 1;
+            }
+            // `x = rhs` (strong update) — `=` not followed by `=`.
+            if j < hi && fcx.toks[j].is_punct('=') && !(j + 1 < hi && fcx.toks[j + 1].is_punct('='))
+            {
+                let bits = eval_bits(fcx, summaries, config, (j + 1, hi), fact, false);
+                out.insert(name, bits);
+                return out;
+            }
+            // `x += rhs` and friends (weak update).
+            if j + 1 < hi
+                && fcx.toks[j + 1].is_punct('=')
+                && matches!(
+                    fcx.toks[j].text.as_str(),
+                    "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^"
+                )
+            {
+                let bits = eval_bits(fcx, summaries, config, (j + 2, hi), fact, false);
+                *out.entry(name).or_insert(0) |= bits;
+                return out;
+            }
+        }
+    }
+    out
+}
+
+/// Evaluate the label bits a flat range can carry: known-variable bits,
+/// fresh source labels, and callee-summary contributions.
+fn eval_bits(
+    fcx: &FnCtx<'_>,
+    summaries: &BTreeMap<String, Summary>,
+    config: &TaintConfig<'_>,
+    range: Range,
+    fact: &BTreeMap<String, u32>,
+    iterates: bool,
+) -> u32 {
+    let (lo, hi) = range;
+    let hi = hi.min(fcx.toks.len());
+    let mut bits = 0u32;
+    for i in lo..hi {
+        let t = &fcx.toks[i];
+        if !matches!(t.kind, TokKind::Ident | TokKind::RawIdent) {
+            continue;
+        }
+        let name = t.text.as_str();
+        if let Some(&b) = fact.get(name) {
+            bits |= b;
+        }
+        if config.wall_idents.contains(&name) {
+            bits |= L_WALL;
+        }
+        if config.rand_idents.contains(&name) {
+            bits |= L_RAND;
+        }
+        // A `for` iterable that mentions a hash-classed collection is
+        // order-dependent regardless of which method produced it.
+        if iterates && fcx.class_of(name) == TypeClass::Hash {
+            bits |= L_HASH;
+        }
+    }
+    for call in call_sites(fcx.toks, (lo, hi)) {
+        if HASH_ITER_METHODS.contains(&call.name.as_str())
+            && fcx.recv_class(&call) == TypeClass::Hash
+        {
+            bits |= L_HASH;
+        }
+        if let Some(s) = summaries.get(&call.name) {
+            bits |= s.ret_roots;
+            // Param-to-return flows are covered by the coarse ident
+            // union above (the argument's variables are already in
+            // `bits`); `ret_roots` adds the callee's own sources.
+        }
+    }
+    bits
+}
+
+/// Generic fn-summary fixpoint over a name-keyed call graph: the set of
+/// fn names that are `seed`-tainted directly or call (by name) a
+/// tainted fn. This is the shared skeleton `rng-fork-discipline` runs
+/// on; the richer label summaries above specialise it per-label.
+pub fn summary_fixpoint<D>(
+    fns: &[D],
+    name: impl Fn(&D) -> &str,
+    seed: impl Fn(&D) -> bool,
+    calls: impl Fn(&D) -> Vec<String>,
+) -> BTreeSet<String> {
+    let mut tainted: BTreeSet<String> = fns
+        .iter()
+        .filter(|f| seed(f))
+        .map(|f| name(f).to_owned())
+        .collect();
+    loop {
+        let before = tainted.len();
+        for f in fns {
+            if tainted.contains(name(f)) {
+                continue;
+            }
+            if calls(f).iter().any(|c| tainted.contains(c)) {
+                tainted.insert(name(f).to_owned());
+            }
+        }
+        if tainted.len() == before {
+            break;
+        }
+    }
+    tainted
+}
+
+/// A fully-prepared fn for flow analysis (parsed body, CFG, classes).
+pub struct FnUnit {
+    /// Index of the source file in the caller's file list.
+    pub file: usize,
+    /// The fn's name.
+    pub name: String,
+    /// Whether the fn is in test code.
+    pub is_test: bool,
+    /// Body token range.
+    pub body_range: Range,
+    /// Parsed statement tree.
+    pub body: FnBody,
+    /// Lowered CFG.
+    pub cfg: Cfg,
+    /// Ordered parameters.
+    pub params: Vec<Param>,
+    /// Local class environment.
+    pub classes: BTreeMap<String, TypeClass>,
+}
+
+/// Prepare every fn in a parsed file for flow analysis.
+pub fn fn_units(
+    file: usize,
+    pf: &ParsedFile,
+    fields: &BTreeMap<String, TypeClass>,
+    storeio: &BTreeSet<String>,
+) -> Vec<FnUnit> {
+    let toks = &pf.tokens;
+    let mut out = Vec::new();
+    for s in &pf.scopes {
+        if s.kind != ScopeKind::Fn {
+            continue;
+        }
+        let body = FnBody::parse(toks, s.body.0, s.body.1);
+        let cfg = Cfg::build(&body, toks);
+        let params = params_of(toks, s.sig, storeio);
+        let classes = local_classes(toks, &body, &params, fields, storeio);
+        out.push(FnUnit {
+            file,
+            name: s.name.clone(),
+            is_test: s.is_test,
+            body_range: s.body,
+            body,
+            cfg,
+            params,
+            classes,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    const CONFIG: TaintConfig<'_> = TaintConfig {
+        wall_idents: &["SystemTime", "Instant"],
+        rand_idents: &["thread_rng"],
+        sinks: &["send", "record"],
+    };
+
+    fn analyze(src: &str) -> (Vec<FnUnit>, Vec<Tok>) {
+        let pf = ParsedFile::parse(src);
+        let toks = pf.tokens.clone();
+        let storeio = storeio_generics(&toks);
+        let fields = field_classes(&toks, &storeio);
+        (fn_units(0, &pf, &fields, &storeio), toks)
+    }
+
+    fn flow_of(
+        units: &[FnUnit],
+        toks: &[Tok],
+        fields: &BTreeMap<String, TypeClass>,
+    ) -> Vec<FnFlow> {
+        let mut summaries: BTreeMap<String, Summary> = BTreeMap::new();
+        // Fixpoint over summaries.
+        loop {
+            let mut changed = false;
+            for u in units {
+                let fcx = FnCtx {
+                    toks,
+                    body: &u.body,
+                    cfg: &u.cfg,
+                    params: &u.params,
+                    classes: &u.classes,
+                    fields,
+                };
+                let f = taint_fn(&fcx, &summaries, &CONFIG);
+                let prev = summaries.get(&u.name).copied().unwrap_or_default();
+                let merged = Summary {
+                    ret_roots: prev.ret_roots | f.summary.ret_roots,
+                    param_to_ret: prev.param_to_ret | f.summary.param_to_ret,
+                    param_to_sink: prev.param_to_sink | f.summary.param_to_sink,
+                };
+                if merged != prev {
+                    summaries.insert(u.name.clone(), merged);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        units
+            .iter()
+            .map(|u| {
+                let fcx = FnCtx {
+                    toks,
+                    body: &u.body,
+                    cfg: &u.cfg,
+                    params: &u.params,
+                    classes: &u.classes,
+                    fields,
+                };
+                taint_fn(&fcx, &summaries, &CONFIG)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wall_clock_taint_reaches_sink_through_let_chain() {
+        let src = "fn f(ctx: &mut C) {\n\
+                   let t = Instant::now();\n\
+                   let d = t.elapsed();\n\
+                   ctx.send(1, d);\n\
+                   }\n";
+        let (units, toks) = analyze(src);
+        let flows = flow_of(&units, &toks, &BTreeMap::new());
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].hits.len(), 1);
+        assert!(flows[0].hits[0].bits & L_WALL != 0);
+    }
+
+    #[test]
+    fn hash_iteration_taints_and_keyed_access_does_not() {
+        let src = "struct S { m: HashMap<u32, u32> }\n\
+                   impl S {\n\
+                   fn leak(&self, ctx: &mut C) {\n\
+                   let victim = self.m.iter().next();\n\
+                   ctx.send(1, victim);\n\
+                   }\n\
+                   fn keyed(&self, ctx: &mut C) {\n\
+                   let v = self.m.get(&1);\n\
+                   ctx.send(1, v);\n\
+                   }\n\
+                   }\n";
+        let (units, toks) = analyze(src);
+        let storeio = BTreeSet::new();
+        let fields = field_classes(&toks, &storeio);
+        assert_eq!(fields.get("m"), Some(&TypeClass::Hash));
+        let flows = flow_of(&units, &toks, &fields);
+        let leak = units.iter().position(|u| u.name == "leak").unwrap();
+        let keyed = units.iter().position(|u| u.name == "keyed").unwrap();
+        assert_eq!(flows[leak].hits.len(), 1, "iteration order reaches send");
+        assert!(flows[keyed].hits.is_empty(), "keyed access is clean");
+    }
+
+    #[test]
+    fn for_loop_over_hash_taints_bindings() {
+        let src = "fn f(m: HashMap<u32, u32>, ctx: &mut C) {\n\
+                   for (k, v) in &m {\n\
+                   ctx.send(k, v);\n\
+                   }\n\
+                   }\n";
+        let (units, toks) = analyze(src);
+        let flows = flow_of(&units, &toks, &BTreeMap::new());
+        assert!(!flows[0].hits.is_empty());
+        assert!(flows[0].hits[0].bits & L_HASH != 0);
+    }
+
+    #[test]
+    fn taint_flows_through_helper_summaries() {
+        let src = "fn stamp() -> u64 { Instant::now().as_micros() }\n\
+                   fn wrap(x: u64) -> u64 { x }\n\
+                   fn f(ctx: &mut C) {\n\
+                   let t = wrap(stamp());\n\
+                   ctx.record(t);\n\
+                   }\n";
+        let (units, toks) = analyze(src);
+        let flows = flow_of(&units, &toks, &BTreeMap::new());
+        let f = units.iter().position(|u| u.name == "f").unwrap();
+        assert_eq!(flows[f].hits.len(), 1, "summary-laundered taint hits sink");
+        assert!(flows[f].hits[0].bits & L_WALL != 0);
+    }
+
+    #[test]
+    fn param_to_sink_propagates_to_callers() {
+        let src = "fn emit(ctx: &mut C, v: u64) { ctx.send(0, v); }\n\
+                   fn f(ctx: &mut C, m: HashSet<u64>) {\n\
+                   let n = m.iter().count();\n\
+                   emit(ctx, n);\n\
+                   }\n";
+        let (units, toks) = analyze(src);
+        let flows = flow_of(&units, &toks, &BTreeMap::new());
+        let f = units.iter().position(|u| u.name == "f").unwrap();
+        assert!(
+            !flows[f].hits.is_empty(),
+            "tainted arg into a sink-forwarding callee is a hit"
+        );
+    }
+
+    #[test]
+    fn loop_carried_taint_reaches_fixpoint() {
+        let src = "fn f(ctx: &mut C, m: HashMap<u32, u32>) {\n\
+                   let mut acc = 0;\n\
+                   for (_, v) in &m {\n\
+                   acc += v;\n\
+                   }\n\
+                   ctx.send(0, acc);\n\
+                   }\n";
+        let (units, toks) = analyze(src);
+        let flows = flow_of(&units, &toks, &BTreeMap::new());
+        assert!(
+            !flows[0].hits.is_empty(),
+            "loop-carried accumulation taints"
+        );
+    }
+
+    #[test]
+    fn classify_and_params() {
+        let toks = lex(
+            "fn f(store: &mut dyn MailStore, mb: &mut Mailbox, m: BTreeMap<MailName, Mailbox>) {}",
+        );
+        let pf = ParsedFile::parse(
+            "fn f(store: &mut dyn MailStore, mb: &mut Mailbox, m: BTreeMap<MailName, Mailbox>) {}",
+        );
+        let s = pf.scopes.iter().find(|s| s.kind == ScopeKind::Fn).unwrap();
+        let params = params_of(&pf.tokens, s.sig, &BTreeSet::new());
+        let classes: Vec<(String, TypeClass)> =
+            params.into_iter().map(|p| (p.name, p.class)).collect();
+        assert_eq!(
+            classes,
+            vec![
+                ("store".to_owned(), TypeClass::Store),
+                ("mb".to_owned(), TypeClass::Mailbox),
+                ("m".to_owned(), TypeClass::MailboxMap),
+            ]
+        );
+        drop(toks);
+    }
+
+    #[test]
+    fn storeio_generic_bound_classifies_fields() {
+        let src = "struct Wal<S: SegmentIo> { io: S, seq: u64 }";
+        let toks = lex(src);
+        let g = storeio_generics(&toks);
+        assert!(g.contains("S"));
+        let fields = field_classes(&toks, &g);
+        assert_eq!(fields.get("io"), Some(&TypeClass::StoreIo));
+        assert_eq!(fields.get("seq"), None);
+    }
+
+    #[test]
+    fn summary_fixpoint_propagates_through_call_chain() {
+        struct D {
+            name: &'static str,
+            seeded: bool,
+            calls: Vec<String>,
+        }
+        let fns = vec![
+            D {
+                name: "root",
+                seeded: true,
+                calls: vec![],
+            },
+            D {
+                name: "mid",
+                seeded: false,
+                calls: vec!["root".into()],
+            },
+            D {
+                name: "leaf",
+                seeded: false,
+                calls: vec!["mid".into()],
+            },
+            D {
+                name: "clean",
+                seeded: false,
+                calls: vec![],
+            },
+        ];
+        let t = summary_fixpoint(&fns, |d| d.name, |d| d.seeded, |d| d.calls.clone());
+        assert!(t.contains("root") && t.contains("mid") && t.contains("leaf"));
+        assert!(!t.contains("clean"));
+    }
+}

@@ -9,11 +9,17 @@
 //!   `panic!` in non-test library code (with a vetted, versioned
 //!   allowlist), no wall-clock or ambient randomness inside sim-driven
 //!   crates, no hash-ordered collections in actor decision paths — plus
-//!   two semantic lints: `rng-fork-discipline` (a taint pass proving
-//!   every RNG draw descends from the seeded fork tree) and
-//!   `event-match-exhaustive` (protocol-enum variants vs actor `match`
-//!   arms). Reports render as text, schema-versioned JSON ([`report`]),
-//!   or GitHub error annotations.
+//!   semantic lints built on a third, flow-aware layer: a statement/
+//!   expression parser ([`expr`]), per-fn control-flow graphs ([`cfg`]),
+//!   and a worklist dataflow engine with fn summaries ([`flow`]). The
+//!   flow rules are `determinism-taint` (nondeterminism sources must not
+//!   reach emission or scheduling sinks), `store-mutation-discipline`
+//!   (durable state only moves through `MailStore`),
+//!   `no-ignored-store-errors` (store/WAL `Result`s must be consumed),
+//!   `rng-fork-discipline` (every RNG draw descends from the seeded
+//!   fork tree), and `event-match-exhaustive` (protocol-enum variants
+//!   vs actor `match` arms). Reports render as text, schema-versioned
+//!   JSON ([`report`]), or GitHub error annotations.
 //! * [`audit`] — a [`TraceAuditor`](audit::TraceAuditor) that consumes
 //!   [`lems_sim::trace`] event streams and asserts the engine's
 //!   conservation laws (every send terminates in exactly one deliver or
@@ -41,7 +47,10 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod cfg;
 pub mod explore;
+pub mod expr;
+pub mod flow;
 pub mod items;
 pub mod lex;
 pub mod lint;

@@ -1,0 +1,98 @@
+//! Corpus tests for the flow-analysis layers: the expression parser and
+//! CFG builder must be total over every `.rs` file in this repository —
+//! no panics, and every fn body's CFG must reach its exit (or contain an
+//! explicitly diverging node, e.g. a `loop` without `break`). The lexer
+//! and item parser already run everywhere via the lint pass; these tests
+//! pin the same bar for the layers above them.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use lems_check::flow;
+use lems_check::items::ParsedFile;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn rs_files_under(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            // `target/` holds generated artifacts, not source.
+            if p.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            rs_files_under(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Every source file in the workspace proper: crates/, the root test
+/// suite, and benches/examples if any appear later.
+fn workspace_sources() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut files = Vec::new();
+    rs_files_under(&root.join("crates"), &mut files);
+    rs_files_under(&root.join("tests"), &mut files);
+    assert!(
+        files.len() > 50,
+        "corpus unexpectedly small: {}",
+        files.len()
+    );
+    files
+}
+
+#[test]
+fn expr_and_cfg_are_total_over_the_workspace() {
+    let fields = BTreeMap::new();
+    let storeio = BTreeSet::new();
+    let mut fns = 0usize;
+    for path in workspace_sources() {
+        let src =
+            fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let pf = ParsedFile::parse(&src);
+        for u in flow::fn_units(0, &pf, &fields, &storeio) {
+            fns += 1;
+            assert!(
+                u.cfg.node_count() >= 2,
+                "{}: fn `{}` built a CFG without entry/exit",
+                path.display(),
+                u.name
+            );
+            assert!(
+                u.cfg.entry_reaches_exit_or_diverge(),
+                "{}: fn `{}` has a CFG whose entry reaches neither exit nor \
+                 a diverging node — the builder dropped an edge",
+                path.display(),
+                u.name
+            );
+        }
+    }
+    assert!(fns > 500, "corpus parsed suspiciously few fns: {fns}");
+}
+
+#[test]
+fn vendored_sources_parse_without_panicking() {
+    // The vendor tree is other people's Rust (proc-macro code, odd
+    // idioms): the parser must stay total there too, though we make no
+    // reachability claims about code we don't own.
+    let mut files = Vec::new();
+    rs_files_under(&repo_root().join("vendor"), &mut files);
+    assert!(!files.is_empty(), "vendor tree missing?");
+    let fields = BTreeMap::new();
+    let storeio = BTreeSet::new();
+    for path in files {
+        let src =
+            fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let pf = ParsedFile::parse(&src);
+        let _ = flow::fn_units(0, &pf, &fields, &storeio);
+    }
+}

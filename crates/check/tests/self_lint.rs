@@ -1,0 +1,47 @@
+//! Self-application smoke: the checker's own sources must pass every
+//! lint rule with NO allowlist entries — the analysis engine cannot
+//! demand a discipline it does not itself meet. (The workspace-wide
+//! pass with the real allowlist is asserted by CI; this test is
+//! narrower and allowlist-free, so it can never be waived.)
+
+use std::fs;
+use std::path::PathBuf;
+
+use lems_check::lint::scan_source;
+
+fn check_sources() -> Vec<(String, String)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut out = Vec::new();
+    let mut names: Vec<_> = fs::read_dir(&dir)
+        .expect("read crates/check/src")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    names.sort();
+    for path in names {
+        let rel = format!(
+            "crates/check/src/{}",
+            path.file_name().and_then(|n| n.to_str()).unwrap_or("?")
+        );
+        let src = fs::read_to_string(&path).expect("read source");
+        out.push((rel, src));
+    }
+    out
+}
+
+#[test]
+fn the_checker_lints_itself_clean() {
+    let sources = check_sources();
+    assert!(sources.len() >= 8, "expected the full check crate");
+    let mut dirty = Vec::new();
+    for (rel, src) in &sources {
+        for v in scan_source(rel, src) {
+            dirty.push(format!("{v}"));
+        }
+    }
+    assert!(
+        dirty.is_empty(),
+        "the checker flagged its own sources:\n{}",
+        dirty.join("\n")
+    );
+}

@@ -50,6 +50,41 @@ pub struct StoreState {
 }
 
 impl StoreState {
+    /// Restores one snapshot chunk of `owner`'s mailbox during recovery
+    /// replay: re-deposits each message at its original deposit time,
+    /// creating the mailbox if needed. Bypasses the dedup ledger —
+    /// snapshot chunks are authoritative, and the ledger is restored
+    /// separately (`Record::SnapshotDeposited`).
+    pub fn restore_snapshot_chunk(
+        &mut self,
+        owner: MailName,
+        messages: impl IntoIterator<Item = (Message, SimTime)>,
+    ) {
+        let mb = self
+            .mailboxes
+            .entry(owner.clone())
+            .or_insert_with(|| Mailbox::new(owner));
+        for (m, at) in messages {
+            mb.deposit(m, at);
+        }
+    }
+
+    /// Overwrites `owner`'s lifetime ledger counters from snapshot
+    /// metadata (written after the owner's chunks: the counter bumps the
+    /// chunk re-deposits made are replaced with the true history).
+    pub fn restore_snapshot_ledger(
+        &mut self,
+        owner: MailName,
+        deposited: u64,
+        retrieved: u64,
+        expired: u64,
+    ) {
+        self.mailboxes
+            .entry(owner.clone())
+            .or_insert_with(|| Mailbox::new(owner))
+            .restore_ledger(deposited, retrieved, expired);
+    }
+
     /// Deposits `message` into its recipient's mailbox at `now`. Returns
     /// `false` (and stores nothing) when the id was already deposited.
     pub fn deposit(&mut self, message: Message, now: SimTime) -> bool {

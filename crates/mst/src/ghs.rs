@@ -20,7 +20,7 @@
 //! [`Graph::with_distinct_weights`]: lems_net::graph::Graph::with_distinct_weights
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use lems_net::graph::{Graph, NodeId, Weight};
@@ -76,8 +76,8 @@ pub struct GhsNode {
     node: NodeId,
     transport: Rc<Transport>,
     /// Neighbor -> edge weight.
-    weights: HashMap<NodeId, Weight>,
-    edge_state: HashMap<NodeId, EdgeState>,
+    weights: BTreeMap<NodeId, Weight>,
+    edge_state: BTreeMap<NodeId, EdgeState>,
     sleeping: bool,
     level: u32,
     fragment: FragmentId,
@@ -553,7 +553,7 @@ pub struct GhsSim {
     sim: ActorSim<Env>,
     actor_ids: Vec<ActorId>,
     stats: Rc<RefCell<GhsStats>>,
-    weights: HashMap<(NodeId, NodeId), Weight>,
+    weights: BTreeMap<(NodeId, NodeId), Weight>,
 }
 
 impl GhsSim {
@@ -616,7 +616,7 @@ impl GhsSim {
             }
         }
 
-        let mut weights = HashMap::new();
+        let mut weights = BTreeMap::new();
         for e in g.edges() {
             weights.insert((e.a, e.b), e.weight);
             weights.insert((e.b, e.a), e.weight);

@@ -105,13 +105,7 @@ pub fn apply(state: &mut StoreState, record: Record) -> Applied {
             Applied::None
         }
         Record::SnapshotMailbox { owner, messages } => {
-            let mb = state
-                .mailboxes
-                .entry(owner.clone())
-                .or_insert_with(|| Mailbox::new(owner));
-            for (m, at) in messages {
-                mb.deposit(m, at);
-            }
+            state.restore_snapshot_chunk(owner, messages);
             Applied::None
         }
         Record::SnapshotMeta {
@@ -120,13 +114,7 @@ pub fn apply(state: &mut StoreState, record: Record) -> Applied {
             retrieved,
             expired,
         } => {
-            // Written after the owner's chunks: overwrite the counter bumps
-            // the chunk deposits made with the true lifetime ledger.
-            let mb = state
-                .mailboxes
-                .entry(owner.clone())
-                .or_insert_with(|| Mailbox::new(owner));
-            mb.restore_ledger(deposited, retrieved, expired);
+            state.restore_snapshot_ledger(owner, deposited, retrieved, expired);
             Applied::None
         }
         Record::SnapshotPending { owner, messages } => {

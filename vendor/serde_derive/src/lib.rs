@@ -9,7 +9,8 @@
 //! - structs with named fields, tuple structs, unit structs
 //! - enums with unit, tuple, and struct variants
 //! - field attributes `#[serde(skip)]`, `#[serde(default)]`,
-//!   `#[serde(default = "path")]`, `#[serde(with = "module")]`
+//!   `#[serde(default = "path")]`, `#[serde(with = "module")]`,
+//!   `#[serde(skip_serializing_if = "path")]`
 //!
 //! Generics are intentionally unsupported (no derive site in the workspace
 //! uses them); deriving on a generic type produces a compile error.
@@ -29,6 +30,8 @@ struct FieldInfo {
     default: Option<Option<String>>,
     /// `#[serde(with = "module")]` path, if any.
     with: Option<String>,
+    /// `#[serde(skip_serializing_if = "path")]` predicate path, if any.
+    skip_ser_if: Option<String>,
 }
 
 #[derive(Debug)]
@@ -60,6 +63,14 @@ struct Container {
 // ---------------------------------------------------------------------------
 // Token-tree parsing
 // ---------------------------------------------------------------------------
+
+/// Serde field attributes gathered from the `#[serde(...)]` list.
+struct ParsedAttrs {
+    skip: bool,
+    default: Option<Option<String>>,
+    with: Option<String>,
+    skip_ser_if: Option<String>,
+}
 
 struct Cursor {
     toks: Vec<TokenTree>,
@@ -100,10 +111,11 @@ impl Cursor {
 
     /// Consumes leading `#[...]` attributes, returning parsed serde field
     /// attributes merged across all of them.
-    fn take_attrs(&mut self) -> (bool, Option<Option<String>>, Option<String>) {
+    fn take_attrs(&mut self) -> ParsedAttrs {
         let mut skip = false;
         let mut default = None;
         let mut with = None;
+        let mut skip_ser_if = None;
         while self.is_punct('#') {
             self.next();
             let group = match self.next() {
@@ -137,11 +149,17 @@ impl Cursor {
                     "skip" | "skip_serializing" | "skip_deserializing" => skip = true,
                     "default" => default = Some(value),
                     "with" => with = value,
+                    "skip_serializing_if" => skip_ser_if = value,
                     _ => {}
                 }
             }
         }
-        (skip, default, with)
+        ParsedAttrs {
+            skip,
+            default,
+            with,
+            skip_ser_if,
+        }
     }
 
     /// Skips `pub`, `pub(...)`.
@@ -192,7 +210,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<FieldInfo>, String> {
     let mut c = Cursor::new(stream);
     let mut fields = Vec::new();
     while !c.at_end() {
-        let (skip, default, with) = c.take_attrs();
+        let attrs = c.take_attrs();
         c.skip_vis();
         let name = match c.next() {
             Some(TokenTree::Ident(i)) => i.to_string(),
@@ -206,9 +224,10 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<FieldInfo>, String> {
         c.skip_until_comma();
         fields.push(FieldInfo {
             name,
-            skip,
-            default,
-            with,
+            skip: attrs.skip,
+            default: attrs.default,
+            with: attrs.with,
+            skip_ser_if: attrs.skip_ser_if,
         });
     }
     Ok(fields)
@@ -326,6 +345,22 @@ fn field_to_value(f: &FieldInfo, access: &str) -> String {
     }
 }
 
+/// One `__fields.push(...)` statement for a named field, wrapped in the
+/// `skip_serializing_if` predicate when the field carries one. `access`
+/// must be a reference expression (`&self.foo` / a `ref` binding), since
+/// serde passes `&field` to the predicate.
+fn named_field_push(f: &FieldInfo, access: &str) -> String {
+    let push = format!(
+        "__fields.push(({}, {}));\n",
+        str_value(&f.name),
+        field_to_value(f, access)
+    );
+    match &f.skip_ser_if {
+        Some(pred) => format!("if !{pred}({access}) {{\n{push}}}\n"),
+        None => push,
+    }
+}
+
 /// Statements pushing each non-skipped named field into `__fields`.
 fn named_fields_ser(fields: &[FieldInfo], access_prefix: &str) -> String {
     let mut out = String::new();
@@ -334,11 +369,7 @@ fn named_fields_ser(fields: &[FieldInfo], access_prefix: &str) -> String {
             continue;
         }
         let access = format!("{access_prefix}{}", f.name);
-        out.push_str(&format!(
-            "__fields.push(({}, {}));\n",
-            str_value(&f.name),
-            field_to_value(f, &access)
-        ));
+        out.push_str(&named_field_push(f, &access));
     }
     out
 }
@@ -477,13 +508,7 @@ fn gen_serialize(c: &Container) -> String {
                         let pushes = fields
                             .iter()
                             .filter(|f| !f.skip)
-                            .map(|f| {
-                                format!(
-                                    "__fields.push(({}, {}));\n",
-                                    str_value(&f.name),
-                                    field_to_value(f, &format!("__b_{}", f.name))
-                                )
-                            })
+                            .map(|f| named_field_push(f, &format!("__b_{}", f.name)))
                             .collect::<String>();
                         let binds = if binds.is_empty() {
                             String::new()
