@@ -332,6 +332,62 @@ impl StoreBench {
     }
 }
 
+/// One engine's measurements at one tier of the sim-kernel throughput
+/// experiment (`BENCH_sim.json`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimTier {
+    /// Tier label (`hold-smoke-1m`, `hold-10m`, `actor-10m`, `shard-2m`).
+    pub label: String,
+    /// Engine measured: `calendar` (the current kernel), `baseline` (the
+    /// retained pre-refactor ordered-map kernel), or `sharded-<n>`.
+    pub engine: String,
+    /// Worker threads (1 for the sequential engines).
+    pub threads: usize,
+    /// Steady pending-event population (hold/actor tiers; 0 for sharded).
+    pub pending: u64,
+    /// Actors in the mesh (0 for the raw hold tiers).
+    pub actors: u64,
+    /// Events processed in the measurement window.
+    pub events: u64,
+    /// Wall time for the measurement window, milliseconds.
+    pub wall_ms: f64,
+    /// `events / wall_ms` as events per second — the headline throughput.
+    pub events_per_sec: f64,
+    /// Determinism fingerprint (hex): the pop-stream digest for hold
+    /// tiers, the trace digest for sharded tiers. Equal digests across
+    /// engines/thread counts prove the speedup measured identical work.
+    pub digest: String,
+}
+
+/// The `BENCH_sim.json` document: per-tier, per-engine kernel throughput.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimBench {
+    /// Schema version (see [`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Experiment id (`sim-kernel`).
+    pub experiment: String,
+    /// Seed the deterministic workloads were generated from.
+    pub seed: u64,
+    /// Peak resident set of the measuring process, KiB (`VmHWM`; 0 where
+    /// `/proc` is unavailable).
+    pub peak_rss_kib: u64,
+    /// Per-tier measurements: hold tiers first (calendar before baseline
+    /// within a tier), then actor tiers, then sharded tiers by ascending
+    /// thread count.
+    pub tiers: Vec<SimTier>,
+}
+
+impl SimBench {
+    /// Pretty JSON for committing as a `BENCH_*.json` artifact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialisation fails (experiment-driver policy: fail fast).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("bench doc serialises")
+    }
+}
+
 /// One regression found by [`gate_wall_times`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct Regression {
@@ -408,6 +464,31 @@ pub fn gate_store_times(
                     current_ms: c,
                 });
             }
+        }
+    }
+    out
+}
+
+/// The sim-kernel CI gate: like [`gate_wall_times`] but over the kernel
+/// throughput tiers, matching on `(label, engine)` and flagging `wall_ms`
+/// growth beyond `tolerance`. The same sub-2ms jitter floor applies.
+pub fn gate_sim_times(baseline: &SimBench, current: &SimBench, tolerance: f64) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for cur in &current.tiers {
+        let Some(base) = baseline
+            .tiers
+            .iter()
+            .find(|t| t.label == cur.label && t.engine == cur.engine)
+        else {
+            continue;
+        };
+        if base.wall_ms >= 2.0 && cur.wall_ms > base.wall_ms * (1.0 + tolerance) {
+            out.push(Regression {
+                label: format!("{}/{}", cur.label, cur.engine),
+                metric: "wall_ms",
+                baseline_ms: base.wall_ms,
+                current_ms: cur.wall_ms,
+            });
         }
     }
     out
@@ -566,5 +647,70 @@ mod tests {
         let base = store_doc(vec![store_tier("a", "wal", 10.0, 10.0)]);
         let cur = store_doc(vec![store_tier("a", "wal", 12.0, 12.0)]);
         assert!(gate_store_times(&base, &cur, 0.25).is_empty());
+    }
+
+    fn sim_tier(label: &str, engine: &str, wall_ms: f64) -> SimTier {
+        SimTier {
+            label: label.to_owned(),
+            engine: engine.to_owned(),
+            threads: 1,
+            pending: 50_000,
+            actors: 0,
+            events: 1_000_000,
+            wall_ms,
+            events_per_sec: 1_000_000.0 / (wall_ms / 1_000.0),
+            digest: "0xdeadbeefdeadbeef".into(),
+        }
+    }
+
+    fn sim_doc(tiers: Vec<SimTier>) -> SimBench {
+        SimBench {
+            schema_version: BENCH_SCHEMA_VERSION,
+            experiment: "sim-kernel".into(),
+            seed: 42,
+            peak_rss_kib: 123_456,
+            tiers,
+        }
+    }
+
+    #[test]
+    fn sim_doc_round_trips() {
+        let d = sim_doc(vec![
+            sim_tier("hold-smoke-1m", "calendar", 100.0),
+            sim_tier("hold-smoke-1m", "baseline", 700.0),
+        ]);
+        let back: SimBench = serde_json::from_str(&d.to_json()).expect("round-trip");
+        assert_eq!(back.schema_version, BENCH_SCHEMA_VERSION);
+        assert_eq!(back.tiers.len(), 2);
+        assert_eq!(back.tiers[1].engine, "baseline");
+        assert_eq!(back.peak_rss_kib, 123_456);
+        assert_eq!(d.to_json(), back.to_json());
+    }
+
+    #[test]
+    fn sim_gate_matches_on_label_and_engine() {
+        let base = sim_doc(vec![
+            sim_tier("a", "calendar", 10.0),
+            sim_tier("a", "baseline", 70.0),
+        ]);
+        // The calendar engine regresses; the baseline engine is fine;
+        // tier `b` has no baseline entry and a sub-2ms tier is floored.
+        let cur = sim_doc(vec![
+            sim_tier("a", "calendar", 15.0),
+            sim_tier("a", "baseline", 70.0),
+            sim_tier("b", "calendar", 99.0),
+            sim_tier("floored", "calendar", 1.9),
+        ]);
+        let regressions = gate_sim_times(&base, &cur, 0.25);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].label, "a/calendar");
+        assert_eq!(regressions[0].metric, "wall_ms");
+    }
+
+    #[test]
+    fn sim_gate_accepts_within_tolerance() {
+        let base = sim_doc(vec![sim_tier("a", "calendar", 10.0)]);
+        let cur = sim_doc(vec![sim_tier("a", "calendar", 12.0)]);
+        assert!(gate_sim_times(&base, &cur, 0.25).is_empty());
     }
 }

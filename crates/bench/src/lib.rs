@@ -18,4 +18,5 @@ pub mod mst_exp;
 pub mod render;
 pub mod scale_exp;
 pub mod scorecard_exp;
+pub mod sim_exp;
 pub mod store_exp;

@@ -8,7 +8,7 @@
 use std::fs;
 use std::path::PathBuf;
 
-use lems_bench::emit::{AssignBench, GetMailBench, StoreBench, BENCH_SCHEMA_VERSION};
+use lems_bench::emit::{AssignBench, GetMailBench, SimBench, StoreBench, BENCH_SCHEMA_VERSION};
 
 fn repo_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
@@ -177,6 +177,88 @@ fn committed_store_bench_matches_schema() {
     }
 
     let doc2: StoreBench = serde_json::from_str(&doc.to_json()).expect("round trip");
+    assert_eq!(doc.to_json(), doc2.to_json());
+}
+
+#[test]
+fn committed_sim_bench_matches_schema() {
+    let doc: SimBench = serde_json::from_str(&read("BENCH_sim.json"))
+        .expect("BENCH_sim.json must deserialize into emit::SimBench");
+    assert_eq!(doc.schema_version, BENCH_SCHEMA_VERSION);
+    assert_eq!(doc.experiment, "sim-kernel");
+    assert!(!doc.tiers.is_empty(), "need at least one tier");
+
+    let pairs: Vec<(&str, &str)> = doc
+        .tiers
+        .iter()
+        .map(|t| (t.label.as_str(), t.engine.as_str()))
+        .collect();
+    // The committed baseline is the full ladder; CI's smoke run gates
+    // against the smoke tiers it shares with it. Every hold/actor tier
+    // carries both engines; the sharded tier carries every thread count.
+    for required in [
+        ("hold-smoke-1m", "calendar"),
+        ("hold-smoke-1m", "baseline"),
+        ("hold-10m-deep", "calendar"),
+        ("hold-10m-deep", "baseline"),
+        ("actor-smoke-500k", "calendar"),
+        ("actor-smoke-500k", "baseline"),
+        ("shard-2m", "sharded-1"),
+        ("shard-2m", "sharded-2"),
+        ("shard-2m", "sharded-8"),
+    ] {
+        assert!(pairs.contains(&required), "missing tier {required:?}");
+    }
+
+    for t in &doc.tiers {
+        assert!(t.events > 0, "{}/{}", t.label, t.engine);
+        assert!(t.wall_ms >= 0.0, "{}/{}", t.label, t.engine);
+        assert!(t.events_per_sec > 0.0, "{}/{}", t.label, t.engine);
+        assert!(t.threads >= 1, "{}/{}", t.label, t.engine);
+        assert!(
+            t.digest.starts_with("0x") && t.digest.len() == 18,
+            "{}/{}: digest must be a 0x-prefixed 16-hex fingerprint",
+            t.label,
+            t.engine
+        );
+    }
+
+    // The determinism contract, visible in the committed document: within
+    // a tier, every engine/thread-count produced the same digest.
+    for t in &doc.tiers {
+        for u in &doc.tiers {
+            if t.label == u.label {
+                assert_eq!(
+                    t.digest, u.digest,
+                    "{}: {} and {} digests diverge",
+                    t.label, t.engine, u.engine
+                );
+            }
+        }
+    }
+
+    // The headline claim behind the kernel refactor: on the deep hold
+    // tier (a >=10M-event workload) the calendar kernel clears 5x the
+    // measured old-kernel baseline.
+    let cal = doc
+        .tiers
+        .iter()
+        .find(|t| t.label == "hold-10m-deep" && t.engine == "calendar")
+        .expect("deep calendar tier");
+    let base = doc
+        .tiers
+        .iter()
+        .find(|t| t.label == "hold-10m-deep" && t.engine == "baseline")
+        .expect("deep baseline tier");
+    assert!(cal.events >= 10_000_000, "deep tier must be >=10M events");
+    assert!(
+        cal.events_per_sec >= 5.0 * base.events_per_sec,
+        "committed deep-tier speedup below 5x: {:.0} vs {:.0} events/s",
+        cal.events_per_sec,
+        base.events_per_sec
+    );
+
+    let doc2: SimBench = serde_json::from_str(&doc.to_json()).expect("round trip");
     assert_eq!(doc.to_json(), doc2.to_json());
 }
 

@@ -91,20 +91,11 @@ fn t(u: f64) -> SimTime {
 }
 
 /// FNV-1a over the rendered trace stream: schedules that differ in any
-/// observable event (order, timing, kind, endpoints) differ here.
+/// observable event (order, timing, kind, endpoints) differ here. Thin
+/// alias over the kernel's canonical [`Trace::digest`] so explore
+/// fingerprints and the kernel-equivalence pins share one algorithm.
 fn trace_digest(trace: &Trace) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut byte = |b: u8| {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    };
-    for ev in trace.events() {
-        for b in ev.to_string().bytes() {
-            byte(b);
-        }
-        byte(b'\n');
-    }
-    h
+    trace.digest()
 }
 
 /// Generic DFS driver: rebuild, install scheduler, run, check, backtrack.
@@ -404,6 +395,41 @@ pub fn s2_roam(seed: u64, bounds: ExploreBounds) -> ExploreOutcome {
         system2_checks,
         system2_fingerprint,
     )
+}
+
+/// Trace digests of the three explore deployments run once each under the
+/// default FIFO engine (no scheduler installed). These are the kernel-level
+/// fingerprints `tests/kernel_equivalence.rs` pins against the committed
+/// pre-refactor values: the explore workloads exercise contended
+/// same-instant ready sets, crash windows, and System-2 roaming on top of
+/// the raw event queue, so any kernel ordering change surfaces here.
+///
+/// # Panics
+///
+/// Panics if a deployment fails to quiesce within [`RUN_EVENT_BUDGET`] —
+/// the shipped explore scenarios always do, so non-quiescence means the
+/// engine itself regressed.
+pub fn kernel_fifo_digests(seed: u64) -> Vec<(&'static str, u64)> {
+    let mut s1 = s1_steady_deployment(seed);
+    assert!(
+        s1.sim.run_to_quiescence_bounded(RUN_EVENT_BUDGET),
+        "s1-steady failed to quiesce"
+    );
+    let mut s1c = s1_crash_deployment(seed);
+    assert!(
+        s1c.sim.run_to_quiescence_bounded(RUN_EVENT_BUDGET),
+        "s1-crash failed to quiesce"
+    );
+    let mut s2 = s2_roam_deployment(seed);
+    assert!(
+        s2.sim.run_to_quiescence_bounded(RUN_EVENT_BUDGET),
+        "s2-roam failed to quiesce"
+    );
+    vec![
+        ("s1-steady", s1.sim.trace().digest()),
+        ("s1-crash", s1c.sim.trace().digest()),
+        ("s2-roam", s2.sim.trace().digest()),
+    ]
 }
 
 /// Runs every explore scenario with `seed`.

@@ -63,6 +63,11 @@ pub struct ScenarioOutcome {
     pub seed: u64,
     /// Simulated time at quiescence.
     pub finished_at: SimTime,
+    /// FNV-1a digest of the run's rendered trace stream
+    /// ([`Trace::digest`](lems_sim::trace::Trace::digest)) — the byte-level
+    /// fingerprint `tests/kernel_equivalence.rs` pins against the committed
+    /// pre-refactor values in `GOLDEN_kernel_digests.txt`.
+    pub trace_digest: u64,
 }
 
 impl ScenarioOutcome {
@@ -124,6 +129,7 @@ fn finish(
     expect_drained: bool,
 ) -> ScenarioOutcome {
     let quiesced = d.sim.run_to_quiescence_bounded(EVENT_BUDGET);
+    let trace_digest = d.sim.trace().digest();
     let trace = audit_trace(d.sim.trace());
     let mut domain = audit_deployment(&d, expect_drained);
     if !quiesced {
@@ -170,6 +176,7 @@ fn finish(
         scopes: d.metrics_snapshot(),
         seed,
         finished_at: d.sim.now(),
+        trace_digest,
     }
 }
 

@@ -19,6 +19,7 @@ use crate::linkfault::LinkFaultPlan;
 use crate::queue::EventQueue;
 use crate::rng::SimRng;
 use crate::sched::{ReadyEvent, ReadyKind, Scheduler};
+use crate::shard::{Effect, ShardScratch};
 use crate::stats::Counter;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceKind};
@@ -49,6 +50,16 @@ impl std::fmt::Display for ActorId {
 /// by timer.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct TimerId(u64);
+
+impl TimerId {
+    /// Namespaced timer ids for the sharded engine: each actor draws from
+    /// its own counter, packed above bit 40 by actor index so ids armed
+    /// concurrently on different shards can never collide with each other
+    /// (or with the sequential engine's dense ids in any realistic run).
+    pub(crate) fn namespaced(actor: usize, n: u64) -> TimerId {
+        TimerId(((actor as u64).wrapping_add(1) << 40) | (n & ((1 << 40) - 1)))
+    }
+}
 
 /// A simulated node: reacts to messages and timers via `&mut self`.
 ///
@@ -89,7 +100,7 @@ pub trait Actor: std::any::Any {
     }
 }
 
-enum Ev<M> {
+pub(crate) enum Ev<M> {
     Deliver {
         from: ActorId,
         to: ActorId,
@@ -133,25 +144,51 @@ pub struct SimCounters {
 }
 
 /// Engine internals shared with handlers through [`Ctx`].
-struct Core<M> {
-    now: SimTime,
-    queue: EventQueue<Ev<M>>,
-    down: Vec<bool>,
-    cancelled: HashSet<TimerId>,
-    next_timer: u64,
-    fifo: bool,
-    last_arrival: HashMap<(ActorId, ActorId), SimTime>,
-    counters: SimCounters,
-    trace: Trace,
-    rng: SimRng,
-    link_faults: Option<LinkFaultPlan>,
-    fault_rng: SimRng,
-    scheduler: Option<Box<dyn Scheduler>>,
+///
+/// Crate-visible so the sharded engine ([`crate::shard::ShardedSim`]) can
+/// reuse the exact same enqueue/send/timer semantics when it commits
+/// buffered effects — byte-identity between the two engines rests on both
+/// running this code.
+pub(crate) struct Core<M> {
+    pub(crate) now: SimTime,
+    pub(crate) queue: EventQueue<Ev<M>>,
+    pub(crate) down: Vec<bool>,
+    pub(crate) cancelled: HashSet<TimerId>,
+    pub(crate) next_timer: u64,
+    pub(crate) fifo: bool,
+    pub(crate) last_arrival: HashMap<(ActorId, ActorId), SimTime>,
+    pub(crate) counters: SimCounters,
+    pub(crate) trace: Trace,
+    pub(crate) rng: SimRng,
+    pub(crate) link_faults: Option<LinkFaultPlan>,
+    pub(crate) fault_rng: SimRng,
+    pub(crate) scheduler: Option<Box<dyn Scheduler>>,
 }
 
 impl<M> Core<M> {
+    /// Engine state with all defaults, randomness derived from `seed`.
+    pub(crate) fn new(seed: u64) -> Self {
+        Core {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            down: Vec::new(),
+            cancelled: HashSet::new(),
+            next_timer: 0,
+            fifo: true,
+            last_arrival: HashMap::new(),
+            counters: SimCounters::default(),
+            trace: Trace::disabled(),
+            rng: SimRng::seed(seed).fork("actor-sim"),
+            link_faults: None,
+            // A dedicated stream: enabling faults must not perturb the
+            // randomness actors observe via `Ctx::rng`.
+            fault_rng: SimRng::seed(seed).fork("link-faults"),
+            scheduler: None,
+        }
+    }
+
     /// Queues a message for delivery after `delay` (FIFO clamp + trace).
-    fn enqueue(&mut self, from: ActorId, to: ActorId, msg: M, delay: SimDuration) {
+    pub(crate) fn enqueue(&mut self, from: ActorId, to: ActorId, msg: M, delay: SimDuration) {
         let mut at = self.now + delay;
         // External injections model independent workload arrivals, not a
         // physical link, so they are exempt from FIFO clamping.
@@ -168,7 +205,7 @@ impl<M> Core<M> {
         self.queue.push(at, Ev::Deliver { from, to, msg });
     }
 
-    fn send(&mut self, from: ActorId, to: ActorId, msg: M, delay: SimDuration)
+    pub(crate) fn send(&mut self, from: ActorId, to: ActorId, msg: M, delay: SimDuration)
     where
         M: Clone,
     {
@@ -217,7 +254,7 @@ impl<M> Core<M> {
         self.enqueue(from, to, msg, delay);
     }
 
-    fn set_timer(&mut self, actor: ActorId, delay: SimDuration, tag: u64) -> TimerId {
+    pub(crate) fn set_timer(&mut self, actor: ActorId, delay: SimDuration, tag: u64) -> TimerId {
         let id = TimerId(self.next_timer);
         self.next_timer += 1;
         self.queue
@@ -281,15 +318,57 @@ impl<M> Core<M> {
 }
 
 /// Handler-side view of the engine: clock, messaging, timers, randomness.
+///
+/// A `Ctx` is backed either by the live sequential engine (effects apply
+/// immediately) or, under [`crate::shard::ShardedSim`], by a per-shard
+/// scratch that buffers effects for an ordered commit on the coordinator.
+/// Actor code cannot tell the difference — that opacity is what lets the
+/// same `Actor` implementation run on both engines.
 pub struct Ctx<'a, M> {
-    core: &'a mut Core<M>,
+    inner: CtxInner<'a, M>,
     me: ActorId,
+}
+
+enum CtxInner<'a, M> {
+    /// Sequential engine: effects act on the core directly.
+    Live(&'a mut Core<M>),
+    /// Sharded engine: effects buffer into the shard scratch and are
+    /// replayed in deterministic `(time, seq)` order at commit.
+    Shard(ShardScratch<'a, M>),
+}
+
+impl<'a, M> Ctx<'a, M> {
+    pub(crate) fn live(core: &'a mut Core<M>, me: ActorId) -> Self {
+        Ctx {
+            inner: CtxInner::Live(core),
+            me,
+        }
+    }
+
+    pub(crate) fn shard(scratch: ShardScratch<'a, M>, me: ActorId) -> Self {
+        Ctx {
+            inner: CtxInner::Shard(scratch),
+            me,
+        }
+    }
+
+    /// Consumes a shard-backed context, returning the effects the handler
+    /// buffered (empty for a live context — the effects already applied).
+    pub(crate) fn into_effects(self) -> Vec<Effect<M>> {
+        match self.inner {
+            CtxInner::Live(_) => Vec::new(),
+            CtxInner::Shard(scratch) => scratch.effects,
+        }
+    }
 }
 
 impl<M> Ctx<'_, M> {
     /// The current simulated time.
     pub fn now(&self) -> SimTime {
-        self.core.now
+        match &self.inner {
+            CtxInner::Live(core) => core.now,
+            CtxInner::Shard(s) => s.now,
+        }
     }
 
     /// The id of the actor whose handler is running.
@@ -307,40 +386,86 @@ impl<M> Ctx<'_, M> {
     where
         M: Clone,
     {
-        self.core.send(self.me, to, msg, delay);
+        match &mut self.inner {
+            CtxInner::Live(core) => core.send(self.me, to, msg, delay),
+            CtxInner::Shard(s) => s.effects.push(Effect::Send { to, msg, delay }),
+        }
     }
 
     /// Sends `msg` to the actor itself after `delay` — a convenience for
     /// modelling local processing stages. Self-sends never traverse a link,
     /// so link faults do not apply.
     pub fn send_self(&mut self, msg: M, delay: SimDuration) {
-        self.core.enqueue(self.me, self.me, msg, delay);
+        match &mut self.inner {
+            CtxInner::Live(core) => core.enqueue(self.me, self.me, msg, delay),
+            CtxInner::Shard(s) => s.effects.push(Effect::SendSelf { msg, delay }),
+        }
     }
 
     /// Arms a timer that fires after `delay`, delivering `tag` to
     /// [`Actor::on_timer`].
     pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
-        self.core.set_timer(self.me, delay, tag)
+        match &mut self.inner {
+            CtxInner::Live(core) => core.set_timer(self.me, delay, tag),
+            CtxInner::Shard(s) => {
+                let id = TimerId::namespaced(s.actor_idx, *s.next_timer);
+                *s.next_timer += 1;
+                s.effects.push(Effect::SetTimer { id, delay, tag });
+                id
+            }
+        }
     }
 
     /// Cancels a pending timer. Cancelling an already-fired or foreign timer
     /// is a no-op.
     pub fn cancel_timer(&mut self, id: TimerId) {
-        self.core.cancelled.insert(id);
+        match &mut self.inner {
+            CtxInner::Live(core) => {
+                core.cancelled.insert(id);
+            }
+            CtxInner::Shard(s) => {
+                // Recorded locally so a timer firing later in the same
+                // frozen batch (same shard) sees the cancellation, and as
+                // an effect so the commit makes it globally durable.
+                s.local_cancelled.push(id);
+                s.effects.push(Effect::CancelTimer { id });
+            }
+        }
     }
 
-    /// Deterministic randomness scoped to the whole simulation.
+    /// Deterministic randomness.
+    ///
+    /// On the sequential engine this is a single stream scoped to the whole
+    /// simulation; under the sharded engine each actor draws from its own
+    /// forked stream (a per-actor function of the root seed), which is what
+    /// keeps parallel runs independent of thread count. Code that must
+    /// produce byte-identical runs on *both* engines should avoid ambient
+    /// draws or derive its own forked streams.
     pub fn rng(&mut self) -> &mut SimRng {
-        &mut self.core.rng
+        match &mut self.inner {
+            CtxInner::Live(core) => &mut core.rng,
+            CtxInner::Shard(s) => s.rng,
+        }
     }
 
     /// True if `actor` is currently crashed.
     ///
     /// Real mail software cannot ask this oracle; it exists for workload
     /// drivers and for assertions in tests. Protocol actors should rely on
-    /// timeouts instead.
+    /// timeouts instead. Under the sharded engine, the answer for *other*
+    /// actors reflects the batch-start snapshot (same-instant cross-shard
+    /// crashes are outside the sharded contract).
     pub fn is_down(&self, actor: ActorId) -> bool {
-        self.core.down.get(actor.0).copied().unwrap_or(false)
+        match &self.inner {
+            CtxInner::Live(core) => core.down.get(actor.0).copied().unwrap_or(false),
+            CtxInner::Shard(s) => {
+                if actor.0 == s.actor_idx {
+                    s.down_self
+                } else {
+                    s.shared_down.get(actor.0).copied().unwrap_or(false)
+                }
+            }
+        }
     }
 }
 
@@ -388,27 +513,22 @@ impl<M: 'static> ActorSim<M> {
     /// Creates an engine whose randomness derives from `seed`.
     pub fn new(seed: u64) -> Self {
         ActorSim {
-            core: Core {
-                now: SimTime::ZERO,
-                queue: EventQueue::new(),
-                down: Vec::new(),
-                cancelled: HashSet::new(),
-                next_timer: 0,
-                fifo: true,
-                last_arrival: HashMap::new(),
-                counters: SimCounters::default(),
-                trace: Trace::disabled(),
-                rng: SimRng::seed(seed).fork("actor-sim"),
-                link_faults: None,
-                // A dedicated stream: enabling faults must not perturb the
-                // randomness actors observe via `Ctx::rng`.
-                fault_rng: SimRng::seed(seed).fork("link-faults"),
-                scheduler: None,
-            },
+            core: Core::new(seed),
             actors: Vec::new(),
             started: Vec::new(),
             running: false,
         }
+    }
+
+    /// Creates an engine on the baseline (pre-calendar) event-queue
+    /// backend. Identical semantics to [`ActorSim::new`] — the backends
+    /// pop in the same `(time, seq)` order — retained so benchmarks can
+    /// measure the old queue and differential tests can cross-check whole
+    /// runs, not just queue operations.
+    pub fn new_with_baseline_queue(seed: u64) -> Self {
+        let mut sim = ActorSim::new(seed);
+        sim.core.queue = EventQueue::baseline();
+        sim
     }
 
     /// Disables per-pair FIFO delivery, allowing messages to reorder when
@@ -563,10 +683,7 @@ impl<M: 'static> ActorSim<M> {
         f: impl FnOnce(&mut dyn Actor<Msg = M>, &mut Ctx<'_, M>) -> R,
     ) -> Option<R> {
         let mut boxed = self.actors.get_mut(id.0)?.take()?;
-        let mut ctx = Ctx {
-            core: &mut self.core,
-            me: id,
-        };
+        let mut ctx = Ctx::live(&mut self.core, id);
         let out = f(boxed.as_mut(), &mut ctx);
         self.actors[id.0] = Some(boxed);
         Some(out)

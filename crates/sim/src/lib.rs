@@ -6,13 +6,18 @@
 //! crate provides that simulator as a reusable library:
 //!
 //! * [`time`] — integer simulated time in paper "time units";
-//! * [`queue`] — the future-event list with deterministic FIFO tie-breaks;
+//! * [`queue`] — the future-event list with deterministic FIFO tie-breaks,
+//!   backed by an amortized-O(1) calendar queue (with the previous ordered
+//!   map retained as a differential oracle);
+//! * [`pool`] — the generation-checked payload slab behind the queue;
 //! * [`kernel`] — a minimal closure-driven event kernel;
 //! * [`actor`] — message-passing actors with timers, matching the delivery
 //!   model assumed by the paper (finite, in-sequence, error-free links);
 //! * [`failure`] — planned and random crash/repair injection;
 //! * [`sched`] — pluggable schedulers: FIFO replay, seeded schedule
 //!   fuzzing, and exhaustive small-scope interleaving exploration;
+//! * [`shard`] — parallel actor execution (frozen batch → ordered commit)
+//!   that is byte-identical to the sequential engine at any thread count;
 //! * [`rng`] — seeded, forkable randomness so runs reproduce exactly;
 //! * [`stats`] — counters, time-weighted gauges, summaries, histograms;
 //! * [`trace`] — bounded in-memory event tracing;
@@ -20,8 +25,9 @@
 //! * [`metrics`] — per-actor registries of counters, gauges, and
 //!   log-scale latency histograms, mergeable across actors and threads.
 //!
-//! Everything is single-threaded and deterministic by construction: a run is
-//! a pure function of its seed and configuration.
+//! Everything is deterministic by construction: a run is a pure function of
+//! its seed and configuration. The default engines are single-threaded; the
+//! [`shard`] engine adds worker threads without changing any output byte.
 //!
 //! # Examples
 //!
@@ -53,10 +59,12 @@ pub mod failure;
 pub mod kernel;
 pub mod linkfault;
 pub mod metrics;
+pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod sched;
 pub mod session;
+pub mod shard;
 pub mod span;
 pub mod stats;
 pub mod time;
@@ -74,6 +82,7 @@ pub mod prelude {
         Scheduler,
     };
     pub use crate::session::RetryPolicy;
+    pub use crate::shard::ShardedSim;
     pub use crate::span::{SpanEvent, SpanId, SpanLog, SpanStage};
     pub use crate::stats::{Counter, Histogram, LogHistogram, Summary, TimeWeighted};
     pub use crate::time::{SimDuration, SimTime};

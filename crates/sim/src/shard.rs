@@ -1,0 +1,977 @@
+//! Sharded actor execution: parallel handler evaluation with a
+//! deterministic, byte-identical ordered commit.
+//!
+//! [`ShardedSim`] runs the same actor programs as
+//! [`ActorSim`](crate::actor::ActorSim), but evaluates each *frozen batch*
+//! — every event scheduled for the earliest pending instant, in sequence
+//! order — across worker threads. The pattern is freeze → partition →
+//! parallel evaluate → ordered commit:
+//!
+//! 1. **Freeze.** All events at the head instant are popped in `(time,
+//!    seq)` order. Nothing else can join the instant mid-batch (handlers
+//!    that schedule zero-delay work create a *later wave* at the same
+//!    instant, exactly as they do sequentially).
+//! 2. **Partition.** The batch is split into per-actor groups (an event's
+//!    group is its target actor). Events for disjoint actors touch
+//!    disjoint state, so groups are independent; within a group, events
+//!    keep batch order, so per-actor effects such as a crash gating a
+//!    same-instant delivery, or one timer cancelling another, evolve
+//!    exactly as they would sequentially.
+//! 3. **Evaluate.** Groups run on worker threads (contiguous chunks, one
+//!    message per worker per batch). Handlers see a [`Ctx`] backed by a
+//!    shard scratch: sends, self-sends, timer arms and cancels buffer as
+//!    [`Effect`]s; nothing touches shared state.
+//! 4. **Commit.** The coordinator replays outcomes *in batch sequence
+//!    order*: dispositions (deliver/drop/fire/suppress/crash/recover)
+//!    update counters, trace, and down flags, then each handler's effects
+//!    apply through the very same [`Core`] methods the sequential engine
+//!    uses. FIFO clamps, link-fault randomness, trace records, and event
+//!    sequence numbers are therefore assigned in exactly the order a
+//!    sequential run would assign them — which is the whole argument for
+//!    byte-identity at any thread count (the equivalence battery in
+//!    `tests/kernel_equivalence.rs` pins it).
+//!
+//! # Contract
+//!
+//! Byte-identity with the sequential engine (and invariance across thread
+//! counts) holds for actor programs that stay inside the sharded contract:
+//!
+//! * **Randomness**: handlers must not depend on the *interleaving* of
+//!   ambient [`Ctx::rng`] draws across actors. Sequentially there is one
+//!   shared stream; sharded, each actor draws from its own fork of the
+//!   root seed. Programs that draw no ambient randomness in handlers (or
+//!   fork their own streams) are identical on both engines.
+//! * **Cancellation**: a timer cancelled in the same instant it fires is
+//!   honoured when canceller and timer share an actor (the common case —
+//!   timers are private to their actor). Cross-actor same-instant
+//!   cancellation is outside the contract.
+//! * **Down oracle**: [`Ctx::is_down`] for *other* actors answers from the
+//!   batch-start snapshot; same-instant cross-actor crash visibility is
+//!   outside the contract.
+//!
+//! Timer ids differ between engines (dense global counter vs. per-actor
+//! namespaces) by design; they are opaque handles and never traced.
+
+use std::collections::HashSet;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use crate::actor::{Actor, ActorId, Core, Ctx, Ev, SimCounters, TimerId};
+use crate::linkfault::LinkFaultPlan;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceKind};
+
+/// A buffered handler effect, applied on the coordinator at commit time in
+/// batch sequence order.
+pub(crate) enum Effect<M> {
+    /// `Ctx::send` — link faults, FIFO clamping, and trace recording all
+    /// happen at commit via [`Core::send`].
+    Send {
+        to: ActorId,
+        msg: M,
+        delay: SimDuration,
+    },
+    /// `Ctx::send_self` — bypasses links, applied via [`Core::enqueue`].
+    SendSelf { msg: M, delay: SimDuration },
+    /// `Ctx::set_timer` — the namespaced id was already handed to the
+    /// handler; commit schedules the timer event under that id.
+    SetTimer {
+        id: TimerId,
+        delay: SimDuration,
+        tag: u64,
+    },
+    /// `Ctx::cancel_timer` — commit inserts into the global cancelled set.
+    CancelTimer { id: TimerId },
+}
+
+/// Per-handler scratch backing a shard-mode [`Ctx`].
+pub(crate) struct ShardScratch<'a, M> {
+    pub(crate) now: SimTime,
+    pub(crate) actor_idx: usize,
+    /// The running actor's own down flag as locally evolved this batch.
+    pub(crate) down_self: bool,
+    /// Batch-start snapshot of every actor's down flag.
+    pub(crate) shared_down: &'a [bool],
+    /// This actor's private random stream.
+    pub(crate) rng: &'a mut SimRng,
+    /// This actor's namespaced timer counter.
+    pub(crate) next_timer: &'a mut u64,
+    /// Cancellations visible to later events in this group this batch.
+    pub(crate) local_cancelled: &'a mut Vec<TimerId>,
+    /// Buffered effects, in the order the handler issued them.
+    pub(crate) effects: Vec<Effect<M>>,
+}
+
+/// Read-only state shared with every worker for one batch.
+struct BatchShared {
+    now: SimTime,
+    down: Vec<bool>,
+    cancelled: HashSet<TimerId>,
+}
+
+/// One group of same-instant events for a single target actor, together
+/// with everything a worker needs to evaluate them.
+struct Task<M> {
+    /// Target actor index, or `usize::MAX` for unknown destinations.
+    actor_idx: usize,
+    boxed: Option<Box<dyn Actor<Msg = M> + Send>>,
+    rng: SimRng,
+    timer_next: u64,
+    /// `(batch index, event)` in batch (sequence) order.
+    events: Vec<(usize, Ev<M>)>,
+}
+
+struct TaskResult<M> {
+    actor_idx: usize,
+    boxed: Option<Box<dyn Actor<Msg = M> + Send>>,
+    rng: SimRng,
+    timer_next: u64,
+    outcomes: Vec<(usize, Outcome<M>)>,
+}
+
+/// What one batch event turned out to be, decided on a worker, applied on
+/// the coordinator.
+enum Outcome<M> {
+    Delivered {
+        from: ActorId,
+        to: ActorId,
+        effects: Vec<Effect<M>>,
+    },
+    DroppedDown {
+        from: ActorId,
+        to: ActorId,
+    },
+    DroppedUnknown {
+        from: ActorId,
+        to: ActorId,
+    },
+    /// Timer reached its instant; `fired` distinguishes a handled fire
+    /// from a suppression (cancelled, unknown, or down). Either way the
+    /// commit removes the id from the cancelled set, as the sequential
+    /// engine does.
+    TimerHandled {
+        id: TimerId,
+        actor: ActorId,
+        fired: bool,
+        effects: Vec<Effect<M>>,
+    },
+    Crashed {
+        actor: ActorId,
+    },
+    Recovered {
+        actor: ActorId,
+        effects: Vec<Effect<M>>,
+    },
+    /// Crash of an already-down actor, recovery of an up one, or either
+    /// aimed at an unknown id: a silent no-op, exactly as sequentially.
+    Skipped,
+}
+
+/// Evaluates one task: runs the group's events in order against the
+/// actor's state, buffering effects. Runs on workers and on the
+/// coordinator's inline path alike — one function, one semantics.
+fn eval_task<M: Send + 'static>(mut task: Task<M>, shared: &BatchShared) -> TaskResult<M> {
+    let mut down_self = shared.down.get(task.actor_idx).copied().unwrap_or(false);
+    let mut local_cancelled: Vec<TimerId> = Vec::new();
+    let mut outcomes = Vec::with_capacity(task.events.len());
+    let events = std::mem::take(&mut task.events);
+    for (bidx, ev) in events {
+        let out = match ev {
+            Ev::Deliver { from, to, msg } => {
+                if task.boxed.is_none() {
+                    Outcome::DroppedUnknown { from, to }
+                } else if down_self {
+                    Outcome::DroppedDown { from, to }
+                } else {
+                    let effects = run_handler(
+                        &mut task,
+                        shared,
+                        down_self,
+                        &mut local_cancelled,
+                        |actor, ctx| actor.on_message(from, msg, ctx),
+                    );
+                    Outcome::Delivered { from, to, effects }
+                }
+            }
+            Ev::Timer { actor, id, tag } => {
+                let cancelled = shared.cancelled.contains(&id) || local_cancelled.contains(&id);
+                if cancelled || task.boxed.is_none() || down_self {
+                    Outcome::TimerHandled {
+                        id,
+                        actor,
+                        fired: false,
+                        effects: Vec::new(),
+                    }
+                } else {
+                    let effects = run_handler(
+                        &mut task,
+                        shared,
+                        down_self,
+                        &mut local_cancelled,
+                        |a, ctx| a.on_timer(id, tag, ctx),
+                    );
+                    Outcome::TimerHandled {
+                        id,
+                        actor,
+                        fired: true,
+                        effects,
+                    }
+                }
+            }
+            Ev::Crash { actor } => {
+                if task.boxed.is_some() && !down_self {
+                    down_self = true;
+                    if let Some(a) = task.boxed.as_deref_mut() {
+                        a.on_crash(shared.now);
+                    }
+                    Outcome::Crashed { actor }
+                } else {
+                    Outcome::Skipped
+                }
+            }
+            Ev::Recover { actor } => {
+                if task.boxed.is_some() && down_self {
+                    down_self = false;
+                    let effects = run_handler(
+                        &mut task,
+                        shared,
+                        down_self,
+                        &mut local_cancelled,
+                        |a, ctx| a.on_recover(ctx),
+                    );
+                    Outcome::Recovered { actor, effects }
+                } else {
+                    Outcome::Skipped
+                }
+            }
+        };
+        outcomes.push((bidx, out));
+    }
+    TaskResult {
+        actor_idx: task.actor_idx,
+        boxed: task.boxed,
+        rng: task.rng,
+        timer_next: task.timer_next,
+        outcomes,
+    }
+}
+
+/// Runs one handler under a shard-backed [`Ctx`], returning its buffered
+/// effects. Returns no effects when the actor box is absent (never the
+/// case on the paths that call this).
+fn run_handler<M: Send + 'static>(
+    task: &mut Task<M>,
+    shared: &BatchShared,
+    down_self: bool,
+    local_cancelled: &mut Vec<TimerId>,
+    f: impl FnOnce(&mut dyn Actor<Msg = M>, &mut Ctx<'_, M>),
+) -> Vec<Effect<M>> {
+    let Some(actor) = task.boxed.as_deref_mut() else {
+        return Vec::new();
+    };
+    let me = ActorId(task.actor_idx);
+    let scratch = ShardScratch {
+        now: shared.now,
+        actor_idx: task.actor_idx,
+        down_self,
+        shared_down: &shared.down,
+        rng: &mut task.rng,
+        next_timer: &mut task.timer_next,
+        local_cancelled,
+        effects: Vec::new(),
+    };
+    let mut ctx = Ctx::shard(scratch, me);
+    f(actor, &mut ctx);
+    ctx.into_effects()
+}
+
+type WorkerMsg<M> = (Arc<BatchShared>, Vec<Task<M>>);
+
+/// A persistent worker pool: one thread per worker, one channel message
+/// per worker per batch. Workers own their tasks outright (actor boxes,
+/// rng streams, timer counters travel with the task), so no borrows cross
+/// threads.
+struct Workers<M: Send + 'static> {
+    to: Vec<mpsc::Sender<WorkerMsg<M>>>,
+    from: mpsc::Receiver<Vec<TaskResult<M>>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<M: Send + 'static> Workers<M> {
+    fn spawn(count: usize) -> Self {
+        let (result_tx, from) = mpsc::channel::<Vec<TaskResult<M>>>();
+        let mut to = Vec::with_capacity(count);
+        let mut handles = Vec::with_capacity(count);
+        for _ in 0..count {
+            let (task_tx, task_rx) = mpsc::channel::<WorkerMsg<M>>();
+            let tx = result_tx.clone();
+            to.push(task_tx);
+            handles.push(std::thread::spawn(move || {
+                while let Ok((shared, tasks)) = task_rx.recv() {
+                    let results: Vec<TaskResult<M>> =
+                        tasks.into_iter().map(|t| eval_task(t, &shared)).collect();
+                    if tx.send(results).is_err() {
+                        return;
+                    }
+                }
+            }));
+        }
+        Workers { to, from, handles }
+    }
+}
+
+impl<M: Send + 'static> Drop for Workers<M> {
+    fn drop(&mut self) {
+        self.to.clear(); // closes the task channels; workers exit
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The sharded deterministic actor engine.
+///
+/// Same actor programming model as [`ActorSim`](crate::actor::ActorSim)
+/// (for `Send` actors and messages), with same-instant events for disjoint
+/// actors evaluated in parallel and committed in deterministic order. See
+/// the [module docs](self) for the equivalence argument and contract.
+///
+/// # Examples
+///
+/// ```
+/// use lems_sim::shard::ShardedSim;
+/// use lems_sim::actor::{Actor, ActorId, Ctx};
+/// use lems_sim::time::{SimDuration, SimTime};
+///
+/// struct Counter { got: u32 }
+/// impl Actor for Counter {
+///     type Msg = u32;
+///     fn on_message(&mut self, _f: ActorId, m: u32, _c: &mut Ctx<'_, u32>) {
+///         self.got += m;
+///     }
+/// }
+///
+/// let mut sim = ShardedSim::new(7, 4); // seed 7, up to 4 threads
+/// let a = sim.add_actor(Counter { got: 0 });
+/// let b = sim.add_actor(Counter { got: 0 });
+/// // Same instant, different actors: evaluated in parallel.
+/// sim.inject(a, 3, SimDuration::from_units(1.0));
+/// sim.inject(b, 4, SimDuration::from_units(1.0));
+/// assert!(sim.run_to_quiescence_bounded(100));
+/// assert_eq!(sim.actor::<Counter>(a).unwrap().got, 3);
+/// assert_eq!(sim.actor::<Counter>(b).unwrap().got, 4);
+/// assert_eq!(sim.now(), SimTime::from_units(1.0));
+/// ```
+pub struct ShardedSim<M: Send + 'static> {
+    core: Core<M>,
+    actors: Vec<Option<Box<dyn Actor<Msg = M> + Send>>>,
+    started: Vec<bool>,
+    /// Per-actor random streams, forked from the root seed by index.
+    rngs: Vec<SimRng>,
+    /// Per-actor namespaced timer counters.
+    timer_next: Vec<u64>,
+    seed: u64,
+    threads: usize,
+    workers: Option<Workers<M>>,
+    /// Epoch-stamped scratch mapping actor index → task slot for the batch
+    /// being partitioned (last slot = unknown destinations). Stamping
+    /// avoids clearing the whole map every batch.
+    group_slot: Vec<(u64, u32)>,
+    group_epoch: u64,
+}
+
+/// Batches smaller than this always evaluate inline on the coordinator:
+/// the channel round-trip costs more than the work.
+const INLINE_GROUPS: usize = 4;
+
+impl<M: Send + 'static> ShardedSim<M> {
+    /// Creates a sharded engine whose randomness derives from `seed`,
+    /// evaluating batches on up to `threads` threads (clamped to at least
+    /// 1; the coordinator counts as one). The digests a run produces are
+    /// the same for every `threads` value — parallelism changes wall-clock
+    /// time, never results.
+    pub fn new(seed: u64, threads: usize) -> Self {
+        let threads = threads.max(1);
+        let workers = if threads > 1 {
+            Some(Workers::spawn(threads - 1))
+        } else {
+            None
+        };
+        ShardedSim {
+            core: Core::new(seed),
+            actors: Vec::new(),
+            started: Vec::new(),
+            rngs: Vec::new(),
+            timer_next: Vec::new(),
+            seed,
+            threads,
+            workers,
+            group_slot: vec![(0, 0)],
+            group_epoch: 0,
+        }
+    }
+
+    /// Disables per-pair FIFO delivery, allowing messages to reorder when
+    /// delays differ.
+    pub fn without_fifo_links(mut self) -> Self {
+        self.core.fifo = false;
+        self
+    }
+
+    /// Enables bounded in-memory event tracing (for debugging and tests).
+    /// A capacity of `usize::MAX` keeps the complete history.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.core.trace = Trace::bounded(capacity);
+    }
+
+    /// Registers an actor; returns its id. `on_start` runs at the current
+    /// simulation time the next time the engine advances.
+    pub fn add_actor<A>(&mut self, actor: A) -> ActorId
+    where
+        A: Actor<Msg = M> + Send + 'static,
+    {
+        let id = ActorId(self.actors.len());
+        self.actors.push(Some(Box::new(actor)));
+        self.core.down.push(false);
+        self.started.push(false);
+        self.rngs.push(
+            SimRng::seed(self.seed)
+                .fork("shard-actor")
+                .fork_u64(id.0 as u64),
+        );
+        self.timer_next.push(0);
+        // Keep one extra slot for the unknown-destination group.
+        self.group_slot.push((0, 0));
+        id
+    }
+
+    /// Number of registered actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// The configured parallelism (coordinator included).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Counters accumulated so far.
+    pub fn counters(&self) -> &SimCounters {
+        &self.core.counters
+    }
+
+    /// The bounded trace, if enabled.
+    pub fn trace(&self) -> &Trace {
+        &self.core.trace
+    }
+
+    /// Injects a message from outside the simulation, delivered to `to` at
+    /// `now + delay`. Injections model workload arrivals, not link
+    /// traffic, so link faults do not apply.
+    pub fn inject(&mut self, to: ActorId, msg: M, delay: SimDuration) {
+        self.core.enqueue(ActorId::EXTERNAL, to, msg, delay);
+    }
+
+    /// Installs (or replaces) the link-fault plan consulted on every
+    /// actor-to-actor send.
+    pub fn set_link_faults(&mut self, plan: LinkFaultPlan) {
+        self.core.link_faults = Some(plan);
+    }
+
+    /// Schedules `actor` to crash at `at` (no-op if already down then).
+    pub fn schedule_crash(&mut self, actor: ActorId, at: SimTime) {
+        self.core.queue.push(at, Ev::Crash { actor });
+    }
+
+    /// Schedules `actor` to recover at `at` (no-op if already up then).
+    pub fn schedule_recover(&mut self, actor: ActorId, at: SimTime) {
+        self.core.queue.push(at, Ev::Recover { actor });
+    }
+
+    /// True if `actor` is currently crashed.
+    pub fn is_down(&self, actor: ActorId) -> bool {
+        self.core.down.get(actor.0).copied().unwrap_or(false)
+    }
+
+    /// Immutable access to an actor's state (for assertions and metrics).
+    pub fn actor<A>(&self, id: ActorId) -> Option<&A>
+    where
+        A: Actor<Msg = M> + Send + 'static,
+    {
+        self.actors
+            .get(id.0)
+            .and_then(|slot| slot.as_deref())
+            .and_then(|a| (a as &dyn std::any::Any).downcast_ref::<A>())
+    }
+
+    /// Mutable access to an actor's state between runs.
+    pub fn actor_mut<A>(&mut self, id: ActorId) -> Option<&mut A>
+    where
+        A: Actor<Msg = M> + Send + 'static,
+    {
+        self.actors
+            .get_mut(id.0)
+            .and_then(|slot| slot.as_deref_mut())
+            .and_then(|a| (a as &mut dyn std::any::Any).downcast_mut::<A>())
+    }
+
+    fn start_pending(&mut self) {
+        for idx in 0..self.actors.len() {
+            if !self.started[idx] {
+                self.started[idx] = true;
+                if let Some(mut boxed) = self.actors[idx].take() {
+                    let mut ctx = Ctx::live(&mut self.core, ActorId(idx));
+                    boxed.on_start(&mut ctx);
+                    self.actors[idx] = Some(boxed);
+                }
+            }
+        }
+    }
+}
+
+impl<M: Clone + Send + 'static> ShardedSim<M> {
+    /// Processes one frozen batch — every event at the earliest pending
+    /// instant. Returns the number of events processed (0 when idle).
+    pub fn step_batch(&mut self) -> u64 {
+        self.start_pending();
+        let Some(t) = self.core.queue.peek_time() else {
+            return 0;
+        };
+        debug_assert!(t >= self.core.now, "time went backwards");
+        self.core.now = t;
+
+        // Freeze: pop the whole instant in sequence order.
+        let mut batch: Vec<Ev<M>> = Vec::new();
+        while self.core.queue.peek_time() == Some(t) {
+            match self.core.queue.pop() {
+                Some((_, ev)) => batch.push(ev),
+                None => break,
+            }
+        }
+        let n = batch.len() as u64;
+
+        // Partition into per-actor groups, preserving batch order within
+        // each group. The actor box, rng stream, and timer counter travel
+        // with the task so workers own everything they touch.
+        self.group_epoch += 1;
+        let unknown_slot = self.actors.len();
+        let mut tasks: Vec<Task<M>> = Vec::new();
+        for (bidx, ev) in batch.into_iter().enumerate() {
+            let target = match &ev {
+                Ev::Deliver { to, .. } => to.0,
+                Ev::Timer { actor, .. } | Ev::Crash { actor } | Ev::Recover { actor } => actor.0,
+            };
+            let key = if target < self.actors.len() {
+                target
+            } else {
+                unknown_slot
+            };
+            let slot = &mut self.group_slot[key];
+            if slot.0 != self.group_epoch {
+                *slot = (self.group_epoch, tasks.len() as u32);
+                tasks.push(if key < unknown_slot {
+                    Task {
+                        actor_idx: key,
+                        boxed: self.actors[key].take(),
+                        rng: std::mem::replace(&mut self.rngs[key], SimRng::seed(0)),
+                        timer_next: self.timer_next[key],
+                        events: Vec::new(),
+                    }
+                } else {
+                    Task {
+                        actor_idx: usize::MAX,
+                        boxed: None,
+                        rng: SimRng::seed(0),
+                        timer_next: 0,
+                        events: Vec::new(),
+                    }
+                });
+            }
+            let task_idx = self.group_slot[key].1 as usize;
+            tasks[task_idx].events.push((bidx, ev));
+        }
+
+        let shared = BatchShared {
+            now: t,
+            down: self.core.down.clone(),
+            cancelled: self.core.cancelled.clone(),
+        };
+
+        // Evaluate: inline when parallelism cannot pay for itself,
+        // otherwise contiguous chunks across the worker pool. The results
+        // are identical either way — outcomes are keyed by batch index and
+        // committed in that order, so thread count never shows in output.
+        let results: Vec<TaskResult<M>> = match &self.workers {
+            Some(workers) if tasks.len() >= INLINE_GROUPS => {
+                let shared = Arc::new(shared);
+                let nchunks = (workers.to.len() + 1).min(tasks.len());
+                let chunk_size = tasks.len().div_ceil(nchunks);
+                let mut results: Vec<TaskResult<M>> = Vec::with_capacity(tasks.len());
+                let mut sent = 0usize;
+                let mut mine: Vec<Task<M>> = Vec::new();
+                for (i, chunk) in chunked(tasks, chunk_size).into_iter().enumerate() {
+                    if i == 0 {
+                        mine = chunk;
+                    } else if workers.to[(i - 1) % workers.to.len()]
+                        .send((Arc::clone(&shared), chunk))
+                        .is_ok()
+                    {
+                        sent += 1;
+                    }
+                }
+                // Coordinator chews its own chunk while workers run theirs.
+                results.extend(mine.into_iter().map(|t| eval_task(t, &shared)));
+                for _ in 0..sent {
+                    match workers.from.recv() {
+                        Ok(bundle) => results.extend(bundle),
+                        Err(_) => break,
+                    }
+                }
+                results
+            }
+            _ => tasks.into_iter().map(|t| eval_task(t, &shared)).collect(),
+        };
+
+        // Restore actor state and index outcomes by batch position.
+        let mut by_idx: Vec<Option<Outcome<M>>> = (0..n as usize).map(|_| None).collect();
+        for r in results {
+            if r.actor_idx < self.actors.len() {
+                self.actors[r.actor_idx] = r.boxed;
+                self.rngs[r.actor_idx] = r.rng;
+                self.timer_next[r.actor_idx] = r.timer_next;
+            }
+            for (bidx, out) in r.outcomes {
+                if let Some(slot) = by_idx.get_mut(bidx) {
+                    *slot = Some(out);
+                }
+            }
+        }
+
+        // Ordered commit: replay the sequential interleaving exactly.
+        for out in by_idx.into_iter().flatten() {
+            self.commit(out);
+        }
+        n
+    }
+
+    fn commit(&mut self, out: Outcome<M>) {
+        let t = self.core.now;
+        match out {
+            Outcome::Delivered { from, to, effects } => {
+                self.core.counters.delivered.inc();
+                self.core.trace.record(t, TraceKind::Deliver, from, to);
+                self.apply_effects(to, effects);
+            }
+            Outcome::DroppedDown { from, to } => {
+                self.core.counters.dropped_down.inc();
+                self.core.trace.record(t, TraceKind::Drop, from, to);
+            }
+            Outcome::DroppedUnknown { from, to } => {
+                self.core.counters.dropped_unknown.inc();
+                self.core.trace.record(t, TraceKind::Drop, from, to);
+            }
+            Outcome::TimerHandled {
+                id,
+                actor,
+                fired,
+                effects,
+            } => {
+                self.core.cancelled.remove(&id);
+                if fired {
+                    self.core.counters.timers_fired.inc();
+                    self.apply_effects(actor, effects);
+                } else {
+                    self.core.counters.timers_suppressed.inc();
+                }
+            }
+            Outcome::Crashed { actor } => {
+                if let Some(flag) = self.core.down.get_mut(actor.0) {
+                    *flag = true;
+                }
+                self.core.counters.crashes.inc();
+                self.core.trace.record(t, TraceKind::Crash, actor, actor);
+            }
+            Outcome::Recovered { actor, effects } => {
+                if let Some(flag) = self.core.down.get_mut(actor.0) {
+                    *flag = false;
+                }
+                self.core.counters.recoveries.inc();
+                self.core.trace.record(t, TraceKind::Recover, actor, actor);
+                self.apply_effects(actor, effects);
+            }
+            Outcome::Skipped => {}
+        }
+    }
+
+    /// Applies one handler's buffered effects through the sequential
+    /// engine's own primitives, in issue order.
+    fn apply_effects(&mut self, me: ActorId, effects: Vec<Effect<M>>) {
+        for e in effects {
+            match e {
+                Effect::Send { to, msg, delay } => self.core.send(me, to, msg, delay),
+                Effect::SendSelf { msg, delay } => self.core.enqueue(me, me, msg, delay),
+                Effect::SetTimer { id, delay, tag } => {
+                    let at = self.core.now + delay;
+                    self.core.queue.push(at, Ev::Timer { actor: me, id, tag });
+                }
+                Effect::CancelTimer { id } => {
+                    self.core.cancelled.insert(id);
+                }
+            }
+        }
+    }
+
+    /// Runs until the queue is empty or the next batch is later than
+    /// `deadline`; the clock then rests at `min(deadline, last batch
+    /// time)` or `deadline`, whichever is later.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.start_pending();
+        while let Some(next) = self.core.queue.peek_time() {
+            if next > deadline {
+                break;
+            }
+            self.step_batch();
+        }
+        if self.core.now < deadline {
+            self.core.now = deadline;
+        }
+    }
+
+    /// Runs until quiescence or until at least `max_events` events have
+    /// been processed (whole batches — the bound may overshoot by at most
+    /// one batch). Returns `true` if the simulation quiesced.
+    pub fn run_to_quiescence_bounded(&mut self, max_events: u64) -> bool {
+        let mut processed = 0u64;
+        while processed < max_events {
+            let n = self.step_batch();
+            if n == 0 {
+                return true;
+            }
+            processed += n;
+        }
+        self.core.queue.is_empty()
+    }
+}
+
+/// Splits `items` into contiguous chunks of at most `size` elements.
+fn chunked<T>(items: Vec<T>, size: usize) -> Vec<Vec<T>> {
+    let size = size.max(1);
+    let mut out = Vec::with_capacity(items.len().div_ceil(size));
+    let mut cur = Vec::with_capacity(size);
+    for it in items {
+        cur.push(it);
+        if cur.len() == size {
+            out.push(std::mem::replace(&mut cur, Vec::with_capacity(size)));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+impl<M: Send + 'static> std::fmt::Debug for ShardedSim<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSim")
+            .field("now", &self.core.now)
+            .field("actors", &self.actors.len())
+            .field("threads", &self.threads)
+            .field("pending_events", &self.core.queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::ActorSim;
+
+    fn unit(u: f64) -> SimDuration {
+        SimDuration::from_units(u)
+    }
+
+    /// Forwards each message to the next actor with a decremented TTL
+    /// (packed in the low byte); fans out on start.
+    struct Ring {
+        n: usize,
+        got: u64,
+    }
+    impl Actor for Ring {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            let next = ActorId((ctx.me().0 + 1) % self.n);
+            ctx.send(next, 16, unit(0.5));
+        }
+        fn on_message(&mut self, _f: ActorId, m: u64, ctx: &mut Ctx<'_, u64>) {
+            self.got += 1;
+            if m > 0 {
+                let next = ActorId((ctx.me().0 + 1) % self.n);
+                ctx.send(next, m - 1, unit(0.5));
+            }
+        }
+    }
+
+    fn fingerprint<MkSeq, MkShard>(mk_seq: MkSeq, mk_shard: MkShard) -> (u64, u64)
+    where
+        MkSeq: FnOnce() -> ActorSim<u64>,
+        MkShard: FnOnce() -> ShardedSim<u64>,
+    {
+        let mut seq = mk_seq();
+        assert!(seq.run_to_quiescence_bounded(100_000));
+        let mut sh = mk_shard();
+        assert!(sh.run_to_quiescence_bounded(100_000));
+        assert_eq!(
+            seq.counters().delivered.get(),
+            sh.counters().delivered.get()
+        );
+        assert_eq!(seq.now(), sh.now());
+        (seq.trace().digest(), sh.trace().digest())
+    }
+
+    #[test]
+    fn ring_matches_sequential_engine_exactly() {
+        for threads in [1, 2, 8] {
+            let (a, b) = fingerprint(
+                || {
+                    let mut s = ActorSim::new(5);
+                    s.enable_trace(usize::MAX);
+                    for _ in 0..6 {
+                        s.add_actor(Ring { n: 6, got: 0 });
+                    }
+                    s
+                },
+                || {
+                    let mut s = ShardedSim::new(5, threads);
+                    s.enable_trace(usize::MAX);
+                    for _ in 0..6 {
+                        s.add_actor(Ring { n: 6, got: 0 });
+                    }
+                    s
+                },
+            );
+            assert_eq!(a, b, "threads={threads} diverged from sequential");
+        }
+    }
+
+    /// Arms two timers at the same instant; the first to fire cancels the
+    /// second — the same-instant cancellation determinism probe, run on
+    /// one actor so it is inside the sharded contract.
+    struct KillerPair {
+        fired: Vec<u64>,
+        doomed: Option<TimerId>,
+    }
+    impl Actor for KillerPair {
+        type Msg = u64;
+        fn on_message(&mut self, _f: ActorId, _m: u64, _c: &mut Ctx<'_, u64>) {}
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            let _killer = ctx.set_timer(unit(1.0), 1);
+            self.doomed = Some(ctx.set_timer(unit(1.0), 2));
+        }
+        fn on_timer(&mut self, _id: TimerId, tag: u64, ctx: &mut Ctx<'_, u64>) {
+            self.fired.push(tag);
+            if tag == 1 {
+                if let Some(d) = self.doomed.take() {
+                    ctx.cancel_timer(d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_instant_cancellation_suppresses_on_both_engines() {
+        let mut seq = ActorSim::new(3);
+        let a = seq.add_actor(KillerPair {
+            fired: Vec::new(),
+            doomed: None,
+        });
+        assert!(seq.run_to_quiescence_bounded(1000));
+        let mut sh = ShardedSim::new(3, 4);
+        let b = sh.add_actor(KillerPair {
+            fired: Vec::new(),
+            doomed: None,
+        });
+        assert!(sh.run_to_quiescence_bounded(1000));
+        assert_eq!(seq.actor::<KillerPair>(a).unwrap().fired, vec![1]);
+        assert_eq!(sh.actor::<KillerPair>(b).unwrap().fired, vec![1]);
+        assert_eq!(seq.counters().timers_suppressed.get(), 1);
+        assert_eq!(sh.counters().timers_suppressed.get(), 1);
+    }
+
+    #[test]
+    fn crash_gates_same_instant_delivery() {
+        // Crash scheduled at t=1 (earlier seq) must drop a delivery to the
+        // same actor at t=1 (later seq) on both engines.
+        let mut seq = ActorSim::new(1);
+        let a = seq.add_actor(Ring { n: 1, got: 0 });
+        seq.schedule_crash(a, SimTime::from_units(1.0));
+        seq.inject(a, 0, unit(1.0));
+        assert!(seq.run_to_quiescence_bounded(1000));
+
+        let mut sh = ShardedSim::new(1, 4);
+        let b = sh.add_actor(Ring { n: 1, got: 0 });
+        sh.schedule_crash(b, SimTime::from_units(1.0));
+        sh.inject(b, 0, unit(1.0));
+        assert!(sh.run_to_quiescence_bounded(1000));
+
+        // The injected message and the ring's own forwarded self-send both
+        // land at t=1.0 after the crash (crash has the earlier seq).
+        assert_eq!(seq.counters().dropped_down.get(), 2);
+        assert_eq!(sh.counters().dropped_down.get(), 2);
+        // The on-start ring send still delivered before the crash.
+        assert_eq!(
+            seq.counters().delivered.get(),
+            sh.counters().delivered.get()
+        );
+    }
+
+    #[test]
+    fn unknown_destinations_drop_identically() {
+        let mut sh: ShardedSim<u64> = ShardedSim::new(1, 2);
+        sh.inject(ActorId(999), 1, unit(1.0));
+        assert!(sh.run_to_quiescence_bounded(100));
+        assert_eq!(sh.counters().dropped_unknown.get(), 1);
+    }
+
+    #[test]
+    fn run_until_parks_clock_at_deadline() {
+        let mut sh: ShardedSim<u64> = ShardedSim::new(1, 2);
+        let a = sh.add_actor(Ring { n: 1, got: 0 });
+        sh.inject(a, 0, unit(10.0));
+        sh.run_until(SimTime::from_units(4.0));
+        assert_eq!(sh.now(), SimTime::from_units(4.0));
+        sh.run_until(SimTime::from_units(20.0));
+        assert_eq!(sh.now(), SimTime::from_units(20.0));
+    }
+
+    #[test]
+    fn wide_instants_exercise_the_worker_pool() {
+        // 64 actors all receiving at the same instants: forces the
+        // chunked worker-pool path (groups >= INLINE_GROUPS).
+        fn build(threads: usize) -> ShardedSim<u64> {
+            let mut s = ShardedSim::new(11, threads);
+            s.enable_trace(usize::MAX);
+            for _ in 0..64 {
+                s.add_actor(Ring { n: 64, got: 0 });
+            }
+            s
+        }
+        let mut one = build(1);
+        assert!(one.run_to_quiescence_bounded(1_000_000));
+        let d1 = one.trace().digest();
+        for threads in [2, 8] {
+            let mut many = build(threads);
+            assert!(many.run_to_quiescence_bounded(1_000_000));
+            assert_eq!(d1, many.trace().digest(), "threads={threads}");
+            assert_eq!(
+                one.counters().delivered.get(),
+                many.counters().delivered.get()
+            );
+        }
+    }
+}

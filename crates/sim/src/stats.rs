@@ -704,7 +704,7 @@ mod tests {
         let mut b = Histogram::uniform(16, 1.0);
         for (i, &x) in xs.iter().enumerate() {
             whole.observe(x);
-            if i % 2 == 0 {
+            if i.is_multiple_of(2) {
                 a.observe(x);
             } else {
                 b.observe(x);

@@ -157,6 +157,35 @@ impl Trace {
     pub fn recorded_total(&self) -> u64 {
         self.recorded
     }
+
+    /// FNV-1a digest over the rendered event stream: each retained event's
+    /// `Display` form followed by a newline, hashed in order.
+    ///
+    /// Two traces digest equal exactly when every retained event matches in
+    /// order, timing, kind, and endpoints — the regression currency for
+    /// kernel refactors (`tests/kernel_equivalence.rs` pins runs against
+    /// digests captured on earlier engines). The rendering is streamed
+    /// through the hasher, so digesting allocates nothing per event.
+    pub fn digest(&self) -> u64 {
+        use std::fmt::Write as _;
+        struct Fnv(u64);
+        impl std::fmt::Write for Fnv {
+            fn write_str(&mut self, s: &str) -> std::fmt::Result {
+                for b in s.bytes() {
+                    self.0 ^= u64::from(b);
+                    self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+                }
+                Ok(())
+            }
+        }
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        for ev in self.events() {
+            // Writing into `Fnv` cannot fail; the result only propagates the
+            // formatter contract.
+            let _ = writeln!(h, "{ev}");
+        }
+        h.0
+    }
 }
 
 #[cfg(test)]
@@ -206,6 +235,54 @@ mod tests {
         assert_eq!(t.dropped_events(), 0);
         assert!(!t.is_lossy());
         assert!(t.is_enabled());
+    }
+
+    #[test]
+    fn digest_matches_rendered_stream_reference() {
+        let mut t = Trace::unbounded();
+        t.record(
+            SimTime::from_units(1.0),
+            TraceKind::Send,
+            ActorId(0),
+            ActorId(1),
+        );
+        t.record(
+            SimTime::from_units(2.0),
+            TraceKind::Deliver,
+            ActorId(0),
+            ActorId(1),
+        );
+        t.record(
+            SimTime::from_units(2.0),
+            TraceKind::Crash,
+            ActorId(1),
+            ActorId(1),
+        );
+        // Reference implementation: format every event, hash the bytes.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for ev in t.events() {
+            for b in format!("{ev}\n").bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        assert_eq!(t.digest(), h);
+    }
+
+    #[test]
+    fn digest_distinguishes_order_and_content() {
+        let mut a = Trace::unbounded();
+        a.record(SimTime::ZERO, TraceKind::Send, ActorId(0), ActorId(1));
+        a.record(SimTime::ZERO, TraceKind::Deliver, ActorId(0), ActorId(1));
+        let mut b = Trace::unbounded();
+        b.record(SimTime::ZERO, TraceKind::Deliver, ActorId(0), ActorId(1));
+        b.record(SimTime::ZERO, TraceKind::Send, ActorId(0), ActorId(1));
+        assert_ne!(a.digest(), b.digest(), "order must matter");
+        let mut c = Trace::unbounded();
+        c.record(SimTime::ZERO, TraceKind::Send, ActorId(0), ActorId(2));
+        c.record(SimTime::ZERO, TraceKind::Deliver, ActorId(0), ActorId(2));
+        assert_ne!(a.digest(), c.digest(), "endpoints must matter");
+        assert_eq!(Trace::disabled().digest(), Trace::default().digest());
     }
 
     #[test]
