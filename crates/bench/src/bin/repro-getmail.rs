@@ -71,6 +71,8 @@ fn main() {
             spans: &telemetry.spans,
             recoveries: &[],
             scopes: &telemetry.scopes,
+            store: &[],
+            profile: &[],
         })
         .expect("full-stack telemetry must export");
         std::fs::write(&path, text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));

@@ -5,12 +5,17 @@
 //! ```sh
 //! repro-sim [--smoke] [--json] [--seed <n>] [--out <dir>]
 //!           [--baseline <BENCH_sim.json>] [--tolerance <frac>]
+//!           [--prof-gate <frac>]
 //! ```
 //!
 //! `--smoke` runs only the small tiers (the CI gate); `--out` writes
 //! `BENCH_sim.json` into a directory; `--baseline` + `--tolerance` fail
 //! the run when a tier's wall time regressed beyond the tolerance
-//! (default 0.25 = +25%).
+//! (default 0.25 = +25%). `--prof-gate` additionally measures the kernel
+//! profiler's overhead on the smoke actor tier (off vs on, min-of-N) and
+//! fails when the profiled run is more than the given fraction slower
+//! (CI passes 0.05 = +5%); sub-2ms deltas are treated as scheduler
+//! jitter, not overhead.
 
 use std::fs;
 use std::process::ExitCode;
@@ -18,8 +23,8 @@ use std::process::ExitCode;
 use lems_bench::emit::{gate_sim_times, json_flag, Report, SimBench};
 use lems_bench::render::{f1, Table};
 use lems_bench::sim_exp::{
-    full_actor_tiers, full_hold_tiers, full_shard_tiers, hold_child_main, run_suite,
-    smoke_actor_tiers, smoke_hold_tiers, smoke_shard_tiers,
+    full_actor_tiers, full_hold_tiers, full_shard_tiers, hold_child_main, measure_prof_overhead,
+    prof_gate_tier, run_suite, smoke_actor_tiers, smoke_hold_tiers, smoke_shard_tiers,
 };
 
 struct Args {
@@ -29,6 +34,7 @@ struct Args {
     out: Option<String>,
     baseline: Option<String>,
     tolerance: f64,
+    prof_gate: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +45,7 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         baseline: None,
         tolerance: 0.25,
+        prof_gate: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -61,6 +68,13 @@ fn parse_args() -> Result<Args, String> {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or("--tolerance needs a fraction like 0.25")?;
+            }
+            "--prof-gate" => {
+                args.prof_gate = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--prof-gate needs a fraction like 0.05")?,
+                );
             }
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -183,6 +197,23 @@ fn main() -> ExitCode {
         doc.peak_rss_kib
     ));
 
+    let prof = args.prof_gate.map(|gate| {
+        let spec = prof_gate_tier();
+        let o = measure_prof_overhead(&spec, args.seed, 5);
+        report.note(format!(
+            "profiler overhead on tier {}: {:.1} ms off vs {:.1} ms on \
+             (best paired ratio {:+.1}% across {} dispatches; gate {:.0}%, \
+             wall-clock side channel only — output bytes are identical)",
+            o.label,
+            o.off_ms,
+            o.on_ms,
+            o.overhead_frac * 100.0,
+            o.dispatches,
+            gate * 100.0
+        ));
+        (o, gate)
+    });
+
     report.emit(args.json);
 
     if let Some(dir) = &args.out {
@@ -214,6 +245,31 @@ fn main() -> ExitCode {
             }
             return ExitCode::FAILURE;
         }
+    }
+
+    if let Some((o, gate)) = prof {
+        // Sub-2ms implied deltas are scheduler jitter at this tier's
+        // scale, not profiling cost — the same floor gate_sim_times
+        // applies.
+        let delta_ms = o.overhead_frac * o.off_ms;
+        if o.overhead_frac > gate && delta_ms > 2.0 {
+            eprintln!(
+                "prof gate: profiling overhead {:.1}% ({:.1} -> {:.1} ms) exceeds {:.0}% \
+                 on tier {}",
+                o.overhead_frac * 100.0,
+                o.off_ms,
+                o.on_ms,
+                gate * 100.0,
+                o.label
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "prof gate: ok ({:+.1}% on tier {}, gate {:.0}%)",
+            o.overhead_frac * 100.0,
+            o.label,
+            gate * 100.0
+        );
     }
     ExitCode::SUCCESS
 }

@@ -16,7 +16,7 @@ use std::process::ExitCode;
 
 use lems_bench::emit::{gate_store_times, json_flag, Report, StoreBench};
 use lems_bench::render::{f1, Table};
-use lems_bench::store_exp::{full_tiers, run_suite, smoke_tiers};
+use lems_bench::store_exp::{full_tiers, run_suite, smoke_tiers, wal_health};
 
 struct Args {
     smoke: bool,
@@ -134,6 +134,26 @@ fn main() -> ExitCode {
          after crash + recovery on both backends (tests/durability.rs holds \
          the full-deployment version of this claim)",
     );
+
+    // WAL health counters for the smoke tier — the same numbers a durable
+    // deployment exports as a schema-v3 `Metrics` line, so the benchmark
+    // report and `lems-trace prom` read off one ledger.
+    let health_spec = smoke_tiers()[0];
+    let health = wal_health(&health_spec, args.seed);
+    report.note(format!(
+        "WAL health ({}): {} fsyncs / {} appends ({} KiB), {} rotation(s), \
+         {} compaction chunk(s), recovery scanned {} record(s) / {} KiB, \
+         {} io error(s)",
+        health_spec.label,
+        health.fsyncs,
+        health.appended_records,
+        health.appended_bytes / 1024,
+        health.rotations,
+        health.compaction_chunks,
+        health.replayed_records,
+        health.replayed_bytes / 1024,
+        health.io_errors
+    ));
 
     report.emit(args.json);
 

@@ -118,6 +118,19 @@ pub fn smoke_actor_tiers() -> Vec<ActorTierSpec> {
     }]
 }
 
+/// The tier the `--prof-gate` overhead measurement runs on: the smoke
+/// actor mesh scaled to a quarter-second wall time, so the min-of-N
+/// statistic is measuring profiler cost rather than scheduler noise (at
+/// the 65ms smoke scale, runner jitter alone spans several percent).
+pub fn prof_gate_tier() -> ActorTierSpec {
+    ActorTierSpec {
+        label: "actor-prof-gate-2m",
+        actors: 64,
+        in_flight: 4_096,
+        events: 2_000_000,
+    }
+}
+
 /// Full actor ladder.
 pub fn full_actor_tiers() -> Vec<ActorTierSpec> {
     let mut tiers = smoke_actor_tiers();
@@ -422,7 +435,7 @@ impl Actor for Forwarder {
     }
 }
 
-fn actor_run(mut sim: ActorSim<u64>, spec: &ActorTierSpec) -> (f64, u64) {
+fn actor_run(sim: &mut ActorSim<u64>, spec: &ActorTierSpec) -> (f64, u64) {
     for _ in 0..spec.actors {
         sim.add_actor(Forwarder { n: spec.actors });
     }
@@ -449,12 +462,12 @@ pub fn run_actor_tier(spec: &ActorTierSpec, seed: u64) -> Vec<SimTier> {
     for engine in ["calendar", "baseline"] {
         let mut best: Option<(f64, u64)> = None;
         for _ in 0..reps_for(spec.events) {
-            let sim = if engine == "calendar" {
+            let mut sim = if engine == "calendar" {
                 ActorSim::new(seed)
             } else {
                 ActorSim::new_with_baseline_queue(seed)
             };
-            let (wall, delivered) = actor_run(sim, spec);
+            let (wall, delivered) = actor_run(&mut sim, spec);
             best = Some(match best {
                 None => (wall, delivered),
                 Some((w, d)) => {
@@ -483,6 +496,81 @@ pub fn run_actor_tier(spec: &ActorTierSpec, seed: u64) -> Vec<SimTier> {
         spec.label
     );
     out
+}
+
+/// One paired profiling-overhead measurement: the same actor tier timed
+/// with the kernel profiler off and on.
+#[derive(Clone, Copy, Debug)]
+pub struct ProfOverhead {
+    /// Tier the measurement ran on.
+    pub label: &'static str,
+    /// Min-of-N wall time with profiling off, in milliseconds.
+    pub off_ms: f64,
+    /// Min-of-N wall time with profiling on, in milliseconds.
+    pub on_ms: f64,
+    /// Best paired ratio minus one: each repetition times off and on
+    /// back to back and contributes `on/off`; the minimum ratio across
+    /// repetitions is the estimate least polluted by background load
+    /// (a spike inflates one side of *some* pair, not every pair).
+    /// Negative when jitter favours the profiled run.
+    pub overhead_frac: f64,
+    /// Events the profiler attributed in the profiled runs.
+    pub dispatches: u64,
+}
+
+/// Measures the kernel profiler's overhead on one actor tier: min-of-N
+/// wall time with profiling off vs on, over workloads asserted identical
+/// (same delivered count and final clock — the profiler's
+/// zero-perturbation contract, pinned independently by
+/// `crates/sim/tests/prof_digest.rs`).
+///
+/// # Panics
+///
+/// Panics when the profiled and unprofiled runs diverge in delivered
+/// count or final sim time — that would mean profiling perturbed the run,
+/// which is a kernel bug, not a measurement artifact.
+pub fn measure_prof_overhead(spec: &ActorTierSpec, seed: u64, reps: u32) -> ProfOverhead {
+    let mut best = [f64::INFINITY; 2];
+    let mut best_ratio = f64::INFINITY;
+    let mut outcome: [Option<(u64, u64)>; 2] = [None, None];
+    let mut dispatches = 0u64;
+    // Each repetition times off and on back to back, so background load
+    // has to persist across a whole pair to bias its ratio; the gate then
+    // reads the *minimum* paired ratio, which a transient spike cannot
+    // inflate.
+    for _ in 0..reps.max(1) {
+        let mut pair = [0.0f64; 2];
+        for (i, prof) in [false, true].into_iter().enumerate() {
+            let mut sim = ActorSim::new(seed);
+            if prof {
+                sim.enable_prof();
+            }
+            let (wall, delivered) = actor_run(&mut sim, spec);
+            pair[i] = wall;
+            best[i] = best[i].min(wall);
+            let fp = (delivered, sim.now().as_ticks());
+            match outcome[i] {
+                None => outcome[i] = Some(fp),
+                Some(prev) => assert_eq!(prev, fp, "reps are deterministic"),
+            }
+            if prof {
+                dispatches = sim.prof().dispatches();
+            }
+        }
+        best_ratio = best_ratio.min(pair[1] / pair[0].max(f64::MIN_POSITIVE));
+    }
+    assert_eq!(
+        outcome[0], outcome[1],
+        "{}: profiling must not perturb the run",
+        spec.label
+    );
+    ProfOverhead {
+        label: spec.label,
+        off_ms: best[0],
+        on_ms: best[1],
+        overhead_frac: best_ratio - 1.0,
+        dispatches,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -667,6 +755,20 @@ mod tests {
         assert_eq!(tiers.len(), 2);
         assert_eq!(tiers[0].events, tiers[1].events);
         assert!(tiers[0].events >= 10_000);
+    }
+
+    #[test]
+    fn prof_overhead_measurement_is_sane() {
+        let spec = ActorTierSpec {
+            label: "test-prof",
+            actors: 8,
+            in_flight: 64,
+            events: 10_000,
+        };
+        let o = measure_prof_overhead(&spec, 7, 2);
+        assert!(o.off_ms > 0.0 && o.on_ms > 0.0);
+        assert!(o.dispatches >= 10_000, "profiler saw the whole run");
+        assert!(o.overhead_frac.is_finite());
     }
 
     #[test]

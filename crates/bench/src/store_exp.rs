@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use lems_core::message::{Message, MessageId};
 use lems_core::name::MailName;
-use lems_core::store::MailStore;
+use lems_core::store::{MailStore, StoreMetrics};
 use lems_sim::time::SimTime;
 use lems_store::{make_store, DurabilityConfig, WalConfig};
 
@@ -96,7 +96,7 @@ fn run_backend(
 ) -> StoreTier {
     let mut best: Option<StoreTier> = None;
     for _ in 0..reps_for(spec.messages) {
-        let tier = run_backend_once(spec, seed, backend, make());
+        let (tier, _) = run_backend_once(spec, seed, backend, make());
         best = Some(match best {
             None => tier,
             Some(prev) => StoreTier {
@@ -116,7 +116,7 @@ fn run_backend_once(
     seed: u64,
     backend: &str,
     mut store: Box<dyn MailStore>,
-) -> StoreTier {
+) -> (StoreTier, StoreMetrics) {
     let users: Vec<MailName> = (0..spec.users)
         .map(|u| {
             MailName::new("r0", &format!("h{}", u % 31), &format!("u{u}"))
@@ -166,7 +166,7 @@ fn run_backend_once(
         spec.label
     );
 
-    StoreTier {
+    let tier = StoreTier {
         label: spec.label.to_owned(),
         backend: backend.to_owned(),
         users: spec.users,
@@ -182,7 +182,18 @@ fn run_backend_once(
         recovered_messages: report.recovered_messages,
         drain_ms,
         wal_bytes,
-    }
+    };
+    (tier, store.store_metrics())
+}
+
+/// Runs the WAL workload of `spec` once — deposit, crash, recover,
+/// drain — and returns the backend's lifetime health counters (fsyncs,
+/// rotations, compaction chunks, replay scan work): the same counters a
+/// durable deployment exports as a schema-v3 `Metrics` line, here made
+/// visible in the benchmark report.
+pub fn wal_health(spec: &StoreTierSpec, seed: u64) -> StoreMetrics {
+    let store = make_store(&DurabilityConfig::Wal(wal_cfg(spec.messages)));
+    run_backend_once(spec, seed, "wal", store).1
 }
 
 /// Runs the given ladder and assembles the `BENCH_store.json` document.
@@ -219,6 +230,35 @@ mod tests {
         assert!(wal.replayed_records > 0);
         assert!(wal.wal_bytes > 0);
         assert_eq!(wal.recovered_messages, 1_000);
+    }
+
+    #[test]
+    fn wal_health_counters_reflect_the_workload() {
+        let spec = StoreTierSpec {
+            label: "test-1k",
+            users: 20,
+            messages: 1_000,
+        };
+        let m = wal_health(&spec, 7);
+        // Per-record sync: at least one fsync per deposit, plus the
+        // rotation/compaction syncs the segment sizing guarantees. The
+        // append count exceeds the deposit count because destructive
+        // drains are themselves logged.
+        assert!(
+            m.appended_records >= 1_000,
+            "{} appends",
+            m.appended_records
+        );
+        assert!(m.appended_bytes > 0);
+        assert!(
+            m.fsyncs >= 1_000,
+            "per-record durability: {} fsyncs",
+            m.fsyncs
+        );
+        assert!(m.rotations > 0, "segment rotation must run in-window");
+        assert!(m.replayed_records > 0, "recovery must scan the log");
+        assert!(m.replayed_bytes > 0);
+        assert_eq!(m.io_errors, 0);
     }
 
     #[test]

@@ -161,6 +161,13 @@ const SIM_DRIVEN_CRATES: &[&str] = &["sim", "syntax", "locindep", "mst"];
 /// The trusted RNG module: defines the seeded fork tree itself.
 const RNG_MODULE: &str = "crates/sim/src/rng.rs";
 
+/// The trusted profiler module: its wall-clock side channel (`Wall`) is
+/// the one deliberate `Instant` in the sim crate, and by construction it
+/// never flows into simulation state or exported bytes —
+/// `tests/prof_digest.rs` pins that trace digests are identical with
+/// profiling on and off.
+const PROF_MODULE: &str = "crates/sim/src/prof.rs";
+
 /// One finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Violation {
@@ -553,7 +560,7 @@ fn no_panic_rule(ctx: &Ctx) -> Vec<Violation> {
 /// `determinism-taint` — any mention of a wall-clock/ambient-randomness
 /// source in non-test sim-driven code, flow or no flow.
 fn wall_clock_rule(ctx: &Ctx) -> Vec<Violation> {
-    if !ctx.sim_driven {
+    if !ctx.sim_driven || ctx.rel.ends_with(PROF_MODULE) {
         return Vec::new();
     }
     let toks = &ctx.pf.tokens;
@@ -1024,7 +1031,11 @@ fn determinism_rule(ctxs: &[Ctx], prep: &FlowPrep) -> Vec<Violation> {
     let mut by_crate: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
     for (ui, u) in prep.units.iter().enumerate() {
         let c = &ctxs[u.file];
-        if c.sim_driven && !c.rel.ends_with(RNG_MODULE) && !u.is_test {
+        if c.sim_driven
+            && !c.rel.ends_with(RNG_MODULE)
+            && !c.rel.ends_with(PROF_MODULE)
+            && !u.is_test
+        {
             by_crate.entry(&c.krate).or_default().push(ui);
         }
     }
@@ -1306,7 +1317,7 @@ pub fn analyze_sources_timed(files: &[(&str, &str)]) -> (Vec<Violation>, Vec<Rul
     let n_actor = ctxs.iter().filter(|c| c.actor_file).count();
     let n_taint = ctxs
         .iter()
-        .filter(|c| c.sim_driven && !c.rel.ends_with(RNG_MODULE))
+        .filter(|c| c.sim_driven && !c.rel.ends_with(RNG_MODULE) && !c.rel.ends_with(PROF_MODULE))
         .count();
 
     let mut out: Vec<Violation> = Vec::new();
@@ -1816,6 +1827,18 @@ mod tests {
     fn rng_module_itself_is_exempt() {
         let src = "pub fn reseed() -> SimRng { SimRng::seed(0) }\n";
         assert!(scan_source("crates/sim/src/rng.rs", src).is_empty());
+    }
+
+    #[test]
+    fn prof_module_wall_side_channel_is_exempt() {
+        // The profiler's wall-clock side channel is the one sanctioned
+        // `Instant` in the sim crate; the same source anywhere else in a
+        // sim-driven crate still fires.
+        let src = "pub fn tick() { let _ = std::time::Instant::now(); }\n";
+        assert!(scan_source("crates/sim/src/prof.rs", src).is_empty());
+        let vs = scan_source("crates/sim/src/kernel.rs", src);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rule, RULE_NO_WALL_CLOCK);
     }
 
     // --- event-match-exhaustive ---

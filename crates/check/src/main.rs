@@ -339,6 +339,8 @@ fn write_trace(o: &scenarios::ScenarioOutcome, path: &std::path::Path) -> Result
         spans: &o.spans,
         recoveries: &o.recoveries,
         scopes: &o.scopes,
+        store: &o.store,
+        profile: &o.profile,
     })?;
     let lines = text.lines().count();
     std::fs::write(path, text).map_err(|e| format!("{}: {e}", path.display()))?;

@@ -11,10 +11,11 @@
 //! seed reproduces the identical event stream, which is what makes a
 //! reported violation actionable.
 
-use lems_core::store::StoreRecovery;
+use lems_core::store::{StoreMetrics, StoreRecovery};
 use lems_net::generators::fig1;
 use lems_sim::linkfault::LinkProfile;
 use lems_sim::metrics::MetricsRegistry;
+use lems_sim::prof::ProfSample;
 use lems_sim::span::{audit_spans, SpanAuditReport, SpanLog};
 use lems_sim::time::{SimDuration, SimTime};
 use lems_store::{DurabilityConfig, WalConfig};
@@ -59,6 +60,14 @@ pub struct ScenarioOutcome {
     pub recoveries: Vec<StoreRecovery>,
     /// Per-actor metric registries in deployment order (exportable).
     pub scopes: Vec<(String, MetricsRegistry)>,
+    /// Per-server store durability metrics in deployment order
+    /// (exportable; empty for volatile backends).
+    pub store: Vec<(String, StoreMetrics)>,
+    /// Kernel-profiler samples (exportable). Scenarios run with the
+    /// profiler on — enabling it changes no output byte (pinned by
+    /// `crates/sim/tests/prof_digest.rs`), so the audited digests are
+    /// unaffected.
+    pub profile: Vec<ProfSample>,
     /// Engine seed the scenario ran with.
     pub seed: u64,
     /// Simulated time at quiescence.
@@ -118,6 +127,9 @@ fn fig1_deployment_with_session(seed: u64, session: SessionConfig) -> Deployment
     // Lifecycle spans ride the same runs: recording draws no randomness
     // and schedules nothing, so the event stream is unchanged.
     d.enable_spans();
+    // Kernel profiling likewise changes no output byte; it feeds the
+    // Profile block of `--trace-out` dumps.
+    d.sim.enable_prof();
     d
 }
 
@@ -174,6 +186,8 @@ fn finish(
         spans,
         recoveries: d.recoveries.borrow().clone(),
         scopes: d.metrics_snapshot(),
+        store: d.store_metrics_snapshot(),
+        profile: d.sim.profile_samples(),
         seed,
         finished_at: d.sim.now(),
         trace_digest,
@@ -462,6 +476,7 @@ fn fig1_deployment_durable(seed: u64, durability: DurabilityConfig) -> Deploymen
     );
     d.sim.enable_trace(usize::MAX);
     d.enable_spans();
+    d.sim.enable_prof();
     d
 }
 
@@ -714,6 +729,41 @@ mod tests {
         assert!(!o.scopes.is_empty(), "metric scopes must be captured");
         assert_eq!(o.seed, 3);
         assert!(o.finished_at > t(0.0));
+        // The kernel profiler ran: dispatch cells for both actor kinds.
+        for cell in ["server/deliver", "host/deliver"] {
+            assert!(
+                o.profile
+                    .iter()
+                    .any(|s| s.scope == "dispatch" && s.name == cell && s.count > 0),
+                "missing dispatch cell {cell}"
+            );
+        }
+        assert!(
+            o.store.is_empty(),
+            "volatile deployment must export no store metrics"
+        );
+    }
+
+    /// Durable scenarios additionally export WAL health: appends, fsyncs,
+    /// and the recovery scan work of the crash they survived.
+    #[test]
+    fn durable_scenarios_carry_store_metrics() {
+        let o = durable_crash(3);
+        assert!(o.is_clean(), "{:?}", o.violation_lines());
+        assert!(!o.store.is_empty(), "WAL servers must export store metrics");
+        for (scope, m) in &o.store {
+            assert!(scope.starts_with("server:n"), "scope {scope}");
+            assert!(m.appended_records > 0 && m.fsyncs > 0, "{scope}: {m:?}");
+        }
+        let crashed: Vec<_> = o
+            .store
+            .iter()
+            .filter(|(_, m)| m.replayed_records > 0)
+            .collect();
+        assert!(
+            !crashed.is_empty(),
+            "the crashed server's recovery scan must be visible"
+        );
     }
 
     #[test]

@@ -237,6 +237,36 @@ pub struct StoreRecovery {
     pub segments: u64,
 }
 
+/// Cumulative I/O-health counters for one store backend.
+///
+/// The write-path numbers size the durability cost the paper's §3 sizing
+/// arguments must absorb (how many fsyncs per deposited message, how fast
+/// the log grows); the recovery numbers size the §3.1.2c custodian
+/// promise (how much scan work a crash costs). All counters are lifetime
+/// totals derived from operation counts — exporting them perturbs
+/// nothing. In-memory backends report all zeros.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreMetrics {
+    /// Log records appended (live writes, not replay).
+    pub appended_records: u64,
+    /// Payload bytes appended to the log.
+    pub appended_bytes: u64,
+    /// Explicit durability barriers issued (fsync or equivalent).
+    pub fsyncs: u64,
+    /// Segment rotations.
+    pub rotations: u64,
+    /// Compaction passes completed.
+    pub compactions: u64,
+    /// Snapshot chunks written across all compactions.
+    pub compaction_chunks: u64,
+    /// Records replayed by recovery and persist/restore scans.
+    pub replayed_records: u64,
+    /// Bytes scanned by recovery and persist/restore scans.
+    pub replayed_bytes: u64,
+    /// I/O errors swallowed (mirrors [`MailStore::io_errors`]).
+    pub io_errors: u64,
+}
+
 /// Mailbox persistence backend.
 ///
 /// A server actor routes every durable-state mutation through this trait;
@@ -309,6 +339,11 @@ pub trait MailStore: std::fmt::Debug {
     /// I/O errors swallowed so far (always 0 for simulated backends).
     fn io_errors(&self) -> u64 {
         0
+    }
+
+    /// Cumulative I/O-health counters (all zeros for in-memory backends).
+    fn store_metrics(&self) -> StoreMetrics {
+        StoreMetrics::default()
     }
 }
 

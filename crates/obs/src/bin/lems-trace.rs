@@ -5,19 +5,23 @@
 //! lems-trace servers  <dump.jsonl>                per-server counters/gauges
 //! lems-trace summary  <dump.jsonl>                totals + latency percentiles
 //! lems-trace audit    <dump.jsonl> [--open-ok]    span conservation check
+//! lems-trace top      <dump.jsonl>                hottest actor/event cells
+//! lems-trace queues   <dump.jsonl>                event-queue depth over time
+//! lems-trace prom     <dump.jsonl>                Prometheus text snapshot
 //! ```
 //!
 //! `--msg` accepts `s3` or `3`. `audit` exits nonzero on any conservation
 //! violation; pass `--open-ok` when the dump comes from a run that was cut
-//! off before draining (open-ended spans are then not violations).
+//! off before draining (open-ended spans are then not violations). `top`
+//! and `queues` need a dump from a profiled run (schema v3, `enable_prof`).
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use lems_obs::inspect::Dump;
 
-const USAGE: &str = "usage: lems-trace <timeline|servers|summary|audit> <dump.jsonl> \
-                     [--msg <span>] [--open-ok]";
+const USAGE: &str = "usage: lems-trace <timeline|servers|summary|audit|top|queues|prom> \
+                     <dump.jsonl> [--msg <span>] [--open-ok]";
 
 fn run() -> Result<String, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,6 +47,9 @@ fn run() -> Result<String, String> {
         }
         "servers" => Ok(dump.servers()),
         "summary" => Ok(dump.summary()),
+        "top" => dump.top(),
+        "queues" => dump.queues(),
+        "prom" => Ok(dump.prom()),
         "audit" => {
             let require_terminal = !args.iter().any(|a| a == "--open-ok");
             let report = dump.audit(require_terminal);

@@ -5,12 +5,15 @@
 //! deterministic), then store-recovery lines in recovery order, then
 //! metric lines grouped by scope in the order the deployment lists them
 //! (node order), with counters, gauges, and histograms each in name order
-//! (`BTreeMap` iteration). No wall clock,
+//! (`BTreeMap` iteration), then per-store durability metrics in node
+//! order, then kernel-profiler samples in the profiler's deterministic
+//! order. No wall clock,
 //! no host names, no environment — a seeded run exports byte-identical
 //! bytes every time.
 
-use lems_core::store::StoreRecovery;
+use lems_core::store::{StoreMetrics, StoreRecovery};
 use lems_sim::metrics::MetricsRegistry;
+use lems_sim::prof::ProfSample;
 use lems_sim::span::SpanLog;
 use lems_sim::time::SimTime;
 
@@ -32,6 +35,12 @@ pub struct RunTelemetry<'a> {
     pub recoveries: &'a [StoreRecovery],
     /// Per-scope metric registries, in deployment (node) order.
     pub scopes: &'a [(String, MetricsRegistry)],
+    /// Per-server store durability metrics, in deployment (node) order
+    /// (empty when no server has a durable backend).
+    pub store: &'a [(String, StoreMetrics)],
+    /// Kernel-profiler samples in the profiler's deterministic order
+    /// (empty when the run did not enable profiling).
+    pub profile: &'a [ProfSample],
 }
 
 /// Builds the typed line sequence for `run`.
@@ -107,6 +116,29 @@ pub fn export_lines(run: &RunTelemetry<'_>) -> Result<Vec<ObsLine>, String> {
             });
         }
     }
+    for (scope, m) in run.store {
+        lines.push(ObsLine::Metrics {
+            scope: scope.clone(),
+            appended_records: m.appended_records,
+            appended_bytes: m.appended_bytes,
+            fsyncs: m.fsyncs,
+            rotations: m.rotations,
+            compactions: m.compactions,
+            compaction_chunks: m.compaction_chunks,
+            replayed_records: m.replayed_records,
+            replayed_bytes: m.replayed_bytes,
+            io_errors: m.io_errors,
+        });
+    }
+    for s in run.profile {
+        lines.push(ObsLine::Profile {
+            scope: s.scope.to_owned(),
+            name: s.name.clone(),
+            at_ticks: s.at.as_ticks(),
+            count: s.count,
+            ticks: s.ticks,
+        });
+    }
     Ok(lines)
 }
 
@@ -153,6 +185,21 @@ mod tests {
     #[test]
     fn export_is_deterministic_and_ordered() {
         let (log, scopes) = sample_run();
+        let store = vec![(
+            "server:n4".to_owned(),
+            StoreMetrics {
+                appended_records: 9,
+                fsyncs: 9,
+                ..StoreMetrics::default()
+            },
+        )];
+        let profile = vec![ProfSample {
+            scope: "dispatch",
+            name: "server/deliver".to_owned(),
+            at: SimTime::ZERO,
+            count: 3,
+            ticks: 42,
+        }];
         let run = RunTelemetry {
             run: "demo",
             seed: 7,
@@ -160,15 +207,23 @@ mod tests {
             spans: &log,
             recoveries: &[],
             scopes: &scopes,
+            store: &store,
+            profile: &profile,
         };
         let a = export_jsonl(&run).expect("exports");
         let b = export_jsonl(&run).expect("exports");
         assert_eq!(a, b, "same run must export byte-identical text");
         let lines: Vec<&str> = a.lines().collect();
-        assert_eq!(lines.len(), 1 + 3 + 3, "header + spans + metrics");
+        assert_eq!(
+            lines.len(),
+            1 + 3 + 3 + 1 + 1,
+            "header + spans + metrics + store + profile"
+        );
         assert!(lines[0].contains("Header"));
         assert!(lines[1].contains("submitted"));
         assert!(lines[4].contains("Counter"));
+        assert!(lines[7].contains("Metrics"));
+        assert!(lines[8].contains("Profile"));
     }
 
     #[test]
@@ -183,6 +238,8 @@ mod tests {
             spans: &log,
             recoveries: &[],
             scopes: &[],
+            store: &[],
+            profile: &[],
         };
         let err = export_jsonl(&run).expect_err("must refuse");
         assert!(err.contains("dropped 1 event"));
@@ -201,6 +258,8 @@ mod tests {
             spans: &log,
             recoveries: &[],
             scopes: &scopes,
+            store: &[],
+            profile: &[],
         };
         let lines = export_lines(&run).expect("exports");
         let Some(ObsLine::Gauge {

@@ -8,6 +8,7 @@
 
 use std::fmt::Write as _;
 
+use lems_core::store::StoreMetrics;
 use lems_sim::span::{audit_spans, SpanAuditReport, SpanEvent, SpanId, SpanLog, SpanStage};
 use lems_sim::time::SimTime;
 
@@ -59,6 +60,21 @@ pub struct RecoverySummary {
     pub segments: u64,
 }
 
+/// One parsed kernel-profiler sample line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProfileLine {
+    /// Profiler scope: `dispatch`, `pool`, `queue`, or `shard`.
+    pub scope: String,
+    /// Sample name within the scope.
+    pub name: String,
+    /// Sim time the sample refers to, in ticks (0 for run aggregates).
+    pub at_ticks: u64,
+    /// Primary value: a count or a level.
+    pub count: u64,
+    /// Sim-time ticks attributed to the sample.
+    pub ticks: u64,
+}
+
 /// A fully parsed telemetry dump.
 #[derive(Clone, Debug, Default)]
 pub struct Dump {
@@ -78,6 +94,10 @@ pub struct Dump {
     pub gauges: Vec<(String, String, f64, f64)>,
     /// Histogram summaries, in dump order.
     pub hists: Vec<HistSummary>,
+    /// `(scope, metrics)` per-store durability counters, in dump order.
+    pub store: Vec<(String, StoreMetrics)>,
+    /// Kernel-profiler samples, in dump order.
+    pub profile: Vec<ProfileLine>,
 }
 
 impl Dump {
@@ -184,6 +204,44 @@ impl Dump {
                     p90,
                     p99,
                     max,
+                }),
+                ObsLine::Metrics {
+                    scope,
+                    appended_records,
+                    appended_bytes,
+                    fsyncs,
+                    rotations,
+                    compactions,
+                    compaction_chunks,
+                    replayed_records,
+                    replayed_bytes,
+                    io_errors,
+                } => dump.store.push((
+                    scope,
+                    StoreMetrics {
+                        appended_records,
+                        appended_bytes,
+                        fsyncs,
+                        rotations,
+                        compactions,
+                        compaction_chunks,
+                        replayed_records,
+                        replayed_bytes,
+                        io_errors,
+                    },
+                )),
+                ObsLine::Profile {
+                    scope,
+                    name,
+                    at_ticks,
+                    count,
+                    ticks,
+                } => dump.profile.push(ProfileLine {
+                    scope,
+                    name,
+                    at_ticks,
+                    count,
+                    ticks,
                 }),
             }
         }
@@ -318,6 +376,210 @@ impl Dump {
         let log = SpanLog::from_events(self.spans.clone());
         audit_spans(&log, require_terminal)
     }
+
+    /// The hottest (actor-kind, event-kind) dispatch cells, ranked by
+    /// sim-time busy attribution: where did the simulated time go?
+    ///
+    /// # Errors
+    ///
+    /// When the dump carries no profiler samples (the run did not enable
+    /// profiling).
+    pub fn top(&self) -> Result<String, String> {
+        let mut cells: Vec<&ProfileLine> = self
+            .profile
+            .iter()
+            .filter(|p| p.scope == "dispatch")
+            .collect();
+        if cells.is_empty() {
+            return Err(
+                "dump has no dispatch profile (was the run profiled? see enable_prof)".to_owned(),
+            );
+        }
+        cells.sort_by(|a, b| {
+            (b.ticks, b.count)
+                .cmp(&(a.ticks, a.count))
+                .then(a.name.cmp(&b.name))
+        });
+        let total_ticks: u64 = cells.iter().map(|c| c.ticks).sum();
+        let total_count: u64 = cells.iter().map(|c| c.count).sum();
+        let mut out = format!(
+            "run `{}`: {} dispatch(es), {} busy tick(s) attributed\n",
+            self.run, total_count, total_ticks
+        );
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>10} {:>14} {:>7}",
+            "kind/event", "count", "busy ticks", "busy%"
+        );
+        for c in cells {
+            let share = if total_ticks == 0 {
+                0.0
+            } else {
+                100.0 * c.ticks as f64 / total_ticks as f64
+            };
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>10} {:>14} {:>6.1}%",
+                c.name, c.count, c.ticks, share
+            );
+        }
+        for scope in ["pool", "shard"] {
+            let rows: Vec<&ProfileLine> =
+                self.profile.iter().filter(|p| p.scope == scope).collect();
+            if rows.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "{scope}");
+            for r in rows {
+                let _ = writeln!(out, "  {} = {}", r.name, r.count);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The event-queue health view: structure aggregates plus the
+    /// depth-over-time sample table.
+    ///
+    /// # Errors
+    ///
+    /// When the dump carries no queue profile samples.
+    pub fn queues(&self) -> Result<String, String> {
+        let aggs: Vec<&ProfileLine> = self
+            .profile
+            .iter()
+            .filter(|p| p.scope == "queue" && p.name != "depth-sample")
+            .collect();
+        let samples: Vec<&ProfileLine> = self
+            .profile
+            .iter()
+            .filter(|p| p.scope == "queue" && p.name == "depth-sample")
+            .collect();
+        if aggs.is_empty() && samples.is_empty() {
+            return Err(
+                "dump has no queue profile (was the run profiled? see enable_prof)".to_owned(),
+            );
+        }
+        let mut out = format!("run `{}`: event-queue health\n", self.run);
+        for a in aggs {
+            let _ = writeln!(out, "  {} = {}", a.name, a.count);
+        }
+        if !samples.is_empty() {
+            let max = samples.iter().map(|s| s.count).max().unwrap_or(0).max(1);
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>8}  depth over time",
+                "at (ticks)", "depth"
+            );
+            for s in &samples {
+                let bar = "#".repeat(((s.count * 40).div_ceil(max)) as usize);
+                let _ = writeln!(out, "  {:<14} {:>8}  {bar}", s.at_ticks, s.count);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The whole dump as a Prometheus text-format snapshot: counters,
+    /// gauges, histogram summaries, store durability metrics, and profiler
+    /// aggregates as labelled families. Purely a rendering — values come
+    /// from the dump, so the snapshot is as deterministic as the run.
+    /// (Depth-timeline samples are omitted; they are a time series, not a
+    /// snapshot — see [`Dump::queues`].)
+    pub fn prom(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        if !self.counters.is_empty() {
+            out.push_str("# TYPE lems_counter counter\n");
+            for (scope, name, value) in &self.counters {
+                let _ = writeln!(
+                    out,
+                    "lems_counter{{scope=\"{}\",name=\"{}\"}} {value}",
+                    esc(scope),
+                    esc(name)
+                );
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("# TYPE lems_gauge gauge\n");
+            for (scope, name, current, _) in &self.gauges {
+                let _ = writeln!(
+                    out,
+                    "lems_gauge{{scope=\"{}\",name=\"{}\"}} {current}",
+                    esc(scope),
+                    esc(name)
+                );
+            }
+        }
+        if !self.hists.is_empty() {
+            out.push_str("# TYPE lems_latency summary\n");
+            for h in &self.hists {
+                let scope = esc(&h.scope);
+                let name = esc(&h.name);
+                for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+                    let _ = writeln!(
+                        out,
+                        "lems_latency{{scope=\"{scope}\",name=\"{name}\",quantile=\"{q}\"}} {v}"
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "lems_latency_count{{scope=\"{scope}\",name=\"{name}\"}} {}",
+                    h.count
+                );
+            }
+        }
+        if !self.store.is_empty() {
+            out.push_str("# TYPE lems_store counter\n");
+            for (scope, m) in &self.store {
+                let scope = esc(scope);
+                for (name, value) in [
+                    ("appended_records", m.appended_records),
+                    ("appended_bytes", m.appended_bytes),
+                    ("fsyncs", m.fsyncs),
+                    ("rotations", m.rotations),
+                    ("compactions", m.compactions),
+                    ("compaction_chunks", m.compaction_chunks),
+                    ("replayed_records", m.replayed_records),
+                    ("replayed_bytes", m.replayed_bytes),
+                    ("io_errors", m.io_errors),
+                ] {
+                    let _ = writeln!(
+                        out,
+                        "lems_store{{scope=\"{scope}\",name=\"{name}\"}} {value}"
+                    );
+                }
+            }
+        }
+        let prof: Vec<&ProfileLine> = self
+            .profile
+            .iter()
+            .filter(|p| p.name != "depth-sample")
+            .collect();
+        if !prof.is_empty() {
+            out.push_str("# TYPE lems_prof counter\n");
+            for p in &prof {
+                let _ = writeln!(
+                    out,
+                    "lems_prof{{scope=\"{}\",name=\"{}\"}} {}",
+                    esc(&p.scope),
+                    esc(&p.name),
+                    p.count
+                );
+            }
+            out.push_str("# TYPE lems_prof_busy_ticks counter\n");
+            for p in &prof {
+                if p.scope == "dispatch" {
+                    let _ = writeln!(
+                        out,
+                        "lems_prof_busy_ticks{{scope=\"{}\",name=\"{}\"}} {}",
+                        esc(&p.scope),
+                        esc(&p.name),
+                        p.ticks
+                    );
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -356,6 +618,50 @@ mod tests {
             torn_bytes: 7,
             segments: 1,
         }];
+        let store = vec![(
+            "server:n4".to_owned(),
+            StoreMetrics {
+                appended_records: 20,
+                appended_bytes: 4_100,
+                fsyncs: 22,
+                rotations: 1,
+                compactions: 0,
+                compaction_chunks: 0,
+                replayed_records: 12,
+                replayed_bytes: 2_400,
+                io_errors: 0,
+            },
+        )];
+        let profile = vec![
+            lems_sim::prof::ProfSample {
+                scope: "dispatch",
+                name: "server/deliver".to_owned(),
+                at: t(0.0),
+                count: 30,
+                ticks: 9_000,
+            },
+            lems_sim::prof::ProfSample {
+                scope: "dispatch",
+                name: "host/timer".to_owned(),
+                at: t(0.0),
+                count: 5,
+                ticks: 1_000,
+            },
+            lems_sim::prof::ProfSample {
+                scope: "queue",
+                name: "depth".to_owned(),
+                at: t(0.0),
+                count: 0,
+                ticks: 0,
+            },
+            lems_sim::prof::ProfSample {
+                scope: "queue",
+                name: "depth-sample".to_owned(),
+                at: t(3.0),
+                count: 17,
+                ticks: 0,
+            },
+        ];
         let text = export_jsonl(&RunTelemetry {
             run: "demo",
             seed: 7,
@@ -363,6 +669,8 @@ mod tests {
             spans: &log,
             recoveries: &recoveries,
             scopes: &scopes,
+            store: &store,
+            profile: &profile,
         })
         .expect("exports");
         Dump::parse(&text).expect("parses")
@@ -385,6 +693,56 @@ mod tests {
         assert_eq!(d.recoveries[0].backend, "wal");
         assert_eq!(d.recoveries[0].replayed_records, 12);
         assert_eq!(d.recoveries[0].torn_bytes, 7);
+        assert_eq!(d.store.len(), 1);
+        assert_eq!(d.store[0].0, "server:n4");
+        assert_eq!(d.store[0].1.fsyncs, 22);
+        assert_eq!(d.profile.len(), 4);
+        assert_eq!(d.profile[0].name, "server/deliver");
+        assert_eq!(d.profile[0].ticks, 9_000);
+    }
+
+    #[test]
+    fn top_ranks_dispatch_cells_by_busy_ticks() {
+        let d = demo_dump();
+        let out = d.top().expect("profiled dump");
+        let deliver = out.find("server/deliver").expect("hot cell present");
+        let timer = out.find("host/timer").expect("cool cell present");
+        assert!(deliver < timer, "rows must be ranked by busy ticks");
+        assert!(out.contains("90.0%"), "busy share must be rendered:\n{out}");
+        // A dump with no profile refuses, naming the likely cause.
+        let mut bare = d.clone();
+        bare.profile.clear();
+        assert!(bare.top().unwrap_err().contains("enable_prof"));
+    }
+
+    #[test]
+    fn queues_renders_aggregates_and_depth_timeline() {
+        let d = demo_dump();
+        let out = d.queues().expect("profiled dump");
+        assert!(out.contains("depth = 0"));
+        assert!(out.contains("17"), "depth sample value:\n{out}");
+        assert!(out.contains('#'), "depth bar:\n{out}");
+        let mut bare = d.clone();
+        bare.profile.clear();
+        assert!(bare.queues().is_err());
+    }
+
+    #[test]
+    fn prom_snapshot_has_labelled_families() {
+        let d = demo_dump();
+        let out = d.prom();
+        assert!(out.contains("# TYPE lems_counter counter"));
+        assert!(out.contains("lems_counter{scope=\"server:n4\",name=\"deposited\"} 1"));
+        assert!(out.contains("lems_store{scope=\"server:n4\",name=\"fsyncs\"} 22"));
+        assert!(
+            out.contains("lems_prof_busy_ticks{scope=\"dispatch\",name=\"server/deliver\"} 9000")
+        );
+        assert!(
+            !out.contains("depth-sample"),
+            "timeline samples are not a snapshot"
+        );
+        // Rendering twice is byte-identical (pure function of the dump).
+        assert_eq!(out, d.prom());
     }
 
     #[test]
@@ -430,9 +788,11 @@ mod tests {
             spans: &SpanLog::unbounded(),
             recoveries: &[],
             scopes: &[],
+            store: &[],
+            profile: &[],
         })
         .expect("exports");
-        let bad = good.replace("\"schema_version\":2", "\"schema_version\":99");
+        let bad = good.replace("\"schema_version\":3", "\"schema_version\":99");
         let err = Dump::parse(&bad).expect_err("version mismatch");
         assert!(err.contains("schema version 99"));
     }

@@ -12,7 +12,12 @@
 //!   output, no wall clock anywhere);
 //! * [`inspect`] — parses a dump back into a typed [`inspect::Dump`] and
 //!   renders per-message timelines, per-server tables, latency summaries,
+//!   kernel-profiler views (`top`, `queues`), a Prometheus text snapshot,
 //!   and re-runs the span conservation audit on the exported evidence.
+//!
+//! Schema v3 dumps also carry per-store durability metrics
+//! ([`lems_core::store::StoreMetrics`]) and kernel-profiler samples
+//! ([`lems_sim::prof::ProfSample`]) when the run enabled profiling.
 //!
 //! The `lems-trace` binary wraps [`inspect`] as a CLI:
 //!
@@ -21,6 +26,9 @@
 //! lems-trace servers  spans.jsonl
 //! lems-trace summary  spans.jsonl
 //! lems-trace audit    spans.jsonl
+//! lems-trace top      spans.jsonl
+//! lems-trace queues   spans.jsonl
+//! lems-trace prom     spans.jsonl
 //! ```
 //!
 //! [`ObsLine`]: schema::ObsLine

@@ -12,8 +12,10 @@ use serde::{Deserialize, Serialize};
 /// changes meaning or disappears (additions are fine).
 ///
 /// History: v1 — header/span/metric lines; v2 — store-recovery lines
-/// ([`ObsLine::Recovery`]) between the span block and the metric block.
-pub const OBS_SCHEMA_VERSION: u32 = 2;
+/// ([`ObsLine::Recovery`]) between the span block and the metric block;
+/// v3 — per-store durability metrics ([`ObsLine::Metrics`]) and kernel
+/// profiler samples ([`ObsLine::Profile`]) after the metric block.
+pub const OBS_SCHEMA_VERSION: u32 = 3;
 
 /// One line of a telemetry dump.
 ///
@@ -91,6 +93,45 @@ pub enum ObsLine {
         /// Time-weighted average over the whole run.
         average: f64,
     },
+    /// One mailbox store's durability counters (WAL health), one line per
+    /// server scope, after the metric block.
+    Metrics {
+        /// Scope name (e.g. `server:n4`).
+        scope: String,
+        /// Operation records appended (snapshots excluded).
+        appended_records: u64,
+        /// Operation-record payload bytes appended.
+        appended_bytes: u64,
+        /// Durability barriers (fsyncs) issued.
+        fsyncs: u64,
+        /// Segment rotations performed.
+        rotations: u64,
+        /// Compactions performed.
+        compactions: u64,
+        /// Snapshot records written across all compactions.
+        compaction_chunks: u64,
+        /// Records replayed by recovery scans, lifetime total.
+        replayed_records: u64,
+        /// Bytes scanned by recovery scans, lifetime total.
+        replayed_bytes: u64,
+        /// I/O errors observed.
+        io_errors: u64,
+    },
+    /// One kernel-profiler sample (see [`lems_sim::prof::ProfSample`]),
+    /// after the store-metrics block. Present only when the run enabled
+    /// profiling; values are pure functions of sim time and counters.
+    Profile {
+        /// Profiler scope: `dispatch`, `pool`, `queue`, or `shard`.
+        scope: String,
+        /// Sample name within the scope (e.g. `server/deliver`).
+        name: String,
+        /// Sim time the sample refers to, in ticks (0 for run aggregates).
+        at_ticks: u64,
+        /// Primary value: a count or a level.
+        count: u64,
+        /// Sim-time ticks attributed to the sample (busy attribution).
+        ticks: u64,
+    },
     /// One latency histogram of one scope, reduced to its summary.
     Hist {
         /// Scope name.
@@ -165,6 +206,25 @@ mod tests {
                 p90: 8.0,
                 p99: 8.0,
                 max: 7.5,
+            },
+            ObsLine::Metrics {
+                scope: "server:n4".into(),
+                appended_records: 200,
+                appended_bytes: 41_000,
+                fsyncs: 210,
+                rotations: 6,
+                compactions: 1,
+                compaction_chunks: 9,
+                replayed_records: 80,
+                replayed_bytes: 16_000,
+                io_errors: 0,
+            },
+            ObsLine::Profile {
+                scope: "dispatch".into(),
+                name: "server/deliver".into(),
+                at_ticks: 0,
+                count: 512,
+                ticks: 9_000,
             },
         ];
         for line in lines {

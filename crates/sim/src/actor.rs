@@ -16,7 +16,8 @@
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 use crate::linkfault::LinkFaultPlan;
-use crate::queue::EventQueue;
+use crate::prof::{Prof, ProfEvent, ProfSample};
+use crate::queue::{EventQueue, QueueStats};
 use crate::rng::SimRng;
 use crate::sched::{ReadyEvent, ReadyKind, Scheduler};
 use crate::shard::{Effect, ShardScratch};
@@ -98,6 +99,14 @@ pub trait Actor: std::any::Any {
     fn on_recover(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
         let _ = ctx;
     }
+
+    /// A short static label grouping actors of the same role, used by the
+    /// kernel profiler ([`prof`](crate::prof)) for per-(kind, event)
+    /// dispatch attribution. Defaults to `"actor"`; override it for
+    /// deployments mixing roles (servers, hosts, workload drivers).
+    fn kind(&self) -> &'static str {
+        "actor"
+    }
 }
 
 pub(crate) enum Ev<M> {
@@ -163,6 +172,7 @@ pub(crate) struct Core<M> {
     pub(crate) link_faults: Option<LinkFaultPlan>,
     pub(crate) fault_rng: SimRng,
     pub(crate) scheduler: Option<Box<dyn Scheduler>>,
+    pub(crate) prof: Prof,
 }
 
 impl<M> Core<M> {
@@ -184,6 +194,7 @@ impl<M> Core<M> {
             // randomness actors observe via `Ctx::rng`.
             fault_rng: SimRng::seed(seed).fork("link-faults"),
             scheduler: None,
+            prof: Prof::default(),
         }
     }
 
@@ -554,6 +565,32 @@ impl<M: 'static> ActorSim<M> {
         self.core.trace = Trace::bounded(capacity);
     }
 
+    /// Enables the kernel profiler ([`prof`](crate::prof)). Profiling
+    /// changes no output byte of the run — dispatch attribution, queue
+    /// depth samples, and pool counters derive from sim time and counts
+    /// only (pinned by `tests/prof_digest.rs`).
+    pub fn enable_prof(&mut self) {
+        self.core.prof.enable();
+    }
+
+    /// The kernel profiler's accumulated state.
+    pub fn prof(&self) -> &Prof {
+        &self.core.prof
+    }
+
+    /// Renders the profiler state as a deterministic sample list, folding
+    /// in the current queue-structure snapshot. Empty when profiling is
+    /// off.
+    pub fn profile_samples(&self) -> Vec<ProfSample> {
+        self.core.prof.samples(self.core.queue.stats())
+    }
+
+    /// A structural snapshot of the future-event list (depth, calendar
+    /// ring, payload-pool counters).
+    pub fn queue_stats(&self) -> QueueStats {
+        self.core.queue.stats()
+    }
+
     /// Registers an actor; returns its id. `on_start` runs at the current
     /// simulation time the next time the engine advances.
     pub fn add_actor<A>(&mut self, actor: A) -> ActorId
@@ -561,6 +598,7 @@ impl<M: 'static> ActorSim<M> {
         A: Actor<Msg = M> + 'static,
     {
         let id = ActorId(self.actors.len());
+        self.core.prof.register_kind(actor.kind());
         self.actors.push(Some(Box::new(actor)));
         self.core.down.push(false);
         self.started.push(false);
@@ -700,29 +738,37 @@ impl<M: 'static> ActorSim<M> {
         };
         debug_assert!(at >= self.core.now, "time went backwards");
         self.core.now = at;
-        match ev {
+        // Each arm yields the profiler disposition: the target actor index
+        // and the event class the dispatch resolved to (`None` for silent
+        // no-ops, which the profiler — like the counters — ignores).
+        let hook: Option<(usize, ProfEvent)> = match ev {
             Ev::Deliver { from, to, msg } => {
                 if to.0 >= self.actors.len() {
                     self.core.counters.dropped_unknown.inc();
                     // Traced as a drop so every traced send still terminates
                     // in exactly one deliver-or-drop (conservation law).
                     self.core.trace.record(at, TraceKind::Drop, from, to);
+                    Some((to.0, ProfEvent::DropUnknown))
                 } else if self.core.down[to.0] {
                     self.core.counters.dropped_down.inc();
                     self.core.trace.record(at, TraceKind::Drop, from, to);
+                    Some((to.0, ProfEvent::DropDown))
                 } else {
                     self.core.counters.delivered.inc();
                     self.core.trace.record(at, TraceKind::Deliver, from, to);
                     self.with_actor(to, |actor, ctx| actor.on_message(from, msg, ctx));
+                    Some((to.0, ProfEvent::Deliver))
                 }
             }
             Ev::Timer { actor, id, tag } => {
                 let cancelled = self.core.cancelled.remove(&id);
                 if cancelled || actor.0 >= self.actors.len() || self.core.down[actor.0] {
                     self.core.counters.timers_suppressed.inc();
+                    Some((actor.0, ProfEvent::TimerSuppressed))
                 } else {
                     self.core.counters.timers_fired.inc();
                     self.with_actor(actor, |a, ctx| a.on_timer(id, tag, ctx));
+                    Some((actor.0, ProfEvent::TimerFired))
                 }
             }
             Ev::Crash { actor } => {
@@ -735,6 +781,9 @@ impl<M: 'static> ActorSim<M> {
                             a.on_crash(at);
                         }
                     }
+                    Some((actor.0, ProfEvent::Crash))
+                } else {
+                    None
                 }
             }
             Ev::Recover { actor } => {
@@ -743,7 +792,16 @@ impl<M: 'static> ActorSim<M> {
                     self.core.counters.recoveries.inc();
                     self.core.trace.record(at, TraceKind::Recover, actor, actor);
                     self.with_actor(actor, Actor::on_recover);
+                    Some((actor.0, ProfEvent::Recover))
+                } else {
+                    None
                 }
+            }
+        };
+        if self.core.prof.is_enabled() {
+            if let Some((idx, pe)) = hook {
+                let depth = self.core.queue.len() as u64;
+                self.core.prof.dispatch(idx, pe, at, depth);
             }
         }
         true
@@ -752,6 +810,7 @@ impl<M: 'static> ActorSim<M> {
     /// Runs until the queue is empty or the next event is later than
     /// `deadline`; the clock then rests at `min(deadline, last event time)`.
     pub fn run_until(&mut self, deadline: SimTime) {
+        self.core.prof.wall_start();
         self.start_pending();
         while let Some(t) = self.core.queue.peek_time() {
             if t > deadline {
@@ -762,6 +821,7 @@ impl<M: 'static> ActorSim<M> {
         if self.core.now < deadline {
             self.core.now = deadline;
         }
+        self.core.prof.wall_stop();
     }
 
     /// Runs until no events remain.
@@ -772,18 +832,24 @@ impl<M: 'static> ActorSim<M> {
     /// never), protecting against livelock in misbehaving actors via the
     /// explicit [`ActorSim::run_to_quiescence_bounded`] variant instead.
     pub fn run_to_quiescence(&mut self) {
+        self.core.prof.wall_start();
         while self.step() {}
+        self.core.prof.wall_stop();
     }
 
     /// Runs until quiescence or until `max_events` have been processed.
     /// Returns `true` if the simulation quiesced.
     pub fn run_to_quiescence_bounded(&mut self, max_events: u64) -> bool {
+        self.core.prof.wall_start();
+        let mut quiesced = false;
         for _ in 0..max_events {
             if !self.step() {
-                return true;
+                quiesced = true;
+                break;
             }
         }
-        self.core.queue.is_empty()
+        self.core.prof.wall_stop();
+        quiesced || self.core.queue.is_empty()
     }
 }
 

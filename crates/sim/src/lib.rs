@@ -18,6 +18,8 @@
 //!   fuzzing, and exhaustive small-scope interleaving exploration;
 //! * [`shard`] — parallel actor execution (frozen batch → ordered commit)
 //!   that is byte-identical to the sequential engine at any thread count;
+//! * [`prof`] — a deterministic kernel profiler (dispatch attribution,
+//!   queue health, shard batch stats) that changes no output byte;
 //! * [`rng`] — seeded, forkable randomness so runs reproduce exactly;
 //! * [`stats`] — counters, time-weighted gauges, summaries, histograms;
 //! * [`trace`] — bounded in-memory event tracing;
@@ -60,6 +62,7 @@ pub mod kernel;
 pub mod linkfault;
 pub mod metrics;
 pub mod pool;
+pub mod prof;
 pub mod queue;
 pub mod rng;
 pub mod sched;

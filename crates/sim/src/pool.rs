@@ -27,6 +27,27 @@ struct Slot<T> {
     val: Option<T>,
 }
 
+/// Allocation-behaviour counters for one [`Pool`].
+///
+/// Hits recycle a freed slot; misses allocate a fresh one (every miss
+/// grows the slab, so `misses == grows` today — both are kept so the
+/// distinction survives a future reservation strategy). A warmed-up
+/// steady state is *all hits*: `crates/sim/tests/zero_alloc.rs` pins the
+/// counter form of its counting-allocator proof against these.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct PoolStats {
+    /// Inserts served by recycling a freed slot.
+    pub hits: u64,
+    /// Inserts that found no free slot.
+    pub misses: u64,
+    /// Slots appended to the slab.
+    pub grows: u64,
+    /// Values currently live.
+    pub live: usize,
+    /// Slots allocated (live + recyclable) — the high-water mark.
+    pub capacity: usize,
+}
+
 /// A slab of `T` with free-list recycling and generation-checked handles.
 ///
 /// # Examples
@@ -52,6 +73,8 @@ pub struct Pool<T> {
     slots: Vec<Slot<T>>,
     free: Vec<u32>,
     live: usize,
+    hits: u64,
+    misses: u64,
 }
 
 impl<T> Default for Pool<T> {
@@ -67,6 +90,8 @@ impl<T> Pool<T> {
             slots: Vec::new(),
             free: Vec::new(),
             live: 0,
+            hits: 0,
+            misses: 0,
         }
     }
 
@@ -76,6 +101,8 @@ impl<T> Pool<T> {
             slots: Vec::with_capacity(capacity),
             free: Vec::with_capacity(capacity),
             live: 0,
+            hits: 0,
+            misses: 0,
         }
     }
 
@@ -83,6 +110,7 @@ impl<T> Pool<T> {
     pub fn insert(&mut self, val: T) -> Handle {
         self.live += 1;
         if let Some(index) = self.free.pop() {
+            self.hits += 1;
             let slot = &mut self.slots[index as usize];
             slot.val = Some(val);
             return Handle {
@@ -90,6 +118,7 @@ impl<T> Pool<T> {
                 gen: slot.gen,
             };
         }
+        self.misses += 1;
         let index = u32::try_from(self.slots.len()).unwrap_or(u32::MAX);
         debug_assert!(index != u32::MAX, "pool exceeded u32 slot space");
         self.slots.push(Slot {
@@ -145,6 +174,17 @@ impl<T> Pool<T> {
     /// Slots allocated (live + recyclable) — the pool's high-water mark.
     pub fn capacity(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Allocation-behaviour counters accumulated since construction.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits,
+            misses: self.misses,
+            grows: self.misses,
+            live: self.live,
+            capacity: self.slots.len(),
+        }
     }
 
     /// Drops every live value and recycles all slots (generations advance,
@@ -213,6 +253,25 @@ mod tests {
         }
         assert_eq!(p.capacity(), peak, "steady churn must not grow the slab");
         assert_eq!(p.len(), 64);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut p = Pool::new();
+        let a = p.insert(1);
+        let b = p.insert(2);
+        assert_eq!(p.stats().misses, 2, "cold inserts miss");
+        assert_eq!(p.stats().hits, 0);
+        p.take(a);
+        p.take(b);
+        p.insert(3);
+        p.insert(4);
+        let s = p.stats();
+        assert_eq!(s.hits, 2, "warm inserts recycle");
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.grows, s.misses);
+        assert_eq!(s.live, 2);
+        assert_eq!(s.capacity, 2);
     }
 
     #[test]

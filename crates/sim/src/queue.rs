@@ -89,6 +89,8 @@ struct Calendar<E> {
     /// Entries whose day falls beyond the ring's reach from `current_day`.
     overflow: BTreeMap<(u64, u64), Handle>,
     len: usize,
+    /// Ring rebuilds (growth or shrink) since construction.
+    resizes: u64,
 }
 
 impl<E> Calendar<E> {
@@ -107,6 +109,7 @@ impl<E> Calendar<E> {
             in_buckets: 0,
             overflow: BTreeMap::new(),
             len: 0,
+            resizes: 0,
         }
     }
 
@@ -304,6 +307,7 @@ impl<E> Calendar<E> {
     /// Rebuilds the ring at `nbuckets` buckets, re-estimating the day width
     /// from the observed spread of pending events.
     fn resize(&mut self, nbuckets: usize) {
+        self.resizes += 1;
         let mut all: Vec<Entry> = Vec::with_capacity(self.len);
         all.extend_from_slice(&self.front[self.cursor..]);
         self.front.clear();
@@ -363,6 +367,38 @@ fn estimate_shift(entries: &mut [Entry], current: u32) -> u32 {
 enum Backend<E> {
     Calendar(Calendar<E>),
     Baseline(BTreeMap<(SimTime, EventSeq), E>),
+}
+
+/// A point-in-time structural snapshot of an [`EventQueue`], for the
+/// kernel profiler ([`prof`](crate::prof)) and queue-health telemetry.
+///
+/// On the baseline backend only `depth` is meaningful; the calendar
+/// structure fields and pool counters stay zero (trees have no ring, no
+/// pool).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct QueueStats {
+    /// Pending events.
+    pub depth: usize,
+    /// Unconsumed entries in the sorted current-day front.
+    pub front: usize,
+    /// Entries parked in the bucket ring.
+    pub in_buckets: usize,
+    /// Entries in the far-future overflow map.
+    pub overflow: usize,
+    /// Bucket-ring size.
+    pub buckets: usize,
+    /// Ring rebuilds (growth or shrink) since construction.
+    pub resizes: u64,
+    /// Payload-pool live values.
+    pub pool_live: usize,
+    /// Payload-pool slot high-water mark.
+    pub pool_capacity: usize,
+    /// Payload-pool inserts served by recycling.
+    pub pool_hits: u64,
+    /// Payload-pool inserts that found no free slot.
+    pub pool_misses: u64,
+    /// Payload-pool slab growths.
+    pub pool_grows: u64,
 }
 
 /// A future-event list holding events of type `E`.
@@ -517,6 +553,33 @@ impl<E> EventQueue<E> {
     /// Total number of events ever scheduled on this queue.
     pub fn scheduled_total(&self) -> u64 {
         self.next_seq
+    }
+
+    /// A structural snapshot for queue-health telemetry. See
+    /// [`QueueStats`] for the baseline backend's reduced coverage.
+    pub fn stats(&self) -> QueueStats {
+        match &self.backend {
+            Backend::Calendar(c) => {
+                let pool = c.pool.stats();
+                QueueStats {
+                    depth: c.len,
+                    front: c.front.len().saturating_sub(c.cursor),
+                    in_buckets: c.in_buckets,
+                    overflow: c.overflow.len(),
+                    buckets: c.buckets.len(),
+                    resizes: c.resizes,
+                    pool_live: pool.live,
+                    pool_capacity: pool.capacity,
+                    pool_hits: pool.hits,
+                    pool_misses: pool.misses,
+                    pool_grows: pool.grows,
+                }
+            }
+            Backend::Baseline(m) => QueueStats {
+                depth: m.len(),
+                ..QueueStats::default()
+            },
+        }
     }
 
     /// Drops all pending events.
@@ -710,6 +773,37 @@ mod tests {
         assert_eq!(q.remove(near, s_near), Some("front"));
         assert!(q.is_empty());
         assert_eq!(q.remove(near, s_near), None);
+    }
+
+    #[test]
+    fn stats_reflect_structure_and_resizes() {
+        let mut q = EventQueue::new();
+        let fresh = q.stats();
+        assert_eq!(fresh.depth, 0);
+        assert_eq!(fresh.buckets, MIN_BUCKETS);
+        assert_eq!(fresh.resizes, 0);
+        for i in 0..5000u64 {
+            q.push(SimTime::from_ticks(i * 1000), i);
+        }
+        let s = q.stats();
+        assert_eq!(s.depth, 5000);
+        assert_eq!(
+            s.front + s.in_buckets + s.overflow,
+            5000,
+            "every pending entry is in exactly one structure"
+        );
+        assert!(s.resizes > 0, "growth to 5000 events rebuilds the ring");
+        assert_eq!(s.pool_misses, s.pool_grows);
+        while q.pop().is_some() {}
+        let drained = q.stats();
+        assert_eq!(drained.depth, 0);
+        assert_eq!(drained.pool_live, 0);
+        assert!(drained.resizes >= s.resizes, "shrink also counts");
+
+        let mut b = EventQueue::baseline();
+        b.push(SimTime::from_ticks(1), 1u64);
+        assert_eq!(b.stats().depth, 1);
+        assert_eq!(b.stats().buckets, 0, "baseline reports no calendar fields");
     }
 
     #[test]

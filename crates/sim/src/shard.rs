@@ -58,6 +58,8 @@ use std::sync::Arc;
 
 use crate::actor::{Actor, ActorId, Core, Ctx, Ev, SimCounters, TimerId};
 use crate::linkfault::LinkFaultPlan;
+use crate::prof::{Prof, ProfEvent, ProfSample};
+use crate::queue::QueueStats;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceKind};
@@ -238,7 +240,7 @@ fn eval_task<M: Send + 'static>(mut task: Task<M>, shared: &BatchShared) -> Task
                         shared,
                         down_self,
                         &mut local_cancelled,
-                        |a, ctx| a.on_recover(ctx),
+                        super::actor::Actor::on_recover,
                     );
                     Outcome::Recovered { actor, effects }
                 } else {
@@ -425,6 +427,33 @@ impl<M: Send + 'static> ShardedSim<M> {
         self.core.trace = Trace::bounded(capacity);
     }
 
+    /// Enables the kernel profiler ([`prof`](crate::prof)). Profiling
+    /// changes no output byte of the run, at any thread count — the
+    /// profiler hooks ride the ordered commit, so attribution matches the
+    /// sequential engine's dispatch order exactly (pinned by
+    /// `tests/prof_digest.rs`).
+    pub fn enable_prof(&mut self) {
+        self.core.prof.enable();
+    }
+
+    /// The kernel profiler's accumulated state.
+    pub fn prof(&self) -> &Prof {
+        &self.core.prof
+    }
+
+    /// Renders the profiler state as a deterministic sample list, folding
+    /// in the current queue-structure snapshot. Empty when profiling is
+    /// off.
+    pub fn profile_samples(&self) -> Vec<ProfSample> {
+        self.core.prof.samples(self.core.queue.stats())
+    }
+
+    /// A structural snapshot of the future-event list (depth, calendar
+    /// ring, payload-pool counters).
+    pub fn queue_stats(&self) -> QueueStats {
+        self.core.queue.stats()
+    }
+
     /// Registers an actor; returns its id. `on_start` runs at the current
     /// simulation time the next time the engine advances.
     pub fn add_actor<A>(&mut self, actor: A) -> ActorId
@@ -432,6 +461,7 @@ impl<M: Send + 'static> ShardedSim<M> {
         A: Actor<Msg = M> + Send + 'static,
     {
         let id = ActorId(self.actors.len());
+        self.core.prof.register_kind(actor.kind());
         self.actors.push(Some(Box::new(actor)));
         self.core.down.push(false);
         self.started.push(false);
@@ -603,6 +633,9 @@ impl<M: Clone + Send + 'static> ShardedSim<M> {
             cancelled: self.core.cancelled.clone(),
         };
 
+        let ngroups = tasks.len() as u64;
+        let offloaded = self.workers.is_some() && tasks.len() >= INLINE_GROUPS;
+
         // Evaluate: inline when parallelism cannot pay for itself,
         // otherwise contiguous chunks across the worker pool. The results
         // are identical either way — outcomes are keyed by batch index and
@@ -657,24 +690,33 @@ impl<M: Clone + Send + 'static> ShardedSim<M> {
         for out in by_idx.into_iter().flatten() {
             self.commit(out);
         }
+        if self.core.prof.is_enabled() {
+            self.core.prof.batch(n, ngroups, offloaded);
+        }
         n
     }
 
     fn commit(&mut self, out: Outcome<M>) {
         let t = self.core.now;
-        match out {
+        // Each arm yields the profiler disposition, mirroring the
+        // sequential engine's `step` hook exactly: the commit replays the
+        // sequential dispatch order, so attribution is engine-invariant.
+        let hook: Option<(usize, ProfEvent)> = match out {
             Outcome::Delivered { from, to, effects } => {
                 self.core.counters.delivered.inc();
                 self.core.trace.record(t, TraceKind::Deliver, from, to);
                 self.apply_effects(to, effects);
+                Some((to.0, ProfEvent::Deliver))
             }
             Outcome::DroppedDown { from, to } => {
                 self.core.counters.dropped_down.inc();
                 self.core.trace.record(t, TraceKind::Drop, from, to);
+                Some((to.0, ProfEvent::DropDown))
             }
             Outcome::DroppedUnknown { from, to } => {
                 self.core.counters.dropped_unknown.inc();
                 self.core.trace.record(t, TraceKind::Drop, from, to);
+                Some((to.0, ProfEvent::DropUnknown))
             }
             Outcome::TimerHandled {
                 id,
@@ -686,8 +728,10 @@ impl<M: Clone + Send + 'static> ShardedSim<M> {
                 if fired {
                     self.core.counters.timers_fired.inc();
                     self.apply_effects(actor, effects);
+                    Some((actor.0, ProfEvent::TimerFired))
                 } else {
                     self.core.counters.timers_suppressed.inc();
+                    Some((actor.0, ProfEvent::TimerSuppressed))
                 }
             }
             Outcome::Crashed { actor } => {
@@ -696,6 +740,7 @@ impl<M: Clone + Send + 'static> ShardedSim<M> {
                 }
                 self.core.counters.crashes.inc();
                 self.core.trace.record(t, TraceKind::Crash, actor, actor);
+                Some((actor.0, ProfEvent::Crash))
             }
             Outcome::Recovered { actor, effects } => {
                 if let Some(flag) = self.core.down.get_mut(actor.0) {
@@ -704,8 +749,15 @@ impl<M: Clone + Send + 'static> ShardedSim<M> {
                 self.core.counters.recoveries.inc();
                 self.core.trace.record(t, TraceKind::Recover, actor, actor);
                 self.apply_effects(actor, effects);
+                Some((actor.0, ProfEvent::Recover))
             }
-            Outcome::Skipped => {}
+            Outcome::Skipped => None,
+        };
+        if self.core.prof.is_enabled() {
+            if let Some((idx, pe)) = hook {
+                let depth = self.core.queue.len() as u64;
+                self.core.prof.dispatch(idx, pe, t, depth);
+            }
         }
     }
 
@@ -731,6 +783,7 @@ impl<M: Clone + Send + 'static> ShardedSim<M> {
     /// `deadline`; the clock then rests at `min(deadline, last batch
     /// time)` or `deadline`, whichever is later.
     pub fn run_until(&mut self, deadline: SimTime) {
+        self.core.prof.wall_start();
         self.start_pending();
         while let Some(next) = self.core.queue.peek_time() {
             if next > deadline {
@@ -741,21 +794,26 @@ impl<M: Clone + Send + 'static> ShardedSim<M> {
         if self.core.now < deadline {
             self.core.now = deadline;
         }
+        self.core.prof.wall_stop();
     }
 
     /// Runs until quiescence or until at least `max_events` events have
     /// been processed (whole batches — the bound may overshoot by at most
     /// one batch). Returns `true` if the simulation quiesced.
     pub fn run_to_quiescence_bounded(&mut self, max_events: u64) -> bool {
+        self.core.prof.wall_start();
         let mut processed = 0u64;
+        let mut quiesced = false;
         while processed < max_events {
             let n = self.step_batch();
             if n == 0 {
-                return true;
+                quiesced = true;
+                break;
             }
             processed += n;
         }
-        self.core.queue.is_empty()
+        self.core.prof.wall_stop();
+        quiesced || self.core.queue.is_empty()
     }
 }
 

@@ -1,0 +1,262 @@
+//! Pins the profiler's zero-perturbation contract: enabling profiling
+//! changes **no** output byte of a run — trace digest, counters, and
+//! final clock are identical with profiling on or off, on both the
+//! sequential and sharded engines, at any thread count.
+//!
+//! (The PR 5 on/off pin covers spans on the sequential path only; this
+//! battery covers the kernel profiler on both engines.)
+
+use lems_sim::actor::{Actor, ActorId, ActorSim, Ctx, TimerId};
+use lems_sim::shard::ShardedSim;
+use lems_sim::time::{SimDuration, SimTime};
+
+fn unit(u: f64) -> SimDuration {
+    SimDuration::from_units(u)
+}
+
+/// Forwards a TTL-carrying token around a ring; also arms one timer that
+/// fires and one that it cancels, so every dispatch class shows up.
+struct Ring {
+    n: usize,
+    doomed: Option<TimerId>,
+}
+
+impl Actor for Ring {
+    type Msg = u64;
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        let next = ActorId((ctx.me().0 + 1) % self.n);
+        ctx.send(next, 24, unit(0.5));
+        let _keeper = ctx.set_timer(unit(2.0), 1);
+        self.doomed = Some(ctx.set_timer(unit(3.0), 2));
+    }
+    fn on_message(&mut self, _f: ActorId, ttl: u64, ctx: &mut Ctx<'_, u64>) {
+        if ttl > 0 {
+            let next = ActorId((ctx.me().0 + 1) % self.n);
+            ctx.send(next, ttl - 1, unit(0.5));
+        }
+    }
+    fn on_timer(&mut self, _id: TimerId, tag: u64, ctx: &mut Ctx<'_, u64>) {
+        if tag == 1 {
+            if let Some(d) = self.doomed.take() {
+                ctx.cancel_timer(d);
+            }
+        }
+    }
+    fn kind(&self) -> &'static str {
+        "ring"
+    }
+}
+
+const N: usize = 8;
+const SEED: u64 = 42;
+
+/// Every dispatch class is exercised: deliveries, a crash and recovery
+/// (with drops while down), a drop to an unknown id, fired and
+/// suppressed timers.
+struct Fingerprint {
+    digest: u64,
+    delivered: u64,
+    dropped_down: u64,
+    dropped_unknown: u64,
+    timers_fired: u64,
+    timers_suppressed: u64,
+    now: SimTime,
+}
+
+fn drive<R>(sim: &mut R) -> bool
+where
+    R: Driver,
+{
+    sim.schedule_crash(ActorId(2), SimTime::from_units(1.25));
+    sim.schedule_recover(ActorId(2), SimTime::from_units(4.25));
+    sim.inject(ActorId(999), 0, unit(0.25));
+    sim.quiesce(100_000)
+}
+
+/// The few engine entry points this battery needs, so one driver covers
+/// both engines.
+trait Driver {
+    fn schedule_crash(&mut self, actor: ActorId, at: SimTime);
+    fn schedule_recover(&mut self, actor: ActorId, at: SimTime);
+    fn inject(&mut self, to: ActorId, msg: u64, delay: SimDuration);
+    fn quiesce(&mut self, max: u64) -> bool;
+    fn fingerprint(&self) -> Fingerprint;
+}
+
+impl Driver for ActorSim<u64> {
+    fn schedule_crash(&mut self, actor: ActorId, at: SimTime) {
+        ActorSim::schedule_crash(self, actor, at);
+    }
+    fn schedule_recover(&mut self, actor: ActorId, at: SimTime) {
+        ActorSim::schedule_recover(self, actor, at);
+    }
+    fn inject(&mut self, to: ActorId, msg: u64, delay: SimDuration) {
+        ActorSim::inject(self, to, msg, delay);
+    }
+    fn quiesce(&mut self, max: u64) -> bool {
+        self.run_to_quiescence_bounded(max)
+    }
+    fn fingerprint(&self) -> Fingerprint {
+        Fingerprint {
+            digest: self.trace().digest(),
+            delivered: self.counters().delivered.get(),
+            dropped_down: self.counters().dropped_down.get(),
+            dropped_unknown: self.counters().dropped_unknown.get(),
+            timers_fired: self.counters().timers_fired.get(),
+            timers_suppressed: self.counters().timers_suppressed.get(),
+            now: self.now(),
+        }
+    }
+}
+
+impl Driver for ShardedSim<u64> {
+    fn schedule_crash(&mut self, actor: ActorId, at: SimTime) {
+        ShardedSim::schedule_crash(self, actor, at);
+    }
+    fn schedule_recover(&mut self, actor: ActorId, at: SimTime) {
+        ShardedSim::schedule_recover(self, actor, at);
+    }
+    fn inject(&mut self, to: ActorId, msg: u64, delay: SimDuration) {
+        ShardedSim::inject(self, to, msg, delay);
+    }
+    fn quiesce(&mut self, max: u64) -> bool {
+        self.run_to_quiescence_bounded(max)
+    }
+    fn fingerprint(&self) -> Fingerprint {
+        Fingerprint {
+            digest: self.trace().digest(),
+            delivered: self.counters().delivered.get(),
+            dropped_down: self.counters().dropped_down.get(),
+            dropped_unknown: self.counters().dropped_unknown.get(),
+            timers_fired: self.counters().timers_fired.get(),
+            timers_suppressed: self.counters().timers_suppressed.get(),
+            now: self.now(),
+        }
+    }
+}
+
+fn assert_same(a: &Fingerprint, b: &Fingerprint, what: &str) {
+    assert_eq!(a.digest, b.digest, "{what}: trace digest diverged");
+    assert_eq!(a.delivered, b.delivered, "{what}: delivered");
+    assert_eq!(a.dropped_down, b.dropped_down, "{what}: dropped_down");
+    assert_eq!(
+        a.dropped_unknown, b.dropped_unknown,
+        "{what}: dropped_unknown"
+    );
+    assert_eq!(a.timers_fired, b.timers_fired, "{what}: timers_fired");
+    assert_eq!(
+        a.timers_suppressed, b.timers_suppressed,
+        "{what}: timers_suppressed"
+    );
+    assert_eq!(a.now, b.now, "{what}: final clock");
+}
+
+fn seq_run(prof: bool) -> (Fingerprint, ActorSim<u64>) {
+    let mut sim = ActorSim::new(SEED);
+    sim.enable_trace(usize::MAX);
+    for _ in 0..N {
+        sim.add_actor(Ring { n: N, doomed: None });
+    }
+    if prof {
+        sim.enable_prof();
+    }
+    assert!(drive(&mut sim), "sequential run must quiesce");
+    (sim.fingerprint(), sim)
+}
+
+fn shard_run(prof: bool, threads: usize) -> (Fingerprint, ShardedSim<u64>) {
+    let mut sim = ShardedSim::new(SEED, threads);
+    sim.enable_trace(usize::MAX);
+    for _ in 0..N {
+        sim.add_actor(Ring { n: N, doomed: None });
+    }
+    if prof {
+        sim.enable_prof();
+    }
+    assert!(drive(&mut sim), "sharded run must quiesce");
+    (sim.fingerprint(), sim)
+}
+
+#[test]
+fn profiling_is_invisible_on_the_sequential_engine() {
+    let (off, _) = seq_run(false);
+    let (on, sim) = seq_run(true);
+    assert_same(&off, &on, "sequential prof on vs off");
+    // The workload exercised every dispatch class...
+    assert!(off.delivered > 0 && off.dropped_down > 0 && off.dropped_unknown > 0);
+    assert!(off.timers_fired > 0 && off.timers_suppressed > 0);
+    // ...and the profiler saw all of it.
+    assert_eq!(
+        sim.prof().dispatches(),
+        off.delivered
+            + off.dropped_down
+            + off.dropped_unknown
+            + off.timers_fired
+            + off.timers_suppressed
+            + 2, // the crash and the recovery
+    );
+    let samples = sim.profile_samples();
+    for cell in [
+        "ring/deliver",
+        "ring/drop-down",
+        "unknown/drop-unknown",
+        "ring/timer",
+        "ring/timer-suppressed",
+        "ring/crash",
+        "ring/recover",
+    ] {
+        assert!(
+            samples
+                .iter()
+                .any(|s| s.scope == "dispatch" && s.name == cell && s.count > 0),
+            "missing dispatch cell {cell}"
+        );
+    }
+    // Busy attribution decomposes elapsed sim time: the per-cell charges
+    // sum to the instant of the last dispatched event.
+    let busy: u64 = samples
+        .iter()
+        .filter(|s| s.scope == "dispatch")
+        .map(|s| s.ticks)
+        .sum();
+    assert_eq!(busy, off.now.as_ticks());
+}
+
+#[test]
+fn profiling_is_invisible_on_the_sharded_engine() {
+    let (seq_off, _) = seq_run(false);
+    for threads in [1, 4] {
+        let (off, _) = shard_run(false, threads);
+        let (on, sim) = shard_run(true, threads);
+        assert_same(&off, &on, &format!("sharded({threads}) prof on vs off"));
+        assert_same(
+            &seq_off,
+            &on,
+            &format!("sharded({threads}, prof) vs sequential(no prof)"),
+        );
+        assert!(sim.prof().dispatches() > 0);
+        assert!(
+            sim.profile_samples()
+                .iter()
+                .any(|s| s.scope == "shard" && s.name == "batches" && s.count > 0),
+            "sharded engine must report batch stats"
+        );
+    }
+}
+
+#[test]
+fn dispatch_attribution_is_engine_invariant() {
+    // Queue-depth samples may differ between engines (the sharded freeze
+    // pops a whole instant before committing), but dispatch cells — the
+    // counts and the sim-time busy decomposition — must not.
+    let (_, seq) = seq_run(true);
+    let (_, shard) = shard_run(true, 4);
+    let cells = |samples: Vec<lems_sim::prof::ProfSample>| {
+        samples
+            .into_iter()
+            .filter(|s| s.scope == "dispatch")
+            .map(|s| (s.name, s.count, s.ticks))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(cells(seq.profile_samples()), cells(shard.profile_samples()));
+}

@@ -29,7 +29,7 @@ use lems_core::directory::Directory;
 use lems_core::mailbox::Mailbox;
 use lems_core::message::{BounceReason, Message, MessageId, MessageIdGen};
 use lems_core::name::MailName;
-use lems_core::store::{MailStore, StoreRecovery};
+use lems_core::store::{MailStore, StoreMetrics, StoreRecovery};
 use lems_core::user::AuthorityList;
 use lems_net::error::NetError;
 use lems_net::graph::NodeId;
@@ -575,6 +575,10 @@ impl HostActor {
 impl Actor for HostActor {
     type Msg = MailMsg;
 
+    fn kind(&self) -> &'static str {
+        "host"
+    }
+
     fn on_message(&mut self, from: ActorId, msg: MailMsg, ctx: &mut Ctx<'_, MailMsg>) {
         match msg {
             MailMsg::DoSend { from, to } => {
@@ -1119,6 +1123,10 @@ impl ServerActor {
 impl Actor for ServerActor {
     type Msg = MailMsg;
 
+    fn kind(&self) -> &'static str {
+        "server"
+    }
+
     fn on_message(&mut self, _from: ActorId, msg: MailMsg, ctx: &mut Ctx<'_, MailMsg>) {
         match msg {
             MailMsg::Submit { msg, reply_to } => {
@@ -1619,6 +1627,23 @@ impl Deployment {
         for (&node, &aid) in &self.host_actors {
             if let Some(h) = self.sim.actor::<HostActor>(aid) {
                 out.push((format!("host:n{}", node.0), h.metrics.clone()));
+            }
+        }
+        out
+    }
+
+    /// Per-server store durability metrics, keyed `server:n<node>` in
+    /// deterministic (BTreeMap node) order. Servers whose backend reports
+    /// nothing (the all-zero default of volatile stores) are skipped, so
+    /// a fully volatile deployment exports no store-metrics lines.
+    pub fn store_metrics_snapshot(&self) -> Vec<(String, StoreMetrics)> {
+        let mut out = Vec::new();
+        for (&node, &aid) in &self.server_actors {
+            if let Some(s) = self.sim.actor::<ServerActor>(aid) {
+                let m = s.store.store_metrics();
+                if m != StoreMetrics::default() {
+                    out.push((format!("server:n{}", node.0), m));
+                }
             }
         }
         out

@@ -229,7 +229,7 @@ impl Actor for MeshActor {
         } else {
             from.0 as u64
         };
-        if self.received % 3 == 0 {
+        if self.received.is_multiple_of(3) {
             ctx.send_self(with_ttl(msg, ttl - 1), unit(0.25));
         } else {
             let to =
@@ -280,13 +280,11 @@ impl Actor for TimerActor {
     fn on_timer(&mut self, _id: TimerId, tag: u64, ctx: &mut Ctx<'_, Msg>) {
         self.fired_tags = self.fired_tags.wrapping_mul(31).wrapping_add(tag + 1);
         match tag {
-            TAG_TICK => {
-                if self.rounds < 6 {
-                    self.rounds += 1;
-                    let me = ctx.me().0;
-                    ctx.send(ActorId((me + 1) % self.n), with_ttl(tag, 2), unit(0.5));
-                    ctx.set_timer(unit(1.0), TAG_TICK);
-                }
+            TAG_TICK if self.rounds < 6 => {
+                self.rounds += 1;
+                let me = ctx.me().0;
+                ctx.send(ActorId((me + 1) % self.n), with_ttl(tag, 2), unit(0.5));
+                ctx.set_timer(unit(1.0), TAG_TICK);
             }
             TAG_KILLER => {
                 if let Some(doomed) = self.doomed.take() {

@@ -17,6 +17,8 @@ fn export(o: &scenarios::ScenarioOutcome) -> String {
         spans: &o.spans,
         recoveries: &o.recoveries,
         scopes: &o.scopes,
+        store: &o.store,
+        profile: &o.profile,
     })
     .expect("scenario telemetry must export")
 }
@@ -98,5 +100,46 @@ fn committed_recovery_dump_is_current_and_regenerable() {
         "schema or telemetry drift: regenerate with \
          `cargo run -p lems-check -- audit durable-torn-tail --trace-out \
          GOLDEN_spans_recovery.jsonl`"
+    );
+}
+
+/// Golden gate for the profiler export: the committed `chaos-partition`
+/// dump carries schema-v3 `Profile` lines (dispatch attribution for both
+/// actor kinds plus queue aggregates) and is regenerable bit-for-bit —
+/// so the profiler's sample set can never drift silently.
+#[test]
+fn committed_profile_dump_is_current_and_regenerable() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/GOLDEN_profile.jsonl");
+    let committed = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let dump = Dump::parse(&committed).expect("golden dump must parse with the current schema");
+    assert_eq!(dump.run, "chaos-partition");
+    assert!(dump.audit(true).is_clean());
+    assert!(
+        !dump.profile.is_empty(),
+        "the profiler must have exported samples"
+    );
+    for cell in ["server/deliver", "host/deliver"] {
+        assert!(
+            dump.profile
+                .iter()
+                .any(|p| p.scope == "dispatch" && p.name == cell),
+            "expected a dispatch attribution cell named {cell}"
+        );
+    }
+    assert!(
+        dump.profile.iter().any(|p| p.scope == "queue"),
+        "expected calendar-queue aggregate samples"
+    );
+    assert!(
+        dump.profile.iter().all(|p| p.scope != "wall"),
+        "wall-clock readings live in the side channel, never in the export"
+    );
+
+    let fresh = export(&scenarios::chaos_partition(3));
+    assert_eq!(
+        fresh, committed,
+        "schema or telemetry drift: regenerate with \
+         `cargo run -p lems-check -- audit chaos-partition --trace-out \
+         GOLDEN_profile.jsonl`"
     );
 }
